@@ -1,0 +1,75 @@
+//! The narrow base-application interface (paper §1, "Minimize assumptions
+//! about the base layer").
+//!
+//! A base application must be able to do exactly two things for the
+//! superimposed layer: *report the address of the current selection* and
+//! *return to an element given an address*. The trait adds the two §6
+//! extension behaviours (`extract_content`, `display_in_place`) the paper
+//! proposes for superimposed application builders, which our engines all
+//! support.
+//!
+//! Each engine has its own strongly-typed address; the trait is generic
+//! over that associated type. Type erasure for the Mark Manager registry
+//! happens one layer up, in the `marks` crate, mirroring the paper's
+//! split between *mark types* (data) and *mark modules* (drivers).
+
+use crate::common::{DocError, DocKind};
+
+/// An address into a base document, as a base application understands it.
+///
+/// Addresses must survive persistence: they encode to an ordered list of
+/// named string fields — exactly the paper's picture of a mark containing
+/// "one or more attributes that comprise an address of the appropriate
+/// type" (Figure 3) — and decode back.
+pub trait Address: Clone + std::fmt::Debug + std::fmt::Display + PartialEq {
+    /// The document kind this address family applies to.
+    fn kind() -> DocKind;
+
+    /// Encode as ordered `(field, value)` pairs (e.g. Excel:
+    /// `fileName`/`sheetName`/`range`, matching Figure 8).
+    fn to_fields(&self) -> Vec<(String, String)>;
+
+    /// Decode from pairs produced by [`Address::to_fields`].
+    fn from_fields(fields: &[(String, String)]) -> Result<Self, DocError>;
+
+    /// The containing document/file name — present in every address
+    /// family (`fileName` in both of Figure 8's mark types).
+    fn file_name(&self) -> &str;
+}
+
+/// The base-application interface: the only capabilities the superimposed
+/// layer may assume (plus the §6 extensions).
+pub trait BaseApplication {
+    /// This application's address family.
+    type Addr: Address;
+
+    /// Human-readable application name (e.g. `"Spreadsheet"`), used in
+    /// viewing-style displays.
+    fn app_name(&self) -> &'static str;
+
+    /// Names of currently open documents.
+    fn open_documents(&self) -> Vec<String>;
+
+    /// Capability 1: the address of the currently selected information
+    /// element, if anything is selected.
+    fn current_selection(&self) -> Result<Self::Addr, DocError>;
+
+    /// Capability 2: drive the application back to the addressed element
+    /// (open/activate the document, select and reveal the element).
+    fn navigate_to(&mut self, addr: &Self::Addr) -> Result<(), DocError>;
+
+    /// §6 extension: return the addressed element's content as text,
+    /// without changing the application's own selection.
+    fn extract_content(&self, addr: &Self::Addr) -> Result<String, DocError>;
+
+    /// §6 extension / independent viewing: render the addressed element
+    /// *in context* as plain text, with the element visually highlighted —
+    /// what a user would see after `navigate_to` in simultaneous viewing.
+    fn display_in_place(&self, addr: &Self::Addr) -> Result<String, DocError>;
+
+    /// Whether an address still resolves (mark-audit support). Default:
+    /// try `extract_content`.
+    fn address_is_live(&self, addr: &Self::Addr) -> bool {
+        self.extract_content(addr).is_ok()
+    }
+}

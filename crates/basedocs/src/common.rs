@@ -1,0 +1,191 @@
+//! Types shared by all base-document engines.
+
+use std::fmt;
+
+/// The kind of base information a document (and therefore a mark) refers
+/// to. One mark type exists per kind (paper Figure 3: "one subclass of
+/// Mark for each type of base information supported").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DocKind {
+    Spreadsheet,
+    Xml,
+    Text,
+    Html,
+    Pdf,
+    Slides,
+}
+
+impl DocKind {
+    /// All supported kinds, in a stable order.
+    pub fn all() -> [DocKind; 6] {
+        [
+            DocKind::Spreadsheet,
+            DocKind::Xml,
+            DocKind::Text,
+            DocKind::Html,
+            DocKind::Pdf,
+            DocKind::Slides,
+        ]
+    }
+
+    /// Stable identifier used in persisted marks.
+    pub fn id(self) -> &'static str {
+        match self {
+            DocKind::Spreadsheet => "spreadsheet",
+            DocKind::Xml => "xml",
+            DocKind::Text => "text",
+            DocKind::Html => "html",
+            DocKind::Pdf => "pdf",
+            DocKind::Slides => "slides",
+        }
+    }
+
+    /// Parse a stable identifier back to a kind.
+    pub fn from_id(id: &str) -> Option<DocKind> {
+        DocKind::all().into_iter().find(|k| k.id() == id)
+    }
+}
+
+impl fmt::Display for DocKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A half-open character span `[start, end)` within some text unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` — a construction bug, not a data error.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(end >= start, "span end {end} before start {start}");
+        Span { start, end }
+    }
+
+    /// Character length of the span.
+    pub fn len(self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for zero-length (caret) spans.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if `self` lies entirely within `[0, len)`.
+    pub fn fits_within(self, len: usize) -> bool {
+        self.end <= len
+    }
+
+    /// The text the span covers, if it is in bounds (by char index).
+    pub fn slice(self, text: &str) -> Option<String> {
+        let chars: Vec<char> = text.chars().collect();
+        if !self.fits_within(chars.len()) {
+            return None;
+        }
+        Some(chars[self.start..self.end].iter().collect())
+    }
+
+    /// Parse `"start..end"` (used in persisted addresses).
+    pub fn parse(text: &str) -> Option<Span> {
+        let (a, b) = text.split_once("..")?;
+        let start = a.trim().parse().ok()?;
+        let end = b.trim().parse().ok()?;
+        if end < start {
+            return None;
+        }
+        Some(Span { start, end })
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Errors from document operations: opening, addressing, navigating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocError {
+    /// No open document with the given name.
+    NoSuchDocument { name: String },
+    /// A document with this name is already open.
+    AlreadyOpen { name: String },
+    /// The address does not parse (bad range text, bad path, …).
+    BadAddress { message: String },
+    /// The address parses but points outside the document — the classic
+    /// *dangling mark* case after the base document changed.
+    Dangling { message: String },
+    /// No current selection when one was required.
+    NoSelection,
+    /// A document-content error (bad formula, malformed source text, …).
+    Content { message: String },
+}
+
+impl fmt::Display for DocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocError::NoSuchDocument { name } => write!(f, "no open document named {name:?}"),
+            DocError::AlreadyOpen { name } => write!(f, "document {name:?} is already open"),
+            DocError::BadAddress { message } => write!(f, "bad address: {message}"),
+            DocError::Dangling { message } => write!(f, "dangling address: {message}"),
+            DocError::NoSelection => write!(f, "no current selection"),
+            DocError::Content { message } => write!(f, "document content error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dockind_id_roundtrip() {
+        for k in DocKind::all() {
+            assert_eq!(DocKind::from_id(k.id()), Some(k));
+        }
+        assert_eq!(DocKind::from_id("floppy"), None);
+    }
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(2, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(Span::new(1, 1).is_empty());
+        assert!(s.fits_within(5));
+        assert!(!s.fits_within(4));
+    }
+
+    #[test]
+    fn span_slice_by_chars_not_bytes() {
+        let s = Span::new(0, 3);
+        assert_eq!(s.slice("Na⁺K").as_deref(), Some("Na⁺"));
+        assert_eq!(Span::new(3, 9).slice("short"), None);
+    }
+
+    #[test]
+    fn span_parse_display_roundtrip() {
+        let s = Span::new(4, 17);
+        assert_eq!(Span::parse(&s.to_string()), Some(s));
+        assert_eq!(Span::parse("9..3"), None);
+        assert_eq!(Span::parse("x..3"), None);
+        assert_eq!(Span::parse("37"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "span end")]
+    fn backwards_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+}

@@ -1,0 +1,923 @@
+//! The HTML page application: the web-browser stand-in.
+//!
+//! Real HTML is not XML: tags are case-insensitive, many elements never
+//! close (`<br>`, `<img>`), and others close implicitly (`<li>`, `<p>`,
+//! `<td>`). This module implements a tolerant tag-soup parser producing an
+//! [`Element`] tree, a text-mode renderer (what a user "sees"), and
+//! addressing by fragment anchor (`#id`), by element path, or by element
+//! path plus character span — covering the annotation systems the paper
+//! compares against (ComMentor, Third Voice), which anchor annotations
+//! into web pages.
+
+use crate::app::{Address, BaseApplication};
+use crate::common::{DocError, DocKind, Span};
+use std::collections::BTreeMap;
+use std::fmt;
+use xmlkit::{Document, Element, Node, XPath};
+
+// ---- tolerant HTML parsing -------------------------------------------------
+
+/// Elements that never have content.
+const VOID: &[&str] =
+    &["area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source", "track", "wbr"];
+
+/// `(incoming tag, tags it implicitly closes)` — a practical subset of the
+/// HTML5 implied-end-tag rules.
+fn implicitly_closes(incoming: &str, open: &str) -> bool {
+    match incoming {
+        "li" => open == "li" || open == "p",
+        "p" | "div" | "ul" | "ol" | "table" | "blockquote" | "pre" | "h1" | "h2" | "h3" | "h4"
+        | "h5" | "h6" => open == "p",
+        "td" | "th" => open == "td" || open == "th" || open == "p",
+        "tr" => open == "tr" || open == "td" || open == "th" || open == "p",
+        _ => false,
+    }
+}
+
+/// Parse HTML text into a single-rooted element tree.
+///
+/// The result is always rooted at `<html>`: if the input has no `html`
+/// element, one is synthesized around the parsed content. Tag and
+/// attribute names are lowercased; unmatched close tags are ignored;
+/// unclosed elements are closed at end of input. This function does not
+/// fail on malformed markup — tag soup in, best-effort tree out.
+pub fn parse_html(input: &str) -> Element {
+    let mut p = HtmlParser { input, pos: 0 };
+    let mut stack: Vec<Element> = vec![Element::new("html")];
+    while let Some(event) = p.next_event() {
+        match event {
+            HtmlEvent::Text(t) => {
+                if !t.is_empty() {
+                    stack.last_mut().expect("root never popped").push_text(t);
+                }
+            }
+            HtmlEvent::Open { name, attributes, self_closing } => {
+                if name == "html" {
+                    // Merge attributes onto the synthetic root.
+                    if let Some(root) = stack.first_mut() {
+                        for (k, v) in attributes {
+                            root.set_attr(k, v);
+                        }
+                    }
+                    continue;
+                }
+                while stack.len() > 1
+                    && implicitly_closes(&name, &stack.last().expect("nonempty").name)
+                {
+                    pop_into_parent(&mut stack);
+                }
+                let mut e = Element::new(name.clone());
+                for (k, v) in attributes {
+                    e.set_attr(k, v);
+                }
+                if self_closing || VOID.contains(&name.as_str()) {
+                    stack.last_mut().expect("nonempty").push_element(e);
+                } else {
+                    stack.push(e);
+                }
+            }
+            HtmlEvent::Close(name) => {
+                if name == "html" {
+                    continue;
+                }
+                if let Some(depth) = stack.iter().rposition(|e| e.name == name) {
+                    if depth == 0 {
+                        continue; // never close the synthetic root
+                    }
+                    while stack.len() > depth {
+                        pop_into_parent(&mut stack);
+                    }
+                }
+                // Unmatched close tag: ignored, per browser behaviour.
+            }
+        }
+    }
+    while stack.len() > 1 {
+        pop_into_parent(&mut stack);
+    }
+    stack.pop().expect("root")
+}
+
+fn pop_into_parent(stack: &mut Vec<Element>) {
+    let child = stack.pop().expect("pop_into_parent on root");
+    stack.last_mut().expect("root remains").push_element(child);
+}
+
+enum HtmlEvent {
+    Text(String),
+    Open { name: String, attributes: Vec<(String, String)>, self_closing: bool },
+    Close(String),
+}
+
+struct HtmlParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl HtmlParser<'_> {
+    fn rest(&self) -> &str {
+        &self.input[self.pos..]
+    }
+
+    fn next_event(&mut self) -> Option<HtmlEvent> {
+        if self.pos >= self.input.len() {
+            return None;
+        }
+        if self.rest().starts_with("<!--") {
+            let end = self.rest().find("-->").map(|i| self.pos + i + 3).unwrap_or(self.input.len());
+            self.pos = end;
+            return self.next_event();
+        }
+        if self.rest().starts_with("<!") || self.rest().starts_with("<?") {
+            // DOCTYPE / processing instruction: skip to '>'.
+            let end = self.rest().find('>').map(|i| self.pos + i + 1).unwrap_or(self.input.len());
+            self.pos = end;
+            return self.next_event();
+        }
+        if self.rest().starts_with("</") {
+            let end = self.rest().find('>').map(|i| self.pos + i).unwrap_or(self.input.len());
+            let name = self.input[self.pos + 2..end].trim().to_ascii_lowercase();
+            self.pos = (end + 1).min(self.input.len());
+            return Some(HtmlEvent::Close(name));
+        }
+        if self.rest().starts_with('<')
+            && self.rest()[1..].starts_with(|c: char| c.is_ascii_alphabetic())
+        {
+            return Some(self.open_tag());
+        }
+        // Text run until the next plausible tag.
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.input.len() {
+            let r = self.rest();
+            if r.starts_with('<')
+                && (r[1..].starts_with(|c: char| c.is_ascii_alphabetic())
+                    || r.starts_with("</")
+                    || r.starts_with("<!")
+                    || r.starts_with("<?"))
+            {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        Some(HtmlEvent::Text(decode_entities(raw)))
+    }
+
+    fn open_tag(&mut self) -> HtmlEvent {
+        debug_assert!(self.rest().starts_with('<'));
+        self.pos += 1;
+        let name_start = self.pos;
+        while self
+            .rest()
+            .starts_with(|c: char| c.is_ascii_alphanumeric() || c == '-' || c == ':')
+        {
+            self.pos += 1;
+        }
+        let name = self.input[name_start..self.pos].to_ascii_lowercase();
+        let mut attributes = Vec::new();
+        let mut self_closing = false;
+        loop {
+            while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            if self.rest().starts_with("/>") {
+                self_closing = true;
+                self.pos += 2;
+                break;
+            }
+            if self.rest().starts_with('>') {
+                self.pos += 1;
+                break;
+            }
+            if self.pos >= self.input.len() {
+                break;
+            }
+            // Attribute name.
+            let a_start = self.pos;
+            while self
+                .rest()
+                .starts_with(|c: char| !c.is_ascii_whitespace() && c != '=' && c != '>' && c != '/')
+            {
+                self.pos += 1;
+            }
+            if self.pos == a_start {
+                self.pos += 1; // stray character; skip it
+                continue;
+            }
+            let attr_name = self.input[a_start..self.pos].to_ascii_lowercase();
+            while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            let value = if self.rest().starts_with('=') {
+                self.pos += 1;
+                while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+                    self.pos += 1;
+                }
+                if let Some(q) = self.rest().chars().next().filter(|&c| c == '"' || c == '\'') {
+                    self.pos += 1;
+                    let v_start = self.pos;
+                    let end = self.rest().find(q).map(|i| self.pos + i).unwrap_or(self.input.len());
+                    let v = &self.input[v_start..end];
+                    self.pos = (end + 1).min(self.input.len());
+                    decode_entities(v)
+                } else {
+                    let v_start = self.pos;
+                    while self
+                        .rest()
+                        .starts_with(|c: char| !c.is_ascii_whitespace() && c != '>')
+                    {
+                        self.pos += 1;
+                    }
+                    decode_entities(&self.input[v_start..self.pos])
+                }
+            } else {
+                // Boolean attribute (e.g. `disabled`).
+                String::new()
+            };
+            attributes.push((attr_name, value));
+        }
+        HtmlEvent::Open { name, attributes, self_closing }
+    }
+}
+
+/// Decode the entities browsers most commonly emit; unknown entities pass
+/// through literally (browser behaviour, not XML strictness).
+fn decode_entities(text: &str) -> String {
+    if !text.contains('&') {
+        return text.to_string();
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &text[i + 1..];
+        let Some(semi) = rest.find(';').filter(|&s| s <= 10) else {
+            out.push('&');
+            continue;
+        };
+        let body = &rest[..semi];
+        let decoded = match body {
+            "lt" => Some('<'),
+            "gt" => Some('>'),
+            "amp" => Some('&'),
+            "quot" => Some('"'),
+            "apos" => Some('\''),
+            "nbsp" => Some('\u{a0}'),
+            "mdash" => Some('—'),
+            "ndash" => Some('–'),
+            "hellip" => Some('…'),
+            "copy" => Some('©'),
+            _ => body
+                .strip_prefix("#x")
+                .or_else(|| body.strip_prefix("#X"))
+                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                .or_else(|| body.strip_prefix('#').and_then(|d| d.parse().ok()))
+                .and_then(char::from_u32),
+        };
+        match decoded {
+            Some(ch) => {
+                out.push(ch);
+                for _ in 0..=semi {
+                    chars.next();
+                }
+            }
+            None => out.push('&'),
+        }
+    }
+    out
+}
+
+// ---- addressing ------------------------------------------------------------
+
+/// What an HTML address points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmlTarget {
+    /// A fragment anchor: the element with `id` (or `<a name=…>`) equal to
+    /// the string — robust under page restructuring.
+    Anchor(String),
+    /// A structural element path.
+    Element(XPath),
+    /// A character span within an element's direct text.
+    TextSpan { path: XPath, span: Span },
+}
+
+/// The HTML mark address: `url` plus an [`HtmlTarget`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtmlAddress {
+    pub url: String,
+    pub target: HtmlTarget,
+}
+
+impl fmt::Display for HtmlAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.target {
+            HtmlTarget::Anchor(a) => write!(f, "{}#{}", self.url, a),
+            HtmlTarget::Element(p) => write!(f, "{}!{}", self.url, p),
+            HtmlTarget::TextSpan { path, span } => write!(f, "{}!{}@{}", self.url, path, span),
+        }
+    }
+}
+
+impl Address for HtmlAddress {
+    fn kind() -> DocKind {
+        DocKind::Html
+    }
+
+    fn to_fields(&self) -> Vec<(String, String)> {
+        let mut fields = vec![("url".into(), self.url.clone())];
+        match &self.target {
+            HtmlTarget::Anchor(a) => fields.push(("anchor".into(), a.clone())),
+            HtmlTarget::Element(p) => fields.push(("elementPath".into(), p.to_string())),
+            HtmlTarget::TextSpan { path, span } => {
+                fields.push(("elementPath".into(), path.to_string()));
+                fields.push(("span".into(), span.to_string()));
+            }
+        }
+        fields
+    }
+
+    fn from_fields(fields: &[(String, String)]) -> Result<Self, DocError> {
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.as_str());
+        let url = get("url")
+            .ok_or_else(|| DocError::BadAddress { message: "missing field \"url\"".into() })?
+            .to_string();
+        let target = if let Some(a) = get("anchor") {
+            HtmlTarget::Anchor(a.to_string())
+        } else if let Some(p) = get("elementPath") {
+            let path =
+                XPath::parse(p).map_err(|e| DocError::BadAddress { message: e.to_string() })?;
+            match get("span") {
+                Some(s) => {
+                    let span = Span::parse(s)
+                        .ok_or_else(|| DocError::BadAddress { message: "bad span".into() })?;
+                    HtmlTarget::TextSpan { path, span }
+                }
+                None => HtmlTarget::Element(path),
+            }
+        } else {
+            return Err(DocError::BadAddress {
+                message: "need \"anchor\" or \"elementPath\"".into(),
+            });
+        };
+        Ok(HtmlAddress { url, target })
+    }
+
+    fn file_name(&self) -> &str {
+        &self.url
+    }
+}
+
+// ---- the application --------------------------------------------------------
+
+/// The simulated browser: loaded pages keyed by URL, plus a selection.
+#[derive(Debug, Default)]
+pub struct HtmlApp {
+    pages: BTreeMap<String, Document>,
+    selection: Option<HtmlAddress>,
+}
+
+impl HtmlApp {
+    /// An instance with no loaded pages.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load a page from HTML source.
+    pub fn load(&mut self, url: &str, html: &str) -> Result<(), DocError> {
+        if self.pages.contains_key(url) {
+            return Err(DocError::AlreadyOpen { name: url.to_string() });
+        }
+        self.pages.insert(url.to_string(), Document::with_root(parse_html(html)));
+        Ok(())
+    }
+
+    /// Close (unload) a page; clears the selection if it pointed there.
+    pub fn close(&mut self, url: &str) -> Result<Document, DocError> {
+        let doc = self
+            .pages
+            .remove(url)
+            .ok_or_else(|| DocError::NoSuchDocument { name: url.to_string() })?;
+        if self.selection.as_ref().is_some_and(|s| s.url == url) {
+            self.selection = None;
+        }
+        Ok(doc)
+    }
+
+    /// Read access to a loaded page's DOM.
+    pub fn page(&self, url: &str) -> Result<&Document, DocError> {
+        self.pages.get(url).ok_or_else(|| DocError::NoSuchDocument { name: url.to_string() })
+    }
+
+    /// Find every element whose direct text contains `needle`
+    /// (case-insensitive), across all loaded pages, addressed by
+    /// structural path.
+    pub fn find_text(&self, needle: &str) -> Vec<HtmlAddress> {
+        let lower = needle.to_lowercase();
+        let mut out = Vec::new();
+        for (url, doc) in &self.pages {
+            let mut stack: Vec<Vec<usize>> = vec![vec![]];
+            while let Some(indices) = stack.pop() {
+                let mut cur = &doc.root;
+                for &i in &indices {
+                    cur = cur.elements().nth(i).expect("indices derived from tree");
+                }
+                if cur.text().to_lowercase().contains(&lower) {
+                    if let Some(path) = XPath::of(doc, &indices) {
+                        out.push(HtmlAddress {
+                            url: url.clone(),
+                            target: HtmlTarget::Element(path),
+                        });
+                    }
+                }
+                for (i, _) in cur.elements().enumerate() {
+                    let mut child = indices.clone();
+                    child.push(i);
+                    stack.push(child);
+                }
+            }
+        }
+        out.sort_by_key(|a| (a.url.clone(), a.to_string()));
+        out
+    }
+
+    /// Enumerate a page's hyperlinks as `(link text, href)` in document
+    /// order — what a browser's link list (or a crawler) sees.
+    pub fn links(&self, url: &str) -> Result<Vec<(String, String)>, DocError> {
+        let doc = self.page(url)?;
+        let mut out = Vec::new();
+        fn walk(e: &Element, out: &mut Vec<(String, String)>) {
+            if e.name == "a" {
+                if let Some(href) = e.attr("href") {
+                    out.push((e.deep_text().trim().to_string(), href.to_string()));
+                }
+            }
+            for c in e.elements() {
+                walk(c, out);
+            }
+        }
+        walk(&doc.root, &mut out);
+        Ok(out)
+    }
+
+    /// Enumerate a page's anchors (`id` attributes and `<a name>`),
+    /// sorted — the targets [`HtmlApp::select_anchor`] accepts.
+    pub fn anchors(&self, url: &str) -> Result<Vec<String>, DocError> {
+        let doc = self.page(url)?;
+        let mut out = Vec::new();
+        fn walk(e: &Element, out: &mut Vec<String>) {
+            if let Some(id) = e.attr("id") {
+                out.push(id.to_string());
+            }
+            if e.name == "a" {
+                if let Some(name) = e.attr("name") {
+                    out.push(name.to_string());
+                }
+            }
+            for c in e.elements() {
+                walk(c, out);
+            }
+        }
+        walk(&doc.root, &mut out);
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Find the element carrying `id="anchor"` or `<a name="anchor">`.
+    fn find_anchor<'d>(doc: &'d Document, anchor: &str) -> Option<&'d Element> {
+        let mut found: Option<&Element> = None;
+        fn walk<'d>(e: &'d Element, anchor: &str, found: &mut Option<&'d Element>) {
+            if found.is_some() {
+                return;
+            }
+            if e.attr("id") == Some(anchor) || (e.name == "a" && e.attr("name") == Some(anchor)) {
+                *found = Some(e);
+                return;
+            }
+            for c in e.elements() {
+                walk(c, anchor, found);
+            }
+        }
+        walk(&doc.root, anchor, &mut found);
+        found
+    }
+
+    /// Resolve an address to its element.
+    pub fn resolve(&self, addr: &HtmlAddress) -> Result<&Element, DocError> {
+        let doc = self.page(&addr.url)?;
+        match &addr.target {
+            HtmlTarget::Anchor(a) => Self::find_anchor(doc, a).ok_or_else(|| DocError::Dangling {
+                message: format!("no anchor {a:?} in {}", addr.url),
+            }),
+            HtmlTarget::Element(p) | HtmlTarget::TextSpan { path: p, .. } => {
+                p.resolve(doc).map_err(|e| DocError::Dangling { message: e.to_string() })
+            }
+        }
+    }
+
+    /// User action: click an element (selects it by structural path).
+    pub fn select_element(&mut self, url: &str, path: &str) -> Result<(), DocError> {
+        let path = XPath::parse(path).map_err(|e| DocError::BadAddress { message: e.to_string() })?;
+        let addr = HtmlAddress { url: url.to_string(), target: HtmlTarget::Element(path) };
+        self.resolve(&addr)?;
+        self.selection = Some(addr);
+        Ok(())
+    }
+
+    /// User action: select a text run inside an element.
+    pub fn select_text(&mut self, url: &str, path: &str, span: Span) -> Result<(), DocError> {
+        let path = XPath::parse(path).map_err(|e| DocError::BadAddress { message: e.to_string() })?;
+        let addr = HtmlAddress { url: url.to_string(), target: HtmlTarget::TextSpan { path, span } };
+        self.extract_content(&addr)?; // validates path and span
+        self.selection = Some(addr);
+        Ok(())
+    }
+
+    /// User action: follow a fragment link.
+    pub fn select_anchor(&mut self, url: &str, anchor: &str) -> Result<(), DocError> {
+        let addr =
+            HtmlAddress { url: url.to_string(), target: HtmlTarget::Anchor(anchor.to_string()) };
+        self.resolve(&addr)?;
+        self.selection = Some(addr);
+        Ok(())
+    }
+
+    /// Render a page lynx-style: headings uppercased, list items
+    /// bulleted, links shown as `text [href]`. The `highlight` element's
+    /// text is wrapped in `[[ … ]]`.
+    pub fn render_page(&self, url: &str, highlight: Option<&Element>) -> Result<String, DocError> {
+        let doc = self.page(url)?;
+        let mut out = String::new();
+        render_block(&doc.root, highlight, &mut out);
+        // Collapse runs of blank lines.
+        let mut collapsed = String::with_capacity(out.len());
+        let mut blank = 0;
+        for line in out.lines() {
+            if line.trim().is_empty() {
+                blank += 1;
+                if blank > 1 {
+                    continue;
+                }
+            } else {
+                blank = 0;
+            }
+            collapsed.push_str(line.trim_end());
+            collapsed.push('\n');
+        }
+        Ok(collapsed)
+    }
+}
+
+fn render_block(e: &Element, highlight: Option<&Element>, out: &mut String) {
+    let highlighted = highlight.is_some_and(|h| std::ptr::eq(h, e));
+    if highlighted {
+        out.push_str("[[");
+    }
+    match e.name.as_str() {
+        "script" | "style" | "head" | "title" | "meta" | "link" => {}
+        "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => {
+            out.push('\n');
+            out.push_str(&inline_text(e, highlight).to_uppercase());
+            out.push('\n');
+        }
+        "li" => {
+            out.push_str("\n• ");
+            out.push_str(&inline_text(e, highlight));
+            for c in e.elements() {
+                if matches!(c.name.as_str(), "ul" | "ol") {
+                    render_block(c, highlight, out);
+                }
+            }
+        }
+        "p" | "div" | "blockquote" | "tr" | "table" | "br" | "hr" => {
+            out.push('\n');
+            for child in &e.children {
+                match child {
+                    Node::Element(c) if is_block(&c.name) => render_block(c, highlight, out),
+                    Node::Element(c) => out.push_str(&inline_elem(c, highlight)),
+                    Node::Text(t) | Node::CData(t) => out.push_str(&normalize_ws(t)),
+                    _ => {}
+                }
+            }
+            out.push('\n');
+        }
+        _ => {
+            for child in &e.children {
+                match child {
+                    Node::Element(c) if is_block(&c.name) => render_block(c, highlight, out),
+                    Node::Element(c) => out.push_str(&inline_elem(c, highlight)),
+                    Node::Text(t) | Node::CData(t) => out.push_str(&normalize_ws(t)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    if highlighted {
+        out.push_str("]]");
+    }
+}
+
+fn is_block(name: &str) -> bool {
+    matches!(
+        name,
+        "p" | "div"
+            | "ul"
+            | "ol"
+            | "li"
+            | "table"
+            | "tr"
+            | "blockquote"
+            | "pre"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "br"
+            | "hr"
+            | "body"
+            | "html"
+            | "head"
+    )
+}
+
+fn inline_elem(e: &Element, highlight: Option<&Element>) -> String {
+    let highlighted = highlight.is_some_and(|h| std::ptr::eq(h, e));
+    let inner = inline_text(e, highlight);
+    let rendered = match e.name.as_str() {
+        "a" => match e.attr("href") {
+            Some(href) => format!("{inner} [{href}]"),
+            None => inner,
+        },
+        "b" | "strong" => format!("*{inner}*"),
+        "i" | "em" => format!("_{inner}_"),
+        "td" | "th" => format!("{inner}\t"),
+        _ => inner,
+    };
+    if highlighted {
+        format!("[[{rendered}]]")
+    } else {
+        rendered
+    }
+}
+
+fn inline_text(e: &Element, highlight: Option<&Element>) -> String {
+    let mut out = String::new();
+    for child in &e.children {
+        match child {
+            Node::Element(c) if !is_block(&c.name) => out.push_str(&inline_elem(c, highlight)),
+            Node::Element(_) => {}
+            Node::Text(t) | Node::CData(t) => out.push_str(&normalize_ws(t)),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn normalize_ws(t: &str) -> String {
+    let mut out = String::with_capacity(t.len());
+    let mut last_space = false;
+    for c in t.chars() {
+        if c.is_whitespace() {
+            if !last_space && !out.is_empty() {
+                out.push(' ');
+            }
+            last_space = true;
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    out
+}
+
+impl BaseApplication for HtmlApp {
+    type Addr = HtmlAddress;
+
+    fn app_name(&self) -> &'static str {
+        "Web Browser"
+    }
+
+    fn open_documents(&self) -> Vec<String> {
+        self.pages.keys().cloned().collect()
+    }
+
+    fn current_selection(&self) -> Result<HtmlAddress, DocError> {
+        self.selection.clone().ok_or(DocError::NoSelection)
+    }
+
+    fn navigate_to(&mut self, addr: &HtmlAddress) -> Result<(), DocError> {
+        self.resolve(addr)?;
+        self.selection = Some(addr.clone());
+        Ok(())
+    }
+
+    fn extract_content(&self, addr: &HtmlAddress) -> Result<String, DocError> {
+        let e = self.resolve(addr)?;
+        match &addr.target {
+            HtmlTarget::TextSpan { span, .. } => {
+                let text = normalize_ws(&e.deep_text());
+                span.slice(text.trim()).ok_or_else(|| DocError::Dangling {
+                    message: format!("span {span} exceeds element text length"),
+                })
+            }
+            _ => Ok(normalize_ws(e.deep_text().trim())),
+        }
+    }
+
+    fn display_in_place(&self, addr: &HtmlAddress) -> Result<String, DocError> {
+        let target = self.resolve(addr)?;
+        // Re-borrow via raw pointer comparison inside render: safe because
+        // both borrows are immutable and from the same document.
+        let page = self.render_page(&addr.url, Some(target))?;
+        Ok(format!("── {} — {} ──\n{}", self.app_name(), addr.url, page))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"<!DOCTYPE html>
+<html><head><title>Drug Reference</title></head>
+<body>
+  <h1>Furosemide (Lasix)</h1>
+  <p id="dosing">Usual adult dose: <b>20&ndash;80 mg</b> daily.</p>
+  <ul>
+    <li>Monitor potassium
+    <li>Watch renal function
+  </ul>
+  <p>See also <a href="kcl.html">potassium chloride</a>.</p>
+  <a name="refs"></a>
+  <p>References: Goodman &amp; Gilman.</p>
+</body></html>"#;
+
+    fn app() -> HtmlApp {
+        let mut a = HtmlApp::new();
+        a.load("drugs/lasix.html", PAGE).unwrap();
+        a
+    }
+
+    #[test]
+    fn parser_handles_tag_soup() {
+        let root = parse_html(PAGE);
+        assert_eq!(root.name, "html");
+        let body = root.child("body").unwrap();
+        let ul = body.child("ul").unwrap();
+        assert_eq!(ul.children_named("li").count(), 2, "implied </li> handled");
+        let li1 = ul.children_named("li").next().unwrap();
+        assert!(li1.text().contains("Monitor potassium"));
+    }
+
+    #[test]
+    fn parser_lowercases_and_handles_void_elements() {
+        let root = parse_html("<P>one<BR>two</P><IMG SRC='x.png'>");
+        let body_children: Vec<&str> = root.elements().map(|e| e.name.as_str()).collect();
+        assert_eq!(body_children, vec!["p", "img"]);
+        let p = root.child("p").unwrap();
+        assert!(p.child("br").is_some());
+        assert_eq!(root.child("img").unwrap().attr("src"), Some("x.png"));
+    }
+
+    #[test]
+    fn parser_ignores_unmatched_close_tags() {
+        let root = parse_html("<p>hello</div></p>");
+        assert_eq!(root.child("p").unwrap().text(), "hello");
+    }
+
+    #[test]
+    fn entities_decode_with_browser_leniency() {
+        assert_eq!(decode_entities("a &amp; b"), "a & b");
+        assert_eq!(decode_entities("20&ndash;80"), "20–80");
+        assert_eq!(decode_entities("&#65;&#x42;"), "AB");
+        assert_eq!(decode_entities("AT&T"), "AT&T", "bare ampersand passes through");
+        assert_eq!(decode_entities("&bogus;"), "&bogus;", "unknown entity passes through");
+    }
+
+    #[test]
+    fn anchor_addressing_by_id_and_name() {
+        let mut a = app();
+        a.select_anchor("drugs/lasix.html", "dosing").unwrap();
+        let addr = a.current_selection().unwrap();
+        assert!(a.extract_content(&addr).unwrap().contains("20–80 mg"));
+        a.select_anchor("drugs/lasix.html", "refs").unwrap();
+        assert!(a.select_anchor("drugs/lasix.html", "missing").is_err());
+    }
+
+    #[test]
+    fn element_path_addressing() {
+        let mut a = app();
+        a.select_element("drugs/lasix.html", "/html/body/ul/li[2]").unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&addr).unwrap(), "Watch renal function");
+    }
+
+    #[test]
+    fn text_span_addressing() {
+        let a = app();
+        let addr = HtmlAddress {
+            url: "drugs/lasix.html".into(),
+            target: HtmlTarget::TextSpan {
+                path: XPath::parse("/html/body/h1").unwrap(),
+                span: Span::new(0, 10),
+            },
+        };
+        assert_eq!(a.extract_content(&addr).unwrap(), "Furosemide");
+        let too_long = HtmlAddress {
+            url: "drugs/lasix.html".into(),
+            target: HtmlTarget::TextSpan {
+                path: XPath::parse("/html/body/h1").unwrap(),
+                span: Span::new(0, 500),
+            },
+        };
+        assert!(matches!(a.extract_content(&too_long), Err(DocError::Dangling { .. })));
+    }
+
+    #[test]
+    fn render_page_lynx_style() {
+        let a = app();
+        let text = a.render_page("drugs/lasix.html", None).unwrap();
+        assert!(text.contains("FUROSEMIDE (LASIX)"), "{text}");
+        assert!(text.contains("• Monitor potassium"), "{text}");
+        assert!(text.contains("potassium chloride [kcl.html]"), "{text}");
+        assert!(!text.contains("Drug Reference"), "head content suppressed: {text}");
+    }
+
+    #[test]
+    fn display_in_place_highlights() {
+        let a = app();
+        let addr = HtmlAddress {
+            url: "drugs/lasix.html".into(),
+            target: HtmlTarget::Element(XPath::parse("/html/body/ul/li[1]").unwrap()),
+        };
+        let view = a.display_in_place(&addr).unwrap();
+        assert!(view.contains("[[") && view.contains("]]"), "{view}");
+        assert!(view.contains("Monitor potassium"), "{view}");
+    }
+
+    #[test]
+    fn address_fields_roundtrip_all_modes() {
+        let cases = [
+            HtmlAddress { url: "u.html".into(), target: HtmlTarget::Anchor("x".into()) },
+            HtmlAddress {
+                url: "u.html".into(),
+                target: HtmlTarget::Element(XPath::parse("/html/body/p[2]").unwrap()),
+            },
+            HtmlAddress {
+                url: "u.html".into(),
+                target: HtmlTarget::TextSpan {
+                    path: XPath::parse("/html/body/p").unwrap(),
+                    span: Span::new(3, 9),
+                },
+            },
+        ];
+        for addr in cases {
+            assert_eq!(HtmlAddress::from_fields(&addr.to_fields()).unwrap(), addr);
+        }
+        assert!(HtmlAddress::from_fields(&[("url".into(), "u".into())]).is_err());
+    }
+
+    #[test]
+    fn links_and_anchors_enumerate() {
+        let a = app();
+        let links = a.links("drugs/lasix.html").unwrap();
+        assert_eq!(links, vec![("potassium chloride".to_string(), "kcl.html".to_string())]);
+        let anchors = a.anchors("drugs/lasix.html").unwrap();
+        assert_eq!(anchors, vec!["dosing", "refs"]);
+        assert!(a.links("nope.html").is_err());
+    }
+
+    #[test]
+    fn close_clears_selection_and_pages() {
+        let mut a = app();
+        a.select_anchor("drugs/lasix.html", "dosing").unwrap();
+        a.close("drugs/lasix.html").unwrap();
+        assert!(matches!(a.current_selection(), Err(DocError::NoSelection)));
+        assert!(a.open_documents().is_empty());
+        assert!(matches!(a.close("drugs/lasix.html"), Err(DocError::NoSuchDocument { .. })));
+    }
+
+    #[test]
+    fn duplicate_load_rejected() {
+        let mut a = app();
+        assert!(matches!(a.load("drugs/lasix.html", "<p/>"), Err(DocError::AlreadyOpen { .. })));
+    }
+
+    #[test]
+    fn deeply_nested_unclosed_tags_terminate() {
+        let html: String = (0..50).map(|i| format!("<div id='d{i}'>")).collect();
+        let root = parse_html(&html);
+        let mut depth = 0;
+        let mut cur = &root;
+        while let Some(next) = cur.child("div") {
+            depth += 1;
+            cur = next;
+        }
+        assert_eq!(depth, 50);
+    }
+}

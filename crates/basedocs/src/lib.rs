@@ -1,0 +1,47 @@
+//! `basedocs` — simulated base-layer applications.
+//!
+//! The paper's base layer is proprietary desktop software (Excel, Word,
+//! PowerPoint, Acrobat, Internet Explorer) plus XML files. The SLIM
+//! architecture deliberately assumes almost nothing about these
+//! applications:
+//!
+//! > "we assume only that a base source can supply the **address of a
+//! > currently selected information element**, and that it can **return to
+//! > that element given the address**" (paper §1).
+//!
+//! This crate implements that base layer from scratch as six in-process
+//! document engines, each with a faithful *addressing scheme* matching the
+//! paper's mark types (Figure 8), a *selection model*, and the §6
+//! extension behaviours (*extract content*, *display in place*):
+//!
+//! | module        | stands in for      | address shape                         |
+//! |---------------|--------------------|---------------------------------------|
+//! | [`spreadsheet`] | Microsoft Excel  | file, sheet, A1 range                 |
+//! | [`xmldoc`]      | XML documents    | file, XPath-lite element path         |
+//! | [`textdoc`]     | Microsoft Word   | file, bookmark or paragraph/char span |
+//! | [`htmldoc`]     | HTML pages (IE)  | url, element path + text span / anchor|
+//! | [`pdfdoc`]      | Adobe PDF        | file, page, line/char span            |
+//! | [`slides`]      | PowerPoint       | file, slide, shape id                 |
+//!
+//! Every engine implements [`BaseApplication`], the narrow two-capability
+//! interface, so the mark layer (`marks` crate) can drive any of them
+//! uniformly — the property the paper credits for making the architecture
+//! "readily extensible".
+
+pub mod app;
+pub mod common;
+pub mod htmldoc;
+pub mod pdfdoc;
+pub mod slides;
+pub mod spreadsheet;
+pub mod textdoc;
+pub mod xmldoc;
+
+pub use app::BaseApplication;
+pub use common::{DocError, DocKind, Span};
+pub use htmldoc::{HtmlAddress, HtmlApp};
+pub use pdfdoc::{PdfAddress, PdfApp};
+pub use slides::{SlideAddress, SlidesApp};
+pub use spreadsheet::{CellRef, CellValue, Range, SpreadsheetAddress, SpreadsheetApp};
+pub use textdoc::{TextAddress, TextApp};
+pub use xmldoc::{XmlAddress, XmlApp};

@@ -1,0 +1,433 @@
+//! The paginated-document application: the Adobe PDF stand-in.
+//!
+//! A PDF, as the superimposed layer cares about it, is a sequence of
+//! *pages*, each a sequence of laid-out text *lines*. Addresses name a
+//! page plus a line range or a character span within a line — the "point
+//! and span marks" granularity the paper's related-work section discusses
+//! for annotation systems.
+//!
+//! Documents are built by *paginating* flowing text (fixed lines per
+//! page), the way a print driver would, so examples can pour realistic
+//! documents in without hand-building pages.
+
+use crate::app::{Address, BaseApplication};
+use crate::common::{DocError, DocKind, Span};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One page: laid-out lines of text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Page {
+    lines: Vec<String>,
+}
+
+impl Page {
+    /// The page's lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+}
+
+/// A paginated document.
+#[derive(Debug, Clone)]
+pub struct PdfDocument {
+    /// The document's file name.
+    pub name: String,
+    pages: Vec<Page>,
+}
+
+impl PdfDocument {
+    /// Paginate flowing text: wrap to `width` columns, `lines_per_page`
+    /// lines per page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `lines_per_page` is zero (construction bug).
+    pub fn paginate(name: impl Into<String>, text: &str, width: usize, lines_per_page: usize) -> Self {
+        assert!(width > 0 && lines_per_page > 0, "degenerate page geometry");
+        let mut lines: Vec<String> = Vec::new();
+        for para in text.split('\n') {
+            if para.trim().is_empty() {
+                lines.push(String::new());
+                continue;
+            }
+            let mut current = String::new();
+            for word in para.split_whitespace() {
+                let candidate_len = if current.is_empty() {
+                    word.chars().count()
+                } else {
+                    current.chars().count() + 1 + word.chars().count()
+                };
+                if candidate_len > width && !current.is_empty() {
+                    lines.push(std::mem::take(&mut current));
+                }
+                if !current.is_empty() {
+                    current.push(' ');
+                }
+                current.push_str(word);
+            }
+            if !current.is_empty() {
+                lines.push(current);
+            }
+        }
+        let pages = lines
+            .chunks(lines_per_page)
+            .map(|chunk| Page { lines: chunk.to_vec() })
+            .collect::<Vec<_>>();
+        let pages = if pages.is_empty() { vec![Page::default()] } else { pages };
+        PdfDocument { name: name.into(), pages }
+    }
+
+    /// The document's pages.
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Locate the first occurrence of `needle`, returning its address
+    /// within this document — the "find" dialog.
+    pub fn find(&self, needle: &str) -> Option<PdfAddress> {
+        for (p, page) in self.pages.iter().enumerate() {
+            for (l, line) in page.lines.iter().enumerate() {
+                if let Some(byte_at) = line.find(needle) {
+                    let start = line[..byte_at].chars().count();
+                    return Some(PdfAddress {
+                        file_name: self.name.clone(),
+                        page: p,
+                        line: l,
+                        span: Span::new(start, start + needle.chars().count()),
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The PDF mark address: file, zero-based page and line, character span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PdfAddress {
+    pub file_name: String,
+    pub page: usize,
+    pub line: usize,
+    pub span: Span,
+}
+
+impl fmt::Display for PdfAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#p{}l{}@{}", self.file_name, self.page + 1, self.line + 1, self.span)
+    }
+}
+
+impl Address for PdfAddress {
+    fn kind() -> DocKind {
+        DocKind::Pdf
+    }
+
+    fn to_fields(&self) -> Vec<(String, String)> {
+        vec![
+            ("fileName".into(), self.file_name.clone()),
+            ("page".into(), self.page.to_string()),
+            ("line".into(), self.line.to_string()),
+            ("span".into(), self.span.to_string()),
+        ]
+    }
+
+    fn from_fields(fields: &[(String, String)]) -> Result<Self, DocError> {
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| DocError::BadAddress { message: format!("missing field {k:?}") })
+        };
+        let parse_num = |k: &str| -> Result<usize, DocError> {
+            get(k)?
+                .parse()
+                .map_err(|_| DocError::BadAddress { message: format!("bad number in {k:?}") })
+        };
+        Ok(PdfAddress {
+            file_name: get("fileName")?.to_string(),
+            page: parse_num("page")?,
+            line: parse_num("line")?,
+            span: Span::parse(get("span")?)
+                .ok_or_else(|| DocError::BadAddress { message: "bad span".into() })?,
+        })
+    }
+
+    fn file_name(&self) -> &str {
+        &self.file_name
+    }
+}
+
+/// The simulated PDF reader.
+#[derive(Debug, Default)]
+pub struct PdfApp {
+    documents: BTreeMap<String, PdfDocument>,
+    selection: Option<PdfAddress>,
+}
+
+impl PdfApp {
+    /// An instance with no open documents.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a document.
+    pub fn open(&mut self, doc: PdfDocument) -> Result<(), DocError> {
+        if self.documents.contains_key(&doc.name) {
+            return Err(DocError::AlreadyOpen { name: doc.name.clone() });
+        }
+        self.documents.insert(doc.name.clone(), doc);
+        Ok(())
+    }
+
+    /// Close a document; clears the selection if it pointed there.
+    pub fn close(&mut self, name: &str) -> Result<PdfDocument, DocError> {
+        let doc = self
+            .documents
+            .remove(name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: name.to_string() })?;
+        if self.selection.as_ref().is_some_and(|s| s.file_name == name) {
+            self.selection = None;
+        }
+        Ok(doc)
+    }
+
+    /// Read access to an open document.
+    pub fn document(&self, name: &str) -> Result<&PdfDocument, DocError> {
+        self.documents
+            .get(name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: name.to_string() })
+    }
+
+    /// Find every occurrence of `needle` across all open documents.
+    pub fn find_all(&self, needle: &str) -> Vec<PdfAddress> {
+        let mut out = Vec::new();
+        if needle.is_empty() {
+            return out;
+        }
+        for (name, doc) in &self.documents {
+            for (p, page) in doc.pages().iter().enumerate() {
+                for (l, line) in page.lines().iter().enumerate() {
+                    let lower = line.to_lowercase();
+                    let needle_lower = needle.to_lowercase();
+                    let mut from = 0usize;
+                    while let Some(found) = lower[from..].find(&needle_lower) {
+                        let byte_at = from + found;
+                        let start = line[..byte_at].chars().count();
+                        out.push(PdfAddress {
+                            file_name: name.clone(),
+                            page: p,
+                            line: l,
+                            span: Span::new(start, start + needle.chars().count()),
+                        });
+                        from = byte_at + needle_lower.len().max(1);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// User action: select a span on a page line.
+    pub fn select(
+        &mut self,
+        file: &str,
+        page: usize,
+        line: usize,
+        span: Span,
+    ) -> Result<(), DocError> {
+        let addr = PdfAddress { file_name: file.to_string(), page, line, span };
+        self.line_for(&addr)?;
+        self.selection = Some(addr);
+        Ok(())
+    }
+
+    /// User action: find text and select its first occurrence.
+    pub fn select_found(&mut self, file: &str, needle: &str) -> Result<PdfAddress, DocError> {
+        let addr = self.document(file)?.find(needle).ok_or_else(|| DocError::BadAddress {
+            message: format!("{needle:?} not found in {file:?}"),
+        })?;
+        self.selection = Some(addr.clone());
+        Ok(addr)
+    }
+
+    fn line_for(&self, addr: &PdfAddress) -> Result<&str, DocError> {
+        let doc = self.document(&addr.file_name)?;
+        let page = doc.pages.get(addr.page).ok_or_else(|| DocError::Dangling {
+            message: format!("page {} out of range ({} pages)", addr.page, doc.pages.len()),
+        })?;
+        let line = page.lines.get(addr.line).ok_or_else(|| DocError::Dangling {
+            message: format!("line {} out of range on page {}", addr.line, addr.page),
+        })?;
+        if !addr.span.fits_within(line.chars().count()) {
+            return Err(DocError::Dangling {
+                message: format!("span {} exceeds line length", addr.span),
+            });
+        }
+        Ok(line)
+    }
+}
+
+impl BaseApplication for PdfApp {
+    type Addr = PdfAddress;
+
+    fn app_name(&self) -> &'static str {
+        "PDF Reader"
+    }
+
+    fn open_documents(&self) -> Vec<String> {
+        self.documents.keys().cloned().collect()
+    }
+
+    fn current_selection(&self) -> Result<PdfAddress, DocError> {
+        self.selection.clone().ok_or(DocError::NoSelection)
+    }
+
+    fn navigate_to(&mut self, addr: &PdfAddress) -> Result<(), DocError> {
+        self.line_for(addr)?;
+        self.selection = Some(addr.clone());
+        Ok(())
+    }
+
+    fn extract_content(&self, addr: &PdfAddress) -> Result<String, DocError> {
+        let line = self.line_for(addr)?;
+        addr.span.slice(line).ok_or_else(|| DocError::Dangling {
+            message: format!("span {} no longer fits", addr.span),
+        })
+    }
+
+    fn display_in_place(&self, addr: &PdfAddress) -> Result<String, DocError> {
+        let doc = self.document(&addr.file_name)?;
+        let _ = self.line_for(addr)?;
+        let page = &doc.pages[addr.page];
+        let mut out = format!(
+            "── {} — {} (page {} of {}) ──\n",
+            self.app_name(),
+            addr.file_name,
+            addr.page + 1,
+            doc.pages.len()
+        );
+        for (l, line) in page.lines.iter().enumerate() {
+            if l == addr.line {
+                let chars: Vec<char> = line.chars().collect();
+                let before: String = chars[..addr.span.start].iter().collect();
+                let inside: String = chars[addr.span.start..addr.span.end].iter().collect();
+                let after: String = chars[addr.span.end..].iter().collect();
+                out.push_str(&format!("{before}[{inside}]{after}\n"));
+            } else {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GUIDELINE: &str = "Management of acute decompensated heart failure begins with \
+assessment of volume status and perfusion. Loop diuretics such as furosemide remain \
+first-line therapy for congestion. Electrolytes, in particular potassium and magnesium, \
+must be monitored during aggressive diuresis, and renal function should be reassessed \
+at least daily while intravenous therapy continues.";
+
+    fn app() -> PdfApp {
+        let mut a = PdfApp::new();
+        a.open(PdfDocument::paginate("chf-guideline.pdf", GUIDELINE, 40, 4)).unwrap();
+        a
+    }
+
+    #[test]
+    fn pagination_wraps_and_chunks() {
+        let doc = PdfDocument::paginate("d.pdf", GUIDELINE, 40, 4);
+        assert!(doc.pages().len() > 1, "long text spans pages");
+        for page in doc.pages() {
+            assert!(page.lines().len() <= 4);
+            for line in page.lines() {
+                assert!(line.chars().count() <= 40, "line too long: {line:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pagination_of_empty_text_gives_one_empty_page() {
+        let doc = PdfDocument::paginate("e.pdf", "", 40, 10);
+        assert_eq!(doc.pages().len(), 1);
+    }
+
+    #[test]
+    fn long_word_overflows_rather_than_breaks() {
+        let doc = PdfDocument::paginate("w.pdf", "supercalifragilisticexpialidocious", 10, 5);
+        assert_eq!(doc.pages()[0].lines()[0], "supercalifragilisticexpialidocious");
+    }
+
+    #[test]
+    fn find_returns_selectable_address() {
+        let mut a = app();
+        let addr = a.select_found("chf-guideline.pdf", "furosemide").unwrap();
+        assert_eq!(a.extract_content(&addr).unwrap(), "furosemide");
+        assert_eq!(a.current_selection().unwrap(), addr);
+    }
+
+    #[test]
+    fn find_missing_text_errors() {
+        let mut a = app();
+        assert!(a.select_found("chf-guideline.pdf", "digoxin").is_err());
+    }
+
+    #[test]
+    fn manual_selection_validates_bounds() {
+        let mut a = app();
+        assert!(a.select("chf-guideline.pdf", 0, 0, Span::new(0, 5)).is_ok());
+        assert!(matches!(
+            a.select("chf-guideline.pdf", 99, 0, Span::new(0, 1)),
+            Err(DocError::Dangling { .. })
+        ));
+        assert!(matches!(
+            a.select("chf-guideline.pdf", 0, 0, Span::new(0, 999)),
+            Err(DocError::Dangling { .. })
+        ));
+    }
+
+    #[test]
+    fn display_in_place_shows_page_with_highlight() {
+        let mut a = app();
+        let addr = a.select_found("chf-guideline.pdf", "potassium").unwrap();
+        let view = a.display_in_place(&addr).unwrap();
+        assert!(view.contains("[potassium]"), "{view}");
+        assert!(view.contains(&format!("page {} of", addr.page + 1)), "{view}");
+    }
+
+    #[test]
+    fn address_fields_roundtrip() {
+        let addr = PdfAddress {
+            file_name: "g.pdf".into(),
+            page: 2,
+            line: 3,
+            span: Span::new(4, 14),
+        };
+        assert_eq!(PdfAddress::from_fields(&addr.to_fields()).unwrap(), addr);
+        assert!(PdfAddress::from_fields(&[("fileName".into(), "f".into())]).is_err());
+        let mut bad = addr.to_fields();
+        bad[1].1 = "x".into();
+        assert!(PdfAddress::from_fields(&bad).is_err());
+    }
+
+    #[test]
+    fn close_clears_selection() {
+        let mut a = app();
+        a.select_found("chf-guideline.pdf", "diuretics").unwrap();
+        a.close("chf-guideline.pdf").unwrap();
+        assert!(matches!(a.current_selection(), Err(DocError::NoSelection)));
+        assert!(a.open_documents().is_empty());
+    }
+
+    #[test]
+    fn display_uses_one_based_page_numbers() {
+        let addr = PdfAddress { file_name: "g.pdf".into(), page: 0, line: 0, span: Span::new(0, 1) };
+        assert_eq!(addr.to_string(), "g.pdf#p1l1@0..1");
+    }
+}

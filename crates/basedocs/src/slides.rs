@@ -1,0 +1,404 @@
+//! The presentation application: the PowerPoint stand-in.
+//!
+//! A deck is a sequence of slides; a slide holds shapes (title, body,
+//! text boxes, images) with stable per-slide shape identifiers. Marks
+//! address `(file, slide, shape)` — identifier-based addressing that, like
+//! Word bookmarks, survives reordering of other shapes.
+
+use crate::app::{Address, BaseApplication};
+use crate::common::{DocError, DocKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What a shape is, for rendering purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeKind {
+    Title,
+    Body,
+    TextBox,
+    Image,
+}
+
+impl ShapeKind {
+    /// Stable identifier for displays and persisted metadata.
+    pub fn id(self) -> &'static str {
+        match self {
+            ShapeKind::Title => "title",
+            ShapeKind::Body => "body",
+            ShapeKind::TextBox => "textbox",
+            ShapeKind::Image => "image",
+        }
+    }
+}
+
+/// A shape on a slide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shape {
+    /// Stable identifier, unique within its slide.
+    pub id: String,
+    pub kind: ShapeKind,
+    /// Text content (alt text for images).
+    pub text: String,
+}
+
+/// One slide: an ordered list of shapes.
+#[derive(Debug, Clone, Default)]
+pub struct Slide {
+    shapes: Vec<Shape>,
+}
+
+impl Slide {
+    /// An empty slide.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a shape; errors on duplicate ids within the slide.
+    pub fn add_shape(
+        &mut self,
+        id: impl Into<String>,
+        kind: ShapeKind,
+        text: impl Into<String>,
+    ) -> Result<(), DocError> {
+        let id = id.into();
+        if self.shapes.iter().any(|s| s.id == id) {
+            return Err(DocError::Content { message: format!("duplicate shape id {id:?}") });
+        }
+        self.shapes.push(Shape { id, kind, text: text.into() });
+        Ok(())
+    }
+
+    /// Shapes in z-order.
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// Find a shape by id.
+    pub fn shape(&self, id: &str) -> Option<&Shape> {
+        self.shapes.iter().find(|s| s.id == id)
+    }
+
+    /// The slide's title text, if it has a title shape.
+    pub fn title(&self) -> Option<&str> {
+        self.shapes.iter().find(|s| s.kind == ShapeKind::Title).map(|s| s.text.as_str())
+    }
+}
+
+/// A slide deck.
+#[derive(Debug, Clone)]
+pub struct SlideDeck {
+    /// The deck's file name.
+    pub name: String,
+    slides: Vec<Slide>,
+}
+
+impl SlideDeck {
+    /// An empty deck.
+    pub fn new(name: impl Into<String>) -> Self {
+        SlideDeck { name: name.into(), slides: Vec::new() }
+    }
+
+    /// Append a slide, returning its zero-based index.
+    pub fn add_slide(&mut self, slide: Slide) -> usize {
+        self.slides.push(slide);
+        self.slides.len() - 1
+    }
+
+    /// Convenience: append a title+bullets slide.
+    pub fn add_bullet_slide(&mut self, title: &str, bullets: &[&str]) -> usize {
+        let mut slide = Slide::new();
+        slide.add_shape("title", ShapeKind::Title, title).expect("fresh slide");
+        for (i, b) in bullets.iter().enumerate() {
+            slide.add_shape(format!("bullet{}", i + 1), ShapeKind::Body, *b).expect("unique ids");
+        }
+        self.add_slide(slide)
+    }
+
+    /// Slides in order.
+    pub fn slides(&self) -> &[Slide] {
+        &self.slides
+    }
+}
+
+/// The slide mark address: file, zero-based slide, shape id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlideAddress {
+    pub file_name: String,
+    pub slide: usize,
+    pub shape_id: String,
+}
+
+impl fmt::Display for SlideAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#slide{}/{}", self.file_name, self.slide + 1, self.shape_id)
+    }
+}
+
+impl Address for SlideAddress {
+    fn kind() -> DocKind {
+        DocKind::Slides
+    }
+
+    fn to_fields(&self) -> Vec<(String, String)> {
+        vec![
+            ("fileName".into(), self.file_name.clone()),
+            ("slide".into(), self.slide.to_string()),
+            ("shapeId".into(), self.shape_id.clone()),
+        ]
+    }
+
+    fn from_fields(fields: &[(String, String)]) -> Result<Self, DocError> {
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| DocError::BadAddress { message: format!("missing field {k:?}") })
+        };
+        Ok(SlideAddress {
+            file_name: get("fileName")?.to_string(),
+            slide: get("slide")?
+                .parse()
+                .map_err(|_| DocError::BadAddress { message: "bad slide number".into() })?,
+            shape_id: get("shapeId")?.to_string(),
+        })
+    }
+
+    fn file_name(&self) -> &str {
+        &self.file_name
+    }
+}
+
+/// The simulated presentation application.
+#[derive(Debug, Default)]
+pub struct SlidesApp {
+    decks: BTreeMap<String, SlideDeck>,
+    selection: Option<SlideAddress>,
+}
+
+impl SlidesApp {
+    /// An instance with no open decks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a deck.
+    pub fn open(&mut self, deck: SlideDeck) -> Result<(), DocError> {
+        if self.decks.contains_key(&deck.name) {
+            return Err(DocError::AlreadyOpen { name: deck.name.clone() });
+        }
+        self.decks.insert(deck.name.clone(), deck);
+        Ok(())
+    }
+
+    /// Close a deck; clears the selection if it pointed there.
+    pub fn close(&mut self, name: &str) -> Result<SlideDeck, DocError> {
+        let deck = self
+            .decks
+            .remove(name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: name.to_string() })?;
+        if self.selection.as_ref().is_some_and(|s| s.file_name == name) {
+            self.selection = None;
+        }
+        Ok(deck)
+    }
+
+    /// Read access to an open deck.
+    pub fn deck(&self, name: &str) -> Result<&SlideDeck, DocError> {
+        self.decks.get(name).ok_or_else(|| DocError::NoSuchDocument { name: name.to_string() })
+    }
+
+    /// Find every shape whose text contains `needle`
+    /// (case-insensitive), across all open decks.
+    pub fn find_text(&self, needle: &str) -> Vec<SlideAddress> {
+        let lower = needle.to_lowercase();
+        let mut out = Vec::new();
+        for (file, deck) in &self.decks {
+            for (s, slide) in deck.slides().iter().enumerate() {
+                for shape in slide.shapes() {
+                    if shape.text.to_lowercase().contains(&lower) {
+                        out.push(SlideAddress {
+                            file_name: file.clone(),
+                            slide: s,
+                            shape_id: shape.id.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// User action: click a shape.
+    pub fn select(&mut self, file: &str, slide: usize, shape_id: &str) -> Result<(), DocError> {
+        let addr =
+            SlideAddress { file_name: file.to_string(), slide, shape_id: shape_id.to_string() };
+        self.shape_for(&addr)?;
+        self.selection = Some(addr);
+        Ok(())
+    }
+
+    fn shape_for(&self, addr: &SlideAddress) -> Result<&Shape, DocError> {
+        let deck = self.deck(&addr.file_name)?;
+        let slide = deck.slides.get(addr.slide).ok_or_else(|| DocError::Dangling {
+            message: format!("slide {} out of range ({} slides)", addr.slide, deck.slides.len()),
+        })?;
+        slide.shape(&addr.shape_id).ok_or_else(|| DocError::Dangling {
+            message: format!("no shape {:?} on slide {}", addr.shape_id, addr.slide),
+        })
+    }
+}
+
+impl BaseApplication for SlidesApp {
+    type Addr = SlideAddress;
+
+    fn app_name(&self) -> &'static str {
+        "Presentation"
+    }
+
+    fn open_documents(&self) -> Vec<String> {
+        self.decks.keys().cloned().collect()
+    }
+
+    fn current_selection(&self) -> Result<SlideAddress, DocError> {
+        self.selection.clone().ok_or(DocError::NoSelection)
+    }
+
+    fn navigate_to(&mut self, addr: &SlideAddress) -> Result<(), DocError> {
+        self.shape_for(addr)?;
+        self.selection = Some(addr.clone());
+        Ok(())
+    }
+
+    fn extract_content(&self, addr: &SlideAddress) -> Result<String, DocError> {
+        Ok(self.shape_for(addr)?.text.clone())
+    }
+
+    fn display_in_place(&self, addr: &SlideAddress) -> Result<String, DocError> {
+        let deck = self.deck(&addr.file_name)?;
+        self.shape_for(addr)?;
+        let slide = &deck.slides[addr.slide];
+        let mut out = format!(
+            "── {} — {} (slide {} of {}) ──\n",
+            self.app_name(),
+            addr.file_name,
+            addr.slide + 1,
+            deck.slides.len()
+        );
+        for shape in slide.shapes() {
+            let marker = if shape.id == addr.shape_id { ">>" } else { "  " };
+            let body = match shape.kind {
+                ShapeKind::Title => format!("══ {} ══", shape.text),
+                ShapeKind::Body => format!("• {}", shape.text),
+                ShapeKind::TextBox => format!("[{}]", shape.text),
+                ShapeKind::Image => format!("(image: {})", shape.text),
+            };
+            out.push_str(&format!("{marker} {body}  «{}»\n", shape.id));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> SlidesApp {
+        let mut deck = SlideDeck::new("morbidity-conf.ppt");
+        deck.add_bullet_slide(
+            "Case: 61M CHF exacerbation",
+            &["Presented with dyspnea", "BNP 2400", "CXR: pulmonary edema"],
+        );
+        deck.add_bullet_slide("Hospital course", &["Diuresed 4L", "K+ repletion protocol"]);
+        let mut a = SlidesApp::new();
+        a.open(deck).unwrap();
+        a
+    }
+
+    #[test]
+    fn deck_and_slide_construction() {
+        let a = app();
+        let deck = a.deck("morbidity-conf.ppt").unwrap();
+        assert_eq!(deck.slides().len(), 2);
+        assert_eq!(deck.slides()[0].title(), Some("Case: 61M CHF exacerbation"));
+        assert_eq!(deck.slides()[0].shapes().len(), 4);
+    }
+
+    #[test]
+    fn duplicate_shape_ids_rejected() {
+        let mut slide = Slide::new();
+        slide.add_shape("x", ShapeKind::Body, "a").unwrap();
+        assert!(matches!(
+            slide.add_shape("x", ShapeKind::Body, "b"),
+            Err(DocError::Content { .. })
+        ));
+    }
+
+    #[test]
+    fn select_and_extract() {
+        let mut a = app();
+        a.select("morbidity-conf.ppt", 0, "bullet2").unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&addr).unwrap(), "BNP 2400");
+        assert_eq!(addr.to_string(), "morbidity-conf.ppt#slide1/bullet2");
+    }
+
+    #[test]
+    fn navigate_to_missing_targets() {
+        let mut a = app();
+        let mut addr = SlideAddress {
+            file_name: "morbidity-conf.ppt".into(),
+            slide: 5,
+            shape_id: "title".into(),
+        };
+        assert!(matches!(a.navigate_to(&addr), Err(DocError::Dangling { .. })));
+        addr.slide = 1;
+        addr.shape_id = "bullet9".into();
+        assert!(matches!(a.navigate_to(&addr), Err(DocError::Dangling { .. })));
+        addr.shape_id = "bullet1".into();
+        assert!(a.navigate_to(&addr).is_ok());
+    }
+
+    #[test]
+    fn display_in_place_marks_selected_shape() {
+        let a = app();
+        let addr = SlideAddress {
+            file_name: "morbidity-conf.ppt".into(),
+            slide: 1,
+            shape_id: "bullet1".into(),
+        };
+        let view = a.display_in_place(&addr).unwrap();
+        assert!(view.contains(">> • Diuresed 4L"), "{view}");
+        assert!(view.contains("slide 2 of 2"), "{view}");
+    }
+
+    #[test]
+    fn address_fields_roundtrip() {
+        let addr =
+            SlideAddress { file_name: "d.ppt".into(), slide: 3, shape_id: "chart1".into() };
+        assert_eq!(SlideAddress::from_fields(&addr.to_fields()).unwrap(), addr);
+        assert!(SlideAddress::from_fields(&[]).is_err());
+    }
+
+    #[test]
+    fn close_clears_selection() {
+        let mut a = app();
+        a.select("morbidity-conf.ppt", 0, "title").unwrap();
+        a.close("morbidity-conf.ppt").unwrap();
+        assert!(matches!(a.current_selection(), Err(DocError::NoSelection)));
+        assert!(a.open_documents().is_empty());
+    }
+
+    #[test]
+    fn shape_id_addressing_survives_shape_insertion() {
+        let mut a = SlidesApp::new();
+        let mut deck = SlideDeck::new("d.ppt");
+        let mut slide = Slide::new();
+        slide.add_shape("key-point", ShapeKind::TextBox, "the point").unwrap();
+        deck.add_slide(slide);
+        a.open(deck).unwrap();
+        let addr =
+            SlideAddress { file_name: "d.ppt".into(), slide: 0, shape_id: "key-point".into() };
+        assert_eq!(a.extract_content(&addr).unwrap(), "the point");
+    }
+}

@@ -1,0 +1,377 @@
+//! The spreadsheet application façade: open workbooks, selection, and the
+//! [`BaseApplication`] implementation.
+
+use super::cellref::Range;
+use super::workbook::Workbook;
+use crate::app::{Address, BaseApplication};
+use crate::common::{DocError, DocKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The Excel mark address, exactly as in paper Figure 8:
+/// `fileName`, `sheetName`, `range`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpreadsheetAddress {
+    pub file_name: String,
+    pub sheet_name: String,
+    pub range: Range,
+}
+
+impl fmt::Display for SpreadsheetAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}!{}!{}", self.file_name, self.sheet_name, self.range)
+    }
+}
+
+impl Address for SpreadsheetAddress {
+    fn kind() -> DocKind {
+        DocKind::Spreadsheet
+    }
+
+    fn to_fields(&self) -> Vec<(String, String)> {
+        vec![
+            ("fileName".into(), self.file_name.clone()),
+            ("sheetName".into(), self.sheet_name.clone()),
+            ("range".into(), self.range.to_string()),
+        ]
+    }
+
+    fn from_fields(fields: &[(String, String)]) -> Result<Self, DocError> {
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| DocError::BadAddress { message: format!("missing field {k:?}") })
+        };
+        Ok(SpreadsheetAddress {
+            file_name: get("fileName")?,
+            sheet_name: get("sheetName")?,
+            range: Range::parse(&get("range")?)?,
+        })
+    }
+
+    fn file_name(&self) -> &str {
+        &self.file_name
+    }
+}
+
+/// The simulated Excel: a set of open workbooks plus a selection.
+#[derive(Debug, Default)]
+pub struct SpreadsheetApp {
+    /// Open workbooks by file name (sorted map for deterministic listings).
+    workbooks: BTreeMap<String, Workbook>,
+    /// The current selection, if any.
+    selection: Option<SpreadsheetAddress>,
+}
+
+impl SpreadsheetApp {
+    /// An application instance with no open documents.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open (register) a workbook. Errors if one with the same file name
+    /// is already open.
+    pub fn open(&mut self, workbook: Workbook) -> Result<(), DocError> {
+        if self.workbooks.contains_key(&workbook.name) {
+            return Err(DocError::AlreadyOpen { name: workbook.name.clone() });
+        }
+        self.workbooks.insert(workbook.name.clone(), workbook);
+        Ok(())
+    }
+
+    /// Close a workbook; clears the selection if it pointed there.
+    pub fn close(&mut self, file_name: &str) -> Result<Workbook, DocError> {
+        let wb = self
+            .workbooks
+            .remove(file_name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: file_name.to_string() })?;
+        if self.selection.as_ref().is_some_and(|s| s.file_name == file_name) {
+            self.selection = None;
+        }
+        Ok(wb)
+    }
+
+    /// Read access to an open workbook.
+    pub fn workbook(&self, file_name: &str) -> Result<&Workbook, DocError> {
+        self.workbooks
+            .get(file_name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: file_name.to_string() })
+    }
+
+    /// Write access to an open workbook (the base application keeps
+    /// editing its own data, independent of the superimposed layer).
+    pub fn workbook_mut(&mut self, file_name: &str) -> Result<&mut Workbook, DocError> {
+        self.workbooks
+            .get_mut(file_name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: file_name.to_string() })
+    }
+
+    /// User action: select a range. This is what makes
+    /// [`BaseApplication::current_selection`] meaningful — the paper's
+    /// "address of a currently selected information element".
+    pub fn select(&mut self, file: &str, sheet: &str, range_text: &str) -> Result<(), DocError> {
+        let range = Range::parse(range_text)?;
+        let addr = SpreadsheetAddress {
+            file_name: file.to_string(),
+            sheet_name: sheet.to_string(),
+            range,
+        };
+        self.validate(&addr)?;
+        self.selection = Some(addr);
+        Ok(())
+    }
+
+    /// User action: select a workbook's defined name (robust addressing —
+    /// the range a name denotes can move without invalidating anything).
+    pub fn select_name(&mut self, file: &str, name: &str) -> Result<(), DocError> {
+        let wb = self.workbook(file)?;
+        let (sheet, range) = wb.resolve_name(name).ok_or_else(|| DocError::BadAddress {
+            message: format!("no defined name {name:?} in {file:?}"),
+        })?;
+        let addr = SpreadsheetAddress {
+            file_name: file.to_string(),
+            sheet_name: sheet.to_string(),
+            range,
+        };
+        self.selection = Some(addr);
+        Ok(())
+    }
+
+    /// Find every cell whose displayed value contains `needle`
+    /// (case-insensitive), across all open workbooks — the application's
+    /// find-all dialog. Results are in (file, sheet, row, col) order.
+    pub fn find_text(&self, needle: &str) -> Vec<SpreadsheetAddress> {
+        let lower = needle.to_lowercase();
+        let mut out = Vec::new();
+        for (file, wb) in &self.workbooks {
+            for sheet in wb.sheets() {
+                for (cell, _) in sheet.cells_snapshot() {
+                    if sheet.value(cell).to_string().to_lowercase().contains(&lower) {
+                        out.push(SpreadsheetAddress {
+                            file_name: file.clone(),
+                            sheet_name: sheet.name.clone(),
+                            range: Range::cell(cell),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Check an address against open documents without selecting it.
+    fn validate(&self, addr: &SpreadsheetAddress) -> Result<(), DocError> {
+        let wb = self.workbook(&addr.file_name)?;
+        wb.sheet(&addr.sheet_name).ok_or_else(|| DocError::Dangling {
+            message: format!("no sheet {:?} in {:?}", addr.sheet_name, addr.file_name),
+        })?;
+        Ok(())
+    }
+}
+
+impl BaseApplication for SpreadsheetApp {
+    type Addr = SpreadsheetAddress;
+
+    fn app_name(&self) -> &'static str {
+        "Spreadsheet"
+    }
+
+    fn open_documents(&self) -> Vec<String> {
+        self.workbooks.keys().cloned().collect()
+    }
+
+    fn current_selection(&self) -> Result<SpreadsheetAddress, DocError> {
+        self.selection.clone().ok_or(DocError::NoSelection)
+    }
+
+    fn navigate_to(&mut self, addr: &SpreadsheetAddress) -> Result<(), DocError> {
+        // "tell Microsoft Excel to open the file, activate the worksheet,
+        // and select the appropriate range" (paper §4.2).
+        self.validate(addr)?;
+        self.selection = Some(addr.clone());
+        Ok(())
+    }
+
+    fn extract_content(&self, addr: &SpreadsheetAddress) -> Result<String, DocError> {
+        let wb = self.workbook(&addr.file_name)?;
+        let sheet = wb.sheet(&addr.sheet_name).ok_or_else(|| DocError::Dangling {
+            message: format!("no sheet {:?} in {:?}", addr.sheet_name, addr.file_name),
+        })?;
+        // A row of values per range row, tab-separated — what a clipboard
+        // copy of the range would give.
+        let mut rows: Vec<String> = Vec::new();
+        for row in addr.range.start.row..=addr.range.end.row {
+            let mut cells = Vec::new();
+            for col in addr.range.start.col..=addr.range.end.col {
+                cells.push(sheet.value(super::CellRef::new(row, col)).to_string());
+            }
+            rows.push(cells.join("\t"));
+        }
+        Ok(rows.join("\n"))
+    }
+
+    fn display_in_place(&self, addr: &SpreadsheetAddress) -> Result<String, DocError> {
+        let wb = self.workbook(&addr.file_name)?;
+        let sheet = wb.sheet(&addr.sheet_name).ok_or_else(|| DocError::Dangling {
+            message: format!("no sheet {:?} in {:?}", addr.sheet_name, addr.file_name),
+        })?;
+        Ok(format!(
+            "── {} — {} [{}] ──\n{}",
+            self.app_name(),
+            addr.file_name,
+            addr.sheet_name,
+            sheet.render(Some(addr.range))
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app_with_meds() -> SpreadsheetApp {
+        let mut wb = Workbook::new("medications.xls");
+        let sheet = wb.sheet_mut("Sheet1").unwrap();
+        sheet.set_a1("A1", "Lasix").unwrap();
+        sheet.set_a1("B1", "40").unwrap();
+        sheet.set_a1("A2", "Captopril").unwrap();
+        sheet.set_a1("B2", "12.5").unwrap();
+        let mut app = SpreadsheetApp::new();
+        app.open(wb).unwrap();
+        app
+    }
+
+    #[test]
+    fn selection_then_current_selection() {
+        let mut app = app_with_meds();
+        assert!(matches!(app.current_selection(), Err(DocError::NoSelection)));
+        app.select("medications.xls", "Sheet1", "A1:B1").unwrap();
+        let addr = app.current_selection().unwrap();
+        assert_eq!(addr.to_string(), "medications.xls!Sheet1!A1:B1");
+    }
+
+    #[test]
+    fn navigate_to_sets_selection() {
+        let mut app = app_with_meds();
+        let addr = SpreadsheetAddress {
+            file_name: "medications.xls".into(),
+            sheet_name: "Sheet1".into(),
+            range: Range::parse("A2").unwrap(),
+        };
+        app.navigate_to(&addr).unwrap();
+        assert_eq!(app.current_selection().unwrap(), addr);
+    }
+
+    #[test]
+    fn navigate_to_missing_targets_fails() {
+        let mut app = app_with_meds();
+        let mut addr = SpreadsheetAddress {
+            file_name: "other.xls".into(),
+            sheet_name: "Sheet1".into(),
+            range: Range::parse("A1").unwrap(),
+        };
+        assert!(matches!(app.navigate_to(&addr), Err(DocError::NoSuchDocument { .. })));
+        addr.file_name = "medications.xls".into();
+        addr.sheet_name = "Missing".into();
+        assert!(matches!(app.navigate_to(&addr), Err(DocError::Dangling { .. })));
+    }
+
+    #[test]
+    fn extract_content_joins_rows_and_cols() {
+        let app = app_with_meds();
+        let addr = SpreadsheetAddress {
+            file_name: "medications.xls".into(),
+            sheet_name: "Sheet1".into(),
+            range: Range::parse("A1:B2").unwrap(),
+        };
+        assert_eq!(app.extract_content(&addr).unwrap(), "Lasix\t40\nCaptopril\t12.5");
+    }
+
+    #[test]
+    fn display_in_place_highlights() {
+        let app = app_with_meds();
+        let addr = SpreadsheetAddress {
+            file_name: "medications.xls".into(),
+            sheet_name: "Sheet1".into(),
+            range: Range::parse("B1").unwrap(),
+        };
+        let view = app.display_in_place(&addr).unwrap();
+        assert!(view.contains("[40]"), "{view}");
+        assert!(view.contains("medications.xls"), "{view}");
+    }
+
+    #[test]
+    fn address_fields_roundtrip_figure8_shape() {
+        let addr = SpreadsheetAddress {
+            file_name: "meds.xls".into(),
+            sheet_name: "Current".into(),
+            range: Range::parse("C3:D9").unwrap(),
+        };
+        let fields = addr.to_fields();
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["fileName", "sheetName", "range"], "Figure 8 field names");
+        assert_eq!(SpreadsheetAddress::from_fields(&fields).unwrap(), addr);
+    }
+
+    #[test]
+    fn from_fields_rejects_missing_and_bad() {
+        assert!(SpreadsheetAddress::from_fields(&[("fileName".into(), "f".into())]).is_err());
+        let bad = vec![
+            ("fileName".into(), "f".into()),
+            ("sheetName".into(), "s".into()),
+            ("range".into(), "not-a-range".into()),
+        ];
+        assert!(SpreadsheetAddress::from_fields(&bad).is_err());
+    }
+
+    #[test]
+    fn select_by_defined_name() {
+        let mut app = app_with_meds();
+        app.workbook_mut("medications.xls")
+            .unwrap()
+            .define_name("FirstMed", "Sheet1", Range::parse("A1:B1").unwrap())
+            .unwrap();
+        app.select_name("medications.xls", "FirstMed").unwrap();
+        assert_eq!(
+            app.current_selection().unwrap().to_string(),
+            "medications.xls!Sheet1!A1:B1"
+        );
+        assert!(matches!(
+            app.select_name("medications.xls", "Ghost"),
+            Err(DocError::BadAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn close_clears_matching_selection() {
+        let mut app = app_with_meds();
+        app.select("medications.xls", "Sheet1", "A1").unwrap();
+        app.close("medications.xls").unwrap();
+        assert!(matches!(app.current_selection(), Err(DocError::NoSelection)));
+        assert!(app.open_documents().is_empty());
+    }
+
+    #[test]
+    fn duplicate_open_rejected() {
+        let mut app = app_with_meds();
+        assert!(matches!(
+            app.open(Workbook::new("medications.xls")),
+            Err(DocError::AlreadyOpen { .. })
+        ));
+    }
+
+    #[test]
+    fn address_is_live_tracks_document_changes() {
+        let mut app = app_with_meds();
+        let addr = SpreadsheetAddress {
+            file_name: "medications.xls".into(),
+            sheet_name: "Sheet1".into(),
+            range: Range::parse("A1").unwrap(),
+        };
+        assert!(app.address_is_live(&addr));
+        app.close("medications.xls").unwrap();
+        assert!(!app.address_is_live(&addr));
+    }
+}

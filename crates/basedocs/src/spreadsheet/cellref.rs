@@ -1,0 +1,221 @@
+//! A1-style cell and range references.
+
+use crate::common::DocError;
+use std::fmt;
+
+/// A zero-based (row, column) cell coordinate, displayed in A1 notation
+/// (`A1` = row 0, col 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellRef {
+    pub row: u32,
+    pub col: u32,
+}
+
+impl CellRef {
+    /// Construct from zero-based row and column.
+    pub fn new(row: u32, col: u32) -> Self {
+        CellRef { row, col }
+    }
+
+    /// Parse A1 notation (`"B2"` → row 1, col 1). Case-insensitive.
+    pub fn parse(text: &str) -> Result<Self, DocError> {
+        let bad = |m: String| DocError::BadAddress { message: m };
+        let letters: String =
+            text.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+        let digits = &text[letters.len()..];
+        if letters.is_empty() || digits.is_empty() {
+            return Err(bad(format!("{text:?} is not an A1 cell reference")));
+        }
+        if !digits.chars().all(|c| c.is_ascii_digit()) {
+            return Err(bad(format!("{text:?} has a malformed row number")));
+        }
+        let col = parse_col_letters(&letters)
+            .ok_or_else(|| bad(format!("{text:?} has a malformed column")))?;
+        let row: u32 = digits
+            .parse()
+            .ok()
+            .filter(|&r| r >= 1)
+            .ok_or_else(|| bad(format!("{text:?}: rows are numbered from 1")))?;
+        Ok(CellRef { row: row - 1, col })
+    }
+
+    /// Column letters for this cell's column (`0` → `"A"`, `27` → `"AB"`).
+    pub fn col_letters(self) -> String {
+        col_to_letters(self.col)
+    }
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", col_to_letters(self.col), self.row + 1)
+    }
+}
+
+/// Convert a zero-based column index to letters (bijective base 26).
+fn col_to_letters(mut col: u32) -> String {
+    let mut letters = Vec::new();
+    loop {
+        letters.push(b'A' + (col % 26) as u8);
+        if col < 26 {
+            break;
+        }
+        col = col / 26 - 1;
+    }
+    letters.reverse();
+    String::from_utf8(letters).expect("ASCII letters")
+}
+
+/// Parse column letters to a zero-based index; `None` on overflow/empty.
+fn parse_col_letters(letters: &str) -> Option<u32> {
+    let mut col: u64 = 0;
+    for c in letters.chars() {
+        let d = (c.to_ascii_uppercase() as u8).checked_sub(b'A')? as u64;
+        if d >= 26 {
+            return None;
+        }
+        col = col * 26 + d + 1;
+        if col > u32::MAX as u64 {
+            return None;
+        }
+    }
+    col.checked_sub(1).map(|c| c as u32)
+}
+
+/// A rectangular, inclusive cell range. A single cell is a 1×1 range.
+///
+/// Displayed as `"B2"` when 1×1, else `"B2:D4"`; parsing accepts both and
+/// normalizes corner order (`"D4:B2"` parses to the same range as
+/// `"B2:D4"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Range {
+    /// Top-left corner (minimum row and column).
+    pub start: CellRef,
+    /// Bottom-right corner (maximum row and column), inclusive.
+    pub end: CellRef,
+}
+
+impl Range {
+    /// A range from any two corners; normalizes so `start` ≤ `end`.
+    pub fn new(a: CellRef, b: CellRef) -> Self {
+        Range {
+            start: CellRef::new(a.row.min(b.row), a.col.min(b.col)),
+            end: CellRef::new(a.row.max(b.row), a.col.max(b.col)),
+        }
+    }
+
+    /// The 1×1 range over a single cell.
+    pub fn cell(c: CellRef) -> Self {
+        Range { start: c, end: c }
+    }
+
+    /// Parse `"B2"` or `"B2:D4"`.
+    pub fn parse(text: &str) -> Result<Self, DocError> {
+        match text.split_once(':') {
+            Some((a, b)) => Ok(Range::new(CellRef::parse(a)?, CellRef::parse(b)?)),
+            None => Ok(Range::cell(CellRef::parse(text)?)),
+        }
+    }
+
+    /// True for 1×1 ranges.
+    pub fn is_single_cell(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Number of cells covered.
+    pub fn cell_count(self) -> u64 {
+        (self.end.row - self.start.row + 1) as u64 * (self.end.col - self.start.col + 1) as u64
+    }
+
+    /// True if the cell lies inside the range.
+    pub fn contains(self, c: CellRef) -> bool {
+        (self.start.row..=self.end.row).contains(&c.row)
+            && (self.start.col..=self.end.col).contains(&c.col)
+    }
+
+    /// Iterate cells in row-major order.
+    pub fn cells(self) -> impl Iterator<Item = CellRef> {
+        let (r0, r1, c0, c1) = (self.start.row, self.end.row, self.start.col, self.end.col);
+        (r0..=r1).flat_map(move |r| (c0..=c1).map(move |c| CellRef::new(r, c)))
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_single_cell() {
+            write!(f, "{}", self.start)
+        } else {
+            write!(f, "{}:{}", self.start, self.end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_parse_and_display() {
+        for (text, row, col) in
+            [("A1", 0, 0), ("B2", 1, 1), ("Z10", 9, 25), ("AA1", 0, 26), ("AB3", 2, 27), ("BA7", 6, 52)]
+        {
+            let c = CellRef::parse(text).unwrap();
+            assert_eq!((c.row, c.col), (row, col), "{text}");
+            assert_eq!(c.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(CellRef::parse("b2").unwrap(), CellRef::new(1, 1));
+        assert_eq!(CellRef::parse("aa10").unwrap(), CellRef::new(9, 26));
+    }
+
+    #[test]
+    fn bad_cell_refs_rejected() {
+        for bad in ["", "1A", "B", "7", "B0", "B-1", "B2x", "Ω3"] {
+            assert!(CellRef::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn column_letters_roundtrip_bijective_base26() {
+        for col in [0u32, 1, 25, 26, 27, 51, 52, 701, 702, 703, 18277] {
+            let letters = col_to_letters(col);
+            assert_eq!(parse_col_letters(&letters), Some(col), "col {col} → {letters}");
+        }
+        assert_eq!(col_to_letters(701), "ZZ");
+        assert_eq!(col_to_letters(702), "AAA");
+    }
+
+    #[test]
+    fn range_parse_single_and_rect() {
+        let r = Range::parse("B2").unwrap();
+        assert!(r.is_single_cell());
+        assert_eq!(r.cell_count(), 1);
+        let r = Range::parse("B2:D4").unwrap();
+        assert_eq!(r.cell_count(), 9);
+        assert_eq!(r.to_string(), "B2:D4");
+    }
+
+    #[test]
+    fn range_normalizes_corners() {
+        assert_eq!(Range::parse("D4:B2").unwrap(), Range::parse("B2:D4").unwrap());
+        assert_eq!(Range::parse("B4:D2").unwrap(), Range::parse("B2:D4").unwrap());
+    }
+
+    #[test]
+    fn range_contains_and_iterates_row_major() {
+        let r = Range::parse("B2:C3").unwrap();
+        assert!(r.contains(CellRef::parse("B2").unwrap()));
+        assert!(r.contains(CellRef::parse("C3").unwrap()));
+        assert!(!r.contains(CellRef::parse("A1").unwrap()));
+        assert!(!r.contains(CellRef::parse("D3").unwrap()));
+        let cells: Vec<String> = r.cells().map(|c| c.to_string()).collect();
+        assert_eq!(cells, vec!["B2", "C2", "B3", "C3"]);
+    }
+
+    #[test]
+    fn single_cell_display_has_no_colon() {
+        assert_eq!(Range::cell(CellRef::new(0, 0)).to_string(), "A1");
+    }
+}

@@ -1,0 +1,182 @@
+//! CSV import/export for sheets — how tabular documents actually arrive
+//! in a hospital IT landscape (exports from the pharmacy system, lab
+//! interface dumps). RFC-4180-style: quoted fields, doubled quotes,
+//! embedded commas and newlines.
+
+use super::cellref::CellRef;
+use super::workbook::Sheet;
+use crate::common::DocError;
+
+/// Parse CSV text into rows of fields.
+///
+/// Handles quoted fields (`"a, b"`), escaped quotes (`""`), embedded
+/// newlines inside quotes, and both `\n` and `\r\n` row separators. A
+/// trailing newline does not produce an empty final row.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, DocError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any_char = false;
+    while let Some(c) = chars.next() {
+        any_char = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if field.is_empty() {
+                    in_quotes = true;
+                } else {
+                    return Err(DocError::Content {
+                        message: format!("stray quote inside unquoted field (row {})", rows.len() + 1),
+                    });
+                }
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(DocError::Content { message: "unterminated quoted field".into() });
+    }
+    if any_char && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Quote a field if it needs it.
+fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl Sheet {
+    /// Fill the sheet from CSV text, starting at A1. Each CSV field goes
+    /// through the normal entry-bar classification (numbers become
+    /// numbers, `=`-prefixed fields become formulas).
+    pub fn import_csv(&mut self, text: &str) -> Result<(), DocError> {
+        for (r, row) in parse_csv(text)?.into_iter().enumerate() {
+            for (c, field) in row.into_iter().enumerate() {
+                self.set(CellRef::new(r as u32, c as u32), &field)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Export the used range as CSV (evaluated values, not formulas).
+    /// Empty sheets export as the empty string.
+    pub fn export_csv(&self) -> String {
+        let Some(used) = self.used_range() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for row in used.start.row..=used.end.row {
+            let mut fields = Vec::new();
+            for col in used.start.col..=used.end.col {
+                fields.push(escape_field(&self.value(CellRef::new(row, col)).to_string()));
+            }
+            out.push_str(&fields.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spreadsheet::CellValue;
+
+    #[test]
+    fn simple_grid() {
+        let rows = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_quotes_newlines() {
+        let rows = parse_csv("\"Lasix, IV\",\"say \"\"when\"\"\",\"two\nlines\"\n").unwrap();
+        assert_eq!(rows, vec![vec!["Lasix, IV", "say \"when\"", "two\nlines"]]);
+    }
+
+    #[test]
+    fn crlf_rows_and_no_trailing_newline() {
+        let rows = parse_csv("a,b\r\nc,d").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn empty_fields_and_rows() {
+        let rows = parse_csv("a,,c\n,,\n").unwrap();
+        assert_eq!(rows, vec![vec!["a", "", "c"], vec!["", "", ""]]);
+        assert!(parse_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_on_malformed_quoting() {
+        assert!(parse_csv("ab\"c,d\n").is_err());
+        assert!(parse_csv("\"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn import_classifies_and_computes() {
+        let mut sheet = Sheet::new("import");
+        sheet.import_csv("Drug,Dose\nLasix,40\nKCl,20\nTotal,=SUM(B2:B3)\n").unwrap();
+        assert_eq!(sheet.value(CellRef::parse("B2").unwrap()), CellValue::Number(40.0));
+        assert_eq!(sheet.value(CellRef::parse("B4").unwrap()), CellValue::Number(60.0));
+        assert_eq!(sheet.value(CellRef::parse("A1").unwrap()), CellValue::Text("Drug".into()));
+    }
+
+    #[test]
+    fn export_import_roundtrip_on_values() {
+        let mut sheet = Sheet::new("src");
+        sheet.import_csv("a,\"b,1\",3\nx,,\"q\"\"q\"\n").unwrap();
+        let csv = sheet.export_csv();
+        let mut back = Sheet::new("dst");
+        back.import_csv(&csv).unwrap();
+        assert_eq!(back.export_csv(), csv, "export→import→export is stable");
+    }
+
+    #[test]
+    fn export_evaluates_formulas() {
+        let mut sheet = Sheet::new("f");
+        sheet.import_csv("2,=A1*21\n").unwrap();
+        assert_eq!(sheet.export_csv(), "2,42\n");
+    }
+
+    #[test]
+    fn empty_sheet_exports_empty() {
+        assert_eq!(Sheet::new("e").export_csv(), "");
+    }
+}

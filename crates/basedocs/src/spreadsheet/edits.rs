@@ -1,0 +1,332 @@
+//! Structural sheet edits: row insertion and deletion with reference
+//! adjustment.
+//!
+//! These are the edits that make superimposed marks *interesting*: a
+//! mark stores an absolute `(file, sheet, range)` address, so inserting
+//! a row above the marked cell silently changes what the mark points at
+//! — the drift the paper's redundancy discussion warns about and the
+//! Mark Manager's audit detects. Inside the spreadsheet, formulas and
+//! named ranges adjust exactly as a real spreadsheet adjusts them;
+//! *marks, by design, do not* (the base application doesn't know about
+//! them — that is the architecture's entire point).
+
+use super::cellref::{CellRef, Range};
+use super::formula::{BinOp, Expr};
+use super::workbook::{Sheet, Workbook};
+use crate::common::DocError;
+
+/// How a row edit rewrites a row index.
+#[derive(Debug, Clone, Copy)]
+enum RowShift {
+    /// Rows at or below `at` move down by one.
+    Insert { at: u32 },
+    /// Row `at` disappears; rows below move up by one.
+    Delete { at: u32 },
+}
+
+impl RowShift {
+    /// The new row for `row`, or `None` if the row was deleted.
+    fn apply(self, row: u32) -> Option<u32> {
+        match self {
+            RowShift::Insert { at } if row >= at => Some(row + 1),
+            RowShift::Insert { .. } => Some(row),
+            RowShift::Delete { at } if row == at => None,
+            RowShift::Delete { at } if row > at => Some(row - 1),
+            RowShift::Delete { .. } => Some(row),
+        }
+    }
+
+    /// Rewrite a cell reference; deleted cells become `None` (`#REF!`).
+    fn apply_cell(self, cell: CellRef) -> Option<CellRef> {
+        self.apply(cell.row).map(|row| CellRef::new(row, cell.col))
+    }
+
+    /// Rewrite a range. A range loses the deleted row but survives
+    /// unless it was a single deleted row.
+    fn apply_range(self, range: Range) -> Option<Range> {
+        match self {
+            RowShift::Insert { .. } => Some(Range::new(
+                self.apply_cell(range.start).expect("insert never deletes"),
+                self.apply_cell(range.end).expect("insert never deletes"),
+            )),
+            RowShift::Delete { at } => {
+                let (s, e) = (range.start, range.end);
+                if s.row == e.row && s.row == at {
+                    return None;
+                }
+                let new_start = if s.row > at { s.row - 1 } else { s.row };
+                let new_end = if e.row >= at { e.row.max(1) - 1 } else { e.row };
+                Some(Range::new(
+                    CellRef::new(new_start, s.col),
+                    CellRef::new(new_end.max(new_start), e.col),
+                ))
+            }
+        }
+    }
+}
+
+/// Rewrite every cell/range reference in an expression. References to a
+/// deleted row become `#REF!`-producing markers (an unknown-name call,
+/// rendering the classic error on evaluation).
+fn rewrite_expr(expr: &Expr, shift: RowShift) -> Expr {
+    match expr {
+        Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) => expr.clone(),
+        Expr::Cell(c) => match shift.apply_cell(*c) {
+            Some(new) => Expr::Cell(new),
+            None => Expr::Call { name: "__REF_ERROR".into(), args: Vec::new() },
+        },
+        Expr::Range(r) => match shift.apply_range(*r) {
+            Some(new) => Expr::Range(new),
+            None => Expr::Call { name: "__REF_ERROR".into(), args: Vec::new() },
+        },
+        Expr::Unary { negate, expr } => {
+            Expr::Unary { negate: *negate, expr: Box::new(rewrite_expr(expr, shift)) }
+        }
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rewrite_expr(lhs, shift)),
+            rhs: Box::new(rewrite_expr(rhs, shift)),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| rewrite_expr(a, shift)).collect(),
+        },
+    }
+}
+
+/// Render a rewritten expression back to formula text (with `=`).
+fn expr_to_text(expr: &Expr) -> String {
+    fn go(expr: &Expr, out: &mut String) {
+        match expr {
+            Expr::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&n.to_string());
+                }
+            }
+            Expr::Text(t) => {
+                out.push('"');
+                out.push_str(&t.replace('"', "\"\""));
+                out.push('"');
+            }
+            Expr::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+            Expr::Cell(c) => out.push_str(&c.to_string()),
+            Expr::Range(r) => {
+                // Always emit the two-corner form so 1×1 ranges stay ranges.
+                out.push_str(&format!("{}:{}", r.start, r.end));
+            }
+            Expr::Unary { negate, expr } => {
+                if *negate {
+                    out.push('-');
+                }
+                out.push('(');
+                go(expr, out);
+                out.push(')');
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                out.push('(');
+                go(lhs, out);
+                out.push_str(match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Pow => "^",
+                    BinOp::Concat => "&",
+                    BinOp::Eq => "=",
+                    BinOp::Ne => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                });
+                go(rhs, out);
+                out.push(')');
+            }
+            Expr::Call { name, args } if name == "__REF_ERROR" => {
+                out.push_str("__REF_ERROR()");
+            }
+            Expr::Call { name, args } => {
+                out.push_str(name);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    go(a, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+    let mut out = String::from("=");
+    go(expr, &mut out);
+    out
+}
+
+impl Sheet {
+    fn shift_rows(&mut self, shift: RowShift) {
+        let entries: Vec<(CellRef, String)> = self
+            .cells_snapshot()
+            .into_iter()
+            .collect();
+        for (cell, _) in &entries {
+            self.clear(*cell);
+        }
+        for (cell, input) in entries {
+            let Some(new_cell) = shift.apply_cell(cell) else {
+                continue; // row deleted
+            };
+            let new_input = match input.strip_prefix('=') {
+                Some(body) => match super::formula::parse(body) {
+                    Ok(expr) => expr_to_text(&rewrite_expr(&expr, shift)),
+                    Err(_) => input.clone(),
+                },
+                None => input,
+            };
+            self.set(new_cell, &new_input).expect("rewritten formulas reparse");
+        }
+    }
+
+    /// Insert an empty row before zero-based row `at`. Cells at and below
+    /// move down; formula references adjust.
+    pub fn insert_row(&mut self, at: u32) {
+        self.shift_rows(RowShift::Insert { at });
+    }
+
+    /// Delete zero-based row `at`. Cells below move up; formula
+    /// references to the deleted row become `#NAME?`-style errors
+    /// (spreadsheet `#REF!`).
+    pub fn delete_row(&mut self, at: u32) {
+        self.shift_rows(RowShift::Delete { at });
+    }
+}
+
+impl Workbook {
+    /// Insert a row in a sheet, moving named-range definitions with it
+    /// (names follow their data, like real spreadsheets).
+    pub fn insert_row(&mut self, sheet: &str, at: u32) -> Result<(), DocError> {
+        self.sheet_mut(sheet)
+            .ok_or_else(|| DocError::Dangling { message: format!("no sheet {sheet:?}") })?
+            .insert_row(at);
+        self.shift_names(sheet, RowShift::Insert { at });
+        Ok(())
+    }
+
+    /// Delete a row in a sheet, adjusting named ranges; a name denoting
+    /// exactly the deleted row is removed.
+    pub fn delete_row(&mut self, sheet: &str, at: u32) -> Result<(), DocError> {
+        self.sheet_mut(sheet)
+            .ok_or_else(|| DocError::Dangling { message: format!("no sheet {sheet:?}") })?
+            .delete_row(at);
+        self.shift_names(sheet, RowShift::Delete { at });
+        Ok(())
+    }
+
+    fn shift_names(&mut self, sheet: &str, shift: RowShift) {
+        let updates: Vec<(String, Option<Range>)> = self
+            .named_ranges_snapshot()
+            .into_iter()
+            .filter(|(_, (s, _))| s == sheet)
+            .map(|(name, (_, range))| (name, shift.apply_range(range)))
+            .collect();
+        for (name, new_range) in updates {
+            match new_range {
+                Some(range) => {
+                    let _ = self.define_name(name, sheet, range);
+                }
+                None => self.remove_name(&name),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spreadsheet::CellValue;
+
+    fn med_sheet() -> Sheet {
+        let mut s = Sheet::new("Meds");
+        s.import_csv("Drug,Dose\nLasix,40\nKCl,20\nTotal,=SUM(B2:B3)\n").unwrap();
+        s
+    }
+
+    #[test]
+    fn insert_row_shifts_cells_and_formulas() {
+        let mut s = med_sheet();
+        s.insert_row(1); // new blank row above "Lasix"
+        assert_eq!(s.value(CellRef::parse("A3").unwrap()), CellValue::Text("Lasix".into()));
+        assert_eq!(s.value(CellRef::parse("A2").unwrap()), CellValue::Empty);
+        // The total formula followed its operands.
+        assert_eq!(s.value(CellRef::parse("B5").unwrap()), CellValue::Number(60.0));
+        assert!(s.input_of(CellRef::parse("B5").unwrap()).contains("B3:B4"));
+    }
+
+    #[test]
+    fn insert_inside_a_range_grows_it() {
+        let mut s = med_sheet();
+        s.insert_row(2); // between the two medication rows
+        s.set_a1("B3", "10").unwrap();
+        assert_eq!(
+            s.value(CellRef::parse("B5").unwrap()),
+            CellValue::Number(70.0),
+            "the SUM range grew to cover the inserted row"
+        );
+    }
+
+    #[test]
+    fn delete_row_shifts_up_and_shrinks_ranges() {
+        let mut s = med_sheet();
+        s.delete_row(1); // remove the Lasix row
+        assert_eq!(s.value(CellRef::parse("A2").unwrap()), CellValue::Text("KCl".into()));
+        assert_eq!(
+            s.value(CellRef::parse("B3").unwrap()),
+            CellValue::Number(20.0),
+            "total recomputed over the shrunken range"
+        );
+    }
+
+    #[test]
+    fn deleting_a_directly_referenced_row_yields_an_error_value() {
+        let mut s = Sheet::new("S");
+        s.set_a1("A1", "10").unwrap();
+        s.set_a1("A2", "=A1*2").unwrap();
+        s.delete_row(0);
+        let v = s.value(CellRef::parse("A1").unwrap());
+        assert_eq!(v, CellValue::Error("#NAME?".into()), "reference to deleted row errors");
+    }
+
+    #[test]
+    fn named_ranges_follow_row_edits() {
+        let mut wb = Workbook::new("meds.xls");
+        wb.sheet_mut("Sheet1").unwrap().import_csv("h\nLasix\nKCl\n").unwrap();
+        wb.define_name("Meds", "Sheet1", Range::parse("A2:A3").unwrap()).unwrap();
+        wb.insert_row("Sheet1", 0).unwrap();
+        assert_eq!(wb.resolve_name("Meds").unwrap().1, Range::parse("A3:A4").unwrap());
+        wb.delete_row("Sheet1", 0).unwrap();
+        assert_eq!(wb.resolve_name("Meds").unwrap().1, Range::parse("A2:A3").unwrap());
+    }
+
+    #[test]
+    fn name_on_exactly_deleted_row_is_removed() {
+        let mut wb = Workbook::new("x.xls");
+        wb.sheet_mut("Sheet1").unwrap().set_a1("A3", "v").unwrap();
+        wb.define_name("TheRow", "Sheet1", Range::parse("A3:C3").unwrap()).unwrap();
+        wb.delete_row("Sheet1", 2).unwrap();
+        assert_eq!(wb.resolve_name("TheRow"), None);
+    }
+
+    #[test]
+    fn expr_to_text_roundtrips_through_parser() {
+        for formula in ["=SUM(B2:B9)*2", "=IF(A1>0,\"yes\",\"no\")", "=-A1+3.5", "=1&\"x\""] {
+            let expr = super::super::formula::parse(formula.strip_prefix('=').unwrap()).unwrap();
+            let text = expr_to_text(&expr);
+            let reparsed = super::super::formula::parse(text.strip_prefix('=').unwrap()).unwrap();
+            // Semantic equality: both evaluate identically on an empty sheet.
+            use super::super::formula::{eval, EmptyResolver};
+            assert_eq!(eval(&expr, &EmptyResolver), eval(&reparsed, &EmptyResolver), "{formula}");
+        }
+    }
+}

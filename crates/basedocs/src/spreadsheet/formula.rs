@@ -1,0 +1,851 @@
+//! The formula language: parsing and evaluation of `=SUM(B2:B9)*2`-style
+//! cell formulas.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! compare := concat ( ('=' | '<>' | '<' | '<=' | '>' | '>=') concat )*
+//! concat  := addsub ( '&' addsub )*
+//! addsub  := muldiv ( ('+' | '-') muldiv )*
+//! muldiv  := power  ( ('*' | '/') power )*
+//! power   := unary  ( '^' power )?            // right-associative
+//! unary   := ('-' | '+')* primary
+//! primary := number | string | TRUE | FALSE | range | cell
+//!          | name '(' args ')' | '(' compare ')'
+//! ```
+//!
+//! Evaluation is pull-based: the evaluator asks a [`CellResolver`] for
+//! referenced cell values, and the workbook's resolver (see
+//! `workbook.rs`) recursively evaluates referenced formulas with cycle
+//! detection, reporting `#CYCLE!` exactly as a real spreadsheet flags
+//! circular references.
+
+use super::cellref::{CellRef, Range};
+use super::value::CellValue;
+use crate::common::DocError;
+
+/// A parsed formula expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Number(f64),
+    Text(String),
+    Bool(bool),
+    Cell(CellRef),
+    Range(Range),
+    Unary { negate: bool, expr: Box<Expr> },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Call { name: String, args: Vec<Expr> },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Concat,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Supplies cell values to the evaluator.
+pub trait CellResolver {
+    /// The evaluated value of a cell (recursively evaluating formulas).
+    fn cell_value(&self, cell: CellRef) -> CellValue;
+}
+
+/// Every cell empty: the resolver for standalone expression tests.
+pub struct EmptyResolver;
+
+impl CellResolver for EmptyResolver {
+    fn cell_value(&self, _cell: CellRef) -> CellValue {
+        CellValue::Empty
+    }
+}
+
+/// Parse formula text (without the leading `=`).
+pub fn parse(text: &str) -> Result<Expr, DocError> {
+    let mut p = Parser { text, pos: 0 };
+    let expr = p.compare()?;
+    p.skip_ws();
+    if p.pos != p.text.len() {
+        return Err(p.error(format!("unexpected trailing input {:?}", &p.text[p.pos..])));
+    }
+    Ok(expr)
+}
+
+/// Evaluate a parsed expression against a resolver.
+pub fn eval(expr: &Expr, cells: &dyn CellResolver) -> CellValue {
+    match expr {
+        Expr::Number(n) => CellValue::Number(*n),
+        Expr::Text(s) => CellValue::Text(s.clone()),
+        Expr::Bool(b) => CellValue::Bool(*b),
+        Expr::Cell(c) => cells.cell_value(*c),
+        Expr::Range(_) => CellValue::Error("#VALUE!".into()),
+        Expr::Unary { negate, expr } => {
+            let v = eval(expr, cells);
+            if !negate {
+                return v;
+            }
+            match v.as_number() {
+                Ok(n) => CellValue::Number(-n),
+                Err(e) => e,
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, cells),
+        Expr::Call { name, args } => eval_call(name, args, cells),
+    }
+}
+
+/// Parse and evaluate in one step.
+pub fn evaluate(text: &str, cells: &dyn CellResolver) -> Result<CellValue, DocError> {
+    Ok(eval(&parse(text)?, cells))
+}
+
+fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, cells: &dyn CellResolver) -> CellValue {
+    let l = eval(lhs, cells);
+    let r = eval(rhs, cells);
+    if let CellValue::Error(_) = l {
+        return l;
+    }
+    if let CellValue::Error(_) = r {
+        return r;
+    }
+    match op {
+        BinOp::Concat => CellValue::Text(format!("{l}{r}")),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            compare(op, &l, &r)
+        }
+        _ => {
+            let (a, b) = match (l.as_number(), r.as_number()) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            match op {
+                BinOp::Add => CellValue::Number(a + b),
+                BinOp::Sub => CellValue::Number(a - b),
+                BinOp::Mul => CellValue::Number(a * b),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        CellValue::Error("#DIV/0!".into())
+                    } else {
+                        CellValue::Number(a / b)
+                    }
+                }
+                BinOp::Pow => CellValue::Number(a.powf(b)),
+                _ => unreachable!("comparison handled above"),
+            }
+        }
+    }
+}
+
+fn compare(op: BinOp, l: &CellValue, r: &CellValue) -> CellValue {
+    // Numbers compare numerically when both coerce; otherwise fall back to
+    // case-insensitive text comparison, like spreadsheets do.
+    let ordering = match (l.as_number(), r.as_number()) {
+        (Ok(a), Ok(b)) => a.partial_cmp(&b),
+        _ => Some(
+            l.to_string().to_ascii_lowercase().cmp(&r.to_string().to_ascii_lowercase()),
+        ),
+    };
+    let Some(ord) = ordering else {
+        return CellValue::Error("#VALUE!".into());
+    };
+    let b = match op {
+        BinOp::Eq => ord.is_eq(),
+        BinOp::Ne => ord.is_ne(),
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        _ => unreachable!(),
+    };
+    CellValue::Bool(b)
+}
+
+/// Flatten arguments into scalar values: ranges expand to their cells.
+fn flatten_args(args: &[Expr], cells: &dyn CellResolver) -> Result<Vec<CellValue>, CellValue> {
+    let mut out = Vec::new();
+    for a in args {
+        match a {
+            Expr::Range(r) => {
+                for c in r.cells() {
+                    out.push(cells.cell_value(c));
+                }
+            }
+            other => out.push(eval(other, cells)),
+        }
+    }
+    for v in &out {
+        if let CellValue::Error(_) = v {
+            return Err(v.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Numeric arguments only (empty cells and non-numeric text in ranges are
+/// skipped, matching SUM/AVERAGE semantics).
+fn numeric_args(args: &[Expr], cells: &dyn CellResolver) -> Result<Vec<f64>, CellValue> {
+    let vals = flatten_args(args, cells)?;
+    Ok(vals
+        .iter()
+        .filter_map(|v| match v {
+            CellValue::Number(n) => Some(*n),
+            CellValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        })
+        .collect())
+}
+
+fn eval_call(name: &str, args: &[Expr], cells: &dyn CellResolver) -> CellValue {
+    let upper = name.to_ascii_uppercase();
+    let arity_error = || CellValue::Error("#VALUE!".into());
+    match upper.as_str() {
+        "SUM" => match numeric_args(args, cells) {
+            Ok(ns) => CellValue::Number(ns.iter().sum()),
+            Err(e) => e,
+        },
+        "AVERAGE" | "AVG" => match numeric_args(args, cells) {
+            Ok(ns) if ns.is_empty() => CellValue::Error("#DIV/0!".into()),
+            Ok(ns) => CellValue::Number(ns.iter().sum::<f64>() / ns.len() as f64),
+            Err(e) => e,
+        },
+        "MIN" => match numeric_args(args, cells) {
+            Ok(ns) => CellValue::Number(ns.iter().copied().fold(f64::INFINITY, f64::min)),
+            Err(e) => e,
+        }
+        .map_empty_to_zero(),
+        "MAX" => match numeric_args(args, cells) {
+            Ok(ns) => CellValue::Number(ns.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            Err(e) => e,
+        }
+        .map_empty_to_zero(),
+        "COUNT" => match numeric_args(args, cells) {
+            Ok(ns) => CellValue::Number(ns.len() as f64),
+            Err(e) => e,
+        },
+        "COUNTA" => match flatten_args(args, cells) {
+            Ok(vs) => CellValue::Number(
+                vs.iter().filter(|v| !matches!(v, CellValue::Empty)).count() as f64,
+            ),
+            Err(e) => e,
+        },
+        "MEDIAN" => match numeric_args(args, cells) {
+            Ok(ns) if ns.is_empty() => CellValue::Error("#NUM!".into()),
+            Ok(mut ns) => {
+                ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN from cell values"));
+                let mid = ns.len() / 2;
+                let median =
+                    if ns.len() % 2 == 0 { (ns[mid - 1] + ns[mid]) / 2.0 } else { ns[mid] };
+                CellValue::Number(median)
+            }
+            Err(e) => e,
+        },
+        "STDEV" => match numeric_args(args, cells) {
+            // Sample standard deviation (n-1), like the spreadsheet STDEV.
+            Ok(ns) if ns.len() < 2 => CellValue::Error("#DIV/0!".into()),
+            Ok(ns) => {
+                let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+                let var =
+                    ns.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (ns.len() - 1) as f64;
+                CellValue::Number(var.sqrt())
+            }
+            Err(e) => e,
+        },
+        "COUNTIF" | "SUMIF" => {
+            // (range, criterion): criterion is a value to equal, or a
+            // ">n"/"<n"/">=n"/"<=n"/"<>n" comparison string.
+            let [range_arg, criterion_arg] = args else {
+                return arity_error();
+            };
+            let values = match flatten_args(std::slice::from_ref(range_arg), cells) {
+                Ok(v) => v,
+                Err(e) => return e,
+            };
+            let criterion = eval(criterion_arg, cells);
+            if let CellValue::Error(_) = criterion {
+                return criterion;
+            }
+            let matches: Vec<&CellValue> =
+                values.iter().filter(|v| criterion_matches(v, &criterion)).collect();
+            if upper == "COUNTIF" {
+                CellValue::Number(matches.len() as f64)
+            } else {
+                CellValue::Number(
+                    matches
+                        .iter()
+                        .filter_map(|v| v.as_number().ok())
+                        .sum(),
+                )
+            }
+        }
+        "ABS" | "SQRT" | "ROUND" | "NOT" | "LEN" => {
+            let vals = match flatten_args(args, cells) {
+                Ok(v) => v,
+                Err(e) => return e,
+            };
+            match (upper.as_str(), vals.as_slice()) {
+                ("ABS", [v]) => v.as_number().map(|n| CellValue::Number(n.abs())).unwrap_or_else(|e| e),
+                ("SQRT", [v]) => v
+                    .as_number()
+                    .map(|n| {
+                        if n < 0.0 {
+                            CellValue::Error("#NUM!".into())
+                        } else {
+                            CellValue::Number(n.sqrt())
+                        }
+                    })
+                    .unwrap_or_else(|e| e),
+                ("ROUND", [v]) => {
+                    v.as_number().map(|n| CellValue::Number(n.round())).unwrap_or_else(|e| e)
+                }
+                ("ROUND", [v, digits]) => match (v.as_number(), digits.as_number()) {
+                    (Ok(n), Ok(d)) => {
+                        let scale = 10f64.powi(d as i32);
+                        CellValue::Number((n * scale).round() / scale)
+                    }
+                    (Err(e), _) | (_, Err(e)) => e,
+                },
+                ("NOT", [v]) => CellValue::Bool(!v.is_truthy()),
+                ("LEN", [v]) => CellValue::Number(v.to_string().chars().count() as f64),
+                _ => arity_error(),
+            }
+        }
+        "IF" => match args {
+            [cond, then_e] => {
+                if eval(cond, cells).is_truthy() {
+                    eval(then_e, cells)
+                } else {
+                    CellValue::Bool(false)
+                }
+            }
+            [cond, then_e, else_e] => {
+                let c = eval(cond, cells);
+                if let CellValue::Error(_) = c {
+                    return c;
+                }
+                if c.is_truthy() {
+                    eval(then_e, cells)
+                } else {
+                    eval(else_e, cells)
+                }
+            }
+            _ => arity_error(),
+        },
+        "AND" => match flatten_args(args, cells) {
+            Ok(vs) => CellValue::Bool(vs.iter().all(CellValue::is_truthy)),
+            Err(e) => e,
+        },
+        "OR" => match flatten_args(args, cells) {
+            Ok(vs) => CellValue::Bool(vs.iter().any(CellValue::is_truthy)),
+            Err(e) => e,
+        },
+        "CONCAT" | "CONCATENATE" => match flatten_args(args, cells) {
+            Ok(vs) => CellValue::Text(vs.iter().map(|v| v.to_string()).collect()),
+            Err(e) => e,
+        },
+        _ => CellValue::Error("#NAME?".into()),
+    }
+}
+
+/// COUNTIF/SUMIF criterion matching: a `">n"`-style comparison string or
+/// a direct equality value (numbers numerically, text case-insensitively).
+fn criterion_matches(value: &CellValue, criterion: &CellValue) -> bool {
+    if let CellValue::Text(t) = criterion {
+        for (prefix, test) in [
+            (">=", std::cmp::Ordering::Less), // value >= n ⇔ !(value < n)
+            ("<=", std::cmp::Ordering::Greater),
+            ("<>", std::cmp::Ordering::Equal),
+            (">", std::cmp::Ordering::Greater),
+            ("<", std::cmp::Ordering::Less),
+        ] {
+            if let Some(num_text) = t.strip_prefix(prefix) {
+                let (Ok(v), Ok(n)) =
+                    (value.as_number(), num_text.trim().parse::<f64>().map_err(|_| ()))
+                else {
+                    return false;
+                };
+                let Some(ord) = v.partial_cmp(&n) else { return false };
+                return match prefix {
+                    ">=" => ord != test,
+                    "<=" => ord != test,
+                    "<>" => ord != test,
+                    ">" | "<" => ord == test,
+                    _ => unreachable!(),
+                };
+            }
+        }
+    }
+    match (value.as_number(), criterion.as_number()) {
+        (Ok(a), Ok(b)) => a == b,
+        _ => value.to_string().eq_ignore_ascii_case(&criterion.to_string()),
+    }
+}
+
+/// MIN/MAX of an empty set is 0 in classic spreadsheet semantics.
+trait MapEmpty {
+    fn map_empty_to_zero(self) -> CellValue;
+}
+
+impl MapEmpty for CellValue {
+    fn map_empty_to_zero(self) -> CellValue {
+        match self {
+            CellValue::Number(n) if n.is_infinite() => CellValue::Number(0.0),
+            other => other,
+        }
+    }
+}
+
+// ---- parser ---------------------------------------------------------------
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: String) -> DocError {
+        DocError::Content { message: format!("formula error at byte {}: {message}", self.pos) }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn compare(&mut self) -> Result<Expr, DocError> {
+        let mut lhs = self.concat()?;
+        loop {
+            // Order matters: two-character operators first.
+            let op = if self.eat("<>") {
+                BinOp::Ne
+            } else if self.eat("<=") {
+                BinOp::Le
+            } else if self.eat(">=") {
+                BinOp::Ge
+            } else if self.eat("=") {
+                BinOp::Eq
+            } else if self.eat("<") {
+                BinOp::Lt
+            } else if self.eat(">") {
+                BinOp::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.concat()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn concat(&mut self) -> Result<Expr, DocError> {
+        let mut lhs = self.addsub()?;
+        while self.eat("&") {
+            let rhs = self.addsub()?;
+            lhs = Expr::Binary { op: BinOp::Concat, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn addsub(&mut self) -> Result<Expr, DocError> {
+        let mut lhs = self.muldiv()?;
+        loop {
+            let op = if self.eat("+") {
+                BinOp::Add
+            } else if self.eat("-") {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.muldiv()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn muldiv(&mut self) -> Result<Expr, DocError> {
+        let mut lhs = self.power()?;
+        loop {
+            let op = if self.eat("*") {
+                BinOp::Mul
+            } else if self.eat("/") {
+                BinOp::Div
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.power()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn power(&mut self) -> Result<Expr, DocError> {
+        let base = self.unary()?;
+        if self.eat("^") {
+            let exp = self.power()?; // right-associative
+            return Ok(Expr::Binary { op: BinOp::Pow, lhs: Box::new(base), rhs: Box::new(exp) });
+        }
+        Ok(base)
+    }
+
+    fn unary(&mut self) -> Result<Expr, DocError> {
+        let mut negate = false;
+        loop {
+            if self.eat("-") {
+                negate = !negate;
+            } else if self.eat("+") {
+                // no-op sign
+            } else {
+                break;
+            }
+        }
+        let primary = self.primary()?;
+        if negate {
+            Ok(Expr::Unary { negate: true, expr: Box::new(primary) })
+        } else {
+            Ok(primary)
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, DocError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let Some(first) = rest.chars().next() else {
+            return Err(self.error("unexpected end of formula".into()));
+        };
+        if first == '(' {
+            self.pos += 1;
+            let inner = self.compare()?;
+            if !self.eat(")") {
+                return Err(self.error("missing ')'".into()));
+            }
+            return Ok(inner);
+        }
+        if first == '"' {
+            return self.string_literal();
+        }
+        if first.is_ascii_digit() || first == '.' {
+            return self.number();
+        }
+        if first.is_ascii_alphabetic() || first == '_' {
+            return self.name_or_ref();
+        }
+        Err(self.error(format!("unexpected character {first:?}")))
+    }
+
+    fn string_literal(&mut self) -> Result<Expr, DocError> {
+        debug_assert!(self.rest().starts_with('"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let rest = self.rest();
+            let Some(c) = rest.chars().next() else {
+                return Err(self.error("unterminated string literal".into()));
+            };
+            self.pos += c.len_utf8();
+            if c == '"' {
+                // Doubled quote is an escaped quote, per spreadsheet rules.
+                if self.rest().starts_with('"') {
+                    self.pos += 1;
+                    out.push('"');
+                    continue;
+                }
+                return Ok(Expr::Text(out));
+            }
+            out.push(c);
+        }
+    }
+
+    fn number(&mut self) -> Result<Expr, DocError> {
+        let start = self.pos;
+        let mut seen_dot = false;
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else if c == '.' && !seen_dot {
+                seen_dot = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.text[start..self.pos]
+            .parse()
+            .map(Expr::Number)
+            .map_err(|_| self.error(format!("bad number {:?}", &self.text[start..self.pos])))
+    }
+
+    /// A name: function call, cell ref, range, or TRUE/FALSE.
+    fn name_or_ref(&mut self) -> Result<Expr, DocError> {
+        let start = self.pos;
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = &self.text[start..self.pos];
+        match word.to_ascii_uppercase().as_str() {
+            "TRUE" => return Ok(Expr::Bool(true)),
+            "FALSE" => return Ok(Expr::Bool(false)),
+            _ => {}
+        }
+        self.skip_ws();
+        if self.rest().starts_with('(') {
+            self.pos += 1;
+            let mut args = Vec::new();
+            self.skip_ws();
+            if !self.eat(")") {
+                loop {
+                    args.push(self.arg()?);
+                    if self.eat(",") {
+                        continue;
+                    }
+                    if self.eat(")") {
+                        break;
+                    }
+                    return Err(self.error("expected ',' or ')' in argument list".into()));
+                }
+            }
+            return Ok(Expr::Call { name: word.to_string(), args });
+        }
+        // Range (A1:B2) or single cell?
+        if self.rest().starts_with(':') {
+            let save = self.pos;
+            self.pos += 1;
+            let second_start = self.pos;
+            while let Some(c) = self.rest().chars().next() {
+                if c.is_ascii_alphanumeric() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let second = &self.text[second_start..self.pos];
+            match (CellRef::parse(word), CellRef::parse(second)) {
+                (Ok(a), Ok(b)) => return Ok(Expr::Range(Range::new(a, b))),
+                _ => self.pos = save,
+            }
+        }
+        CellRef::parse(word)
+            .map(Expr::Cell)
+            .map_err(|_| self.error(format!("unknown name {word:?}")))
+    }
+
+    /// A function argument: a bare range is allowed here.
+    fn arg(&mut self) -> Result<Expr, DocError> {
+        self.compare()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapResolver(HashMap<CellRef, CellValue>);
+
+    impl MapResolver {
+        fn new(entries: &[(&str, CellValue)]) -> Self {
+            MapResolver(
+                entries
+                    .iter()
+                    .map(|(r, v)| (CellRef::parse(r).unwrap(), v.clone()))
+                    .collect(),
+            )
+        }
+    }
+
+    impl CellResolver for MapResolver {
+        fn cell_value(&self, cell: CellRef) -> CellValue {
+            self.0.get(&cell).cloned().unwrap_or(CellValue::Empty)
+        }
+    }
+
+    fn n(x: f64) -> CellValue {
+        CellValue::Number(x)
+    }
+
+    fn ev(text: &str) -> CellValue {
+        evaluate(text, &EmptyResolver).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(ev("1+2*3"), n(7.0));
+        assert_eq!(ev("(1+2)*3"), n(9.0));
+        assert_eq!(ev("10-4-3"), n(3.0), "subtraction is left-associative");
+        assert_eq!(ev("2^3^2"), n(512.0), "power is right-associative");
+        assert_eq!(ev("-2^2"), n(4.0), "unary minus binds tighter than ^ here: (-2)^2");
+        assert_eq!(ev("7/2"), n(3.5));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(ev("1/0"), CellValue::Error("#DIV/0!".into()));
+    }
+
+    #[test]
+    fn string_literals_and_concat() {
+        assert_eq!(ev(r#""Na"&" "&140"#), CellValue::Text("Na 140".into()));
+        assert_eq!(ev(r#""quote: ""x""""#), CellValue::Text("quote: \"x\"".into()));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev("1<2"), CellValue::Bool(true));
+        assert_eq!(ev("2<=2"), CellValue::Bool(true));
+        assert_eq!(ev("1=2"), CellValue::Bool(false));
+        assert_eq!(ev("1<>2"), CellValue::Bool(true));
+        assert_eq!(ev(r#""abc"="ABC""#), CellValue::Bool(true), "text compare is case-insensitive");
+    }
+
+    #[test]
+    fn cell_references_resolve() {
+        let cells = MapResolver::new(&[("B2", n(140.0)), ("B3", n(4.1))]);
+        assert_eq!(evaluate("B2+B3", &cells).unwrap(), n(144.1));
+        assert_eq!(evaluate("C9", &cells).unwrap(), CellValue::Empty);
+    }
+
+    #[test]
+    fn sum_and_average_over_ranges_skip_text() {
+        let cells = MapResolver::new(&[
+            ("A1", n(1.0)),
+            ("A2", CellValue::Text("header".into())),
+            ("A3", n(3.0)),
+        ]);
+        assert_eq!(evaluate("SUM(A1:A3)", &cells).unwrap(), n(4.0));
+        assert_eq!(evaluate("AVERAGE(A1:A3)", &cells).unwrap(), n(2.0));
+        assert_eq!(evaluate("COUNT(A1:A3)", &cells).unwrap(), n(2.0));
+        assert_eq!(evaluate("COUNTA(A1:A4)", &cells).unwrap(), n(3.0));
+    }
+
+    #[test]
+    fn min_max_and_empty_behaviour() {
+        let cells = MapResolver::new(&[("A1", n(5.0)), ("A2", n(-3.0))]);
+        assert_eq!(evaluate("MIN(A1:A2)", &cells).unwrap(), n(-3.0));
+        assert_eq!(evaluate("MAX(A1:A2)", &cells).unwrap(), n(5.0));
+        assert_eq!(ev("MIN(B1:B3)"), n(0.0), "empty range yields 0");
+    }
+
+    #[test]
+    fn if_and_logic() {
+        assert_eq!(ev("IF(1<2, 10, 20)"), n(10.0));
+        assert_eq!(ev("IF(1>2, 10, 20)"), n(20.0));
+        assert_eq!(ev("AND(TRUE, 1, \"x\")"), CellValue::Bool(true));
+        assert_eq!(ev("AND(TRUE, 0)"), CellValue::Bool(false));
+        assert_eq!(ev("OR(FALSE, 0, \"\")"), CellValue::Bool(false));
+        assert_eq!(ev("NOT(0)"), CellValue::Bool(true));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(ev("ABS(-4)"), n(4.0));
+        assert_eq!(ev("SQRT(9)"), n(3.0));
+        assert_eq!(ev("SQRT(-1)"), CellValue::Error("#NUM!".into()));
+        assert_eq!(ev("ROUND(2.71828, 2)"), n(2.72));
+        assert_eq!(ev("ROUND(2.5)"), n(3.0));
+        assert_eq!(ev("LEN(\"abc\")"), n(3.0));
+        assert_eq!(ev("CONCAT(\"K \", 4.1)"), CellValue::Text("K 4.1".into()));
+    }
+
+    #[test]
+    fn median_and_stdev() {
+        let cells = MapResolver::new(&[
+            ("A1", n(2.0)),
+            ("A2", n(4.0)),
+            ("A3", n(4.0)),
+            ("A4", n(4.0)),
+            ("A5", n(5.0)),
+            ("A6", n(5.0)),
+            ("A7", n(7.0)),
+            ("A8", n(9.0)),
+        ]);
+        assert_eq!(evaluate("MEDIAN(A1:A8)", &cells).unwrap(), n(4.5));
+        assert_eq!(evaluate("MEDIAN(A1:A7)", &cells).unwrap(), n(4.0));
+        assert_eq!(ev("MEDIAN(B1:B2)"), CellValue::Error("#NUM!".into()));
+        // Classic dataset: sample stdev of [2,4,4,4,5,5,7,9] is ~2.138.
+        let CellValue::Number(sd) = evaluate("STDEV(A1:A8)", &cells).unwrap() else {
+            panic!("stdev should be numeric");
+        };
+        assert!((sd - 2.13809).abs() < 1e-4, "{sd}");
+        assert_eq!(ev("STDEV(1)"), CellValue::Error("#DIV/0!".into()));
+    }
+
+    #[test]
+    fn countif_and_sumif() {
+        let cells = MapResolver::new(&[
+            ("A1", n(140.0)),
+            ("A2", n(128.0)),
+            ("A3", n(145.0)),
+            ("A4", CellValue::Text("refused".into())),
+        ]);
+        assert_eq!(evaluate("COUNTIF(A1:A4, \">135\")", &cells).unwrap(), n(2.0));
+        assert_eq!(evaluate("COUNTIF(A1:A4, \"<=128\")", &cells).unwrap(), n(1.0));
+        assert_eq!(evaluate("COUNTIF(A1:A4, \"refused\")", &cells).unwrap(), n(1.0));
+        assert_eq!(evaluate("COUNTIF(A1:A4, 140)", &cells).unwrap(), n(1.0));
+        assert_eq!(evaluate("COUNTIF(A1:A4, \"<>140\")", &cells).unwrap(), n(2.0), "text cell is not a number, doesn't match numeric <>");
+        assert_eq!(evaluate("SUMIF(A1:A4, \">130\")", &cells).unwrap(), n(285.0));
+        assert_eq!(ev("COUNTIF(1)"), CellValue::Error("#VALUE!".into()));
+    }
+
+    #[test]
+    fn unknown_function_is_name_error() {
+        assert_eq!(ev("FROB(1)"), CellValue::Error("#NAME?".into()));
+    }
+
+    #[test]
+    fn range_in_scalar_position_is_value_error() {
+        assert_eq!(ev("A1:B2 + 1"), CellValue::Error("#VALUE!".into()));
+    }
+
+    #[test]
+    fn errors_propagate_through_operators() {
+        assert_eq!(ev("1 + 1/0"), CellValue::Error("#DIV/0!".into()));
+        assert_eq!(ev("IF(1/0, 1, 2)"), CellValue::Error("#DIV/0!".into()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "1 +", "(1", "\"open", "1 @ 2", "SUM(1,", "SUM(1 2)"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(ev("  1  +  2  "), n(3.0));
+        assert_eq!(ev("SUM( 1 , 2 , 3 )"), n(6.0));
+    }
+
+    #[test]
+    fn function_names_case_insensitive() {
+        assert_eq!(ev("sum(1,2)"), n(3.0));
+        assert_eq!(ev("Average(2,4)"), n(3.0));
+    }
+
+    #[test]
+    fn nested_calls() {
+        assert_eq!(ev("SUM(1, IF(TRUE, 2, 99), MAX(0, 3))"), n(6.0));
+    }
+}

@@ -1,0 +1,30 @@
+//! The spreadsheet engine: the Excel stand-in.
+//!
+//! SLIMPad's flagship mark type addresses "a cell or range of cells within
+//! the workbook, using row and column positions" (paper §4.2, Figure 8:
+//! `fileName`/`sheetName`/`range`). This module provides a workbook engine
+//! rich enough to exercise that addressing for real:
+//!
+//! * [`CellRef`]/[`Range`] — A1-style references (`B2`, `C3:F9`) with
+//!   parse/print round-tripping;
+//! * [`CellValue`] — empty/number/text/bool/error cell contents;
+//! * [`formula`] — a recursive-descent formula evaluator (`=SUM(B2:B9)*2`)
+//!   with cell/range references, cycle detection, and the core function
+//!   library, so medication-list examples can compute totals the way the
+//!   clinicians' real spreadsheets do;
+//! * [`Workbook`]/[`Sheet`] — multi-sheet storage with a selection model;
+//! * [`SpreadsheetApp`] — the open-documents + selection façade
+//!   implementing [`crate::BaseApplication`].
+
+mod app;
+mod edits;
+mod cellref;
+pub mod csv;
+pub mod formula;
+mod value;
+mod workbook;
+
+pub use app::{SpreadsheetAddress, SpreadsheetApp};
+pub use cellref::{CellRef, Range};
+pub use value::CellValue;
+pub use workbook::{Sheet, Workbook};

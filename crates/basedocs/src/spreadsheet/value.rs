@@ -1,0 +1,130 @@
+//! Cell values: what a cell holds after evaluation.
+
+use std::fmt;
+
+/// The evaluated contents of a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    /// An unset cell. Numeric context treats it as 0; text context as "".
+    Empty,
+    Number(f64),
+    Text(String),
+    Bool(bool),
+    /// An evaluation error, carrying an Excel-style code (`#DIV/0!`,
+    /// `#CYCLE!`, `#NAME?`, `#VALUE!`, `#REF!`).
+    Error(String),
+}
+
+impl CellValue {
+    /// Coerce to a number the way spreadsheet arithmetic does: numbers
+    /// pass through, booleans are 0/1, empty is 0, numeric-looking text
+    /// parses, anything else is a `#VALUE!` error.
+    pub fn as_number(&self) -> Result<f64, CellValue> {
+        match self {
+            CellValue::Number(n) => Ok(*n),
+            CellValue::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            CellValue::Empty => Ok(0.0),
+            CellValue::Text(s) => {
+                s.trim().parse().map_err(|_| CellValue::Error("#VALUE!".into()))
+            }
+            CellValue::Error(_) => Err(self.clone()),
+        }
+    }
+
+    /// Truthiness for `IF`: numbers ≠ 0, non-empty text, `true`.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            CellValue::Number(n) => *n != 0.0,
+            CellValue::Bool(b) => *b,
+            CellValue::Text(s) => !s.is_empty(),
+            CellValue::Empty => false,
+            CellValue::Error(_) => false,
+        }
+    }
+
+    /// True if this is an error value.
+    pub fn is_error(&self) -> bool {
+        matches!(self, CellValue::Error(_))
+    }
+
+    /// Parse user input the way a spreadsheet entry bar does: leading `=`
+    /// is a formula (handled by the caller), numbers become numbers,
+    /// TRUE/FALSE become booleans, everything else is text.
+    pub fn from_input(input: &str) -> CellValue {
+        let trimmed = input.trim();
+        if trimmed.is_empty() {
+            return CellValue::Empty;
+        }
+        if let Ok(n) = trimmed.parse::<f64>() {
+            return CellValue::Number(n);
+        }
+        match trimmed.to_ascii_uppercase().as_str() {
+            "TRUE" => CellValue::Bool(true),
+            "FALSE" => CellValue::Bool(false),
+            _ => CellValue::Text(input.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellValue::Empty => Ok(()),
+            CellValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            CellValue::Text(s) => f.write_str(s),
+            CellValue::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            CellValue::Error(e) => f.write_str(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_input_classifies() {
+        assert_eq!(CellValue::from_input(""), CellValue::Empty);
+        assert_eq!(CellValue::from_input("  "), CellValue::Empty);
+        assert_eq!(CellValue::from_input("42"), CellValue::Number(42.0));
+        assert_eq!(CellValue::from_input("-3.5"), CellValue::Number(-3.5));
+        assert_eq!(CellValue::from_input("true"), CellValue::Bool(true));
+        assert_eq!(CellValue::from_input("FALSE"), CellValue::Bool(false));
+        assert_eq!(CellValue::from_input("Lasix 40mg"), CellValue::Text("Lasix 40mg".into()));
+    }
+
+    #[test]
+    fn as_number_coercions() {
+        assert_eq!(CellValue::Number(2.5).as_number().unwrap(), 2.5);
+        assert_eq!(CellValue::Bool(true).as_number().unwrap(), 1.0);
+        assert_eq!(CellValue::Empty.as_number().unwrap(), 0.0);
+        assert_eq!(CellValue::Text(" 7 ".into()).as_number().unwrap(), 7.0);
+        assert!(CellValue::Text("abc".into()).as_number().is_err());
+        assert!(CellValue::Error("#REF!".into()).as_number().is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(CellValue::Number(1.0).is_truthy());
+        assert!(!CellValue::Number(0.0).is_truthy());
+        assert!(CellValue::Text("x".into()).is_truthy());
+        assert!(!CellValue::Text("".into()).is_truthy());
+        assert!(!CellValue::Empty.is_truthy());
+        assert!(!CellValue::Error("#DIV/0!".into()).is_truthy());
+    }
+
+    #[test]
+    fn display_formats_integers_without_fraction() {
+        assert_eq!(CellValue::Number(140.0).to_string(), "140");
+        assert_eq!(CellValue::Number(4.1).to_string(), "4.1");
+        assert_eq!(CellValue::Bool(true).to_string(), "TRUE");
+        assert_eq!(CellValue::Empty.to_string(), "");
+        assert_eq!(CellValue::Error("#CYCLE!".into()).to_string(), "#CYCLE!");
+    }
+}

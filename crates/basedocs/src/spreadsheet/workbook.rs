@@ -1,0 +1,433 @@
+//! Workbooks and sheets: storage, evaluation, and rendering.
+
+use super::cellref::{CellRef, Range};
+use super::formula::{self, CellResolver, Expr};
+use super::value::CellValue;
+use crate::common::DocError;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// What a cell stores: a direct value or a formula (kept as both source
+/// text and parsed expression).
+#[derive(Debug, Clone, PartialEq)]
+enum CellContent {
+    Value(CellValue),
+    Formula { text: String, expr: Expr },
+}
+
+/// One sheet: a sparse grid of cells.
+#[derive(Debug, Clone, Default)]
+pub struct Sheet {
+    /// The sheet's tab name.
+    pub name: String,
+    cells: HashMap<CellRef, CellContent>,
+}
+
+impl Sheet {
+    /// An empty sheet with the given tab name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sheet { name: name.into(), cells: HashMap::new() }
+    }
+
+    /// Enter data the way a user types into the entry bar: a leading `=`
+    /// makes a formula, otherwise the input is classified as
+    /// number/bool/text.
+    ///
+    /// # Errors
+    ///
+    /// Rejects formulas that do not parse (matching a real spreadsheet's
+    /// entry-time rejection).
+    pub fn set(&mut self, cell: CellRef, input: &str) -> Result<(), DocError> {
+        if let Some(body) = input.strip_prefix('=') {
+            let expr = formula::parse(body)?;
+            self.cells.insert(cell, CellContent::Formula { text: input.to_string(), expr });
+        } else {
+            let v = CellValue::from_input(input);
+            if matches!(v, CellValue::Empty) {
+                self.cells.remove(&cell);
+            } else {
+                self.cells.insert(cell, CellContent::Value(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience for tests and loaders: set by A1 text.
+    pub fn set_a1(&mut self, a1: &str, input: &str) -> Result<(), DocError> {
+        self.set(CellRef::parse(a1)?, input)
+    }
+
+    /// Snapshot every non-empty cell as `(ref, entered input)` — the
+    /// basis for structural edits that rewrite the whole grid.
+    pub fn cells_snapshot(&self) -> Vec<(CellRef, String)> {
+        let mut out: Vec<(CellRef, String)> =
+            self.cells.keys().map(|c| (*c, self.input_of(*c))).collect();
+        out.sort_unstable_by_key(|(c, _)| (c.row, c.col));
+        out
+    }
+
+    /// Clear a cell.
+    pub fn clear(&mut self, cell: CellRef) {
+        self.cells.remove(&cell);
+    }
+
+    /// The cell's *entered* content: formula text (with `=`) or the value
+    /// display. Empty cells yield `""`.
+    pub fn input_of(&self, cell: CellRef) -> String {
+        match self.cells.get(&cell) {
+            Some(CellContent::Formula { text, .. }) => text.clone(),
+            Some(CellContent::Value(v)) => v.to_string(),
+            None => String::new(),
+        }
+    }
+
+    /// The cell's *evaluated* value, recursively evaluating formulas with
+    /// cycle detection (`#CYCLE!`).
+    pub fn value(&self, cell: CellRef) -> CellValue {
+        let resolver = SheetResolver { sheet: self, in_progress: RefCell::new(HashSet::new()) };
+        resolver.cell_value(cell)
+    }
+
+    /// Evaluated values over a range, row-major.
+    pub fn values(&self, range: Range) -> Vec<CellValue> {
+        range.cells().map(|c| self.value(c)).collect()
+    }
+
+    /// Number of non-empty cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The smallest range containing every non-empty cell, or `None` for
+    /// an empty sheet.
+    pub fn used_range(&self) -> Option<Range> {
+        let mut iter = self.cells.keys();
+        let first = *iter.next()?;
+        let mut min = first;
+        let mut max = first;
+        for c in iter {
+            min = CellRef::new(min.row.min(c.row), min.col.min(c.col));
+            max = CellRef::new(max.row.max(c.row), max.col.max(c.col));
+        }
+        Some(Range::new(min, max))
+    }
+
+    /// Render the used portion of the sheet as an ASCII grid, with the
+    /// `highlight` range (if any) wrapped in `[` … `]` — the textual
+    /// equivalent of Excel highlighting the marked range after a mark
+    /// resolution (paper Figure 4, upper right).
+    pub fn render(&self, highlight: Option<Range>) -> String {
+        let Some(mut used) = self.used_range() else {
+            return format!("[sheet {}: empty]\n", self.name);
+        };
+        if let Some(h) = highlight {
+            used = Range::new(
+                CellRef::new(used.start.row.min(h.start.row), used.start.col.min(h.start.col)),
+                CellRef::new(used.end.row.max(h.end.row), used.end.col.max(h.end.col)),
+            );
+        }
+        // Column widths from rendered values.
+        let cols: Vec<u32> = (used.start.col..=used.end.col).collect();
+        let mut widths: HashMap<u32, usize> = HashMap::new();
+        for &col in &cols {
+            let mut w = CellRef::new(0, col).col_letters().len();
+            for row in used.start.row..=used.end.row {
+                let text = self.value(CellRef::new(row, col)).to_string();
+                w = w.max(text.chars().count() + 2); // room for [ ]
+            }
+            widths.insert(col, w);
+        }
+        let mut out = String::new();
+        // Header row.
+        out.push_str("     ");
+        for &col in &cols {
+            let letters = CellRef::new(0, col).col_letters();
+            out.push_str(&format!(" {:^width$}", letters, width = widths[&col]));
+        }
+        out.push('\n');
+        for row in used.start.row..=used.end.row {
+            out.push_str(&format!("{:>4} ", row + 1));
+            for &col in &cols {
+                let cell = CellRef::new(row, col);
+                let text = self.value(cell).to_string();
+                let deco = match highlight {
+                    Some(h) if h.contains(cell) => format!("[{text}]"),
+                    _ => text,
+                };
+                out.push_str(&format!(" {:width$}", deco, width = widths[&col]));
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Resolver over a sheet with an evaluation stack for cycle detection.
+struct SheetResolver<'s> {
+    sheet: &'s Sheet,
+    in_progress: RefCell<HashSet<CellRef>>,
+}
+
+impl CellResolver for SheetResolver<'_> {
+    fn cell_value(&self, cell: CellRef) -> CellValue {
+        match self.sheet.cells.get(&cell) {
+            None => CellValue::Empty,
+            Some(CellContent::Value(v)) => v.clone(),
+            Some(CellContent::Formula { expr, .. }) => {
+                if !self.in_progress.borrow_mut().insert(cell) {
+                    return CellValue::Error("#CYCLE!".into());
+                }
+                let v = formula::eval(expr, self);
+                self.in_progress.borrow_mut().remove(&cell);
+                v
+            }
+        }
+    }
+}
+
+/// A named workbook holding one or more sheets.
+#[derive(Debug, Clone)]
+pub struct Workbook {
+    /// The workbook's file name (used as the mark's `fileName`).
+    pub name: String,
+    sheets: Vec<Sheet>,
+    /// Named ranges: name → (sheet name, range). The robust addressing
+    /// mode — like Word bookmarks, a defined name survives row inserts
+    /// (the *definition* moves, stored addresses need not).
+    named_ranges: HashMap<String, (String, Range)>,
+}
+
+impl Workbook {
+    /// A workbook with a single empty sheet named `"Sheet1"`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workbook {
+            name: name.into(),
+            sheets: vec![Sheet::new("Sheet1")],
+            named_ranges: HashMap::new(),
+        }
+    }
+
+    /// Define (or move) a named range.
+    ///
+    /// # Errors
+    ///
+    /// Rejects names for sheets that do not exist, and names that could
+    /// be mistaken for A1 references.
+    pub fn define_name(
+        &mut self,
+        name: impl Into<String>,
+        sheet: &str,
+        range: Range,
+    ) -> Result<(), DocError> {
+        let name = name.into();
+        if CellRef::parse(&name).is_ok() || Range::parse(&name).is_ok() {
+            return Err(DocError::Content {
+                message: format!("{name:?} would shadow an A1 reference"),
+            });
+        }
+        if self.sheet(sheet).is_none() {
+            return Err(DocError::Dangling { message: format!("no sheet {sheet:?}") });
+        }
+        self.named_ranges.insert(name, (sheet.to_string(), range));
+        Ok(())
+    }
+
+    /// Resolve a defined name to its (sheet, range).
+    pub fn resolve_name(&self, name: &str) -> Option<(&str, Range)> {
+        self.named_ranges.get(name).map(|(s, r)| (s.as_str(), *r))
+    }
+
+    /// All defined names, sorted.
+    pub fn defined_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.named_ranges.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Snapshot of all named ranges.
+    pub fn named_ranges_snapshot(&self) -> Vec<(String, (String, Range))> {
+        let mut out: Vec<(String, (String, Range))> = self
+            .named_ranges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Remove a defined name (no-op if absent).
+    pub fn remove_name(&mut self, name: &str) {
+        self.named_ranges.remove(name);
+    }
+
+    /// Add a sheet; errors on duplicate tab names.
+    pub fn add_sheet(&mut self, name: impl Into<String>) -> Result<&mut Sheet, DocError> {
+        let name = name.into();
+        if self.sheets.iter().any(|s| s.name == name) {
+            return Err(DocError::Content { message: format!("duplicate sheet name {name:?}") });
+        }
+        self.sheets.push(Sheet::new(name));
+        Ok(self.sheets.last_mut().expect("just pushed"))
+    }
+
+    /// Look up a sheet by tab name.
+    pub fn sheet(&self, name: &str) -> Option<&Sheet> {
+        self.sheets.iter().find(|s| s.name == name)
+    }
+
+    /// Mutable sheet lookup.
+    pub fn sheet_mut(&mut self, name: &str) -> Option<&mut Sheet> {
+        self.sheets.iter_mut().find(|s| s.name == name)
+    }
+
+    /// All sheets in tab order.
+    pub fn sheets(&self) -> &[Sheet] {
+        &self.sheets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn med_sheet() -> Sheet {
+        let mut s = Sheet::new("Medications");
+        s.set_a1("A1", "Drug").unwrap();
+        s.set_a1("B1", "Dose mg").unwrap();
+        s.set_a1("A2", "Lasix").unwrap();
+        s.set_a1("B2", "40").unwrap();
+        s.set_a1("A3", "KCl").unwrap();
+        s.set_a1("B3", "20").unwrap();
+        s.set_a1("B5", "=SUM(B2:B3)").unwrap();
+        s
+    }
+
+    #[test]
+    fn set_and_value() {
+        let s = med_sheet();
+        assert_eq!(s.value(CellRef::parse("B2").unwrap()), CellValue::Number(40.0));
+        assert_eq!(s.value(CellRef::parse("B5").unwrap()), CellValue::Number(60.0));
+        assert_eq!(s.value(CellRef::parse("Z99").unwrap()), CellValue::Empty);
+    }
+
+    #[test]
+    fn formula_text_is_preserved() {
+        let s = med_sheet();
+        assert_eq!(s.input_of(CellRef::parse("B5").unwrap()), "=SUM(B2:B3)");
+        assert_eq!(s.input_of(CellRef::parse("A2").unwrap()), "Lasix");
+        assert_eq!(s.input_of(CellRef::parse("Z1").unwrap()), "");
+    }
+
+    #[test]
+    fn bad_formula_rejected_at_entry() {
+        let mut s = Sheet::new("S");
+        assert!(s.set_a1("A1", "=1+").is_err());
+        assert_eq!(s.cell_count(), 0);
+    }
+
+    #[test]
+    fn empty_input_clears_cell() {
+        let mut s = med_sheet();
+        let n = s.cell_count();
+        s.set_a1("A2", "").unwrap();
+        assert_eq!(s.cell_count(), n - 1);
+    }
+
+    #[test]
+    fn chained_formulas_evaluate_transitively() {
+        let mut s = Sheet::new("S");
+        s.set_a1("A1", "2").unwrap();
+        s.set_a1("A2", "=A1*10").unwrap();
+        s.set_a1("A3", "=A2+1").unwrap();
+        assert_eq!(s.value(CellRef::parse("A3").unwrap()), CellValue::Number(21.0));
+    }
+
+    #[test]
+    fn direct_cycle_detected() {
+        let mut s = Sheet::new("S");
+        s.set_a1("A1", "=A1+1").unwrap();
+        assert_eq!(s.value(CellRef::parse("A1").unwrap()), CellValue::Error("#CYCLE!".into()));
+    }
+
+    #[test]
+    fn indirect_cycle_detected() {
+        let mut s = Sheet::new("S");
+        s.set_a1("A1", "=B1").unwrap();
+        s.set_a1("B1", "=C1").unwrap();
+        s.set_a1("C1", "=A1").unwrap();
+        assert_eq!(s.value(CellRef::parse("A1").unwrap()), CellValue::Error("#CYCLE!".into()));
+    }
+
+    #[test]
+    fn diamond_dependencies_are_not_cycles() {
+        let mut s = Sheet::new("S");
+        s.set_a1("A1", "1").unwrap();
+        s.set_a1("B1", "=A1+1").unwrap();
+        s.set_a1("B2", "=A1+2").unwrap();
+        s.set_a1("C1", "=B1+B2").unwrap();
+        assert_eq!(s.value(CellRef::parse("C1").unwrap()), CellValue::Number(5.0));
+    }
+
+    #[test]
+    fn used_range_bounds() {
+        let s = med_sheet();
+        assert_eq!(s.used_range().unwrap().to_string(), "A1:B5");
+        assert_eq!(Sheet::new("E").used_range(), None);
+    }
+
+    #[test]
+    fn render_highlights_range() {
+        let s = med_sheet();
+        let text = s.render(Some(Range::parse("B2").unwrap()));
+        assert!(text.contains("[40]"), "{text}");
+        assert!(text.contains("Lasix"), "{text}");
+        assert!(text.contains('A') && text.contains('B'), "{text}");
+        // Unhighlighted render has no brackets.
+        let plain = s.render(None);
+        assert!(!plain.contains('['), "{plain}");
+    }
+
+    #[test]
+    fn render_empty_sheet() {
+        assert!(Sheet::new("Empty").render(None).contains("empty"));
+    }
+
+    #[test]
+    fn named_ranges_define_resolve_and_validate() {
+        let mut wb = Workbook::new("meds.xls");
+        wb.define_name("CurrentMeds", "Sheet1", Range::parse("A2:C9").unwrap()).unwrap();
+        assert_eq!(
+            wb.resolve_name("CurrentMeds"),
+            Some(("Sheet1", Range::parse("A2:C9").unwrap()))
+        );
+        assert_eq!(wb.resolve_name("Nope"), None);
+        assert_eq!(wb.defined_names(), vec!["CurrentMeds"]);
+        // Redefinition moves the name.
+        wb.define_name("CurrentMeds", "Sheet1", Range::parse("A2:C12").unwrap()).unwrap();
+        assert_eq!(wb.resolve_name("CurrentMeds").unwrap().1, Range::parse("A2:C12").unwrap());
+        // Validation.
+        assert!(wb.define_name("B2", "Sheet1", Range::parse("A1").unwrap()).is_err());
+        assert!(wb.define_name("X", "Ghost", Range::parse("A1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn workbook_sheet_management() {
+        let mut wb = Workbook::new("meds.xls");
+        assert!(wb.sheet("Sheet1").is_some());
+        wb.add_sheet("Notes").unwrap();
+        assert!(wb.add_sheet("Notes").is_err(), "duplicate sheet names rejected");
+        assert_eq!(wb.sheets().len(), 2);
+        wb.sheet_mut("Notes").unwrap().set_a1("A1", "hi").unwrap();
+        assert_eq!(wb.sheet("Notes").unwrap().cell_count(), 1);
+    }
+
+    #[test]
+    fn values_over_range() {
+        let s = med_sheet();
+        let vals = s.values(Range::parse("B2:B3").unwrap());
+        assert_eq!(vals, vec![CellValue::Number(40.0), CellValue::Number(20.0)]);
+    }
+}

@@ -1,0 +1,691 @@
+//! The text-document application: the Word stand-in.
+//!
+//! Documents are sequences of paragraphs. Two addressing modes exist,
+//! matching how word processors are really addressed:
+//!
+//! * **named bookmarks** — robust against edits elsewhere in the
+//!   document (Word bookmarks);
+//! * **paragraph + character span** — precise free selection.
+//!
+//! Both encode into mark fields; the bookmark mode shows why the paper's
+//! architecture leaves address semantics entirely to the base
+//! application.
+
+use crate::app::{Address, BaseApplication};
+use crate::common::{DocError, DocKind, Span};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What a text address points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextTarget {
+    /// A named bookmark defined in the document.
+    Bookmark(String),
+    /// A character span within one zero-based paragraph.
+    Span { paragraph: usize, span: Span },
+}
+
+/// The text mark address: `fileName` plus a [`TextTarget`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextAddress {
+    pub file_name: String,
+    pub target: TextTarget,
+}
+
+impl fmt::Display for TextAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.target {
+            TextTarget::Bookmark(b) => write!(f, "{}#bookmark:{}", self.file_name, b),
+            TextTarget::Span { paragraph, span } => {
+                write!(f, "{}#para{}:{}", self.file_name, paragraph, span)
+            }
+        }
+    }
+}
+
+impl Address for TextAddress {
+    fn kind() -> DocKind {
+        DocKind::Text
+    }
+
+    fn to_fields(&self) -> Vec<(String, String)> {
+        let mut fields = vec![("fileName".into(), self.file_name.clone())];
+        match &self.target {
+            TextTarget::Bookmark(b) => fields.push(("bookmark".into(), b.clone())),
+            TextTarget::Span { paragraph, span } => {
+                fields.push(("paragraph".into(), paragraph.to_string()));
+                fields.push(("span".into(), span.to_string()));
+            }
+        }
+        fields
+    }
+
+    fn from_fields(fields: &[(String, String)]) -> Result<Self, DocError> {
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.as_str());
+        let file_name = get("fileName")
+            .ok_or_else(|| DocError::BadAddress { message: "missing field \"fileName\"".into() })?
+            .to_string();
+        let target = if let Some(b) = get("bookmark") {
+            TextTarget::Bookmark(b.to_string())
+        } else {
+            let paragraph: usize = get("paragraph")
+                .ok_or_else(|| DocError::BadAddress {
+                    message: "need either \"bookmark\" or \"paragraph\"+\"span\"".into(),
+                })?
+                .parse()
+                .map_err(|_| DocError::BadAddress { message: "bad paragraph number".into() })?;
+            let span = get("span")
+                .and_then(Span::parse)
+                .ok_or_else(|| DocError::BadAddress { message: "bad or missing span".into() })?;
+            TextTarget::Span { paragraph, span }
+        };
+        Ok(TextAddress { file_name, target })
+    }
+
+    fn file_name(&self) -> &str {
+        &self.file_name
+    }
+}
+
+/// A text document: paragraphs plus named bookmarks.
+#[derive(Debug, Clone, Default)]
+pub struct TextDocument {
+    /// The document's file name.
+    pub name: String,
+    paragraphs: Vec<String>,
+    /// bookmark name → (paragraph, span)
+    bookmarks: BTreeMap<String, (usize, Span)>,
+}
+
+impl TextDocument {
+    /// Build from full text, splitting paragraphs on blank lines.
+    pub fn from_text(name: impl Into<String>, text: &str) -> Self {
+        let paragraphs = text
+            .split("\n\n")
+            .map(|p| p.trim().replace('\n', " "))
+            .filter(|p| !p.is_empty())
+            .collect();
+        TextDocument { name: name.into(), paragraphs, bookmarks: BTreeMap::new() }
+    }
+
+    /// Paragraphs in order.
+    pub fn paragraphs(&self) -> &[String] {
+        &self.paragraphs
+    }
+
+    /// Append a paragraph at the end of the document.
+    pub fn append_paragraph(&mut self, text: impl Into<String>) {
+        self.paragraphs.push(text.into());
+    }
+
+    /// Insert a paragraph before zero-based index `at`. Bookmarks at or
+    /// below move with their content (Word bookmarks track content, not
+    /// coordinates); span-based *mark addresses* held by the superimposed
+    /// layer are untouched and will drift — by design.
+    pub fn insert_paragraph(&mut self, at: usize, text: impl Into<String>) -> Result<(), DocError> {
+        if at > self.paragraphs.len() {
+            return Err(DocError::Dangling {
+                message: format!("insert position {at} beyond document end"),
+            });
+        }
+        self.paragraphs.insert(at, text.into());
+        for (para, _) in self.bookmarks.values_mut() {
+            if *para >= at {
+                *para += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace the text of a paragraph, returning the old text.
+    /// Bookmarks into the paragraph keep their spans; whether those
+    /// spans still fit is checked at access time.
+    pub fn replace_paragraph(
+        &mut self,
+        at: usize,
+        text: impl Into<String>,
+    ) -> Result<String, DocError> {
+        let slot = self.paragraphs.get_mut(at).ok_or_else(|| DocError::Dangling {
+            message: format!("paragraph {at} out of range"),
+        })?;
+        Ok(std::mem::replace(slot, text.into()))
+    }
+
+    /// Define (or move) a named bookmark over a span of a paragraph.
+    pub fn set_bookmark(
+        &mut self,
+        name: impl Into<String>,
+        paragraph: usize,
+        span: Span,
+    ) -> Result<(), DocError> {
+        self.check_span(paragraph, span)?;
+        self.bookmarks.insert(name.into(), (paragraph, span));
+        Ok(())
+    }
+
+    /// Resolve a bookmark to its (paragraph, span).
+    pub fn bookmark(&self, name: &str) -> Option<(usize, Span)> {
+        self.bookmarks.get(name).copied()
+    }
+
+    /// Bookmark names in order.
+    pub fn bookmark_names(&self) -> Vec<&str> {
+        self.bookmarks.keys().map(String::as_str).collect()
+    }
+
+    fn check_span(&self, paragraph: usize, span: Span) -> Result<(), DocError> {
+        let para = self.paragraphs.get(paragraph).ok_or_else(|| DocError::Dangling {
+            message: format!("paragraph {paragraph} out of range (document has {})", self.paragraphs.len()),
+        })?;
+        let len = para.chars().count();
+        if !span.fits_within(len) {
+            return Err(DocError::Dangling {
+                message: format!("span {span} exceeds paragraph length {len}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolve a target to (paragraph index, span), following bookmarks.
+    fn resolve_target(&self, target: &TextTarget) -> Result<(usize, Span), DocError> {
+        match target {
+            TextTarget::Bookmark(name) => self.bookmark(name).ok_or_else(|| DocError::Dangling {
+                message: format!("no bookmark {name:?} in {:?}", self.name),
+            }),
+            TextTarget::Span { paragraph, span } => {
+                self.check_span(*paragraph, *span)?;
+                Ok((*paragraph, *span))
+            }
+        }
+    }
+
+    /// The text covered by a target.
+    pub fn text_at(&self, target: &TextTarget) -> Result<String, DocError> {
+        let (para, span) = self.resolve_target(target)?;
+        span.slice(&self.paragraphs[para]).ok_or_else(|| DocError::Dangling {
+            message: format!("span {span} no longer fits paragraph {para}"),
+        })
+    }
+
+    /// Find the first occurrence of `needle` at or after
+    /// `(from_paragraph, from_offset)` — the find dialog. Matching is
+    /// case-insensitive; offsets are in characters.
+    pub fn find(
+        &self,
+        needle: &str,
+        from_paragraph: usize,
+        from_offset: usize,
+    ) -> Option<(usize, Span)> {
+        if needle.is_empty() {
+            return None;
+        }
+        let needle_lower: Vec<char> = needle.to_lowercase().chars().collect();
+        for (p, para) in self.paragraphs.iter().enumerate().skip(from_paragraph) {
+            let chars: Vec<char> = para.to_lowercase().chars().collect();
+            let start_at = if p == from_paragraph { from_offset } else { 0 };
+            if chars.len() < needle_lower.len() {
+                continue;
+            }
+            for start in start_at..=(chars.len() - needle_lower.len()) {
+                if chars[start..start + needle_lower.len()] == needle_lower[..] {
+                    return Some((p, Span::new(start, start + needle_lower.len())));
+                }
+            }
+        }
+        None
+    }
+
+    /// The span of the sentence containing character `at` — how
+    /// triple-click selection works. Sentences end at `.`, `!`, or `?`
+    /// followed by whitespace (or paragraph end).
+    pub fn sentence_at(&self, paragraph: usize, at: usize) -> Result<Span, DocError> {
+        let para = self.paragraphs.get(paragraph).ok_or_else(|| DocError::Dangling {
+            message: format!("paragraph {paragraph} out of range"),
+        })?;
+        let chars: Vec<char> = para.chars().collect();
+        if at >= chars.len() {
+            return Err(DocError::BadAddress {
+                message: format!("offset {at} beyond paragraph length {}", chars.len()),
+            });
+        }
+        let is_end = |i: usize| {
+            matches!(chars[i], '.' | '!' | '?')
+                && chars.get(i + 1).is_none_or(|c| c.is_whitespace())
+        };
+        // Walk back to just after the previous sentence end.
+        let mut start = 0;
+        for i in (0..at).rev() {
+            if is_end(i) {
+                start = i + 1;
+                break;
+            }
+        }
+        while start < chars.len() && chars[start].is_whitespace() {
+            start += 1;
+        }
+        // Walk forward to this sentence's end (inclusive of punctuation).
+        let mut end = chars.len();
+        for (i, _) in chars.iter().enumerate().skip(at) {
+            if is_end(i) {
+                end = i + 1;
+                break;
+            }
+        }
+        Ok(Span::new(start.min(end), end))
+    }
+
+    /// The span of the word containing character `at` in a paragraph —
+    /// how double-click selection works.
+    pub fn word_at(&self, paragraph: usize, at: usize) -> Result<Span, DocError> {
+        let para = self.paragraphs.get(paragraph).ok_or_else(|| DocError::Dangling {
+            message: format!("paragraph {paragraph} out of range"),
+        })?;
+        let chars: Vec<char> = para.chars().collect();
+        if at >= chars.len() {
+            return Err(DocError::BadAddress {
+                message: format!("offset {at} beyond paragraph length {}", chars.len()),
+            });
+        }
+        let is_word = |c: char| c.is_alphanumeric() || c == '_' || c == '\'';
+        if !is_word(chars[at]) {
+            return Ok(Span::new(at, at + 1));
+        }
+        let mut start = at;
+        while start > 0 && is_word(chars[start - 1]) {
+            start -= 1;
+        }
+        let mut end = at + 1;
+        while end < chars.len() && is_word(chars[end]) {
+            end += 1;
+        }
+        Ok(Span::new(start, end))
+    }
+}
+
+/// The simulated word processor.
+#[derive(Debug, Default)]
+pub struct TextApp {
+    documents: BTreeMap<String, TextDocument>,
+    selection: Option<TextAddress>,
+}
+
+impl TextApp {
+    /// An instance with no open documents.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a document.
+    pub fn open(&mut self, doc: TextDocument) -> Result<(), DocError> {
+        if self.documents.contains_key(&doc.name) {
+            return Err(DocError::AlreadyOpen { name: doc.name.clone() });
+        }
+        self.documents.insert(doc.name.clone(), doc);
+        Ok(())
+    }
+
+    /// Close a document; clears the selection if it pointed there.
+    pub fn close(&mut self, name: &str) -> Result<TextDocument, DocError> {
+        let doc = self
+            .documents
+            .remove(name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: name.to_string() })?;
+        if self.selection.as_ref().is_some_and(|s| s.file_name == name) {
+            self.selection = None;
+        }
+        Ok(doc)
+    }
+
+    /// Read access to an open document.
+    pub fn document(&self, name: &str) -> Result<&TextDocument, DocError> {
+        self.documents
+            .get(name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: name.to_string() })
+    }
+
+    /// Write access (the base application edits independently).
+    pub fn document_mut(&mut self, name: &str) -> Result<&mut TextDocument, DocError> {
+        self.documents
+            .get_mut(name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: name.to_string() })
+    }
+
+    /// User action: select a character span.
+    pub fn select_span(
+        &mut self,
+        file: &str,
+        paragraph: usize,
+        start: usize,
+        end: usize,
+    ) -> Result<(), DocError> {
+        let addr = TextAddress {
+            file_name: file.to_string(),
+            target: TextTarget::Span { paragraph, span: Span::new(start, end) },
+        };
+        self.document(file)?.resolve_target(&addr.target)?;
+        self.selection = Some(addr);
+        Ok(())
+    }
+
+    /// User action: double-click selects the word at a position.
+    pub fn select_word(&mut self, file: &str, paragraph: usize, at: usize) -> Result<(), DocError> {
+        let span = self.document(file)?.word_at(paragraph, at)?;
+        self.select_span(file, paragraph, span.start, span.end)
+    }
+
+    /// User action: find text and select its first occurrence at or
+    /// after the current selection (or the document start).
+    pub fn select_found(&mut self, file: &str, needle: &str) -> Result<(), DocError> {
+        let (from_para, from_off) = match &self.selection {
+            Some(TextAddress { file_name, target: TextTarget::Span { paragraph, span } })
+                if file_name == file =>
+            {
+                (*paragraph, span.end)
+            }
+            _ => (0, 0),
+        };
+        let (paragraph, span) =
+            self.document(file)?.find(needle, from_para, from_off).ok_or_else(|| {
+                DocError::BadAddress { message: format!("{needle:?} not found in {file:?}") }
+            })?;
+        self.select_span(file, paragraph, span.start, span.end)
+    }
+
+    /// User action: triple-click selects the sentence at a position.
+    pub fn select_sentence(&mut self, file: &str, paragraph: usize, at: usize) -> Result<(), DocError> {
+        let span = self.document(file)?.sentence_at(paragraph, at)?;
+        self.select_span(file, paragraph, span.start, span.end)
+    }
+
+    /// Find every occurrence of `needle` across all open documents —
+    /// the find-all dialog.
+    pub fn find_all(&self, needle: &str) -> Vec<TextAddress> {
+        let mut out = Vec::new();
+        for (name, doc) in &self.documents {
+            let mut para = 0usize;
+            let mut offset = 0usize;
+            while let Some((p, span)) = doc.find(needle, para, offset) {
+                out.push(TextAddress {
+                    file_name: name.clone(),
+                    target: TextTarget::Span { paragraph: p, span },
+                });
+                para = p;
+                offset = span.end;
+            }
+        }
+        out
+    }
+
+    /// User action: select a named bookmark.
+    pub fn select_bookmark(&mut self, file: &str, bookmark: &str) -> Result<(), DocError> {
+        let addr = TextAddress {
+            file_name: file.to_string(),
+            target: TextTarget::Bookmark(bookmark.to_string()),
+        };
+        self.document(file)?.resolve_target(&addr.target)?;
+        self.selection = Some(addr);
+        Ok(())
+    }
+}
+
+impl BaseApplication for TextApp {
+    type Addr = TextAddress;
+
+    fn app_name(&self) -> &'static str {
+        "Word Processor"
+    }
+
+    fn open_documents(&self) -> Vec<String> {
+        self.documents.keys().cloned().collect()
+    }
+
+    fn current_selection(&self) -> Result<TextAddress, DocError> {
+        self.selection.clone().ok_or(DocError::NoSelection)
+    }
+
+    fn navigate_to(&mut self, addr: &TextAddress) -> Result<(), DocError> {
+        self.document(&addr.file_name)?.resolve_target(&addr.target)?;
+        self.selection = Some(addr.clone());
+        Ok(())
+    }
+
+    fn extract_content(&self, addr: &TextAddress) -> Result<String, DocError> {
+        self.document(&addr.file_name)?.text_at(&addr.target)
+    }
+
+    fn display_in_place(&self, addr: &TextAddress) -> Result<String, DocError> {
+        let doc = self.document(&addr.file_name)?;
+        let (target_para, span) = doc.resolve_target(&addr.target)?;
+        let mut out = format!("── {} — {} ──\n", self.app_name(), addr.file_name);
+        for (i, para) in doc.paragraphs().iter().enumerate() {
+            // Show the target paragraph with highlight plus one paragraph
+            // of context on each side.
+            if i + 1 < target_para || i > target_para + 1 {
+                continue;
+            }
+            if i == target_para {
+                let chars: Vec<char> = para.chars().collect();
+                let before: String = chars[..span.start].iter().collect();
+                let inside: String = chars[span.start..span.end].iter().collect();
+                let after: String = chars[span.end..].iter().collect();
+                out.push_str(&format!("¶{i}: {before}[{inside}]{after}\n"));
+            } else {
+                out.push_str(&format!("¶{i}: {para}\n"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRESS_NOTE: &str = "\
+Patient: John Smith, 61M, admitted with CHF exacerbation.
+
+Overnight events: diuresed 1.2L with IV Lasix. Potassium repleted.
+
+Plan: continue Lasix 40 IV bid, recheck electrolytes this afternoon,\n\
+consider captopril uptitration if BP tolerates.
+
+Disposition: likely transfer to floor tomorrow if stable.";
+
+    fn app() -> TextApp {
+        let mut a = TextApp::new();
+        let mut doc = TextDocument::from_text("note.doc", PROGRESS_NOTE);
+        let span = Span::new(18, 26); // "diuresed" in paragraph 1
+        doc.set_bookmark("overnight", 1, span).unwrap();
+        a.open(doc).unwrap();
+        a
+    }
+
+    #[test]
+    fn paragraph_splitting() {
+        let a = app();
+        let doc = a.document("note.doc").unwrap();
+        assert_eq!(doc.paragraphs().len(), 4);
+        assert!(doc.paragraphs()[0].starts_with("Patient: John Smith"));
+        assert!(
+            doc.paragraphs()[2].contains("recheck electrolytes this afternoon, consider"),
+            "hard-wrapped lines join into one paragraph"
+        );
+    }
+
+    #[test]
+    fn span_selection_and_extract() {
+        let mut a = app();
+        a.select_span("note.doc", 0, 9, 19).unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&addr).unwrap(), "John Smith");
+    }
+
+    #[test]
+    fn word_selection() {
+        let mut a = app();
+        // Find "Lasix" in paragraph 2 and double-click its middle.
+        let doc = a.document("note.doc").unwrap();
+        let para = &doc.paragraphs()[2];
+        let at = para.find("Lasix").unwrap(); // ASCII text: byte == char idx
+        a.select_word("note.doc", 2, at + 2).unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&addr).unwrap(), "Lasix");
+    }
+
+    #[test]
+    fn word_at_non_word_char_selects_single_char() {
+        let a = app();
+        let doc = a.document("note.doc").unwrap();
+        let para = &doc.paragraphs()[0];
+        let at = para.find(':').unwrap();
+        assert_eq!(doc.word_at(0, at).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bookmark_selection_and_extract() {
+        let mut a = app();
+        a.select_bookmark("note.doc", "overnight").unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&addr).unwrap(), "diuresed");
+        assert!(a.select_bookmark("note.doc", "nonexistent").is_err());
+    }
+
+    #[test]
+    fn out_of_range_spans_are_dangling() {
+        let mut a = app();
+        assert!(matches!(a.select_span("note.doc", 9, 0, 1), Err(DocError::Dangling { .. })));
+        assert!(matches!(a.select_span("note.doc", 0, 0, 10_000), Err(DocError::Dangling { .. })));
+    }
+
+    #[test]
+    fn display_in_place_brackets_selection_with_context() {
+        let a = app();
+        let addr = TextAddress {
+            file_name: "note.doc".into(),
+            target: TextTarget::Bookmark("overnight".into()),
+        };
+        let view = a.display_in_place(&addr).unwrap();
+        assert!(view.contains("[diuresed]"), "{view}");
+        assert!(view.contains("¶0:"), "context paragraph before");
+        assert!(view.contains("¶2:"), "context paragraph after");
+        assert!(!view.contains("¶3:"), "distant paragraph excluded");
+    }
+
+    #[test]
+    fn address_fields_roundtrip_both_modes() {
+        let bookmark = TextAddress {
+            file_name: "note.doc".into(),
+            target: TextTarget::Bookmark("overnight".into()),
+        };
+        assert_eq!(TextAddress::from_fields(&bookmark.to_fields()).unwrap(), bookmark);
+        let span = TextAddress {
+            file_name: "note.doc".into(),
+            target: TextTarget::Span { paragraph: 2, span: Span::new(5, 12) },
+        };
+        assert_eq!(TextAddress::from_fields(&span.to_fields()).unwrap(), span);
+        assert!(TextAddress::from_fields(&[("fileName".into(), "f".into())]).is_err());
+    }
+
+    #[test]
+    fn bookmark_survives_edits_to_other_paragraphs_conceptually() {
+        // A bookmark is re-resolved at access time: moving it moves the
+        // mark target without touching stored addresses.
+        let mut a = app();
+        a.document_mut("note.doc").unwrap().set_bookmark("overnight", 2, Span::new(0, 4)).unwrap();
+        let addr = TextAddress {
+            file_name: "note.doc".into(),
+            target: TextTarget::Bookmark("overnight".into()),
+        };
+        assert_eq!(a.extract_content(&addr).unwrap(), "Plan");
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_resumable() {
+        let mut a = app();
+        a.select_found("note.doc", "lasix").unwrap();
+        let first = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&first).unwrap(), "Lasix");
+        // Next find resumes after the current selection.
+        a.select_found("note.doc", "lasix").unwrap();
+        let second = a.current_selection().unwrap();
+        assert_ne!(first, second, "find-next moved to the later occurrence");
+        assert!(a.select_found("note.doc", "lasix").is_err(), "no third occurrence");
+        assert!(a.select_found("note.doc", "digoxin").is_err());
+    }
+
+    #[test]
+    fn sentence_selection() {
+        let mut a = app();
+        // Paragraph 1: "Overnight events: diuresed 1.2L with IV Lasix.
+        //                Potassium repleted."
+        let doc = a.document("note.doc").unwrap();
+        let at = doc.paragraphs()[1].find("Potassium").unwrap();
+        a.select_sentence("note.doc", 1, at).unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&addr).unwrap(), "Potassium repleted.");
+        // First sentence of the paragraph.
+        a.select_sentence("note.doc", 1, 0).unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(
+            a.extract_content(&addr).unwrap(),
+            "Overnight events: diuresed 1.2L with IV Lasix."
+        );
+    }
+
+    #[test]
+    fn sentence_at_decimal_numbers_not_split() {
+        let doc = TextDocument::from_text("d.doc", "Gave 1.2L fluid. Then rested.");
+        let span = doc.sentence_at(0, 0).unwrap();
+        assert_eq!(span.slice("Gave 1.2L fluid. Then rested.").unwrap(), "Gave 1.2L fluid.");
+    }
+
+    #[test]
+    fn paragraph_edits_shift_bookmarks_but_not_marks() {
+        let mut a = app();
+        // A span mark into paragraph 1 ("Overnight events…").
+        a.select_span("note.doc", 1, 18, 26).unwrap();
+        let span_mark = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&span_mark).unwrap(), "diuresed");
+
+        // The bookmark targets the same word; an insertion above both.
+        a.document_mut("note.doc").unwrap().insert_paragraph(0, "Addendum 05:00: stable.").unwrap();
+
+        // The bookmark followed its content…
+        let bookmark_addr = TextAddress {
+            file_name: "note.doc".into(),
+            target: TextTarget::Bookmark("overnight".into()),
+        };
+        assert_eq!(a.extract_content(&bookmark_addr).unwrap(), "diuresed");
+        // …while the positional span mark now reads the wrong paragraph:
+        // classic drift the audit exists to catch.
+        assert_ne!(a.extract_content(&span_mark).unwrap(), "diuresed");
+    }
+
+    #[test]
+    fn replace_and_append_paragraphs() {
+        let mut doc = TextDocument::from_text("d.doc", "one\n\ntwo");
+        let old = doc.replace_paragraph(1, "TWO").unwrap();
+        assert_eq!(old, "two");
+        doc.append_paragraph("three");
+        assert_eq!(doc.paragraphs(), &["one", "TWO", "three"]);
+        assert!(doc.replace_paragraph(9, "x").is_err());
+        assert!(doc.insert_paragraph(9, "x").is_err());
+    }
+
+    #[test]
+    fn find_all_lists_every_occurrence() {
+        let a = app();
+        let all = a.find_all("lasix");
+        assert_eq!(all.len(), 2);
+        assert!(a.find_all("digoxin").is_empty());
+    }
+
+    #[test]
+    fn unicode_spans_count_chars() {
+        let mut a = TextApp::new();
+        a.open(TextDocument::from_text("u.doc", "Na⁺ is 140 mEq/L")).unwrap();
+        a.select_span("u.doc", 0, 0, 3).unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&addr).unwrap(), "Na⁺");
+    }
+}

@@ -1,0 +1,359 @@
+//! The XML document application: marks into XML files.
+//!
+//! Paper Figure 8: an XML mark holds `fileName` and `xmlPath`. Here the
+//! path language is `xmlkit`'s XPath-lite; the "viewer" renders the
+//! document as an indented outline and highlights the addressed element —
+//! matching Figure 4, where double-clicking an Electrolyte scrap "opens
+//! the lab report and highlights the appropriate section of the XML
+//! document".
+
+use crate::app::{Address, BaseApplication};
+use crate::common::{DocError, DocKind};
+use std::collections::BTreeMap;
+use std::fmt;
+use xmlkit::{Document, Element, XPath};
+
+/// The XML mark address: `fileName` + `xmlPath` (Figure 8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlAddress {
+    pub file_name: String,
+    pub xml_path: XPath,
+}
+
+impl fmt::Display for XmlAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.file_name, self.xml_path)
+    }
+}
+
+impl Address for XmlAddress {
+    fn kind() -> DocKind {
+        DocKind::Xml
+    }
+
+    fn to_fields(&self) -> Vec<(String, String)> {
+        vec![
+            ("fileName".into(), self.file_name.clone()),
+            ("xmlPath".into(), self.xml_path.to_string()),
+        ]
+    }
+
+    fn from_fields(fields: &[(String, String)]) -> Result<Self, DocError> {
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| DocError::BadAddress { message: format!("missing field {k:?}") })
+        };
+        let path_text = get("xmlPath")?;
+        let xml_path = XPath::parse(path_text)
+            .map_err(|e| DocError::BadAddress { message: e.to_string() })?;
+        Ok(XmlAddress { file_name: get("fileName")?.to_string(), xml_path })
+    }
+
+    fn file_name(&self) -> &str {
+        &self.file_name
+    }
+}
+
+/// The simulated XML viewer/editor: open documents plus a selection.
+#[derive(Debug, Default)]
+pub struct XmlApp {
+    documents: BTreeMap<String, Document>,
+    selection: Option<XmlAddress>,
+}
+
+impl XmlApp {
+    /// An instance with no open documents.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a document from XML source text under the given file name.
+    pub fn open_text(&mut self, file_name: &str, xml: &str) -> Result<(), DocError> {
+        if self.documents.contains_key(file_name) {
+            return Err(DocError::AlreadyOpen { name: file_name.to_string() });
+        }
+        let doc = xmlkit::parse(xml)
+            .map_err(|e| DocError::Content { message: e.to_string() })?;
+        self.documents.insert(file_name.to_string(), doc);
+        Ok(())
+    }
+
+    /// Open an already-built document.
+    pub fn open(&mut self, file_name: &str, doc: Document) -> Result<(), DocError> {
+        if self.documents.contains_key(file_name) {
+            return Err(DocError::AlreadyOpen { name: file_name.to_string() });
+        }
+        self.documents.insert(file_name.to_string(), doc);
+        Ok(())
+    }
+
+    /// Close a document.
+    pub fn close(&mut self, file_name: &str) -> Result<Document, DocError> {
+        let doc = self
+            .documents
+            .remove(file_name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: file_name.to_string() })?;
+        if self.selection.as_ref().is_some_and(|s| s.file_name == file_name) {
+            self.selection = None;
+        }
+        Ok(doc)
+    }
+
+    /// Read access to an open document.
+    pub fn document(&self, file_name: &str) -> Result<&Document, DocError> {
+        self.documents
+            .get(file_name)
+            .ok_or_else(|| DocError::NoSuchDocument { name: file_name.to_string() })
+    }
+
+    /// User action: select the element reached by child-element indices
+    /// from the root (as a click in a tree view would).
+    pub fn select_by_indices(&mut self, file_name: &str, indices: &[usize]) -> Result<(), DocError> {
+        let doc = self.document(file_name)?;
+        let xml_path = XPath::of(doc, indices).ok_or_else(|| DocError::BadAddress {
+            message: format!("indices {indices:?} walk off the tree"),
+        })?;
+        self.selection = Some(XmlAddress { file_name: file_name.to_string(), xml_path });
+        Ok(())
+    }
+
+    /// User action: select by path text directly.
+    pub fn select_by_path(&mut self, file_name: &str, path: &str) -> Result<(), DocError> {
+        let xml_path =
+            XPath::parse(path).map_err(|e| DocError::BadAddress { message: e.to_string() })?;
+        let addr = XmlAddress { file_name: file_name.to_string(), xml_path };
+        self.resolve(&addr)?;
+        self.selection = Some(addr);
+        Ok(())
+    }
+
+    /// Find every element whose *direct* text contains `needle`
+    /// (case-insensitive), across all open documents, addressed by
+    /// canonical path.
+    pub fn find_text(&self, needle: &str) -> Vec<XmlAddress> {
+        let lower = needle.to_lowercase();
+        let mut out = Vec::new();
+        for (file, doc) in &self.documents {
+            let mut stack: Vec<Vec<usize>> = vec![vec![]];
+            while let Some(indices) = stack.pop() {
+                let mut cur = &doc.root;
+                for &i in &indices {
+                    cur = cur.elements().nth(i).expect("indices derived from tree");
+                }
+                if cur.text().to_lowercase().contains(&lower) {
+                    if let Some(xml_path) = XPath::of(doc, &indices) {
+                        out.push(XmlAddress { file_name: file.clone(), xml_path });
+                    }
+                }
+                for (i, _) in cur.elements().enumerate() {
+                    let mut child = indices.clone();
+                    child.push(i);
+                    stack.push(child);
+                }
+            }
+        }
+        out.sort_by_key(|a| (a.file_name.clone(), a.xml_path.to_string()));
+        out
+    }
+
+    /// Resolve an address to its element.
+    pub fn resolve(&self, addr: &XmlAddress) -> Result<&Element, DocError> {
+        let doc = self.document(&addr.file_name)?;
+        addr.xml_path
+            .resolve(doc)
+            .map_err(|e| DocError::Dangling { message: e.to_string() })
+    }
+
+    /// Render an element subtree as an indented outline; the highlighted
+    /// element is prefixed with `>>`.
+    fn render_outline(root: &Element, highlight: Option<&Element>) -> String {
+        let mut out = String::new();
+        fn walk(e: &Element, depth: usize, highlight: Option<&Element>, out: &mut String) {
+            let marker = if highlight.is_some_and(|h| std::ptr::eq(h, e)) { ">>" } else { "  " };
+            let attrs: Vec<String> =
+                e.attributes.iter().map(|a| format!("{}={:?}", a.name, a.value)).collect();
+            let text = e.text();
+            let text = text.trim();
+            out.push_str(&format!(
+                "{}{}<{}{}{}>{}\n",
+                marker,
+                "  ".repeat(depth),
+                e.name,
+                if attrs.is_empty() { String::new() } else { format!(" {}", attrs.join(" ")) },
+                if e.children.is_empty() { "/" } else { "" },
+                if text.is_empty() { String::new() } else { format!(" {text}") },
+            ));
+            for c in e.elements() {
+                walk(c, depth + 1, highlight, out);
+            }
+        }
+        walk(root, 0, highlight, &mut out);
+        out
+    }
+}
+
+impl BaseApplication for XmlApp {
+    type Addr = XmlAddress;
+
+    fn app_name(&self) -> &'static str {
+        "XML Viewer"
+    }
+
+    fn open_documents(&self) -> Vec<String> {
+        self.documents.keys().cloned().collect()
+    }
+
+    fn current_selection(&self) -> Result<XmlAddress, DocError> {
+        self.selection.clone().ok_or(DocError::NoSelection)
+    }
+
+    fn navigate_to(&mut self, addr: &XmlAddress) -> Result<(), DocError> {
+        self.resolve(addr)?;
+        self.selection = Some(addr.clone());
+        Ok(())
+    }
+
+    fn extract_content(&self, addr: &XmlAddress) -> Result<String, DocError> {
+        Ok(self.resolve(addr)?.deep_text().trim().to_string())
+    }
+
+    fn display_in_place(&self, addr: &XmlAddress) -> Result<String, DocError> {
+        let doc = self.document(&addr.file_name)?;
+        let target = addr
+            .xml_path
+            .resolve(doc)
+            .map_err(|e| DocError::Dangling { message: e.to_string() })?;
+        Ok(format!(
+            "── {} — {} ──\n{}",
+            self.app_name(),
+            addr.file_name,
+            Self::render_outline(&doc.root, Some(target))
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAB_REPORT: &str = r#"<labReport patient="John Smith">
+        <electrolytes>
+          <na unit="mEq/L">140</na>
+          <k unit="mEq/L">4.1</k>
+          <cl unit="mEq/L">102</cl>
+          <hco3 unit="mEq/L">26</hco3>
+        </electrolytes>
+        <renal><bun>18</bun><cr>1.1</cr></renal>
+      </labReport>"#;
+
+    fn app() -> XmlApp {
+        let mut a = XmlApp::new();
+        a.open_text("labs.xml", LAB_REPORT).unwrap();
+        a
+    }
+
+    #[test]
+    fn open_rejects_duplicates_and_bad_xml() {
+        let mut a = app();
+        assert!(matches!(a.open_text("labs.xml", "<x/>"), Err(DocError::AlreadyOpen { .. })));
+        assert!(matches!(a.open_text("bad.xml", "<oops"), Err(DocError::Content { .. })));
+    }
+
+    #[test]
+    fn select_by_indices_builds_canonical_path() {
+        let mut a = app();
+        a.select_by_indices("labs.xml", &[0, 1]).unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(addr.xml_path.to_string(), "/labReport/electrolytes/k");
+        assert_eq!(a.extract_content(&addr).unwrap(), "4.1");
+    }
+
+    #[test]
+    fn select_by_path_validates() {
+        let mut a = app();
+        a.select_by_path("labs.xml", "/labReport/renal/cr").unwrap();
+        let addr = a.current_selection().unwrap();
+        assert_eq!(a.extract_content(&addr).unwrap(), "1.1");
+        assert!(a.select_by_path("labs.xml", "/labReport/nope").is_err());
+        assert!(a.select_by_path("labs.xml", "not a path").is_err());
+    }
+
+    #[test]
+    fn navigate_to_and_dangling() {
+        let mut a = app();
+        let addr = XmlAddress {
+            file_name: "labs.xml".into(),
+            xml_path: XPath::parse("/labReport/electrolytes/na").unwrap(),
+        };
+        a.navigate_to(&addr).unwrap();
+        assert_eq!(a.current_selection().unwrap(), addr);
+
+        let dangling = XmlAddress {
+            file_name: "labs.xml".into(),
+            xml_path: XPath::parse("/labReport/electrolytes/mg").unwrap(),
+        };
+        assert!(matches!(a.navigate_to(&dangling), Err(DocError::Dangling { .. })));
+        assert!(!a.address_is_live(&dangling));
+    }
+
+    #[test]
+    fn display_in_place_highlights_target() {
+        let a = app();
+        let addr = XmlAddress {
+            file_name: "labs.xml".into(),
+            xml_path: XPath::parse("/labReport/electrolytes/k").unwrap(),
+        };
+        let view = a.display_in_place(&addr).unwrap();
+        let hl: Vec<&str> = view.lines().filter(|l| l.starts_with(">>")).collect();
+        assert_eq!(hl.len(), 1, "{view}");
+        assert!(hl[0].contains("<k"), "{view}");
+        assert!(view.contains("labs.xml"));
+    }
+
+    #[test]
+    fn address_fields_roundtrip_figure8_shape() {
+        let addr = XmlAddress {
+            file_name: "labs.xml".into(),
+            xml_path: XPath::parse("/labReport/electrolytes/k").unwrap(),
+        };
+        let fields = addr.to_fields();
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["fileName", "xmlPath"], "Figure 8 field names");
+        assert_eq!(XmlAddress::from_fields(&fields).unwrap(), addr);
+    }
+
+    #[test]
+    fn ordinal_paths_address_structurally() {
+        // The same path addresses "the 2nd <k>" regardless of values —
+        // structure-preserving edits keep marks live.
+        let mut a = XmlApp::new();
+        a.open_text("r.xml", "<r><k>1</k><k>2</k></r>").unwrap();
+        let addr = XmlAddress {
+            file_name: "r.xml".into(),
+            xml_path: XPath::parse("/r/k[2]").unwrap(),
+        };
+        assert_eq!(a.extract_content(&addr).unwrap(), "2");
+    }
+
+    #[test]
+    fn close_clears_selection() {
+        let mut a = app();
+        a.select_by_path("labs.xml", "/labReport/renal/bun").unwrap();
+        a.close("labs.xml").unwrap();
+        assert!(matches!(a.current_selection(), Err(DocError::NoSelection)));
+        assert!(a.open_documents().is_empty());
+    }
+
+    #[test]
+    fn extract_content_of_subtree_concatenates() {
+        let a = app();
+        let addr = XmlAddress {
+            file_name: "labs.xml".into(),
+            xml_path: XPath::parse("/labReport/renal").unwrap(),
+        };
+        assert_eq!(a.extract_content(&addr).unwrap(), "181.1");
+    }
+}

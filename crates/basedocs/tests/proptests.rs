@@ -1,0 +1,137 @@
+//! Property tests for the base-document engines: address codecs must
+//! round-trip, A1 references must round-trip, formulas must obey basic
+//! algebraic laws, pagination must preserve text, and the HTML parser
+//! must never panic on arbitrary input.
+
+use basedocs::app::Address;
+use basedocs::spreadsheet::formula::{self, EmptyResolver};
+use basedocs::{
+    CellRef, CellValue, HtmlAddress, PdfAddress, Range, SlideAddress, Span, SpreadsheetAddress,
+    TextAddress,
+};
+use proptest::prelude::*;
+
+fn file_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_./-]{0,20}\\.(xls|xml|doc|html|pdf|ppt)".prop_map(|s| s)
+}
+
+proptest! {
+    #[test]
+    fn cellref_roundtrips(row in 0u32..100_000, col in 0u32..20_000) {
+        let c = CellRef::new(row, col);
+        prop_assert_eq!(CellRef::parse(&c.to_string()).unwrap(), c);
+    }
+
+    #[test]
+    fn range_roundtrips(r1 in 0u32..5_000, c1 in 0u32..500, r2 in 0u32..5_000, c2 in 0u32..500) {
+        let r = Range::new(CellRef::new(r1, c1), CellRef::new(r2, c2));
+        prop_assert_eq!(Range::parse(&r.to_string()).unwrap(), r);
+        // Normalization invariant.
+        prop_assert!(r.start.row <= r.end.row && r.start.col <= r.end.col);
+        prop_assert_eq!(
+            r.cell_count() as usize,
+            r.cells().count()
+        );
+    }
+
+    #[test]
+    fn spreadsheet_address_fields_roundtrip(file in file_name(), sheet in "[A-Za-z ]{1,12}", r in 0u32..200, c in 0u32..40) {
+        let addr = SpreadsheetAddress {
+            file_name: file,
+            sheet_name: sheet,
+            range: Range::cell(CellRef::new(r, c)),
+        };
+        prop_assert_eq!(SpreadsheetAddress::from_fields(&addr.to_fields()).unwrap(), addr);
+    }
+
+    #[test]
+    fn pdf_address_fields_roundtrip(file in file_name(), page in 0usize..50, line in 0usize..60, a in 0usize..80, len in 0usize..40) {
+        let addr = PdfAddress { file_name: file, page, line, span: Span::new(a, a + len) };
+        prop_assert_eq!(PdfAddress::from_fields(&addr.to_fields()).unwrap(), addr);
+    }
+
+    #[test]
+    fn slide_address_fields_roundtrip(file in file_name(), slide in 0usize..40, shape in "[a-z][a-z0-9-]{0,10}") {
+        let addr = SlideAddress { file_name: file, slide, shape_id: shape };
+        prop_assert_eq!(SlideAddress::from_fields(&addr.to_fields()).unwrap(), addr);
+    }
+
+    #[test]
+    fn text_address_fields_roundtrip(file in file_name(), para in 0usize..30, a in 0usize..50, len in 0usize..30, bookmark in proptest::option::of("[a-z]{1,8}")) {
+        let target = match bookmark {
+            Some(b) => basedocs::textdoc::TextTarget::Bookmark(b),
+            None => basedocs::textdoc::TextTarget::Span { paragraph: para, span: Span::new(a, a + len) },
+        };
+        let addr = TextAddress { file_name: file, target };
+        prop_assert_eq!(TextAddress::from_fields(&addr.to_fields()).unwrap(), addr);
+    }
+
+    #[test]
+    fn html_address_fields_roundtrip(url in file_name(), anchor in proptest::option::of("[a-z]{1,8}"), n in 1usize..5) {
+        let target = match anchor {
+            Some(a) => basedocs::htmldoc::HtmlTarget::Anchor(a),
+            None => basedocs::htmldoc::HtmlTarget::Element(
+                xmlkit::XPath::parse(&format!("/html/body/p[{n}]")).unwrap(),
+            ),
+        };
+        let addr = HtmlAddress { url, target };
+        prop_assert_eq!(HtmlAddress::from_fields(&addr.to_fields()).unwrap(), addr);
+    }
+
+    /// Formula arithmetic obeys commutativity/associativity of + on the
+    /// representable range and a + 0 identity.
+    #[test]
+    fn formula_addition_laws(a in -1000i32..1000, b in -1000i32..1000) {
+        let ev = |t: &str| formula::evaluate(t, &EmptyResolver).unwrap();
+        // Negative literals need parenthesization in formula syntax.
+        let fa = format!("({a})");
+        let fb = format!("({b})");
+        prop_assert_eq!(ev(&format!("{fa}+{fb}")), ev(&format!("{fb}+{fa}")));
+        prop_assert_eq!(ev(&format!("{fa}+0")), CellValue::Number(a as f64));
+        prop_assert_eq!(
+            ev(&format!("({fa}+{fb})+1")),
+            ev(&format!("{fa}+({fb}+1)"))
+        );
+    }
+
+    /// SUM over explicit args equals folded addition.
+    #[test]
+    fn formula_sum_matches_fold(xs in proptest::collection::vec(-100i32..100, 1..8)) {
+        let args: Vec<String> = xs.iter().map(|x| format!("({x})")).collect();
+        let sum = formula::evaluate(&format!("SUM({})", args.join(",")), &EmptyResolver).unwrap();
+        prop_assert_eq!(sum, CellValue::Number(xs.iter().map(|&x| x as f64).sum()));
+    }
+
+    /// Pagination preserves every word, in order.
+    #[test]
+    fn pagination_preserves_words(words in proptest::collection::vec("[a-zA-Z]{1,12}", 0..120), width in 10usize..60, lpp in 1usize..20) {
+        let text = words.join(" ");
+        let doc = basedocs::pdfdoc::PdfDocument::paginate("t.pdf", &text, width, lpp);
+        let mut out: Vec<String> = Vec::new();
+        for page in doc.pages() {
+            for line in page.lines() {
+                out.extend(line.split_whitespace().map(|w| w.to_string()));
+            }
+        }
+        prop_assert_eq!(out, words);
+    }
+
+    /// The HTML parser never panics and always produces an `html` root,
+    /// whatever bytes arrive.
+    #[test]
+    fn html_parser_total(input in "[ -~\\n<>&\"']{0,300}") {
+        let root = basedocs::htmldoc::parse_html(&input);
+        prop_assert_eq!(root.name.as_str(), "html");
+    }
+
+    /// Parsing rendered spreadsheet input round-trips numbers.
+    #[test]
+    fn cell_value_number_roundtrip(n in -1.0e9..1.0e9f64) {
+        let v = CellValue::Number(n);
+        let reparsed = CellValue::from_input(&v.to_string());
+        match reparsed {
+            CellValue::Number(m) => prop_assert!((m - n).abs() <= 1e-6 * n.abs().max(1.0)),
+            other => prop_assert!(false, "reparsed to {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! E1 — the cost of the generic triple representation (paper §6: "The
+//! trade-off for this flexibility was space efficiency of the data and
+//! the cost of interpreting manipulations on SLIM Store data").
+//!
+//! This bench measures the *time* dimension of building a pad of N
+//! scraps three ways — triple store via the DMI, naive string store,
+//! native structs — and reports the space numbers once per size via
+//! stderr (space itself is asserted in `examples/report_experiments`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slim_bench::{build_native_pad, build_pad, naive_copy};
+use std::hint::black_box;
+
+fn bench_representations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_build_pad");
+    for n in [10usize, 100, 1_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("trim_dmi", n), &n, |b, &n| {
+            b.iter(|| black_box(build_pad(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("native_structs", n), &n, |b, &n| {
+            b.iter(|| black_box(build_native_pad(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_strings", n), &n, |b, &n| {
+            let dmi = build_pad(n);
+            b.iter(|| black_box(naive_copy(dmi.store())))
+        });
+        // One-shot space report for EXPERIMENTS.md.
+        let dmi = build_pad(n);
+        let stats = dmi.store().stats();
+        let naive = naive_copy(dmi.store());
+        eprintln!(
+            "e1[n={n}]: triples={} trim_bytes={} naive_bytes={} atoms={}",
+            stats.triples,
+            stats.estimated_bytes,
+            naive.estimated_bytes(),
+            stats.atoms
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_representations);
+criterion_main!(benches);

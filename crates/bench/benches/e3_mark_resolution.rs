@@ -1,0 +1,52 @@
+//! E3 — mark creation and resolution latency across all six base types
+//! (paper Figure 7 / §4.2), with the base-document size swept to show
+//! resolution stays flat (addressing is by structure, not by scan) except
+//! where the addressing scheme is inherently linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slim_bench::{all_kinds, populated_system};
+use std::hint::black_box;
+
+fn creation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_create_mark");
+    for kind in all_kinds() {
+        group.bench_function(BenchmarkId::new("kind", kind.id()), |b| {
+            let mut sys = populated_system(64);
+            b.iter(|| black_box(sys.pad.marks_mut().create_mark(kind).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_resolve_mark");
+    for kind in all_kinds() {
+        group.bench_function(BenchmarkId::new("kind", kind.id()), |b| {
+            let mut sys = populated_system(64);
+            let id = sys.pad.marks_mut().create_mark(kind).unwrap();
+            b.iter(|| black_box(sys.pad.marks_mut().resolve(&id).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn resolution_vs_document_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_resolve_vs_doc_size");
+    for scale in [16usize, 128, 1024] {
+        group.bench_function(BenchmarkId::new("xml", scale), |b| {
+            let mut sys = populated_system(scale);
+            let id = sys.pad.marks_mut().create_mark(superimposed::DocKind::Xml).unwrap();
+            b.iter(|| black_box(sys.pad.marks().extract_content(&id).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("spreadsheet", scale), |b| {
+            let mut sys = populated_system(scale);
+            let id =
+                sys.pad.marks_mut().create_mark(superimposed::DocKind::Spreadsheet).unwrap();
+            b.iter(|| black_box(sys.pad.marks().extract_content(&id).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, creation, resolution, resolution_vs_document_size);
+criterion_main!(benches);

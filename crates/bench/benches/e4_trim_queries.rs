@@ -1,0 +1,71 @@
+//! E4 — TRIM selection queries and reachability views (paper §4.4):
+//! point and selection queries at three store sizes, and view closure
+//! cost versus bundle nesting depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slim_bench::{nested_chain, random_store};
+use std::hint::black_box;
+use superimposed::trim::{TriplePattern, TripleStore};
+
+fn selection_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_select");
+    for n in [1_000usize, 10_000, 100_000] {
+        let (store, subjects, properties) = random_store(n, 42);
+        let s = store.find_atom(&subjects[1]).unwrap();
+        let p = store.find_atom(&properties[3]).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("by_subject", n), &store, |b, store| {
+            b.iter(|| black_box(store.select(&TriplePattern::default().with_subject(s))))
+        });
+        group.bench_with_input(BenchmarkId::new("by_property", n), &store, |b, store| {
+            b.iter(|| black_box(store.select(&TriplePattern::default().with_property(p))))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("by_subject_and_property", n),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    black_box(store.select(
+                        &TriplePattern::default().with_subject(s).with_property(p),
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("count_by_property", n), &store, |b, store| {
+            b.iter(|| black_box(store.count(&TriplePattern::default().with_property(p))))
+        });
+    }
+    group.finish();
+}
+
+fn insert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_insert");
+    for n in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut store = TripleStore::new();
+                for i in 0..n {
+                    store.insert_literal(&format!("res:{}", i % 97), "prop", &i.to_string());
+                }
+                black_box(store)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn view_closure_vs_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_view_depth");
+    for depth in [1usize, 4, 16, 64] {
+        let (store, root_name) = nested_chain(depth);
+        let root = store.find_atom(&root_name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &store, |b, store| {
+            b.iter(|| black_box(store.view(root)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, selection_queries, insert_throughput, view_closure_vs_depth);
+criterion_main!(benches);

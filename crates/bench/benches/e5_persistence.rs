@@ -1,0 +1,42 @@
+//! E5 — save/load through XML persistence (paper Figure 10's
+//! `save(fileName)` / `load(fileName)`): serialization and parsing cost
+//! versus pad size, with the xmlkit write/parse split measured
+//! separately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slim_bench::build_pad;
+use std::hint::black_box;
+use superimposed::slimstore::SlimPadDmi;
+
+fn save_and_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_persistence");
+    for n in [10usize, 100, 1_000] {
+        let dmi = build_pad(n);
+        let xml = dmi.save_xml();
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("save_xml", n), &dmi, |b, dmi| {
+            b.iter(|| black_box(dmi.save_xml()))
+        });
+        group.bench_with_input(BenchmarkId::new("load_xml", n), &xml, |b, xml| {
+            b.iter(|| black_box(SlimPadDmi::load_xml(xml).unwrap()))
+        });
+        eprintln!("e5[n={n}]: file_bytes={}", xml.len());
+    }
+    group.finish();
+}
+
+fn raw_xml_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_xmlkit_split");
+    let dmi = build_pad(1_000);
+    let xml = dmi.save_xml();
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("parse_only", |b| {
+        b.iter(|| black_box(superimposed::xmlkit::parse(&xml).unwrap()))
+    });
+    let doc = superimposed::xmlkit::parse(&xml).unwrap();
+    group.bench_function("write_only", |b| b.iter(|| black_box(doc.root.to_xml())));
+    group.finish();
+}
+
+criterion_group!(benches, save_and_load, raw_xml_split);
+criterion_main!(benches);

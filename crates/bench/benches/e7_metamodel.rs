@@ -1,0 +1,67 @@
+//! E7 — metamodel generality (paper §4.3): the same store hosts multiple
+//! models; conformance-checking cost scales with instance count; models
+//! encode/decode through the triple representation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use superimposed::metamodel::encode::{decode_model, encode_model, InstanceWriter};
+use superimposed::metamodel::{builtin, check_conformance};
+use superimposed::trim::TripleStore;
+
+fn topic_store(instances: usize) -> TripleStore {
+    let model = builtin::topic_map_like();
+    let mut store = TripleStore::new();
+    let mut w = InstanceWriter::new(&mut store, &model);
+    let mut prev = None;
+    for i in 0..instances {
+        let t = w.create("Topic");
+        w.set_literal(t, "topicName", &format!("term {i}"));
+        w.set_literal(t, "occurrence", &format!("mark:{i}"));
+        if let Some(p) = prev {
+            w.set_link(t, "relatedTo", p);
+        }
+        prev = Some(t);
+    }
+    store
+}
+
+fn conformance_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_conformance");
+    let model = builtin::topic_map_like();
+    for n in [10usize, 100, 1_000] {
+        let store = topic_store(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &store, |b, store| {
+            b.iter(|| {
+                let report = check_conformance(store, &model);
+                assert!(report.is_conformant());
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn model_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_model_codec");
+    group.bench_function("encode_all_builtins", |b| {
+        b.iter(|| {
+            let mut store = TripleStore::new();
+            for model in builtin::all_models() {
+                encode_model(&mut store, &model);
+            }
+            black_box(store)
+        })
+    });
+    let mut store = TripleStore::new();
+    for model in builtin::all_models() {
+        encode_model(&mut store, &model);
+    }
+    group.bench_function("decode_bundle_scrap", |b| {
+        b.iter(|| black_box(decode_model(&store, "bundle-scrap").unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, conformance_check, model_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E8 — the Figure 4 scenario end to end: build the Rounds pad against
+//! live base applications, save it, reload it, and resolve every mark.
+//! The number the paper never gives: how long the whole user-visible
+//! loop takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slim_bench::populated_system;
+use std::hint::black_box;
+use superimposed::DocKind;
+
+fn end_to_end(c: &mut Criterion) {
+    c.bench_function("e8_figure4_cycle", |b| {
+        b.iter(|| {
+            let mut sys = populated_system(16);
+            let bundle = sys.pad.create_bundle("John Smith", (20, 60), 600, 500, None).unwrap();
+            let mut scraps = Vec::new();
+            for (i, kind) in DocKind::all().into_iter().enumerate() {
+                scraps.push(
+                    sys.pad
+                        .place_selection(kind, None, (40, 100 + 40 * i as i64), Some(bundle))
+                        .unwrap(),
+                );
+            }
+            let saved = sys.pad.save_xml();
+            sys.reopen_pad(&saved).unwrap();
+            let root = sys.pad.root_bundle();
+            let bundle = sys.pad.dmi().bundle(root).unwrap().nested[0];
+            let scraps = sys.pad.dmi().bundle(bundle).unwrap().scraps;
+            for scrap in &scraps {
+                black_box(sys.pad.activate(*scrap).unwrap());
+            }
+            black_box(sys)
+        })
+    });
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E9 — ablation: what interning + indexing buy (DESIGN.md's called-out
+//! design choice). The same selection workload against the indexed TRIM
+//! store and the naive Vec-of-strings baseline; the gap should grow
+//! linearly with store size for the naive store and stay near-flat for
+//! the indexed one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slim_bench::{naive_copy, random_store};
+use std::hint::black_box;
+use superimposed::trim::TriplePattern;
+
+fn select_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_select_by_subject");
+    for n in [1_000usize, 10_000, 100_000] {
+        let (store, subjects, _) = random_store(n, 7);
+        let naive = naive_copy(&store);
+        let subject_name = subjects[2].clone();
+        let s = store.find_atom(&subject_name).unwrap();
+        group.bench_with_input(BenchmarkId::new("indexed", n), &store, |b, store| {
+            b.iter(|| black_box(store.select(&TriplePattern::default().with_subject(s))))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", n), &naive, |b, naive| {
+            b.iter(|| black_box(naive.select(Some(&subject_name), None, None)))
+        });
+    }
+    group.finish();
+}
+
+fn insert_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_insert");
+    // Naive insert is O(n) per op (duplicate scan): keep sizes modest.
+    for n in [500usize, 2_000] {
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut store = superimposed::trim::TripleStore::new();
+                for i in 0..n {
+                    store.insert_literal(&format!("res:{}", i % 53), "p", &i.to_string());
+                }
+                black_box(store)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut store = superimposed::trim::naive::NaiveStore::new();
+                for i in 0..n {
+                    store.insert(&format!("res:{}", i % 53), "p", &i.to_string(), false);
+                }
+                black_box(store)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, select_ablation, insert_ablation);
+criterion_main!(benches);

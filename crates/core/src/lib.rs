@@ -1,0 +1,179 @@
+//! `superimposed` — the facade crate for the SLIM architecture.
+//!
+//! This crate wires together the full system of the paper's Figure 5:
+//!
+//! ```text
+//!        Superimposed Application (slimpad)
+//!        /                        \
+//!   Superimposed Info Mgmt     Mark Management (marks)
+//!   (slimstore + metamodel          |
+//!        + trim + xmlkit)      Base Applications (basedocs)
+//! ```
+//!
+//! [`SuperimposedSystem`] is the one-call bootstrap: all six simulated
+//! base applications, an in-context and an in-place mark module for each
+//! (twelve modules total), and a live [`PadSession`]. Examples and
+//! integration tests build on it; library users who want finer control
+//! can assemble the pieces from the re-exported crates directly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use superimposed::{DocKind, SuperimposedSystem};
+//! use superimposed::basedocs::spreadsheet::Workbook;
+//!
+//! // Boot the system and open a medication list in the spreadsheet app.
+//! let mut sys = SuperimposedSystem::new("Rounds").unwrap();
+//! let mut wb = Workbook::new("meds.xls");
+//! wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix 40 IV bid").unwrap();
+//! sys.excel.borrow_mut().open(wb).unwrap();
+//!
+//! // Select a cell in the base app, then place it on the pad.
+//! sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+//! let scrap = sys.pad.place_selection(DocKind::Spreadsheet, None, (40, 90), None).unwrap();
+//!
+//! // Double-click: the mark resolves and the base app highlights the cell.
+//! let res = sys.pad.activate(scrap).unwrap();
+//! assert!(res.display.contains("[Lasix 40 IV bid]"));
+//! ```
+
+pub mod search;
+pub use search::{BaseHit, SearchResults};
+
+pub use basedocs;
+pub use marks;
+pub use metamodel;
+pub use slimpad;
+pub use slimstore;
+pub use trim;
+pub use xmlkit;
+
+pub use basedocs::{BaseApplication, DocKind};
+pub use marks::{MarkManager, ResolutionStyle};
+pub use slimpad::{PadError, PadSession, ViewingStyle};
+pub use slimstore::{GenericDmi, SlimPadDmi};
+
+use basedocs::{HtmlApp, PdfApp, SlidesApp, SpreadsheetApp, TextApp, XmlApp};
+use marks::AppModule;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The fully wired system: six base applications, twelve mark modules,
+/// one pad.
+pub struct SuperimposedSystem {
+    /// The Excel stand-in.
+    pub excel: Rc<RefCell<SpreadsheetApp>>,
+    /// The XML viewer.
+    pub xml: Rc<RefCell<XmlApp>>,
+    /// The Word stand-in.
+    pub text: Rc<RefCell<TextApp>>,
+    /// The web browser.
+    pub html: Rc<RefCell<HtmlApp>>,
+    /// The PDF reader.
+    pub pdf: Rc<RefCell<PdfApp>>,
+    /// The PowerPoint stand-in.
+    pub slides: Rc<RefCell<SlidesApp>>,
+    /// The live SLIMPad (owns the Mark Manager).
+    pub pad: PadSession,
+}
+
+impl SuperimposedSystem {
+    /// Boot the system with an empty pad named `pad_name`.
+    ///
+    /// Each base application gets two modules, mirroring the paper's
+    /// Moniker discussion: `"<kind>"` resolves in context (drives the
+    /// application), `"<kind>-viewer"` resolves in place (extracts
+    /// content without disturbing it).
+    pub fn new(pad_name: &str) -> Result<Self, PadError> {
+        let excel = Rc::new(RefCell::new(SpreadsheetApp::new()));
+        let xml = Rc::new(RefCell::new(XmlApp::new()));
+        let text = Rc::new(RefCell::new(TextApp::new()));
+        let html = Rc::new(RefCell::new(HtmlApp::new()));
+        let pdf = Rc::new(RefCell::new(PdfApp::new()));
+        let slides = Rc::new(RefCell::new(SlidesApp::new()));
+        let mut pad = PadSession::new(pad_name)?;
+        register_all(pad.marks_mut(), &excel, &xml, &text, &html, &pdf, &slides)?;
+        Ok(SuperimposedSystem { excel, xml, text, html, pdf, slides, pad })
+    }
+
+    /// A fresh [`MarkManager`] wired to the *same* live applications —
+    /// what [`PadSession::load_xml`] needs to reopen a saved pad against
+    /// this system.
+    pub fn fresh_manager(&self) -> Result<MarkManager, PadError> {
+        let mut manager = MarkManager::new();
+        register_all(
+            &mut manager,
+            &self.excel,
+            &self.xml,
+            &self.text,
+            &self.html,
+            &self.pdf,
+            &self.slides,
+        )?;
+        Ok(manager)
+    }
+
+    /// Replace the current pad by one loaded from combined XML, resolved
+    /// against this system's base applications.
+    pub fn reopen_pad(&mut self, xml_text: &str) -> Result<(), PadError> {
+        let manager = self.fresh_manager()?;
+        self.pad = PadSession::load_xml(xml_text, manager)?;
+        Ok(())
+    }
+}
+
+fn register_all(
+    manager: &mut MarkManager,
+    excel: &Rc<RefCell<SpreadsheetApp>>,
+    xml: &Rc<RefCell<XmlApp>>,
+    text: &Rc<RefCell<TextApp>>,
+    html: &Rc<RefCell<HtmlApp>>,
+    pdf: &Rc<RefCell<PdfApp>>,
+    slides: &Rc<RefCell<SlidesApp>>,
+) -> Result<(), PadError> {
+    manager.register_module(Box::new(AppModule::in_context("spreadsheet", Rc::clone(excel))))?;
+    manager
+        .register_module(Box::new(AppModule::in_place("spreadsheet-viewer", Rc::clone(excel))))?;
+    manager.register_module(Box::new(AppModule::in_context("xml", Rc::clone(xml))))?;
+    manager.register_module(Box::new(AppModule::in_place("xml-viewer", Rc::clone(xml))))?;
+    manager.register_module(Box::new(AppModule::in_context("text", Rc::clone(text))))?;
+    manager.register_module(Box::new(AppModule::in_place("text-viewer", Rc::clone(text))))?;
+    manager.register_module(Box::new(AppModule::in_context("html", Rc::clone(html))))?;
+    manager.register_module(Box::new(AppModule::in_place("html-viewer", Rc::clone(html))))?;
+    manager.register_module(Box::new(AppModule::in_context("pdf", Rc::clone(pdf))))?;
+    manager.register_module(Box::new(AppModule::in_place("pdf-viewer", Rc::clone(pdf))))?;
+    manager.register_module(Box::new(AppModule::in_context("slides", Rc::clone(slides))))?;
+    manager.register_module(Box::new(AppModule::in_place("slides-viewer", Rc::clone(slides))))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_boots_with_all_six_kinds() {
+        let sys = SuperimposedSystem::new("Rounds").unwrap();
+        assert_eq!(sys.pad.marks().supported_kinds(), DocKind::all().to_vec());
+    }
+
+    #[test]
+    fn fresh_manager_matches_pad_manager() {
+        let sys = SuperimposedSystem::new("Rounds").unwrap();
+        let manager = sys.fresh_manager().unwrap();
+        assert_eq!(manager.supported_kinds(), sys.pad.marks().supported_kinds());
+    }
+
+    #[test]
+    fn reopen_pad_roundtrips() {
+        let mut sys = SuperimposedSystem::new("Rounds").unwrap();
+        sys.pad.create_bundle("John Smith", (10, 10), 400, 300, None).unwrap();
+        let saved = sys.pad.save_xml();
+        sys.pad.create_bundle("Transient", (500, 10), 100, 100, None).unwrap();
+        sys.reopen_pad(&saved).unwrap();
+        let root = sys.pad.root_bundle();
+        let nested = sys.pad.dmi().bundle(root).unwrap().nested;
+        assert_eq!(nested.len(), 1, "the transient bundle is gone");
+        assert_eq!(sys.pad.dmi().bundle(nested[0]).unwrap().name, "John Smith");
+    }
+}

@@ -1,0 +1,206 @@
+//! System-wide search: one query over every base application *and* the
+//! superimposed layer.
+//!
+//! The architecture makes this almost free: every base hit is expressed
+//! as a typed [`MarkAddress`], so a search result is directly
+//! mark-able — select it, wire it, drop it on the pad. Superimposed hits
+//! (scrap labels, annotations) come back as scrap handles.
+
+use crate::SuperimposedSystem;
+use marks::MarkAddress;
+use slimstore::ScrapHandle;
+
+/// One search hit in a base document: a mark-able address plus the
+/// matching content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseHit {
+    pub address: MarkAddress,
+    /// The matched element's content (what a result list shows).
+    pub excerpt: String,
+}
+
+/// All hits for one query.
+#[derive(Debug, Clone, Default)]
+pub struct SearchResults {
+    /// Hits in base documents, grouped in kind order
+    /// (spreadsheet, xml, text, html, pdf, slides).
+    pub base: Vec<BaseHit>,
+    /// Scraps whose label matches.
+    pub scraps: Vec<ScrapHandle>,
+    /// Scraps with a matching annotation.
+    pub annotated: Vec<ScrapHandle>,
+}
+
+impl SearchResults {
+    /// Total number of hits across layers.
+    pub fn len(&self) -> usize {
+        self.base.len() + self.scraps.len() + self.annotated.len()
+    }
+
+    /// True if nothing matched anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SuperimposedSystem {
+    /// Search every open base document and the pad's superimposed data
+    /// for `needle` (case-insensitive).
+    pub fn search_all(&self, needle: &str) -> SearchResults {
+        let mut base: Vec<BaseHit> = Vec::new();
+
+        for addr in self.excel.borrow().find_text(needle) {
+            let excerpt = {
+                use basedocs::BaseApplication;
+                self.excel.borrow().extract_content(&addr).unwrap_or_default()
+            };
+            base.push(BaseHit { address: MarkAddress::Spreadsheet(addr), excerpt });
+        }
+        for addr in self.xml.borrow().find_text(needle) {
+            let excerpt = {
+                use basedocs::BaseApplication;
+                self.xml.borrow().extract_content(&addr).unwrap_or_default()
+            };
+            base.push(BaseHit { address: MarkAddress::Xml(addr), excerpt });
+        }
+        for addr in self.text.borrow().find_all(needle) {
+            let excerpt = {
+                use basedocs::BaseApplication;
+                self.text.borrow().extract_content(&addr).unwrap_or_default()
+            };
+            base.push(BaseHit { address: MarkAddress::Text(addr), excerpt });
+        }
+        for addr in self.html.borrow().find_text(needle) {
+            let excerpt = {
+                use basedocs::BaseApplication;
+                self.html.borrow().extract_content(&addr).unwrap_or_default()
+            };
+            base.push(BaseHit { address: MarkAddress::Html(addr), excerpt });
+        }
+        for addr in self.pdf.borrow().find_all(needle) {
+            let excerpt = {
+                use basedocs::BaseApplication;
+                self.pdf.borrow().extract_content(&addr).unwrap_or_default()
+            };
+            base.push(BaseHit { address: MarkAddress::Pdf(addr), excerpt });
+        }
+        for addr in self.slides.borrow().find_text(needle) {
+            let excerpt = {
+                use basedocs::BaseApplication;
+                self.slides.borrow().extract_content(&addr).unwrap_or_default()
+            };
+            base.push(BaseHit { address: MarkAddress::Slides(addr), excerpt });
+        }
+
+        SearchResults {
+            base,
+            scraps: self.pad.dmi().find_scraps(needle),
+            annotated: self.pad.dmi().find_annotated(needle),
+        }
+    }
+
+    /// Turn a base hit into a scrap on the pad: create the mark at the
+    /// hit's address and place it — search-to-bundle in one step.
+    pub fn place_hit(
+        &mut self,
+        hit: &BaseHit,
+        label: Option<&str>,
+        pos: (i64, i64),
+        bundle: Option<slimstore::BundleHandle>,
+    ) -> Result<ScrapHandle, crate::PadError> {
+        let mark_id = self.pad.marks_mut().create_mark_at(hit.address.clone())?;
+        self.pad.place_mark(&mark_id, label, pos, bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DocKind, SuperimposedSystem};
+    use basedocs::pdfdoc::PdfDocument;
+    use basedocs::slides::SlideDeck;
+    use basedocs::spreadsheet::Workbook;
+    use basedocs::textdoc::TextDocument;
+
+    fn loaded_system() -> SuperimposedSystem {
+        let sys = SuperimposedSystem::new("Search").unwrap();
+        let mut wb = Workbook::new("meds.xls");
+        wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "furosemide 40").unwrap();
+        wb.sheet_mut("Sheet1").unwrap().set_a1("A2", "heparin").unwrap();
+        sys.excel.borrow_mut().open(wb).unwrap();
+        sys.xml
+            .borrow_mut()
+            .open_text("labs.xml", "<labs><note>gave furosemide at 06:00</note></labs>")
+            .unwrap();
+        sys.text
+            .borrow_mut()
+            .open(TextDocument::from_text("note.doc", "Plan: continue furosemide drip."))
+            .unwrap();
+        sys.html
+            .borrow_mut()
+            .load("guide.html", "<html><body><p>Furosemide is first-line.</p></body></html>")
+            .unwrap();
+        sys.pdf
+            .borrow_mut()
+            .open(PdfDocument::paginate("g.pdf", "Loop diuretics: furosemide, torsemide.", 50, 5))
+            .unwrap();
+        let mut deck = SlideDeck::new("d.ppt");
+        deck.add_bullet_slide("Diuretics", &["furosemide dosing review"]);
+        sys.slides.borrow_mut().open(deck).unwrap();
+        sys
+    }
+
+    #[test]
+    fn search_finds_hits_in_all_six_base_kinds() {
+        let sys = loaded_system();
+        let results = sys.search_all("furosemide");
+        let kinds: Vec<DocKind> = results.base.iter().map(|h| h.address.kind()).collect();
+        for kind in DocKind::all() {
+            assert!(kinds.contains(&kind), "missing {kind} in {kinds:?}");
+        }
+        assert!(results.base.iter().all(|h| h.excerpt.to_lowercase().contains("furosemide")));
+    }
+
+    #[test]
+    fn search_is_case_insensitive_and_misses_cleanly() {
+        let sys = loaded_system();
+        assert!(!sys.search_all("FUROSEMIDE").is_empty());
+        assert!(sys.search_all("digoxin").is_empty());
+    }
+
+    #[test]
+    fn superimposed_layer_is_searched_too() {
+        let mut sys = loaded_system();
+        sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A2").unwrap();
+        let scrap = sys
+            .pad
+            .place_selection(DocKind::Spreadsheet, Some("anticoagulation"), (10, 30), None)
+            .unwrap();
+        sys.pad.dmi_mut().add_annotation(scrap, "check platelets for HIT").unwrap();
+        let results = sys.search_all("anticoagulation");
+        assert_eq!(results.scraps, vec![scrap]);
+        let results = sys.search_all("platelets");
+        assert_eq!(results.annotated, vec![scrap]);
+    }
+
+    #[test]
+    fn hits_are_markable_and_placeable() {
+        let mut sys = loaded_system();
+        let results = sys.search_all("furosemide");
+        let hit = results.base[0].clone();
+        let scrap = sys.place_hit(&hit, None, (40, 90), None).unwrap();
+        // The scrap's wire resolves back to the hit content.
+        let content = sys.pad.extract(scrap).unwrap();
+        assert!(content.to_lowercase().contains("furosemide"), "{content}");
+    }
+
+    #[test]
+    fn results_count_both_layers() {
+        let mut sys = loaded_system();
+        sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        sys.pad
+            .place_selection(DocKind::Spreadsheet, Some("furosemide 40"), (0, 0), None)
+            .unwrap();
+        let results = sys.search_all("furosemide");
+        assert_eq!(results.len(), results.base.len() + 1);
+    }
+}

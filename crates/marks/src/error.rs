@@ -1,0 +1,68 @@
+//! Error type for mark operations.
+
+use basedocs::{DocError, DocKind};
+use std::fmt;
+
+/// Errors from mark creation, resolution, and persistence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarkError {
+    /// No mark with the given id exists in the manager.
+    UnknownMark { mark_id: String },
+    /// No module is registered for the requested document kind.
+    NoModule { kind: DocKind },
+    /// No module with the given name exists for the kind.
+    NoSuchModule { kind: DocKind, module: String },
+    /// A module was asked to handle an address of the wrong kind — an
+    /// internal routing bug surfaced as an error rather than a panic so
+    /// persisted data can never crash the host application.
+    KindMismatch { expected: DocKind, found: DocKind },
+    /// The underlying base application failed.
+    Base(DocError),
+    /// The persisted mark store is malformed.
+    Format { message: String },
+    /// The persisted mark store is not well-formed XML.
+    Xml(String),
+}
+
+impl fmt::Display for MarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkError::UnknownMark { mark_id } => write!(f, "unknown mark {mark_id:?}"),
+            MarkError::NoModule { kind } => {
+                write!(f, "no mark module registered for base type {kind}")
+            }
+            MarkError::NoSuchModule { kind, module } => {
+                write!(f, "no mark module {module:?} for base type {kind}")
+            }
+            MarkError::KindMismatch { expected, found } => {
+                write!(f, "mark module for {expected} handed a {found} address")
+            }
+            MarkError::Base(e) => write!(f, "base application error: {e}"),
+            MarkError::Format { message } => write!(f, "invalid mark store: {message}"),
+            MarkError::Xml(m) => write!(f, "mark store is not well-formed XML: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkError {}
+
+impl From<DocError> for MarkError {
+    fn from(e: DocError) -> Self {
+        MarkError::Base(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MarkError::UnknownMark { mark_id: "mark:7".into() };
+        assert!(e.to_string().contains("mark:7"));
+        let e = MarkError::NoModule { kind: DocKind::Pdf };
+        assert!(e.to_string().contains("pdf"));
+        let e = MarkError::Base(DocError::NoSelection);
+        assert!(e.to_string().contains("no current selection"));
+    }
+}

@@ -1,0 +1,629 @@
+//! The Mark Manager: registry, storage, audit, and persistence.
+
+use crate::error::MarkError;
+use crate::mark::{Mark, MarkAddress, MarkId};
+use crate::module::{MarkModule, Resolution};
+use basedocs::DocKind;
+use std::collections::{BTreeMap, HashMap};
+use xmlkit::XmlWriter;
+
+/// On-disk format version for the mark store.
+const FORMAT_VERSION: &str = "1";
+
+/// Per-kind mark counts, for displays and the E6 experiment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MarkStats {
+    /// `(kind, number of marks)`, all kinds with at least one mark.
+    pub per_kind: Vec<(DocKind, usize)>,
+    /// Total marks stored.
+    pub total: usize,
+    /// Registered modules per kind.
+    pub modules: Vec<(DocKind, usize)>,
+}
+
+/// One row of a dangling-mark audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkAudit {
+    pub mark_id: MarkId,
+    pub kind: DocKind,
+    /// Whether the address still resolves.
+    pub live: bool,
+    /// Whether the content at the address still matches the excerpt
+    /// captured at creation (only meaningful when `live`). Drift is the
+    /// transcription-error risk the paper's redundancy discussion warns
+    /// about — the mark still resolves but the value changed.
+    pub drifted: bool,
+}
+
+/// The Mark Manager (paper Figure 7).
+///
+/// "Since the specific addressing scheme of the base-layer information is
+/// encapsulated within the mark, the Mark Manager can generically store
+/// and retrieve all marks."
+#[derive(Default)]
+pub struct MarkManager {
+    /// Modules by kind; the first registered module for a kind is its
+    /// default.
+    modules: HashMap<DocKind, Vec<Box<dyn MarkModule>>>,
+    /// The mark store (sorted for deterministic iteration/persistence).
+    marks: BTreeMap<MarkId, Mark>,
+    next_id: u64,
+    /// `(mark id, module name)` pairs, in resolution order — the audit
+    /// trail of Figure 7's arrows.
+    resolution_log: Vec<(MarkId, String)>,
+}
+
+impl MarkManager {
+    /// An empty manager with no modules registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- module registry ---------------------------------------------------
+
+    /// Register a module. The first module registered for a kind becomes
+    /// that kind's default.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a second module with the same `(kind, name)`.
+    pub fn register_module(&mut self, module: Box<dyn MarkModule>) -> Result<(), MarkError> {
+        let kind = module.kind();
+        let entry = self.modules.entry(kind).or_default();
+        if entry.iter().any(|m| m.module_name() == module.module_name()) {
+            return Err(MarkError::Format {
+                message: format!(
+                    "module {:?} already registered for {kind}",
+                    module.module_name()
+                ),
+            });
+        }
+        entry.push(module);
+        Ok(())
+    }
+
+    /// Make a registered module the default for its kind (the module
+    /// used by [`MarkManager::create_mark`] and [`MarkManager::resolve`]).
+    pub fn set_default_module(&mut self, kind: DocKind, name: &str) -> Result<(), MarkError> {
+        let modules = self.modules.get_mut(&kind).ok_or(MarkError::NoModule { kind })?;
+        let idx = modules
+            .iter()
+            .position(|m| m.module_name() == name)
+            .ok_or_else(|| MarkError::NoSuchModule { kind, module: name.to_string() })?;
+        let module = modules.remove(idx);
+        modules.insert(0, module);
+        Ok(())
+    }
+
+    /// Kinds with at least one registered module.
+    pub fn supported_kinds(&self) -> Vec<DocKind> {
+        let mut kinds: Vec<DocKind> = self.modules.keys().copied().collect();
+        kinds.sort_unstable();
+        kinds
+    }
+
+    fn default_module(&self, kind: DocKind) -> Result<&dyn MarkModule, MarkError> {
+        self.modules
+            .get(&kind)
+            .and_then(|v| v.first())
+            .map(|b| b.as_ref())
+            .ok_or(MarkError::NoModule { kind })
+    }
+
+    fn named_module(&self, kind: DocKind, name: &str) -> Result<&dyn MarkModule, MarkError> {
+        self.modules
+            .get(&kind)
+            .and_then(|v| v.iter().find(|m| m.module_name() == name))
+            .map(|b| b.as_ref())
+            .ok_or_else(|| MarkError::NoSuchModule { kind, module: name.to_string() })
+    }
+
+    // ---- mark creation -------------------------------------------------------
+
+    /// Create a mark from the current selection of `kind`'s base
+    /// application — the paper's creation flow: "Once the user has created
+    /// a mark, it can be placed onto the SLIMPad".
+    pub fn create_mark(&mut self, kind: DocKind) -> Result<MarkId, MarkError> {
+        let module = self.default_module(kind)?;
+        let address = module.address_from_selection()?;
+        let excerpt = module.extract(&address).unwrap_or_default();
+        Ok(self.store(address, excerpt))
+    }
+
+    /// Create a mark from an explicit address (programmatic callers and
+    /// store loading).
+    pub fn create_mark_at(&mut self, address: MarkAddress) -> Result<MarkId, MarkError> {
+        let excerpt = match self.default_module(address.kind()) {
+            Ok(module) => module.extract(&address).unwrap_or_default(),
+            Err(_) => String::new(),
+        };
+        Ok(self.store(address, excerpt))
+    }
+
+    fn store(&mut self, address: MarkAddress, excerpt: String) -> MarkId {
+        let mark_id = format!("mark:{}", self.next_id);
+        self.next_id += 1;
+        self.marks.insert(mark_id.clone(), Mark { mark_id: mark_id.clone(), address, excerpt });
+        mark_id
+    }
+
+    // ---- mark access -----------------------------------------------------------
+
+    /// Look up a mark by id.
+    pub fn get(&self, mark_id: &str) -> Result<&Mark, MarkError> {
+        self.marks
+            .get(mark_id)
+            .ok_or_else(|| MarkError::UnknownMark { mark_id: mark_id.to_string() })
+    }
+
+    /// All marks in id order.
+    pub fn marks(&self) -> impl Iterator<Item = &Mark> {
+        self.marks.values()
+    }
+
+    /// Number of stored marks.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// True if no marks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Remove a mark, returning it.
+    pub fn remove(&mut self, mark_id: &str) -> Result<Mark, MarkError> {
+        self.marks
+            .remove(mark_id)
+            .ok_or_else(|| MarkError::UnknownMark { mark_id: mark_id.to_string() })
+    }
+
+    // ---- resolution ----------------------------------------------------------
+
+    /// Resolve a mark through its kind's default module — the
+    /// double-click path of paper Figure 4.
+    pub fn resolve(&mut self, mark_id: &str) -> Result<Resolution, MarkError> {
+        let mark = self.get(mark_id)?;
+        let address = mark.address.clone();
+        let module = self.default_module(address.kind())?;
+        let resolution = module.resolve(&address)?;
+        let name = module.module_name().to_string();
+        self.resolution_log.push((mark_id.to_string(), name));
+        Ok(resolution)
+    }
+
+    /// Resolve through a specific module (e.g. the in-place viewer).
+    pub fn resolve_with(&mut self, mark_id: &str, module_name: &str) -> Result<Resolution, MarkError> {
+        let mark = self.get(mark_id)?;
+        let address = mark.address.clone();
+        let module = self.named_module(address.kind(), module_name)?;
+        let resolution = module.resolve(&address)?;
+        self.resolution_log.push((mark_id.to_string(), module_name.to_string()));
+        Ok(resolution)
+    }
+
+    /// §6 extension: the marked element's current content.
+    pub fn extract_content(&self, mark_id: &str) -> Result<String, MarkError> {
+        let mark = self.get(mark_id)?;
+        self.default_module(mark.kind())?.extract(&mark.address)
+    }
+
+    /// The resolution audit trail.
+    pub fn resolution_log(&self) -> &[(MarkId, String)] {
+        &self.resolution_log
+    }
+
+    // ---- audit and stats ----------------------------------------------------
+
+    /// Check every mark for liveness and content drift.
+    pub fn audit(&self) -> Vec<MarkAudit> {
+        self.marks
+            .values()
+            .map(|mark| {
+                let (live, drifted) = match self.default_module(mark.kind()) {
+                    Ok(module) => match module.extract(&mark.address) {
+                        Ok(current) => (true, current != mark.excerpt),
+                        Err(_) => (false, false),
+                    },
+                    Err(_) => (false, false),
+                };
+                MarkAudit { mark_id: mark.mark_id.clone(), kind: mark.kind(), live, drifted }
+            })
+            .collect()
+    }
+
+    /// Accept drift on one mark: re-capture its excerpt from the base
+    /// document's current content. Returns the old excerpt.
+    pub fn refresh_excerpt(&mut self, mark_id: &str) -> Result<String, MarkError> {
+        let address = self.get(mark_id)?.address.clone();
+        let module = self.default_module(address.kind())?;
+        let current = module.extract(&address)?;
+        let mark = self.marks.get_mut(mark_id).expect("checked by get()");
+        Ok(std::mem::replace(&mut mark.excerpt, current))
+    }
+
+    /// Accept drift everywhere: refresh every live mark's excerpt.
+    /// Returns how many excerpts actually changed. Dangling marks are
+    /// left untouched (their stale excerpt is the only content left).
+    pub fn refresh_all_excerpts(&mut self) -> usize {
+        let ids: Vec<MarkId> = self.marks.keys().cloned().collect();
+        let mut changed = 0;
+        for id in ids {
+            if let Ok(old) = self.refresh_excerpt(&id) {
+                if self.get(&id).map(|m| m.excerpt != old).unwrap_or(false) {
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Counts per kind and module registry size.
+    pub fn stats(&self) -> MarkStats {
+        let mut per_kind: BTreeMap<DocKind, usize> = BTreeMap::new();
+        for mark in self.marks.values() {
+            *per_kind.entry(mark.kind()).or_default() += 1;
+        }
+        let mut modules: Vec<(DocKind, usize)> =
+            self.modules.iter().map(|(k, v)| (*k, v.len())).collect();
+        modules.sort_unstable_by_key(|(k, _)| *k);
+        MarkStats {
+            per_kind: per_kind.into_iter().collect(),
+            total: self.marks.len(),
+            modules,
+        }
+    }
+
+    // ---- persistence ----------------------------------------------------------
+
+    /// Serialize the mark store (not the modules — those are code) to XML.
+    pub fn to_xml(&self) -> String {
+        let mut w = XmlWriter::compact();
+        w.declaration();
+        w.start("marks");
+        w.attr("version", FORMAT_VERSION);
+        w.attr("next", &self.next_id.to_string());
+        for mark in self.marks.values() {
+            w.start("mark");
+            w.attr("id", &mark.mark_id);
+            w.attr("kind", mark.kind().id());
+            w.attr("excerpt", &mark.excerpt);
+            for (name, value) in mark.address.to_fields() {
+                w.start("f");
+                w.attr("n", &name);
+                w.text(&value);
+                w.end();
+            }
+            w.end();
+        }
+        w.end();
+        w.finish()
+    }
+
+    /// Load a mark store previously saved with [`MarkManager::to_xml`]
+    /// into this manager (which supplies the modules). Existing marks are
+    /// replaced.
+    pub fn load_xml(&mut self, text: &str) -> Result<(), MarkError> {
+        let doc = xmlkit::parse(text).map_err(|e| MarkError::Xml(e.to_string()))?;
+        if doc.root.name != "marks" {
+            return Err(MarkError::Format {
+                message: format!("expected <marks>, found <{}>", doc.root.name),
+            });
+        }
+        if doc.root.attr("version") != Some(FORMAT_VERSION) {
+            return Err(MarkError::Format { message: "missing or unsupported version".into() });
+        }
+        let next_id: u64 = doc
+            .root
+            .attr("next")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| MarkError::Format { message: "bad 'next' attribute".into() })?;
+        let mut marks = BTreeMap::new();
+        for m in doc.root.elements() {
+            if m.name != "mark" {
+                return Err(MarkError::Format {
+                    message: format!("unexpected element <{}>", m.name),
+                });
+            }
+            let id = m
+                .attr("id")
+                .ok_or_else(|| MarkError::Format { message: "mark missing id".into() })?;
+            let kind = m
+                .attr("kind")
+                .and_then(DocKind::from_id)
+                .ok_or_else(|| MarkError::Format { message: format!("mark {id} has bad kind") })?;
+            let excerpt = m.attr("excerpt").unwrap_or_default().to_string();
+            let fields: Vec<(String, String)> = m
+                .children_named("f")
+                .map(|f| {
+                    f.attr("n")
+                        .map(|n| (n.to_string(), f.text()))
+                        .ok_or_else(|| MarkError::Format {
+                            message: format!("mark {id} has a field without a name"),
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            let address = MarkAddress::from_fields(kind, &fields)
+                .map_err(|e| MarkError::Format { message: format!("mark {id}: {e}") })?;
+            marks.insert(
+                id.to_string(),
+                Mark { mark_id: id.to_string(), address, excerpt },
+            );
+        }
+        self.marks = marks;
+        self.next_id = next_id;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MarkManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MarkManager")
+            .field("marks", &self.marks.len())
+            .field("kinds", &self.supported_kinds())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{AppModule, ResolutionStyle};
+    use basedocs::spreadsheet::Workbook;
+    use basedocs::{SpreadsheetApp, XmlApp};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn manager_with_apps() -> (MarkManager, Rc<RefCell<SpreadsheetApp>>, Rc<RefCell<XmlApp>>) {
+        let mut wb = Workbook::new("meds.xls");
+        wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix").unwrap();
+        wb.sheet_mut("Sheet1").unwrap().set_a1("B1", "40").unwrap();
+        let mut sheet_app = SpreadsheetApp::new();
+        sheet_app.open(wb).unwrap();
+        let sheet_app = Rc::new(RefCell::new(sheet_app));
+
+        let mut xml_app = XmlApp::new();
+        xml_app.open_text("labs.xml", "<labs><na>140</na><k>4.1</k></labs>").unwrap();
+        let xml_app = Rc::new(RefCell::new(xml_app));
+
+        let mut mgr = MarkManager::new();
+        mgr.register_module(Box::new(AppModule::in_context("excel", Rc::clone(&sheet_app))))
+            .unwrap();
+        mgr.register_module(Box::new(AppModule::in_place(
+            "excel-viewer",
+            Rc::clone(&sheet_app),
+        )))
+        .unwrap();
+        mgr.register_module(Box::new(AppModule::in_context("xml", Rc::clone(&xml_app))))
+            .unwrap();
+        (mgr, sheet_app, xml_app)
+    }
+
+    #[test]
+    fn create_from_selection_and_resolve() {
+        let (mut mgr, sheet_app, _) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        let id = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        assert_eq!(id, "mark:0");
+        assert_eq!(mgr.get(&id).unwrap().excerpt, "Lasix");
+
+        let res = mgr.resolve(&id).unwrap();
+        assert_eq!(res.style, ResolutionStyle::InContext);
+        assert!(res.display.contains("[Lasix]"));
+        assert_eq!(mgr.resolution_log(), &[(id, "excel".to_string())]);
+    }
+
+    #[test]
+    fn create_without_selection_fails() {
+        let (mut mgr, _, _) = manager_with_apps();
+        assert!(matches!(
+            mgr.create_mark(DocKind::Spreadsheet),
+            Err(MarkError::Base(basedocs::DocError::NoSelection))
+        ));
+    }
+
+    #[test]
+    fn create_for_unregistered_kind_fails() {
+        let (mut mgr, _, _) = manager_with_apps();
+        assert!(matches!(
+            mgr.create_mark(DocKind::Pdf),
+            Err(MarkError::NoModule { kind: DocKind::Pdf })
+        ));
+    }
+
+    #[test]
+    fn duplicate_module_names_rejected() {
+        let (mut mgr, sheet_app, _) = manager_with_apps();
+        let err = mgr
+            .register_module(Box::new(AppModule::in_context("excel", sheet_app)))
+            .unwrap_err();
+        assert!(err.to_string().contains("excel"));
+    }
+
+    #[test]
+    fn default_module_can_be_switched() {
+        let (mut mgr, sheet_app, _) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "B1").unwrap();
+        let id = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        assert_eq!(mgr.resolve(&id).unwrap().style, ResolutionStyle::InContext);
+        mgr.set_default_module(DocKind::Spreadsheet, "excel-viewer").unwrap();
+        assert_eq!(mgr.resolve(&id).unwrap().style, ResolutionStyle::InPlace);
+        assert!(matches!(
+            mgr.set_default_module(DocKind::Spreadsheet, "nope"),
+            Err(MarkError::NoSuchModule { .. })
+        ));
+        assert!(matches!(
+            mgr.set_default_module(DocKind::Pdf, "x"),
+            Err(MarkError::NoModule { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_with_selects_alternate_module() {
+        let (mut mgr, sheet_app, _) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "B1").unwrap();
+        let id = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        let res = mgr.resolve_with(&id, "excel-viewer").unwrap();
+        assert_eq!(res.style, ResolutionStyle::InPlace);
+        assert_eq!(res.display, "40");
+        assert!(matches!(
+            mgr.resolve_with(&id, "nope"),
+            Err(MarkError::NoSuchModule { .. })
+        ));
+    }
+
+    #[test]
+    fn marks_across_kinds_coexist() {
+        let (mut mgr, sheet_app, xml_app) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        let m1 = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        xml_app.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+        let m2 = mgr.create_mark(DocKind::Xml).unwrap();
+        assert_eq!(mgr.len(), 2);
+        assert_eq!(mgr.extract_content(&m1).unwrap(), "Lasix");
+        assert_eq!(mgr.extract_content(&m2).unwrap(), "4.1");
+        let stats = mgr.stats();
+        assert_eq!(stats.total, 2);
+        assert_eq!(
+            stats.per_kind,
+            vec![(DocKind::Spreadsheet, 1), (DocKind::Xml, 1)]
+        );
+    }
+
+    #[test]
+    fn audit_reports_live_drifted_and_dangling() {
+        let (mut mgr, sheet_app, xml_app) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "B1").unwrap();
+        let healthy = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        let drifting = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        xml_app.borrow_mut().select_by_path("labs.xml", "/labs/na").unwrap();
+        let dangling = mgr.create_mark(DocKind::Xml).unwrap();
+
+        // Drift: base value edited under the mark.
+        sheet_app
+            .borrow_mut()
+            .workbook_mut("meds.xls")
+            .unwrap()
+            .sheet_mut("Sheet1")
+            .unwrap()
+            .set_a1("A1", "Furosemide")
+            .unwrap();
+        // Dangle: base document closed.
+        xml_app.borrow_mut().close("labs.xml").unwrap();
+
+        let audit = mgr.audit();
+        let row = |id: &str| audit.iter().find(|a| a.mark_id == id).unwrap();
+        assert!(row(&healthy).live && !row(&healthy).drifted);
+        assert!(row(&drifting).live && row(&drifting).drifted);
+        assert!(!row(&dangling).live);
+    }
+
+    #[test]
+    fn refreshing_excerpts_accepts_drift() {
+        let (mut mgr, sheet_app, _) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        let id = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        sheet_app
+            .borrow_mut()
+            .workbook_mut("meds.xls")
+            .unwrap()
+            .sheet_mut("Sheet1")
+            .unwrap()
+            .set_a1("A1", "Furosemide")
+            .unwrap();
+        assert!(mgr.audit()[0].drifted);
+        let old = mgr.refresh_excerpt(&id).unwrap();
+        assert_eq!(old, "Lasix");
+        assert_eq!(mgr.get(&id).unwrap().excerpt, "Furosemide");
+        assert!(!mgr.audit()[0].drifted, "drift accepted");
+        // A second refresh changes nothing.
+        assert_eq!(mgr.refresh_all_excerpts(), 0);
+    }
+
+    #[test]
+    fn refresh_all_counts_only_real_changes() {
+        let (mut mgr, sheet_app, xml_app) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        xml_app.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+        mgr.create_mark(DocKind::Xml).unwrap();
+        // Drift one of the two; close nothing.
+        sheet_app
+            .borrow_mut()
+            .workbook_mut("meds.xls")
+            .unwrap()
+            .sheet_mut("Sheet1")
+            .unwrap()
+            .set_a1("A1", "Torsemide")
+            .unwrap();
+        assert_eq!(mgr.refresh_all_excerpts(), 1);
+        // Dangling marks are skipped, not errors.
+        xml_app.borrow_mut().close("labs.xml").unwrap();
+        assert_eq!(mgr.refresh_all_excerpts(), 0);
+    }
+
+    #[test]
+    fn xml_persistence_roundtrips_marks() {
+        let (mut mgr, sheet_app, xml_app) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        xml_app.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+        mgr.create_mark(DocKind::Xml).unwrap();
+
+        let xml = mgr.to_xml();
+        let (mut mgr2, _, _) = manager_with_apps();
+        mgr2.load_xml(&xml).unwrap();
+        assert_eq!(mgr2.len(), 2);
+        let originals: Vec<_> = mgr.marks().cloned().collect();
+        let loaded: Vec<_> = mgr2.marks().cloned().collect();
+        assert_eq!(originals, loaded);
+        // Id allocation continues past loaded ids.
+        let next = mgr2.create_mark_at(originals[0].address.clone()).unwrap();
+        assert_eq!(next, "mark:2");
+    }
+
+    #[test]
+    fn load_rejects_malformed_stores() {
+        let (mut mgr, _, _) = manager_with_apps();
+        assert!(matches!(mgr.load_xml("<wrong/>"), Err(MarkError::Format { .. })));
+        assert!(matches!(mgr.load_xml("not xml"), Err(MarkError::Xml(_))));
+        assert!(matches!(
+            mgr.load_xml(r#"<marks version="1"><mark id="m" kind="alien"/></marks>"#),
+            Err(MarkError::Format { .. })
+        ));
+        assert!(matches!(
+            mgr.load_xml(r#"<marks version="1" next="0"><mark id="m" kind="xml"/></marks>"#),
+            Err(MarkError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_and_unknown_mark_errors() {
+        let (mut mgr, sheet_app, _) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        let id = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        assert_eq!(mgr.remove(&id).unwrap().mark_id, id);
+        assert!(mgr.is_empty());
+        assert!(matches!(mgr.remove(&id), Err(MarkError::UnknownMark { .. })));
+        assert!(matches!(mgr.resolve(&id), Err(MarkError::UnknownMark { .. })));
+    }
+
+    #[test]
+    fn excerpt_survives_persistence_for_unavailable_base() {
+        // A mark whose base app is not registered still loads (excerpt
+        // provides the display fallback).
+        let (mut mgr, sheet_app, _) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        let xml = mgr.to_xml();
+        let mut bare = MarkManager::new(); // no modules at all
+        bare.load_xml(&xml).unwrap();
+        assert_eq!(bare.marks().next().unwrap().excerpt, "Lasix");
+        assert!(matches!(
+            bare.extract_content("mark:0"),
+            Err(MarkError::NoModule { .. })
+        ));
+    }
+}

@@ -1,0 +1,252 @@
+//! Marks and typed mark addresses.
+
+use basedocs::app::Address;
+use basedocs::{
+    DocError, DocKind, HtmlAddress, PdfAddress, SlideAddress, SpreadsheetAddress, TextAddress,
+    XmlAddress,
+};
+use std::fmt;
+
+/// A mark identifier, e.g. `"mark:42"`. Mark ids are opaque to everything
+/// above the Mark Manager (paper Figure 3: a `MarkHandle` holds only a
+/// `markId` string).
+pub type MarkId = String;
+
+/// A typed base-layer address: one variant per supported base type,
+/// mirroring the paper's one-`Mark`-subclass-per-type design (Figure 3:
+/// "Excel Mark", "XML Mark", …; Figure 8 shows two of the layouts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkAddress {
+    Spreadsheet(SpreadsheetAddress),
+    Xml(XmlAddress),
+    Text(TextAddress),
+    Html(HtmlAddress),
+    Pdf(PdfAddress),
+    Slides(SlideAddress),
+}
+
+impl MarkAddress {
+    /// The base type this address belongs to.
+    pub fn kind(&self) -> DocKind {
+        match self {
+            MarkAddress::Spreadsheet(_) => DocKind::Spreadsheet,
+            MarkAddress::Xml(_) => DocKind::Xml,
+            MarkAddress::Text(_) => DocKind::Text,
+            MarkAddress::Html(_) => DocKind::Html,
+            MarkAddress::Pdf(_) => DocKind::Pdf,
+            MarkAddress::Slides(_) => DocKind::Slides,
+        }
+    }
+
+    /// The containing file/document/url name.
+    pub fn file_name(&self) -> &str {
+        match self {
+            MarkAddress::Spreadsheet(a) => a.file_name(),
+            MarkAddress::Xml(a) => a.file_name(),
+            MarkAddress::Text(a) => a.file_name(),
+            MarkAddress::Html(a) => a.file_name(),
+            MarkAddress::Pdf(a) => a.file_name(),
+            MarkAddress::Slides(a) => a.file_name(),
+        }
+    }
+
+    /// Encode as ordered named fields — "one or more attributes that
+    /// comprise an address of the appropriate type" (Figure 3).
+    pub fn to_fields(&self) -> Vec<(String, String)> {
+        match self {
+            MarkAddress::Spreadsheet(a) => a.to_fields(),
+            MarkAddress::Xml(a) => a.to_fields(),
+            MarkAddress::Text(a) => a.to_fields(),
+            MarkAddress::Html(a) => a.to_fields(),
+            MarkAddress::Pdf(a) => a.to_fields(),
+            MarkAddress::Slides(a) => a.to_fields(),
+        }
+    }
+
+    /// Decode from a kind tag plus named fields.
+    pub fn from_fields(kind: DocKind, fields: &[(String, String)]) -> Result<Self, DocError> {
+        Ok(match kind {
+            DocKind::Spreadsheet => {
+                MarkAddress::Spreadsheet(SpreadsheetAddress::from_fields(fields)?)
+            }
+            DocKind::Xml => MarkAddress::Xml(XmlAddress::from_fields(fields)?),
+            DocKind::Text => MarkAddress::Text(TextAddress::from_fields(fields)?),
+            DocKind::Html => MarkAddress::Html(HtmlAddress::from_fields(fields)?),
+            DocKind::Pdf => MarkAddress::Pdf(PdfAddress::from_fields(fields)?),
+            DocKind::Slides => MarkAddress::Slides(SlideAddress::from_fields(fields)?),
+        })
+    }
+}
+
+impl fmt::Display for MarkAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkAddress::Spreadsheet(a) => write!(f, "{a}"),
+            MarkAddress::Xml(a) => write!(f, "{a}"),
+            MarkAddress::Text(a) => write!(f, "{a}"),
+            MarkAddress::Html(a) => write!(f, "{a}"),
+            MarkAddress::Pdf(a) => write!(f, "{a}"),
+            MarkAddress::Slides(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// Conversion between a concrete address type and the [`MarkAddress`]
+/// enum — what lets the generic [`crate::AppModule`] adapter work over
+/// any [`basedocs::BaseApplication`].
+pub trait WrapAddress: Address {
+    /// Wrap into the enum.
+    fn wrap(self) -> MarkAddress;
+    /// Borrow back out of the enum, if the variant matches.
+    fn unwrap_ref(addr: &MarkAddress) -> Option<&Self>;
+}
+
+macro_rules! impl_wrap {
+    ($ty:ty, $variant:ident) => {
+        impl WrapAddress for $ty {
+            fn wrap(self) -> MarkAddress {
+                MarkAddress::$variant(self)
+            }
+            fn unwrap_ref(addr: &MarkAddress) -> Option<&Self> {
+                match addr {
+                    MarkAddress::$variant(a) => Some(a),
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+impl_wrap!(SpreadsheetAddress, Spreadsheet);
+impl_wrap!(XmlAddress, Xml);
+impl_wrap!(TextAddress, Text);
+impl_wrap!(HtmlAddress, Html);
+impl_wrap!(PdfAddress, Pdf);
+impl_wrap!(SlideAddress, Slides);
+
+/// A mark: the unit the Mark Manager stores. "A mark is stored and
+/// maintained in the superimposed information layer, but references
+/// information in the base layer." (paper §4.2)
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mark {
+    /// Unique id, referenced by `MarkHandle`s in superimposed data.
+    pub mark_id: MarkId,
+    /// The typed base-layer address.
+    pub address: MarkAddress,
+    /// Content captured at creation time — what the user saw when they
+    /// made the mark. Lets the superimposed layer show something
+    /// meaningful even when the base document is unavailable, and powers
+    /// the audit's "content drifted" signal.
+    pub excerpt: String,
+}
+
+impl Mark {
+    /// The base type of this mark.
+    pub fn kind(&self) -> DocKind {
+        self.address.kind()
+    }
+}
+
+impl fmt::Display for Mark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → [{}] {}", self.mark_id, self.kind(), self.address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basedocs::{CellRef, Range, Span};
+    use xmlkit::XPath;
+
+    fn sample_addresses() -> Vec<MarkAddress> {
+        vec![
+            MarkAddress::Spreadsheet(SpreadsheetAddress {
+                file_name: "meds.xls".into(),
+                sheet_name: "Current".into(),
+                range: Range::cell(CellRef::new(1, 1)),
+            }),
+            MarkAddress::Xml(XmlAddress {
+                file_name: "labs.xml".into(),
+                xml_path: XPath::parse("/labReport/electrolytes/k").unwrap(),
+            }),
+            MarkAddress::Text(TextAddress {
+                file_name: "note.doc".into(),
+                target: basedocs::textdoc::TextTarget::Bookmark("plan".into()),
+            }),
+            MarkAddress::Html(HtmlAddress {
+                url: "drugs/lasix.html".into(),
+                target: basedocs::htmldoc::HtmlTarget::Anchor("dosing".into()),
+            }),
+            MarkAddress::Pdf(PdfAddress {
+                file_name: "guide.pdf".into(),
+                page: 1,
+                line: 2,
+                span: Span::new(0, 10),
+            }),
+            MarkAddress::Slides(SlideAddress {
+                file_name: "conf.ppt".into(),
+                slide: 0,
+                shape_id: "title".into(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_kind_roundtrips_through_fields() {
+        for addr in sample_addresses() {
+            let kind = addr.kind();
+            let fields = addr.to_fields();
+            let back = MarkAddress::from_fields(kind, &fields).unwrap();
+            assert_eq!(back, addr);
+        }
+    }
+
+    #[test]
+    fn kinds_cover_all_six() {
+        let kinds: Vec<DocKind> = sample_addresses().iter().map(MarkAddress::kind).collect();
+        assert_eq!(kinds, DocKind::all().to_vec());
+    }
+
+    #[test]
+    fn file_name_delegates() {
+        let addrs = sample_addresses();
+        assert_eq!(addrs[0].file_name(), "meds.xls");
+        assert_eq!(addrs[3].file_name(), "drugs/lasix.html");
+    }
+
+    #[test]
+    fn wrap_unwrap_are_inverse() {
+        let a = SpreadsheetAddress {
+            file_name: "f.xls".into(),
+            sheet_name: "S".into(),
+            range: Range::cell(CellRef::new(0, 0)),
+        };
+        let wrapped = a.clone().wrap();
+        assert_eq!(SpreadsheetAddress::unwrap_ref(&wrapped), Some(&a));
+        assert_eq!(XmlAddress::unwrap_ref(&wrapped), None);
+    }
+
+    #[test]
+    fn mark_display_mentions_id_kind_and_address() {
+        let mark = Mark {
+            mark_id: "mark:3".into(),
+            address: sample_addresses().remove(1),
+            excerpt: "4.1".into(),
+        };
+        let text = mark.to_string();
+        assert!(text.contains("mark:3"), "{text}");
+        assert!(text.contains("xml"), "{text}");
+        assert!(text.contains("labs.xml"), "{text}");
+    }
+
+    #[test]
+    fn from_fields_with_wrong_shape_errors() {
+        assert!(MarkAddress::from_fields(DocKind::Pdf, &[]).is_err());
+        assert!(MarkAddress::from_fields(
+            DocKind::Spreadsheet,
+            &[("fileName".into(), "f".into())]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Mark modules: the per-application drivers.
+//!
+//! "A mark is created by a base-layer application interacting with a mark
+//! module. … A mark module resolves a mark by driving the base-layer
+//! application to the information element designated by the mark."
+//! (paper §4.2)
+//!
+//! [`AppModule`] is the generic adapter: given shared access to any
+//! [`BaseApplication`], it implements [`MarkModule`] in one of two
+//! resolution styles. This is where the paper's claim that "the amount of
+//! modification to a base application is small" becomes concrete — a new
+//! base type costs one `Address` impl and one `AppModule` registration.
+
+use crate::error::MarkError;
+use crate::mark::{MarkAddress, WrapAddress};
+use basedocs::app::Address;
+use basedocs::{BaseApplication, DocKind};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How a module resolves marks — the paper's Moniker contrast: "one
+/// manager for Excel can display Excel Marks in context and another act
+/// as an in-place viewer".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolutionStyle {
+    /// Drive the base application to the element (it becomes the current
+    /// selection) and return the application's own highlighted view.
+    InContext,
+    /// Return the element's content without touching the application's
+    /// selection (independent viewing, paper Figure 6).
+    InPlace,
+}
+
+/// The result of resolving a mark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The style that produced this resolution.
+    pub style: ResolutionStyle,
+    /// The text shown to the user: a highlighted in-context view or the
+    /// bare extracted content.
+    pub display: String,
+}
+
+/// A driver for one base-layer application.
+pub trait MarkModule {
+    /// The base type this module serves.
+    fn kind(&self) -> DocKind;
+
+    /// Registry name; multiple modules per kind are distinguished by it.
+    fn module_name(&self) -> &str;
+
+    /// Capture the application's current selection as a mark address.
+    fn address_from_selection(&self) -> Result<MarkAddress, MarkError>;
+
+    /// Resolve an address by driving (or reading) the application.
+    fn resolve(&self, address: &MarkAddress) -> Result<Resolution, MarkError>;
+
+    /// The addressed element's content, selection left untouched.
+    fn extract(&self, address: &MarkAddress) -> Result<String, MarkError>;
+
+    /// Whether the address still resolves.
+    fn is_live(&self, address: &MarkAddress) -> bool {
+        self.extract(address).is_ok()
+    }
+}
+
+/// Generic mark module over any base application.
+///
+/// Applications are shared via `Rc<RefCell<…>>`: the superimposed
+/// application, the user, and any number of modules all interact with the
+/// same live application instance — exactly the simultaneous-viewing
+/// topology of paper Figure 6.
+pub struct AppModule<A: BaseApplication> {
+    app: Rc<RefCell<A>>,
+    name: String,
+    style: ResolutionStyle,
+}
+
+impl<A: BaseApplication> AppModule<A>
+where
+    A::Addr: WrapAddress,
+{
+    /// An in-context module (the default registration for a kind).
+    pub fn in_context(name: impl Into<String>, app: Rc<RefCell<A>>) -> Self {
+        AppModule { app, name: name.into(), style: ResolutionStyle::InContext }
+    }
+
+    /// An in-place viewer module.
+    pub fn in_place(name: impl Into<String>, app: Rc<RefCell<A>>) -> Self {
+        AppModule { app, name: name.into(), style: ResolutionStyle::InPlace }
+    }
+
+    /// Shared handle to the underlying application.
+    pub fn app(&self) -> Rc<RefCell<A>> {
+        Rc::clone(&self.app)
+    }
+
+    fn typed<'m>(&self, address: &'m MarkAddress) -> Result<&'m A::Addr, MarkError> {
+        A::Addr::unwrap_ref(address).ok_or(MarkError::KindMismatch {
+            expected: A::Addr::kind(),
+            found: address.kind(),
+        })
+    }
+}
+
+impl<A: BaseApplication> MarkModule for AppModule<A>
+where
+    A::Addr: WrapAddress,
+{
+    fn kind(&self) -> DocKind {
+        A::Addr::kind()
+    }
+
+    fn module_name(&self) -> &str {
+        &self.name
+    }
+
+    fn address_from_selection(&self) -> Result<MarkAddress, MarkError> {
+        Ok(self.app.borrow().current_selection()?.wrap())
+    }
+
+    fn resolve(&self, address: &MarkAddress) -> Result<Resolution, MarkError> {
+        let typed = self.typed(address)?;
+        match self.style {
+            ResolutionStyle::InContext => {
+                let mut app = self.app.borrow_mut();
+                app.navigate_to(typed)?;
+                let display = app.display_in_place(typed)?;
+                Ok(Resolution { style: ResolutionStyle::InContext, display })
+            }
+            ResolutionStyle::InPlace => {
+                let display = self.app.borrow().extract_content(typed)?;
+                Ok(Resolution { style: ResolutionStyle::InPlace, display })
+            }
+        }
+    }
+
+    fn extract(&self, address: &MarkAddress) -> Result<String, MarkError> {
+        let typed = self.typed(address)?;
+        Ok(self.app.borrow().extract_content(typed)?)
+    }
+
+    fn is_live(&self, address: &MarkAddress) -> bool {
+        match self.typed(address) {
+            Ok(typed) => self.app.borrow().address_is_live(typed),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basedocs::spreadsheet::Workbook;
+    use basedocs::SpreadsheetApp;
+
+    fn shared_app() -> Rc<RefCell<SpreadsheetApp>> {
+        let mut wb = Workbook::new("meds.xls");
+        wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix").unwrap();
+        wb.sheet_mut("Sheet1").unwrap().set_a1("B1", "40").unwrap();
+        let mut app = SpreadsheetApp::new();
+        app.open(wb).unwrap();
+        Rc::new(RefCell::new(app))
+    }
+
+    #[test]
+    fn address_from_selection_reads_live_app() {
+        let app = shared_app();
+        let module = AppModule::in_context("excel", Rc::clone(&app));
+        assert!(matches!(
+            module.address_from_selection(),
+            Err(MarkError::Base(basedocs::DocError::NoSelection))
+        ));
+        app.borrow_mut().select("meds.xls", "Sheet1", "B1").unwrap();
+        let addr = module.address_from_selection().unwrap();
+        assert_eq!(addr.to_string(), "meds.xls!Sheet1!B1");
+        assert_eq!(addr.kind(), DocKind::Spreadsheet);
+    }
+
+    #[test]
+    fn in_context_resolution_moves_selection_and_highlights() {
+        let app = shared_app();
+        let module = AppModule::in_context("excel", Rc::clone(&app));
+        app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        let addr = module.address_from_selection().unwrap();
+        // Move the user's selection elsewhere, then resolve the mark.
+        app.borrow_mut().select("meds.xls", "Sheet1", "B1").unwrap();
+        let res = module.resolve(&addr).unwrap();
+        assert_eq!(res.style, ResolutionStyle::InContext);
+        assert!(res.display.contains("[Lasix]"), "{}", res.display);
+        // In-context resolution re-selected the marked element.
+        assert_eq!(app.borrow().current_selection().unwrap().to_string(), "meds.xls!Sheet1!A1");
+    }
+
+    #[test]
+    fn in_place_resolution_leaves_selection_alone() {
+        let app = shared_app();
+        let in_place = AppModule::in_place("excel-viewer", Rc::clone(&app));
+        app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        let addr = in_place.address_from_selection().unwrap();
+        app.borrow_mut().select("meds.xls", "Sheet1", "B1").unwrap();
+        let res = in_place.resolve(&addr).unwrap();
+        assert_eq!(res.style, ResolutionStyle::InPlace);
+        assert_eq!(res.display, "Lasix");
+        assert_eq!(
+            app.borrow().current_selection().unwrap().to_string(),
+            "meds.xls!Sheet1!B1",
+            "in-place resolution must not move the selection"
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let app = shared_app();
+        let module = AppModule::in_context("excel", app);
+        let wrong = MarkAddress::Xml(basedocs::XmlAddress {
+            file_name: "labs.xml".into(),
+            xml_path: xmlkit::XPath::parse("/a").unwrap(),
+        });
+        assert!(matches!(
+            module.resolve(&wrong),
+            Err(MarkError::KindMismatch { expected: DocKind::Spreadsheet, found: DocKind::Xml })
+        ));
+        assert!(!module.is_live(&wrong));
+    }
+
+    #[test]
+    fn liveness_follows_base_document() {
+        let app = shared_app();
+        let module = AppModule::in_context("excel", Rc::clone(&app));
+        app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        let addr = module.address_from_selection().unwrap();
+        assert!(module.is_live(&addr));
+        app.borrow_mut().close("meds.xls").unwrap();
+        assert!(!module.is_live(&addr));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the mark layer: arbitrary mark stores must
+//! round-trip through XML persistence bit-exactly, for every address
+//! kind and hostile string content.
+
+use basedocs::{
+    htmldoc::HtmlTarget, textdoc::TextTarget, HtmlAddress, PdfAddress, SlideAddress, Span,
+    SpreadsheetAddress, TextAddress, XmlAddress,
+};
+use marks::{MarkAddress, MarkManager};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // File names with XML-hostile characters included.
+    "[ -~]{1,24}".prop_filter("nonempty after trim", |s| !s.trim().is_empty())
+}
+
+fn address_strategy() -> impl Strategy<Value = MarkAddress> {
+    let spreadsheet = (name_strategy(), name_strategy(), 0u32..500, 0u32..40).prop_map(
+        |(file, sheet, row, col)| {
+            MarkAddress::Spreadsheet(SpreadsheetAddress {
+                file_name: file,
+                sheet_name: sheet,
+                range: basedocs::Range::cell(basedocs::CellRef::new(row, col)),
+            })
+        },
+    );
+    let xml = (name_strategy(), 1usize..5, 1usize..4).prop_map(|(file, a, b)| {
+        MarkAddress::Xml(XmlAddress {
+            file_name: file,
+            xml_path: xmlkit::XPath::parse(&format!("/root/a[{a}]/b[{b}]")).unwrap(),
+        })
+    });
+    let text = (name_strategy(), proptest::option::of("[a-z]{1,10}"), 0usize..40, 0usize..30)
+        .prop_map(|(file, bookmark, para, len)| {
+            MarkAddress::Text(TextAddress {
+                file_name: file,
+                target: match bookmark {
+                    Some(b) => TextTarget::Bookmark(b),
+                    None => TextTarget::Span { paragraph: para, span: Span::new(len, len + 7) },
+                },
+            })
+        });
+    let html = (name_strategy(), "[a-z0-9-]{1,10}").prop_map(|(url, anchor)| {
+        MarkAddress::Html(HtmlAddress { url, target: HtmlTarget::Anchor(anchor) })
+    });
+    let pdf = (name_strategy(), 0usize..99, 0usize..60, 0usize..80).prop_map(
+        |(file, page, line, start)| {
+            MarkAddress::Pdf(PdfAddress {
+                file_name: file,
+                page,
+                line,
+                span: Span::new(start, start + 5),
+            })
+        },
+    );
+    let slides = (name_strategy(), 0usize..40, "[a-z0-9]{1,10}").prop_map(
+        |(file, slide, shape_id)| {
+            MarkAddress::Slides(SlideAddress { file_name: file, slide, shape_id })
+        },
+    );
+    prop_oneof![spreadsheet, xml, text, html, pdf, slides]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A manager full of arbitrary marks persists to XML and reloads
+    /// with identical contents and id allocation.
+    #[test]
+    fn mark_store_roundtrips(addresses in proptest::collection::vec(address_strategy(), 0..24)) {
+        let mut mgr = MarkManager::new();
+        for a in &addresses {
+            mgr.create_mark_at(a.clone()).unwrap();
+        }
+        let xml = mgr.to_xml();
+        let mut mgr2 = MarkManager::new();
+        mgr2.load_xml(&xml).unwrap();
+        let before: Vec<_> = mgr.marks().cloned().collect();
+        let after: Vec<_> = mgr2.marks().cloned().collect();
+        prop_assert_eq!(before, after);
+        // Serialization is stable.
+        prop_assert_eq!(mgr2.to_xml(), xml);
+        // Fresh ids continue past loaded ones.
+        if let Some(a) = addresses.first() {
+            let next = mgr2.create_mark_at(a.clone()).unwrap();
+            prop_assert_eq!(next, format!("mark:{}", addresses.len()));
+        }
+    }
+
+    /// Address field encoding round-trips through the enum for every kind.
+    #[test]
+    fn address_fields_roundtrip(address in address_strategy()) {
+        let kind = address.kind();
+        let fields = address.to_fields();
+        let back = MarkAddress::from_fields(kind, &fields).unwrap();
+        prop_assert_eq!(back, address);
+    }
+}

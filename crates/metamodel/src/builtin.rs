@@ -1,0 +1,371 @@
+//! The built-in model definitions: SLIMPad's Bundle-Scrap model plus the
+//! superimposed-model space the paper discusses (§4.3, §5): relational,
+//! object-oriented, Topic-Map-like, and XLink-like models.
+
+use crate::model::{Cardinality, ConnectorKind, ConstructKind, ModelDef};
+
+/// The Bundle-Scrap model, transcribed from paper Figure 3.
+///
+/// * `SlimPad` designates a root `Bundle`.
+/// * A `Bundle` has a name, position, height, width, and contains any
+///   number of `Scrap`s and nested `Bundle`s.
+/// * A `Scrap` has a name and position and one or more `MarkHandle`s
+///   (Figure 3's `scrapMark 1..*`).
+/// * A `MarkHandle` carries a mark id — a [`ConstructKind::Mark`] leaf
+///   resolved by the Mark Manager.
+pub fn bundle_scrap() -> ModelDef {
+    ModelDef::new("bundle-scrap")
+        .construct("SlimPad", ConstructKind::Construct)
+        .unwrap()
+        .construct("Bundle", ConstructKind::Construct)
+        .unwrap()
+        .construct("Scrap", ConstructKind::Construct)
+        .unwrap()
+        .construct("MarkHandle", ConstructKind::Construct)
+        .unwrap()
+        .construct("String", ConstructKind::Literal)
+        .unwrap()
+        .construct("Number", ConstructKind::Literal)
+        .unwrap()
+        .construct("Coordinate", ConstructKind::Literal)
+        .unwrap()
+        .construct("MarkRef", ConstructKind::Mark)
+        .unwrap()
+        .connector("padName", ConnectorKind::Connector, "SlimPad", "String", Cardinality::One)
+        .unwrap()
+        .connector(
+            "rootBundle",
+            ConnectorKind::Connector,
+            "SlimPad",
+            "Bundle",
+            Cardinality::OptionalOne,
+        )
+        .unwrap()
+        .connector("bundleName", ConnectorKind::Connector, "Bundle", "String", Cardinality::One)
+        .unwrap()
+        .connector(
+            "bundlePos",
+            ConnectorKind::Connector,
+            "Bundle",
+            "Coordinate",
+            Cardinality::One,
+        )
+        .unwrap()
+        .connector(
+            "bundleHeight",
+            ConnectorKind::Connector,
+            "Bundle",
+            "Number",
+            Cardinality::One,
+        )
+        .unwrap()
+        .connector("bundleWidth", ConnectorKind::Connector, "Bundle", "Number", Cardinality::One)
+        .unwrap()
+        .connector(
+            "bundleContent",
+            ConnectorKind::Connector,
+            "Bundle",
+            "Scrap",
+            Cardinality::Many,
+        )
+        .unwrap()
+        .connector(
+            "nestedBundle",
+            ConnectorKind::Connector,
+            "Bundle",
+            "Bundle",
+            Cardinality::Many,
+        )
+        .unwrap()
+        .connector("scrapName", ConnectorKind::Connector, "Scrap", "String", Cardinality::One)
+        .unwrap()
+        .connector("scrapPos", ConnectorKind::Connector, "Scrap", "Coordinate", Cardinality::One)
+        .unwrap()
+        .connector(
+            "scrapMark",
+            ConnectorKind::Connector,
+            "Scrap",
+            "MarkHandle",
+            Cardinality::OneOrMore,
+        )
+        .unwrap()
+        .connector("markId", ConnectorKind::Connector, "MarkHandle", "MarkRef", Cardinality::One)
+        .unwrap()
+        // §6 extensions the paper contemplates "to its information model
+        // that correspond to real world manipulations of bundled
+        // information": annotations on scraps and linking among scraps.
+        .connector(
+            "scrapAnnotation",
+            ConnectorKind::Connector,
+            "Scrap",
+            "String",
+            Cardinality::Many,
+        )
+        .unwrap()
+        .connector("scrapLink", ConnectorKind::Connector, "Scrap", "Scrap", Cardinality::Many)
+        .unwrap()
+}
+
+/// A relational-like model: "in the relational model, tables, attributes,
+/// keys and domains are constructs" (paper §4.3). `tupleOf` is the
+/// conformance connector tying instance rows to their table.
+pub fn relational_like() -> ModelDef {
+    ModelDef::new("relational")
+        .construct("Table", ConstructKind::Construct)
+        .unwrap()
+        .construct("Attribute", ConstructKind::Construct)
+        .unwrap()
+        .construct("Tuple", ConstructKind::Construct)
+        .unwrap()
+        .construct("String", ConstructKind::Literal)
+        .unwrap()
+        .construct("Domain", ConstructKind::Literal)
+        .unwrap()
+        .connector("tableName", ConnectorKind::Connector, "Table", "String", Cardinality::One)
+        .unwrap()
+        .connector(
+            "hasAttribute",
+            ConnectorKind::Connector,
+            "Table",
+            "Attribute",
+            Cardinality::OneOrMore,
+        )
+        .unwrap()
+        .connector("attrName", ConnectorKind::Connector, "Attribute", "String", Cardinality::One)
+        .unwrap()
+        .connector(
+            "attrDomain",
+            ConnectorKind::Connector,
+            "Attribute",
+            "Domain",
+            Cardinality::One,
+        )
+        .unwrap()
+        .connector(
+            "primaryKey",
+            ConnectorKind::Connector,
+            "Table",
+            "Attribute",
+            Cardinality::OptionalOne,
+        )
+        .unwrap()
+        .connector("tupleOf", ConnectorKind::Conformance, "Tuple", "Table", Cardinality::One)
+        .unwrap()
+        .connector("cellValue", ConnectorKind::Connector, "Tuple", "String", Cardinality::Many)
+        .unwrap()
+}
+
+/// An object-oriented-like model: "classes, attributes, and objects are
+/// constructs in an object-oriented model" (paper §4.3). `instanceOf` is
+/// the conformance connector; `subClassOf` the generalization connector.
+pub fn object_like() -> ModelDef {
+    ModelDef::new("object")
+        .construct("Class", ConstructKind::Construct)
+        .unwrap()
+        .construct("Attribute", ConstructKind::Construct)
+        .unwrap()
+        .construct("Object", ConstructKind::Construct)
+        .unwrap()
+        .construct("String", ConstructKind::Literal)
+        .unwrap()
+        .connector("className", ConnectorKind::Connector, "Class", "String", Cardinality::One)
+        .unwrap()
+        .connector(
+            "classAttr",
+            ConnectorKind::Connector,
+            "Class",
+            "Attribute",
+            Cardinality::Many,
+        )
+        .unwrap()
+        .connector("attrName", ConnectorKind::Connector, "Attribute", "String", Cardinality::One)
+        .unwrap()
+        .connector(
+            "subClassOf",
+            ConnectorKind::Generalization,
+            "Class",
+            "Class",
+            Cardinality::OptionalOne,
+        )
+        .unwrap()
+        .connector("instanceOf", ConnectorKind::Conformance, "Object", "Class", Cardinality::One)
+        .unwrap()
+        .connector("slotValue", ConnectorKind::Connector, "Object", "String", Cardinality::Many)
+        .unwrap()
+}
+
+/// A Topic-Map-like model (ISO 13250, paper reference \[3\]): topics with
+/// names, associations among topics, and occurrences pointing into base
+/// documents — the occurrence is a mark construct.
+pub fn topic_map_like() -> ModelDef {
+    ModelDef::new("topic-map")
+        .construct("Topic", ConstructKind::Construct)
+        .unwrap()
+        .construct("Association", ConstructKind::Construct)
+        .unwrap()
+        .construct("String", ConstructKind::Literal)
+        .unwrap()
+        .construct("Occurrence", ConstructKind::Mark)
+        .unwrap()
+        .connector("topicName", ConnectorKind::Connector, "Topic", "String", Cardinality::OneOrMore)
+        .unwrap()
+        .connector(
+            "occurrence",
+            ConnectorKind::Connector,
+            "Topic",
+            "Occurrence",
+            Cardinality::Many,
+        )
+        .unwrap()
+        .connector(
+            "assocType",
+            ConnectorKind::Connector,
+            "Association",
+            "String",
+            Cardinality::One,
+        )
+        .unwrap()
+        .connector(
+            "member",
+            ConnectorKind::Connector,
+            "Association",
+            "Topic",
+            Cardinality::OneOrMore,
+        )
+        .unwrap()
+        .connector("relatedTo", ConnectorKind::Connector, "Topic", "Topic", Cardinality::Many)
+        .unwrap()
+}
+
+/// An XLink-like model (paper reference \[7\]): links bundling locators
+/// (marks into documents) connected by arcs; `ExtendedLink` specializes
+/// `Link` via a generalization connector.
+pub fn xlink_like() -> ModelDef {
+    ModelDef::new("xlink")
+        .construct("Link", ConstructKind::Construct)
+        .unwrap()
+        .construct("ExtendedLink", ConstructKind::Construct)
+        .unwrap()
+        .construct("Arc", ConstructKind::Construct)
+        .unwrap()
+        .construct("String", ConstructKind::Literal)
+        .unwrap()
+        .construct("Locator", ConstructKind::Mark)
+        .unwrap()
+        .connector("linkTitle", ConnectorKind::Connector, "Link", "String", Cardinality::OptionalOne)
+        .unwrap()
+        .connector(
+            "locator",
+            ConnectorKind::Connector,
+            "Link",
+            "Locator",
+            Cardinality::OneOrMore,
+        )
+        .unwrap()
+        .connector("hasArc", ConnectorKind::Connector, "Link", "Arc", Cardinality::Many)
+        .unwrap()
+        .connector("arcFrom", ConnectorKind::Connector, "Arc", "Locator", Cardinality::One)
+        .unwrap()
+        .connector("arcTo", ConnectorKind::Connector, "Arc", "Locator", Cardinality::One)
+        .unwrap()
+        .connector(
+            "extendsLink",
+            ConnectorKind::Generalization,
+            "ExtendedLink",
+            "Link",
+            Cardinality::One,
+        )
+        .unwrap()
+        .connector(
+            "arcRole",
+            ConnectorKind::Connector,
+            "Arc",
+            "String",
+            Cardinality::OptionalOne,
+        )
+        .unwrap()
+}
+
+/// All built-in models.
+pub fn all_models() -> Vec<ModelDef> {
+    vec![bundle_scrap(), relational_like(), object_like(), topic_map_like(), xlink_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ConnectorKind;
+
+    #[test]
+    fn bundle_scrap_matches_figure_3() {
+        let m = bundle_scrap();
+        // Figure 3 entities.
+        for c in ["SlimPad", "Bundle", "Scrap", "MarkHandle"] {
+            assert_eq!(m.find_construct(c).unwrap().kind, ConstructKind::Construct, "{c}");
+        }
+        // Figure 3 attribute connectors.
+        for conn in [
+            "padName",
+            "rootBundle",
+            "bundleName",
+            "bundlePos",
+            "bundleHeight",
+            "bundleWidth",
+            "bundleContent",
+            "nestedBundle",
+            "scrapName",
+            "scrapPos",
+            "scrapMark",
+            "markId",
+        ] {
+            assert!(m.find_connector(conn).is_some(), "{conn} missing");
+        }
+        // Figure 3 cardinalities.
+        assert_eq!(m.find_connector("rootBundle").unwrap().cardinality, Cardinality::OptionalOne);
+        assert_eq!(m.find_connector("scrapMark").unwrap().cardinality, Cardinality::OneOrMore);
+        assert_eq!(m.find_connector("nestedBundle").unwrap().cardinality, Cardinality::Many);
+        // The mark leaf.
+        assert_eq!(m.find_construct("MarkRef").unwrap().kind, ConstructKind::Mark);
+    }
+
+    #[test]
+    fn all_models_have_distinct_names() {
+        let models = all_models();
+        let mut names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), models.len());
+    }
+
+    #[test]
+    fn paper_primitives_all_appear_somewhere() {
+        let models = all_models();
+        let has_construct_kind = |k: ConstructKind| {
+            models.iter().any(|m| m.constructs().iter().any(|c| c.kind == k))
+        };
+        let has_connector_kind = |k: ConnectorKind| {
+            models.iter().any(|m| m.connectors().iter().any(|c| c.kind == k))
+        };
+        assert!(has_construct_kind(ConstructKind::Construct));
+        assert!(has_construct_kind(ConstructKind::Literal));
+        assert!(has_construct_kind(ConstructKind::Mark));
+        assert!(has_connector_kind(ConnectorKind::Connector));
+        assert!(has_connector_kind(ConnectorKind::Conformance));
+        assert!(has_connector_kind(ConnectorKind::Generalization));
+    }
+
+    #[test]
+    fn topic_map_occurrences_are_marks() {
+        let m = topic_map_like();
+        assert_eq!(m.find_construct("Occurrence").unwrap().kind, ConstructKind::Mark);
+    }
+
+    #[test]
+    fn xlink_generalization_inherits_link_connectors() {
+        let m = xlink_like();
+        let inherited: Vec<&str> =
+            m.connectors_from("ExtendedLink").iter().map(|c| c.name.as_str()).collect();
+        assert!(inherited.contains(&"locator"), "{inherited:?}");
+        assert!(inherited.contains(&"linkTitle"), "{inherited:?}");
+    }
+}

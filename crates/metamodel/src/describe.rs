@@ -1,0 +1,134 @@
+//! Rendering model definitions as UML-style text — regenerating the
+//! *form* of paper Figure 3 ("SLIMPad's information model … represented
+//! in UML") from the stored model itself.
+
+use crate::model::{ConnectorKind, ConstructKind, ModelDef};
+
+impl ModelDef {
+    /// Render the model as UML-ish ASCII: one box per structural
+    /// construct listing its attribute connectors (those targeting
+    /// literal/mark constructs), then association lines for
+    /// construct-to-construct connectors. Deterministic output.
+    pub fn to_uml(&self) -> String {
+        let mut out = format!("model {}\n", self.name);
+        let mut structural: Vec<&str> = self
+            .constructs()
+            .iter()
+            .filter(|c| c.kind == ConstructKind::Construct)
+            .map(|c| c.name.as_str())
+            .collect();
+        structural.sort_unstable();
+
+        for name in &structural {
+            // Attribute connectors: declared directly on this construct
+            // (not inherited) and targeting a leaf construct.
+            let mut attrs: Vec<String> = self
+                .connectors()
+                .iter()
+                .filter(|c| c.kind != ConnectorKind::Generalization)
+                .filter(|c| &c.from == name)
+                .filter(|c| {
+                    self.find_construct(&c.to)
+                        .map(|t| t.kind != ConstructKind::Construct)
+                        .unwrap_or(false)
+                })
+                .map(|c| format!("{} : {} [{}]", c.name, c.to, c.cardinality))
+                .collect();
+            attrs.sort();
+            let width = attrs
+                .iter()
+                .map(String::len)
+                .chain(std::iter::once(name.len()))
+                .max()
+                .unwrap_or(0)
+                + 2;
+            let line = "-".repeat(width);
+            out.push_str(&format!("+{line}+\n"));
+            out.push_str(&format!("| {:width$}|\n", name, width = width - 1));
+            out.push_str(&format!("+{line}+\n"));
+            for a in &attrs {
+                out.push_str(&format!("| {:width$}|\n", a, width = width - 1));
+            }
+            out.push_str(&format!("+{line}+\n"));
+        }
+
+        let mut associations: Vec<String> = self
+            .connectors()
+            .iter()
+            .filter(|c| {
+                self.find_construct(&c.to)
+                    .map(|t| t.kind == ConstructKind::Construct)
+                    .unwrap_or(false)
+            })
+            .map(|c| match c.kind {
+                ConnectorKind::Generalization => {
+                    format!("{} --|> {}  ({})", c.from, c.to, c.name)
+                }
+                ConnectorKind::Conformance => {
+                    format!("{} ..> {}  ({}, {})", c.from, c.to, c.name, c.cardinality)
+                }
+                ConnectorKind::Connector => {
+                    format!("{} --> {}  ({}, {})", c.from, c.to, c.name, c.cardinality)
+                }
+            })
+            .collect();
+        associations.sort();
+        if !associations.is_empty() {
+            out.push('\n');
+            for a in associations {
+                out.push_str(&a);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builtin;
+
+    #[test]
+    fn bundle_scrap_uml_reproduces_figure_3_content() {
+        let uml = builtin::bundle_scrap().to_uml();
+        // The four entity boxes.
+        for entity in ["SlimPad", "Bundle", "Scrap", "MarkHandle"] {
+            assert!(uml.contains(&format!("| {entity}")), "{uml}");
+        }
+        // Figure 3's attributes with their types.
+        assert!(uml.contains("padName : String [1..1]"), "{uml}");
+        assert!(uml.contains("bundlePos : Coordinate [1..1]"), "{uml}");
+        assert!(uml.contains("bundleHeight : Number [1..1]"), "{uml}");
+        assert!(uml.contains("markId : MarkRef [1..1]"), "{uml}");
+        // Figure 3's associations with cardinalities.
+        assert!(uml.contains("SlimPad --> Bundle  (rootBundle, 0..1)"), "{uml}");
+        assert!(uml.contains("Bundle --> Scrap  (bundleContent, 0..*)"), "{uml}");
+        assert!(uml.contains("Bundle --> Bundle  (nestedBundle, 0..*)"), "{uml}");
+        assert!(uml.contains("Scrap --> MarkHandle  (scrapMark, 1..*)"), "{uml}");
+    }
+
+    #[test]
+    fn generalization_and_conformance_use_distinct_arrows() {
+        let uml = builtin::object_like().to_uml();
+        assert!(uml.contains("Class --|> Class  (subClassOf)"), "{uml}");
+        assert!(uml.contains("Object ..> Class  (instanceOf, 1..1)"), "{uml}");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let a = builtin::xlink_like().to_uml();
+        let b = builtin::xlink_like().to_uml();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decoded_models_render_identically() {
+        // Encode to triples, decode, render: the stored model carries
+        // everything the diagram needs.
+        let model = builtin::bundle_scrap();
+        let mut store = trim::TripleStore::new();
+        crate::encode::encode_model(&mut store, &model);
+        let decoded = crate::encode::decode_model(&store, "bundle-scrap").unwrap();
+        assert_eq!(decoded.to_uml(), model.to_uml());
+    }
+}

@@ -1,0 +1,325 @@
+//! Encoding models and instances as TRIM triples, and decoding models
+//! back out — "the metamodel makes explicit the constructs of the model,
+//! their structural definitions, and their connections" (paper §4.3).
+
+use crate::model::{Cardinality, ConnectorDef, ConnectorKind, ConstructDef, ConstructKind, ModelDef};
+use crate::vocab;
+use trim::{Atom, TriplePattern, TripleStore, Value};
+
+/// Write a model definition into a store. Returns the model's resource
+/// atom. Idempotent for identical definitions (triples are a set).
+pub fn encode_model(store: &mut TripleStore, model: &ModelDef) -> Atom {
+    let model_atom = store.atom(&vocab::model_res(&model.name));
+    let type_p = store.atom(vocab::TYPE);
+    let model_class = store.atom(vocab::MODEL);
+    store.insert(model_atom, type_p, Value::Resource(model_class));
+    let name_p = store.atom(vocab::NAME);
+    let name_v = store.literal_value(&model.name);
+    store.insert(model_atom, name_p, name_v);
+
+    for c in model.constructs() {
+        let c_atom = store.atom(&vocab::construct_res(&model.name, &c.name));
+        let construct_class = store.atom(vocab::CONSTRUCT);
+        store.insert(c_atom, type_p, Value::Resource(construct_class));
+        let v = store.literal_value(&c.name);
+        let p = store.atom(vocab::NAME);
+        store.insert(c_atom, p, v);
+        let p = store.atom(vocab::CONSTRUCT_KIND);
+        let v = store.literal_value(c.kind.id());
+        store.insert(c_atom, p, v);
+        let p = store.atom(vocab::IN_MODEL);
+        store.insert(c_atom, p, Value::Resource(model_atom));
+    }
+
+    for c in model.connectors() {
+        let c_atom = store.atom(&vocab::connector_res(&model.name, &c.name));
+        let connector_class = store.atom(vocab::CONNECTOR);
+        store.insert(c_atom, type_p, Value::Resource(connector_class));
+        let p = store.atom(vocab::NAME);
+        let v = store.literal_value(&c.name);
+        store.insert(c_atom, p, v);
+        let p = store.atom(vocab::CONNECTOR_KIND);
+        let v = store.literal_value(c.kind.id());
+        store.insert(c_atom, p, v);
+        let p = store.atom(vocab::FROM);
+        let from_atom = store.atom(&vocab::construct_res(&model.name, &c.from));
+        store.insert(c_atom, p, Value::Resource(from_atom));
+        let p = store.atom(vocab::TO);
+        let to_atom = store.atom(&vocab::construct_res(&model.name, &c.to));
+        store.insert(c_atom, p, Value::Resource(to_atom));
+        let p = store.atom(vocab::CARDINALITY);
+        let v = store.literal_value(c.cardinality.id());
+        store.insert(c_atom, p, v);
+        let p = store.atom(vocab::IN_MODEL);
+        store.insert(c_atom, p, Value::Resource(model_atom));
+    }
+    model_atom
+}
+
+/// Errors from decoding a model out of a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    NoSuchModel { name: String },
+    MissingProperty { resource: String, property: String },
+    BadKind { resource: String, value: String },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::NoSuchModel { name } => write!(f, "no model {name:?} in store"),
+            DecodeError::MissingProperty { resource, property } => {
+                write!(f, "{resource} is missing {property}")
+            }
+            DecodeError::BadKind { resource, value } => {
+                write!(f, "{resource} has unrecognized kind {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Read a model definition back out of a store by name — proof that the
+/// model level is really *stored*, not just mirrored in code.
+pub fn decode_model(store: &TripleStore, name: &str) -> Result<ModelDef, DecodeError> {
+    let model_atom = store
+        .find_atom(&vocab::model_res(name))
+        .ok_or_else(|| DecodeError::NoSuchModel { name: name.to_string() })?;
+    let in_model = store
+        .find_atom(vocab::IN_MODEL)
+        .ok_or_else(|| DecodeError::NoSuchModel { name: name.to_string() })?;
+
+    let members = store.select_sorted(
+        &TriplePattern::default().with_property(in_model).with_object(Value::Resource(model_atom)),
+    );
+
+    let get_literal = |subject: Atom, property: &str| -> Result<String, DecodeError> {
+        let p = store.find_atom(property).ok_or_else(|| DecodeError::MissingProperty {
+            resource: store.resolve(subject).to_string(),
+            property: property.to_string(),
+        })?;
+        store
+            .object_of(subject, p)
+            .and_then(|v| store.value_str(v).map(str::to_string))
+            .ok_or_else(|| DecodeError::MissingProperty {
+                resource: store.resolve(subject).to_string(),
+                property: property.to_string(),
+            })
+    };
+    let get_resource = |subject: Atom, property: &str| -> Result<Atom, DecodeError> {
+        let p = store.find_atom(property).ok_or_else(|| DecodeError::MissingProperty {
+            resource: store.resolve(subject).to_string(),
+            property: property.to_string(),
+        })?;
+        match store.object_of(subject, p) {
+            Some(Value::Resource(a)) => Ok(a),
+            _ => Err(DecodeError::MissingProperty {
+                resource: store.resolve(subject).to_string(),
+                property: property.to_string(),
+            }),
+        }
+    };
+
+    let mut constructs: Vec<ConstructDef> = Vec::new();
+    let mut connectors: Vec<ConnectorDef> = Vec::new();
+    for t in members {
+        let subject = t.subject;
+        let res_name = store.resolve(subject).to_string();
+        if res_name.starts_with(&format!("{}:", vocab::prefix::CONSTRUCT)) {
+            let kind_text = get_literal(subject, vocab::CONSTRUCT_KIND)?;
+            let kind = ConstructKind::from_id(&kind_text)
+                .ok_or_else(|| DecodeError::BadKind { resource: res_name.clone(), value: kind_text })?;
+            constructs.push(ConstructDef { name: get_literal(subject, vocab::NAME)?, kind });
+        } else if res_name.starts_with(&format!("{}:", vocab::prefix::CONNECTOR)) {
+            let kind_text = get_literal(subject, vocab::CONNECTOR_KIND)?;
+            let kind = ConnectorKind::from_id(&kind_text)
+                .ok_or_else(|| DecodeError::BadKind { resource: res_name.clone(), value: kind_text })?;
+            let card_text = get_literal(subject, vocab::CARDINALITY)?;
+            let cardinality = Cardinality::from_id(&card_text)
+                .ok_or_else(|| DecodeError::BadKind { resource: res_name.clone(), value: card_text })?;
+            let from_atom = get_resource(subject, vocab::FROM)?;
+            let to_atom = get_resource(subject, vocab::TO)?;
+            connectors.push(ConnectorDef {
+                name: get_literal(subject, vocab::NAME)?,
+                kind,
+                from: strip_construct_prefix(store.resolve(from_atom), name),
+                to: strip_construct_prefix(store.resolve(to_atom), name),
+                cardinality,
+            });
+        }
+    }
+    constructs.sort_by(|a, b| a.name.cmp(&b.name));
+    connectors.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut model = ModelDef::new(name);
+    for c in constructs {
+        model = model.construct(c.name, c.kind).expect("store-decoded constructs are unique");
+    }
+    for c in connectors {
+        model = model
+            .connector(c.name, c.kind, &c.from, &c.to, c.cardinality)
+            .expect("store-decoded connectors reference stored constructs");
+    }
+    Ok(model)
+}
+
+fn strip_construct_prefix(resource: &str, model: &str) -> String {
+    resource
+        .strip_prefix(&format!("{}:{model}.", vocab::prefix::CONSTRUCT))
+        .unwrap_or(resource)
+        .to_string()
+}
+
+/// Instance-level helpers: create typed instances and set their
+/// connector values. The DMI layer builds on these.
+pub struct InstanceWriter<'s> {
+    store: &'s mut TripleStore,
+    model: String,
+}
+
+impl<'s> InstanceWriter<'s> {
+    /// A writer for instances of `model` in `store`.
+    pub fn new(store: &'s mut TripleStore, model: &ModelDef) -> Self {
+        // The model must be present so instances have something to
+        // conform to.
+        encode_model(store, model);
+        InstanceWriter { store, model: model.name.clone() }
+    }
+
+    /// Create an instance of a construct; returns its resource atom.
+    pub fn create(&mut self, construct: &str) -> Atom {
+        let id = self.store.fresh_resource(construct);
+        let type_p = self.store.atom(vocab::TYPE);
+        let c_atom = self.store.atom(&vocab::construct_res(&self.model, construct));
+        self.store.insert(id, type_p, Value::Resource(c_atom));
+        let conf_p = self.store.atom(vocab::CONFORMS_TO);
+        self.store.insert(id, conf_p, Value::Resource(c_atom));
+        id
+    }
+
+    /// Set (append) a literal connector value.
+    pub fn set_literal(&mut self, instance: Atom, connector: &str, value: &str) {
+        let p = self.store.atom(connector);
+        let v = self.store.literal_value(value);
+        self.store.insert(instance, p, v);
+    }
+
+    /// Replace the single literal value of a connector.
+    pub fn replace_literal(&mut self, instance: Atom, connector: &str, value: &str) {
+        let p = self.store.atom(connector);
+        let v = self.store.literal_value(value);
+        self.store.set_unique(instance, p, v);
+    }
+
+    /// Set (append) a resource connector value.
+    pub fn set_link(&mut self, instance: Atom, connector: &str, target: Atom) {
+        let p = self.store.atom(connector);
+        self.store.insert(instance, p, Value::Resource(target));
+    }
+
+    /// The underlying store.
+    pub fn store(&mut self) -> &mut TripleStore {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    #[test]
+    fn encode_then_decode_is_identity_on_builtin_models() {
+        for model in builtin::all_models() {
+            let mut store = TripleStore::new();
+            encode_model(&mut store, &model);
+            let decoded = decode_model(&store, &model.name).unwrap();
+            // Compare as sorted sets (decode sorts by name).
+            let mut expect_constructs = model.constructs().to_vec();
+            expect_constructs.sort_by(|a, b| a.name.cmp(&b.name));
+            let mut expect_connectors = model.connectors().to_vec();
+            expect_connectors.sort_by(|a, b| a.name.cmp(&b.name));
+            assert_eq!(decoded.constructs(), expect_constructs.as_slice(), "{}", model.name);
+            assert_eq!(decoded.connectors(), expect_connectors.as_slice(), "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn encode_is_idempotent() {
+        let model = builtin::bundle_scrap();
+        let mut store = TripleStore::new();
+        encode_model(&mut store, &model);
+        let n = store.len();
+        encode_model(&mut store, &model);
+        assert_eq!(store.len(), n, "re-encoding must not grow the store");
+    }
+
+    #[test]
+    fn decode_missing_model_errors() {
+        let store = TripleStore::new();
+        assert!(matches!(
+            decode_model(&store, "ghost"),
+            Err(DecodeError::NoSuchModel { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_models_coexist_in_one_store() {
+        let mut store = TripleStore::new();
+        for model in builtin::all_models() {
+            encode_model(&mut store, &model);
+        }
+        for model in builtin::all_models() {
+            assert!(decode_model(&store, &model.name).is_ok(), "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn instance_writer_creates_typed_instances() {
+        let model = builtin::bundle_scrap();
+        let mut store = TripleStore::new();
+        let mut w = InstanceWriter::new(&mut store, &model);
+        let b = w.create("Bundle");
+        w.set_literal(b, "bundleName", "John Smith");
+        let s = w.create("Scrap");
+        w.set_link(b, "bundleContent", s);
+
+        let type_p = store.find_atom(vocab::TYPE).unwrap();
+        let bundle_c = store.find_atom(&vocab::construct_res("bundle-scrap", "Bundle")).unwrap();
+        assert_eq!(store.object_of(b, type_p), Some(Value::Resource(bundle_c)));
+        let name_p = store.find_atom("bundleName").unwrap();
+        assert_eq!(
+            store.object_of(b, name_p).and_then(|v| store.value_str(v).map(str::to_string)),
+            Some("John Smith".to_string())
+        );
+    }
+
+    #[test]
+    fn replace_literal_is_single_valued() {
+        let model = builtin::bundle_scrap();
+        let mut store = TripleStore::new();
+        let mut w = InstanceWriter::new(&mut store, &model);
+        let b = w.create("Bundle");
+        w.replace_literal(b, "bundleName", "one");
+        w.replace_literal(b, "bundleName", "two");
+        let p = store.find_atom("bundleName").unwrap();
+        let hits = store.select(&TriplePattern::default().with_subject(b).with_property(p));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(store.value_str(hits[0].object), Some("two"));
+    }
+
+    #[test]
+    fn instances_roundtrip_through_xml_with_their_model() {
+        let model = builtin::bundle_scrap();
+        let mut store = TripleStore::new();
+        let mut w = InstanceWriter::new(&mut store, &model);
+        let b = w.create("Bundle");
+        w.set_literal(b, "bundleName", "Rounds");
+        let xml = store.to_xml();
+        let reloaded = TripleStore::from_xml(&xml).unwrap();
+        assert!(decode_model(&reloaded, "bundle-scrap").is_ok());
+        let b2 = reloaded.find_atom(store.resolve(b)).unwrap();
+        let p = reloaded.find_atom("bundleName").unwrap();
+        assert!(reloaded.object_of(b2, p).is_some());
+    }
+}

@@ -1,0 +1,47 @@
+//! `metamodel` — the SLIM metamodel: model-definition on top of triples.
+//!
+//! The SLIM Store is "flexible at the data-model level by providing
+//! storage of superimposed information for various models" (paper §4.3).
+//! That flexibility comes from a **metamodel** whose goal is "a basic set
+//! of abstractions to define model constructs and relationships (called
+//! connectors)". The paper enumerates the primitive set precisely, and
+//! this crate implements exactly those primitives:
+//!
+//! * **constructs**, "which define a unit of structure" —
+//!   [`ConstructKind::Construct`];
+//! * **literal constructs** "for primitive type definitions" —
+//!   [`ConstructKind::Literal`];
+//! * **mark constructs** "for delineating marks" —
+//!   [`ConstructKind::Mark`];
+//! * **connectors**, "which describe basic relationships" —
+//!   [`ConnectorKind::Connector`];
+//! * **conformance connectors** "for schema-instance relationships" —
+//!   [`ConnectorKind::Conformance`];
+//! * **generalization connectors** "for specialization relationships" —
+//!   [`ConnectorKind::Generalization`].
+//!
+//! Models ([`ModelDef`]), their instances, and the metamodel vocabulary
+//! itself are all encoded as TRIM triples ([`encode`]), so "we can
+//! describe superimposed information from various models uniformly using
+//! RDF triples" and exchange them through TRIM's XML serialization.
+//!
+//! The crate ships the paper's named example models ([`builtin`]): the
+//! Bundle-Scrap model of SLIMPad, a relational-like model, an
+//! object-oriented-like model, and Topic-Map-like and XLink-like models —
+//! the model space §4.3 and §5 discuss. [`conformance`] checks instance
+//! data against a model; [`mapping`] implements the model-to-model and
+//! schema-to-schema transformations of the paper's reference \[4\].
+
+pub mod builtin;
+pub mod conformance;
+pub mod describe;
+pub mod encode;
+pub mod mapping;
+pub mod model;
+pub mod vocab;
+
+pub use conformance::{check_conformance, ConformanceReport, Violation};
+pub use mapping::{apply_mapping, Mapping};
+pub use model::{
+    Cardinality, ConnectorDef, ConnectorKind, ConstructDef, ConstructKind, ModelDef,
+};

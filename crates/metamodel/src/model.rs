@@ -1,0 +1,391 @@
+//! In-memory model definitions: the unit the metamodel describes.
+
+use std::fmt;
+
+/// The three construct primitives of the metamodel (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstructKind {
+    /// "constructs, which define a unit of structure" — entity-like.
+    Construct,
+    /// "literal constructs for primitive type definitions".
+    Literal,
+    /// "mark constructs for delineating marks" — values are mark ids
+    /// resolved through the Mark Manager.
+    Mark,
+}
+
+impl ConstructKind {
+    /// Stable identifier used in the triple encoding.
+    pub fn id(self) -> &'static str {
+        match self {
+            ConstructKind::Construct => "construct",
+            ConstructKind::Literal => "literal",
+            ConstructKind::Mark => "mark",
+        }
+    }
+
+    /// Parse a stable identifier.
+    pub fn from_id(id: &str) -> Option<Self> {
+        Some(match id {
+            "construct" => ConstructKind::Construct,
+            "literal" => ConstructKind::Literal,
+            "mark" => ConstructKind::Mark,
+            _ => return None,
+        })
+    }
+}
+
+/// The three connector primitives of the metamodel (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnectorKind {
+    /// "connectors, which describe basic relationships".
+    Connector,
+    /// "conformance connectors for schema-instance relationships".
+    Conformance,
+    /// "generalization connectors for specialization relationships".
+    Generalization,
+}
+
+impl ConnectorKind {
+    /// Stable identifier used in the triple encoding.
+    pub fn id(self) -> &'static str {
+        match self {
+            ConnectorKind::Connector => "connector",
+            ConnectorKind::Conformance => "conformance",
+            ConnectorKind::Generalization => "generalization",
+        }
+    }
+
+    /// Parse a stable identifier.
+    pub fn from_id(id: &str) -> Option<Self> {
+        Some(match id {
+            "connector" => ConnectorKind::Connector,
+            "conformance" => ConnectorKind::Conformance,
+            "generalization" => ConnectorKind::Generalization,
+            _ => return None,
+        })
+    }
+}
+
+/// How many target values a connector allows per source instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cardinality {
+    /// Exactly one (`1..1`).
+    One,
+    /// Zero or one (`0..1`).
+    OptionalOne,
+    /// Zero or more (`0..*`).
+    Many,
+    /// One or more (`1..*`).
+    OneOrMore,
+}
+
+impl Cardinality {
+    /// Stable identifier used in the triple encoding.
+    pub fn id(self) -> &'static str {
+        match self {
+            Cardinality::One => "1..1",
+            Cardinality::OptionalOne => "0..1",
+            Cardinality::Many => "0..*",
+            Cardinality::OneOrMore => "1..*",
+        }
+    }
+
+    /// Parse a stable identifier.
+    pub fn from_id(id: &str) -> Option<Self> {
+        Some(match id {
+            "1..1" => Cardinality::One,
+            "0..1" => Cardinality::OptionalOne,
+            "0..*" => Cardinality::Many,
+            "1..*" => Cardinality::OneOrMore,
+            _ => return None,
+        })
+    }
+
+    /// Is `n` occurrences acceptable?
+    pub fn admits(self, n: usize) -> bool {
+        match self {
+            Cardinality::One => n == 1,
+            Cardinality::OptionalOne => n <= 1,
+            Cardinality::Many => true,
+            Cardinality::OneOrMore => n >= 1,
+        }
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A construct of a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstructDef {
+    pub name: String,
+    pub kind: ConstructKind,
+}
+
+/// A connector of a model: a named relationship from one construct to
+/// another, with a target cardinality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectorDef {
+    pub name: String,
+    pub kind: ConnectorKind,
+    /// Source construct name.
+    pub from: String,
+    /// Target construct name.
+    pub to: String,
+    pub cardinality: Cardinality,
+}
+
+/// A complete model definition: what the SLIM Store's
+/// "data-model-definition capability" defines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelDef {
+    pub name: String,
+    constructs: Vec<ConstructDef>,
+    connectors: Vec<ConnectorDef>,
+}
+
+/// Errors from model construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    DuplicateConstruct { name: String },
+    DuplicateConnector { name: String },
+    UnknownConstruct { connector: String, construct: String },
+    /// A connector targets a literal/mark construct as its *source* —
+    /// literals and marks are leaves.
+    LeafSource { connector: String, construct: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateConstruct { name } => write!(f, "duplicate construct {name:?}"),
+            ModelError::DuplicateConnector { name } => write!(f, "duplicate connector {name:?}"),
+            ModelError::UnknownConstruct { connector, construct } => {
+                write!(f, "connector {connector:?} references unknown construct {construct:?}")
+            }
+            ModelError::LeafSource { connector, construct } => write!(
+                f,
+                "connector {connector:?} cannot start from leaf construct {construct:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl ModelDef {
+    /// An empty model.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelDef { name: name.into(), constructs: Vec::new(), connectors: Vec::new() }
+    }
+
+    /// Add a construct.
+    pub fn construct(
+        mut self,
+        name: impl Into<String>,
+        kind: ConstructKind,
+    ) -> Result<Self, ModelError> {
+        let name = name.into();
+        if self.constructs.iter().any(|c| c.name == name) {
+            return Err(ModelError::DuplicateConstruct { name });
+        }
+        self.constructs.push(ConstructDef { name, kind });
+        Ok(self)
+    }
+
+    /// Add a connector between two constructs.
+    pub fn connector(
+        mut self,
+        name: impl Into<String>,
+        kind: ConnectorKind,
+        from: &str,
+        to: &str,
+        cardinality: Cardinality,
+    ) -> Result<Self, ModelError> {
+        let name = name.into();
+        if self.connectors.iter().any(|c| c.name == name) {
+            return Err(ModelError::DuplicateConnector { name });
+        }
+        let source = self
+            .find_construct(from)
+            .ok_or_else(|| ModelError::UnknownConstruct {
+                connector: name.clone(),
+                construct: from.to_string(),
+            })?;
+        if source.kind != ConstructKind::Construct {
+            return Err(ModelError::LeafSource {
+                connector: name,
+                construct: from.to_string(),
+            });
+        }
+        if self.find_construct(to).is_none() {
+            return Err(ModelError::UnknownConstruct {
+                connector: name,
+                construct: to.to_string(),
+            });
+        }
+        self.connectors.push(ConnectorDef {
+            name,
+            kind,
+            from: from.to_string(),
+            to: to.to_string(),
+            cardinality,
+        });
+        Ok(self)
+    }
+
+    /// Look up a construct by name.
+    pub fn find_construct(&self, name: &str) -> Option<&ConstructDef> {
+        self.constructs.iter().find(|c| c.name == name)
+    }
+
+    /// Look up a connector by name.
+    pub fn find_connector(&self, name: &str) -> Option<&ConnectorDef> {
+        self.connectors.iter().find(|c| c.name == name)
+    }
+
+    /// All constructs.
+    pub fn constructs(&self) -> &[ConstructDef] {
+        &self.constructs
+    }
+
+    /// All connectors.
+    pub fn connectors(&self) -> &[ConnectorDef] {
+        &self.connectors
+    }
+
+    /// Connectors whose source is the given construct, including those
+    /// inherited through generalization connectors (a specialized
+    /// construct accepts its general construct's connectors).
+    pub fn connectors_from<'m>(&'m self, construct: &str) -> Vec<&'m ConnectorDef> {
+        let mut names = vec![construct.to_string()];
+        // Walk generalization edges: X --generalization--> Y means X
+        // specializes Y, so X also has Y's connectors.
+        let mut i = 0;
+        while i < names.len() {
+            let current = names[i].clone();
+            for c in &self.connectors {
+                if c.kind == ConnectorKind::Generalization
+                    && c.from == current
+                    && !names.contains(&c.to)
+                {
+                    names.push(c.to.clone());
+                }
+            }
+            i += 1;
+        }
+        self.connectors
+            .iter()
+            .filter(|c| c.kind != ConnectorKind::Generalization && names.contains(&c.from))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> ModelDef {
+        ModelDef::new("tiny")
+            .construct("Thing", ConstructKind::Construct)
+            .unwrap()
+            .construct("name", ConstructKind::Literal)
+            .unwrap()
+            .connector("thingName", ConnectorKind::Connector, "Thing", "name", Cardinality::One)
+            .unwrap()
+    }
+
+    #[test]
+    fn construct_and_connector_lookup() {
+        let m = tiny_model();
+        assert_eq!(m.find_construct("Thing").unwrap().kind, ConstructKind::Construct);
+        assert_eq!(m.find_connector("thingName").unwrap().cardinality, Cardinality::One);
+        assert!(m.find_construct("Nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = tiny_model().construct("Thing", ConstructKind::Literal).unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateConstruct { .. }));
+        let err = tiny_model()
+            .connector("thingName", ConnectorKind::Connector, "Thing", "name", Cardinality::Many)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateConnector { .. }));
+    }
+
+    #[test]
+    fn connectors_validate_endpoints() {
+        let err = tiny_model()
+            .connector("bad", ConnectorKind::Connector, "Ghost", "name", Cardinality::Many)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownConstruct { .. }));
+        let err = tiny_model()
+            .connector("bad", ConnectorKind::Connector, "name", "Thing", Cardinality::Many)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::LeafSource { .. }));
+    }
+
+    #[test]
+    fn cardinality_admits() {
+        assert!(Cardinality::One.admits(1) && !Cardinality::One.admits(0));
+        assert!(!Cardinality::One.admits(2));
+        assert!(Cardinality::OptionalOne.admits(0) && Cardinality::OptionalOne.admits(1));
+        assert!(!Cardinality::OptionalOne.admits(2));
+        assert!(Cardinality::Many.admits(0) && Cardinality::Many.admits(99));
+        assert!(Cardinality::OneOrMore.admits(1) && !Cardinality::OneOrMore.admits(0));
+    }
+
+    #[test]
+    fn kind_ids_roundtrip() {
+        for k in [ConstructKind::Construct, ConstructKind::Literal, ConstructKind::Mark] {
+            assert_eq!(ConstructKind::from_id(k.id()), Some(k));
+        }
+        for k in
+            [ConnectorKind::Connector, ConnectorKind::Conformance, ConnectorKind::Generalization]
+        {
+            assert_eq!(ConnectorKind::from_id(k.id()), Some(k));
+        }
+        for c in [
+            Cardinality::One,
+            Cardinality::OptionalOne,
+            Cardinality::Many,
+            Cardinality::OneOrMore,
+        ] {
+            assert_eq!(Cardinality::from_id(c.id()), Some(c));
+        }
+        assert_eq!(ConstructKind::from_id("x"), None);
+        assert_eq!(ConnectorKind::from_id("x"), None);
+        assert_eq!(Cardinality::from_id("x"), None);
+    }
+
+    #[test]
+    fn generalization_inherits_connectors() {
+        let m = ModelDef::new("gen")
+            .construct("Base", ConstructKind::Construct)
+            .unwrap()
+            .construct("Special", ConstructKind::Construct)
+            .unwrap()
+            .construct("label", ConstructKind::Literal)
+            .unwrap()
+            .connector("baseLabel", ConnectorKind::Connector, "Base", "label", Cardinality::One)
+            .unwrap()
+            .connector(
+                "isa",
+                ConnectorKind::Generalization,
+                "Special",
+                "Base",
+                Cardinality::One,
+            )
+            .unwrap();
+        let from_special: Vec<&str> =
+            m.connectors_from("Special").iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(from_special, vec!["baseLabel"], "inherited through generalization");
+        let from_base: Vec<&str> =
+            m.connectors_from("Base").iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(from_base, vec!["baseLabel"]);
+    }
+}

@@ -1,0 +1,72 @@
+//! The reserved RDF-style vocabulary the metamodel encodes with.
+//!
+//! Mirrors the paper's use of RDF Schema as the metamodel representation:
+//! a small set of well-known property and class names, kept in one place
+//! so encoders, decoders, and checkers cannot drift apart.
+
+/// `rdf:type` — connects an individual to its type resource.
+pub const TYPE: &str = "rdf:type";
+
+/// Class of model resources.
+pub const MODEL: &str = "slim:Model";
+/// Class of construct resources.
+pub const CONSTRUCT: &str = "slim:Construct";
+/// Class of connector resources.
+pub const CONNECTOR: &str = "slim:Connector";
+
+/// Property: human-readable name of a model element.
+pub const NAME: &str = "slim:name";
+/// Property: a construct/connector's defining model.
+pub const IN_MODEL: &str = "slim:inModel";
+/// Property: the construct kind (`construct` / `literal` / `mark`).
+pub const CONSTRUCT_KIND: &str = "slim:constructKind";
+/// Property: the connector kind (`connector` / `conformance` /
+/// `generalization`).
+pub const CONNECTOR_KIND: &str = "slim:connectorKind";
+/// Property: a connector's source construct.
+pub const FROM: &str = "slim:from";
+/// Property: a connector's target construct.
+pub const TO: &str = "slim:to";
+/// Property: a connector's cardinality at the target end.
+pub const CARDINALITY: &str = "slim:cardinality";
+
+/// Property: an instance's construct (instance-level `rdf:type` target is
+/// the construct resource; this is its explicit conformance link).
+pub const CONFORMS_TO: &str = "slim:conformsTo";
+
+/// Resource-name prefixes for the three levels.
+pub mod prefix {
+    /// Model resources: `model:<name>`.
+    pub const MODEL: &str = "model";
+    /// Construct resources: `construct:<model>.<name>`.
+    pub const CONSTRUCT: &str = "construct";
+    /// Connector resources: `connector:<model>.<name>`.
+    pub const CONNECTOR: &str = "connector";
+}
+
+/// Build the resource name for a model.
+pub fn model_res(model: &str) -> String {
+    format!("{}:{model}", prefix::MODEL)
+}
+
+/// Build the resource name for a construct of a model.
+pub fn construct_res(model: &str, construct: &str) -> String {
+    format!("{}:{model}.{construct}", prefix::CONSTRUCT)
+}
+
+/// Build the resource name for a connector of a model.
+pub fn connector_res(model: &str, connector: &str) -> String {
+    format!("{}:{model}.{connector}", prefix::CONNECTOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_names_are_namespaced() {
+        assert_eq!(model_res("bundle-scrap"), "model:bundle-scrap");
+        assert_eq!(construct_res("bundle-scrap", "Bundle"), "construct:bundle-scrap.Bundle");
+        assert_eq!(connector_res("rel", "hasAttr"), "connector:rel.hasAttr");
+    }
+}

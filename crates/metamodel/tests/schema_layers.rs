@@ -1,0 +1,163 @@
+//! Integration test: the three-level story of paper §4.3/§5.
+//!
+//! "Explicitly representing and storing model, schema, and instance,
+//! along with being flexible in which is defined first, differs from
+//! most other approaches. In common use, metadata storage systems only
+//! represent two levels … and the schema must be defined prior to the
+//! metadata instance."
+//!
+//! With the relational-like model: the *model* defines Table/Attribute/
+//! Tuple constructs; a *schema* is a set of Table/Attribute instances;
+//! the *data* is Tuple instances tied to their Table through the
+//! `tupleOf` conformance connector. All three live in one store, and the
+//! schema may be defined after the data.
+
+use metamodel::encode::{decode_model, InstanceWriter};
+use metamodel::{builtin, check_conformance};
+use trim::{TriplePattern, TripleStore, Value};
+
+/// Build the medications *schema*: one table with three attributes.
+fn define_schema(w: &mut InstanceWriter<'_>) -> trim::Atom {
+    let table = w.create("Table");
+    w.set_literal(table, "tableName", "medications");
+    for (name, domain) in [("drug", "string"), ("dose_mg", "number"), ("route", "string")] {
+        let attr = w.create("Attribute");
+        w.set_literal(attr, "attrName", name);
+        w.set_literal(attr, "attrDomain", domain);
+        w.set_link(table, "hasAttribute", attr);
+    }
+    table
+}
+
+/// Insert two rows of *data* for a table.
+fn insert_rows(w: &mut InstanceWriter<'_>, table: trim::Atom) {
+    for row in [["Furosemide", "40", "IV"], ["Captopril", "12.5", "PO"]] {
+        let tuple = w.create("Tuple");
+        w.set_link(tuple, "tupleOf", table);
+        for cell in row {
+            w.set_literal(tuple, "cellValue", cell);
+        }
+    }
+}
+
+#[test]
+fn schema_first_then_data() {
+    let model = builtin::relational_like();
+    let mut store = TripleStore::new();
+    let mut w = InstanceWriter::new(&mut store, &model);
+    let table = define_schema(&mut w);
+    insert_rows(&mut w, table);
+    let report = check_conformance(&store, &model);
+    assert!(report.is_conformant(), "{:?}", report.violations);
+    assert_eq!(report.instances, 6, "1 table + 3 attributes + 2 tuples");
+}
+
+#[test]
+fn data_first_then_schema() {
+    // "Schema-later": tuples enter the store before any Table exists.
+    let model = builtin::relational_like();
+    let mut store = TripleStore::new();
+    let mut w = InstanceWriter::new(&mut store, &model);
+    let orphan_tuple = w.create("Tuple");
+    w.set_literal(orphan_tuple, "cellValue", "Furosemide");
+    // At this point the data violates tupleOf (1..1) — and the checker
+    // says so rather than refusing entry.
+    let report = check_conformance(&store, &model);
+    assert!(!report.is_conformant());
+
+    // The schema arrives later; wiring the tuple up heals the store.
+    let mut w = InstanceWriter::new(&mut store, &model);
+    let table = define_schema(&mut w);
+    w.set_link(orphan_tuple, "tupleOf", table);
+    let report = check_conformance(&store, &model);
+    assert!(report.is_conformant(), "{:?}", report.violations);
+}
+
+#[test]
+fn all_three_levels_travel_in_one_xml_file() {
+    let model = builtin::relational_like();
+    let mut store = TripleStore::new();
+    let mut w = InstanceWriter::new(&mut store, &model);
+    let table = define_schema(&mut w);
+    insert_rows(&mut w, table);
+
+    let xml = store.to_xml();
+    let reloaded = TripleStore::from_xml(&xml).unwrap();
+    // Level 1: the model itself decodes from the payload.
+    let decoded = decode_model(&reloaded, "relational").unwrap();
+    assert!(decoded.find_connector("tupleOf").is_some());
+    // Level 2: the schema (table + attributes) is queryable.
+    let name_p = reloaded.find_atom("tableName").unwrap();
+    let tables = reloaded.select(&TriplePattern::default().with_property(name_p));
+    assert_eq!(tables.len(), 1);
+    // Level 3: the data is there and still conformant.
+    let report = check_conformance(&reloaded, &model);
+    assert!(report.is_conformant(), "{:?}", report.violations);
+    assert_eq!(report.instances, 6);
+}
+
+#[test]
+fn two_schemas_share_one_model_in_one_store() {
+    // Two "deployments" (medications and labs) coexist: schema-level
+    // multiplexing under one model, in one store.
+    let model = builtin::relational_like();
+    let mut store = TripleStore::new();
+    let mut w = InstanceWriter::new(&mut store, &model);
+    let meds = define_schema(&mut w);
+    insert_rows(&mut w, meds);
+    let labs = w.create("Table");
+    w.set_literal(labs, "tableName", "electrolytes");
+    let attr = w.create("Attribute");
+    w.set_literal(attr, "attrName", "k");
+    w.set_literal(attr, "attrDomain", "number");
+    w.set_link(labs, "hasAttribute", attr);
+    let row = w.create("Tuple");
+    w.set_link(row, "tupleOf", labs);
+    w.set_literal(row, "cellValue", "4.1");
+
+    let report = check_conformance(&store, &model);
+    assert!(report.is_conformant(), "{:?}", report.violations);
+
+    // Tuples partition correctly by their conformance link.
+    let tuple_of = store.find_atom("tupleOf").unwrap();
+    let of_meds = store.count(
+        &TriplePattern::default().with_property(tuple_of).with_object(Value::Resource(meds)),
+    );
+    let of_labs = store.count(
+        &TriplePattern::default().with_property(tuple_of).with_object(Value::Resource(labs)),
+    );
+    assert_eq!((of_meds, of_labs), (2, 1));
+}
+
+#[test]
+fn primary_key_is_optional_but_single() {
+    let model = builtin::relational_like();
+    let mut store = TripleStore::new();
+    let table = {
+        let mut w = InstanceWriter::new(&mut store, &model);
+        define_schema(&mut w)
+    };
+    // No primary key: fine (0..1).
+    assert!(check_conformance(&store, &model).is_conformant());
+    // One primary key: fine.
+    {
+        let mut w = InstanceWriter::new(&mut store, &model);
+        let attr = w.create("Attribute");
+        w.set_literal(attr, "attrName", "id");
+        w.set_literal(attr, "attrDomain", "number");
+        w.set_link(table, "hasAttribute", attr);
+        w.set_link(table, "primaryKey", attr);
+    }
+    assert!(check_conformance(&store, &model).is_conformant());
+    // Two primary keys: cardinality violation.
+    {
+        let mut w = InstanceWriter::new(&mut store, &model);
+        let attr2 = w.create("Attribute");
+        w.set_literal(attr2, "attrName", "id2");
+        w.set_literal(attr2, "attrDomain", "number");
+        w.set_link(table, "hasAttribute", attr2);
+        w.set_link(table, "primaryKey", attr2);
+    }
+    let report = check_conformance(&store, &model);
+    assert!(!report.is_conformant());
+}

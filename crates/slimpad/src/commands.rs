@@ -1,0 +1,557 @@
+//! A textual command language for driving a pad session.
+//!
+//! SLIMPad's real UI was mouse gestures; the reproducible equivalent is
+//! a small command language, so sessions can be scripted, replayed, and
+//! tested. Each command maps 1:1 onto a user gesture from paper §3:
+//!
+//! ```text
+//! bundle "John Smith" at 20,60 size 600x500            # draw a bundle
+//! bundle "Electrolyte" at 330,240 size 260x240 in "John Smith"
+//! place spreadsheet "Lasix 40" at 40,120 in "John Smith"   # drop the
+//!                                       # current base selection as a scrap
+//! activate "Lasix 40"                   # double-click → resolve mark
+//! view "Lasix 40"                       # in-place content
+//! annotate "Lasix 40" "hold if SBP<90"  # §6 extension
+//! link "K 4.1" -> "Lasix 40"            # §6 extension
+//! move "Lasix 40" to 50,130
+//! rename "John Smith" to "Bed 4"
+//! find "lasix"                          # DMI query capability (§6)
+//! audit                                 # dangling/drifted mark report
+//! render                                # the ASCII screenshot
+//! ```
+//!
+//! Scrap and bundle references are by (unique) label; ambiguous or
+//! unknown labels are errors, not guesses.
+
+use crate::pad::{PadError, PadSession};
+use crate::render::render_pad;
+use basedocs::DocKind;
+use slimstore::{BundleHandle, ScrapHandle};
+use std::fmt;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    CreateBundle { name: String, pos: (i64, i64), size: (i64, i64), parent: Option<String> },
+    Place { kind: DocKind, label: String, pos: (i64, i64), bundle: Option<String> },
+    Activate { label: String },
+    View { label: String },
+    Annotate { label: String, text: String },
+    Link { from: String, to: String },
+    MoveScrap { label: String, pos: (i64, i64) },
+    Rename { old: String, new: String },
+    Find { needle: String },
+    Undo,
+    Audit,
+    Stats,
+    Render,
+}
+
+/// Errors from parsing or executing commands.
+#[derive(Debug)]
+pub enum CommandError {
+    Parse { message: String },
+    UnknownLabel { label: String },
+    AmbiguousLabel { label: String, count: usize },
+    Pad(PadError),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::Parse { message } => write!(f, "parse error: {message}"),
+            CommandError::UnknownLabel { label } => write!(f, "no item labelled {label:?}"),
+            CommandError::AmbiguousLabel { label, count } => {
+                write!(f, "{count} items labelled {label:?}; labels used in commands must be unique")
+            }
+            CommandError::Pad(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<PadError> for CommandError {
+    fn from(e: PadError) -> Self {
+        CommandError::Pad(e)
+    }
+}
+
+impl From<slimstore::DmiError> for CommandError {
+    fn from(e: slimstore::DmiError) -> Self {
+        CommandError::Pad(PadError::Dmi(e))
+    }
+}
+
+// ---- tokenizer ---------------------------------------------------------------
+
+/// Split a command line into words; double-quoted strings are one token
+/// (with `\"` escapes).
+fn tokenize(line: &str) -> Result<Vec<String>, CommandError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut token = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some(escaped) => token.push(escaped),
+                        None => {
+                            return Err(CommandError::Parse {
+                                message: "dangling escape at end of line".into(),
+                            })
+                        }
+                    },
+                    Some(other) => token.push(other),
+                    None => {
+                        return Err(CommandError::Parse {
+                            message: "unterminated quoted string".into(),
+                        })
+                    }
+                }
+            }
+            tokens.push(token);
+        } else {
+            let mut token = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                token.push(c);
+                chars.next();
+            }
+            tokens.push(token);
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_pos(text: &str) -> Result<(i64, i64), CommandError> {
+    let (x, y) = text
+        .split_once(',')
+        .ok_or_else(|| CommandError::Parse { message: format!("expected x,y — got {text:?}") })?;
+    let parse = |s: &str| {
+        s.trim()
+            .parse()
+            .map_err(|_| CommandError::Parse { message: format!("bad coordinate {s:?}") })
+    };
+    Ok((parse(x)?, parse(y)?))
+}
+
+fn parse_size(text: &str) -> Result<(i64, i64), CommandError> {
+    let (w, h) = text
+        .split_once('x')
+        .ok_or_else(|| CommandError::Parse { message: format!("expected WxH — got {text:?}") })?;
+    let parse = |s: &str| {
+        s.trim()
+            .parse()
+            .map_err(|_| CommandError::Parse { message: format!("bad dimension {s:?}") })
+    };
+    Ok((parse(w)?, parse(h)?))
+}
+
+impl Command {
+    /// Parse one command line.
+    pub fn parse(line: &str) -> Result<Command, CommandError> {
+        let tokens = tokenize(line)?;
+        let words: Vec<&str> = tokens.iter().map(String::as_str).collect();
+        let err = |m: &str| CommandError::Parse { message: format!("{m} — in {line:?}") };
+        match words.as_slice() {
+            ["bundle", name, "at", pos, "size", size] => Ok(Command::CreateBundle {
+                name: name.to_string(),
+                pos: parse_pos(pos)?,
+                size: parse_size(size)?,
+                parent: None,
+            }),
+            ["bundle", name, "at", pos, "size", size, "in", parent] => {
+                Ok(Command::CreateBundle {
+                    name: name.to_string(),
+                    pos: parse_pos(pos)?,
+                    size: parse_size(size)?,
+                    parent: Some(parent.to_string()),
+                })
+            }
+            ["place", kind, label, "at", pos] => Ok(Command::Place {
+                kind: DocKind::from_id(kind).ok_or_else(|| err("unknown base type"))?,
+                label: label.to_string(),
+                pos: parse_pos(pos)?,
+                bundle: None,
+            }),
+            ["place", kind, label, "at", pos, "in", bundle] => Ok(Command::Place {
+                kind: DocKind::from_id(kind).ok_or_else(|| err("unknown base type"))?,
+                label: label.to_string(),
+                pos: parse_pos(pos)?,
+                bundle: Some(bundle.to_string()),
+            }),
+            ["activate", label] => Ok(Command::Activate { label: label.to_string() }),
+            ["view", label] => Ok(Command::View { label: label.to_string() }),
+            ["annotate", label, text] => {
+                Ok(Command::Annotate { label: label.to_string(), text: text.to_string() })
+            }
+            ["link", from, "->", to] => {
+                Ok(Command::Link { from: from.to_string(), to: to.to_string() })
+            }
+            ["move", label, "to", pos] => {
+                Ok(Command::MoveScrap { label: label.to_string(), pos: parse_pos(pos)? })
+            }
+            ["rename", old, "to", new] => {
+                Ok(Command::Rename { old: old.to_string(), new: new.to_string() })
+            }
+            ["find", needle] => Ok(Command::Find { needle: needle.to_string() }),
+            ["undo"] => Ok(Command::Undo),
+            ["audit"] => Ok(Command::Audit),
+            ["stats"] => Ok(Command::Stats),
+            ["render"] => Ok(Command::Render),
+            [] => Err(err("empty command")),
+            _ => Err(err("unrecognized command")),
+        }
+    }
+}
+
+// ---- execution ------------------------------------------------------------------
+
+fn unique_scrap(pad: &PadSession, label: &str) -> Result<ScrapHandle, CommandError> {
+    let hits: Vec<ScrapHandle> = pad
+        .dmi()
+        .all_scraps()
+        .into_iter()
+        .filter(|s| pad.dmi().scrap(*s).map(|d| d.name == label).unwrap_or(false))
+        .collect();
+    match hits.as_slice() {
+        [one] => Ok(*one),
+        [] => Err(CommandError::UnknownLabel { label: label.to_string() }),
+        many => Err(CommandError::AmbiguousLabel { label: label.to_string(), count: many.len() }),
+    }
+}
+
+fn unique_bundle(pad: &PadSession, name: &str) -> Result<BundleHandle, CommandError> {
+    let hits: Vec<BundleHandle> = pad
+        .dmi()
+        .bundles()
+        .into_iter()
+        .filter(|b| *b != pad.root_bundle())
+        .filter(|b| pad.dmi().bundle(*b).map(|d| d.name == name).unwrap_or(false))
+        .collect();
+    match hits.as_slice() {
+        [one] => Ok(*one),
+        [] => Err(CommandError::UnknownLabel { label: name.to_string() }),
+        many => Err(CommandError::AmbiguousLabel { label: name.to_string(), count: many.len() }),
+    }
+}
+
+/// Execute one command against a session; returns the user-visible
+/// output (possibly empty).
+pub fn execute(pad: &mut PadSession, command: &Command) -> Result<String, CommandError> {
+    // Every mutating command gets an undo checkpoint first.
+    if matches!(
+        command,
+        Command::CreateBundle { .. }
+            | Command::Place { .. }
+            | Command::Annotate { .. }
+            | Command::Link { .. }
+            | Command::MoveScrap { .. }
+            | Command::Rename { .. }
+    ) {
+        pad.begin_op();
+    }
+    match command {
+        Command::CreateBundle { name, pos, size, parent } => {
+            let parent_handle = match parent {
+                Some(p) => Some(unique_bundle(pad, p)?),
+                None => None,
+            };
+            pad.create_bundle(name, *pos, size.0, size.1, parent_handle)?;
+            Ok(format!("bundle {name:?} created"))
+        }
+        Command::Place { kind, label, pos, bundle } => {
+            let target = match bundle {
+                Some(b) => Some(unique_bundle(pad, b)?),
+                None => None,
+            };
+            pad.place_selection(*kind, Some(label), *pos, target)?;
+            Ok(format!("scrap {label:?} placed (marked {kind} selection)"))
+        }
+        Command::Activate { label } => {
+            let scrap = unique_scrap(pad, label)?;
+            Ok(pad.activate(scrap)?.display)
+        }
+        Command::View { label } => {
+            let scrap = unique_scrap(pad, label)?;
+            Ok(pad.extract(scrap)?)
+        }
+        Command::Annotate { label, text } => {
+            let scrap = unique_scrap(pad, label)?;
+            pad.dmi_mut().add_annotation(scrap, text)?;
+            Ok(format!("annotated {label:?}"))
+        }
+        Command::Link { from, to } => {
+            let from_s = unique_scrap(pad, from)?;
+            let to_s = unique_scrap(pad, to)?;
+            pad.dmi_mut().link_scraps(from_s, to_s)?;
+            Ok(format!("linked {from:?} -> {to:?}"))
+        }
+        Command::MoveScrap { label, pos } => {
+            let scrap = unique_scrap(pad, label)?;
+            pad.dmi_mut().update_scrap_pos(scrap, *pos)?;
+            Ok(format!("moved {label:?} to {},{}", pos.0, pos.1))
+        }
+        Command::Rename { old, new } => {
+            // Try bundles first, then scraps.
+            if let Ok(bundle) = unique_bundle(pad, old) {
+                pad.dmi_mut().update_bundle_name(bundle, new)?;
+                return Ok(format!("bundle {old:?} renamed to {new:?}"));
+            }
+            let scrap = unique_scrap(pad, old)?;
+            pad.dmi_mut().update_scrap_name(scrap, new)?;
+            Ok(format!("scrap {old:?} renamed to {new:?}"))
+        }
+        Command::Find { needle } => {
+            let scraps = pad.dmi().find_scraps(needle);
+            let bundles = pad.dmi().find_bundles(needle);
+            let mut lines = Vec::new();
+            for b in bundles {
+                if b != pad.root_bundle() {
+                    lines.push(format!("bundle: {}", pad.dmi().bundle(b).unwrap().name));
+                }
+            }
+            for s in scraps {
+                let crumbs: Vec<String> = pad
+                    .dmi()
+                    .bundle_path(s)
+                    .iter()
+                    .filter(|b| **b != pad.root_bundle())
+                    .map(|b| pad.dmi().bundle(*b).unwrap().name)
+                    .collect();
+                let data = pad.dmi().scrap(s).unwrap();
+                if crumbs.is_empty() {
+                    lines.push(format!("scrap: {}", data.name));
+                } else {
+                    lines.push(format!("scrap: {} ({})", data.name, crumbs.join(" › ")));
+                }
+            }
+            if lines.is_empty() {
+                Ok(format!("no matches for {needle:?}"))
+            } else {
+                Ok(lines.join("\n"))
+            }
+        }
+        Command::Undo => {
+            if pad.undo()? {
+                Ok("undone".into())
+            } else {
+                Ok("nothing to undo".into())
+            }
+        }
+        Command::Audit => {
+            let audit = pad.marks().audit();
+            if audit.is_empty() {
+                return Ok("no marks".into());
+            }
+            let lines: Vec<String> = audit
+                .iter()
+                .map(|a| {
+                    let status = match (a.live, a.drifted) {
+                        (false, _) => "DANGLING",
+                        (true, true) => "drifted",
+                        (true, false) => "ok",
+                    };
+                    format!("{} [{}] {}", a.mark_id, a.kind, status)
+                })
+                .collect();
+            Ok(lines.join("\n"))
+        }
+        Command::Stats => Ok(pad.stats().to_string()),
+        Command::Render => Ok(render_pad(pad)?),
+    }
+}
+
+/// Run a whole script (one command per line; `#` comments and blank
+/// lines skipped). Returns each command's output. Stops at the first
+/// error, reporting the offending line number.
+pub fn run_script(pad: &mut PadSession, script: &str) -> Result<Vec<String>, CommandError> {
+    let mut outputs = Vec::new();
+    for (no, line) in script.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let command = Command::parse(trimmed).map_err(|e| CommandError::Parse {
+            message: format!("line {}: {e}", no + 1),
+        })?;
+        let output = execute(pad, &command).map_err(|e| match e {
+            CommandError::Parse { message } => {
+                CommandError::Parse { message: format!("line {}: {message}", no + 1) }
+            }
+            other => other,
+        })?;
+        outputs.push(output);
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basedocs::spreadsheet::Workbook;
+    use basedocs::SpreadsheetApp;
+    use marks::AppModule;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn session() -> (PadSession, Rc<RefCell<SpreadsheetApp>>) {
+        let mut wb = Workbook::new("meds.xls");
+        wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix 40").unwrap();
+        wb.sheet_mut("Sheet1").unwrap().set_a1("A2", "KCl 20").unwrap();
+        let mut excel = SpreadsheetApp::new();
+        excel.open(wb).unwrap();
+        excel.select("meds.xls", "Sheet1", "A1").unwrap();
+        let excel = Rc::new(RefCell::new(excel));
+        let mut pad = PadSession::new("Rounds").unwrap();
+        pad.marks_mut()
+            .register_module(Box::new(AppModule::in_context("spreadsheet", Rc::clone(&excel))))
+            .unwrap();
+        (pad, excel)
+    }
+
+    #[test]
+    fn tokenizer_handles_quotes_and_escapes() {
+        assert_eq!(
+            tokenize(r#"annotate "K 4.1" "say \"hi\"""#).unwrap(),
+            vec!["annotate", "K 4.1", "say \"hi\""]
+        );
+        assert!(tokenize(r#"bad "unterminated"#).is_err());
+    }
+
+    #[test]
+    fn parse_all_command_forms() {
+        for line in [
+            r#"bundle "John Smith" at 20,60 size 600x500"#,
+            r#"bundle "Electrolyte" at 330,240 size 260x240 in "John Smith""#,
+            r#"place spreadsheet "Lasix 40" at 40,120 in "John Smith""#,
+            r#"place xml "K" at 10,10"#,
+            r#"activate "Lasix 40""#,
+            r#"view "Lasix 40""#,
+            r#"annotate "Lasix 40" "note""#,
+            r#"link "a" -> "b""#,
+            r#"move "a" to 5,6"#,
+            r#"rename "a" to "b""#,
+            r#"find "lasix""#,
+            "audit",
+            "stats",
+            "render",
+        ] {
+            assert!(Command::parse(line).is_ok(), "{line}");
+        }
+        for bad in ["", "frobnicate", "bundle x at 1,2", "place floppy x at 1,2", "move a to b"] {
+            assert!(Command::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn scripted_session_end_to_end() {
+        let (mut pad, _excel) = session();
+        let outputs = run_script(
+            &mut pad,
+            r#"
+            # build the pad
+            bundle "John Smith" at 20,60 size 600x500
+            place spreadsheet "Lasix 40" at 40,120 in "John Smith"
+            annotate "Lasix 40" "hold if SBP<90"
+            move "Lasix 40" to 50,130
+            find "lasix"
+            audit
+            render
+            "#,
+        )
+        .unwrap();
+        assert_eq!(outputs.len(), 7);
+        assert!(outputs[4].contains("John Smith"), "find shows breadcrumbs: {}", outputs[4]);
+        assert!(outputs[5].contains("ok"), "audit: {}", outputs[5]);
+        assert!(outputs[6].contains("·Lasix 40*"), "render shows annotated scrap: {}", outputs[6]);
+    }
+
+    #[test]
+    fn activate_via_command_resolves_mark() {
+        let (mut pad, excel) = session();
+        run_script(&mut pad, r#"place spreadsheet "Lasix 40" at 10,30"#).unwrap();
+        excel.borrow_mut().select("meds.xls", "Sheet1", "A2").unwrap();
+        let out = execute(&mut pad, &Command::parse(r#"activate "Lasix 40""#).unwrap()).unwrap();
+        assert!(out.contains("[Lasix 40]"), "{out}");
+    }
+
+    #[test]
+    fn unknown_and_ambiguous_labels_error() {
+        let (mut pad, excel) = session();
+        assert!(matches!(
+            execute(&mut pad, &Command::parse(r#"activate "ghost""#).unwrap()),
+            Err(CommandError::UnknownLabel { .. })
+        ));
+        run_script(&mut pad, r#"place spreadsheet "dup" at 10,30"#).unwrap();
+        excel.borrow_mut().select("meds.xls", "Sheet1", "A2").unwrap();
+        run_script(&mut pad, r#"place spreadsheet "dup" at 10,60"#).unwrap();
+        assert!(matches!(
+            execute(&mut pad, &Command::parse(r#"view "dup""#).unwrap()),
+            Err(CommandError::AmbiguousLabel { count: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rename_prefers_bundles_then_scraps() {
+        let (mut pad, _excel) = session();
+        run_script(
+            &mut pad,
+            r#"
+            bundle "X" at 0,0 size 100x100
+            place spreadsheet "Y" at 10,10 in "X"
+            rename "X" to "Ward"
+            rename "Y" to "med"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(pad.dmi().find_bundles("Ward").len(), 1);
+        assert_eq!(pad.dmi().find_scraps("med").len(), 1);
+    }
+
+    #[test]
+    fn undo_command_reverts_last_mutation() {
+        let (mut pad, _excel) = session();
+        run_script(&mut pad, r#"bundle "Keep" at 0,0 size 100x100"#).unwrap();
+        run_script(&mut pad, r#"bundle "Oops" at 200,0 size 100x100"#).unwrap();
+        assert_eq!(pad.dmi().find_bundles("Oops").len(), 1);
+        let out = run_script(&mut pad, "undo").unwrap();
+        assert_eq!(out, vec!["undone"]);
+        assert!(pad.dmi().find_bundles("Oops").is_empty());
+        assert_eq!(pad.dmi().find_bundles("Keep").len(), 1);
+        // Two more undos: one reverts "Keep", then the stack is empty.
+        run_script(&mut pad, "undo").unwrap();
+        assert_eq!(run_script(&mut pad, "undo").unwrap(), vec!["nothing to undo"]);
+        assert!(pad.dmi().check().is_conformant());
+    }
+
+    #[test]
+    fn stats_command_reports_counts() {
+        let (mut pad, _excel) = session();
+        run_script(
+            &mut pad,
+            "bundle \"B\" at 0,0 size 100x100\nplace spreadsheet \"s\" at 10,10 in \"B\"\nannotate \"s\" \"note\"",
+        )
+        .unwrap();
+        let out = run_script(&mut pad, "stats").unwrap().remove(0);
+        assert!(out.contains("1 bundle(s)"), "{out}");
+        assert!(out.contains("1 scrap(s)"), "{out}");
+        assert!(out.contains("1 annotation(s)"), "{out}");
+        assert!(out.contains("1 live"), "{out}");
+    }
+
+    #[test]
+    fn script_errors_carry_line_numbers() {
+        let (mut pad, _excel) = session();
+        let err = run_script(&mut pad, "render\nfrobnicate\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

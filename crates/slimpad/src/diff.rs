@@ -1,0 +1,290 @@
+//! Pad diffing: what changed between two versions of a pad?
+//!
+//! The paper's sharing story ("sharing bundles to establish collectively
+//! maintained, situated awareness", §2; the weekend-handoff task, §6)
+//! implies the question every incoming clinician asks: *what changed
+//! since I last saw this pad?* This module compares two pad states and
+//! reports scrap- and bundle-level changes.
+//!
+//! Identity across versions rides on **mark ids** for scraps (the wire
+//! is the scrap's identity; labels are mutable decoration) and on names
+//! for bundles (bundles have no other stable key in the Figure 3 model).
+
+use crate::pad::PadSession;
+use slimstore::{ScrapHandle, SlimPadDmi};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One reported change.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PadChange {
+    /// A scrap with this mark id appeared.
+    ScrapAdded { mark_id: String, label: String },
+    /// A scrap with this mark id disappeared.
+    ScrapRemoved { mark_id: String, label: String },
+    /// Same mark, new label.
+    ScrapRelabelled { mark_id: String, from: String, to: String },
+    /// Same mark, moved position.
+    ScrapMoved { mark_id: String, from: (i64, i64), to: (i64, i64) },
+    /// Annotations on the scrap changed.
+    AnnotationsChanged { mark_id: String, added: Vec<String>, removed: Vec<String> },
+    /// A bundle with this name appeared.
+    BundleAdded { name: String },
+    /// A bundle with this name disappeared.
+    BundleRemoved { name: String },
+}
+
+impl fmt::Display for PadChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PadChange::ScrapAdded { mark_id, label } => {
+                write!(f, "+ scrap {label:?} ({mark_id})")
+            }
+            PadChange::ScrapRemoved { mark_id, label } => {
+                write!(f, "- scrap {label:?} ({mark_id})")
+            }
+            PadChange::ScrapRelabelled { mark_id, from, to } => {
+                write!(f, "~ scrap {mark_id}: {from:?} → {to:?}")
+            }
+            PadChange::ScrapMoved { mark_id, from, to } => {
+                write!(f, "~ scrap {mark_id} moved {},{} → {},{}", from.0, from.1, to.0, to.1)
+            }
+            PadChange::AnnotationsChanged { mark_id, added, removed } => {
+                write!(f, "~ scrap {mark_id} notes: +{} -{}", added.len(), removed.len())
+            }
+            PadChange::BundleAdded { name } => write!(f, "+ bundle {name:?}"),
+            PadChange::BundleRemoved { name } => write!(f, "- bundle {name:?}"),
+        }
+    }
+}
+
+/// Per-scrap snapshot keyed by first mark id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScrapFacts {
+    label: String,
+    pos: (i64, i64),
+    annotations: Vec<String>,
+}
+
+fn scrap_facts(dmi: &SlimPadDmi) -> BTreeMap<String, ScrapFacts> {
+    let mut out = BTreeMap::new();
+    for scrap in dmi.all_scraps() {
+        let Ok(data) = dmi.scrap(scrap) else { continue };
+        let Some(first) = data.marks.first() else { continue };
+        let Ok(handle) = dmi.mark_handle(*first) else { continue };
+        out.insert(
+            handle.mark_id,
+            ScrapFacts {
+                label: data.name,
+                pos: data.pos,
+                annotations: dmi.annotations(scrap).unwrap_or_default(),
+            },
+        );
+    }
+    out
+}
+
+fn bundle_names(dmi: &SlimPadDmi, skip: Option<slimstore::BundleHandle>) -> BTreeSet<String> {
+    dmi.bundles()
+        .into_iter()
+        .filter(|b| Some(*b) != skip)
+        .filter_map(|b| dmi.bundle(b).ok().map(|d| d.name))
+        .collect()
+}
+
+/// Compare two pad sessions (e.g. Friday's file vs Saturday's live pad).
+/// Changes are reported in a deterministic order.
+pub fn diff_pads(old: &PadSession, new: &PadSession) -> Vec<PadChange> {
+    let old_scraps = scrap_facts(old.dmi());
+    let new_scraps = scrap_facts(new.dmi());
+    let mut changes = Vec::new();
+
+    for (mark_id, facts) in &old_scraps {
+        match new_scraps.get(mark_id) {
+            None => changes.push(PadChange::ScrapRemoved {
+                mark_id: mark_id.clone(),
+                label: facts.label.clone(),
+            }),
+            Some(now) => {
+                if now.label != facts.label {
+                    changes.push(PadChange::ScrapRelabelled {
+                        mark_id: mark_id.clone(),
+                        from: facts.label.clone(),
+                        to: now.label.clone(),
+                    });
+                }
+                if now.pos != facts.pos {
+                    changes.push(PadChange::ScrapMoved {
+                        mark_id: mark_id.clone(),
+                        from: facts.pos,
+                        to: now.pos,
+                    });
+                }
+                if now.annotations != facts.annotations {
+                    let added: Vec<String> = now
+                        .annotations
+                        .iter()
+                        .filter(|a| !facts.annotations.contains(a))
+                        .cloned()
+                        .collect();
+                    let removed: Vec<String> = facts
+                        .annotations
+                        .iter()
+                        .filter(|a| !now.annotations.contains(a))
+                        .cloned()
+                        .collect();
+                    changes.push(PadChange::AnnotationsChanged {
+                        mark_id: mark_id.clone(),
+                        added,
+                        removed,
+                    });
+                }
+            }
+        }
+    }
+    for (mark_id, facts) in &new_scraps {
+        if !old_scraps.contains_key(mark_id) {
+            changes.push(PadChange::ScrapAdded {
+                mark_id: mark_id.clone(),
+                label: facts.label.clone(),
+            });
+        }
+    }
+
+    let old_bundles = bundle_names(old.dmi(), Some(old.root_bundle()));
+    let new_bundles = bundle_names(new.dmi(), Some(new.root_bundle()));
+    for name in old_bundles.difference(&new_bundles) {
+        changes.push(PadChange::BundleRemoved { name: name.clone() });
+    }
+    for name in new_bundles.difference(&old_bundles) {
+        changes.push(PadChange::BundleAdded { name: name.clone() });
+    }
+    changes.sort();
+    changes
+}
+
+/// Scraps in `pad` whose first mark id equals `mark_id` — the reverse
+/// lookup a diff viewer needs to jump from a change to the scrap.
+pub fn scraps_with_mark(pad: &PadSession, mark_id: &str) -> Vec<ScrapHandle> {
+    pad.dmi()
+        .all_scraps()
+        .into_iter()
+        .filter(|s| {
+            pad.dmi()
+                .scrap(*s)
+                .ok()
+                .and_then(|d| d.marks.first().copied())
+                .and_then(|h| pad.dmi().mark_handle(h).ok())
+                .map(|m| m.mark_id == mark_id)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pad::PadSession;
+    use basedocs::{PdfAddress, Span};
+    use marks::MarkAddress;
+
+    fn mark_for(pad: &mut PadSession, n: usize) -> String {
+        pad.marks_mut()
+            .create_mark_at(MarkAddress::Pdf(PdfAddress {
+                file_name: format!("doc{n}.pdf"),
+                page: 0,
+                line: 0,
+                span: Span::new(0, 3),
+            }))
+            .unwrap()
+    }
+
+    fn base_pad() -> PadSession {
+        let mut pad = PadSession::new("Friday").unwrap();
+        pad.create_bundle("Bed 4", (20, 60), 300, 200, None).unwrap();
+        let m0 = mark_for(&mut pad, 0);
+        let m1 = mark_for(&mut pad, 1);
+        pad.place_mark(&m0, Some("K 3.4"), (40, 90), None).unwrap();
+        pad.place_mark(&m1, Some("Lasix 40"), (40, 120), None).unwrap();
+        pad
+    }
+
+    #[test]
+    fn identical_pads_have_no_diff() {
+        let a = base_pad();
+        let b = base_pad();
+        assert!(diff_pads(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn add_remove_relabel_move_annotate_all_reported() {
+        let old = base_pad();
+        let mut new = base_pad();
+        // Relabel + move the K scrap; annotate the Lasix scrap; add a
+        // scrap and a bundle; remove nothing yet.
+        let k = new.dmi().find_scraps("K 3.4").remove(0);
+        new.dmi_mut().update_scrap_name(k, "K 4.0").unwrap();
+        new.dmi_mut().update_scrap_pos(k, (50, 95)).unwrap();
+        let lasix = new.dmi().find_scraps("Lasix 40").remove(0);
+        new.dmi_mut().add_annotation(lasix, "dose held Sat am").unwrap();
+        let m9 = mark_for(&mut new, 9);
+        new.place_mark(&m9, Some("new echo result"), (40, 150), None).unwrap();
+        new.create_bundle("Bed 7", (400, 60), 300, 200, None).unwrap();
+
+        let changes = diff_pads(&old, &new);
+        let rendered: Vec<String> = changes.iter().map(|c| c.to_string()).collect();
+        assert!(changes.iter().any(|c| matches!(c, PadChange::ScrapRelabelled { from, to, .. } if from == "K 3.4" && to == "K 4.0")), "{rendered:?}");
+        assert!(changes.iter().any(|c| matches!(c, PadChange::ScrapMoved { .. })), "{rendered:?}");
+        assert!(changes.iter().any(|c| matches!(c, PadChange::AnnotationsChanged { added, .. } if added == &vec!["dose held Sat am".to_string()])), "{rendered:?}");
+        assert!(changes.iter().any(|c| matches!(c, PadChange::ScrapAdded { label, .. } if label == "new echo result")), "{rendered:?}");
+        assert!(changes.iter().any(|c| matches!(c, PadChange::BundleAdded { name } if name == "Bed 7")), "{rendered:?}");
+        assert!(!changes.iter().any(|c| matches!(c, PadChange::ScrapRemoved { .. })));
+    }
+
+    #[test]
+    fn removal_reported_with_last_known_label() {
+        let old = base_pad();
+        let mut new = base_pad();
+        let k = new.dmi().find_scraps("K 3.4").remove(0);
+        new.dmi_mut().delete_scrap(k).unwrap();
+        let changes = diff_pads(&old, &new);
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, PadChange::ScrapRemoved { label, .. } if label == "K 3.4")));
+    }
+
+    #[test]
+    fn diff_works_across_save_load() {
+        let old = base_pad();
+        let saved = old.save_xml();
+        let reloaded = PadSession::load_xml(&saved, marks::MarkManager::new()).unwrap();
+        assert!(diff_pads(&old, &reloaded).is_empty(), "round-trip is not a change");
+    }
+
+    #[test]
+    fn reverse_lookup_finds_scrap_for_change() {
+        let pad = base_pad();
+        let changes = diff_pads(&PadSession::new("empty").unwrap(), &pad);
+        let added: Vec<&str> = changes
+            .iter()
+            .filter_map(|c| match c {
+                PadChange::ScrapAdded { mark_id, .. } => Some(mark_id.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(added.len(), 2);
+        for mark_id in added {
+            assert_eq!(scraps_with_mark(&pad, mark_id).len(), 1);
+        }
+    }
+
+    #[test]
+    fn display_is_compact_and_informative() {
+        let c = PadChange::ScrapRelabelled {
+            mark_id: "mark:0".into(),
+            from: "K 3.4".into(),
+            to: "K 4.0".into(),
+        };
+        assert_eq!(c.to_string(), "~ scrap mark:0: \"K 3.4\" → \"K 4.0\"");
+    }
+}

@@ -1,0 +1,256 @@
+//! 2-D layout: free placement, hit testing, and implicit-structure
+//! detection.
+//!
+//! "We allow flexibility for placement of information elements and
+//! bundles in two dimensions. The juxtaposition of scraps and bundles
+//! contains implicit semantic information that we neither want to
+//! constrain or lose." (paper §3)
+
+/// A point on the pad, in pad units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    pub x: i64,
+    pub y: i64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned rectangle: origin (top-left) plus size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    pub origin: Point,
+    pub width: i64,
+    pub height: i64,
+}
+
+impl Rect {
+    /// Construct from origin and size.
+    pub fn new(origin: impl Into<Point>, width: i64, height: i64) -> Self {
+        Rect { origin: origin.into(), width, height }
+    }
+
+    /// The right edge (exclusive).
+    pub fn right(&self) -> i64 {
+        self.origin.x + self.width
+    }
+
+    /// The bottom edge (exclusive).
+    pub fn bottom(&self) -> i64 {
+        self.origin.y + self.height
+    }
+
+    /// Does the rectangle contain the point?
+    pub fn contains(&self, p: Point) -> bool {
+        (self.origin.x..self.right()).contains(&p.x)
+            && (self.origin.y..self.bottom()).contains(&p.y)
+    }
+
+    /// Does `self` fully contain `other`?
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.origin.x <= other.origin.x
+            && self.origin.y <= other.origin.y
+            && self.right() >= other.right()
+            && self.bottom() >= other.bottom()
+    }
+
+    /// Do the rectangles overlap (non-empty intersection)?
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.origin.x < other.right()
+            && other.origin.x < self.right()
+            && self.origin.y < other.bottom()
+            && other.origin.y < self.bottom()
+    }
+}
+
+/// Hit testing over z-ordered items: the *last* (topmost) item whose
+/// rectangle contains the point wins — scratchpad stacking order.
+pub fn hit_test<T: Copy>(items: &[(T, Rect)], p: Point) -> Option<T> {
+    items.iter().rev().find(|(_, r)| r.contains(p)).map(|(t, _)| *t)
+}
+
+/// The bundle (if any) a dropped point should land in: the topmost
+/// bundle whose rect contains it.
+pub fn drop_target<T: Copy>(bundles: &[(T, Rect)], p: Point) -> Option<T> {
+    hit_test(bundles, p)
+}
+
+/// Detected implicit structure among scrap positions: rows and columns —
+/// the "gridlet" arrangement of paper Figure 4's Electrolyte bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridDetection<T> {
+    /// Items grouped into rows (top to bottom), each row left to right.
+    /// Only rows with 2+ members count as structure.
+    pub rows: Vec<Vec<T>>,
+    /// Items grouped into columns (left to right), each top to bottom.
+    pub columns: Vec<Vec<T>>,
+}
+
+impl<T> GridDetection<T> {
+    /// Whether any multi-element row or column was found.
+    pub fn has_structure(&self) -> bool {
+        !self.rows.is_empty() || !self.columns.is_empty()
+    }
+}
+
+/// Cluster positioned items into rows and columns within `tolerance`
+/// pad units. Deterministic and permutation-invariant: the result
+/// depends only on the set of items, not their input order.
+pub fn detect_grid<T: Copy + Ord>(items: &[(T, Point)], tolerance: i64) -> GridDetection<T> {
+    let rows = cluster_by(items, tolerance, |p| (p.y, p.x));
+    let columns = cluster_by(items, tolerance, |p| (p.x, p.y));
+    GridDetection { rows, columns }
+}
+
+/// Cluster by the first key-component within tolerance; order each
+/// cluster by the second component. Single-member clusters are dropped.
+fn cluster_by<T: Copy + Ord>(
+    items: &[(T, Point)],
+    tolerance: i64,
+    key: impl Fn(Point) -> (i64, i64),
+) -> Vec<Vec<T>> {
+    let mut sorted: Vec<(i64, i64, T)> =
+        items.iter().map(|&(t, p)| { let (a, b) = key(p); (a, b, t) }).collect();
+    // Sort by primary axis, then secondary, then item for determinism.
+    sorted.sort_unstable();
+    let mut clusters: Vec<Vec<(i64, i64, T)>> = Vec::new();
+    for entry in sorted {
+        match clusters.last_mut() {
+            // Chain clustering: compare against the cluster's last primary
+            // value so gentle drift within tolerance stays in one cluster.
+            Some(cluster) if entry.0 - cluster.last().expect("nonempty").0 <= tolerance => {
+                cluster.push(entry);
+            }
+            _ => clusters.push(vec![entry]),
+        }
+    }
+    clusters
+        .into_iter()
+        .filter(|c| c.len() >= 2)
+        .map(|mut c| {
+            c.sort_unstable_by_key(|&(_, b, t)| (b, t));
+            c.into_iter().map(|(_, _, t)| t).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_contains_and_edges() {
+        let r = Rect::new((10, 20), 30, 40);
+        assert!(r.contains(Point::new(10, 20)), "origin inclusive");
+        assert!(r.contains(Point::new(39, 59)));
+        assert!(!r.contains(Point::new(40, 20)), "right edge exclusive");
+        assert!(!r.contains(Point::new(10, 60)), "bottom edge exclusive");
+        assert!(!r.contains(Point::new(9, 20)));
+    }
+
+    #[test]
+    fn rect_contains_rect_and_intersects() {
+        let outer = Rect::new((0, 0), 100, 100);
+        let inner = Rect::new((10, 10), 20, 20);
+        let straddling = Rect::new((90, 90), 20, 20);
+        let outside = Rect::new((200, 200), 5, 5);
+        assert!(outer.contains_rect(&inner));
+        assert!(!outer.contains_rect(&straddling));
+        assert!(outer.intersects(&straddling));
+        assert!(!outer.intersects(&outside));
+        assert!(outer.contains_rect(&outer), "containment is reflexive");
+    }
+
+    #[test]
+    fn hit_test_prefers_topmost() {
+        let items = vec![(1, Rect::new((0, 0), 100, 100)), (2, Rect::new((10, 10), 50, 50))];
+        assert_eq!(hit_test(&items, Point::new(20, 20)), Some(2), "later item is on top");
+        assert_eq!(hit_test(&items, Point::new(80, 80)), Some(1));
+        assert_eq!(hit_test(&items, Point::new(500, 500)), None);
+    }
+
+    #[test]
+    fn gridlet_detection_finds_electrolyte_arrangement() {
+        // The classic electrolyte "fishbone" values laid out in a 2×2+
+        // grid: Na  Cl / K  HCO3 (IDs 0-3), row-major positions.
+        let items = vec![
+            (0, Point::new(100, 50)),  // Na
+            (1, Point::new(160, 50)),  // Cl
+            (2, Point::new(100, 80)),  // K
+            (3, Point::new(160, 80)),  // HCO3
+        ];
+        let grid = detect_grid(&items, 5);
+        assert_eq!(grid.rows, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(grid.columns, vec![vec![0, 2], vec![1, 3]]);
+        assert!(grid.has_structure());
+    }
+
+    #[test]
+    fn detection_is_permutation_invariant() {
+        let items = vec![
+            (0, Point::new(100, 50)),
+            (1, Point::new(160, 50)),
+            (2, Point::new(100, 80)),
+            (3, Point::new(160, 80)),
+        ];
+        let mut shuffled = items.clone();
+        shuffled.reverse();
+        shuffled.swap(0, 2);
+        assert_eq!(detect_grid(&items, 5), detect_grid(&shuffled, 5));
+    }
+
+    #[test]
+    fn tolerance_allows_imperfect_alignment() {
+        // Hand-placed scraps are never pixel-aligned.
+        let items = vec![(0, Point::new(100, 50)), (1, Point::new(160, 53))];
+        assert_eq!(detect_grid(&items, 5).rows, vec![vec![0, 1]]);
+        assert!(detect_grid(&items, 1).rows.is_empty(), "tight tolerance splits them");
+    }
+
+    #[test]
+    fn scattered_scraps_have_no_structure() {
+        let items =
+            vec![(0, Point::new(0, 0)), (1, Point::new(57, 91)), (2, Point::new(130, 33))];
+        let grid = detect_grid(&items, 5);
+        assert!(!grid.has_structure(), "{grid:?}");
+    }
+
+    #[test]
+    fn single_item_is_no_structure() {
+        let grid = detect_grid(&[(0, Point::new(5, 5))], 10);
+        assert!(!grid.has_structure());
+        let grid: GridDetection<i32> = detect_grid(&[], 10);
+        assert!(!grid.has_structure());
+    }
+
+    #[test]
+    fn rows_ordered_top_to_bottom_and_left_to_right() {
+        let items = vec![
+            (10, Point::new(300, 90)),
+            (11, Point::new(100, 90)),
+            (12, Point::new(200, 20)),
+            (13, Point::new(100, 20)),
+        ];
+        let grid = detect_grid(&items, 5);
+        assert_eq!(grid.rows, vec![vec![13, 12], vec![11, 10]]);
+    }
+
+    #[test]
+    fn drop_target_picks_topmost_bundle() {
+        let bundles =
+            vec![("outer", Rect::new((0, 0), 300, 300)), ("inner", Rect::new((50, 50), 100, 100))];
+        assert_eq!(drop_target(&bundles, Point::new(70, 70)), Some("inner"));
+        assert_eq!(drop_target(&bundles, Point::new(250, 250)), Some("outer"));
+        assert_eq!(drop_target(&bundles, Point::new(999, 0)), None);
+    }
+}

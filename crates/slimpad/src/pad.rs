@@ -1,0 +1,569 @@
+//! The running SLIMPad application: a pad session wiring the DMI to the
+//! Mark Manager.
+
+use crate::layout::{detect_grid, GridDetection, Point};
+use basedocs::DocKind;
+use marks::{MarkError, MarkManager, Resolution};
+use slimstore::{BundleHandle, DmiError, PadHandle, ScrapHandle, SlimPadDmi};
+use std::fmt;
+use std::path::Path;
+use xmlkit::XmlWriter;
+
+/// Errors from pad-session operations.
+#[derive(Debug)]
+pub enum PadError {
+    /// A data-layer failure.
+    Dmi(DmiError),
+    /// A mark-layer failure.
+    Mark(MarkError),
+    /// A malformed combined pad file.
+    File { message: String },
+}
+
+impl fmt::Display for PadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PadError::Dmi(e) => write!(f, "pad data error: {e}"),
+            PadError::Mark(e) => write!(f, "mark error: {e}"),
+            PadError::File { message } => write!(f, "pad file error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PadError {}
+
+impl From<DmiError> for PadError {
+    fn from(e: DmiError) -> Self {
+        PadError::Dmi(e)
+    }
+}
+
+impl From<MarkError> for PadError {
+    fn from(e: MarkError) -> Self {
+        PadError::Mark(e)
+    }
+}
+
+/// On-disk format version for combined pad files.
+const FILE_VERSION: &str = "1";
+
+/// Session statistics: what a status bar would show.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PadStats {
+    pub bundles: usize,
+    pub scraps: usize,
+    pub marks: usize,
+    pub annotations: usize,
+    pub scrap_links: usize,
+    pub triples: usize,
+    pub live_marks: usize,
+    pub drifted_marks: usize,
+}
+
+impl fmt::Display for PadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bundle(s), {} scrap(s), {} mark(s) ({} live, {} drifted), \
+{} annotation(s), {} link(s); {} triples underneath",
+            self.bundles,
+            self.scraps,
+            self.marks,
+            self.live_marks,
+            self.drifted_marks,
+            self.annotations,
+            self.scrap_links,
+            self.triples,
+        )
+    }
+}
+
+/// A live SLIMPad: the pad object, its bundle tree, and its marks.
+///
+/// "Each visual entity the user sees on the screen corresponds to an
+/// object in the data model" (paper §3); every mutation below goes
+/// through the DMI, so the triple representation stays consistent.
+pub struct PadSession {
+    dmi: SlimPadDmi,
+    pad: PadHandle,
+    root: BundleHandle,
+    marks: MarkManager,
+    /// Checkpoints taken by [`PadSession::begin_op`], popped by
+    /// [`PadSession::undo`].
+    undo_stack: Vec<trim::Revision>,
+}
+
+impl PadSession {
+    /// Open a new, empty pad. The pad's own surface is its (invisible)
+    /// root bundle; bundles and scraps placed "on the pad" live there.
+    pub fn new(pad_name: &str) -> Result<Self, PadError> {
+        let mut dmi = SlimPadDmi::new();
+        let root = dmi.create_bundle(pad_name, (0, 0), 1280, 960);
+        let pad = dmi.create_slim_pad(pad_name, Some(root))?;
+        Ok(PadSession { dmi, pad, root, marks: MarkManager::new(), undo_stack: Vec::new() })
+    }
+
+    /// Mark the start of a user-visible operation; [`PadSession::undo`]
+    /// reverts to the most recent unmatched call.
+    pub fn begin_op(&mut self) {
+        self.undo_stack.push(self.dmi.checkpoint());
+    }
+
+    /// Undo back to the last [`PadSession::begin_op`] checkpoint.
+    /// Returns `false` when there is nothing to undo. Marks created
+    /// since are *not* removed (the mark store is append-only); they
+    /// simply become unreferenced, which the audit reports.
+    pub fn undo(&mut self) -> Result<bool, PadError> {
+        match self.undo_stack.pop() {
+            Some(revision) => {
+                self.dmi.rollback(revision)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// The mark manager — register mark modules here before placing
+    /// marks (paper Figure 7's per-application modules).
+    pub fn marks_mut(&mut self) -> &mut MarkManager {
+        &mut self.marks
+    }
+
+    /// Read access to the mark manager.
+    pub fn marks(&self) -> &MarkManager {
+        &self.marks
+    }
+
+    /// Read access to the data layer.
+    pub fn dmi(&self) -> &SlimPadDmi {
+        &self.dmi
+    }
+
+    /// Mutable access to the data layer for operations the session does
+    /// not wrap (annotations, links, deletes, …).
+    pub fn dmi_mut(&mut self) -> &mut SlimPadDmi {
+        &mut self.dmi
+    }
+
+    /// The pad object.
+    pub fn pad(&self) -> PadHandle {
+        self.pad
+    }
+
+    /// The pad's root bundle.
+    pub fn root_bundle(&self) -> BundleHandle {
+        self.root
+    }
+
+    /// Session statistics (excludes the invisible root bundle).
+    pub fn stats(&self) -> PadStats {
+        let scraps = self.dmi.all_scraps();
+        let annotations: usize =
+            scraps.iter().map(|s| self.dmi.annotations(*s).map(|a| a.len()).unwrap_or(0)).sum();
+        let scrap_links: usize =
+            scraps.iter().map(|s| self.dmi.scrap_links(*s).map(|l| l.len()).unwrap_or(0)).sum();
+        let audit = self.marks.audit();
+        PadStats {
+            bundles: self.dmi.bundles().len().saturating_sub(1),
+            scraps: scraps.len(),
+            marks: self.marks.len(),
+            annotations,
+            scrap_links,
+            triples: self.dmi.store().len(),
+            live_marks: audit.iter().filter(|a| a.live).count(),
+            drifted_marks: audit.iter().filter(|a| a.drifted).count(),
+        }
+    }
+
+    // ---- building the pad -----------------------------------------------------
+
+    /// Create a bundle on the pad surface or inside `parent`.
+    pub fn create_bundle(
+        &mut self,
+        name: &str,
+        pos: (i64, i64),
+        width: i64,
+        height: i64,
+        parent: Option<BundleHandle>,
+    ) -> Result<BundleHandle, PadError> {
+        let b = self.dmi.create_bundle(name, pos, width, height);
+        self.dmi.add_nested_bundle(parent.unwrap_or(self.root), b)?;
+        Ok(b)
+    }
+
+    /// The paper's core gesture: take the base application's *current
+    /// selection*, create a mark for it, and place a scrap holding that
+    /// mark onto the pad — "the user creates a digital 'sticky-note,'
+    /// which comes with a digital 'wire' that leads back to the
+    /// information in the original data source."
+    ///
+    /// With `label: None` the scrap is labelled with the marked content
+    /// (the excerpt); pass a label to override — "a scrap's label and its
+    /// mark's content may differ."
+    pub fn place_selection(
+        &mut self,
+        kind: DocKind,
+        label: Option<&str>,
+        pos: (i64, i64),
+        bundle: Option<BundleHandle>,
+    ) -> Result<ScrapHandle, PadError> {
+        let mark_id = self.marks.create_mark(kind)?;
+        self.place_mark(&mark_id, label, pos, bundle)
+    }
+
+    /// Place an existing mark onto the pad as a new scrap.
+    pub fn place_mark(
+        &mut self,
+        mark_id: &str,
+        label: Option<&str>,
+        pos: (i64, i64),
+        bundle: Option<BundleHandle>,
+    ) -> Result<ScrapHandle, PadError> {
+        let mark = self.marks.get(mark_id)?;
+        let label = match label {
+            Some(l) => l.to_string(),
+            None if !mark.excerpt.is_empty() => mark.excerpt.clone(),
+            None => mark.address.to_string(),
+        };
+        let scrap = self.dmi.create_scrap(&label, pos, mark_id)?;
+        self.dmi.add_scrap(bundle.unwrap_or(self.root), scrap)?;
+        Ok(scrap)
+    }
+
+    // ---- using the pad -----------------------------------------------------
+
+    /// Double-click a scrap: de-reference its (first) mark and drive the
+    /// base application there — "the original information source … is
+    /// displayed with the appropriate medication highlighted" (paper §3,
+    /// Figure 4).
+    pub fn activate(&mut self, scrap: ScrapHandle) -> Result<Resolution, PadError> {
+        let mark_id = self.first_mark_id(scrap)?;
+        Ok(self.marks.resolve(&mark_id)?)
+    }
+
+    /// Activate through a named module (e.g. an in-place viewer).
+    pub fn activate_with(
+        &mut self,
+        scrap: ScrapHandle,
+        module: &str,
+    ) -> Result<Resolution, PadError> {
+        let mark_id = self.first_mark_id(scrap)?;
+        Ok(self.marks.resolve_with(&mark_id, module)?)
+    }
+
+    /// §6 extension behaviour: the marked element's current content,
+    /// without driving the base application.
+    pub fn extract(&self, scrap: ScrapHandle) -> Result<String, PadError> {
+        let mark_id = self.first_mark_id(scrap)?;
+        Ok(self.marks.extract_content(&mark_id)?)
+    }
+
+    /// Resolve *all* of a scrap's marks, in handle order — the
+    /// composite-mark behaviour the paper compares to MVD's NoteMarks
+    /// ("combine several kinds of annotations together to serve as an
+    /// index"). Figure 3 allows `scrapMark 1..*`; this is what a
+    /// double-click does when a scrap carries several wires.
+    pub fn activate_all(&mut self, scrap: ScrapHandle) -> Result<Vec<Resolution>, PadError> {
+        let data = self.dmi.scrap(scrap)?;
+        let mut out = Vec::with_capacity(data.marks.len());
+        for handle in &data.marks {
+            let mark_id = self.dmi.mark_handle(*handle)?.mark_id;
+            out.push(self.marks.resolve(&mark_id)?);
+        }
+        Ok(out)
+    }
+
+    /// Attach the base application's current selection as an *additional*
+    /// mark on an existing scrap (building a composite scrap).
+    pub fn add_selection_to_scrap(
+        &mut self,
+        scrap: ScrapHandle,
+        kind: DocKind,
+    ) -> Result<(), PadError> {
+        let mark_id = self.marks.create_mark(kind)?;
+        let handle = self.dmi.create_mark_handle(&mark_id);
+        self.dmi.add_scrap_mark(scrap, handle)?;
+        Ok(())
+    }
+
+    fn first_mark_id(&self, scrap: ScrapHandle) -> Result<String, PadError> {
+        let data = self.dmi.scrap(scrap)?;
+        let first = data.marks.first().ok_or(PadError::Dmi(DmiError::Cardinality {
+            message: "scrap has no mark handle".into(),
+        }))?;
+        Ok(self.dmi.mark_handle(*first)?.mark_id)
+    }
+
+    /// Detect implicit row/column structure among a bundle's scraps —
+    /// the "gridlet" of paper Figure 4, recovered from juxtaposition.
+    pub fn detect_gridlet(
+        &self,
+        bundle: BundleHandle,
+        tolerance: i64,
+    ) -> Result<GridDetection<ScrapHandle>, PadError> {
+        let data = self.dmi.bundle(bundle)?;
+        let items: Vec<(ScrapHandle, Point)> = data
+            .scraps
+            .iter()
+            .map(|&s| Ok((s, Point::from(self.dmi.scrap(s)?.pos))))
+            .collect::<Result<_, PadError>>()?;
+        Ok(detect_grid(&items, tolerance))
+    }
+
+    // ---- persistence -----------------------------------------------------------
+
+    /// Serialize the pad *and* its marks into one combined XML document.
+    pub fn save_xml(&self) -> String {
+        let mut w = XmlWriter::compact();
+        w.declaration();
+        w.start("slimpad-file");
+        w.attr("version", FILE_VERSION);
+        w.leaf("store", &self.dmi.save_xml());
+        w.leaf("marks", &self.marks.to_xml());
+        w.end();
+        w.finish()
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PadError> {
+        std::fs::write(path, self.save_xml())
+            .map_err(|e| PadError::File { message: e.to_string() })
+    }
+
+    /// Load a combined pad file. `manager` supplies the mark modules
+    /// (live base applications); its mark store is replaced by the file's.
+    pub fn load_xml(text: &str, mut manager: MarkManager) -> Result<Self, PadError> {
+        let doc = xmlkit::parse(text).map_err(|e| PadError::File { message: e.to_string() })?;
+        if doc.root.name != "slimpad-file" || doc.root.attr("version") != Some(FILE_VERSION) {
+            return Err(PadError::File {
+                message: "not a SLIMPad file (or unsupported version)".into(),
+            });
+        }
+        let store_xml = doc
+            .root
+            .child("store")
+            .ok_or_else(|| PadError::File { message: "missing <store>".into() })?
+            .text();
+        let marks_xml = doc
+            .root
+            .child("marks")
+            .ok_or_else(|| PadError::File { message: "missing <marks>".into() })?
+            .text();
+        let (dmi, pads) = SlimPadDmi::load_xml(&store_xml)?;
+        let pad = *pads.first().ok_or_else(|| PadError::File {
+            message: "pad file contains no SlimPad object".into(),
+        })?;
+        let root = dmi
+            .pad(pad)?
+            .root_bundle
+            .ok_or_else(|| PadError::File { message: "pad has no root bundle".into() })?;
+        manager.load_xml(&marks_xml)?;
+        Ok(PadSession { dmi, pad, root, marks: manager, undo_stack: Vec::new() })
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>, manager: MarkManager) -> Result<Self, PadError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PadError::File { message: e.to_string() })?;
+        Self::load_xml(&text, manager)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basedocs::spreadsheet::Workbook;
+    use basedocs::{BaseApplication, SpreadsheetApp, XmlApp};
+    use marks::AppModule;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn apps() -> (Rc<RefCell<SpreadsheetApp>>, Rc<RefCell<XmlApp>>) {
+        let mut wb = Workbook::new("medications.xls");
+        let sheet = wb.sheet_mut("Sheet1").unwrap();
+        sheet.set_a1("A1", "Lasix 40 IV bid").unwrap();
+        sheet.set_a1("A2", "Captopril 12.5 tid").unwrap();
+        let mut excel = SpreadsheetApp::new();
+        excel.open(wb).unwrap();
+        let mut xml = XmlApp::new();
+        xml.open_text(
+            "labs.xml",
+            "<labs><na>140</na><k>4.1</k><cl>102</cl></labs>",
+        )
+        .unwrap();
+        (Rc::new(RefCell::new(excel)), Rc::new(RefCell::new(xml)))
+    }
+
+    fn session() -> (PadSession, Rc<RefCell<SpreadsheetApp>>, Rc<RefCell<XmlApp>>) {
+        let (excel, xml) = apps();
+        let mut pad = PadSession::new("Rounds").unwrap();
+        pad.marks_mut()
+            .register_module(Box::new(AppModule::in_context("excel", Rc::clone(&excel))))
+            .unwrap();
+        pad.marks_mut()
+            .register_module(Box::new(AppModule::in_place("excel-viewer", Rc::clone(&excel))))
+            .unwrap();
+        pad.marks_mut()
+            .register_module(Box::new(AppModule::in_context("xml", Rc::clone(&xml))))
+            .unwrap();
+        (pad, excel, xml)
+    }
+
+    #[test]
+    fn place_selection_creates_wired_scrap() {
+        let (mut pad, excel, _) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        let john = pad.create_bundle("John Smith", (10, 10), 400, 300, None).unwrap();
+        let scrap = pad
+            .place_selection(DocKind::Spreadsheet, None, (20, 40), Some(john))
+            .unwrap();
+        // Default label is the excerpt.
+        assert_eq!(pad.dmi().scrap(scrap).unwrap().name, "Lasix 40 IV bid");
+        // Activation drives the base app back to the marked cell.
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A2").unwrap();
+        let res = pad.activate(scrap).unwrap();
+        assert!(res.display.contains("[Lasix 40 IV bid]"), "{}", res.display);
+        assert_eq!(
+            excel.borrow().current_selection().unwrap().to_string(),
+            "medications.xls!Sheet1!A1"
+        );
+    }
+
+    #[test]
+    fn custom_labels_differ_from_content() {
+        let (mut pad, excel, _) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A2").unwrap();
+        let scrap = pad
+            .place_selection(DocKind::Spreadsheet, Some("ACE inhibitor"), (0, 0), None)
+            .unwrap();
+        assert_eq!(pad.dmi().scrap(scrap).unwrap().name, "ACE inhibitor");
+        assert_eq!(pad.extract(scrap).unwrap(), "Captopril 12.5 tid");
+    }
+
+    #[test]
+    fn activate_with_uses_alternate_module() {
+        let (mut pad, excel, _) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        let scrap = pad.place_selection(DocKind::Spreadsheet, None, (0, 0), None).unwrap();
+        let res = pad.activate_with(scrap, "excel-viewer").unwrap();
+        assert_eq!(res.display, "Lasix 40 IV bid");
+    }
+
+    #[test]
+    fn gridlet_detected_from_scrap_positions() {
+        let (mut pad, _, xml) = session();
+        let electro = pad.create_bundle("Electrolyte", (200, 60), 180, 160, None).unwrap();
+        for (path, pos) in [
+            ("/labs/na", (210, 80)),
+            ("/labs/cl", (270, 80)),
+            ("/labs/k", (210, 110)),
+        ] {
+            xml.borrow_mut().select_by_path("labs.xml", path).unwrap();
+            pad.place_selection(DocKind::Xml, None, pos, Some(electro)).unwrap();
+        }
+        let grid = pad.detect_gridlet(electro, 5).unwrap();
+        assert_eq!(grid.rows.len(), 1, "{grid:?}");
+        assert_eq!(grid.columns.len(), 1, "{grid:?}");
+        assert!(grid.has_structure());
+    }
+
+    #[test]
+    fn composite_scraps_resolve_all_marks() {
+        let (mut pad, excel, xml) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        let scrap = pad
+            .place_selection(DocKind::Spreadsheet, Some("CHF therapy"), (10, 30), None)
+            .unwrap();
+        // Add a second wire: the potassium the diuretic threatens.
+        xml.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+        pad.add_selection_to_scrap(scrap, DocKind::Xml).unwrap();
+
+        let resolutions = pad.activate_all(scrap).unwrap();
+        assert_eq!(resolutions.len(), 2);
+        assert!(resolutions[0].display.contains("[Lasix 40 IV bid]"), "{}", resolutions[0].display);
+        assert!(resolutions[1].display.contains(">>"), "{}", resolutions[1].display);
+        // The pad stays conformant with multi-mark scraps.
+        assert!(pad.dmi().check().is_conformant());
+    }
+
+    #[test]
+    fn save_load_roundtrip_with_marks() {
+        let (mut pad, excel, _) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        let john = pad.create_bundle("John Smith", (10, 10), 400, 300, None).unwrap();
+        let scrap = pad.place_selection(DocKind::Spreadsheet, None, (20, 40), Some(john)).unwrap();
+        pad.dmi_mut().add_annotation(scrap, "hold if SBP < 90").unwrap();
+        let xml_text = pad.save_xml();
+
+        // Reload against a fresh manager wired to the same live apps.
+        let mut manager = MarkManager::new();
+        manager
+            .register_module(Box::new(AppModule::in_context("excel", Rc::clone(&excel))))
+            .unwrap();
+        let mut pad2 = PadSession::load_xml(&xml_text, manager).unwrap();
+        assert_eq!(pad2.dmi().pad(pad2.pad()).unwrap().name, "Rounds");
+        let root = pad2.root_bundle();
+        let bundles = pad2.dmi().bundle(root).unwrap().nested;
+        assert_eq!(bundles.len(), 1);
+        let scraps = pad2.dmi().bundle(bundles[0]).unwrap().scraps;
+        assert_eq!(scraps.len(), 1);
+        assert_eq!(pad2.dmi().scrap(scraps[0]).unwrap().name, "Lasix 40 IV bid");
+        assert_eq!(
+            pad2.dmi().annotations(scraps[0]).unwrap(),
+            vec!["hold if SBP < 90"]
+        );
+        // The reloaded mark still resolves against the live application.
+        let res = pad2.activate(scraps[0]).unwrap();
+        assert!(res.display.contains("[Lasix 40 IV bid]"));
+    }
+
+    #[test]
+    fn load_rejects_malformed_files() {
+        let manager = MarkManager::new();
+        assert!(matches!(
+            PadSession::load_xml("<nope/>", manager),
+            Err(PadError::File { .. })
+        ));
+        let manager = MarkManager::new();
+        assert!(matches!(
+            PadSession::load_xml("not xml", manager),
+            Err(PadError::File { .. })
+        ));
+        let manager = MarkManager::new();
+        assert!(matches!(
+            PadSession::load_xml(r#"<slimpad-file version="1"/>"#, manager),
+            Err(PadError::File { .. })
+        ));
+    }
+
+    #[test]
+    fn save_load_via_file() {
+        let dir = std::env::temp_dir().join("slimpad-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rounds.slimpad.xml");
+        let (pad, excel, _) = session();
+        pad.save(&path).unwrap();
+        let mut manager = MarkManager::new();
+        manager
+            .register_module(Box::new(AppModule::in_context("excel", excel)))
+            .unwrap();
+        let pad2 = PadSession::load(&path, manager).unwrap();
+        assert_eq!(pad2.dmi().pad(pad2.pad()).unwrap().name, "Rounds");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pad_stays_conformant_through_a_session() {
+        let (mut pad, excel, xml) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        let john = pad.create_bundle("John Smith", (10, 10), 400, 300, None).unwrap();
+        let s1 = pad.place_selection(DocKind::Spreadsheet, None, (20, 40), Some(john)).unwrap();
+        xml.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+        let s2 = pad.place_selection(DocKind::Xml, Some("K 4.1"), (30, 70), Some(john)).unwrap();
+        pad.dmi_mut().link_scraps(s1, s2).unwrap();
+        pad.dmi_mut().update_scrap_pos(s2, (35, 75)).unwrap();
+        pad.dmi_mut().delete_scrap(s1).unwrap();
+        let report = pad.dmi().check();
+        assert!(report.is_conformant(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,218 @@
+//! ASCII rendering of pads: the textual "screenshot".
+//!
+//! Paper Figure 4 is a screenshot of the 'Rounds' pad; the examples
+//! regenerate that state and render it through this module. Rendering is
+//! deterministic, so goldens in tests are stable.
+
+use crate::pad::{PadError, PadSession};
+use slimstore::BundleHandle;
+
+/// Horizontal pad-units per character cell.
+const SCALE_X: i64 = 10;
+/// Vertical pad-units per character cell.
+const SCALE_Y: i64 = 30;
+
+/// Render the whole pad: an outer window frame titled with the pad name,
+/// bundles as nested boxes (name in the top border), scraps as
+/// `·label` glyphs (`*` suffix marks annotated scraps).
+pub fn render_pad(session: &PadSession) -> Result<String, PadError> {
+    let dmi = session.dmi();
+    let pad_data = dmi.pad(session.pad())?;
+    let root = session.root_bundle();
+    let root_data = dmi.bundle(root)?;
+    let cols = (root_data.width / SCALE_X).max(20) as usize;
+    let rows = (root_data.height / SCALE_Y).max(8) as usize;
+    let mut canvas = Canvas::new(cols + 2, rows + 2);
+    canvas.box_at(0, 0, cols + 2, rows + 2, &format!(" {} ", pad_data.name));
+    render_bundle_contents(session, root, &mut canvas)?;
+    Ok(canvas.to_string())
+}
+
+fn render_bundle_contents(
+    session: &PadSession,
+    bundle: BundleHandle,
+    canvas: &mut Canvas,
+) -> Result<(), PadError> {
+    let dmi = session.dmi();
+    let data = dmi.bundle(bundle)?;
+    for nested in &data.nested {
+        let nd = dmi.bundle(*nested)?;
+        // Content is drawn inside the window frame: +1 for the border.
+        let x = (nd.pos.0 / SCALE_X).max(0) as usize + 1;
+        let y = (nd.pos.1 / SCALE_Y).max(0) as usize + 1;
+        let w = ((nd.width / SCALE_X) as usize).max(nd.name.len() + 4);
+        let h = ((nd.height / SCALE_Y) as usize).max(3);
+        canvas.box_at(x, y, w, h, &format!(" {} ", nd.name));
+        render_bundle_contents(session, *nested, canvas)?;
+    }
+    for scrap in &data.scraps {
+        let sd = dmi.scrap(*scrap)?;
+        let x = (sd.pos.0 / SCALE_X).max(0) as usize + 1;
+        let y = (sd.pos.1 / SCALE_Y).max(0) as usize + 1;
+        let annotated = !dmi.annotations(*scrap).unwrap_or_default().is_empty();
+        let label = if annotated { format!("·{}*", sd.name) } else { format!("·{}", sd.name) };
+        canvas.text_at(x, y, &label);
+    }
+    Ok(())
+}
+
+/// Compose two text blocks into side-by-side columns separated by a
+/// vertical rule — the two-monitor feel of simultaneous viewing
+/// (paper Figure 6's two windows).
+pub fn side_by_side(left: &str, right: &str) -> String {
+    let left_lines: Vec<&str> = left.lines().collect();
+    let right_lines: Vec<&str> = right.lines().collect();
+    let left_width = left_lines.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let rows = left_lines.len().max(right_lines.len());
+    let mut out = String::new();
+    for i in 0..rows {
+        let l = left_lines.get(i).copied().unwrap_or("");
+        let r = right_lines.get(i).copied().unwrap_or("");
+        let pad = left_width - l.chars().count();
+        out.push_str(l);
+        for _ in 0..pad {
+            out.push(' ');
+        }
+        out.push_str(" │ ");
+        out.push_str(r);
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A fixed-size character canvas.
+struct Canvas {
+    cols: usize,
+    rows: usize,
+    cells: Vec<char>,
+}
+
+impl Canvas {
+    fn new(cols: usize, rows: usize) -> Self {
+        Canvas { cols, rows, cells: vec![' '; cols * rows] }
+    }
+
+    fn set(&mut self, x: usize, y: usize, c: char) {
+        if x < self.cols && y < self.rows {
+            self.cells[y * self.cols + x] = c;
+        }
+    }
+
+    /// Draw a box with a title embedded in the top border.
+    fn box_at(&mut self, x: usize, y: usize, w: usize, h: usize, title: &str) {
+        if w < 2 || h < 2 {
+            return;
+        }
+        for dx in 0..w {
+            self.set(x + dx, y, '-');
+            self.set(x + dx, y + h - 1, '-');
+        }
+        for dy in 0..h {
+            self.set(x, y + dy, '|');
+            self.set(x + w - 1, y + dy, '|');
+        }
+        for (corner_x, corner_y) in [(x, y), (x + w - 1, y), (x, y + h - 1), (x + w - 1, y + h - 1)]
+        {
+            self.set(corner_x, corner_y, '+');
+        }
+        // Title in the top border, truncated to fit.
+        for (i, c) in title.chars().enumerate().take(w.saturating_sub(2)) {
+            self.set(x + 1 + i, y, c);
+        }
+    }
+
+    fn text_at(&mut self, x: usize, y: usize, text: &str) {
+        for (i, c) in text.chars().enumerate() {
+            self.set(x + i, y, c);
+        }
+    }
+}
+
+impl std::fmt::Display for Canvas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for row in 0..self.rows {
+            let line: String = self.cells[row * self.cols..(row + 1) * self.cols]
+                .iter()
+                .collect::<String>();
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pad::PadSession;
+
+    fn demo_pad() -> PadSession {
+        let mut pad = PadSession::new("Rounds").unwrap();
+        let john = pad.create_bundle("John Smith", (20, 60), 500, 450, None).unwrap();
+        let electro = pad.create_bundle("Electrolyte", (250, 150), 220, 240, Some(john)).unwrap();
+        // Scraps need marks; fabricate marks directly in the manager.
+        let mark = pad
+            .marks_mut()
+            .create_mark_at(marks::MarkAddress::Pdf(basedocs::PdfAddress {
+                file_name: "guide.pdf".into(),
+                page: 0,
+                line: 0,
+                span: basedocs::Span::new(0, 5),
+            }))
+            .unwrap();
+        pad.place_mark(&mark, Some("Lasix 40"), (40, 120), Some(john)).unwrap();
+        let s = pad.place_mark(&mark, Some("Na 140"), (260, 210), Some(electro)).unwrap();
+        pad.dmi_mut().add_annotation(s, "trending down").unwrap();
+        pad
+    }
+
+    #[test]
+    fn render_shows_window_bundles_and_scraps() {
+        let pad = demo_pad();
+        let out = render_pad(&pad).unwrap();
+        assert!(out.contains(" Rounds "), "{out}");
+        assert!(out.contains(" John Smith "), "{out}");
+        assert!(out.contains(" Electrolyte "), "{out}");
+        assert!(out.contains("·Lasix 40"), "{out}");
+        assert!(out.contains("·Na 140*"), "annotated scrap gets a star: {out}");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let pad = demo_pad();
+        assert_eq!(render_pad(&pad).unwrap(), render_pad(&pad).unwrap());
+    }
+
+    #[test]
+    fn nested_box_sits_inside_parent_box() {
+        let pad = demo_pad();
+        let out = render_pad(&pad).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        let john_top = lines.iter().position(|l| l.contains(" John Smith ")).unwrap();
+        let electro_top = lines.iter().position(|l| l.contains(" Electrolyte ")).unwrap();
+        assert!(electro_top > john_top, "nested bundle drawn below parent's top border");
+    }
+
+    #[test]
+    fn side_by_side_aligns_columns() {
+        let combined = side_by_side("aa\nb", "XXX\nYY\nZ");
+        let lines: Vec<&str> = combined.lines().collect();
+        assert_eq!(lines, vec!["aa │ XXX", "b  │ YY", "   │ Z"]);
+    }
+
+    #[test]
+    fn side_by_side_handles_empty_sides() {
+        assert_eq!(side_by_side("", "x"), " │ x\n");
+        assert_eq!(side_by_side("x", ""), "x │\n");
+    }
+
+    #[test]
+    fn empty_pad_renders_frame_only() {
+        let pad = PadSession::new("Empty").unwrap();
+        let out = render_pad(&pad).unwrap();
+        assert!(out.contains(" Empty "), "{out}");
+        assert!(!out.contains('·'));
+    }
+}

@@ -1,0 +1,119 @@
+//! The three viewing styles of paper Figure 6.
+//!
+//! * **Simultaneous viewing** — "there are two windows active on the
+//!   computer screen: one for the superimposed application and one for
+//!   the base application." SLIMPad's normal mode.
+//! * **Enhanced base-layer viewing** — "the functionality of a base
+//!   application is enhanced to manage superimposed information" (the
+//!   Third Voice pattern): the base view carries the superimposed
+//!   annotations inline.
+//! * **Independent viewing** — "the base application is hidden. A user
+//!   sees only the superimposed application … \[which\] can work as an
+//!   in-place viewer for base information."
+
+use crate::pad::{PadError, PadSession};
+use crate::render::render_pad;
+use slimstore::ScrapHandle;
+
+/// Which Figure 6 style to present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewingStyle {
+    Simultaneous,
+    EnhancedBase,
+    Independent,
+}
+
+/// Present a scrap in the requested viewing style, returning the full
+/// textual "screen".
+pub fn view_scrap(
+    session: &mut PadSession,
+    scrap: ScrapHandle,
+    style: ViewingStyle,
+) -> Result<String, PadError> {
+    match style {
+        ViewingStyle::Simultaneous => {
+            // Two windows side by side: the pad and the base application.
+            // Activation drives the base window to the marked element
+            // first, as the user's double-click would.
+            let base = session.activate(scrap)?.display;
+            let pad = render_pad(session)?;
+            Ok(crate::render::side_by_side(&pad, &base))
+        }
+        ViewingStyle::EnhancedBase => {
+            // One window: the base application's view, enhanced with the
+            // superimposed layer's knowledge about this element.
+            let base = session.activate(scrap)?.display;
+            let data = session.dmi().scrap(scrap)?;
+            let annotations = session.dmi().annotations(scrap)?;
+            let mut out = base;
+            out.push_str(&format!("\n─ superimposed: scrap \"{}\"", data.name));
+            for a in annotations {
+                out.push_str(&format!("\n─ note: {a}"));
+            }
+            out.push('\n');
+            Ok(out)
+        }
+        ViewingStyle::Independent => {
+            // One window: the pad only; the marked content is pulled
+            // in-place without showing the base application.
+            let content = session.extract(scrap)?;
+            let data = session.dmi().scrap(scrap)?;
+            let pad = render_pad(session)?;
+            Ok(format!("{pad}\n[{}] ⇐ {content}\n", data.name))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basedocs::spreadsheet::Workbook;
+    use basedocs::{DocKind, SpreadsheetApp};
+    use marks::AppModule;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn session_with_scrap() -> (PadSession, ScrapHandle) {
+        let mut wb = Workbook::new("meds.xls");
+        wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix 40").unwrap();
+        let mut excel = SpreadsheetApp::new();
+        excel.open(wb).unwrap();
+        excel.select("meds.xls", "Sheet1", "A1").unwrap();
+        let excel = Rc::new(RefCell::new(excel));
+        let mut pad = PadSession::new("Rounds").unwrap();
+        pad.marks_mut()
+            .register_module(Box::new(AppModule::in_context("excel", excel)))
+            .unwrap();
+        let scrap = pad.place_selection(DocKind::Spreadsheet, None, (40, 90), None).unwrap();
+        pad.dmi_mut().add_annotation(scrap, "dose due 14:00").unwrap();
+        (pad, scrap)
+    }
+
+    #[test]
+    fn simultaneous_shows_both_windows() {
+        let (mut pad, scrap) = session_with_scrap();
+        let screen = view_scrap(&mut pad, scrap, ViewingStyle::Simultaneous).unwrap();
+        assert!(screen.contains(" Rounds "), "pad window present: {screen}");
+        assert!(screen.contains("meds.xls"), "base window present: {screen}");
+        assert!(screen.contains("[Lasix 40]"), "base highlight present: {screen}");
+    }
+
+    #[test]
+    fn enhanced_base_injects_superimposed_info_into_base_view() {
+        let (mut pad, scrap) = session_with_scrap();
+        let screen = view_scrap(&mut pad, scrap, ViewingStyle::EnhancedBase).unwrap();
+        assert!(screen.contains("meds.xls"), "{screen}");
+        assert!(screen.contains("superimposed: scrap \"Lasix 40\""), "{screen}");
+        assert!(screen.contains("note: dose due 14:00"), "{screen}");
+        assert!(!screen.contains(" Rounds "), "no pad window in enhanced-base style");
+    }
+
+    #[test]
+    fn independent_hides_the_base_application() {
+        let (mut pad, scrap) = session_with_scrap();
+        let screen = view_scrap(&mut pad, scrap, ViewingStyle::Independent).unwrap();
+        assert!(screen.contains(" Rounds "), "{screen}");
+        assert!(!screen.contains("meds.xls"), "base window hidden: {screen}");
+        assert!(screen.contains("⇐ Lasix 40"), "content pulled in place: {screen}");
+    }
+}

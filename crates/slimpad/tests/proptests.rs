@@ -1,0 +1,137 @@
+//! Property tests for the SLIMPad application layer: rendering totality,
+//! grid-detection invariants, and template capture/instantiate
+//! structure preservation.
+
+use proptest::prelude::*;
+use slimpad::layout::{detect_grid, hit_test, Point, Rect};
+use slimpad::render::render_pad;
+use slimpad::templates::{BundleTemplate, PLACEHOLDER_MARK};
+use slimpad::PadSession;
+
+fn small_coord() -> impl Strategy<Value = (i64, i64)> {
+    (0i64..1200, 0i64..900)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rendering never panics and always frames the pad, whatever the
+    /// (accepted) layout.
+    #[test]
+    fn render_is_total(
+        bundles in proptest::collection::vec((small_coord(), 50i64..400, 40i64..300), 0..6),
+        scraps in proptest::collection::vec(small_coord(), 0..12),
+    ) {
+        let mut pad = PadSession::new("prop pad").unwrap();
+        let mut handles = Vec::new();
+        for (i, (pos, w, h)) in bundles.iter().enumerate() {
+            handles.push(pad.create_bundle(&format!("b{i}"), *pos, *w, *h, None).unwrap());
+        }
+        for (i, pos) in scraps.iter().enumerate() {
+            let target =
+                handles.get(i % handles.len().max(1)).copied().unwrap_or(pad.root_bundle());
+            let scrap = pad.dmi_mut().create_scrap(&format!("s{i}"), *pos, PLACEHOLDER_MARK).unwrap();
+            pad.dmi_mut().add_scrap(target, scrap).unwrap();
+        }
+        let out = render_pad(&pad).unwrap();
+        prop_assert!(out.contains(" prop pad "));
+        // Overlapping glyphs may occlude each other on the canvas, so the
+        // count is an upper bound; with a single scrap it is exact.
+        prop_assert!(out.matches('·').count() <= scraps.len());
+        if scraps.len() == 1 && bundles.is_empty() {
+            prop_assert_eq!(out.matches('·').count(), 1);
+        }
+    }
+
+    /// Grid detection is permutation-invariant and every item appears in
+    /// at most one row and one column.
+    #[test]
+    fn grid_detection_invariants(points in proptest::collection::vec(small_coord(), 0..16), tol in 0i64..20) {
+        let items: Vec<(usize, Point)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (i, Point::new(x, y)))
+            .collect();
+        let grid = detect_grid(&items, tol);
+        let mut shuffled = items.clone();
+        shuffled.reverse();
+        prop_assert_eq!(&grid, &detect_grid(&shuffled, tol));
+        let mut seen_in_rows = std::collections::HashSet::new();
+        for row in &grid.rows {
+            prop_assert!(row.len() >= 2);
+            for item in row {
+                prop_assert!(seen_in_rows.insert(*item), "item in two rows");
+            }
+        }
+        let mut seen_in_cols = std::collections::HashSet::new();
+        for col in &grid.columns {
+            prop_assert!(col.len() >= 2);
+            for item in col {
+                prop_assert!(seen_in_cols.insert(*item), "item in two columns");
+            }
+        }
+    }
+
+    /// Hit testing returns an item iff the point is inside at least one
+    /// rect, and prefers the topmost.
+    #[test]
+    fn hit_test_agrees_with_containment(
+        rects in proptest::collection::vec((small_coord(), 1i64..200, 1i64..200), 0..8),
+        probe in small_coord(),
+    ) {
+        let items: Vec<(usize, Rect)> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, &(pos, w, h))| (i, Rect::new(pos, w, h)))
+            .collect();
+        let p = Point::new(probe.0, probe.1);
+        let hit = hit_test(&items, p);
+        let containing: Vec<usize> =
+            items.iter().filter(|(_, r)| r.contains(p)).map(|(i, _)| *i).collect();
+        match hit {
+            Some(i) => prop_assert_eq!(Some(&i), containing.last()),
+            None => prop_assert!(containing.is_empty()),
+        }
+    }
+
+    /// Template capture → instantiate preserves slot count, relative
+    /// positions, and nesting shape.
+    #[test]
+    fn template_roundtrip_preserves_structure(
+        slots in proptest::collection::vec(small_coord(), 0..6),
+        nested_slots in proptest::collection::vec(small_coord(), 0..4),
+    ) {
+        let mut pad = PadSession::new("tpl").unwrap();
+        let origin = (100, 100);
+        let row = pad.create_bundle("row", origin, 600, 400, None).unwrap();
+        for (i, pos) in slots.iter().enumerate() {
+            let s = pad
+                .dmi_mut()
+                .create_scrap(&format!("slot{i}"), (origin.0 + pos.0, origin.1 + pos.1), PLACEHOLDER_MARK)
+                .unwrap();
+            pad.dmi_mut().add_scrap(row, s).unwrap();
+        }
+        let sub = pad.create_bundle("sub", (origin.0 + 50, origin.1 + 50), 200, 150, Some(row)).unwrap();
+        for (i, pos) in nested_slots.iter().enumerate() {
+            let s = pad
+                .dmi_mut()
+                .create_scrap(&format!("nslot{i}"), (origin.0 + 50 + pos.0, origin.1 + 50 + pos.1), PLACEHOLDER_MARK)
+                .unwrap();
+            pad.dmi_mut().add_scrap(sub, s).unwrap();
+        }
+        let template = BundleTemplate::capture(pad.dmi(), row).unwrap();
+        prop_assert_eq!(template.slots.len(), slots.len());
+        prop_assert_eq!(template.nested.len(), 1);
+        prop_assert_eq!(template.slot_count(), slots.len() + nested_slots.len());
+
+        let (stamped, new_slots) =
+            template.instantiate(&mut pad, "copy", (800, 700), None).unwrap();
+        prop_assert_eq!(new_slots.len(), template.slot_count());
+        let recaptured = BundleTemplate::capture(pad.dmi(), stamped).unwrap();
+        // Structure matches up to the bundle's own name.
+        prop_assert_eq!(recaptured.slots, template.slots);
+        prop_assert_eq!(recaptured.nested.len(), template.nested.len());
+        prop_assert_eq!(&recaptured.nested[0].0, &template.nested[0].0);
+        prop_assert!(pad.dmi().check().is_conformant());
+    }
+}

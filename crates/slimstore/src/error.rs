@@ -1,0 +1,74 @@
+//! Error type for DMI operations.
+
+use std::fmt;
+
+/// Errors surfaced by Data Manipulation Interfaces.
+#[derive(Debug)]
+pub enum DmiError {
+    /// A handle does not name a live object of the expected construct.
+    NotFound { what: &'static str, id: String },
+    /// A connector/attribute name the construct does not declare.
+    NoSuchConnector { construct: String, connector: String },
+    /// A value of the wrong kind for a connector (literal vs link).
+    WrongValueKind { connector: String, expected: &'static str },
+    /// An operation would violate the model's cardinality (e.g. deleting
+    /// the last mark handle of a scrap).
+    Cardinality { message: String },
+    /// A structural rule violation (e.g. nesting a bundle inside itself).
+    Structure { message: String },
+    /// An underlying TRIM failure (persistence, undo).
+    Store(trim::TrimError),
+}
+
+impl fmt::Display for DmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmiError::NotFound { what, id } => write!(f, "no live {what} with id {id:?}"),
+            DmiError::NoSuchConnector { construct, connector } => {
+                write!(f, "construct {construct:?} has no connector {connector:?}")
+            }
+            DmiError::WrongValueKind { connector, expected } => {
+                write!(f, "connector {connector:?} takes {expected} values")
+            }
+            DmiError::Cardinality { message } => write!(f, "cardinality violation: {message}"),
+            DmiError::Structure { message } => write!(f, "structural violation: {message}"),
+            DmiError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DmiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DmiError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<trim::TrimError> for DmiError {
+    fn from(e: trim::TrimError) -> Self {
+        DmiError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(DmiError::NotFound { what: "Bundle", id: "b:9".into() }
+            .to_string()
+            .contains("b:9"));
+        assert!(DmiError::NoSuchConnector {
+            construct: "Scrap".into(),
+            connector: "wings".into()
+        }
+        .to_string()
+        .contains("wings"));
+        assert!(DmiError::Cardinality { message: "last mark".into() }
+            .to_string()
+            .contains("last mark"));
+    }
+}

@@ -1,0 +1,518 @@
+//! The generated DMI: a model-driven manipulation interface.
+//!
+//! The paper closes §4.4 with: "We are working towards automatically
+//! generating specialized DMIs from data models (specified in either UML
+//! or as triples)." This module implements that direction. Instead of
+//! emitting source code, [`GenericDmi`] *derives* the interface at
+//! runtime from a [`ModelDef`]: every operation is validated against the
+//! model's constructs, connectors, and cardinalities before it touches
+//! the store, so any model the metamodel can express gets a safe DMI for
+//! free — including models loaded from a store at runtime
+//! (`decode_model`), which is "schema-later" all the way down.
+//!
+//! The hand-written [`crate::SlimPadDmi`] and this generic one coexist so
+//! the E2 experiment can measure what the interpretive layer costs.
+
+use crate::error::DmiError;
+use metamodel::encode::encode_model;
+use metamodel::vocab;
+use metamodel::{Cardinality, ConformanceReport, ConstructKind, ModelDef};
+use trim::{Atom, TriplePattern, TripleStore, Value};
+
+/// An instance handle minted by a [`GenericDmi`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Instance(Atom);
+
+/// A value to assign through a connector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmiValue {
+    /// For literal and mark constructs.
+    Text(String),
+    /// For structural constructs.
+    Link(Instance),
+}
+
+/// A runtime-generated DMI for an arbitrary model.
+#[derive(Debug)]
+pub struct GenericDmi {
+    store: TripleStore,
+    model: ModelDef,
+}
+
+impl GenericDmi {
+    /// Derive a DMI for `model` over a fresh store.
+    pub fn new(model: ModelDef) -> Self {
+        let mut store = TripleStore::new();
+        encode_model(&mut store, &model);
+        GenericDmi { store, model }
+    }
+
+    /// Derive a DMI over an existing store (e.g. loaded from XML). The
+    /// model must already be encoded in the store under `model_name`.
+    pub fn over_store(store: TripleStore, model_name: &str) -> Result<Self, DmiError> {
+        let model = metamodel::encode::decode_model(&store, model_name).map_err(|e| {
+            DmiError::Structure { message: format!("cannot derive DMI: {e}") }
+        })?;
+        Ok(GenericDmi { store, model })
+    }
+
+    /// The model this DMI enforces.
+    pub fn model(&self) -> &ModelDef {
+        &self.model
+    }
+
+    // ---- operations ---------------------------------------------------------
+
+    /// `Create_<Construct>()`: mint an instance of a structural construct.
+    pub fn create(&mut self, construct: &str) -> Result<Instance, DmiError> {
+        let def = self.model.find_construct(construct).ok_or_else(|| DmiError::NotFound {
+            what: "construct",
+            id: construct.to_string(),
+        })?;
+        if def.kind != ConstructKind::Construct {
+            return Err(DmiError::Structure {
+                message: format!("{construct:?} is a leaf construct; it has no instances"),
+            });
+        }
+        let id = self.store.fresh_resource(construct);
+        let c = self.store.atom(&vocab::construct_res(&self.model.name, construct));
+        let type_p = self.store.atom(vocab::TYPE);
+        self.store.insert(id, type_p, Value::Resource(c));
+        let conf_p = self.store.atom(vocab::CONFORMS_TO);
+        self.store.insert(id, conf_p, Value::Resource(c));
+        Ok(Instance(id))
+    }
+
+    /// Resolve the connector an instance may use, honouring inheritance.
+    fn connector_for(
+        &self,
+        instance: Instance,
+        connector: &str,
+    ) -> Result<(&metamodel::ConnectorDef, ConstructKind), DmiError> {
+        let construct = self.construct_of(instance)?;
+        let def = self
+            .model
+            .connectors_from(&construct)
+            .into_iter()
+            .find(|c| c.name == connector)
+            .ok_or_else(|| DmiError::NoSuchConnector {
+                construct: construct.clone(),
+                connector: connector.to_string(),
+            })?;
+        let target_kind = self
+            .model
+            .find_construct(&def.to)
+            .map(|c| c.kind)
+            .unwrap_or(ConstructKind::Construct);
+        Ok((def, target_kind))
+    }
+
+    /// `Update_<connector>` / `set<Connector>`: assign a value, enforcing
+    /// value kind and cardinality. Single-valued connectors replace;
+    /// multi-valued connectors append.
+    pub fn set(
+        &mut self,
+        instance: Instance,
+        connector: &str,
+        value: DmiValue,
+    ) -> Result<(), DmiError> {
+        let (def, target_kind) = self.connector_for(instance, connector)?;
+        let cardinality = def.cardinality;
+        let target_construct = def.to.clone();
+        let connector_name = def.name.clone();
+        // Value-kind validation.
+        let object = match (&value, target_kind) {
+            (DmiValue::Text(t), ConstructKind::Literal | ConstructKind::Mark) => {
+                self.store.literal_value(t)
+            }
+            (DmiValue::Link(target), ConstructKind::Construct) => {
+                // Target typing (with generalization).
+                let tc = self.construct_of(*target)?;
+                if !self.assignable(&target_construct, &tc) {
+                    return Err(DmiError::Structure {
+                        message: format!(
+                            "connector {connector_name:?} expects {target_construct:?}, got {tc:?}"
+                        ),
+                    });
+                }
+                Value::Resource(target.0)
+            }
+            (DmiValue::Text(_), ConstructKind::Construct) => {
+                return Err(DmiError::WrongValueKind {
+                    connector: connector_name,
+                    expected: "link",
+                })
+            }
+            (DmiValue::Link(_), _) => {
+                return Err(DmiError::WrongValueKind {
+                    connector: connector_name,
+                    expected: "text",
+                })
+            }
+        };
+        let p = self.store.atom(&connector_name);
+        match cardinality {
+            Cardinality::One | Cardinality::OptionalOne => {
+                self.store.set_unique(instance.0, p, object);
+            }
+            Cardinality::Many | Cardinality::OneOrMore => {
+                self.store.insert(instance.0, p, object);
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove one value of a connector. Refuses to drop below a `1..`
+    /// cardinality floor.
+    pub fn unset(
+        &mut self,
+        instance: Instance,
+        connector: &str,
+        value: &DmiValue,
+    ) -> Result<(), DmiError> {
+        let (def, _) = self.connector_for(instance, connector)?;
+        let cardinality = def.cardinality;
+        let connector_name = def.name.clone();
+        let p = self.store.atom(&connector_name);
+        let current =
+            self.store.count(&TriplePattern::default().with_subject(instance.0).with_property(p));
+        if !cardinality.admits(current.saturating_sub(1)) {
+            return Err(DmiError::Cardinality {
+                message: format!(
+                    "removing a value would leave {} values for {connector_name:?} ({} required)",
+                    current.saturating_sub(1),
+                    cardinality
+                ),
+            });
+        }
+        let object = match value {
+            DmiValue::Text(t) => self.store.literal_value(t),
+            DmiValue::Link(i) => Value::Resource(i.0),
+        };
+        let removed =
+            self.store.remove(trim::Triple { subject: instance.0, property: p, object });
+        if !removed {
+            return Err(DmiError::Structure { message: "value not present".into() });
+        }
+        Ok(())
+    }
+
+    /// Delete an instance: its triples and incoming instance links.
+    pub fn delete(&mut self, instance: Instance) -> Result<(), DmiError> {
+        self.construct_of(instance)?; // must be live
+        self.store.remove_matching(&TriplePattern::default().with_subject(instance.0));
+        let incoming: Vec<trim::Triple> = self
+            .store
+            .select(&TriplePattern::default().with_object(Value::Resource(instance.0)))
+            .into_iter()
+            .filter(|t| {
+                let s = self.store.resolve(t.subject);
+                !s.starts_with("construct:")
+                    && !s.starts_with("connector:")
+                    && !s.starts_with("model:")
+            })
+            .collect();
+        for t in incoming {
+            self.store.remove(t);
+        }
+        Ok(())
+    }
+
+    // ---- reads ---------------------------------------------------------------
+
+    /// The construct an instance conforms to.
+    pub fn construct_of(&self, instance: Instance) -> Result<String, DmiError> {
+        let conf_p = self.store.find_atom(vocab::CONFORMS_TO).ok_or(DmiError::NotFound {
+            what: "instance",
+            id: String::new(),
+        })?;
+        let prefix = format!("{}:{}.", vocab::prefix::CONSTRUCT, self.model.name);
+        match self.store.object_of(instance.0, conf_p) {
+            Some(Value::Resource(c)) => self
+                .store
+                .resolve(c)
+                .strip_prefix(&prefix)
+                .map(str::to_string)
+                .ok_or_else(|| DmiError::NotFound {
+                    what: "instance",
+                    id: self.store.resolve(instance.0).to_string(),
+                }),
+            _ => Err(DmiError::NotFound {
+                what: "instance",
+                id: self.store.resolve(instance.0).to_string(),
+            }),
+        }
+    }
+
+    fn assignable(&self, target: &str, candidate: &str) -> bool {
+        if target == candidate {
+            return true;
+        }
+        let mut frontier = vec![candidate.to_string()];
+        while let Some(cur) = frontier.pop() {
+            for conn in self.model.connectors() {
+                if conn.kind == metamodel::ConnectorKind::Generalization && conn.from == cur {
+                    if conn.to == target {
+                        return true;
+                    }
+                    frontier.push(conn.to.clone());
+                }
+            }
+        }
+        false
+    }
+
+    /// Text values of a connector, sorted.
+    pub fn texts(&self, instance: Instance, connector: &str) -> Vec<String> {
+        let Some(p) = self.store.find_atom(connector) else {
+            return Vec::new();
+        };
+        let mut out: Vec<String> = self
+            .store
+            .select(&TriplePattern::default().with_subject(instance.0).with_property(p))
+            .into_iter()
+            .filter_map(|t| self.store.value_str(t.object).map(str::to_string))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The single text value of a connector, if present.
+    pub fn text(&self, instance: Instance, connector: &str) -> Option<String> {
+        self.texts(instance, connector).into_iter().next()
+    }
+
+    /// Link values of a connector, sorted by handle.
+    pub fn links(&self, instance: Instance, connector: &str) -> Vec<Instance> {
+        let Some(p) = self.store.find_atom(connector) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Instance> = self
+            .store
+            .select(&TriplePattern::default().with_subject(instance.0).with_property(p))
+            .into_iter()
+            .filter_map(|t| match t.object {
+                Value::Resource(a) => Some(Instance(a)),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All instances of a construct.
+    pub fn instances(&self, construct: &str) -> Vec<Instance> {
+        let Some(conf_p) = self.store.find_atom(vocab::CONFORMS_TO) else {
+            return Vec::new();
+        };
+        let Some(c) =
+            self.store.find_atom(&vocab::construct_res(&self.model.name, construct))
+        else {
+            return Vec::new();
+        };
+        let mut out: Vec<Instance> = self
+            .store
+            .select(&TriplePattern::default().with_property(conf_p).with_object(Value::Resource(c)))
+            .into_iter()
+            .map(|t| Instance(t.subject))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    // ---- persistence and checking ---------------------------------------------
+
+    /// The underlying store (read-only).
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// Serialize store (model + instances) to XML.
+    pub fn save_xml(&self) -> String {
+        self.store.to_xml()
+    }
+
+    /// Load a store and derive the DMI from its encoded model.
+    pub fn load_xml(text: &str, model_name: &str) -> Result<Self, DmiError> {
+        let store = TripleStore::from_xml(text)?;
+        Self::over_store(store, model_name)
+    }
+
+    /// Conformance-check the instance data against the model.
+    pub fn check(&self) -> ConformanceReport {
+        metamodel::check_conformance(&self.store, &self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamodel::builtin;
+
+    fn topic_dmi() -> GenericDmi {
+        GenericDmi::new(builtin::topic_map_like())
+    }
+
+    #[test]
+    fn create_set_read_roundtrip() {
+        let mut dmi = topic_dmi();
+        let t = dmi.create("Topic").unwrap();
+        dmi.set(t, "topicName", DmiValue::Text("Furosemide".into())).unwrap();
+        dmi.set(t, "occurrence", DmiValue::Text("mark:3".into())).unwrap();
+        assert_eq!(dmi.text(t, "topicName").as_deref(), Some("Furosemide"));
+        assert_eq!(dmi.texts(t, "occurrence"), vec!["mark:3"]);
+        assert_eq!(dmi.instances("Topic"), vec![t]);
+        assert!(dmi.check().is_conformant(), "{:?}", dmi.check().violations);
+    }
+
+    #[test]
+    fn leaf_constructs_cannot_be_instantiated() {
+        let mut dmi = topic_dmi();
+        assert!(matches!(dmi.create("String"), Err(DmiError::Structure { .. })));
+        assert!(matches!(dmi.create("Occurrence"), Err(DmiError::Structure { .. })));
+        assert!(matches!(dmi.create("Ghost"), Err(DmiError::NotFound { .. })));
+    }
+
+    #[test]
+    fn unknown_connectors_rejected() {
+        let mut dmi = topic_dmi();
+        let t = dmi.create("Topic").unwrap();
+        assert!(matches!(
+            dmi.set(t, "flavor", DmiValue::Text("x".into())),
+            Err(DmiError::NoSuchConnector { .. })
+        ));
+    }
+
+    #[test]
+    fn value_kind_enforced() {
+        let mut dmi = topic_dmi();
+        let t1 = dmi.create("Topic").unwrap();
+        let t2 = dmi.create("Topic").unwrap();
+        // topicName expects text, not a link.
+        assert!(matches!(
+            dmi.set(t1, "topicName", DmiValue::Link(t2)),
+            Err(DmiError::WrongValueKind { .. })
+        ));
+        // relatedTo expects a link, not text.
+        assert!(matches!(
+            dmi.set(t1, "relatedTo", DmiValue::Text("x".into())),
+            Err(DmiError::WrongValueKind { .. })
+        ));
+        dmi.set(t1, "relatedTo", DmiValue::Link(t2)).unwrap();
+        assert_eq!(dmi.links(t1, "relatedTo"), vec![t2]);
+    }
+
+    #[test]
+    fn link_target_typing_enforced() {
+        let mut dmi = topic_dmi();
+        let assoc = dmi.create("Association").unwrap();
+        let topic = dmi.create("Topic").unwrap();
+        dmi.set(assoc, "member", DmiValue::Link(topic)).unwrap();
+        // member expects a Topic, not an Association.
+        let assoc2 = dmi.create("Association").unwrap();
+        assert!(matches!(
+            dmi.set(assoc, "member", DmiValue::Link(assoc2)),
+            Err(DmiError::Structure { .. })
+        ));
+    }
+
+    #[test]
+    fn single_valued_connectors_replace() {
+        let mut dmi = GenericDmi::new(builtin::relational_like());
+        let table = dmi.create("Table").unwrap();
+        dmi.set(table, "tableName", DmiValue::Text("meds".into())).unwrap();
+        dmi.set(table, "tableName", DmiValue::Text("medications".into())).unwrap();
+        assert_eq!(dmi.texts(table, "tableName"), vec!["medications"]);
+    }
+
+    #[test]
+    fn multi_valued_connectors_append() {
+        let mut dmi = topic_dmi();
+        let t = dmi.create("Topic").unwrap();
+        dmi.set(t, "topicName", DmiValue::Text("Lasix".into())).unwrap();
+        dmi.set(t, "topicName", DmiValue::Text("Furosemide".into())).unwrap();
+        assert_eq!(dmi.texts(t, "topicName"), vec!["Furosemide", "Lasix"]);
+    }
+
+    #[test]
+    fn unset_respects_cardinality_floor() {
+        let mut dmi = topic_dmi();
+        let t = dmi.create("Topic").unwrap();
+        dmi.set(t, "topicName", DmiValue::Text("only".into())).unwrap();
+        // topicName is 1..*: removing the only name is refused.
+        assert!(matches!(
+            dmi.unset(t, "topicName", &DmiValue::Text("only".into())),
+            Err(DmiError::Cardinality { .. })
+        ));
+        dmi.set(t, "topicName", DmiValue::Text("second".into())).unwrap();
+        dmi.unset(t, "topicName", &DmiValue::Text("only".into())).unwrap();
+        assert_eq!(dmi.texts(t, "topicName"), vec!["second"]);
+        // Removing a value that is not there errors.
+        assert!(matches!(
+            dmi.unset(t, "occurrence", &DmiValue::Text("mark:9".into())),
+            Err(DmiError::Structure { .. })
+        ));
+    }
+
+    #[test]
+    fn generalization_accepted_in_links() {
+        let mut dmi = GenericDmi::new(builtin::xlink_like());
+        let ext = dmi.create("ExtendedLink").unwrap();
+        // ExtendedLink inherits Link's connectors.
+        dmi.set(ext, "linkTitle", DmiValue::Text("see also".into())).unwrap();
+        dmi.set(ext, "locator", DmiValue::Text("mark:0".into())).unwrap();
+        assert!(dmi.check().is_conformant(), "{:?}", dmi.check().violations);
+    }
+
+    #[test]
+    fn delete_cleans_incoming_links() {
+        let mut dmi = topic_dmi();
+        let a = dmi.create("Topic").unwrap();
+        let b = dmi.create("Topic").unwrap();
+        dmi.set(a, "topicName", DmiValue::Text("a".into())).unwrap();
+        dmi.set(b, "topicName", DmiValue::Text("b".into())).unwrap();
+        dmi.set(a, "relatedTo", DmiValue::Link(b)).unwrap();
+        dmi.delete(b).unwrap();
+        assert!(dmi.links(a, "relatedTo").is_empty());
+        assert!(dmi.construct_of(b).is_err());
+        assert!(dmi.check().is_conformant(), "{:?}", dmi.check().violations);
+    }
+
+    #[test]
+    fn xml_roundtrip_rederives_the_dmi() {
+        let mut dmi = topic_dmi();
+        let t = dmi.create("Topic").unwrap();
+        dmi.set(t, "topicName", DmiValue::Text("Potassium".into())).unwrap();
+        let xml = dmi.save_xml();
+        let dmi2 = GenericDmi::load_xml(&xml, "topic-map").unwrap();
+        let topics = dmi2.instances("Topic");
+        assert_eq!(topics.len(), 1);
+        assert_eq!(dmi2.text(topics[0], "topicName").as_deref(), Some("Potassium"));
+        assert_eq!(dmi2.model().name, "topic-map");
+        // Loading under a wrong model name fails cleanly.
+        assert!(GenericDmi::load_xml(&xml, "bundle-scrap").is_err());
+    }
+
+    #[test]
+    fn generic_dmi_can_drive_the_bundle_scrap_model_too() {
+        // The same model the hand-written DMI serves: proof the generated
+        // DMI subsumes it functionally.
+        let mut dmi = GenericDmi::new(builtin::bundle_scrap());
+        let pad = dmi.create("SlimPad").unwrap();
+        dmi.set(pad, "padName", DmiValue::Text("Rounds".into())).unwrap();
+        let bundle = dmi.create("Bundle").unwrap();
+        dmi.set(bundle, "bundleName", DmiValue::Text("John Smith".into())).unwrap();
+        dmi.set(bundle, "bundlePos", DmiValue::Text("10,10".into())).unwrap();
+        dmi.set(bundle, "bundleWidth", DmiValue::Text("400".into())).unwrap();
+        dmi.set(bundle, "bundleHeight", DmiValue::Text("300".into())).unwrap();
+        dmi.set(pad, "rootBundle", DmiValue::Link(bundle)).unwrap();
+        let scrap = dmi.create("Scrap").unwrap();
+        dmi.set(scrap, "scrapName", DmiValue::Text("Lasix 40".into())).unwrap();
+        dmi.set(scrap, "scrapPos", DmiValue::Text("20,40".into())).unwrap();
+        let handle = dmi.create("MarkHandle").unwrap();
+        dmi.set(handle, "markId", DmiValue::Text("mark:0".into())).unwrap();
+        dmi.set(scrap, "scrapMark", DmiValue::Link(handle)).unwrap();
+        dmi.set(bundle, "bundleContent", DmiValue::Link(scrap)).unwrap();
+        assert!(dmi.check().is_conformant(), "{:?}", dmi.check().violations);
+    }
+}

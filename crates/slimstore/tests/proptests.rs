@@ -1,0 +1,162 @@
+//! Property tests for the DMI layer: arbitrary operation sequences must
+//! keep the store conformant to the Bundle-Scrap model, persistence must
+//! round-trip the object graph, and the generated DMI must enforce the
+//! model under arbitrary inputs.
+
+use proptest::prelude::*;
+use slimstore::{BundleHandle, ScrapHandle, SlimPadDmi};
+
+/// The operations a fuzzer-user can perform on a pad.
+#[derive(Debug, Clone)]
+enum Op {
+    CreateBundle { name_idx: usize, pos: (i64, i64) },
+    CreateScrap { name_idx: usize, pos: (i64, i64) },
+    AddScrapToBundle { scrap: usize, bundle: usize },
+    NestBundle { parent: usize, child: usize },
+    MoveScrap { scrap: usize, pos: (i64, i64) },
+    RenameBundle { bundle: usize, name_idx: usize },
+    Annotate { scrap: usize, name_idx: usize },
+    LinkScraps { from: usize, to: usize },
+    DeleteScrap { scrap: usize },
+    DeleteBundle { bundle: usize },
+}
+
+const NAMES: &[&str] = &["John Smith", "Electrolyte", "K 4.1", "to-do", "Na⁺ 140", ""];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    fn coord() -> (std::ops::Range<i64>, std::ops::Range<i64>) { (-100i64..500, -100i64..500) }
+    prop_oneof![
+        (0..NAMES.len(), coord()).prop_map(|(name_idx, pos)| Op::CreateBundle { name_idx, pos }),
+        (0..NAMES.len(), coord()).prop_map(|(name_idx, pos)| Op::CreateScrap { name_idx, pos }),
+        (0usize..8, 0usize..8).prop_map(|(scrap, bundle)| Op::AddScrapToBundle { scrap, bundle }),
+        (0usize..8, 0usize..8).prop_map(|(parent, child)| Op::NestBundle { parent, child }),
+        (0usize..8, coord()).prop_map(|(scrap, pos)| Op::MoveScrap { scrap, pos }),
+        (0usize..8, 0..NAMES.len()).prop_map(|(bundle, name_idx)| Op::RenameBundle { bundle, name_idx }),
+        (0usize..8, 0..NAMES.len()).prop_map(|(scrap, name_idx)| Op::Annotate { scrap, name_idx }),
+        (0usize..8, 0usize..8).prop_map(|(from, to)| Op::LinkScraps { from, to }),
+        (0usize..8).prop_map(|scrap| Op::DeleteScrap { scrap }),
+        (0usize..8).prop_map(|bundle| Op::DeleteBundle { bundle }),
+    ]
+}
+
+/// Apply ops, ignoring rejections (the DMI is allowed to say no — the
+/// property is that whatever it *accepts* leaves the store conformant).
+fn apply_ops(ops: &[Op]) -> SlimPadDmi {
+    let mut dmi = SlimPadDmi::new();
+    let mut bundles: Vec<BundleHandle> = Vec::new();
+    let mut scraps: Vec<ScrapHandle> = Vec::new();
+    let mut mark_counter = 0usize;
+    for op in ops {
+        match op {
+            Op::CreateBundle { name_idx, pos } => {
+                bundles.push(dmi.create_bundle(NAMES[*name_idx], *pos, 100, 80));
+            }
+            Op::CreateScrap { name_idx, pos } => {
+                let mark = format!("mark:{mark_counter}");
+                mark_counter += 1;
+                if let Ok(s) = dmi.create_scrap(NAMES[*name_idx], *pos, &mark) {
+                    scraps.push(s);
+                }
+            }
+            Op::AddScrapToBundle { scrap, bundle } => {
+                if let (Some(s), Some(b)) = (scraps.get(*scrap), bundles.get(*bundle)) {
+                    let _ = dmi.add_scrap(*b, *s);
+                }
+            }
+            Op::NestBundle { parent, child } => {
+                if let (Some(p), Some(c)) = (bundles.get(*parent), bundles.get(*child)) {
+                    let _ = dmi.add_nested_bundle(*p, *c);
+                }
+            }
+            Op::MoveScrap { scrap, pos } => {
+                if let Some(s) = scraps.get(*scrap) {
+                    let _ = dmi.update_scrap_pos(*s, *pos);
+                }
+            }
+            Op::RenameBundle { bundle, name_idx } => {
+                if let Some(b) = bundles.get(*bundle) {
+                    let _ = dmi.update_bundle_name(*b, NAMES[*name_idx]);
+                }
+            }
+            Op::Annotate { scrap, name_idx } => {
+                if let Some(s) = scraps.get(*scrap) {
+                    let _ = dmi.add_annotation(*s, NAMES[*name_idx]);
+                }
+            }
+            Op::LinkScraps { from, to } => {
+                if let (Some(f), Some(t)) = (scraps.get(*from), scraps.get(*to)) {
+                    let _ = dmi.link_scraps(*f, *t);
+                }
+            }
+            Op::DeleteScrap { scrap } => {
+                if *scrap < scraps.len() {
+                    let s = scraps.remove(*scrap);
+                    let _ = dmi.delete_scrap(s);
+                }
+            }
+            Op::DeleteBundle { bundle } => {
+                if *bundle < bundles.len() {
+                    let b = bundles.remove(*bundle);
+                    // Deleting a bundle deletes contained scraps; drop any
+                    // handles that died with it.
+                    let _ = dmi.delete_bundle(b);
+                    scraps.retain(|s| dmi.scrap(*s).is_ok());
+                    bundles.retain(|b| dmi.bundle(*b).is_ok());
+                }
+            }
+        }
+    }
+    dmi
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the DMI accepts, the store conforms to the model.
+    #[test]
+    fn random_sessions_stay_conformant(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let dmi = apply_ops(&ops);
+        let report = dmi.check();
+        prop_assert!(report.is_conformant(), "{:?}", report.violations);
+        dmi.store().check_invariants();
+    }
+
+    /// Save → load → save is byte-stable, and the reloaded store is
+    /// conformant with the same object counts.
+    #[test]
+    fn random_sessions_roundtrip(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let dmi = apply_ops(&ops);
+        let xml = dmi.save_xml();
+        let (dmi2, _) = SlimPadDmi::load_xml(&xml).unwrap();
+        prop_assert_eq!(dmi2.save_xml(), xml);
+        prop_assert!(dmi2.check().is_conformant());
+        prop_assert_eq!(dmi2.bundles().len(), dmi.bundles().len());
+        prop_assert_eq!(dmi2.all_scraps().len(), dmi.all_scraps().len());
+    }
+
+    /// Bundle nesting never forms a cycle, whatever sequence is tried.
+    #[test]
+    fn nesting_is_always_acyclic(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let dmi = apply_ops(&ops);
+        for b in dmi.bundles() {
+            // Walk down from b; we must never revisit b.
+            let mut stack = dmi.bundle(b).unwrap().nested;
+            let mut steps = 0;
+            while let Some(next) = stack.pop() {
+                prop_assert_ne!(next, b, "cycle through {:?}", b);
+                stack.extend(dmi.bundle(next).unwrap().nested);
+                steps += 1;
+                prop_assert!(steps < 10_000, "runaway nesting walk");
+            }
+        }
+    }
+
+    /// Every live scrap keeps >= 1 mark handle (Figure 3: scrapMark 1..*).
+    #[test]
+    fn scraps_always_keep_a_mark(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let dmi = apply_ops(&ops);
+        for s in dmi.all_scraps() {
+            prop_assert!(!dmi.scrap(s).unwrap().marks.is_empty());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! String interning: every resource name, property name, and literal value
+//! in a [`crate::TripleStore`] is interned once and referred to by a
+//! 4-byte [`Atom`].
+//!
+//! Interning is what keeps the "lightweight" design principle honest: the
+//! same property name (`bundleName`, `rdf:type`, …) appears in thousands
+//! of triples but is stored exactly once, and triple comparisons are
+//! integer comparisons.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. Atoms are only meaningful relative to the
+/// [`AtomTable`] that produced them; they are never recycled, so an atom
+/// stays valid for the lifetime of its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom(u32);
+
+impl Atom {
+    /// The raw index, useful for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "atom#{}", self.0)
+    }
+}
+
+/// An append-only intern table mapping strings to [`Atom`]s and back.
+#[derive(Debug, Default)]
+pub struct AtomTable {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Atom>,
+}
+
+impl AtomTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its atom. Idempotent: the same string always
+    /// yields the same atom.
+    pub fn intern(&mut self, s: &str) -> Atom {
+        if let Some(&a) = self.lookup.get(s) {
+            return a;
+        }
+        let a = Atom(u32::try_from(self.strings.len()).expect("more than u32::MAX atoms"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, a);
+        a
+    }
+
+    /// Look up an already-interned string without interning it.
+    pub fn get(&self, s: &str) -> Option<Atom> {
+        self.lookup.get(s).copied()
+    }
+
+    /// The string for an atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` came from a different table (an internal logic error,
+    /// not a data error).
+    pub fn resolve(&self, a: Atom) -> &str {
+        &self.strings[a.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Total bytes of interned string data (excluding table overhead).
+    /// Used by the E1 space-overhead experiment.
+    pub fn string_bytes(&self) -> usize {
+        self.strings.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterate over `(atom, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Atom, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (Atom(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = AtomTable::new();
+        let a = t.intern("bundleName");
+        let b = t.intern("bundleName");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_atoms() {
+        let mut t = AtomTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "a");
+        assert_eq!(t.resolve(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = AtomTable::new();
+        assert_eq!(t.get("x"), None);
+        let a = t.intern("x");
+        assert_eq!(t.get("x"), Some(a));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_atom() {
+        let mut t = AtomTable::new();
+        let a = t.intern("");
+        assert_eq!(t.resolve(a), "");
+    }
+
+    #[test]
+    fn string_bytes_counts_content() {
+        let mut t = AtomTable::new();
+        t.intern("abc");
+        t.intern("de");
+        t.intern("abc"); // duplicate: not recounted
+        assert_eq!(t.string_bytes(), 5);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut t = AtomTable::new();
+        let a = t.intern("first");
+        let b = t.intern("second");
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, vec![(a, "first"), (b, "second")]);
+    }
+}

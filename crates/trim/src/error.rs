@@ -1,0 +1,68 @@
+//! Error type for TRIM operations.
+
+use std::fmt;
+
+/// Errors surfaced by TRIM persistence and store operations.
+#[derive(Debug)]
+pub enum TrimError {
+    /// The persisted XML could not be parsed.
+    Xml(xmlkit::ParseError),
+    /// The XML parsed but is not a valid triple-store document.
+    Format { message: String },
+    /// An I/O failure while reading or writing a store file.
+    Io(std::io::Error),
+    /// An undo was requested past the beginning of the journal.
+    UndoPastStart { requested: usize, available: usize },
+}
+
+impl fmt::Display for TrimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrimError::Xml(e) => write!(f, "persisted store is not well-formed XML: {e}"),
+            TrimError::Format { message } => {
+                write!(f, "persisted store has invalid structure: {message}")
+            }
+            TrimError::Io(e) => write!(f, "store I/O error: {e}"),
+            TrimError::UndoPastStart { requested, available } => write!(
+                f,
+                "cannot undo {requested} change(s); journal holds only {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrimError::Xml(e) => Some(e),
+            TrimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<xmlkit::ParseError> for TrimError {
+    fn from(e: xmlkit::ParseError) -> Self {
+        TrimError::Xml(e)
+    }
+}
+
+impl From<std::io::Error> for TrimError {
+    fn from(e: std::io::Error) -> Self {
+        TrimError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_each_variant() {
+        let e = TrimError::Format { message: "missing root".into() };
+        assert!(e.to_string().contains("missing root"));
+        let e = TrimError::UndoPastStart { requested: 5, available: 2 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('2'));
+    }
+}

@@ -1,0 +1,163 @@
+//! An unindexed, uninterned triple store: the E9 ablation baseline.
+//!
+//! [`NaiveStore`] is what a first-cut implementation of TRIM looks like —
+//! a `Vec` of owned string triples with linear-scan queries. The E9
+//! benchmark compares it against [`crate::TripleStore`] to quantify what
+//! interning and indexing buy, which is the design-choice ablation
+//! DESIGN.md calls out.
+
+/// A triple of owned strings; `object_is_resource` plays the role of
+/// [`crate::Value`]'s tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveTriple {
+    pub subject: String,
+    pub property: String,
+    pub object: String,
+    pub object_is_resource: bool,
+}
+
+/// The scan-everything baseline store.
+#[derive(Debug, Default)]
+pub struct NaiveStore {
+    triples: Vec<NaiveTriple>,
+}
+
+impl NaiveStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert with set semantics (scan for duplicates first). Returns
+    /// `true` if newly added.
+    pub fn insert(&mut self, subject: &str, property: &str, object: &str, object_is_resource: bool) -> bool {
+        if self.triples.iter().any(|t| {
+            t.subject == subject
+                && t.property == property
+                && t.object == object
+                && t.object_is_resource == object_is_resource
+        }) {
+            return false;
+        }
+        self.triples.push(NaiveTriple {
+            subject: subject.to_string(),
+            property: property.to_string(),
+            object: object.to_string(),
+            object_is_resource,
+        });
+        true
+    }
+
+    /// Remove an exact triple; `true` if it was present.
+    pub fn remove(&mut self, subject: &str, property: &str, object: &str) -> bool {
+        let before = self.triples.len();
+        self.triples
+            .retain(|t| !(t.subject == subject && t.property == property && t.object == object));
+        self.triples.len() != before
+    }
+
+    /// Selection query by optional fixed fields, via full scan.
+    pub fn select(
+        &self,
+        subject: Option<&str>,
+        property: Option<&str>,
+        object: Option<&str>,
+    ) -> Vec<&NaiveTriple> {
+        self.triples
+            .iter()
+            .filter(|t| {
+                subject.is_none_or(|s| t.subject == s)
+                    && property.is_none_or(|p| t.property == p)
+                    && object.is_none_or(|o| t.object == o)
+            })
+            .collect()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Estimated resident bytes: every string owned separately, no
+    /// sharing. Comparable to [`crate::StoreStats::estimated_bytes`].
+    pub fn estimated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.triples
+            .iter()
+            .map(|t| {
+                t.subject.len() + t.property.len() + t.object.len() + 3 * size_of::<String>() + 1
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_select_remove() {
+        let mut s = NaiveStore::new();
+        assert!(s.insert("b1", "name", "John", false));
+        assert!(!s.insert("b1", "name", "John", false));
+        assert!(s.insert("b1", "nested", "b2", true));
+        assert_eq!(s.select(Some("b1"), None, None).len(), 2);
+        assert_eq!(s.select(None, Some("name"), None).len(), 1);
+        assert_eq!(s.select(None, None, Some("b2")).len(), 1);
+        assert!(s.remove("b1", "name", "John"));
+        assert!(!s.remove("b1", "name", "John"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn naive_matches_indexed_semantics() {
+        // Cross-check: same inserts in both stores, same query answers.
+        use crate::{TriplePattern, TripleStore, Value};
+        let data = [
+            ("b1", "name", "John", false),
+            ("b1", "content", "s1", true),
+            ("b2", "name", "Jane", false),
+            ("s1", "name", "Na 140", false),
+        ];
+        let mut naive = NaiveStore::new();
+        let mut indexed = TripleStore::new();
+        for (s, p, o, is_res) in data {
+            naive.insert(s, p, o, is_res);
+            if is_res {
+                indexed.insert_resource(s, p, o);
+            } else {
+                indexed.insert_literal(s, p, o);
+            }
+        }
+        let name = indexed.find_atom("name").unwrap();
+        assert_eq!(
+            naive.select(None, Some("name"), None).len(),
+            indexed.select(&TriplePattern::default().with_property(name)).len()
+        );
+        let b1 = indexed.find_atom("b1").unwrap();
+        assert_eq!(
+            naive.select(Some("b1"), None, None).len(),
+            indexed.select(&TriplePattern::default().with_subject(b1)).len()
+        );
+        let s1 = indexed.find_atom("s1").unwrap();
+        assert_eq!(
+            naive.select(None, None, Some("s1")).len(),
+            indexed.select(&TriplePattern::default().with_object(Value::Resource(s1))).len()
+        );
+    }
+
+    #[test]
+    fn estimated_bytes_grow_with_duplication() {
+        let mut s = NaiveStore::new();
+        s.insert("subject-with-a-long-name", "property", "value-1", false);
+        let one = s.estimated_bytes();
+        s.insert("subject-with-a-long-name", "property", "value-2", false);
+        // The naive store re-stores the long subject; bytes roughly double.
+        assert!(s.estimated_bytes() > one + 20);
+    }
+}

@@ -1,0 +1,294 @@
+//! XML persistence for triple stores.
+//!
+//! The paper persists superimposed information "through XML files"
+//! (§4.4). The format is a flat, RDF-flavoured element stream:
+//!
+//! ```xml
+//! <?xml version="1.0" encoding="UTF-8"?>
+//! <trim version="1">
+//!   <t s="bundle:1" p="bundleName"><lit>John Smith</lit></t>
+//!   <t s="bundle:1" p="nestedBundle"><res>bundle:2</res></t>
+//! </trim>
+//! ```
+//!
+//! Triples are written in sorted display order so output is canonical:
+//! byte-identical stores serialize to byte-identical files.
+
+use crate::error::TrimError;
+use crate::store::{TripleStore, Value};
+use std::path::Path;
+use xmlkit::{Element, XmlWriter};
+
+/// Current on-disk format version.
+const FORMAT_VERSION: &str = "1";
+
+impl TripleStore {
+    /// Serialize the whole store to canonical XML text.
+    pub fn to_xml(&self) -> String {
+        let mut entries: Vec<(String, String, bool, String)> = self
+            .iter()
+            .map(|t| {
+                let (is_res, obj) = match t.object {
+                    Value::Resource(a) => (true, self.resolve(a).to_string()),
+                    Value::Literal(a) => (false, self.resolve(a).to_string()),
+                };
+                (self.resolve(t.subject).to_string(), self.resolve(t.property).to_string(), is_res, obj)
+            })
+            .collect();
+        entries.sort();
+        let mut w = XmlWriter::compact();
+        w.declaration();
+        w.start("trim");
+        w.attr("version", FORMAT_VERSION);
+        for (s, p, is_res, obj) in &entries {
+            w.start("t");
+            w.attr("s", s);
+            w.attr("p", p);
+            w.leaf(if *is_res { "res" } else { "lit" }, obj);
+            w.end();
+        }
+        w.end();
+        w.finish()
+    }
+
+    /// Parse a store from XML text produced by [`TripleStore::to_xml`].
+    ///
+    /// The journal of the returned store starts empty (loading is not a
+    /// "change").
+    pub fn from_xml(text: &str) -> Result<TripleStore, TrimError> {
+        let doc = xmlkit::parse(text)?;
+        if doc.root.name != "trim" {
+            return Err(TrimError::Format {
+                message: format!("expected root element <trim>, found <{}>", doc.root.name),
+            });
+        }
+        match doc.root.attr("version") {
+            Some(FORMAT_VERSION) => {}
+            Some(other) => {
+                return Err(TrimError::Format {
+                    message: format!("unsupported format version {other:?}"),
+                })
+            }
+            None => {
+                return Err(TrimError::Format { message: "missing version attribute".into() })
+            }
+        }
+        let mut store = TripleStore::new();
+        for (i, t) in doc.root.elements().enumerate() {
+            if t.name != "t" {
+                return Err(TrimError::Format {
+                    message: format!("unexpected element <{}> at triple position {i}", t.name),
+                });
+            }
+            let subject = t.attr("s").ok_or_else(|| TrimError::Format {
+                message: format!("triple #{i} missing 's' attribute"),
+            })?;
+            let property = t.attr("p").ok_or_else(|| TrimError::Format {
+                message: format!("triple #{i} missing 'p' attribute"),
+            })?;
+            let object = read_object(t, i)?;
+            let s = store.atom(subject);
+            let p = store.atom(property);
+            let o = match object {
+                ObjectText::Resource(text) => Value::Resource(store.atom(&text)),
+                ObjectText::Literal(text) => store.literal_value(&text),
+            };
+            store.insert(s, p, o);
+        }
+        // Loading is initial state, not edits: start with a clean journal
+        // so undo cannot unwind the load itself.
+        store.journal_mut().truncate();
+        Ok(store)
+    }
+
+    /// Write the store to a file (canonical XML).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TrimError> {
+        std::fs::write(path, self.to_xml())?;
+        Ok(())
+    }
+
+    /// Read a store from a file written by [`TripleStore::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<TripleStore, TrimError> {
+        let text = std::fs::read_to_string(path)?;
+        TripleStore::from_xml(&text)
+    }
+
+    /// Serialize only the triples of a view (see [`TripleStore::view`])
+    /// to the same XML format — the unit of pad-level persistence.
+    pub fn view_to_xml(&self, root: crate::Atom) -> String {
+        let view = self.view(root);
+        let mut sub = TripleStore::new();
+        for t in &view.triples {
+            let s = sub.atom(self.resolve(t.subject));
+            let p = sub.atom(self.resolve(t.property));
+            let o = match t.object {
+                Value::Resource(a) => {
+                    let atom = sub.atom(self.resolve(a));
+                    Value::Resource(atom)
+                }
+                Value::Literal(a) => sub.literal_value(self.resolve(a)),
+            };
+            sub.insert(s, p, o);
+        }
+        sub.to_xml()
+    }
+
+}
+
+enum ObjectText {
+    Resource(String),
+    Literal(String),
+}
+
+fn read_object(t: &Element, index: usize) -> Result<ObjectText, TrimError> {
+    let mut elems = t.elements();
+    let child = elems.next().ok_or_else(|| TrimError::Format {
+        message: format!("triple #{index} has no object element"),
+    })?;
+    if elems.next().is_some() {
+        return Err(TrimError::Format {
+            message: format!("triple #{index} has more than one object element"),
+        });
+    }
+    match child.name.as_str() {
+        "res" => Ok(ObjectText::Resource(child.text())),
+        "lit" => Ok(ObjectText::Literal(child.text())),
+        other => Err(TrimError::Format {
+            message: format!("triple #{index} has unknown object kind <{other}>"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TriplePattern;
+
+    fn sample() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert_literal("bundle:1", "bundleName", "John Smith");
+        s.insert_resource("bundle:1", "nestedBundle", "bundle:2");
+        s.insert_literal("bundle:2", "bundleName", "Electro<lyte> & \"friends\"");
+        s
+    }
+
+    #[test]
+    fn xml_roundtrip_preserves_contents() {
+        let s = sample();
+        let xml = s.to_xml();
+        let s2 = TripleStore::from_xml(&xml).unwrap();
+        assert_eq!(s2.len(), s.len());
+        let display = |st: &TripleStore| {
+            let mut v: Vec<String> =
+                st.iter().map(|t| st.display_triple(t)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(display(&s), display(&s2));
+        s2.check_invariants();
+    }
+
+    #[test]
+    fn serialization_is_canonical() {
+        // Same contents inserted in different orders → identical bytes.
+        let mut a = TripleStore::new();
+        a.insert_literal("x", "p", "1");
+        a.insert_literal("y", "p", "2");
+        let mut b = TripleStore::new();
+        b.insert_literal("y", "p", "2");
+        b.insert_literal("x", "p", "1");
+        assert_eq!(a.to_xml(), b.to_xml());
+    }
+
+    #[test]
+    fn loaded_store_has_clean_journal() {
+        let s2 = TripleStore::from_xml(&sample().to_xml()).unwrap();
+        assert_eq!(s2.stats().journal_len, 0);
+    }
+
+    #[test]
+    fn resource_vs_literal_distinction_survives() {
+        let s2 = TripleStore::from_xml(&sample().to_xml()).unwrap();
+        let b1 = s2.find_atom("bundle:1").unwrap();
+        let nested = s2.find_atom("nestedBundle").unwrap();
+        let t = s2.get_unique(b1, nested).unwrap();
+        assert!(t.object.is_resource());
+        let name = s2.find_atom("bundleName").unwrap();
+        let t = s2.get_unique(b1, name).unwrap();
+        assert!(!t.object.is_resource());
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let err = TripleStore::from_xml("<wrong/>").unwrap_err();
+        assert!(matches!(err, TrimError::Format { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let err = TripleStore::from_xml(r#"<trim version="99"/>"#).unwrap_err();
+        assert!(err.to_string().contains("99"));
+        let err = TripleStore::from_xml("<trim/>").unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_malformed_triples() {
+        let cases = [
+            r#"<trim version="1"><t p="p"><lit>x</lit></t></trim>"#,
+            r#"<trim version="1"><t s="s"><lit>x</lit></t></trim>"#,
+            r#"<trim version="1"><t s="s" p="p"/></trim>"#,
+            r#"<trim version="1"><t s="s" p="p"><odd>x</odd></t></trim>"#,
+            r#"<trim version="1"><t s="s" p="p"><lit>x</lit><lit>y</lit></t></trim>"#,
+            r#"<trim version="1"><u s="s" p="p"><lit>x</lit></u></trim>"#,
+        ];
+        for c in cases {
+            assert!(
+                matches!(TripleStore::from_xml(c), Err(TrimError::Format { .. })),
+                "should reject: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_xml() {
+        assert!(matches!(TripleStore::from_xml("not xml"), Err(TrimError::Xml(_))));
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let dir = std::env::temp_dir().join("trim-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.xml");
+        let s = sample();
+        s.save(&path).unwrap();
+        let s2 = TripleStore::load(&path).unwrap();
+        assert_eq!(s2.len(), s.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn view_to_xml_serializes_only_reachable() {
+        let mut s = sample();
+        s.insert_literal("orphan", "p", "v");
+        let b1 = s.find_atom("bundle:1").unwrap();
+        let xml = s.view_to_xml(b1);
+        let sub = TripleStore::from_xml(&xml).unwrap();
+        assert_eq!(sub.len(), 3, "orphan excluded");
+        assert!(sub.find_atom("orphan").is_none());
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let s = TripleStore::new();
+        let s2 = TripleStore::from_xml(&s.to_xml()).unwrap();
+        assert!(s2.is_empty());
+    }
+
+    #[test]
+    fn select_after_load_uses_indexes() {
+        let s2 = TripleStore::from_xml(&sample().to_xml()).unwrap();
+        let p = s2.find_atom("bundleName").unwrap();
+        assert_eq!(s2.select(&TriplePattern::default().with_property(p)).len(), 2);
+    }
+}

@@ -1,0 +1,712 @@
+//! The indexed triple store: insertion, removal, and selection queries.
+
+use crate::atom::{Atom, AtomTable};
+use crate::journal::{Change, Journal, Revision};
+use std::collections::{HashMap, HashSet};
+
+/// The object position of a triple: either another resource (forming the
+/// graph edges reachability views follow) or a literal string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A reference to a resource; traversed by views.
+    Resource(Atom),
+    /// An opaque literal; never traversed.
+    Literal(Atom),
+}
+
+impl Value {
+    /// The underlying atom regardless of kind.
+    pub fn atom(self) -> Atom {
+        match self {
+            Value::Resource(a) | Value::Literal(a) => a,
+        }
+    }
+
+    /// True if this value is a resource reference.
+    pub fn is_resource(self) -> bool {
+        matches!(self, Value::Resource(_))
+    }
+}
+
+/// One (resource, property, value) statement. `Copy` — three words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// The resource the statement is about.
+    pub subject: Atom,
+    /// The property name.
+    pub property: Atom,
+    /// The value: resource reference or literal.
+    pub object: Value,
+}
+
+/// A selection query: any combination of the three fields may be fixed.
+///
+/// "Query is specified by selection, where one or more of the triple
+/// fields is fixed, and the result is a set of triples" (paper §4.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TriplePattern {
+    pub subject: Option<Atom>,
+    pub property: Option<Atom>,
+    pub object: Option<Value>,
+}
+
+impl TriplePattern {
+    /// Fix the subject field.
+    pub fn with_subject(mut self, s: Atom) -> Self {
+        self.subject = Some(s);
+        self
+    }
+
+    /// Fix the property field.
+    pub fn with_property(mut self, p: Atom) -> Self {
+        self.property = Some(p);
+        self
+    }
+
+    /// Fix the object field.
+    pub fn with_object(mut self, o: Value) -> Self {
+        self.object = Some(o);
+        self
+    }
+
+    /// True if `t` satisfies every fixed field.
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.subject.is_none_or(|s| s == t.subject)
+            && self.property.is_none_or(|p| p == t.property)
+            && self.object.is_none_or(|o| o == t.object)
+    }
+
+    /// True if no field is fixed (matches everything).
+    pub fn is_unconstrained(&self) -> bool {
+        self.subject.is_none() && self.property.is_none() && self.object.is_none()
+    }
+}
+
+/// Size and composition statistics, reported by [`TripleStore::stats`] and
+/// consumed by the E1 space-overhead experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of triples currently stored.
+    pub triples: usize,
+    /// Number of distinct interned strings.
+    pub atoms: usize,
+    /// Total bytes of interned string content.
+    pub atom_string_bytes: usize,
+    /// Estimated resident bytes: triple copies in the membership set and
+    /// the three indexes, plus interned strings and per-atom bookkeeping.
+    /// An estimate for comparative experiments, not an allocator audit.
+    pub estimated_bytes: usize,
+    /// Changes recorded in the journal since creation (or last clear).
+    pub journal_len: usize,
+}
+
+/// The TRIM triple store (see crate docs).
+///
+/// Invariants, enforced by construction and checked by
+/// [`TripleStore::check_invariants`] in tests:
+/// * the membership set and all three indexes contain exactly the same
+///   triples;
+/// * every atom appearing in a triple resolves in the atom table;
+/// * the journal replays to the current contents.
+#[derive(Debug, Default)]
+pub struct TripleStore {
+    atoms: AtomTable,
+    /// Membership set: the authoritative contents.
+    all: HashSet<Triple>,
+    by_subject: HashMap<Atom, HashSet<Triple>>,
+    by_property: HashMap<Atom, HashSet<Triple>>,
+    by_object: HashMap<Value, HashSet<Triple>>,
+    journal: Journal,
+    fresh_counter: u64,
+}
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start building a selection pattern.
+    pub fn pattern() -> TriplePattern {
+        TriplePattern::default()
+    }
+
+    // ---- atoms and values ------------------------------------------------
+
+    /// Intern a string (used for subjects, properties, and resource names).
+    pub fn atom(&mut self, s: &str) -> Atom {
+        self.atoms.intern(s)
+    }
+
+    /// Look up a string without interning.
+    pub fn find_atom(&self, s: &str) -> Option<Atom> {
+        self.atoms.get(s)
+    }
+
+    /// Resolve an atom back to its string.
+    pub fn resolve(&self, a: Atom) -> &str {
+        self.atoms.resolve(a)
+    }
+
+    /// Intern a literal string as a [`Value::Literal`].
+    pub fn literal_value(&mut self, s: &str) -> Value {
+        Value::Literal(self.atoms.intern(s))
+    }
+
+    /// Wrap an atom as a [`Value::Resource`].
+    pub fn resource_value(a: Atom) -> Value {
+        Value::Resource(a)
+    }
+
+    /// The literal text of a value, or `None` if it is a resource.
+    pub fn value_str(&self, v: Value) -> Option<&str> {
+        match v {
+            Value::Literal(a) => Some(self.atoms.resolve(a)),
+            Value::Resource(_) => None,
+        }
+    }
+
+    /// The underlying text of a value, literal or resource name alike.
+    pub fn value_text(&self, v: Value) -> &str {
+        self.atoms.resolve(v.atom())
+    }
+
+    /// Mint a resource atom guaranteed not to collide with any existing
+    /// atom, of the form `prefix:N`. Used by DMIs to create object ids.
+    pub fn fresh_resource(&mut self, prefix: &str) -> Atom {
+        loop {
+            let candidate = format!("{prefix}:{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if self.atoms.get(&candidate).is_none() {
+                return self.atoms.intern(&candidate);
+            }
+        }
+    }
+
+    /// Access to the underlying atom table (read-only).
+    pub fn atoms(&self) -> &AtomTable {
+        &self.atoms
+    }
+
+    // ---- mutation ----------------------------------------------------------
+
+    /// Insert a triple. Returns `true` if it was not already present.
+    pub fn insert(&mut self, subject: Atom, property: Atom, object: Value) -> bool {
+        let t = Triple { subject, property, object };
+        if !self.all.insert(t) {
+            return false;
+        }
+        self.by_subject.entry(subject).or_default().insert(t);
+        self.by_property.entry(property).or_default().insert(t);
+        self.by_object.entry(object).or_default().insert(t);
+        self.journal.record(Change::Insert(t));
+        true
+    }
+
+    /// Convenience: intern all three fields and insert, with the object as
+    /// a literal.
+    pub fn insert_literal(&mut self, subject: &str, property: &str, literal: &str) -> Triple {
+        let s = self.atom(subject);
+        let p = self.atom(property);
+        let o = self.literal_value(literal);
+        self.insert(s, p, o);
+        Triple { subject: s, property: p, object: o }
+    }
+
+    /// Convenience: intern all three fields and insert, with the object as
+    /// a resource reference.
+    pub fn insert_resource(&mut self, subject: &str, property: &str, object: &str) -> Triple {
+        let s = self.atom(subject);
+        let p = self.atom(property);
+        let o = Value::Resource(self.atom(object));
+        self.insert(s, p, o);
+        Triple { subject: s, property: p, object: o }
+    }
+
+    /// Remove a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: Triple) -> bool {
+        if !self.all.remove(&t) {
+            return false;
+        }
+        Self::index_remove(&mut self.by_subject, t.subject, &t);
+        Self::index_remove(&mut self.by_property, t.property, &t);
+        Self::index_remove(&mut self.by_object, t.object, &t);
+        self.journal.record(Change::Remove(t));
+        true
+    }
+
+    fn index_remove<K: std::hash::Hash + Eq>(
+        index: &mut HashMap<K, HashSet<Triple>>,
+        key: K,
+        t: &Triple,
+    ) {
+        if let Some(set) = index.get_mut(&key) {
+            set.remove(t);
+            if set.is_empty() {
+                index.remove(&key);
+            }
+        }
+    }
+
+    /// Remove every triple matching the pattern; returns how many went.
+    pub fn remove_matching(&mut self, pattern: &TriplePattern) -> usize {
+        let victims = self.select(pattern);
+        for t in &victims {
+            self.remove(*t);
+        }
+        victims.len()
+    }
+
+    /// Replace the object of the unique triple `(subject, property, _)`.
+    ///
+    /// This is the DMI's `Update_*` primitive: if exactly zero or one
+    /// triple matches, the result is the single triple
+    /// `(subject, property, new_object)`. With multiple matches, all are
+    /// replaced by the single new value.
+    pub fn set_unique(&mut self, subject: Atom, property: Atom, object: Value) {
+        let pattern =
+            TriplePattern::default().with_subject(subject).with_property(property);
+        self.remove_matching(&pattern);
+        self.insert(subject, property, object);
+    }
+
+    /// Drop everything, including the journal and interned strings.
+    pub fn clear(&mut self) {
+        *self = TripleStore::new();
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// True if the exact triple is present.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.all.contains(t)
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// True if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Iterate all triples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.all.iter()
+    }
+
+    /// Selection query: all triples matching the pattern, using the most
+    /// selective available index. Result order is unspecified.
+    pub fn select(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        self.candidates(pattern)
+            .map(|set| set.iter().filter(|t| pattern.matches(t)).copied().collect())
+            .unwrap_or_else(|| {
+                self.all.iter().filter(|t| pattern.matches(t)).copied().collect()
+            })
+    }
+
+    /// Selection query returning results in a deterministic (sorted)
+    /// order, for display and golden tests.
+    pub fn select_sorted(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        let mut v = self.select(pattern);
+        v.sort_unstable();
+        v
+    }
+
+    /// Count matches without materializing them.
+    pub fn count(&self, pattern: &TriplePattern) -> usize {
+        self.candidates(pattern)
+            .map(|set| set.iter().filter(|t| pattern.matches(t)).count())
+            .unwrap_or_else(|| self.all.iter().filter(|t| pattern.matches(t)).count())
+    }
+
+    /// The single triple matching `(subject, property, _)`, if exactly one
+    /// exists.
+    pub fn get_unique(&self, subject: Atom, property: Atom) -> Option<Triple> {
+        let pattern =
+            TriplePattern::default().with_subject(subject).with_property(property);
+        let mut hits = self.select(&pattern).into_iter();
+        let first = hits.next()?;
+        if hits.next().is_some() {
+            return None;
+        }
+        Some(first)
+    }
+
+    /// The object of the unique `(subject, property, _)` triple.
+    pub fn object_of(&self, subject: Atom, property: Atom) -> Option<Value> {
+        self.get_unique(subject, property).map(|t| t.object)
+    }
+
+    /// Full-text-lite: every triple whose *literal* object contains
+    /// `needle` (case-insensitive). A scan over the object index keys —
+    /// each distinct literal string is tested once no matter how many
+    /// triples carry it. Results sorted for determinism.
+    pub fn find_literals(&self, needle: &str) -> Vec<Triple> {
+        let lower = needle.to_lowercase();
+        let mut out = Vec::new();
+        for (value, triples) in &self.by_object {
+            if let Value::Literal(a) = value {
+                if self.atoms.resolve(*a).to_lowercase().contains(&lower) {
+                    out.extend(triples.iter().copied());
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Pick the smallest candidate set among the indexes the pattern can
+    /// use. `None` means no field is fixed (full scan).
+    fn candidates(&self, pattern: &TriplePattern) -> Option<&HashSet<Triple>> {
+        static EMPTY: std::sync::OnceLock<HashSet<Triple>> = std::sync::OnceLock::new();
+        let empty = EMPTY.get_or_init(HashSet::new);
+        let mut best: Option<&HashSet<Triple>> = None;
+        // A fixed field with no index entry means zero matches, so the
+        // shared empty set is the (optimal) candidate set in that case.
+        let options = [
+            pattern.subject.map(|s| self.by_subject.get(&s).unwrap_or(empty)),
+            pattern.property.map(|p| self.by_property.get(&p).unwrap_or(empty)),
+            pattern.object.map(|o| self.by_object.get(&o).unwrap_or(empty)),
+        ];
+        for set in options.into_iter().flatten() {
+            match best {
+                Some(b) if b.len() <= set.len() => {}
+                _ => best = Some(set),
+            }
+        }
+        best
+    }
+
+    // ---- journal ---------------------------------------------------------
+
+    /// The current revision (monotone change count).
+    pub fn revision(&self) -> Revision {
+        self.journal.revision()
+    }
+
+    /// Read-only access to the change journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Crate-internal mutable journal access (used by persistence to
+    /// start loaded stores with clean history).
+    pub(crate) fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
+    /// Undo all changes made after `rev`, restoring the store contents at
+    /// that revision. The undone entries are removed from the journal.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::TrimError::UndoPastStart`] if `rev` is newer than the
+    /// current revision... cannot happen; if `rev` predates the journal's
+    /// retained history an error is returned.
+    pub fn undo_to(&mut self, rev: Revision) -> Result<(), crate::TrimError> {
+        let undone = self.journal.take_since(rev)?;
+        for change in undone.into_iter().rev() {
+            match change {
+                Change::Insert(t) => {
+                    self.all.remove(&t);
+                    Self::index_remove(&mut self.by_subject, t.subject, &t);
+                    Self::index_remove(&mut self.by_property, t.property, &t);
+                    Self::index_remove(&mut self.by_object, t.object, &t);
+                }
+                Change::Remove(t) => {
+                    self.all.insert(t);
+                    self.by_subject.entry(t.subject).or_default().insert(t);
+                    self.by_property.entry(t.property).or_default().insert(t);
+                    self.by_object.entry(t.object).or_default().insert(t);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- stats and invariants ---------------------------------------------
+
+    /// Current size statistics.
+    pub fn stats(&self) -> StoreStats {
+        use std::mem::size_of;
+        let triple_copies = self.all.len() * 4; // membership + three indexes
+        let estimated_bytes = triple_copies * size_of::<Triple>()
+            + self.atoms.string_bytes()
+            + self.atoms.len() * (size_of::<Box<str>>() + size_of::<Atom>());
+        StoreStats {
+            triples: self.all.len(),
+            atoms: self.atoms.len(),
+            atom_string_bytes: self.atoms.string_bytes(),
+            estimated_bytes,
+            journal_len: self.journal.len(),
+        }
+    }
+
+    /// Verify internal invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self) {
+        let mut indexed: HashSet<Triple> = HashSet::new();
+        for set in self.by_subject.values() {
+            indexed.extend(set.iter().copied());
+        }
+        assert_eq!(indexed, self.all, "subject index disagrees with membership set");
+        let mut indexed: HashSet<Triple> = HashSet::new();
+        for set in self.by_property.values() {
+            indexed.extend(set.iter().copied());
+        }
+        assert_eq!(indexed, self.all, "property index disagrees with membership set");
+        let mut indexed: HashSet<Triple> = HashSet::new();
+        for set in self.by_object.values() {
+            indexed.extend(set.iter().copied());
+        }
+        assert_eq!(indexed, self.all, "object index disagrees with membership set");
+        for t in &self.all {
+            // resolve() panics on foreign atoms; reaching it at all is the check
+            let _ = self.atoms.resolve(t.subject);
+            let _ = self.atoms.resolve(t.property);
+            let _ = self.atoms.resolve(t.object.atom());
+        }
+    }
+
+    /// Render a triple as `subject --property--> value` for diagnostics.
+    pub fn display_triple(&self, t: &Triple) -> String {
+        let obj = match t.object {
+            Value::Resource(a) => format!("<{}>", self.atoms.resolve(a)),
+            Value::Literal(a) => format!("{:?}", self.atoms.resolve(a)),
+        };
+        format!(
+            "{} --{}--> {}",
+            self.atoms.resolve(t.subject),
+            self.atoms.resolve(t.property),
+            obj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_bundle() -> (TripleStore, Atom, Atom) {
+        let mut s = TripleStore::new();
+        let b1 = s.atom("bundle:1");
+        let b2 = s.atom("bundle:2");
+        let name = s.atom("bundleName");
+        let nested = s.atom("nestedBundle");
+        let n1 = s.literal_value("John Smith");
+        let n2 = s.literal_value("Electrolyte");
+        s.insert(b1, name, n1);
+        s.insert(b2, name, n2);
+        s.insert(b1, nested, Value::Resource(b2));
+        (s, b1, b2)
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut s = TripleStore::new();
+        let a = s.atom("a");
+        let p = s.atom("p");
+        let v = s.literal_value("v");
+        assert!(s.insert(a, p, v));
+        assert!(!s.insert(a, p, v), "duplicate insert must report false");
+        assert_eq!(s.len(), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn remove_present_and_absent() {
+        let (mut s, b1, _) = store_with_bundle();
+        let name = s.atom("bundleName");
+        let v = s.literal_value("John Smith");
+        let t = Triple { subject: b1, property: name, object: v };
+        assert!(s.remove(t));
+        assert!(!s.remove(t));
+        assert_eq!(s.len(), 2);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn select_by_each_field_combination() {
+        let (s, b1, b2) = store_with_bundle();
+        let name = s.find_atom("bundleName").unwrap();
+        let nested = s.find_atom("nestedBundle").unwrap();
+
+        assert_eq!(s.select(&TriplePattern::default()).len(), 3);
+        assert_eq!(s.select(&TriplePattern::default().with_subject(b1)).len(), 2);
+        assert_eq!(s.select(&TriplePattern::default().with_property(name)).len(), 2);
+        assert_eq!(
+            s.select(&TriplePattern::default().with_object(Value::Resource(b2))).len(),
+            1
+        );
+        assert_eq!(
+            s.select(&TriplePattern::default().with_subject(b1).with_property(nested)).len(),
+            1
+        );
+        assert_eq!(
+            s.select(
+                &TriplePattern::default()
+                    .with_subject(b1)
+                    .with_property(name)
+                    .with_object(Value::Resource(b2))
+            )
+            .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn select_with_unindexed_atom_is_empty() {
+        let (mut s, _, _) = store_with_bundle();
+        let ghost = s.atom("never-used-in-a-triple");
+        assert!(s.select(&TriplePattern::default().with_subject(ghost)).is_empty());
+        assert_eq!(s.count(&TriplePattern::default().with_property(ghost)), 0);
+    }
+
+    #[test]
+    fn count_agrees_with_select() {
+        let (s, b1, _) = store_with_bundle();
+        let p = TriplePattern::default().with_subject(b1);
+        assert_eq!(s.count(&p), s.select(&p).len());
+    }
+
+    #[test]
+    fn set_unique_replaces_value() {
+        let (mut s, b1, _) = store_with_bundle();
+        let name = s.atom("bundleName");
+        let new = s.literal_value("J. Smith");
+        s.set_unique(b1, name, new);
+        assert_eq!(s.object_of(b1, name), Some(new));
+        assert_eq!(s.count(&TriplePattern::default().with_subject(b1).with_property(name)), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn get_unique_rejects_ambiguity() {
+        let mut s = TripleStore::new();
+        let a = s.atom("a");
+        let p = s.atom("p");
+        let v1 = s.literal_value("1");
+        let v2 = s.literal_value("2");
+        s.insert(a, p, v1);
+        assert!(s.get_unique(a, p).is_some());
+        s.insert(a, p, v2);
+        assert!(s.get_unique(a, p).is_none(), "two matches must yield None");
+    }
+
+    #[test]
+    fn remove_matching_removes_all() {
+        let (mut s, b1, _) = store_with_bundle();
+        let removed = s.remove_matching(&TriplePattern::default().with_subject(b1));
+        assert_eq!(removed, 2);
+        assert_eq!(s.len(), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn fresh_resources_never_collide() {
+        let mut s = TripleStore::new();
+        s.atom("Bundle:0"); // occupy the first candidate
+        let r1 = s.fresh_resource("Bundle");
+        let r2 = s.fresh_resource("Bundle");
+        assert_ne!(r1, r2);
+        assert_ne!(s.resolve(r1), "Bundle:0");
+        assert!(s.resolve(r1).starts_with("Bundle:"));
+    }
+
+    #[test]
+    fn undo_restores_prior_contents() {
+        let (mut s, b1, _) = store_with_bundle();
+        let rev = s.revision();
+        let before: std::collections::BTreeSet<_> = s.iter().copied().collect();
+        let extra = s.atom("extra");
+        let v = s.literal_value("x");
+        s.insert(b1, extra, v);
+        let name = s.find_atom("bundleName").unwrap();
+        let old = s.get_unique(b1, name).unwrap();
+        s.remove(old);
+        assert_ne!(before, s.iter().copied().collect());
+        s.undo_to(rev).unwrap();
+        let after: std::collections::BTreeSet<_> = s.iter().copied().collect();
+        assert_eq!(before, after);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn undo_to_current_revision_is_noop() {
+        let (mut s, _, _) = store_with_bundle();
+        let rev = s.revision();
+        s.undo_to(rev).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn stats_track_growth() {
+        let (s, _, _) = store_with_bundle();
+        let st = s.stats();
+        assert_eq!(st.triples, 3);
+        assert!(st.atoms >= 6);
+        assert!(st.estimated_bytes > 0);
+        assert_eq!(st.journal_len, 3);
+    }
+
+    #[test]
+    fn display_triple_is_readable() {
+        let (s, b1, _) = store_with_bundle();
+        let nested = s.find_atom("nestedBundle").unwrap();
+        let t = s.get_unique(b1, nested).unwrap();
+        assert_eq!(s.display_triple(&t), "bundle:1 --nestedBundle--> <bundle:2>");
+    }
+
+    #[test]
+    fn find_literals_is_case_insensitive_and_literal_only() {
+        let mut s = TripleStore::new();
+        s.insert_literal("scrap:1", "scrapName", "Lasix 40 IV");
+        s.insert_literal("scrap:2", "scrapName", "lasix drip");
+        s.insert_literal("scrap:3", "scrapName", "KCl 20");
+        s.insert_resource("bundle:1", "bundleContent", "Lasix-shrine"); // resource: excluded
+        let hits = s.find_literals("LASIX");
+        assert_eq!(hits.len(), 2);
+        assert!(s.find_literals("digoxin").is_empty());
+        assert_eq!(s.find_literals("").len(), 3, "empty needle matches all literals");
+    }
+
+    #[test]
+    fn insert_helpers_intern_and_insert() {
+        let mut s = TripleStore::new();
+        s.insert_literal("scrap:1", "scrapName", "Na 140");
+        s.insert_resource("bundle:1", "bundleContent", "scrap:1");
+        assert_eq!(s.len(), 2);
+        let scrap = s.find_atom("scrap:1").unwrap();
+        assert_eq!(
+            s.count(&TriplePattern::default().with_object(Value::Resource(scrap))),
+            1
+        );
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (mut s, _, _) = store_with_bundle();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.stats().atoms, 0);
+        assert_eq!(s.revision(), Revision::start());
+    }
+
+    #[test]
+    fn value_helpers() {
+        let mut s = TripleStore::new();
+        let lit = s.literal_value("text");
+        let res = Value::Resource(s.atom("r:1"));
+        assert_eq!(s.value_str(lit), Some("text"));
+        assert_eq!(s.value_str(res), None);
+        assert_eq!(s.value_text(res), "r:1");
+        assert!(res.is_resource());
+        assert!(!lit.is_resource());
+    }
+}

@@ -1,0 +1,201 @@
+//! Reachability views over a triple store.
+//!
+//! "A view is specified by selecting a resource (such as a Bundle id),
+//! where all triples that can be reached from this resource are returned
+//! (e.g., all triples representing nested Bundles within the given Bundle
+//! along with their Scraps)" — paper §4.4.
+
+use crate::atom::Atom;
+use crate::store::{Triple, TriplePattern, TripleStore, Value};
+use std::collections::HashSet;
+
+/// A materialized reachability view: the root it was computed from and
+/// every triple reachable by following resource-valued objects.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// The resource the view was rooted at.
+    pub root: Atom,
+    /// All reachable triples, in discovery (breadth-first) order —
+    /// deterministic given deterministic per-subject ordering.
+    pub triples: Vec<Triple>,
+    /// Every resource visited, including the root.
+    pub resources: Vec<Atom>,
+}
+
+impl View {
+    /// Number of triples in the view.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if the root has no outgoing triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+impl TripleStore {
+    /// Compute the reachability view rooted at `root`.
+    ///
+    /// Traversal follows `Value::Resource` objects only (literals are
+    /// leaves), visits each resource once (cycles are safe), and expands
+    /// each subject's triples in sorted order so the output is
+    /// deterministic.
+    pub fn view(&self, root: Atom) -> View {
+        let mut visited: HashSet<Atom> = HashSet::new();
+        let mut frontier = vec![root];
+        visited.insert(root);
+        let mut triples = Vec::new();
+        let mut resources = Vec::new();
+        while let Some(subject) = frontier.pop() {
+            resources.push(subject);
+            let mut out = self.select(&TriplePattern::default().with_subject(subject));
+            out.sort_unstable();
+            for t in out {
+                if let Value::Resource(next) = t.object {
+                    if visited.insert(next) {
+                        frontier.push(next);
+                    }
+                }
+                triples.push(t);
+            }
+        }
+        View { root, triples, resources }
+    }
+
+    /// The set of resources with no incoming resource-valued triple —
+    /// candidate roots when loading a persisted store.
+    pub fn root_candidates(&self) -> Vec<Atom> {
+        let mut subjects: HashSet<Atom> = self.iter().map(|t| t.subject).collect();
+        for t in self.iter() {
+            if let Value::Resource(o) = t.object {
+                subjects.remove(&o);
+            }
+        }
+        let mut roots: Vec<Atom> = subjects.into_iter().collect();
+        roots.sort_unstable();
+        roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// pad -> root bundle b1 -> {scrap s1, nested bundle b2 -> scrap s2};
+    /// unrelated bundle b3 must stay out of the view.
+    fn nested_store() -> (TripleStore, Atom, Atom, Atom) {
+        let mut s = TripleStore::new();
+        let pad = s.atom("pad:1");
+        let b1 = s.atom("bundle:1");
+        let b2 = s.atom("bundle:2");
+        let b3 = s.atom("bundle:3");
+        let s1 = s.atom("scrap:1");
+        let s2 = s.atom("scrap:2");
+        let root = s.atom("rootBundle");
+        let content = s.atom("bundleContent");
+        let nested = s.atom("nestedBundle");
+        let name = s.atom("scrapName");
+        let na = s.literal_value("Na 140");
+        let k = s.literal_value("K 4.1");
+        let stray = s.literal_value("unreachable");
+        s.insert(pad, root, Value::Resource(b1));
+        s.insert(b1, content, Value::Resource(s1));
+        s.insert(b1, nested, Value::Resource(b2));
+        s.insert(b2, content, Value::Resource(s2));
+        s.insert(s1, name, na);
+        s.insert(s2, name, k);
+        s.insert(b3, name, stray);
+        (s, pad, b1, b3)
+    }
+
+    #[test]
+    fn view_includes_exactly_the_reachable_triples() {
+        let (s, pad, _, b3) = nested_store();
+        let v = s.view(pad);
+        assert_eq!(v.len(), 6, "all but the stray triple");
+        assert!(v.triples.iter().all(|t| t.subject != b3));
+    }
+
+    #[test]
+    fn view_from_inner_bundle_is_partial() {
+        let (s, _, b1, _) = nested_store();
+        let v = s.view(b1);
+        assert_eq!(v.len(), 5, "b1's two edges, b2's edge, both scraps' names");
+    }
+
+    #[test]
+    fn view_of_leaf_resource() {
+        let (s, _, _, _) = nested_store();
+        let s1 = s.find_atom("scrap:1").unwrap();
+        let v = s.view(s1);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn view_of_unknown_resource_is_empty() {
+        let (mut s, _, _, _) = nested_store();
+        let ghost = s.atom("ghost");
+        assert!(s.view(ghost).is_empty());
+    }
+
+    #[test]
+    fn view_handles_cycles() {
+        let mut s = TripleStore::new();
+        let a = s.atom("a");
+        let b = s.atom("b");
+        let p = s.atom("link");
+        s.insert(a, p, Value::Resource(b));
+        s.insert(b, p, Value::Resource(a));
+        let v = s.view(a);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.resources.len(), 2);
+    }
+
+    #[test]
+    fn view_handles_self_loop() {
+        let mut s = TripleStore::new();
+        let a = s.atom("a");
+        let p = s.atom("self");
+        s.insert(a, p, Value::Resource(a));
+        let v = s.view(a);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.resources, vec![a]);
+    }
+
+    #[test]
+    fn view_is_deterministic() {
+        let (s, pad, _, _) = nested_store();
+        let v1 = s.view(pad);
+        let v2 = s.view(pad);
+        assert_eq!(v1.triples, v2.triples);
+    }
+
+    #[test]
+    fn root_candidates_finds_unreferenced_subjects() {
+        let (s, pad, _, b3) = nested_store();
+        let roots = s.root_candidates();
+        assert!(roots.contains(&pad));
+        assert!(roots.contains(&b3));
+        assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    fn diamond_shapes_visit_shared_node_once() {
+        let mut s = TripleStore::new();
+        let top = s.atom("top");
+        let l = s.atom("l");
+        let r = s.atom("r");
+        let bottom = s.atom("bottom");
+        let p = s.atom("edge");
+        let leaf = s.literal_value("leaf");
+        s.insert(top, p, Value::Resource(l));
+        s.insert(top, p, Value::Resource(r));
+        s.insert(l, p, Value::Resource(bottom));
+        s.insert(r, p, Value::Resource(bottom));
+        s.insert(bottom, p, leaf);
+        let v = s.view(top);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.resources.len(), 4, "bottom visited once");
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for TRIM: the indexed store must agree with a trivially
+//! correct model under arbitrary operation sequences, selection must equal
+//! full-scan filtering, persistence must round-trip, and undo must restore
+//! exact prior state.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use trim::{TriplePattern, TripleStore, Value};
+
+/// A small vocabulary so operations collide often.
+const SUBJECTS: &[&str] = &["b1", "b2", "s1", "s2", "pad"];
+const PROPS: &[&str] = &["name", "content", "nested", "pos"];
+const OBJECTS: &[&str] = &["b2", "s1", "John", "140", ""];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { s: usize, p: usize, o: usize, res: bool },
+    Remove { s: usize, p: usize, o: usize, res: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..SUBJECTS.len(), 0..PROPS.len(), 0..OBJECTS.len(), any::<bool>(), any::<bool>()).prop_map(
+        |(s, p, o, res, ins)| {
+            if ins {
+                Op::Insert { s, p, o, res }
+            } else {
+                Op::Remove { s, p, o, res }
+            }
+        },
+    )
+}
+
+type ModelTriple = (String, String, String, bool);
+
+fn apply(store: &mut TripleStore, model: &mut BTreeSet<ModelTriple>, op: &Op) {
+    let (s, p, o, res, insert) = match *op {
+        Op::Insert { s, p, o, res } => (s, p, o, res, true),
+        Op::Remove { s, p, o, res } => (s, p, o, res, false),
+    };
+    let (subj, prop, obj) = (SUBJECTS[s], PROPS[p], OBJECTS[o]);
+    let sa = store.atom(subj);
+    let pa = store.atom(prop);
+    let ov = if res { Value::Resource(store.atom(obj)) } else { store.literal_value(obj) };
+    if insert {
+        let added = store.insert(sa, pa, ov);
+        let model_added = model.insert((subj.into(), prop.into(), obj.into(), res));
+        assert_eq!(added, model_added, "insert return value disagrees with model");
+    } else {
+        let removed = store.remove(trim::Triple { subject: sa, property: pa, object: ov });
+        let model_removed = model.remove(&(subj.into(), prop.into(), obj.into(), res));
+        assert_eq!(removed, model_removed, "remove return value disagrees with model");
+    }
+}
+
+fn store_contents(store: &TripleStore) -> BTreeSet<ModelTriple> {
+    store
+        .iter()
+        .map(|t| {
+            (
+                store.resolve(t.subject).to_string(),
+                store.resolve(t.property).to_string(),
+                store.value_text(t.object).to_string(),
+                t.object.is_resource(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// The store agrees with a set model after any operation sequence,
+    /// and its internal indexes stay consistent.
+    #[test]
+    fn store_matches_set_model(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let mut store = TripleStore::new();
+        let mut model: BTreeSet<ModelTriple> = BTreeSet::new();
+        for op in &ops {
+            apply(&mut store, &mut model, op);
+        }
+        store.check_invariants();
+        prop_assert_eq!(store_contents(&store), model);
+    }
+
+    /// Indexed selection equals brute-force filtering for every pattern
+    /// shape over the vocabulary.
+    #[test]
+    fn select_equals_full_scan(
+        ops in proptest::collection::vec(op_strategy(), 0..80),
+        qs in 0..SUBJECTS.len(), qp in 0..PROPS.len(), qo in 0..OBJECTS.len(),
+        use_s in any::<bool>(), use_p in any::<bool>(), use_o in any::<bool>(), o_res in any::<bool>(),
+    ) {
+        let mut store = TripleStore::new();
+        let mut model = BTreeSet::new();
+        for op in &ops {
+            apply(&mut store, &mut model, op);
+        }
+        let mut pattern = TriplePattern::default();
+        if use_s { pattern = pattern.with_subject(store.atom(SUBJECTS[qs])); }
+        if use_p { pattern = pattern.with_property(store.atom(PROPS[qp])); }
+        if use_o {
+            let v = if o_res { Value::Resource(store.atom(OBJECTS[qo])) } else { store.literal_value(OBJECTS[qo]) };
+            pattern = pattern.with_object(v);
+        }
+        let selected: BTreeSet<_> = store.select(&pattern).into_iter().collect();
+        let scanned: BTreeSet<_> = store.iter().filter(|t| pattern.matches(t)).copied().collect();
+        prop_assert_eq!(&selected, &scanned);
+        prop_assert_eq!(store.count(&pattern), selected.len());
+    }
+
+    /// XML round-trip is the identity on contents.
+    #[test]
+    fn xml_roundtrip(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut store = TripleStore::new();
+        let mut model = BTreeSet::new();
+        for op in &ops {
+            apply(&mut store, &mut model, op);
+        }
+        let reloaded = TripleStore::from_xml(&store.to_xml()).unwrap();
+        reloaded.check_invariants();
+        prop_assert_eq!(store_contents(&reloaded), model);
+        // Canonical: serializing again yields identical bytes.
+        prop_assert_eq!(reloaded.to_xml(), store.to_xml());
+    }
+
+    /// undo_to(rev) restores exactly the contents at rev.
+    #[test]
+    fn undo_restores_snapshot(
+        before in proptest::collection::vec(op_strategy(), 0..40),
+        after in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let mut store = TripleStore::new();
+        let mut model = BTreeSet::new();
+        for op in &before {
+            apply(&mut store, &mut model, op);
+        }
+        let rev = store.revision();
+        let snapshot = store_contents(&store);
+        let mut ignored = model.clone();
+        for op in &after {
+            apply(&mut store, &mut ignored, op);
+        }
+        store.undo_to(rev).unwrap();
+        store.check_invariants();
+        prop_assert_eq!(store_contents(&store), snapshot);
+        prop_assert_eq!(store.revision(), rev);
+    }
+
+    /// A reachability view contains a triple iff its subject is reachable
+    /// from the root by resource edges (checked against a model BFS).
+    #[test]
+    fn view_matches_model_reachability(ops in proptest::collection::vec(op_strategy(), 0..80), root in 0..SUBJECTS.len()) {
+        let mut store = TripleStore::new();
+        let mut model = BTreeSet::new();
+        for op in &ops {
+            apply(&mut store, &mut model, op);
+        }
+        let root_name = SUBJECTS[root];
+        let root_atom = store.atom(root_name);
+        // Model BFS over the string model.
+        let mut reach: BTreeSet<String> = BTreeSet::new();
+        let mut frontier = vec![root_name.to_string()];
+        reach.insert(root_name.to_string());
+        while let Some(cur) = frontier.pop() {
+            for (s, _, o, is_res) in &model {
+                if *s == cur && *is_res && reach.insert(o.clone()) {
+                    frontier.push(o.clone());
+                }
+            }
+        }
+        let expected: BTreeSet<ModelTriple> =
+            model.iter().filter(|(s, _, _, _)| reach.contains(s)).cloned().collect();
+        let view = store.view(root_atom);
+        let got: BTreeSet<ModelTriple> = view
+            .triples
+            .iter()
+            .map(|t| {
+                (
+                    store.resolve(t.subject).to_string(),
+                    store.resolve(t.property).to_string(),
+                    store.value_text(t.object).to_string(),
+                    t.object.is_resource(),
+                )
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

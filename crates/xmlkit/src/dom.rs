@@ -1,0 +1,372 @@
+//! The document object model: owned trees of elements and mixed content.
+//!
+//! The DOM is deliberately a plain owned tree (`Element` owns its child
+//! `Node`s) rather than an arena or `Rc` graph: documents in this system
+//! are read-mostly, sized in kilobytes-to-megabytes, and addressed by
+//! *paths* (see [`crate::xpath`]) rather than by long-lived node handles,
+//! so the simplest ownership story wins.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::write::XmlWriter;
+
+/// A single `name="value"` attribute. Order of attributes is preserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: String,
+    pub value: String,
+}
+
+/// A node in mixed content: child element, character data, CDATA, comment,
+/// or processing instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    Element(Element),
+    /// Character data with entities already resolved.
+    Text(String),
+    /// A CDATA section; content is verbatim.
+    CData(String),
+    Comment(String),
+    /// Processing instruction: target and (possibly empty) data.
+    ProcessingInstruction { target: String, data: String },
+}
+
+impl Node {
+    /// The contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the contained element, if this node is one.
+    pub fn as_element_mut(&mut self) -> Option<&mut Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The textual content this node contributes to its parent's text.
+    pub fn text_content(&self) -> &str {
+        match self {
+            Node::Text(s) | Node::CData(s) => s,
+            _ => "",
+        }
+    }
+}
+
+/// An XML element: a name, ordered attributes, and ordered mixed content.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    pub name: String,
+    pub attributes: Vec<Attribute>,
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an empty element with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder-style: add or replace an attribute and return `self`.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Builder-style: append a child element and return `self`.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style: append character data and return `self`.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|a| a.name == name).map(|a| a.value.as_str())
+    }
+
+    /// Set an attribute, replacing any existing value for `name`.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        match self.attributes.iter_mut().find(|a| a.name == name) {
+            Some(a) => a.value = value,
+            None => self.attributes.push(Attribute { name, value }),
+        }
+    }
+
+    /// Remove an attribute; returns its previous value if present.
+    pub fn remove_attr(&mut self, name: &str) -> Option<String> {
+        let idx = self.attributes.iter().position(|a| a.name == name)?;
+        Some(self.attributes.remove(idx).value)
+    }
+
+    /// Append a child element.
+    pub fn push_element(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Append character data.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// Iterate over child *elements* only (skipping text, comments, PIs).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Mutable iterator over child elements only.
+    pub fn elements_mut(&mut self) -> impl Iterator<Item = &mut Element> {
+        self.children.iter_mut().filter_map(Node::as_element_mut)
+    }
+
+    /// The first child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Mutable access to the first child element with the given name.
+    pub fn child_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.elements_mut().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given name, in document order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// Concatenated character data of *direct* children (text and CDATA).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            out.push_str(c.text_content());
+        }
+        out
+    }
+
+    /// Concatenated character data of this element's whole subtree.
+    pub fn deep_text(&self) -> String {
+        let mut out = String::new();
+        self.collect_deep_text(&mut out);
+        out
+    }
+
+    fn collect_deep_text(&self, out: &mut String) {
+        for c in &self.children {
+            match c {
+                Node::Element(e) => e.collect_deep_text(out),
+                Node::Text(s) | Node::CData(s) => out.push_str(s),
+                _ => {}
+            }
+        }
+    }
+
+    /// Number of elements in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.elements().map(Element::subtree_size).sum::<usize>()
+    }
+
+    /// Depth-first pre-order walk over all elements in the subtree,
+    /// including `self`, invoking `f` with each element and its depth.
+    pub fn walk(&self, f: &mut impl FnMut(&Element, usize)) {
+        self.walk_at(0, f);
+    }
+
+    fn walk_at(&self, depth: usize, f: &mut impl FnMut(&Element, usize)) {
+        f(self, depth);
+        for e in self.elements() {
+            e.walk_at(depth + 1, f);
+        }
+    }
+
+    /// Serialize this element compactly (no added whitespace).
+    ///
+    /// The output round-trips: `parse(&e.to_xml()).unwrap().root == e`
+    /// modulo CDATA sections, which are written as escaped text.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation, one element per line.
+    ///
+    /// Pretty output inserts whitespace and therefore does *not* round-trip
+    /// for elements with mixed (text + element) content; use [`Self::to_xml`]
+    /// when fidelity matters.
+    pub fn to_xml_pretty(&self) -> String {
+        let mut w = XmlWriter::pretty();
+        w.element(self);
+        w.finish()
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for a in &self.attributes {
+            out.push(' ');
+            out.push_str(&a.name);
+            out.push_str("=\"");
+            out.push_str(&escape_attr(&a.value));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for c in &self.children {
+            match c {
+                Node::Element(e) => e.write_compact(out),
+                Node::Text(s) | Node::CData(s) => out.push_str(&escape_text(s)),
+                Node::Comment(s) => {
+                    out.push_str("<!--");
+                    out.push_str(s);
+                    out.push_str("-->");
+                }
+                Node::ProcessingInstruction { target, data } => {
+                    out.push_str("<?");
+                    out.push_str(target);
+                    if !data.is_empty() {
+                        out.push(' ');
+                        out.push_str(data);
+                    }
+                    out.push_str("?>");
+                }
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+/// A parsed document: optional prolog details plus the root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The single root element.
+    pub root: Element,
+    /// `version` from the XML declaration, if one was present.
+    pub declared_version: Option<String>,
+    /// `encoding` from the XML declaration, if one was present.
+    pub declared_encoding: Option<String>,
+}
+
+impl Document {
+    /// Wrap an element as a complete document with no declaration.
+    pub fn with_root(root: Element) -> Self {
+        Document { root, declared_version: None, declared_encoding: None }
+    }
+
+    /// Serialize the whole document with an XML declaration, compactly.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        self.root.write_compact(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("report")
+            .with_attr("id", "r1")
+            .with_child(Element::new("na").with_attr("unit", "mEq/L").with_text("140"))
+            .with_child(Element::new("k").with_text("4.1"))
+            .with_child(Element::new("k").with_text("4.3"))
+    }
+
+    #[test]
+    fn attr_lookup_and_replace() {
+        let mut e = sample();
+        assert_eq!(e.attr("id"), Some("r1"));
+        e.set_attr("id", "r2");
+        assert_eq!(e.attr("id"), Some("r2"));
+        assert_eq!(e.attributes.len(), 1, "set_attr must replace, not append");
+    }
+
+    #[test]
+    fn remove_attr_returns_old_value() {
+        let mut e = sample();
+        assert_eq!(e.remove_attr("id").as_deref(), Some("r1"));
+        assert_eq!(e.attr("id"), None);
+        assert_eq!(e.remove_attr("id"), None);
+    }
+
+    #[test]
+    fn child_selects_first_match_only() {
+        let e = sample();
+        assert_eq!(e.child("k").unwrap().text(), "4.1");
+        assert_eq!(e.children_named("k").count(), 2);
+        assert!(e.child("cl").is_none());
+    }
+
+    #[test]
+    fn text_concatenates_direct_children_only() {
+        let e = Element::new("p")
+            .with_text("a")
+            .with_child(Element::new("b").with_text("x"))
+            .with_text("c");
+        assert_eq!(e.text(), "ac");
+        assert_eq!(e.deep_text(), "axc");
+    }
+
+    #[test]
+    fn subtree_size_counts_all_elements() {
+        assert_eq!(sample().subtree_size(), 4);
+        assert_eq!(Element::new("lone").subtree_size(), 1);
+    }
+
+    #[test]
+    fn walk_visits_preorder_with_depth() {
+        let mut seen = Vec::new();
+        sample().walk(&mut |e, d| seen.push((e.name.clone(), d)));
+        assert_eq!(
+            seen,
+            vec![
+                ("report".into(), 0),
+                ("na".into(), 1),
+                ("k".into(), 1),
+                ("k".into(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_element_serializes_self_closing() {
+        assert_eq!(Element::new("br").to_xml(), "<br/>");
+    }
+
+    #[test]
+    fn serialization_escapes_attrs_and_text() {
+        let e = Element::new("a").with_attr("q", "x\"y").with_text("1 < 2");
+        assert_eq!(e.to_xml(), "<a q=\"x&quot;y\">1 &lt; 2</a>");
+    }
+
+    #[test]
+    fn document_to_xml_has_declaration() {
+        let d = Document::with_root(Element::new("r"));
+        assert!(d.to_xml().starts_with("<?xml version=\"1.0\""));
+        assert!(d.to_xml().ends_with("<r/>"));
+    }
+
+    #[test]
+    fn comment_and_pi_serialize() {
+        let mut e = Element::new("r");
+        e.children.push(Node::Comment(" note ".into()));
+        e.children
+            .push(Node::ProcessingInstruction { target: "app".into(), data: "v=1".into() });
+        assert_eq!(e.to_xml(), "<r><!-- note --><?app v=1?></r>");
+    }
+}

@@ -1,0 +1,102 @@
+//! Escaping and unescaping of XML character data and attribute values.
+//!
+//! Escaping allocates only when the input actually contains characters
+//! that need replacing; the common all-clean case is borrowed.
+
+use std::borrow::Cow;
+
+/// Escape `<`, `>`, and `&` for use in character data (element text).
+///
+/// `>` is not strictly required outside the `]]>` sequence but escaping it
+/// unconditionally keeps output unambiguous and matches common practice.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escape `<`, `>`, `&`, `"`, and `'` for use inside an attribute value.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, quotes: bool) -> Cow<'_, str> {
+    let needs = |c: char| matches!(c, '<' | '>' | '&') || (quotes && matches!(c, '"' | '\''));
+    let Some(first) = s.find(needs) else {
+        return Cow::Borrowed(s);
+    };
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    for c in s[first..].chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if quotes => out.push_str("&quot;"),
+            '\'' if quotes => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve a predefined entity name (without `&`/`;`) to its character.
+///
+/// Returns `None` for anything that is not one of the five XML predefined
+/// entities; numeric character references are handled by the parser.
+pub fn predefined_entity(name: &str) -> Option<char> {
+    Some(match name {
+        "lt" => '<',
+        "gt" => '>',
+        "amp" => '&',
+        "quot" => '"',
+        "apos" => '\'',
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_text_is_borrowed() {
+        let s = "no special characters";
+        assert!(matches!(escape_text(s), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr(s), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn text_escapes_angle_brackets_and_ampersand() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+    }
+
+    #[test]
+    fn text_does_not_escape_quotes() {
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#);
+    }
+
+    #[test]
+    fn attr_escapes_both_quote_kinds() {
+        assert_eq!(escape_attr(r#"a"b'c"#), "a&quot;b&apos;c");
+    }
+
+    #[test]
+    fn escape_preserves_prefix_before_first_special() {
+        assert_eq!(escape_text("prefix<"), "prefix&lt;");
+    }
+
+    #[test]
+    fn predefined_entities_resolve() {
+        assert_eq!(predefined_entity("lt"), Some('<'));
+        assert_eq!(predefined_entity("gt"), Some('>'));
+        assert_eq!(predefined_entity("amp"), Some('&'));
+        assert_eq!(predefined_entity("quot"), Some('"'));
+        assert_eq!(predefined_entity("apos"), Some('\''));
+        assert_eq!(predefined_entity("nbsp"), None);
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        assert_eq!(escape_text("Na⁺ 140 mEq/L"), "Na⁺ 140 mEq/L");
+        assert_eq!(escape_attr("κ<λ"), "κ&lt;λ");
+    }
+}

@@ -1,0 +1,48 @@
+//! `xmlkit` — a small, dependency-free XML toolkit.
+//!
+//! The SLIM architecture persists superimposed information "through XML
+//! files" (paper §4.4) and supports marks into XML documents (paper §3,
+//! Figure 8). Rather than pull in a heavyweight XML dependency, this crate
+//! provides exactly the XML capabilities the rest of the workspace needs:
+//!
+//! * a **DOM** ([`Document`], [`Element`], [`Node`]) with ordered
+//!   attributes and mixed content,
+//! * a tolerant, position-tracking **parser** ([`parse`]),
+//! * a **writer** with compact and pretty output ([`Element::to_xml`],
+//!   [`write::XmlWriter`]),
+//! * text/attribute **escaping** ([`escape`]),
+//! * an **XPath-lite** path language ([`xpath`]) used for fine-grained
+//!   element addressing by the XML mark type.
+//!
+//! The parser covers the subset of XML 1.0 that real documents in this
+//! system exercise: elements, attributes, character data, CDATA sections,
+//! comments, processing instructions, an optional XML declaration and
+//! DOCTYPE (skipped, not validated), and the five predefined entities plus
+//! decimal/hex character references.
+//!
+//! # Example
+//!
+//! ```
+//! use xmlkit::parse;
+//!
+//! let doc = parse("<labs patient='js'><na unit='mEq/L'>140</na></labs>").unwrap();
+//! assert_eq!(doc.root.name, "labs");
+//! assert_eq!(doc.root.attr("patient"), Some("js"));
+//! let na = doc.root.child("na").unwrap();
+//! assert_eq!(na.text(), "140");
+//! let round = xmlkit::parse(&doc.root.to_xml()).unwrap();
+//! assert_eq!(round.root, doc.root);
+//! ```
+
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod parser;
+pub mod write;
+pub mod xpath;
+
+pub use dom::{Attribute, Document, Element, Node};
+pub use error::{ParseError, Position};
+pub use parser::parse;
+pub use write::XmlWriter;
+pub use xpath::{XPath, XPathError, XPathStep};

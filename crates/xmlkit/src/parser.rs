@@ -1,0 +1,555 @@
+//! A recursive-descent XML parser with position tracking.
+//!
+//! The parser is strict about well-formedness (balanced tags, legal names,
+//! no duplicate attributes) but lenient about prolog constructs it does not
+//! need: the XML declaration is read for `version`/`encoding`, DOCTYPE is
+//! skipped without validation, and comments/PIs are preserved in the tree.
+
+use crate::dom::{Attribute, Document, Element, Node};
+use crate::error::{ParseError, ParseErrorKind, Position};
+use crate::escape::predefined_entity;
+
+/// Parse a complete XML document from a string.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pinpointing the first well-formedness
+/// violation.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let mut p = Parser::new(input);
+    p.document()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    /// Byte offset of the next unread character.
+    offset: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, offset: 0, line: 1, column: 1 }
+    }
+
+    fn position(&self) -> Position {
+        Position { line: self.line, column: self.column, offset: self.offset }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(kind, self.position())
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.offset..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: char, what: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.err(ParseErrorKind::UnexpectedChar { found: c, expected: what })),
+            None => Err(self.err(ParseErrorKind::UnexpectedEof { expected: what })),
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    // ---- grammar ---------------------------------------------------------
+
+    fn document(&mut self) -> Result<Document, ParseError> {
+        let (version, encoding) = self.prolog()?;
+        self.skip_misc()?;
+        if self.peek().is_none() {
+            return Err(self.err(ParseErrorKind::NoRootElement));
+        }
+        let root = self.element()?;
+        self.skip_misc()?;
+        if self.peek().is_some() {
+            return Err(self.err(ParseErrorKind::TrailingContent));
+        }
+        Ok(Document { root, declared_version: version, declared_encoding: encoding })
+    }
+
+    /// Optional XML declaration; returns (version, encoding).
+    fn prolog(&mut self) -> Result<(Option<String>, Option<String>), ParseError> {
+        self.skip_whitespace();
+        if !self.eat_str("<?xml") {
+            return Ok((None, None));
+        }
+        let mut version = None;
+        let mut encoding = None;
+        loop {
+            self.skip_whitespace();
+            if self.eat_str("?>") {
+                break;
+            }
+            if self.peek().is_none() {
+                return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "?>" }));
+            }
+            let name = self.name()?;
+            self.skip_whitespace();
+            self.expect('=', "'=' in XML declaration")?;
+            self.skip_whitespace();
+            let value = self.quoted_value()?;
+            match name.as_str() {
+                "version" => version = Some(value),
+                "encoding" => encoding = Some(value),
+                _ => {} // standalone and unknown pseudo-attrs: ignore
+            }
+        }
+        Ok((version, encoding))
+    }
+
+    /// Skip whitespace, comments, PIs, and DOCTYPE between markup at the
+    /// document level.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_whitespace();
+            if self.rest().starts_with("<!--") {
+                self.comment()?;
+            } else if self.rest().starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.rest().starts_with("<?") {
+                self.processing_instruction()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        // Consume up to the matching '>', tracking nested '[' ... ']' for
+        // an internal subset. Not validated — the SLIM system never relies
+        // on DTDs.
+        let consumed = self.eat_str("<!DOCTYPE");
+        debug_assert!(consumed, "skip_doctype called off-position");
+        let mut bracket_depth = 0usize;
+        loop {
+            match self.bump() {
+                Some('[') => bracket_depth += 1,
+                Some(']') => bracket_depth = bracket_depth.saturating_sub(1),
+                Some('>') if bracket_depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "'>' closing DOCTYPE" })),
+            }
+        }
+    }
+
+    fn element(&mut self) -> Result<Element, ParseError> {
+        self.expect('<', "'<' starting element")?;
+        let name = self.name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('/') => {
+                    self.bump();
+                    self.expect('>', "'>' after '/'")?;
+                    return Ok(Element { name, attributes, children: Vec::new() });
+                }
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.name()?;
+                    if attributes.iter().any(|a| a.name == attr_name) {
+                        return Err(self.err(ParseErrorKind::DuplicateAttribute { name: attr_name }));
+                    }
+                    self.skip_whitespace();
+                    self.expect('=', "'=' after attribute name")?;
+                    self.skip_whitespace();
+                    let value = self.quoted_value()?;
+                    attributes.push(Attribute { name: attr_name, value });
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "'>' closing start tag" })),
+            }
+        }
+        let children = self.content(&name)?;
+        Ok(Element { name, attributes, children })
+    }
+
+    /// Parse mixed content until the matching close tag for `open_name`,
+    /// consuming the close tag.
+    fn content(&mut self, open_name: &str) -> Result<Vec<Node>, ParseError> {
+        let mut children = Vec::new();
+        let mut text = String::new();
+        macro_rules! flush_text {
+            () => {
+                if !text.is_empty() {
+                    children.push(Node::Text(std::mem::take(&mut text)));
+                }
+            };
+        }
+        loop {
+            if self.rest().starts_with("</") {
+                flush_text!();
+                self.bump();
+                self.bump();
+                let close = self.name()?;
+                if close != open_name {
+                    return Err(self.err(ParseErrorKind::MismatchedCloseTag {
+                        open: open_name.to_string(),
+                        close,
+                    }));
+                }
+                self.skip_whitespace();
+                self.expect('>', "'>' closing end tag")?;
+                return Ok(children);
+            } else if self.rest().starts_with("<!--") {
+                flush_text!();
+                children.push(Node::Comment(self.comment()?));
+            } else if self.rest().starts_with("<![CDATA[") {
+                // CDATA merges into surrounding text for `text()` purposes
+                // but is preserved as its own node.
+                flush_text!();
+                children.push(Node::CData(self.cdata()?));
+            } else if self.rest().starts_with("<?") {
+                flush_text!();
+                children.push(self.processing_instruction()?);
+            } else {
+                match self.peek() {
+                    Some('<') => {
+                        flush_text!();
+                        children.push(Node::Element(self.element()?));
+                    }
+                    Some('&') => text.push(self.reference()?),
+                    Some(_) => text.push(self.bump().unwrap()),
+                    None => {
+                        return Err(self.err(ParseErrorKind::UnexpectedEof {
+                            expected: "close tag",
+                        }))
+                    }
+                }
+            }
+        }
+    }
+
+    fn comment(&mut self) -> Result<String, ParseError> {
+        let consumed = self.eat_str("<!--");
+        debug_assert!(consumed, "comment called off-position");
+        let start = self.offset;
+        loop {
+            if self.rest().starts_with("-->") {
+                let body = self.input[start..self.offset].to_string();
+                self.eat_str("-->");
+                return Ok(body);
+            }
+            if self.bump().is_none() {
+                return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "'-->'" }));
+            }
+        }
+    }
+
+    fn cdata(&mut self) -> Result<String, ParseError> {
+        let consumed = self.eat_str("<![CDATA[");
+        debug_assert!(consumed, "cdata called off-position");
+        let start = self.offset;
+        loop {
+            if self.rest().starts_with("]]>") {
+                let body = self.input[start..self.offset].to_string();
+                self.eat_str("]]>");
+                return Ok(body);
+            }
+            if self.bump().is_none() {
+                return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "']]>'" }));
+            }
+        }
+    }
+
+    fn processing_instruction(&mut self) -> Result<Node, ParseError> {
+        let consumed = self.eat_str("<?");
+        debug_assert!(consumed, "processing_instruction called off-position");
+        let target = self.name()?;
+        self.skip_whitespace();
+        let start = self.offset;
+        loop {
+            if self.rest().starts_with("?>") {
+                let data = self.input[start..self.offset].to_string();
+                self.eat_str("?>");
+                return Ok(Node::ProcessingInstruction { target, data });
+            }
+            if self.bump().is_none() {
+                return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "'?>'" }));
+            }
+        }
+    }
+
+    /// `&name;`, `&#NN;`, or `&#xHH;` — returns the denoted character.
+    fn reference(&mut self) -> Result<char, ParseError> {
+        let consumed = self.eat('&');
+        debug_assert!(consumed, "reference called off-position");
+        let start = self.offset;
+        while let Some(c) = self.peek() {
+            if c == ';' {
+                let body = &self.input[start..self.offset];
+                self.bump();
+                return resolve_reference(body)
+                    .ok_or_else(|| self.err(classify_bad_reference(body)));
+            }
+            if !c.is_ascii_alphanumeric() && c != '#' && c != 'x' {
+                break;
+            }
+            self.bump();
+        }
+        Err(self.err(ParseErrorKind::UnknownEntity {
+            entity: self.input[start..self.offset].to_string(),
+        }))
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.offset;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => {
+                let found: String = self.rest().chars().take(8).collect();
+                return Err(self.err(ParseErrorKind::InvalidName { found }));
+            }
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.offset].to_string())
+    }
+
+    fn quoted_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.bump();
+                q
+            }
+            Some(c) => {
+                return Err(self.err(ParseErrorKind::UnexpectedChar {
+                    found: c,
+                    expected: "quoted attribute value",
+                }))
+            }
+            None => {
+                return Err(self.err(ParseErrorKind::UnexpectedEof {
+                    expected: "quoted attribute value",
+                }))
+            }
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(value);
+                }
+                Some('&') => value.push(self.reference()?),
+                Some(_) => value.push(self.bump().unwrap()),
+                None => {
+                    return Err(self.err(ParseErrorKind::UnexpectedEof {
+                        expected: "closing quote",
+                    }))
+                }
+            }
+        }
+    }
+}
+
+fn resolve_reference(body: &str) -> Option<char> {
+    if let Some(num) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+        let code = u32::from_str_radix(num, 16).ok()?;
+        char::from_u32(code)
+    } else if let Some(num) = body.strip_prefix('#') {
+        let code: u32 = num.parse().ok()?;
+        char::from_u32(code)
+    } else {
+        predefined_entity(body)
+    }
+}
+
+fn classify_bad_reference(body: &str) -> ParseErrorKind {
+    if let Some(num) = body.strip_prefix('#') {
+        ParseErrorKind::InvalidCharRef { reference: num.to_string() }
+    } else {
+        ParseErrorKind::UnknownEntity { entity: body.to_string() }
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ParseErrorKind;
+
+    #[test]
+    fn minimal_document() {
+        let d = parse("<r/>").unwrap();
+        assert_eq!(d.root, Element::new("r"));
+        assert_eq!(d.declared_version, None);
+    }
+
+    #[test]
+    fn declaration_is_read() {
+        let d = parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>").unwrap();
+        assert_eq!(d.declared_version.as_deref(), Some("1.0"));
+        assert_eq!(d.declared_encoding.as_deref(), Some("UTF-8"));
+    }
+
+    #[test]
+    fn nested_elements_and_attributes() {
+        let d = parse(r#"<a x="1"><b y='2'>hi</b><c/></a>"#).unwrap();
+        assert_eq!(d.root.attr("x"), Some("1"));
+        assert_eq!(d.root.child("b").unwrap().text(), "hi");
+        assert_eq!(d.root.child("b").unwrap().attr("y"), Some("2"));
+        assert!(d.root.child("c").unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn entities_resolve_in_text_and_attrs() {
+        let d = parse(r#"<a t="&lt;&amp;&quot;">&gt;&apos;&#65;&#x42;</a>"#).unwrap();
+        assert_eq!(d.root.attr("t"), Some("<&\""));
+        assert_eq!(d.root.text(), ">'AB");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let e = parse("<a>&nbsp;</a>").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UnknownEntity { ref entity } if entity == "nbsp"));
+    }
+
+    #[test]
+    fn invalid_char_ref_is_an_error() {
+        let e = parse("<a>&#x110000;</a>").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::InvalidCharRef { .. }));
+    }
+
+    #[test]
+    fn mismatched_close_tag_reports_both_names() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(
+            matches!(e.kind, ParseErrorKind::MismatchedCloseTag { ref open, ref close }
+                if open == "b" && close == "a")
+        );
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let e = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::DuplicateAttribute { ref name } if name == "x"));
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let e = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let e = parse("   ").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn comments_and_pis_preserved() {
+        let d = parse("<a><!-- c --><?app data?>x</a>").unwrap();
+        assert_eq!(d.root.children.len(), 3);
+        assert!(matches!(d.root.children[0], Node::Comment(ref s) if s == " c "));
+        assert!(matches!(
+            d.root.children[1],
+            Node::ProcessingInstruction { ref target, ref data } if target == "app" && data == "data"
+        ));
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let d = parse("<a><![CDATA[1 < 2 & 3]]></a>").unwrap();
+        assert!(matches!(d.root.children[0], Node::CData(ref s) if s == "1 < 2 & 3"));
+        assert_eq!(d.root.text(), "1 < 2 & 3");
+    }
+
+    #[test]
+    fn doctype_skipped_including_internal_subset() {
+        let d = parse("<!DOCTYPE r [ <!ELEMENT r EMPTY> ]><r/>").unwrap();
+        assert_eq!(d.root.name, "r");
+    }
+
+    #[test]
+    fn error_positions_track_lines() {
+        let e = parse("<a>\n  <b></c>\n</a>").unwrap_err();
+        assert_eq!(e.position.line, 2);
+    }
+
+    #[test]
+    fn whitespace_between_text_kept() {
+        let d = parse("<a>  two  words  </a>").unwrap();
+        assert_eq!(d.root.text(), "  two  words  ");
+    }
+
+    #[test]
+    fn close_tag_allows_trailing_whitespace() {
+        let d = parse("<a></a  >").unwrap();
+        assert_eq!(d.root.name, "a");
+    }
+
+    #[test]
+    fn names_with_colon_dash_dot_digits() {
+        let d = parse("<ns:a-b.c1/>").unwrap();
+        assert_eq!(d.root.name, "ns:a-b.c1");
+    }
+
+    #[test]
+    fn compact_serialization_roundtrips() {
+        let src = r#"<pad name="Rounds"><bundle n="John &amp; Smith"><scrap pos="3,4">Na 140</scrap></bundle></pad>"#;
+        let d = parse(src).unwrap();
+        let d2 = parse(&d.root.to_xml()).unwrap();
+        assert_eq!(d.root, d2.root);
+    }
+}

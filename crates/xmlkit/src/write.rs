@@ -1,0 +1,267 @@
+//! Streaming XML writer with pretty-printing.
+//!
+//! [`XmlWriter`] serves two callers: TRIM persistence, which emits
+//! element streams without first building a DOM, and [`Element`] trees
+//! being pretty-printed for humans.
+
+use crate::dom::{Element, Node};
+use crate::escape::{escape_attr, escape_text};
+
+/// A streaming writer producing either compact or indented XML text.
+#[derive(Debug)]
+pub struct XmlWriter {
+    out: String,
+    /// Stack of open element names.
+    open: Vec<String>,
+    /// Whether the current open element has had its `>` written.
+    tag_open: bool,
+    /// `Some(indent_unit)` for pretty mode.
+    indent: Option<&'static str>,
+    /// Pretty mode: whether the last thing written was character data
+    /// (suppresses the newline before the close tag).
+    inline_content: bool,
+}
+
+impl XmlWriter {
+    /// A writer producing compact output (no inserted whitespace).
+    pub fn compact() -> Self {
+        XmlWriter { out: String::new(), open: Vec::new(), tag_open: false, indent: None, inline_content: false }
+    }
+
+    /// A writer producing two-space-indented output.
+    pub fn pretty() -> Self {
+        XmlWriter { out: String::new(), open: Vec::new(), tag_open: false, indent: Some("  "), inline_content: false }
+    }
+
+    /// Write the standard `<?xml ...?>` declaration. Call first.
+    pub fn declaration(&mut self) {
+        self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if self.indent.is_some() {
+            self.out.push('\n');
+        }
+    }
+
+    fn close_pending_tag(&mut self) {
+        if self.tag_open {
+            self.out.push('>');
+            self.tag_open = false;
+        }
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        if let Some(unit) = self.indent {
+            if !self.out.is_empty() && !self.out.ends_with('\n') {
+                self.out.push('\n');
+            }
+            for _ in 0..depth {
+                self.out.push_str(unit);
+            }
+        }
+    }
+
+    /// Open an element: `<name`. Attributes may follow until content or
+    /// close.
+    pub fn start(&mut self, name: &str) {
+        self.close_pending_tag();
+        self.newline_indent(self.open.len());
+        self.out.push('<');
+        self.out.push_str(name);
+        self.open.push(name.to_string());
+        self.tag_open = true;
+        self.inline_content = false;
+    }
+
+    /// Add an attribute to the element just started.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when no start tag is open for attributes — that is
+    /// a caller sequencing bug, not a data error.
+    pub fn attr(&mut self, name: &str, value: &str) {
+        assert!(self.tag_open, "attr() must follow start() before any content");
+        self.out.push(' ');
+        self.out.push_str(name);
+        self.out.push_str("=\"");
+        self.out.push_str(&escape_attr(value));
+        self.out.push('"');
+    }
+
+    /// Write escaped character data inside the current element.
+    pub fn text(&mut self, text: &str) {
+        self.close_pending_tag();
+        self.out.push_str(&escape_text(text));
+        self.inline_content = true;
+    }
+
+    /// Close the most recently opened element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no open element.
+    pub fn end(&mut self) {
+        let name = self.open.pop().expect("end() with no open element");
+        if self.tag_open {
+            self.out.push_str("/>");
+            self.tag_open = false;
+        } else {
+            if !self.inline_content {
+                self.newline_indent(self.open.len());
+            }
+            self.out.push_str("</");
+            self.out.push_str(&name);
+            self.out.push('>');
+        }
+        self.inline_content = false;
+    }
+
+    /// Convenience: `<name>text</name>` as one call.
+    pub fn leaf(&mut self, name: &str, text: &str) {
+        self.start(name);
+        self.text(text);
+        self.end();
+    }
+
+    /// Write a whole [`Element`] tree through this writer.
+    pub fn element(&mut self, e: &Element) {
+        self.start(&e.name);
+        for a in &e.attributes {
+            self.attr(&a.name, &a.value);
+        }
+        for child in &e.children {
+            match child {
+                Node::Element(c) => self.element(c),
+                Node::Text(s) | Node::CData(s) => {
+                    // Skip pure-indentation text in pretty mode so reparsed
+                    // pretty output is not polluted with formatting runs.
+                    if self.indent.is_none() || !s.trim().is_empty() {
+                        self.text(s);
+                    }
+                }
+                Node::Comment(s) => {
+                    self.close_pending_tag();
+                    self.newline_indent(self.open.len());
+                    self.out.push_str("<!--");
+                    self.out.push_str(s);
+                    self.out.push_str("-->");
+                }
+                Node::ProcessingInstruction { target, data } => {
+                    self.close_pending_tag();
+                    self.newline_indent(self.open.len());
+                    self.out.push_str("<?");
+                    self.out.push_str(target);
+                    if !data.is_empty() {
+                        self.out.push(' ');
+                        self.out.push_str(data);
+                    }
+                    self.out.push_str("?>");
+                }
+            }
+        }
+        self.end();
+    }
+
+    /// Finish writing and return the document text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is still open — callers must balance
+    /// `start`/`end`.
+    pub fn finish(mut self) -> String {
+        assert!(self.open.is_empty(), "finish() with {} unclosed element(s)", self.open.len());
+        if self.indent.is_some() && !self.out.ends_with('\n') {
+            self.out.push('\n');
+        }
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_stream_builds_expected_text() {
+        let mut w = XmlWriter::compact();
+        w.start("pad");
+        w.attr("name", "Rounds");
+        w.start("bundle");
+        w.attr("n", "John");
+        w.leaf("scrap", "Na 140");
+        w.end();
+        w.end();
+        assert_eq!(w.finish(), r#"<pad name="Rounds"><bundle n="John"><scrap>Na 140</scrap></bundle></pad>"#);
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let mut w = XmlWriter::compact();
+        w.start("r");
+        w.end();
+        assert_eq!(w.finish(), "<r/>");
+    }
+
+    #[test]
+    fn pretty_indents_nested_elements() {
+        let mut w = XmlWriter::pretty();
+        w.start("a");
+        w.start("b");
+        w.leaf("c", "x");
+        w.end();
+        w.end();
+        let text = w.finish();
+        assert_eq!(text, "<a>\n  <b>\n    <c>x</c>\n  </b>\n</a>\n");
+    }
+
+    #[test]
+    fn pretty_output_reparses_to_same_structure() {
+        let src = r#"<a x="1"><b><c>text</c><d/></b></a>"#;
+        let doc = parse(src).unwrap();
+        let mut w = XmlWriter::pretty();
+        w.element(&doc.root);
+        let pretty = w.finish();
+        let reparsed = parse(&pretty).unwrap();
+        // Structure check: element names, attributes, and text survive.
+        assert_eq!(reparsed.root.name, "a");
+        assert_eq!(reparsed.root.attr("x"), Some("1"));
+        let b = reparsed.root.child("b").unwrap();
+        assert_eq!(b.child("c").unwrap().text(), "text");
+        assert!(b.child("d").is_some());
+    }
+
+    #[test]
+    fn declaration_written_first() {
+        let mut w = XmlWriter::compact();
+        w.declaration();
+        w.start("r");
+        w.end();
+        assert_eq!(w.finish(), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut w = XmlWriter::compact();
+        w.start("r");
+        w.attr("a", "x<y");
+        w.text("1 & 2");
+        w.end();
+        assert_eq!(w.finish(), "<r a=\"x&lt;y\">1 &amp; 2</r>");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_panics_on_unbalanced() {
+        let mut w = XmlWriter::compact();
+        w.start("r");
+        let _ = w.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "attr() must follow start()")]
+    fn attr_after_content_panics() {
+        let mut w = XmlWriter::compact();
+        w.start("r");
+        w.text("x");
+        w.attr("a", "b");
+    }
+}

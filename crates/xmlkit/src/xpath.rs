@@ -1,0 +1,416 @@
+//! XPath-lite: the element-addressing language used by XML marks.
+//!
+//! The paper's XML mark stores a `fileName` and an `xmlPath` (Figure 8).
+//! This module defines that path language: an absolute, child-axis-only
+//! subset of XPath sufficient to address any element in a document
+//! unambiguously:
+//!
+//! ```text
+//! /report/panel[2]/na          name steps with optional 1-based ordinals
+//! /report/*[3]                 wildcard step (any element name)
+//! /report/na[@unit='mEq/L']    attribute-equality predicate
+//! ```
+//!
+//! Ordinals count among *same-named* siblings (standard XPath semantics),
+//! so `/a/b[2]` is the second `<b>` child of the root `<a>`. A step with
+//! no ordinal means `[1]` for resolution purposes, but [`XPath::of`]
+//! always emits explicit ordinals when needed for uniqueness.
+//!
+//! The canonical-path invariant, tested here and property-tested in the
+//! crate: for every element `e` in a document, `XPath::of(doc, e_indices)`
+//! resolves back to exactly `e`.
+
+use crate::dom::{Document, Element};
+use std::fmt;
+
+/// One step of an [`XPath`]: a name test, an optional 1-based ordinal, and
+/// an optional attribute-equality predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathStep {
+    /// Element name to match, or `None` for the `*` wildcard.
+    pub name: Option<String>,
+    /// 1-based position among matching siblings; `None` means first.
+    pub ordinal: Option<usize>,
+    /// `Some((attr, value))` for an `[@attr='value']` predicate.
+    pub predicate: Option<(String, String)>,
+}
+
+impl XPathStep {
+    /// A step matching the first child element named `name`.
+    pub fn named(name: impl Into<String>) -> Self {
+        XPathStep { name: Some(name.into()), ordinal: None, predicate: None }
+    }
+
+    /// A step matching the `n`-th (1-based) child element named `name`.
+    pub fn nth(name: impl Into<String>, n: usize) -> Self {
+        XPathStep { name: Some(name.into()), ordinal: Some(n), predicate: None }
+    }
+
+    fn matches(&self, e: &Element) -> bool {
+        if let Some(name) = &self.name {
+            if &e.name != name {
+                return false;
+            }
+        }
+        if let Some((attr, value)) = &self.predicate {
+            if e.attr(attr) != Some(value.as_str()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for XPathStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "{n}")?,
+            None => write!(f, "*")?,
+        }
+        if let Some((attr, value)) = &self.predicate {
+            write!(f, "[@{attr}='{value}']")?;
+        }
+        if let Some(n) = self.ordinal {
+            write!(f, "[{n}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// An absolute path addressing one element of a document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XPath {
+    /// Steps from the root. The first step must match the root element
+    /// itself; an empty path is invalid.
+    pub steps: Vec<XPathStep>,
+}
+
+/// Errors from parsing or resolving an [`XPath`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XPathError {
+    /// Path text that does not conform to the grammar.
+    Syntax { at: usize, message: String },
+    /// The path is empty.
+    Empty,
+    /// The first step does not match the document root.
+    RootMismatch { expected: String, found: String },
+    /// A step matched no element.
+    NoMatch { step_index: usize, step: String },
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XPathError::Syntax { at, message } => {
+                write!(f, "xpath syntax error at byte {at}: {message}")
+            }
+            XPathError::Empty => write!(f, "empty xpath"),
+            XPathError::RootMismatch { expected, found } => {
+                write!(f, "xpath root step {expected:?} does not match document root {found:?}")
+            }
+            XPathError::NoMatch { step_index, step } => {
+                write!(f, "xpath step #{step_index} ({step}) matched no element")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+impl XPath {
+    /// Parse a path of the form `/step/step/...`.
+    pub fn parse(text: &str) -> Result<Self, XPathError> {
+        let text = text.trim();
+        if text.is_empty() || text == "/" {
+            return Err(XPathError::Empty);
+        }
+        let Some(body) = text.strip_prefix('/') else {
+            return Err(XPathError::Syntax { at: 0, message: "path must be absolute (start with '/')".into() });
+        };
+        let mut steps = Vec::new();
+        let mut offset = 1usize;
+        for raw in body.split('/') {
+            if raw.is_empty() {
+                return Err(XPathError::Syntax { at: offset, message: "empty step ('//' not supported)".into() });
+            }
+            steps.push(parse_step(raw, offset)?);
+            offset += raw.len() + 1;
+        }
+        Ok(XPath { steps })
+    }
+
+    /// The canonical path of the element reached from the document root by
+    /// the child-element index sequence `indices` (each entry an index
+    /// into [`Element::elements`]).
+    ///
+    /// Returns `None` if the index sequence walks off the tree.
+    pub fn of(doc: &Document, indices: &[usize]) -> Option<XPath> {
+        let mut steps = vec![canonical_step_for_root(&doc.root)];
+        let mut current = &doc.root;
+        for &i in indices {
+            let children: Vec<&Element> = current.elements().collect();
+            let child = children.get(i)?;
+            // Ordinal among same-named siblings, 1-based.
+            let ordinal = children[..i].iter().filter(|e| e.name == child.name).count() + 1;
+            let same_name_total = children.iter().filter(|e| e.name == child.name).count();
+            steps.push(XPathStep {
+                name: Some(child.name.clone()),
+                ordinal: if same_name_total > 1 { Some(ordinal) } else { None },
+                predicate: None,
+            });
+            current = child;
+        }
+        Some(XPath { steps })
+    }
+
+    /// Resolve this path against a document, returning the addressed
+    /// element.
+    pub fn resolve<'d>(&self, doc: &'d Document) -> Result<&'d Element, XPathError> {
+        let Some((root_step, rest)) = self.steps.split_first() else {
+            return Err(XPathError::Empty);
+        };
+        if !root_step.matches(&doc.root) || root_step.ordinal.unwrap_or(1) != 1 {
+            return Err(XPathError::RootMismatch {
+                expected: root_step.to_string(),
+                found: doc.root.name.clone(),
+            });
+        }
+        let mut current = &doc.root;
+        for (i, step) in rest.iter().enumerate() {
+            let want = step.ordinal.unwrap_or(1);
+            let found = current.elements().filter(|e| step.matches(e)).nth(want - 1);
+            match found {
+                Some(e) => current = e,
+                None => {
+                    return Err(XPathError::NoMatch { step_index: i + 1, step: step.to_string() })
+                }
+            }
+        }
+        Ok(current)
+    }
+}
+
+fn canonical_step_for_root(root: &Element) -> XPathStep {
+    XPathStep::named(root.name.clone())
+}
+
+fn parse_step(raw: &str, offset: usize) -> Result<XPathStep, XPathError> {
+    // Grammar: name ( '[@' attr '=' quoted ']' )? ( '[' digits ']' )?
+    // or '*' in place of name. Also accepts ordinal-before-predicate.
+    let bytes = raw.as_bytes();
+    let name_end = raw.find('[').unwrap_or(raw.len());
+    let name_text = &raw[..name_end];
+    if name_text.is_empty() {
+        return Err(XPathError::Syntax { at: offset, message: "step has no name".into() });
+    }
+    let name = if name_text == "*" {
+        None
+    } else {
+        if !name_text.chars().all(|c| c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')) {
+            return Err(XPathError::Syntax {
+                at: offset,
+                message: format!("invalid step name {name_text:?}"),
+            });
+        }
+        Some(name_text.to_string())
+    };
+    let mut i = name_end;
+    let mut ordinal = None;
+    let mut predicate = None;
+    while i < bytes.len() {
+        if bytes[i] != b'[' {
+            return Err(XPathError::Syntax {
+                at: offset + i,
+                message: format!("unexpected character {:?} after step", raw[i..].chars().next().unwrap()),
+            });
+        }
+        let close = raw[i..]
+            .find(']')
+            .ok_or_else(|| XPathError::Syntax { at: offset + i, message: "unterminated '['".into() })?
+            + i;
+        let body = &raw[i + 1..close];
+        if let Some(pred) = body.strip_prefix('@') {
+            let eq = pred.find('=').ok_or_else(|| XPathError::Syntax {
+                at: offset + i,
+                message: "attribute predicate needs '='".into(),
+            })?;
+            let attr = pred[..eq].to_string();
+            let value = pred[eq + 1..].trim();
+            let unquoted = value
+                .strip_prefix('\'')
+                .and_then(|v| v.strip_suffix('\''))
+                .or_else(|| value.strip_prefix('"').and_then(|v| v.strip_suffix('"')))
+                .ok_or_else(|| XPathError::Syntax {
+                    at: offset + i,
+                    message: "predicate value must be quoted".into(),
+                })?;
+            if predicate.replace((attr, unquoted.to_string())).is_some() {
+                return Err(XPathError::Syntax {
+                    at: offset + i,
+                    message: "at most one attribute predicate per step".into(),
+                });
+            }
+        } else {
+            let n: usize = body.parse().map_err(|_| XPathError::Syntax {
+                at: offset + i,
+                message: format!("ordinal must be a positive integer, got {body:?}"),
+            })?;
+            if n == 0 {
+                return Err(XPathError::Syntax {
+                    at: offset + i,
+                    message: "ordinals are 1-based; [0] is invalid".into(),
+                });
+            }
+            if ordinal.replace(n).is_some() {
+                return Err(XPathError::Syntax {
+                    at: offset + i,
+                    message: "at most one ordinal per step".into(),
+                });
+            }
+        }
+        i = close + 1;
+    }
+    Ok(XPathStep { name, ordinal, predicate })
+}
+
+impl fmt::Display for XPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            write!(f, "/{step}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse as parse_xml;
+
+    fn labs() -> Document {
+        parse_xml(
+            r#"<report>
+                 <panel kind="electrolytes">
+                   <na unit="mEq/L">140</na>
+                   <k>4.1</k>
+                   <k>4.3</k>
+                 </panel>
+                 <panel kind="cbc">
+                   <wbc>9.8</wbc>
+                 </panel>
+               </report>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for text in [
+            "/report/panel[2]/wbc",
+            "/report/panel[@kind='cbc']/wbc",
+            "/a/*[3]",
+            "/report",
+        ] {
+            let p = XPath::parse(text).unwrap();
+            assert_eq!(p.to_string(), text);
+            assert_eq!(XPath::parse(&p.to_string()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn resolve_name_steps() {
+        let doc = labs();
+        let e = XPath::parse("/report/panel/na").unwrap().resolve(&doc).unwrap();
+        assert_eq!(e.text(), "140");
+    }
+
+    #[test]
+    fn resolve_ordinals_count_same_named_siblings() {
+        let doc = labs();
+        let e = XPath::parse("/report/panel/k[2]").unwrap().resolve(&doc).unwrap();
+        assert_eq!(e.text(), "4.3");
+        let e = XPath::parse("/report/panel[2]/wbc").unwrap().resolve(&doc).unwrap();
+        assert_eq!(e.text(), "9.8");
+    }
+
+    #[test]
+    fn resolve_attribute_predicate() {
+        let doc = labs();
+        let e = XPath::parse("/report/panel[@kind='cbc']/wbc").unwrap().resolve(&doc).unwrap();
+        assert_eq!(e.text(), "9.8");
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let doc = labs();
+        let e = XPath::parse("/report/*[2]").unwrap().resolve(&doc).unwrap();
+        assert_eq!(e.attr("kind"), Some("cbc"));
+    }
+
+    #[test]
+    fn no_match_reports_step() {
+        let doc = labs();
+        let err = XPath::parse("/report/panel/cl").unwrap().resolve(&doc).unwrap_err();
+        assert!(matches!(err, XPathError::NoMatch { step_index: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn root_mismatch_detected() {
+        let doc = labs();
+        let err = XPath::parse("/labs/panel").unwrap().resolve(&doc).unwrap_err();
+        assert!(matches!(err, XPathError::RootMismatch { .. }));
+    }
+
+    #[test]
+    fn canonical_path_of_every_element_resolves_back() {
+        let doc = labs();
+        // Enumerate all index paths of depth <= 2 present in the tree.
+        let mut paths: Vec<Vec<usize>> = vec![vec![]];
+        for (i, child) in doc.root.elements().enumerate() {
+            paths.push(vec![i]);
+            for (j, _) in child.elements().enumerate() {
+                paths.push(vec![i, j]);
+            }
+        }
+        for idx in paths {
+            let xp = XPath::of(&doc, &idx).unwrap();
+            let resolved = xp.resolve(&doc).unwrap();
+            // Navigate manually to compare identity by structure.
+            let mut cur = &doc.root;
+            for &i in &idx {
+                cur = cur.elements().nth(i).unwrap();
+            }
+            assert_eq!(resolved, cur, "path {xp} for indices {idx:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_path_omits_ordinal_when_unambiguous() {
+        let doc = labs();
+        // panel index 0 -> na (only one na)
+        let xp = XPath::of(&doc, &[0, 0]).unwrap();
+        assert_eq!(xp.to_string(), "/report/panel[1]/na");
+        // the two k elements get ordinals
+        let xp = XPath::of(&doc, &[0, 2]).unwrap();
+        assert_eq!(xp.to_string(), "/report/panel[1]/k[2]");
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(matches!(XPath::parse(""), Err(XPathError::Empty)));
+        assert!(matches!(XPath::parse("/"), Err(XPathError::Empty)));
+        assert!(matches!(XPath::parse("relative/path"), Err(XPathError::Syntax { .. })));
+        assert!(matches!(XPath::parse("/a//b"), Err(XPathError::Syntax { .. })));
+        assert!(matches!(XPath::parse("/a[0]"), Err(XPathError::Syntax { .. })));
+        assert!(matches!(XPath::parse("/a[x]"), Err(XPathError::Syntax { .. })));
+        assert!(matches!(XPath::parse("/a[@k=v]"), Err(XPathError::Syntax { .. })));
+        assert!(matches!(XPath::parse("/a[1][2]"), Err(XPathError::Syntax { .. })));
+    }
+
+    #[test]
+    fn of_returns_none_for_bad_indices() {
+        let doc = labs();
+        assert!(XPath::of(&doc, &[9]).is_none());
+        assert!(XPath::of(&doc, &[0, 0, 0]).is_none());
+    }
+}

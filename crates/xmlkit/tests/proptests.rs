@@ -1,0 +1,118 @@
+//! Property tests for xmlkit: serialization round-trips and path
+//! canonicality over randomly generated documents.
+
+use proptest::prelude::*;
+use xmlkit::{parse, Document, Element, XPath};
+
+/// Strategy for XML names: short, legal, biased toward collisions so the
+/// ordinal logic in XPath gets exercised.
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("scrap".to_string()),
+        Just("ns:x".to_string()),
+        "[a-z][a-z0-9_.-]{0,6}".prop_map(|s| s),
+    ]
+}
+
+/// Arbitrary text content, including XML-special characters.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~αβ]{0,12}").unwrap()
+}
+
+fn attr_value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,10}").unwrap()
+}
+
+/// Recursively generated element trees.
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), text_strategy()).prop_map(|(name, text)| {
+        let mut e = Element::new(name);
+        if !text.is_empty() {
+            e.push_text(text);
+        }
+        e
+    });
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (an, av) in attrs {
+                    e.set_attr(an, av); // set_attr dedupes names
+                }
+                for c in children {
+                    e.push_element(c);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    /// Compact serialization followed by parsing is the identity on trees
+    /// built from elements, attributes, and text.
+    #[test]
+    fn write_parse_roundtrip(root in element_strategy()) {
+        let text = root.to_xml();
+        let doc = parse(&text).unwrap();
+        prop_assert_eq!(doc.root, root);
+    }
+
+    /// Escaping never loses information in attribute values.
+    #[test]
+    fn attr_value_roundtrip(value in "[ -~]{0,40}") {
+        let e = Element::new("e").with_attr("v", value.clone());
+        let doc = parse(&e.to_xml()).unwrap();
+        prop_assert_eq!(doc.root.attr("v"), Some(value.as_str()));
+    }
+
+    /// Every element of a random document is reachable by its canonical
+    /// XPath, and that path resolves to exactly that element.
+    #[test]
+    fn canonical_paths_resolve(root in element_strategy()) {
+        let doc = Document::with_root(root);
+        // enumerate all index paths by walking
+        fn collect(e: &Element, prefix: Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            out.push(prefix.clone());
+            for (i, c) in e.elements().enumerate() {
+                let mut p = prefix.clone();
+                p.push(i);
+                collect(c, p, out);
+            }
+        }
+        let mut paths = Vec::new();
+        collect(&doc.root, Vec::new(), &mut paths);
+        for idx in paths {
+            let xp = XPath::of(&doc, &idx).unwrap();
+            let resolved = xp.resolve(&doc).unwrap();
+            let mut cur = &doc.root;
+            for &i in &idx {
+                cur = cur.elements().nth(i).unwrap();
+            }
+            prop_assert_eq!(resolved, cur);
+        }
+    }
+
+    /// XPath display/parse round-trip.
+    #[test]
+    fn xpath_display_parse_roundtrip(root in element_strategy(), idx in proptest::collection::vec(0usize..4, 0..4)) {
+        let doc = Document::with_root(root);
+        // Trim idx to a valid prefix.
+        let mut valid = Vec::new();
+        let mut cur = &doc.root;
+        for &i in &idx {
+            let children: Vec<_> = cur.elements().collect();
+            if i >= children.len() { break; }
+            valid.push(i);
+            cur = children[i];
+        }
+        let xp = XPath::of(&doc, &valid).unwrap();
+        let reparsed = XPath::parse(&xp.to_string()).unwrap();
+        prop_assert_eq!(reparsed, xp);
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared web annotations — the related-work systems (ComMentor, Third
+//! Voice) rebuilt on the SLIM architecture.
+//!
+//! "In ComMentor, users can ask for specific types of annotations
+//! created within a time range and use the returned annotations to
+//! navigate the corresponding web pages." (paper §5) Third Voice
+//! "enhances web browsers by allowing the user to create and view
+//! annotations in the same browser window as the Web page" — the
+//! *enhanced base-layer viewing* style of Figure 6.
+//!
+//! Annotations here are bundles-of-one-scrap with typed annotation text,
+//! marks anchor into HTML pages, and queries run over the superimposed
+//! store by annotation type — showing that SLIMPad's model subsumes the
+//! annotation systems it is compared against.
+//!
+//! Run with: `cargo run --example annotations`
+
+use superimposed::slimpad::viewing::view_scrap;
+use superimposed::{DocKind, SuperimposedSystem, ViewingStyle};
+
+const GUIDELINE_PAGE: &str = r#"<html><head><title>CHF Guideline</title></head><body>
+<h1>Acute CHF Management</h1>
+<p id="diuresis">Initiate loop diuretic therapy promptly; <b>furosemide 40 mg IV</b> is a
+typical starting dose for diuretic-naive patients.</p>
+<p id="monitoring">Monitor serum potassium and renal function at least daily during
+intravenous diuresis.</p>
+<ul>
+  <li>Daily weights</li>
+  <li>Strict intake/output documentation</li>
+</ul>
+</body></html>"#;
+
+const FORMULARY_PAGE: &str = r#"<html><body>
+<h1>Formulary: Furosemide</h1>
+<p id="dosing">IV dosing: 20-80 mg; doses above 80 mg require attending approval.</p>
+</body></html>"#;
+
+/// The annotation types ComMentor-style queries filter on.
+const TYPES: &[&str] = &["question", "caution", "agree"];
+
+fn main() {
+    let mut sys = SuperimposedSystem::new("Shared Annotations").expect("system boots");
+    sys.html.borrow_mut().load("guide/chf.html", GUIDELINE_PAGE).unwrap();
+    sys.html.borrow_mut().load("formulary/furosemide.html", FORMULARY_PAGE).unwrap();
+
+    // Each (page-anchor, type, author, text) becomes a scrap whose mark
+    // anchors into the page, with the typed annotation attached.
+    let annotations: &[(&str, &str, &str, &str, &str)] = &[
+        ("guide/chf.html", "diuresis", "caution", "gorman",
+         "check last K before first dose"),
+        ("guide/chf.html", "monitoring", "agree", "ash",
+         "we do q12h in the unit, works well"),
+        ("guide/chf.html", "diuresis", "question", "lavelle",
+         "does this apply to dialysis patients?"),
+        ("formulary/furosemide.html", "dosing", "caution", "gorman",
+         "attending approval is slow on weekends — plan ahead"),
+    ];
+
+    let mut scraps = Vec::new();
+    for (i, (page, anchor, atype, author, text)) in annotations.iter().enumerate() {
+        sys.html.borrow_mut().select_anchor(page, anchor).unwrap();
+        let scrap = sys
+            .pad
+            .place_selection(
+                DocKind::Html,
+                Some(&format!("[{atype}] {author}")),
+                (40, 80 + 40 * i as i64),
+                None,
+            )
+            .unwrap();
+        sys.pad.dmi_mut().add_annotation(scrap, &format!("{atype}|{author}|{text}")).unwrap();
+        scraps.push(scrap);
+    }
+    println!("{} annotations shared on {} pages\n", scraps.len(), 2);
+
+    // ---- ComMentor-style query: "all cautions" ------------------------------
+    for wanted in TYPES {
+        let hits: Vec<_> = scraps
+            .iter()
+            .filter(|s| {
+                sys.pad
+                    .dmi()
+                    .annotations(**s)
+                    .unwrap()
+                    .iter()
+                    .any(|a| a.starts_with(&format!("{wanted}|")))
+            })
+            .collect();
+        println!("query type={wanted}: {} hit(s)", hits.len());
+        for s in hits {
+            let data = sys.pad.dmi().scrap(*s).unwrap();
+            let mark_id = sys.pad.dmi().mark_handle(data.marks[0]).unwrap().mark_id;
+            let mark = sys.pad.marks().get(&mark_id).unwrap();
+            println!("   {} @ {}", data.name, mark.address);
+        }
+    }
+
+    // ---- navigate from an annotation back into the page ---------------------
+    // (ComMentor: "use the returned annotations to navigate the
+    // corresponding web pages".)
+    println!("\n── resolving the first caution drives the browser to the anchor ──");
+    let res = sys.pad.activate(scraps[0]).unwrap();
+    println!("{}", res.display);
+
+    // ---- Third Voice: enhanced base-layer viewing -----------------------------
+    println!("── enhanced base-layer view (annotation inside the browser window) ──");
+    let screen = view_scrap(&mut sys.pad, scraps[0], ViewingStyle::EnhancedBase).unwrap();
+    println!("{screen}");
+
+    // ---- robustness: the page changes under the annotations --------------------
+    // Close and reload a *restructured* guideline page: the anchors keep
+    // the first two annotations live even though the layout changed.
+    sys.html.borrow_mut().close("guide/chf.html").unwrap();
+    sys.html
+        .borrow_mut()
+        .load(
+            "guide/chf.html",
+            r#"<html><body><h1>Acute CHF Management (rev 2)</h1>
+               <div><p id="monitoring">Monitor potassium twice daily.</p></div>
+               <p id="diuresis">Loop diuretics remain first line.</p></body></html>"#,
+        )
+        .unwrap();
+    let audit = sys.pad.marks().audit();
+    let live = audit.iter().filter(|a| a.live).count();
+    let drifted = audit.iter().filter(|a| a.drifted).count();
+    println!("after the page was rewritten: {live}/{} marks live, {drifted} drifted", audit.len());
+    for row in &audit {
+        let mark = sys.pad.marks().get(&row.mark_id).unwrap();
+        println!(
+            "  {} live={} drifted={} ({})",
+            row.mark_id, row.live, row.drifted, mark.address
+        );
+    }
+}

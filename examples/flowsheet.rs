@@ -1,0 +1,131 @@
+//! The ICU flowsheet of paper Figure 2 (upper left): "a more structured
+//! bundle called a flowsheet, where the status of an intensive-care
+//! patient is tracked over time."
+//!
+//! The flowsheet itself is a base document — a spreadsheet of vitals by
+//! hour, with summary formulas (MIN/MAX/MEDIAN/COUNTIF). The
+//! superimposed layer marks the *clinically significant* cells and
+//! bundles them for rounds: "The selection of bundle content itself adds
+//! value by excluding information that's not considered important to the
+//! current context" (paper §2).
+//!
+//! Run with: `cargo run --example flowsheet`
+
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::slimpad::render::render_pad;
+use superimposed::{DocKind, SuperimposedSystem};
+
+fn flowsheet_workbook() -> Workbook {
+    let mut wb = Workbook::new("flowsheet.xls");
+    let sheet = wb.sheet_mut("Sheet1").expect("default sheet");
+    // Hourly vitals: heart rate, mean arterial pressure, SpO2, urine out.
+    sheet
+        .import_csv(
+            "Hour,HR,MAP,SpO2,Urine mL\n\
+             06:00,92,71,97,40\n\
+             07:00,95,69,96,35\n\
+             08:00,101,64,95,20\n\
+             09:00,108,58,93,10\n\
+             10:00,112,55,92,5\n\
+             11:00,104,62,94,30\n",
+        )
+        .expect("well-formed flowsheet");
+    // Summary row: the formulas a charge nurse keeps at the bottom.
+    sheet.set_a1("A9", "summary").unwrap();
+    sheet.set_a1("B9", "=MAX(B2:B7)").unwrap(); // worst tachycardia
+    sheet.set_a1("C9", "=MIN(C2:C7)").unwrap(); // worst hypotension
+    sheet.set_a1("D9", "=MEDIAN(D2:D7)").unwrap();
+    sheet.set_a1("E9", "=SUM(E2:E7)").unwrap(); // total urine output
+    sheet.set_a1("A10", "hours MAP<60").unwrap();
+    sheet.set_a1("B10", "=COUNTIF(C2:C7, \"<60\")").unwrap();
+    wb.define_name("UrineTotal", "Sheet1", superimposed::basedocs::Range::parse("E9").unwrap())
+        .unwrap();
+    wb
+}
+
+fn main() {
+    let mut sys = SuperimposedSystem::new("Rounds: Bed 4").expect("system boots");
+    sys.excel.borrow_mut().open(flowsheet_workbook()).unwrap();
+
+    // The raw flowsheet, as the base application shows it.
+    println!("── the flowsheet (base document) ──");
+    {
+        let excel = sys.excel.borrow();
+        let wb = excel.workbook("flowsheet.xls").unwrap();
+        println!("{}", wb.sheet("Sheet1").unwrap().render(None));
+    }
+
+    // The clinician pulls only the significant cells onto the pad.
+    let trend = sys.pad.create_bundle("Shock trend?", (20, 60), 620, 500, None).unwrap();
+    let picks: &[(&str, &str, (i64, i64))] = &[
+        ("C5", "MAP 58 @09:00", (40, 120)),
+        ("C6", "MAP 55 @10:00", (40, 160)),
+        ("E5", "urine 10 @09:00", (300, 120)),
+        ("E6", "urine 5 @10:00", (300, 160)),
+        ("B10", "hrs MAP<60", (40, 240)),
+    ];
+    let mut scraps = Vec::new();
+    for (cell, label, pos) in picks {
+        sys.excel.borrow_mut().select("flowsheet.xls", "Sheet1", cell).unwrap();
+        scraps
+            .push(sys.pad.place_selection(DocKind::Spreadsheet, Some(label), *pos, Some(trend)).unwrap());
+    }
+    // The named-range mark: robust against row inserts as shifts happen.
+    sys.excel.borrow_mut().select_name("flowsheet.xls", "UrineTotal").unwrap();
+    let total =
+        sys.pad.place_selection(DocKind::Spreadsheet, Some("urine 6h total"), (300, 240), Some(trend)).unwrap();
+    sys.pad.dmi_mut().add_annotation(total, "goal ≥ 180 mL — NOT met").unwrap();
+    sys.pad.dmi_mut().link_scraps(scraps[1], scraps[3]).unwrap(); // MAP↓ with urine↓
+
+    println!("── the bundle (superimposed selection) ──");
+    println!("{}", render_pad(&sys.pad).unwrap());
+
+    // The juxtaposition carries meaning: two columns (MAP | urine) over
+    // two time rows — detected as implicit structure.
+    let grid = sys.pad.detect_gridlet(trend, 10).unwrap();
+    println!(
+        "implicit structure in the bundle: {} time-row(s), {} measure-column(s)",
+        grid.rows.len(),
+        grid.columns.len()
+    );
+
+    // Double-click the worst MAP: the flowsheet opens with the cell
+    // highlighted in context (trend visible above and below).
+    println!("\n── activating 'MAP 55 @10:00' ──");
+    println!("{}", sys.pad.activate(scraps[1]).unwrap().display);
+
+    // A missed 06:30 entry is inserted mid-table: ranges grow, formulas
+    // recompute, absolute-range marks drift.
+    {
+        let mut excel = sys.excel.borrow_mut();
+        let wb = excel.workbook_mut("flowsheet.xls").unwrap();
+        wb.insert_row("Sheet1", 2).unwrap();
+        let sheet = wb.sheet_mut("Sheet1").unwrap();
+        sheet.set_a1("A3", "06:30").unwrap();
+        sheet.set_a1("B3", "93").unwrap();
+        sheet.set_a1("C3", "70").unwrap();
+        sheet.set_a1("D3", "97").unwrap();
+        sheet.set_a1("E3", "25").unwrap();
+    }
+    let audit = sys.pad.marks().audit();
+    let drifted = audit.iter().filter(|a| a.drifted).count();
+    println!(
+        "after the 06:30 row was inserted: {}/{} absolute-range marks drifted \
+         (stale total mark now reads {:?})",
+        drifted,
+        audit.len(),
+        sys.pad.extract(total).unwrap()
+    );
+    // Formulas and named ranges moved *with* the data inside the
+    // workbook, so the pad heals by re-marking through the defined name.
+    sys.excel.borrow_mut().select_name("flowsheet.xls", "UrineTotal").unwrap();
+    let healed = sys
+        .pad
+        .marks_mut()
+        .create_mark(DocKind::Spreadsheet)
+        .expect("named range still resolves");
+    println!(
+        "re-marked via the defined name 'UrineTotal': total is {:?} (includes the 06:30 entry)",
+        sys.pad.marks().get(&healed).unwrap().excerpt
+    );
+}

@@ -1,0 +1,73 @@
+//! Weekend handoff with pad diffing — the paper's §6 target task plus
+//! the question every covering doctor asks: *what changed?*
+//!
+//! Friday's resident builds and saves the pad. Saturday's coverage
+//! updates it against the morning's data. The diff report shows exactly
+//! what moved — "sharing bundles to establish collectively maintained,
+//! situated awareness" (paper §2), made auditable.
+//!
+//! Run with: `cargo run --example handoff_diff`
+
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::slimpad::diff::diff_pads;
+use superimposed::slimpad::PadSession;
+use superimposed::{DocKind, SuperimposedSystem};
+
+fn hospital_system(k_value: &str) -> SuperimposedSystem {
+    let sys = SuperimposedSystem::new("scratch").unwrap();
+    let mut wb = Workbook::new("meds.xls");
+    wb.sheet_mut("Sheet1")
+        .unwrap()
+        .import_csv("Drug,Dose\nLasix,40\nKCl,20\n")
+        .unwrap();
+    sys.excel.borrow_mut().open(wb).unwrap();
+    sys.xml
+        .borrow_mut()
+        .open_text("labs.xml", &format!("<labs><k>{k_value}</k><cr>1.2</cr></labs>"))
+        .unwrap();
+    sys
+}
+
+fn main() {
+    // ---- Friday -------------------------------------------------------------
+    let mut sys = hospital_system("3.4");
+    let pad_handle = sys.pad.pad();
+    sys.pad.dmi_mut().update_pad_name(pad_handle, "Bed 4 Handoff").unwrap();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A2:B2").unwrap();
+    let lasix = sys.pad.place_selection(DocKind::Spreadsheet, Some("Lasix 40"), (40, 90), None).unwrap();
+    sys.xml.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+    let k = sys.pad.place_selection(DocKind::Xml, Some("K 3.4 LOW"), (40, 150), None).unwrap();
+    sys.pad.dmi_mut().add_annotation(k, "repleting; recheck Sat am").unwrap();
+    sys.pad.dmi_mut().link_scraps(k, lasix).unwrap();
+    let friday_file = sys.pad.save_xml();
+    println!("Friday pad saved ({} bytes)\n", friday_file.len());
+
+    // ---- Saturday -------------------------------------------------------------
+    // New morning: potassium normalized; the covering doctor updates.
+    let mut saturday = hospital_system("4.1");
+    saturday.reopen_pad(&friday_file).unwrap();
+    // The old pad, reopened read-only for comparison later.
+    let friday_pad =
+        PadSession::load_xml(&friday_file, saturday.fresh_manager().unwrap()).unwrap();
+
+    // Accept the overnight drift (the lab value changed under the mark),
+    // then record the morning's state.
+    let drift_accepted = saturday.pad.marks_mut().refresh_all_excerpts();
+    let k = saturday.pad.dmi().find_scraps("K 3.4 LOW").remove(0);
+    saturday.pad.dmi_mut().update_scrap_name(k, "K 4.1 ok").unwrap();
+    saturday.pad.dmi_mut().add_annotation(k, "normalized; stop repletion").unwrap();
+    saturday.excel.borrow_mut().select("meds.xls", "Sheet1", "A3:B3").unwrap();
+    saturday
+        .pad
+        .place_selection(DocKind::Spreadsheet, Some("KCl — stop today"), (40, 210), None)
+        .unwrap();
+    println!("Saturday: {} excerpt(s) refreshed to current base content", drift_accepted);
+
+    // ---- the diff report ---------------------------------------------------------
+    println!("\n══ changes since Friday ══");
+    for change in diff_pads(&friday_pad, &saturday.pad) {
+        println!("  {change}");
+    }
+
+    println!("\n── Saturday stats ──\n{}", saturday.pad.stats());
+}

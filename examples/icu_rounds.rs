@@ -1,0 +1,155 @@
+//! Regenerates paper Figure 4: the 'Rounds' pad.
+//!
+//! "The largest window, titled 'Rounds', is the visual representation of
+//! a SLIMPad object. In this case, the user has created a bundle, titled
+//! 'John Smith'. The bundle contains three scraps and another bundle.
+//! The top two scraps represent medications for the patient. The mark
+//! associated with each scrap refers to the corresponding medication in
+//! a complete medication list (here, a Microsoft Excel document). …
+//! The 'Electrolyte' bundle contains a set of scraps that come from a
+//! lab report, represented in an XML document." (paper §3)
+//!
+//! This example builds exactly that state against the simulated Excel
+//! and XML applications, exercises both mark types, detects the gridlet,
+//! demonstrates the resident's-worksheet template (Figure 2), and
+//! round-trips the pad through its file format.
+//!
+//! Run with: `cargo run --example icu_rounds`
+
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::slimpad::render::render_pad;
+use superimposed::slimpad::templates::BundleTemplate;
+use superimposed::slimpad::viewing::view_scrap;
+use superimposed::{DocKind, SuperimposedSystem, ViewingStyle};
+
+/// The complete medication list (the paper's "Microsoft Excel document").
+fn medication_workbook() -> Workbook {
+    let mut wb = Workbook::new("medication-list.xls");
+    let sheet = wb.sheet_mut("Sheet1").unwrap();
+    let rows: &[(&str, &str, &str)] = &[
+        ("Drug", "Dose", "Route/Freq"),
+        ("Furosemide (Lasix)", "40 mg", "IV bid"),
+        ("Captopril", "12.5 mg", "PO tid"),
+        ("KCl", "20 mEq", "PO bid"),
+        ("Heparin", "5000 u", "SC q8h"),
+        ("Famotidine", "20 mg", "IV q12h"),
+    ];
+    for (r, (drug, dose, freq)) in rows.iter().enumerate() {
+        sheet.set_a1(&format!("A{}", r + 1), drug).unwrap();
+        sheet.set_a1(&format!("B{}", r + 1), dose).unwrap();
+        sheet.set_a1(&format!("C{}", r + 1), freq).unwrap();
+    }
+    wb
+}
+
+/// The lab report (the paper's "XML document").
+const LAB_REPORT: &str = r#"<labReport patient="John Smith" drawn="06:15">
+  <electrolytes>
+    <na unit="mEq/L">140</na>
+    <k unit="mEq/L">4.1</k>
+    <cl unit="mEq/L">102</cl>
+    <hco3 unit="mEq/L">26</hco3>
+    <bun unit="mg/dL">18</bun>
+    <cr unit="mg/dL">1.1</cr>
+    <glucose unit="mg/dL">132</glucose>
+  </electrolytes>
+</labReport>"#;
+
+fn main() {
+    let mut sys = SuperimposedSystem::new("Rounds").expect("system boots");
+    sys.excel.borrow_mut().open(medication_workbook()).unwrap();
+    sys.xml.borrow_mut().open_text("lab-report.xml", LAB_REPORT).unwrap();
+
+    // ---- the John Smith bundle with two medication scraps ------------------
+    let john = sys.pad.create_bundle("John Smith", (20, 60), 640, 600, None).unwrap();
+    sys.excel.borrow_mut().select("medication-list.xls", "Sheet1", "A2:C2").unwrap();
+    let lasix = sys
+        .pad
+        .place_selection(DocKind::Spreadsheet, Some("Lasix 40 IV bid"), (40, 120), Some(john))
+        .unwrap();
+    sys.excel.borrow_mut().select("medication-list.xls", "Sheet1", "A3:C3").unwrap();
+    let _captopril = sys
+        .pad
+        .place_selection(DocKind::Spreadsheet, Some("Captopril 12.5"), (40, 160), Some(john))
+        .unwrap();
+
+    // ---- the Electrolyte bundle: the gridlet of Figure 4 --------------------
+    // "each number in the 'Electrolyte' bundle has a specific meaning to a
+    // medical professional, which can be deduced from their arrangement
+    // relative to each other" — the classic fishbone: Na | Cl over K | HCO3.
+    let electro = sys.pad.create_bundle("Electrolyte", (330, 240), 260, 240, Some(john)).unwrap();
+    let fishbone: &[(&str, &str, (i64, i64))] = &[
+        ("/labReport/electrolytes/na", "140", (350, 300)),
+        ("/labReport/electrolytes/cl", "102", (450, 300)),
+        ("/labReport/electrolytes/k", "4.1", (350, 390)),
+        ("/labReport/electrolytes/hco3", "26", (450, 390)),
+    ];
+    let mut electro_scraps = Vec::new();
+    for (path, label, pos) in fishbone {
+        sys.xml.borrow_mut().select_by_path("lab-report.xml", path).unwrap();
+        let s = sys.pad.place_selection(DocKind::Xml, Some(label), *pos, Some(electro)).unwrap();
+        electro_scraps.push(s);
+    }
+    // A third plain scrap on the patient bundle: the to-do item.
+    sys.xml.borrow_mut().select_by_path("lab-report.xml", "/labReport/electrolytes/cr").unwrap();
+    let todo = sys
+        .pad
+        .place_selection(DocKind::Xml, Some("recheck Cr this pm"), (40, 540), Some(john))
+        .unwrap();
+    sys.pad.dmi_mut().add_annotation(todo, "order placed 09:40").unwrap();
+
+    // ---- the screenshot -----------------------------------------------------
+    println!("══ Figure 4, regenerated ══");
+    println!("{}", render_pad(&sys.pad).unwrap());
+
+    // ---- mark resolution, both types ----------------------------------------
+    println!("── clicking the Lasix scrap opens the medication list ──");
+    println!("{}", sys.pad.activate(lasix).unwrap().display);
+    println!("── double-clicking 'K 4.1' opens the lab report ──");
+    println!("{}", sys.pad.activate(electro_scraps[2]).unwrap().display);
+
+    // ---- the implicit structure ----------------------------------------------
+    let grid = sys.pad.detect_gridlet(electro, 8).unwrap();
+    println!("gridlet detected in 'Electrolyte': {} rows × {} columns", grid.rows.len(), grid.columns.len());
+    for (i, row) in grid.rows.iter().enumerate() {
+        let labels: Vec<String> =
+            row.iter().map(|s| sys.pad.dmi().scrap(*s).unwrap().name).collect();
+        println!("  row {}: {}", i + 1, labels.join(" | "));
+    }
+
+    // ---- viewing styles (Figure 6) --------------------------------------------
+    println!("\n── enhanced base-layer viewing of the to-do scrap ──");
+    println!("{}", view_scrap(&mut sys.pad, todo, ViewingStyle::EnhancedBase).unwrap());
+
+    // ---- the resident's worksheet (Figure 2), via templates ---------------------
+    let template = BundleTemplate::capture(sys.pad.dmi(), john).unwrap();
+    let (jane_row, _slots) =
+        template.instantiate(&mut sys.pad, "Jane Doe", (20, 700), None).unwrap();
+    println!(
+        "worksheet template stamped for Jane Doe: bundle {:?} with {} slot(s) awaiting marks",
+        sys.pad.dmi().bundle(jane_row).unwrap().name,
+        template.slot_count(),
+    );
+
+    // ---- persistence round-trip -------------------------------------------------
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    let reloaded_root = sys.pad.root_bundle();
+    let bundles = sys.pad.dmi().bundle(reloaded_root).unwrap().nested;
+    println!(
+        "\npad saved ({} bytes) and reloaded: {} top-level bundle(s), marks still live: {}",
+        saved.len(),
+        bundles.len(),
+        sys.pad.marks().audit().iter().filter(|a| a.live).count(),
+    );
+    // Every reloaded mark still resolves against the live applications.
+    let audit = sys.pad.marks().audit();
+    let dangling: Vec<_> = audit.iter().filter(|a| !a.live).collect();
+    assert!(
+        dangling.iter().all(|a| {
+            sys.pad.marks().get(&a.mark_id).map(|m| m.excerpt.is_empty()).unwrap_or(true)
+        }) || dangling.is_empty(),
+        "unexpected dangling marks: {dangling:?}"
+    );
+    println!("done.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: the smallest end-to-end superimposed-information flow.
+//!
+//! 1. Boot the system (six base applications, mark modules, a pad).
+//! 2. Open a document in a base application and select something.
+//! 3. Place the selection on the pad — a scrap with a mark "wire".
+//! 4. Double-click the scrap: the mark resolves and the base application
+//!    highlights the original element.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::{DocKind, SuperimposedSystem};
+
+fn main() {
+    // 1. Boot.
+    let mut sys = SuperimposedSystem::new("My First Pad").expect("system boots");
+
+    // 2. A medication list lives in the (simulated) spreadsheet.
+    let mut wb = Workbook::new("medications.xls");
+    let sheet = wb.sheet_mut("Sheet1").expect("default sheet");
+    sheet.set_a1("A1", "Drug").unwrap();
+    sheet.set_a1("B1", "Dose mg").unwrap();
+    sheet.set_a1("A2", "Furosemide").unwrap();
+    sheet.set_a1("B2", "40").unwrap();
+    sheet.set_a1("A3", "Captopril").unwrap();
+    sheet.set_a1("B3", "12.5").unwrap();
+    sheet.set_a1("B5", "=SUM(B2:B3)").unwrap();
+    sys.excel.borrow_mut().open(wb).unwrap();
+
+    // The user selects the furosemide row in the spreadsheet window.
+    sys.excel.borrow_mut().select("medications.xls", "Sheet1", "A2:B2").unwrap();
+
+    // 3. …and drops it onto the pad. The mark remembers file/sheet/range
+    //    (paper Figure 8); the label is the user's own.
+    let scrap = sys
+        .pad
+        .place_selection(DocKind::Spreadsheet, Some("loop diuretic"), (40, 90), None)
+        .expect("scrap placed");
+    let mark_id = {
+        let data = sys.pad.dmi().scrap(scrap).unwrap();
+        sys.pad.dmi().mark_handle(data.marks[0]).unwrap().mark_id
+    };
+    println!("placed scrap {:?} wired to {mark_id}", sys.pad.dmi().scrap(scrap).unwrap().name);
+    let mark = sys.pad.marks().get(&mark_id).unwrap();
+    println!("  mark address : {}", mark.address);
+    println!("  mark excerpt : {:?}", mark.excerpt);
+
+    // 4. Double-click: resolve the mark in context.
+    let resolution = sys.pad.activate(scrap).expect("mark resolves");
+    println!("\n-- double-click resolves the mark; the base window shows --");
+    println!("{}", resolution.display);
+
+    // Bonus: the §6 "extract content" behaviour, via the in-place module.
+    let in_place = sys.pad.activate_with(scrap, "spreadsheet-viewer").unwrap();
+    println!("-- in-place extraction (no window switch) --\n{}\n", in_place.display);
+
+    // The pad itself, as ASCII.
+    println!("-- the pad --");
+    println!("{}", superimposed::slimpad::render::render_pad(&sys.pad).unwrap());
+}

@@ -1,0 +1,76 @@
+//! A scripted SLIMPad session: the command-language front end.
+//!
+//! SLIMPad's original UI was direct manipulation; the reproducible
+//! equivalent is a command script. This example replays a morning-rounds
+//! session — building the pad, wiring marks, annotating, querying,
+//! auditing — and prints each command's output, ending with the pad
+//! "screenshot".
+//!
+//! Run with: `cargo run --example scripted_session`
+
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::slimpad::commands::run_script;
+use superimposed::SuperimposedSystem;
+
+const SCRIPT: &str = r#"
+# ---- build the worksheet for bed 4 ------------------------------------
+bundle "Bed 4: John Smith" at 20,60 size 700x560
+bundle "Electrolyte" at 340,240 size 300x240 in "Bed 4: John Smith"
+
+# the spreadsheet selection (set by the host below) becomes a scrap
+place spreadsheet "Lasix 40 IV bid" at 40,120 in "Bed 4: John Smith"
+annotate "Lasix 40 IV bid" "hold if SBP<90"
+
+place xml "K 3.4 LOW" at 360,300 in "Electrolyte"
+link "K 3.4 LOW" -> "Lasix 40 IV bid"
+annotate "K 3.4 LOW" "repleting per protocol"
+
+# ---- use it ------------------------------------------------------------
+find "lasix"
+view "K 3.4 LOW"
+audit
+render
+"#;
+
+fn main() {
+    let mut sys = SuperimposedSystem::new("Morning Rounds").expect("system boots");
+
+    // Host setup: the base documents the script's `place` commands mark.
+    // The spreadsheet selection is read when `place spreadsheet …` runs;
+    // the xml selection when `place xml …` runs — so stage both first.
+    let mut wb = Workbook::new("meds.xls");
+    wb.sheet_mut("Sheet1")
+        .unwrap()
+        .import_csv("Drug,Dose,Route\nFurosemide,40,IV bid\nKCl,20,PO bid\n")
+        .unwrap();
+    sys.excel.borrow_mut().open(wb).unwrap();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A2:C2").unwrap();
+    sys.xml
+        .borrow_mut()
+        .open_text("labs.xml", "<labs drawn='06:15'><k unit='mEq/L'>3.4</k></labs>")
+        .unwrap();
+    sys.xml.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+
+    // Replay the session.
+    match run_script(&mut sys.pad, SCRIPT) {
+        Ok(outputs) => {
+            for (i, out) in outputs.iter().enumerate() {
+                println!("[{:02}] {}", i + 1, out);
+                println!("     ──");
+            }
+        }
+        Err(e) => {
+            eprintln!("script failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The session survives persistence like any other pad.
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    println!(
+        "session saved ({} bytes) and reloaded; {} marks live",
+        saved.len(),
+        sys.pad.marks().audit().iter().filter(|a| a.live).count()
+    );
+}

@@ -1,0 +1,191 @@
+//! Failure-injection integration tests: corrupted files, vanished base
+//! documents, hostile inputs. The system's job under failure is clean,
+//! specific errors — never panics, never silent corruption.
+
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::slimstore::SlimPadDmi;
+use superimposed::{DocKind, MarkManager, PadError, SuperimposedSystem};
+
+fn saved_pad() -> (SuperimposedSystem, String) {
+    let mut sys = SuperimposedSystem::new("Rounds").unwrap();
+    let mut wb = Workbook::new("meds.xls");
+    wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix 40").unwrap();
+    sys.excel.borrow_mut().open(wb).unwrap();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+    sys.pad.place_selection(DocKind::Spreadsheet, None, (10, 30), None).unwrap();
+    let xml = sys.pad.save_xml();
+    (sys, xml)
+}
+
+#[test]
+fn truncated_pad_files_error_cleanly() {
+    let (sys, xml) = saved_pad();
+    for cut in [1usize, 10, 50, xml.len() / 2, xml.len() - 1] {
+        let truncated: String = xml.chars().take(cut).collect();
+        let manager = sys.fresh_manager().unwrap();
+        let result = superimposed::PadSession::load_xml(&truncated, manager);
+        assert!(
+            matches!(result, Err(PadError::File { .. })),
+            "cut at {cut} must be a clean File error"
+        );
+    }
+}
+
+#[test]
+fn byte_flipped_pad_files_never_panic() {
+    let (sys, xml) = saved_pad();
+    // Flip a spread of characters; every outcome must be Ok or a clean
+    // error — no panic, no unwrap crash.
+    let bytes: Vec<char> = xml.chars().collect();
+    for i in (0..bytes.len()).step_by(97) {
+        let mut mutated = bytes.clone();
+        mutated[i] = match mutated[i] {
+            '<' => '(',
+            '>' => ')',
+            '"' => '\'',
+            c if c.is_ascii_alphabetic() => 'Z',
+            _ => 'x',
+        };
+        let text: String = mutated.into_iter().collect();
+        let manager = sys.fresh_manager().unwrap();
+        let _ = superimposed::PadSession::load_xml(&text, manager);
+    }
+}
+
+#[test]
+fn swapped_sections_are_rejected_or_harmless() {
+    let (sys, xml) = saved_pad();
+    // Put the marks XML in the store slot and vice versa.
+    let doc = superimposed::xmlkit::parse(&xml).unwrap();
+    let store_text = doc.root.child("store").unwrap().text();
+    let marks_text = doc.root.child("marks").unwrap().text();
+    let mut w = superimposed::xmlkit::XmlWriter::compact();
+    w.declaration();
+    w.start("slimpad-file");
+    w.attr("version", "1");
+    w.leaf("store", &marks_text);
+    w.leaf("marks", &store_text);
+    w.end();
+    let swapped = w.finish();
+    let manager = sys.fresh_manager().unwrap();
+    assert!(superimposed::PadSession::load_xml(&swapped, manager).is_err());
+}
+
+#[test]
+fn marks_for_closed_documents_fail_resolution_not_loading() {
+    let (mut sys, xml) = saved_pad();
+    // Close the base document, then reload the pad: loading succeeds
+    // (marks are data), resolution and audit report the dangle.
+    sys.excel.borrow_mut().close("meds.xls").unwrap();
+    sys.reopen_pad(&xml).unwrap();
+    let root = sys.pad.root_bundle();
+    let scrap = sys.pad.dmi().bundle(root).unwrap().scraps[0];
+    assert!(sys.pad.activate(scrap).is_err());
+    let audit = sys.pad.marks().audit();
+    assert!(audit.iter().all(|a| !a.live));
+    // The excerpt still gives the user something to see.
+    let mark_id = {
+        let marks = sys.pad.dmi().scrap(scrap).unwrap().marks;
+        sys.pad.dmi().mark_handle(marks[0]).unwrap().mark_id
+    };
+    assert_eq!(sys.pad.marks().get(&mark_id).unwrap().excerpt, "Lasix 40");
+}
+
+#[test]
+fn mark_store_with_unknown_kind_is_rejected() {
+    let mut manager = MarkManager::new();
+    let bad = r#"<?xml version="1.0" encoding="UTF-8"?><marks version="1" next="1"><mark id="mark:0" kind="hologram" excerpt=""><f n="fileName">x</f></mark></marks>"#;
+    assert!(manager.load_xml(bad).is_err());
+}
+
+#[test]
+fn undo_to_a_checkpoint_from_before_a_load_is_rejected() {
+    // Checkpoints do not survive persistence: a revision taken before
+    // save/load must not silently "work" against the reloaded store's
+    // fresh journal — it lies beyond retained history and is refused.
+    let mut dmi = SlimPadDmi::new();
+    dmi.create_bundle("a", (0, 0), 10, 10);
+    let checkpoint = dmi.checkpoint();
+    dmi.create_bundle("b", (0, 0), 10, 10);
+    let (mut reloaded, _) = SlimPadDmi::load_xml(&dmi.save_xml()).unwrap();
+    // The reloaded store's journal history starts at load time; the old
+    // checkpoint predates it and is refused — not silently misapplied.
+    let result = reloaded.rollback(checkpoint);
+    assert!(result.is_err(), "stale checkpoint must be refused: {result:?}");
+    reloaded.store().check_invariants();
+    assert_eq!(reloaded.bundles().len(), 2, "contents untouched");
+}
+
+#[test]
+fn hostile_labels_roundtrip_everywhere() {
+    // Labels exercising every escaping path: XML specials, quotes,
+    // unicode, leading/trailing space.
+    let hostile = [
+        "a<b>&c\"d'e",
+        "  leading and trailing  ",
+        "line\nbreak",
+        "Ω≤≥λ — κακό",
+        "]]>",
+        "<?pi?>",
+        "<!--comment-->",
+    ];
+    let mut sys = SuperimposedSystem::new("hostile & <pad>").unwrap();
+    let mut wb = Workbook::new("h.xls");
+    for (i, label) in hostile.iter().enumerate() {
+        wb.sheet_mut("Sheet1").unwrap().set_a1(&format!("A{}", i + 1), label).unwrap();
+    }
+    sys.excel.borrow_mut().open(wb).unwrap();
+    for (i, label) in hostile.iter().enumerate() {
+        sys.excel.borrow_mut().select("h.xls", "Sheet1", &format!("A{}", i + 1)).unwrap();
+        sys.pad
+            .place_selection(DocKind::Spreadsheet, Some(label), (10, 30 * i as i64), None)
+            .unwrap();
+    }
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    let root = sys.pad.root_bundle();
+    let mut names: Vec<String> = sys
+        .pad
+        .dmi()
+        .bundle(root)
+        .unwrap()
+        .scraps
+        .iter()
+        .map(|s| sys.pad.dmi().scrap(*s).unwrap().name)
+        .collect();
+    names.sort();
+    let mut expected: Vec<String> = hostile.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    // Note: text-document paragraphs normalize newlines, but scrap labels
+    // must be preserved verbatim.
+    assert_eq!(names, expected);
+    // Excerpts resolve too.
+    for scrap in sys.pad.dmi().bundle(root).unwrap().scraps {
+        assert!(sys.pad.extract(scrap).is_ok());
+    }
+}
+
+#[test]
+fn deep_nesting_survives_render_and_save() {
+    let mut sys = SuperimposedSystem::new("deep").unwrap();
+    let mut parent = None;
+    for depth in 0..64 {
+        parent =
+            Some(sys.pad.create_bundle(&format!("d{depth}"), (depth, depth), 1200 - depth, 900 - depth, parent).unwrap());
+    }
+    let rendered = superimposed::slimpad::render::render_pad(&sys.pad).unwrap();
+    assert!(rendered.contains(" deep "));
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    assert!(sys.pad.dmi().check().is_conformant());
+}
+
+#[test]
+fn zero_sized_bundles_are_representable() {
+    let mut sys = SuperimposedSystem::new("tiny").unwrap();
+    let b = sys.pad.create_bundle("dot", (5, 5), 0, 0, None).unwrap();
+    assert_eq!(sys.pad.dmi().bundle(b).unwrap().width, 0);
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    assert!(sys.pad.dmi().check().is_conformant());
+}

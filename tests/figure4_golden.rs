@@ -1,0 +1,126 @@
+//! Golden regression test for the Figure 4 reproduction: the 'Rounds'
+//! pad must render the same picture, resolve both mark types with the
+//! same highlights, and keep doing so across persistence.
+
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::slimpad::render::render_pad;
+use superimposed::{DocKind, SuperimposedSystem};
+
+fn rounds_system() -> (SuperimposedSystem, Vec<slimstore::ScrapHandle>) {
+    let mut sys = SuperimposedSystem::new("Rounds").unwrap();
+    let mut wb = Workbook::new("medication-list.xls");
+    {
+        let sheet = wb.sheet_mut("Sheet1").unwrap();
+        sheet.import_csv("Drug,Dose\nFurosemide (Lasix),40 mg\nCaptopril,12.5 mg\n").unwrap();
+    }
+    sys.excel.borrow_mut().open(wb).unwrap();
+    sys.xml
+        .borrow_mut()
+        .open_text(
+            "lab-report.xml",
+            "<labReport patient='John Smith'><electrolytes>\
+             <na>140</na><k>4.1</k><cl>102</cl><hco3>26</hco3>\
+             </electrolytes></labReport>",
+        )
+        .unwrap();
+
+    let john = sys.pad.create_bundle("John Smith", (20, 60), 640, 600, None).unwrap();
+    sys.excel.borrow_mut().select("medication-list.xls", "Sheet1", "A2:B2").unwrap();
+    let lasix = sys
+        .pad
+        .place_selection(DocKind::Spreadsheet, Some("Lasix 40"), (40, 120), Some(john))
+        .unwrap();
+    let electro = sys.pad.create_bundle("Electrolyte", (330, 240), 260, 240, Some(john)).unwrap();
+    let mut scraps = vec![lasix];
+    for (path, label, pos) in [
+        ("/labReport/electrolytes/na", "140", (350, 300)),
+        ("/labReport/electrolytes/cl", "102", (450, 300)),
+        ("/labReport/electrolytes/k", "4.1", (350, 390)),
+        ("/labReport/electrolytes/hco3", "26", (450, 390)),
+    ] {
+        sys.xml.borrow_mut().select_by_path("lab-report.xml", path).unwrap();
+        scraps.push(sys.pad.place_selection(DocKind::Xml, Some(label), pos, Some(electro)).unwrap());
+    }
+    (sys, scraps)
+}
+
+/// The exact rendered pad. If layout or rendering changes, this golden
+/// changes with it — deliberately a tripwire.
+const GOLDEN: &str = r#"+ Rounds ------------------------------------------------------------------------------------------------------------------------+
+|                                                                                                                                |
+|                                                                                                                                |
+|  + John Smith --------------------------------------------------+                                                              |
+|  |                                                              |                                                              |
+|  | ·Lasix 40                                                    |                                                              |
+|  |                                                              |                                                              |
+|  |                                                              |                                                              |
+|  |                                                              |                                                              |
+|  |                              + Electrolyte -----------+      |                                                              |
+|  |                              |                        |      |                                                              |
+|  |                              | ·140      ·102         |      |                                                              |
+|  |                              |                        |      |                                                              |
+|  |                              |                        |      |                                                              |
+|  |                              | ·4.1      ·26          |      |                                                              |
+|  |                              |                        |      |                                                              |
+|  |                              +------------------------+      |                                                              |
+|  |                                                              |                                                              |
+|  |                                                              |                                                              |
+|  |                                                              |                                                              |
+|  |                                                              |                                                              |
+|  |                                                              |                                                              |
+|  +--------------------------------------------------------------+                                                              |
+|                                                                                                                                |
+|                                                                                                                                |
+|                                                                                                                                |
+|                                                                                                                                |
+|                                                                                                                                |
+|                                                                                                                                |
+|                                                                                                                                |
+|                                                                                                                                |
+|                                                                                                                                |
+|                                                                                                                                |
++--------------------------------------------------------------------------------------------------------------------------------+
+"#;
+
+#[test]
+fn figure4_render_matches_golden() {
+    let (sys, _) = rounds_system();
+    let render = render_pad(&sys.pad).unwrap();
+    if render != GOLDEN {
+        // Print both for diffing when the tripwire fires.
+        eprintln!("=== rendered ===\n{render}\n=== golden ===\n{GOLDEN}");
+    }
+    assert_eq!(render, GOLDEN);
+}
+
+#[test]
+fn figure4_marks_resolve_with_highlights() {
+    let (mut sys, scraps) = rounds_system();
+    // Excel mark: medication row highlighted.
+    let res = sys.pad.activate(scraps[0]).unwrap();
+    assert!(res.display.contains("[Furosemide (Lasix)]"), "{}", res.display);
+    assert!(res.display.contains("[40 mg]"), "{}", res.display);
+    // XML mark: potassium element highlighted in the outline.
+    let res = sys.pad.activate(scraps[3]).unwrap();
+    assert!(res.display.lines().any(|l| l.starts_with(">>") && l.contains("<k")), "{}", res.display);
+}
+
+#[test]
+fn figure4_render_stable_across_persistence() {
+    let (mut sys, _) = rounds_system();
+    let before = render_pad(&sys.pad).unwrap();
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    assert_eq!(render_pad(&sys.pad).unwrap(), before);
+}
+
+#[test]
+fn figure4_gridlet_detected() {
+    let (sys, _) = rounds_system();
+    let root = sys.pad.root_bundle();
+    let john = sys.pad.dmi().bundle(root).unwrap().nested[0];
+    let electro = sys.pad.dmi().bundle(john).unwrap().nested[0];
+    let grid = sys.pad.detect_gridlet(electro, 8).unwrap();
+    assert_eq!(grid.rows.len(), 2, "{grid:?}");
+    assert_eq!(grid.columns.len(), 2, "{grid:?}");
+}

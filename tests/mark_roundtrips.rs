@@ -1,0 +1,179 @@
+//! Integration test: marks across all six base types.
+//!
+//! For every base application the same narrow loop must hold (paper §1):
+//! select → current_selection → mark → persist → reload → resolve back
+//! to the same element. Plus the audit behaviours when base documents
+//! change underneath their marks.
+
+use superimposed::basedocs::slides::{SlideDeck, ShapeKind, Slide};
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::basedocs::textdoc::TextDocument;
+use superimposed::basedocs::pdfdoc::PdfDocument;
+use superimposed::{DocKind, SuperimposedSystem};
+
+/// Boot a system with one document open in each base application and a
+/// selection made in each.
+fn populated_system() -> SuperimposedSystem {
+    let sys = SuperimposedSystem::new("marks-test").unwrap();
+
+    let mut wb = Workbook::new("meds.xls");
+    wb.sheet_mut("Sheet1").unwrap().set_a1("B2", "Lasix 40").unwrap();
+    sys.excel.borrow_mut().open(wb).unwrap();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "B2").unwrap();
+
+    sys.xml
+        .borrow_mut()
+        .open_text("labs.xml", "<labs><k unit='mEq/L'>4.1</k></labs>")
+        .unwrap();
+    sys.xml.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+
+    let mut note = TextDocument::from_text("note.doc", "Plan: recheck electrolytes.");
+    note.set_bookmark("plan", 0, superimposed::basedocs::Span::new(0, 4)).unwrap();
+    sys.text.borrow_mut().open(note).unwrap();
+    sys.text.borrow_mut().select_bookmark("note.doc", "plan").unwrap();
+
+    sys.html
+        .borrow_mut()
+        .load("guide.html", "<html><body><p id='dosing'>20-80 mg daily</p></body></html>")
+        .unwrap();
+    sys.html.borrow_mut().select_anchor("guide.html", "dosing").unwrap();
+
+    sys.pdf
+        .borrow_mut()
+        .open(PdfDocument::paginate("guide.pdf", "Loop diuretics remain first-line therapy.", 30, 5))
+        .unwrap();
+    sys.pdf.borrow_mut().select_found("guide.pdf", "diuretics").unwrap();
+
+    let mut deck = SlideDeck::new("conf.ppt");
+    let mut slide = Slide::new();
+    slide.add_shape("title", ShapeKind::Title, "Case Review").unwrap();
+    deck.add_slide(slide);
+    sys.slides.borrow_mut().open(deck).unwrap();
+    sys.slides.borrow_mut().select("conf.ppt", 0, "title").unwrap();
+
+    sys
+}
+
+/// The content each kind's selection should extract.
+fn expected_excerpt(kind: DocKind) -> &'static str {
+    match kind {
+        DocKind::Spreadsheet => "Lasix 40",
+        DocKind::Xml => "4.1",
+        DocKind::Text => "Plan",
+        DocKind::Html => "20-80 mg daily",
+        DocKind::Pdf => "diuretics",
+        DocKind::Slides => "Case Review",
+    }
+}
+
+#[test]
+fn all_six_kinds_create_and_resolve() {
+    let mut sys = populated_system();
+    for kind in DocKind::all() {
+        let id = sys.pad.marks_mut().create_mark(kind).unwrap();
+        let mark = sys.pad.marks().get(&id).unwrap();
+        assert_eq!(mark.kind(), kind);
+        assert_eq!(mark.excerpt, expected_excerpt(kind), "{kind}");
+        let res = sys.pad.marks_mut().resolve(&id).unwrap();
+        assert!(
+            res.display.contains(expected_excerpt(kind)),
+            "{kind}: {}",
+            res.display
+        );
+    }
+    let stats = sys.pad.marks().stats();
+    assert_eq!(stats.total, 6);
+    assert_eq!(stats.per_kind.len(), 6);
+}
+
+#[test]
+fn marks_survive_persistence_and_resolve_after_reload() {
+    let mut sys = populated_system();
+    let mut ids = Vec::new();
+    for kind in DocKind::all() {
+        ids.push(sys.pad.marks_mut().create_mark(kind).unwrap());
+    }
+    let xml = sys.pad.marks().to_xml();
+
+    // Reload into a fresh manager wired to the same live apps.
+    let mut manager = sys.fresh_manager().unwrap();
+    manager.load_xml(&xml).unwrap();
+    assert_eq!(manager.len(), 6);
+    for (id, kind) in ids.iter().zip(DocKind::all()) {
+        let res = manager.resolve(id).unwrap();
+        assert!(res.display.contains(expected_excerpt(kind)), "{kind} after reload");
+    }
+}
+
+#[test]
+fn in_place_modules_never_move_base_selections() {
+    let mut sys = populated_system();
+    let id = sys.pad.marks_mut().create_mark(DocKind::Xml).unwrap();
+    // Move the XML app's selection elsewhere.
+    sys.xml.borrow_mut().select_by_indices("labs.xml", &[]).unwrap();
+    let before = format!("{}", {
+        use superimposed::BaseApplication;
+        sys.xml.borrow().current_selection().unwrap()
+    });
+    let res = sys.pad.marks_mut().resolve_with(&id, "xml-viewer").unwrap();
+    assert_eq!(res.display, "4.1");
+    let after = format!("{}", {
+        use superimposed::BaseApplication;
+        sys.xml.borrow().current_selection().unwrap()
+    });
+    assert_eq!(before, after, "in-place resolution must not disturb the user");
+}
+
+#[test]
+fn audit_distinguishes_live_drifted_dangling_per_kind() {
+    let mut sys = populated_system();
+    let spreadsheet_mark = sys.pad.marks_mut().create_mark(DocKind::Spreadsheet).unwrap();
+    let xml_mark = sys.pad.marks_mut().create_mark(DocKind::Xml).unwrap();
+    let pdf_mark = sys.pad.marks_mut().create_mark(DocKind::Pdf).unwrap();
+
+    // Drift the spreadsheet value.
+    sys.excel
+        .borrow_mut()
+        .workbook_mut("meds.xls")
+        .unwrap()
+        .sheet_mut("Sheet1")
+        .unwrap()
+        .set_a1("B2", "Lasix 80")
+        .unwrap();
+    // Dangle the XML mark by replacing the document without the element.
+    sys.xml.borrow_mut().close("labs.xml").unwrap();
+    sys.xml.borrow_mut().open_text("labs.xml", "<labs><na>140</na></labs>").unwrap();
+
+    let audit = sys.pad.marks().audit();
+    let row = |id: &str| audit.iter().find(|a| a.mark_id == id).unwrap();
+    assert!(row(&spreadsheet_mark).live && row(&spreadsheet_mark).drifted);
+    assert!(!row(&xml_mark).live);
+    assert!(row(&pdf_mark).live && !row(&pdf_mark).drifted);
+}
+
+#[test]
+fn resolution_log_records_module_choices() {
+    let mut sys = populated_system();
+    let id = sys.pad.marks_mut().create_mark(DocKind::Html).unwrap();
+    sys.pad.marks_mut().resolve(&id).unwrap();
+    sys.pad.marks_mut().resolve_with(&id, "html-viewer").unwrap();
+    let log = sys.pad.marks().resolution_log();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].1, "html");
+    assert_eq!(log[1].1, "html-viewer");
+}
+
+#[test]
+fn unknown_kind_module_routing_fails_cleanly() {
+    // A manager with only one module refuses other kinds without panicking.
+    let sys = populated_system();
+    let mut manager = superimposed::MarkManager::new();
+    manager
+        .register_module(Box::new(superimposed::marks::AppModule::in_context(
+            "xml",
+            std::rc::Rc::clone(&sys.xml),
+        )))
+        .unwrap();
+    assert!(manager.create_mark(DocKind::Pdf).is_err());
+    assert_eq!(manager.supported_kinds(), vec![DocKind::Xml]);
+}

@@ -1,0 +1,181 @@
+//! Integration test: deep pad persistence.
+//!
+//! The combined pad file (bundle tree + mark store) must round-trip
+//! object graphs of realistic depth and carry every §6 extension
+//! (annotations, scrap links, template placeholders) intact.
+
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::slimpad::templates::{BundleTemplate, PLACEHOLDER_MARK};
+use superimposed::{DocKind, SuperimposedSystem};
+
+fn system_with_sheet() -> SuperimposedSystem {
+    let sys = SuperimposedSystem::new("Rounds").unwrap();
+    let mut wb = Workbook::new("meds.xls");
+    for i in 1..=8 {
+        wb.sheet_mut("Sheet1").unwrap().set_a1(&format!("A{i}"), &format!("drug {i}")).unwrap();
+    }
+    sys.excel.borrow_mut().open(wb).unwrap();
+    sys
+}
+
+#[test]
+fn deeply_nested_bundles_roundtrip() {
+    let mut sys = system_with_sheet();
+    // A chain of 12 nested bundles with a scrap at the bottom.
+    let mut parent = None;
+    for depth in 0..12 {
+        let b = sys
+            .pad
+            .create_bundle(&format!("level {depth}"), (depth * 5, depth * 10), 600 - depth * 20, 500 - depth * 20, parent)
+            .unwrap();
+        parent = Some(b);
+    }
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+    sys.pad.place_selection(DocKind::Spreadsheet, None, (100, 100), parent).unwrap();
+
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+
+    // Walk back down the chain.
+    let mut current = sys.pad.root_bundle();
+    let mut depth = 0;
+    loop {
+        let data = sys.pad.dmi().bundle(current).unwrap();
+        if data.nested.is_empty() {
+            assert_eq!(data.scraps.len(), 1, "scrap at the bottom");
+            break;
+        }
+        assert_eq!(data.nested.len(), 1);
+        current = data.nested[0];
+        depth += 1;
+    }
+    assert_eq!(depth, 12);
+    assert!(sys.pad.dmi().check().is_conformant());
+}
+
+#[test]
+fn annotations_links_and_placeholders_survive() {
+    let mut sys = system_with_sheet();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+    let a = sys.pad.place_selection(DocKind::Spreadsheet, Some("A"), (10, 30), None).unwrap();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A2").unwrap();
+    let b = sys.pad.place_selection(DocKind::Spreadsheet, Some("B"), (10, 60), None).unwrap();
+    sys.pad.dmi_mut().add_annotation(a, "first note").unwrap();
+    sys.pad.dmi_mut().add_annotation(a, "second note").unwrap();
+    sys.pad.dmi_mut().link_scraps(a, b).unwrap();
+    // A template-placeholder scrap too.
+    let slot = sys.pad.dmi_mut().create_scrap("empty slot", (10, 90), PLACEHOLDER_MARK).unwrap();
+    let root = sys.pad.root_bundle();
+    sys.pad.dmi_mut().add_scrap(root, slot).unwrap();
+
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+
+    let root = sys.pad.root_bundle();
+    let scraps = sys.pad.dmi().bundle(root).unwrap().scraps;
+    assert_eq!(scraps.len(), 3);
+    let by_name = |name: &str| {
+        scraps
+            .iter()
+            .copied()
+            .find(|s| sys.pad.dmi().scrap(*s).unwrap().name == name)
+            .unwrap()
+    };
+    let a2 = by_name("A");
+    let b2 = by_name("B");
+    let slot2 = by_name("empty slot");
+    assert_eq!(
+        sys.pad.dmi().annotations(a2).unwrap(),
+        vec!["first note", "second note"]
+    );
+    assert_eq!(sys.pad.dmi().scrap_links(a2).unwrap(), vec![b2]);
+    let marks = sys.pad.dmi().scrap(slot2).unwrap().marks;
+    assert_eq!(sys.pad.dmi().mark_handle(marks[0]).unwrap().mark_id, PLACEHOLDER_MARK);
+}
+
+#[test]
+fn positions_and_sizes_are_exact_after_roundtrip() {
+    let mut sys = system_with_sheet();
+    let b = sys.pad.create_bundle("precise", (-37, 4096), 123, 7, None).unwrap();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A3").unwrap();
+    let s = sys.pad.place_selection(DocKind::Spreadsheet, None, (-5, 99), Some(b)).unwrap();
+    let before_b = sys.pad.dmi().bundle(b).unwrap();
+    let before_s = sys.pad.dmi().scrap(s).unwrap();
+
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    let root = sys.pad.root_bundle();
+    let b2 = sys.pad.dmi().bundle(root).unwrap().nested[0];
+    let after_b = sys.pad.dmi().bundle(b2).unwrap();
+    assert_eq!((after_b.pos, after_b.width, after_b.height), (before_b.pos, before_b.width, before_b.height));
+    let s2 = after_b.scraps[0];
+    let after_s = sys.pad.dmi().scrap(s2).unwrap();
+    assert_eq!(after_s.pos, before_s.pos);
+    assert_eq!(after_s.name, before_s.name);
+}
+
+#[test]
+fn templates_captured_from_reloaded_pads_still_instantiate() {
+    let mut sys = system_with_sheet();
+    let row = sys.pad.create_bundle("Patient Row", (50, 60), 900, 240, None).unwrap();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A4").unwrap();
+    sys.pad.place_selection(DocKind::Spreadsheet, Some("problem"), (70, 90), Some(row)).unwrap();
+
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    let root = sys.pad.root_bundle();
+    let row2 = sys.pad.dmi().bundle(root).unwrap().nested[0];
+    let template = BundleTemplate::capture(sys.pad.dmi(), row2).unwrap();
+    assert_eq!(template.slots.len(), 1);
+    let (stamped, slots) =
+        template.instantiate(&mut sys.pad, "Next Patient", (50, 360), None).unwrap();
+    assert_eq!(sys.pad.dmi().bundle(stamped).unwrap().name, "Next Patient");
+    assert_eq!(slots.len(), 1);
+    assert!(sys.pad.dmi().check().is_conformant());
+}
+
+#[test]
+fn double_save_is_idempotent() {
+    let mut sys = system_with_sheet();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A5").unwrap();
+    sys.pad.place_selection(DocKind::Spreadsheet, None, (10, 30), None).unwrap();
+    let first = sys.pad.save_xml();
+    sys.reopen_pad(&first).unwrap();
+    let second = sys.pad.save_xml();
+    assert_eq!(first, second, "save → load → save must be byte-stable");
+}
+
+#[test]
+fn empty_pad_roundtrips() {
+    let mut sys = SuperimposedSystem::new("Empty").unwrap();
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    assert_eq!(sys.pad.dmi().pad(sys.pad.pad()).unwrap().name, "Empty");
+    assert!(sys.pad.dmi().bundle(sys.pad.root_bundle()).unwrap().scraps.is_empty());
+}
+
+#[test]
+fn large_pad_roundtrips_completely() {
+    let mut sys = system_with_sheet();
+    let mut expected_names = Vec::new();
+    for i in 0..200 {
+        let cell = format!("A{}", (i % 8) + 1);
+        sys.excel.borrow_mut().select("meds.xls", "Sheet1", &cell).unwrap();
+        let label = format!("scrap #{i}");
+        sys.pad
+            .place_selection(DocKind::Spreadsheet, Some(&label), (i % 50 * 12, i / 50 * 30), None)
+            .unwrap();
+        expected_names.push(label);
+    }
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    let root = sys.pad.root_bundle();
+    let scraps = sys.pad.dmi().bundle(root).unwrap().scraps;
+    assert_eq!(scraps.len(), 200);
+    let mut names: Vec<String> =
+        scraps.iter().map(|s| sys.pad.dmi().scrap(*s).unwrap().name).collect();
+    names.sort();
+    expected_names.sort();
+    assert_eq!(names, expected_names);
+    assert_eq!(sys.pad.marks().len(), 200);
+}

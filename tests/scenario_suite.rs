@@ -1,0 +1,252 @@
+//! Scenario-level integration tests: full clinical workflows from the
+//! paper's field observations (§2, §6).
+
+use superimposed::basedocs::pdfdoc::PdfDocument;
+use superimposed::basedocs::slides::{ShapeKind, Slide, SlideDeck};
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::basedocs::textdoc::TextDocument;
+use superimposed::slimpad::render::render_pad;
+use superimposed::slimpad::templates::BundleTemplate;
+use superimposed::{DocKind, SuperimposedSystem};
+
+/// The paper's §6 target task: "supporting the transfer of 'current
+/// situation' awareness for hospital patients when one doctor is taking
+/// over rounds for another, such as on weekends."
+#[test]
+fn weekend_handoff_scenario() {
+    // --- Friday: the outgoing resident builds the pad -----------------------
+    let mut friday = SuperimposedSystem::new("Weekend Handoff").unwrap();
+    let mut wb = Workbook::new("meds.xls");
+    let sheet = wb.sheet_mut("Sheet1").unwrap();
+    sheet.set_a1("A1", "Lasix 40 IV bid").unwrap();
+    sheet.set_a1("A2", "Captopril 12.5 PO tid").unwrap();
+    friday.excel.borrow_mut().open(wb).unwrap();
+    friday
+        .xml
+        .borrow_mut()
+        .open_text("labs.xml", "<labs><k>3.4</k><cr>1.4</cr></labs>")
+        .unwrap();
+
+    let patient = friday.pad.create_bundle("Bed 4: John Smith", (20, 60), 600, 500, None).unwrap();
+    friday.excel.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+    let meds = friday
+        .pad
+        .place_selection(DocKind::Spreadsheet, None, (40, 120), Some(patient))
+        .unwrap();
+    friday.xml.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+    let potassium = friday
+        .pad
+        .place_selection(DocKind::Xml, Some("K 3.4 — LOW"), (40, 180), Some(patient))
+        .unwrap();
+    friday.pad.dmi_mut().add_annotation(potassium, "repleting; recheck Sat am").unwrap();
+    friday.pad.dmi_mut().link_scraps(potassium, meds).unwrap();
+
+    let handoff_file = friday.pad.save_xml();
+
+    // --- Saturday: the covering doctor opens the pad -------------------------
+    // Same hospital systems (live base apps), different person, fresh
+    // manager — the paper's sharing story.
+    let mut saturday = SuperimposedSystem::new("scratch").unwrap();
+    // Rehost the same documents in the weekend system.
+    let mut wb = Workbook::new("meds.xls");
+    let sheet = wb.sheet_mut("Sheet1").unwrap();
+    sheet.set_a1("A1", "Lasix 40 IV bid").unwrap();
+    sheet.set_a1("A2", "Captopril 12.5 PO tid").unwrap();
+    saturday.excel.borrow_mut().open(wb).unwrap();
+    saturday
+        .xml
+        .borrow_mut()
+        .open_text("labs.xml", "<labs><k>4.0</k><cr>1.3</cr></labs>") // new morning labs
+        .unwrap();
+    saturday.reopen_pad(&handoff_file).unwrap();
+
+    // The covering doctor sees the annotation and follows the wire.
+    let root = saturday.pad.root_bundle();
+    let patient = saturday.pad.dmi().bundle(root).unwrap().nested[0];
+    let scraps = saturday.pad.dmi().bundle(patient).unwrap().scraps;
+    let k_scrap = scraps
+        .iter()
+        .copied()
+        .find(|s| saturday.pad.dmi().scrap(*s).unwrap().name.starts_with("K 3.4"))
+        .unwrap();
+    assert_eq!(
+        saturday.pad.dmi().annotations(k_scrap).unwrap(),
+        vec!["repleting; recheck Sat am"]
+    );
+    // The mark resolves against *today's* lab document: the scrap label
+    // says 3.4 (Friday's value), the live document now says 4.0 — exactly
+    // the redundancy-with-links design: "we can re-establish context for
+    // a selected item".
+    assert_eq!(saturday.pad.extract(k_scrap).unwrap(), "4.0");
+    let audit = saturday.pad.marks().audit();
+    assert!(audit.iter().all(|a| a.live));
+    assert!(
+        audit.iter().any(|a| a.drifted),
+        "the K value drifted overnight and the audit sees it"
+    );
+
+    // The linked medication scrap navigates to the med list.
+    let links = saturday.pad.dmi().scrap_links(k_scrap).unwrap();
+    assert_eq!(links.len(), 1);
+    let res = saturday.pad.activate(links[0]).unwrap();
+    assert!(res.display.contains("[Lasix 40 IV bid]"), "{}", res.display);
+}
+
+/// The Figure 2 resident's worksheet: one row per patient, stamped from
+/// a template, each filled with live marks from different sources.
+#[test]
+fn residents_worksheet_scenario() {
+    let mut sys = SuperimposedSystem::new("Resident Worksheet").unwrap();
+    // Base documents across four kinds.
+    let mut wb = Workbook::new("census.xls");
+    wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Smith, John 61M").unwrap();
+    wb.sheet_mut("Sheet1").unwrap().set_a1("A2", "Doe, Jane 54F").unwrap();
+    sys.excel.borrow_mut().open(wb).unwrap();
+    sys.xml
+        .borrow_mut()
+        .open_text("labs.xml", "<labs><pt id='js'><k>4.1</k></pt><pt id='jd'><k>5.2</k></pt></labs>")
+        .unwrap();
+    sys.text
+        .borrow_mut()
+        .open(TextDocument::from_text("plan.doc", "Smith: diurese.\n\nDoe: hold ACEi for K."))
+        .unwrap();
+
+    // Build the first row by hand, capture it as a template.
+    let row1 = sys.pad.create_bundle("row", (50, 60), 1000, 200, None).unwrap();
+    sys.excel.borrow_mut().select("census.xls", "Sheet1", "A1").unwrap();
+    sys.pad.place_selection(DocKind::Spreadsheet, None, (60, 90), Some(row1)).unwrap();
+    sys.xml.borrow_mut().select_by_path("labs.xml", "/labs/pt[@id='js']/k").unwrap();
+    sys.pad.place_selection(DocKind::Xml, Some("K"), (400, 90), Some(row1)).unwrap();
+    sys.text.borrow_mut().select_span("plan.doc", 0, 0, 15).unwrap();
+    sys.pad.place_selection(DocKind::Text, Some("to-do"), (700, 90), Some(row1)).unwrap();
+
+    let template = BundleTemplate::capture(sys.pad.dmi(), row1).unwrap();
+    assert_eq!(template.slot_count(), 3);
+
+    // Stamp a second row and fill its slots from patient 2's documents.
+    let (row2, slots) = template.instantiate(&mut sys.pad, "row 2", (50, 300), None).unwrap();
+    sys.excel.borrow_mut().select("census.xls", "Sheet1", "A2").unwrap();
+    let m1 = sys.pad.marks_mut().create_mark(DocKind::Spreadsheet).unwrap();
+    BundleTemplate::fill_slot(&mut sys.pad, slots[0], &m1).unwrap();
+    sys.xml.borrow_mut().select_by_path("labs.xml", "/labs/pt[@id='jd']/k").unwrap();
+    let m2 = sys.pad.marks_mut().create_mark(DocKind::Xml).unwrap();
+    BundleTemplate::fill_slot(&mut sys.pad, slots[1], &m2).unwrap();
+
+    // Row 2's K scrap resolves to Jane's potassium.
+    assert_eq!(sys.pad.extract(slots[1]).unwrap(), "5.2");
+    // The un-filled slot still has its placeholder (visible in an audit).
+    let marks = sys.pad.dmi().scrap(slots[2]).unwrap().marks;
+    assert_eq!(
+        sys.pad.dmi().mark_handle(marks[0]).unwrap().mark_id,
+        superimposed::slimpad::templates::PLACEHOLDER_MARK
+    );
+    // "bundles can be grouped into larger bundles": both rows sit on the pad.
+    let rows = sys.pad.dmi().bundle(sys.pad.root_bundle()).unwrap().nested;
+    assert_eq!(rows.len(), 2);
+    let _ = row2;
+    assert!(sys.pad.dmi().check().is_conformant());
+}
+
+/// A morbidity-conference pad drawing on all six base types at once —
+/// the heterogeneity claim of Figure 1 ("Information Source 1 … n").
+#[test]
+fn six_source_conference_pad() {
+    let mut sys = SuperimposedSystem::new("M&M Conference").unwrap();
+
+    let mut wb = Workbook::new("meds.xls");
+    wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix 40").unwrap();
+    sys.excel.borrow_mut().open(wb).unwrap();
+    sys.xml.borrow_mut().open_text("labs.xml", "<labs><k>3.1</k></labs>").unwrap();
+    sys.text
+        .borrow_mut()
+        .open(TextDocument::from_text("note.doc", "Overnight: hypokalemia missed."))
+        .unwrap();
+    sys.html
+        .borrow_mut()
+        .load("protocol.html", "<html><body><p id='k'>Replete K below 3.5</p></body></html>")
+        .unwrap();
+    sys.pdf
+        .borrow_mut()
+        .open(PdfDocument::paginate("guideline.pdf", "Potassium monitoring is mandatory.", 40, 5))
+        .unwrap();
+    let mut deck = SlideDeck::new("mm.ppt");
+    let mut slide = Slide::new();
+    slide.add_shape("title", ShapeKind::Title, "Timeline of events").unwrap();
+    deck.add_slide(slide);
+    sys.slides.borrow_mut().open(deck).unwrap();
+
+    // Select + place from each source.
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+    sys.xml.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+    sys.text.borrow_mut().select_span("note.doc", 0, 11, 22).unwrap();
+    sys.html.borrow_mut().select_anchor("protocol.html", "k").unwrap();
+    sys.pdf.borrow_mut().select_found("guideline.pdf", "mandatory").unwrap();
+    sys.slides.borrow_mut().select("mm.ppt", 0, "title").unwrap();
+
+    let bundle = sys.pad.create_bundle("What happened", (20, 60), 800, 700, None).unwrap();
+    let mut scraps = Vec::new();
+    for (i, kind) in DocKind::all().into_iter().enumerate() {
+        scraps
+            .push(sys.pad.place_selection(kind, None, (40, 100 + 60 * i as i64), Some(bundle)).unwrap());
+    }
+    assert_eq!(scraps.len(), 6);
+    // Every scrap resolves into its own application.
+    for scrap in &scraps {
+        let res = sys.pad.activate(*scrap).unwrap();
+        assert!(!res.display.is_empty());
+    }
+    // The rendered pad shows all six scraps.
+    let picture = render_pad(&sys.pad).unwrap();
+    assert_eq!(picture.matches('·').count(), 6, "{picture}");
+    // And a full save/load preserves everything.
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    assert_eq!(sys.pad.marks().len(), 6);
+    assert!(sys.pad.marks().audit().iter().all(|a| a.live));
+}
+
+/// The drift scenario the paper's redundancy discussion warns about:
+/// the base document evolves under the marks. Absolute-range marks
+/// drift; the audit sees it; named-range addressing would have survived
+/// (the name moved with its row inside the workbook).
+#[test]
+fn document_evolution_under_marks() {
+    let mut sys = SuperimposedSystem::new("Drift").unwrap();
+    let mut wb = Workbook::new("meds.xls");
+    wb.sheet_mut("Sheet1").unwrap().import_csv("Drug,Dose\nLasix,40\nKCl,20\n").unwrap();
+    wb.define_name(
+        "LasixRow",
+        "Sheet1",
+        superimposed::basedocs::Range::parse("A2:B2").unwrap(),
+    )
+    .unwrap();
+    sys.excel.borrow_mut().open(wb).unwrap();
+
+    // Mark the Lasix row by absolute range (what SLIMPad's Excel mark does).
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A2:B2").unwrap();
+    let scrap = sys.pad.place_selection(DocKind::Spreadsheet, None, (10, 30), None).unwrap();
+    assert_eq!(sys.pad.extract(scrap).unwrap(), "Lasix\t40");
+
+    // The pharmacy system inserts a new medication above.
+    {
+        let excel = sys.excel.borrow_mut();
+        let mut excel = excel;
+        let wb = excel.workbook_mut("meds.xls").unwrap();
+        wb.insert_row("Sheet1", 1).unwrap();
+        let sheet = wb.sheet_mut("Sheet1").unwrap();
+        sheet.set_a1("A2", "Heparin").unwrap();
+        sheet.set_a1("B2", "5000").unwrap();
+    }
+
+    // The absolute-range mark now points at the *new* row: live but
+    // drifted — exactly what the audit is for.
+    assert_eq!(sys.pad.extract(scrap).unwrap(), "Heparin\t5000");
+    let audit = sys.pad.marks().audit();
+    assert!(audit[0].live && audit[0].drifted);
+
+    // The named range followed its data: selecting by name still finds
+    // Lasix, and re-marking from that selection heals the scrap.
+    sys.excel.borrow_mut().select_name("meds.xls", "LasixRow").unwrap();
+    let healed_mark = sys.pad.marks_mut().create_mark(DocKind::Spreadsheet).unwrap();
+    assert_eq!(sys.pad.marks().get(&healed_mark).unwrap().excerpt, "Lasix\t40");
+}

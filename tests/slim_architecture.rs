@@ -1,0 +1,146 @@
+//! Integration test for the Figure 9 pipeline:
+//! application ↔ DMI ↔ TRIM ↔ generic triple representation ↔ XML.
+//!
+//! Every layer is exercised through its public API only, and the test
+//! verifies the paper's consistency claim: the triple representation and
+//! the application's view of the data never disagree.
+
+use superimposed::metamodel::{builtin, check_conformance};
+use superimposed::slimstore::SlimPadDmi;
+use superimposed::trim::{TriplePattern, TripleStore};
+
+#[test]
+fn dmi_operations_are_mirrored_in_triples() {
+    let mut dmi = SlimPadDmi::new();
+    let bundle = dmi.create_bundle("John Smith", (10, 10), 400, 300);
+    let pad = dmi.create_slim_pad("Rounds", Some(bundle)).unwrap();
+    let scrap = dmi.create_scrap("Na 140", (20, 40), "mark:0").unwrap();
+    dmi.add_scrap(bundle, scrap).unwrap();
+
+    // Inspect the generic representation underneath (the application
+    // *can* see the triples, per the paper; it just needn't).
+    let name_p = dmi.store().find_atom("bundleName").unwrap();
+    let hits = dmi.store().select(&TriplePattern::default().with_property(name_p));
+    assert_eq!(hits.len(), 1);
+    assert_eq!(dmi.store().value_str(hits[0].object), Some("John Smith"));
+
+    // The update flows through to the triples...
+    dmi.update_bundle_name(bundle, "J. Smith (bed 4)").unwrap();
+    let hits = dmi.store().select(&TriplePattern::default().with_property(name_p));
+    assert_eq!(dmi.store().value_str(hits[0].object), Some("J. Smith (bed 4)"));
+
+    // ...and the object view agrees.
+    assert_eq!(dmi.bundle(bundle).unwrap().name, "J. Smith (bed 4)");
+    assert_eq!(dmi.pad(pad).unwrap().root_bundle, Some(bundle));
+}
+
+#[test]
+fn triple_level_reachability_view_matches_object_graph() {
+    let mut dmi = SlimPadDmi::new();
+    let outer = dmi.create_bundle("outer", (0, 0), 100, 100);
+    let inner = dmi.create_bundle("inner", (10, 10), 50, 50);
+    dmi.add_nested_bundle(outer, inner).unwrap();
+    let scrap = dmi.create_scrap("s", (20, 20), "mark:1").unwrap();
+    dmi.add_scrap(inner, scrap).unwrap();
+    let orphan = dmi.create_bundle("orphan", (500, 0), 10, 10);
+
+    // The paper's view example: "all triples representing nested Bundles
+    // within the given Bundle along with their Scraps".
+    let store = dmi.store();
+    let view = store.view(outer.resource());
+    assert!(view.resources.contains(&inner.resource()));
+    assert!(!view.resources.contains(&orphan.resource()));
+
+    // The view serializes standalone and reloads as a valid store.
+    let orphan_name = store.resolve(orphan.resource()).to_string();
+    let xml = store.view_to_xml(outer.resource());
+    let sub = TripleStore::from_xml(&xml).unwrap();
+    assert!(sub.len() < store.len());
+    assert!(sub.find_atom(&orphan_name).is_none());
+}
+
+#[test]
+fn xml_pipeline_full_circle_preserves_conformance() {
+    let mut dmi = SlimPadDmi::new();
+    let bundle = dmi.create_bundle("Electrolyte", (200, 60), 180, 160);
+    dmi.create_slim_pad("Rounds", Some(bundle)).unwrap();
+    for i in 0..20 {
+        let s = dmi
+            .create_scrap(&format!("value {i}"), (200 + i * 10, 80), &format!("mark:{i}"))
+            .unwrap();
+        dmi.add_scrap(bundle, s).unwrap();
+    }
+    assert!(dmi.check().is_conformant());
+
+    // TRIM → XML → TRIM → DMI.
+    let xml = dmi.save_xml();
+    let (dmi2, pads) = SlimPadDmi::load_xml(&xml).unwrap();
+    assert_eq!(pads.len(), 1);
+    assert!(dmi2.check().is_conformant());
+    // Canonical serialization: a second round trip is byte-identical.
+    assert_eq!(dmi2.save_xml(), xml);
+
+    // The reloaded store still answers selection queries through indexes.
+    let store = dmi2.store();
+    let content_p = store.find_atom("bundleContent").unwrap();
+    assert_eq!(store.count(&TriplePattern::default().with_property(content_p)), 20);
+}
+
+#[test]
+fn model_and_instances_cohabit_one_store() {
+    // "Explicitly representing and storing model, schema, and instance"
+    // — the model is decodable from the same store that holds the data.
+    let dmi = SlimPadDmi::new();
+    let decoded =
+        superimposed::metamodel::encode::decode_model(dmi.store(), "bundle-scrap").unwrap();
+    assert!(decoded.find_construct("Bundle").is_some());
+    assert!(decoded.find_connector("scrapMark").is_some());
+}
+
+#[test]
+fn journal_rollback_restores_exact_prior_state() {
+    // The journal is the DMI's atomicity mechanism: take a revision,
+    // stage triples, abort, and the store is byte-identical again.
+    let mut dmi = SlimPadDmi::new();
+    let b = dmi.create_bundle("b", (0, 0), 10, 10);
+    dmi.create_slim_pad("p", Some(b)).unwrap();
+    let xml_before = dmi.save_xml();
+
+    let mut store = TripleStore::from_xml(&xml_before).unwrap();
+    let rev = store.revision();
+    let ghost = store.atom("ghost:1");
+    let p = store.atom("scrapName");
+    let v = store.literal_value("half-created");
+    store.insert(ghost, p, v);
+    assert_ne!(store.to_xml(), xml_before);
+    store.undo_to(rev).unwrap();
+    assert_eq!(store.to_xml(), xml_before);
+}
+
+#[test]
+fn schema_later_data_is_tolerated_then_checkable() {
+    // "schema-later data entry": raw triples can be thrown into a store
+    // with no conformance links at all; checking simply sees no
+    // instances and passes vacuously.
+    let mut store = TripleStore::new();
+    store.insert_literal("note:1", "text", "call cardiology");
+    let report = check_conformance(&store, &builtin::bundle_scrap());
+    assert_eq!(report.instances, 0);
+    assert!(report.is_conformant());
+}
+
+#[test]
+fn lightweight_claim_store_is_small_for_small_pads() {
+    // "Keep it lightweight": a ten-scrap pad should cost kilobytes, not
+    // megabytes, in both triples and serialized form.
+    let mut dmi = SlimPadDmi::new();
+    let bundle = dmi.create_bundle("b", (0, 0), 100, 100);
+    dmi.create_slim_pad("p", Some(bundle)).unwrap();
+    for i in 0..10 {
+        let s = dmi.create_scrap(&format!("s{i}"), (0, i), &format!("mark:{i}")).unwrap();
+        dmi.add_scrap(bundle, s).unwrap();
+    }
+    let stats = dmi.store().stats();
+    assert!(stats.estimated_bytes < 64 * 1024, "{stats:?}");
+    assert!(dmi.save_xml().len() < 64 * 1024);
+}

@@ -1,0 +1,98 @@
+//! Integration test: the three viewing styles of paper Figure 6, across
+//! base-application kinds.
+
+use superimposed::basedocs::pdfdoc::PdfDocument;
+use superimposed::basedocs::spreadsheet::Workbook;
+use superimposed::slimpad::viewing::view_scrap;
+use superimposed::{DocKind, SuperimposedSystem, ViewingStyle};
+
+fn system_with_scraps() -> (SuperimposedSystem, Vec<superimposed::slimstore::ScrapHandle>) {
+    let mut sys = SuperimposedSystem::new("Styles").unwrap();
+
+    let mut wb = Workbook::new("meds.xls");
+    wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix 40").unwrap();
+    sys.excel.borrow_mut().open(wb).unwrap();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+
+    sys.pdf
+        .borrow_mut()
+        .open(PdfDocument::paginate("guide.pdf", "Monitor potassium during diuresis.", 40, 5))
+        .unwrap();
+    sys.pdf.borrow_mut().select_found("guide.pdf", "potassium").unwrap();
+
+    let s1 = sys.pad.place_selection(DocKind::Spreadsheet, None, (40, 90), None).unwrap();
+    let s2 = sys.pad.place_selection(DocKind::Pdf, Some("K guidance"), (40, 150), None).unwrap();
+    sys.pad.dmi_mut().add_annotation(s2, "relevant to bed 4").unwrap();
+    (sys, vec![s1, s2])
+}
+
+#[test]
+fn simultaneous_viewing_shows_pad_and_base_for_both_kinds() {
+    let (mut sys, scraps) = system_with_scraps();
+    for (scrap, base_marker) in [(scraps[0], "meds.xls"), (scraps[1], "guide.pdf")] {
+        let screen = view_scrap(&mut sys.pad, scrap, ViewingStyle::Simultaneous).unwrap();
+        assert!(screen.contains(" Styles "), "pad window: {screen}");
+        assert!(screen.contains(base_marker), "base window: {screen}");
+    }
+}
+
+#[test]
+fn simultaneous_viewing_moves_base_selection() {
+    use superimposed::BaseApplication;
+    let (mut sys, scraps) = system_with_scraps();
+    // Move the spreadsheet selection away, then view the spreadsheet scrap.
+    sys.excel.borrow_mut().workbook_mut("meds.xls").unwrap().sheet_mut("Sheet1").unwrap().set_a1("C9", "x").unwrap();
+    sys.excel.borrow_mut().select("meds.xls", "Sheet1", "C9").unwrap();
+    view_scrap(&mut sys.pad, scraps[0], ViewingStyle::Simultaneous).unwrap();
+    assert_eq!(
+        sys.excel.borrow().current_selection().unwrap().to_string(),
+        "meds.xls!Sheet1!A1",
+        "activation drove the base application to the mark"
+    );
+}
+
+#[test]
+fn enhanced_base_viewing_carries_annotations() {
+    let (mut sys, scraps) = system_with_scraps();
+    let screen = view_scrap(&mut sys.pad, scraps[1], ViewingStyle::EnhancedBase).unwrap();
+    assert!(screen.contains("guide.pdf"), "{screen}");
+    assert!(screen.contains("[potassium]"), "base highlight: {screen}");
+    assert!(screen.contains("K guidance"), "scrap label injected: {screen}");
+    assert!(screen.contains("relevant to bed 4"), "annotation injected: {screen}");
+    assert!(!screen.contains(" Styles "), "no pad window in this style");
+}
+
+#[test]
+fn independent_viewing_pulls_content_without_base_window() {
+    let (mut sys, scraps) = system_with_scraps();
+    let screen = view_scrap(&mut sys.pad, scraps[0], ViewingStyle::Independent).unwrap();
+    assert!(screen.contains(" Styles "), "{screen}");
+    assert!(screen.contains("⇐ Lasix 40"), "{screen}");
+    assert!(!screen.contains("meds.xls"), "base hidden: {screen}");
+}
+
+#[test]
+fn independent_viewing_leaves_base_selection_untouched() {
+    use superimposed::BaseApplication;
+    let (mut sys, scraps) = system_with_scraps();
+    let before = sys.pdf.borrow().current_selection().unwrap();
+    view_scrap(&mut sys.pad, scraps[1], ViewingStyle::Independent).unwrap();
+    let after = sys.pdf.borrow().current_selection().unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn styles_work_after_pad_reload() {
+    let (mut sys, _) = system_with_scraps();
+    let saved = sys.pad.save_xml();
+    sys.reopen_pad(&saved).unwrap();
+    let root = sys.pad.root_bundle();
+    let scraps = sys.pad.dmi().bundle(root).unwrap().scraps;
+    for style in [ViewingStyle::Simultaneous, ViewingStyle::EnhancedBase, ViewingStyle::Independent]
+    {
+        for scrap in &scraps {
+            let screen = view_scrap(&mut sys.pad, *scrap, style).unwrap();
+            assert!(!screen.trim().is_empty());
+        }
+    }
+}
