@@ -43,6 +43,7 @@ pub use search::{BaseHit, SearchResults};
 pub use basedocs;
 pub use marks;
 pub use metamodel;
+pub use slimio;
 pub use slimpad;
 pub use slimstore;
 pub use trim;
@@ -119,6 +120,29 @@ impl SuperimposedSystem {
         let manager = self.fresh_manager()?;
         self.pad = PadSession::load_xml(xml_text, manager)?;
         Ok(())
+    }
+
+    /// Replace the current pad by one loaded from a pad file (strict:
+    /// refuses a file that fails its integrity check).
+    pub fn reopen_pad_file(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), PadError> {
+        let manager = self.fresh_manager()?;
+        self.pad = PadSession::load(path, manager)?;
+        Ok(())
+    }
+
+    /// Replace the current pad by whatever can be salvaged from a
+    /// damaged pad file, returning the recovery report. The report's
+    /// accounting (salvaged/lost/notes) is what a status bar would show
+    /// after a crash recovery.
+    pub fn recover_pad_file(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<slimio::Recovered<()>, PadError> {
+        let manager = self.fresh_manager()?;
+        let recovered = PadSession::load_salvage(path, manager)?;
+        Ok(recovered.map(|pad| {
+            self.pad = pad;
+        }))
     }
 }
 

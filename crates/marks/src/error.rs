@@ -22,6 +22,13 @@ pub enum MarkError {
     Format { message: String },
     /// The persisted mark store is not well-formed XML.
     Xml(String),
+    /// The store declares a format version newer than this build supports.
+    UnsupportedVersion { found: String, supported: u32 },
+    /// The store file failed its integrity check (checksum mismatch or
+    /// truncation); salvage loading may still recover a prefix.
+    Corrupt { detail: String },
+    /// An I/O failure while reading or writing a mark store file.
+    Io { detail: String },
 }
 
 impl fmt::Display for MarkError {
@@ -40,11 +47,26 @@ impl fmt::Display for MarkError {
             MarkError::Base(e) => write!(f, "base application error: {e}"),
             MarkError::Format { message } => write!(f, "invalid mark store: {message}"),
             MarkError::Xml(m) => write!(f, "mark store is not well-formed XML: {m}"),
+            MarkError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "mark store declares format version {found}, \
+                 but this build supports at most version {supported}"
+            ),
+            MarkError::Corrupt { detail } => {
+                write!(f, "mark store failed its integrity check: {detail}")
+            }
+            MarkError::Io { detail } => write!(f, "mark store I/O error: {detail}"),
         }
     }
 }
 
 impl std::error::Error for MarkError {}
+
+impl From<slimio::IoError> for MarkError {
+    fn from(e: slimio::IoError) -> Self {
+        MarkError::Io { detail: e.to_string() }
+    }
+}
 
 impl From<DocError> for MarkError {
     fn from(e: DocError) -> Self {

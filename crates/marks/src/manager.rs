@@ -4,11 +4,62 @@ use crate::error::MarkError;
 use crate::mark::{Mark, MarkAddress, MarkId};
 use crate::module::{MarkModule, Resolution};
 use basedocs::DocKind;
+use slimio::{Integrity, Recovered, StdVfs, Vfs};
 use std::collections::{BTreeMap, HashMap};
-use xmlkit::XmlWriter;
+use std::path::Path;
+use xmlkit::{Element, XmlWriter};
 
 /// On-disk format version for the mark store.
 const FORMAT_VERSION: &str = "1";
+
+/// Highest format version this build can read.
+const SUPPORTED_VERSION: u32 = 1;
+
+/// Version gate shared by strict and salvage loading.
+fn check_version(root: &Element) -> Result<(), MarkError> {
+    match root.attr("version") {
+        Some(FORMAT_VERSION) => Ok(()),
+        Some(other) => match other.trim().parse::<u32>() {
+            Ok(n) if n > SUPPORTED_VERSION => Err(MarkError::UnsupportedVersion {
+                found: other.to_string(),
+                supported: SUPPORTED_VERSION,
+            }),
+            _ => Err(MarkError::Format { message: "missing or unsupported version".into() }),
+        },
+        None => Err(MarkError::Format { message: "missing or unsupported version".into() }),
+    }
+}
+
+/// Validate one `<mark>` record and convert it.
+fn read_mark(m: &Element) -> Result<Mark, MarkError> {
+    if m.name != "mark" {
+        return Err(MarkError::Format { message: format!("unexpected element <{}>", m.name) });
+    }
+    let id = m
+        .attr("id")
+        .ok_or_else(|| MarkError::Format { message: "mark missing id".into() })?;
+    let kind = m
+        .attr("kind")
+        .and_then(DocKind::from_id)
+        .ok_or_else(|| MarkError::Format { message: format!("mark {id} has bad kind") })?;
+    let excerpt = m.attr("excerpt").unwrap_or_default().to_string();
+    let fields: Vec<(String, String)> = m
+        .children_named("f")
+        .map(|f| {
+            f.attr("n").map(|n| (n.to_string(), f.text())).ok_or_else(|| MarkError::Format {
+                message: format!("mark {id} has a field without a name"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let address = MarkAddress::from_fields(kind, &fields)
+        .map_err(|e| MarkError::Format { message: format!("mark {id}: {e}") })?;
+    Ok(Mark { mark_id: id.to_string(), address, excerpt })
+}
+
+/// Numeric suffix of a `mark:N` id, for recomputing `next` in salvage.
+fn mark_id_number(id: &str) -> Option<u64> {
+    id.strip_prefix("mark:").and_then(|n| n.parse().ok())
+}
 
 /// Per-kind mark counts, for displays and the E6 experiment.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -238,7 +289,10 @@ impl MarkManager {
         let address = self.get(mark_id)?.address.clone();
         let module = self.default_module(address.kind())?;
         let current = module.extract(&address)?;
-        let mark = self.marks.get_mut(mark_id).expect("checked by get()");
+        let mark = self
+            .marks
+            .get_mut(mark_id)
+            .ok_or_else(|| MarkError::UnknownMark { mark_id: mark_id.to_string() })?;
         Ok(std::mem::replace(&mut mark.excerpt, current))
     }
 
@@ -310,9 +364,7 @@ impl MarkManager {
                 message: format!("expected <marks>, found <{}>", doc.root.name),
             });
         }
-        if doc.root.attr("version") != Some(FORMAT_VERSION) {
-            return Err(MarkError::Format { message: "missing or unsupported version".into() });
-        }
+        check_version(&doc.root)?;
         let next_id: u64 = doc
             .root
             .attr("next")
@@ -320,39 +372,132 @@ impl MarkManager {
             .ok_or_else(|| MarkError::Format { message: "bad 'next' attribute".into() })?;
         let mut marks = BTreeMap::new();
         for m in doc.root.elements() {
-            if m.name != "mark" {
-                return Err(MarkError::Format {
-                    message: format!("unexpected element <{}>", m.name),
-                });
-            }
-            let id = m
-                .attr("id")
-                .ok_or_else(|| MarkError::Format { message: "mark missing id".into() })?;
-            let kind = m
-                .attr("kind")
-                .and_then(DocKind::from_id)
-                .ok_or_else(|| MarkError::Format { message: format!("mark {id} has bad kind") })?;
-            let excerpt = m.attr("excerpt").unwrap_or_default().to_string();
-            let fields: Vec<(String, String)> = m
-                .children_named("f")
-                .map(|f| {
-                    f.attr("n")
-                        .map(|n| (n.to_string(), f.text()))
-                        .ok_or_else(|| MarkError::Format {
-                            message: format!("mark {id} has a field without a name"),
-                        })
-                })
-                .collect::<Result<_, _>>()?;
-            let address = MarkAddress::from_fields(kind, &fields)
-                .map_err(|e| MarkError::Format { message: format!("mark {id}: {e}") })?;
-            marks.insert(
-                id.to_string(),
-                Mark { mark_id: id.to_string(), address, excerpt },
-            );
+            let mark = read_mark(m)?;
+            marks.insert(mark.mark_id.clone(), mark);
         }
         self.marks = marks;
         self.next_id = next_id;
         Ok(())
+    }
+
+    /// Salvage a mark store from possibly damaged XML text: keep every
+    /// readable mark, count the rest as lost, and report what happened.
+    /// Existing marks are replaced. Errors only when nothing at all is
+    /// recoverable or the store declares a newer format version.
+    pub fn load_xml_salvage(&mut self, text: &str) -> Result<Recovered<()>, MarkError> {
+        let salvaged = xmlkit::parse_salvage(text);
+        let root = match salvaged.root {
+            Some(root) => root,
+            None => {
+                return Err(match salvaged.error {
+                    Some(e) => MarkError::Xml(e.to_string()),
+                    None => MarkError::Format { message: "no root element".into() },
+                })
+            }
+        };
+        if root.name != "marks" {
+            return Err(MarkError::Format {
+                message: format!("expected <marks>, found <{}>", root.name),
+            });
+        }
+        check_version(&root)?;
+
+        let mut recovered = Recovered::clean((), 0);
+        if let Some(e) = &salvaged.error {
+            recovered.note(format!("file damaged: {e}"));
+        }
+        let mut marks = BTreeMap::new();
+        let mut max_id = None::<u64>;
+        let children: Vec<&Element> = root.elements().collect();
+        let suspect_last = salvaged.unclosed >= 2;
+        for (i, m) in children.iter().enumerate() {
+            if suspect_last && i + 1 == children.len() {
+                recovered.lost += 1;
+                recovered.note(format!("mark #{i} truncated mid-record; dropped"));
+                continue;
+            }
+            match read_mark(m) {
+                Ok(mark) => {
+                    max_id = max_id.max(mark_id_number(&mark.mark_id));
+                    marks.insert(mark.mark_id.clone(), mark);
+                    recovered.salvaged += 1;
+                }
+                Err(e) => {
+                    recovered.lost += 1;
+                    recovered.note(format!("skipped unreadable mark: {e}"));
+                }
+            }
+        }
+        // The 'next' counter may itself be damaged: recompute a safe one
+        // so newly created marks never collide with salvaged ids.
+        let declared_next = root.attr("next").and_then(|n| n.parse::<u64>().ok());
+        let floor = max_id.map(|n| n + 1).unwrap_or(0);
+        let next_id = match declared_next {
+            Some(n) if n >= floor => n,
+            other => {
+                recovered.note(format!(
+                    "'next' counter {} repaired to {floor}",
+                    other.map(|n| n.to_string()).unwrap_or_else(|| "missing".into())
+                ));
+                floor
+            }
+        };
+        self.marks = marks;
+        self.next_id = next_id;
+        Ok(recovered)
+    }
+
+    /// Write the mark store to a file: sealed with a checksum footer and
+    /// installed atomically. A crash at any point leaves the previous
+    /// file intact.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MarkError> {
+        self.save_to(&mut StdVfs, path.as_ref())
+    }
+
+    /// [`save`](MarkManager::save) through an explicit [`Vfs`] backend.
+    pub fn save_to(&self, vfs: &mut dyn Vfs, path: &Path) -> Result<(), MarkError> {
+        slimio::save_atomic(vfs, path, &self.to_xml())?;
+        Ok(())
+    }
+
+    /// Load a mark store file saved by [`MarkManager::save`] into this
+    /// manager (which supplies the modules). Strict: a file failing its
+    /// integrity check is refused with [`MarkError::Corrupt`]; legacy
+    /// files without a footer are trusted as-is.
+    pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<(), MarkError> {
+        self.load_file_from(&StdVfs, path.as_ref())
+    }
+
+    /// [`load_file`](MarkManager::load_file) through an explicit [`Vfs`].
+    pub fn load_file_from(&mut self, vfs: &dyn Vfs, path: &Path) -> Result<(), MarkError> {
+        let (verdict, payload) = slimio::load_sealed(vfs, path)?;
+        if verdict == Integrity::Corrupt {
+            return Err(MarkError::Corrupt {
+                detail: format!("{} (checksum mismatch or truncation)", path.display()),
+            });
+        }
+        self.load_xml(&payload)
+    }
+
+    /// Salvage a mark store file: recover every readable mark instead of
+    /// failing hard.
+    pub fn load_file_salvage(&mut self, path: impl AsRef<Path>) -> Result<Recovered<()>, MarkError> {
+        self.load_file_salvage_from(&StdVfs, path.as_ref())
+    }
+
+    /// [`load_file_salvage`](MarkManager::load_file_salvage) through an
+    /// explicit [`Vfs`] backend.
+    pub fn load_file_salvage_from(
+        &mut self,
+        vfs: &dyn Vfs,
+        path: &Path,
+    ) -> Result<Recovered<()>, MarkError> {
+        let (verdict, payload) = slimio::load_sealed(vfs, path)?;
+        let mut recovered = self.load_xml_salvage(&payload)?;
+        if verdict == Integrity::Corrupt {
+            recovered.note("integrity check failed: checksum mismatch or truncation");
+        }
+        Ok(recovered)
     }
 }
 
@@ -625,5 +770,136 @@ mod tests {
             bare.extract_content("mark:0"),
             Err(MarkError::NoModule { .. })
         ));
+    }
+
+    // ---- durability & recovery ------------------------------------------
+
+    use slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+    use std::path::Path;
+
+    fn populated_manager() -> MarkManager {
+        let (mut mgr, sheet_app, xml_app) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        xml_app.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+        mgr.create_mark(DocKind::Xml).unwrap();
+        mgr
+    }
+
+    #[test]
+    fn newer_version_is_a_typed_refusal() {
+        let mut mgr = MarkManager::new();
+        assert!(matches!(
+            mgr.load_xml(r#"<marks version="3" next="0"/>"#),
+            Err(MarkError::UnsupportedVersion { ref found, supported: 1 }) if found == "3"
+        ));
+        assert!(matches!(
+            mgr.load_xml_salvage(r#"<marks version="3" next="0"/>"#),
+            Err(MarkError::UnsupportedVersion { .. })
+        ));
+        assert!(matches!(
+            mgr.load_xml(r#"<marks version="banana" next="0"/>"#),
+            Err(MarkError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn file_save_load_roundtrips_and_is_sealed() {
+        let mgr = populated_manager();
+        let mut vfs = MemVfs::new();
+        mgr.save_to(&mut vfs, Path::new("marks.xml")).unwrap();
+        assert_eq!(vfs.file_count(), 1, "temp file must not linger");
+        let raw = String::from_utf8(vfs.bytes("marks.xml").unwrap().to_vec()).unwrap();
+        assert!(raw.contains("<!--slimio v1 crc32="), "missing seal footer");
+
+        let (mut mgr2, _, _) = manager_with_apps();
+        mgr2.load_file_from(&vfs, Path::new("marks.xml")).unwrap();
+        assert_eq!(mgr2.len(), 2);
+        let originals: Vec<_> = mgr.marks().cloned().collect();
+        let loaded: Vec<_> = mgr2.marks().cloned().collect();
+        assert_eq!(originals, loaded);
+    }
+
+    #[test]
+    fn crash_during_save_preserves_previous_file() {
+        let old = populated_manager();
+        for op in [FaultOp::Write, FaultOp::Sync, FaultOp::Rename] {
+            let mut base = MemVfs::new();
+            old.save_to(&mut base, Path::new("marks.xml")).unwrap();
+            let config = FaultConfig::new(op, FaultMode::Torn, 0, 23).halting();
+            let mut vfs = FaultVfs::new(base, config);
+            assert!(old.save_to(&mut vfs, Path::new("marks.xml")).is_err());
+            let disk = vfs.into_inner();
+            let (mut reread, _, _) = manager_with_apps();
+            reread.load_file_from(&disk, Path::new("marks.xml")).unwrap();
+            assert_eq!(reread.len(), old.len(), "{op:?} damaged the previous file");
+        }
+    }
+
+    #[test]
+    fn corrupt_file_refused_strictly_but_salvageable() {
+        let mgr = populated_manager();
+        let mut vfs = MemVfs::new();
+        mgr.save_to(&mut vfs, Path::new("marks.xml")).unwrap();
+        let mut bytes = vfs.bytes("marks.xml").unwrap().to_vec();
+        let idx = String::from_utf8(bytes.clone()).unwrap().find("Lasix").unwrap();
+        bytes[idx] = b'Z';
+        vfs.write(Path::new("marks.xml"), &bytes).unwrap();
+
+        let mut strict = MarkManager::new();
+        assert!(matches!(
+            strict.load_file_from(&vfs, Path::new("marks.xml")),
+            Err(MarkError::Corrupt { .. })
+        ));
+
+        let mut salvager = MarkManager::new();
+        let report = salvager.load_file_salvage_from(&vfs, Path::new("marks.xml")).unwrap();
+        assert_eq!(report.salvaged, 2);
+        assert!(report.notes.iter().any(|n| n.contains("integrity")));
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_and_repairs_next_counter() {
+        let mgr = populated_manager();
+        let xml = mgr.to_xml();
+        // Truncate inside the second mark's record.
+        let cut = xml.rfind("<mark ").unwrap() + 12;
+        let mut salvager = MarkManager::new();
+        let report = salvager.load_xml_salvage(&xml[..cut]).unwrap();
+        assert_eq!(report.salvaged, 1);
+        assert_eq!(salvager.len(), 1);
+        assert!(!report.is_clean());
+        // New ids must not collide with the salvaged mark.
+        let address = salvager.marks().next().unwrap().address.clone();
+        let new_id = salvager.create_mark_at(address).unwrap();
+        assert!(salvager.get(&new_id).is_ok());
+        assert_ne!(new_id, salvager.marks().next().unwrap().mark_id);
+    }
+
+    #[test]
+    fn salvage_of_wellformed_store_is_clean() {
+        let mgr = populated_manager();
+        let mut salvager = MarkManager::new();
+        let report = salvager.load_xml_salvage(&mgr.to_xml()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.salvaged, 2);
+        let originals: Vec<_> = mgr.marks().cloned().collect();
+        let loaded: Vec<_> = salvager.marks().cloned().collect();
+        assert_eq!(originals, loaded);
+    }
+
+    #[test]
+    fn salvage_skips_unreadable_marks_mid_store() {
+        // A real store with one unreadable record injected up front.
+        let xml = populated_manager()
+            .to_xml()
+            .replacen("<mark ", r#"<mark id="mark:9" kind="alien"/><mark "#, 1);
+        let mut salvager = MarkManager::new();
+        let report = salvager.load_xml_salvage(&xml).unwrap();
+        assert_eq!(report.salvaged, 2);
+        assert_eq!(report.lost, 1);
+        assert!(report.notes.iter().any(|n| n.contains("unreadable")));
+        assert!(salvager.get("mark:0").is_ok());
+        assert!(salvager.get("mark:1").is_ok());
     }
 }

@@ -1,0 +1,186 @@
+//! Atomic durable save: write-temp → fsync → rename.
+//!
+//! The invariant callers get: a crash at *any* point during
+//! [`save_atomic`] leaves the destination either untouched (still the
+//! previous version, still loadable) or fully replaced by the new
+//! sealed artifact. The dangerous window of a direct
+//! `std::fs::write` — destination truncated, new bytes partly written —
+//! never exists, because all writing happens to a sibling temp file and
+//! the only mutation of the destination is a rename.
+
+use crate::seal::{check_seal, seal, Integrity};
+use crate::vfs::Vfs;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// An I/O failure with the operation and path that produced it.
+#[derive(Debug)]
+pub struct IoError {
+    pub op: &'static str,
+    pub path: PathBuf,
+    pub source: io::Error,
+}
+
+impl IoError {
+    fn new(op: &'static str, path: &Path, source: io::Error) -> Self {
+        IoError { op, path: path.to_path_buf(), source }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.op, self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl From<IoError> for io::Error {
+    fn from(e: IoError) -> Self {
+        io::Error::new(e.source.kind(), e.to_string())
+    }
+}
+
+/// Sibling temp path: `pad.xml` → `pad.xml.slimio-tmp`. A sibling (not
+/// a tempdir) so the final rename never crosses a file system.
+fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".slimio-tmp");
+    path.with_file_name(name)
+}
+
+/// Seal `payload` and durably, atomically install it at `path`.
+pub fn save_atomic(vfs: &mut dyn Vfs, path: &Path, payload: &str) -> Result<(), IoError> {
+    let sealed = seal(payload);
+    let tmp = temp_path(path);
+    let result = (|| {
+        vfs.write(&tmp, sealed.as_bytes()).map_err(|e| IoError::new("write", &tmp, e))?;
+        vfs.sync(&tmp).map_err(|e| IoError::new("sync", &tmp, e))?;
+        vfs.rename(&tmp, path).map_err(|e| IoError::new("rename", path, e))?;
+        Ok(())
+    })();
+    if result.is_err() {
+        // Best effort: don't leave the temp file behind, but the original
+        // error is what the caller needs to see.
+        let _ = vfs.remove(&tmp);
+    }
+    result
+}
+
+/// Read a possibly-sealed artifact: the integrity verdict plus the
+/// payload text with any footer stripped.
+///
+/// Non-UTF-8 content is reported as `Corrupt` with a lossy decode so
+/// salvage can still look at the readable prefix.
+pub fn load_sealed(vfs: &dyn Vfs, path: &Path) -> Result<(Integrity, String), IoError> {
+    let bytes = vfs.read(path).map_err(|e| IoError::new("read", path, e))?;
+    match String::from_utf8(bytes) {
+        Ok(text) => {
+            let (verdict, payload) = check_seal(&text);
+            Ok((verdict, payload.to_string()))
+        }
+        Err(e) => {
+            let text = String::from_utf8_lossy(e.as_bytes()).into_owned();
+            let (_, payload) = check_seal(&text);
+            Ok((Integrity::Corrupt, payload.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+
+    const OLD: &str = "<trim version=\"1\"><t s=\"old\" p=\"p\"><lit>v</lit></t></trim>";
+    const NEW: &str = "<trim version=\"1\"><t s=\"new\" p=\"p\"><lit>v</lit></t></trim>";
+
+    fn with_existing() -> MemVfs {
+        let mut vfs = MemVfs::new();
+        save_atomic(&mut vfs, Path::new("store.xml"), OLD).unwrap();
+        vfs
+    }
+
+    #[test]
+    fn save_then_load_verifies() {
+        let mut vfs = MemVfs::new();
+        save_atomic(&mut vfs, Path::new("store.xml"), NEW).unwrap();
+        let (verdict, payload) = load_sealed(&vfs, Path::new("store.xml")).unwrap();
+        assert_eq!(verdict, Integrity::Verified);
+        assert_eq!(payload, NEW);
+        assert_eq!(vfs.file_count(), 1, "temp file must not linger");
+    }
+
+    #[test]
+    fn every_faulted_step_preserves_the_previous_version() {
+        for (op, index) in [(FaultOp::Write, 0), (FaultOp::Sync, 0), (FaultOp::Rename, 0)] {
+            for mode in [FaultMode::Fail, FaultMode::Torn] {
+                for seed in 0..8 {
+                    let config = FaultConfig::new(op, mode, index, seed).halting();
+                    let mut vfs = FaultVfs::new(with_existing(), config);
+                    let err = save_atomic(&mut vfs, Path::new("store.xml"), NEW);
+                    assert!(err.is_err(), "{op:?}/{mode:?} should surface an error");
+                    assert!(vfs.fault_fired());
+                    // "Reboot": inspect the disk the crashed process left.
+                    let disk = vfs.into_inner();
+                    let (verdict, payload) =
+                        load_sealed(&disk, Path::new("store.xml")).unwrap();
+                    assert_eq!(
+                        verdict,
+                        Integrity::Verified,
+                        "{op:?}/{mode:?} seed {seed}: previous version damaged"
+                    );
+                    assert_eq!(payload, OLD);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silent_torn_write_is_caught_at_load() {
+        // The disk lies about the temp write; the rename then installs a
+        // truncated artifact. The seal check must refuse to verify it.
+        let config = FaultConfig::new(FaultOp::Write, FaultMode::SilentTorn, 0, 5);
+        let mut vfs = FaultVfs::new(with_existing(), config);
+        let _ = save_atomic(&mut vfs, Path::new("store.xml"), NEW);
+        let disk = vfs.into_inner();
+        let (verdict, payload) = load_sealed(&disk, Path::new("store.xml")).unwrap();
+        if payload == OLD {
+            // Tear landed at full length minus footer? Then old survived.
+            assert_eq!(verdict, Integrity::Verified);
+        } else {
+            assert_ne!(verdict, Integrity::Verified, "lying disk went undetected");
+        }
+    }
+
+    #[test]
+    fn failed_save_cleans_up_the_temp_file() {
+        let config = FaultConfig::new(FaultOp::Sync, FaultMode::Fail, 0, 0);
+        let mut vfs = FaultVfs::new(with_existing(), config);
+        let _ = save_atomic(&mut vfs, Path::new("store.xml"), NEW);
+        let disk = vfs.into_inner();
+        assert_eq!(disk.file_count(), 1, "temp file left behind after failed save");
+    }
+
+    #[test]
+    fn legacy_unsealed_file_loads_as_unsealed() {
+        let mut vfs = MemVfs::new();
+        vfs.write(Path::new("legacy.xml"), OLD.as_bytes()).unwrap();
+        let (verdict, payload) = load_sealed(&vfs, Path::new("legacy.xml")).unwrap();
+        assert_eq!(verdict, Integrity::Unsealed);
+        assert_eq!(payload, OLD);
+    }
+
+    #[test]
+    fn non_utf8_content_is_corrupt_not_a_panic() {
+        let mut vfs = MemVfs::new();
+        vfs.write(Path::new("bin.xml"), &[0x3C, 0xFF, 0xFE, 0x00]).unwrap();
+        let (verdict, _) = load_sealed(&vfs, Path::new("bin.xml")).unwrap();
+        assert_eq!(verdict, Integrity::Corrupt);
+    }
+}

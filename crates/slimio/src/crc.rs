@@ -1,0 +1,64 @@
+//! CRC32 (IEEE 802.3 polynomial, reflected), table-driven.
+//!
+//! The seal footer needs a checksum that is cheap, dependency-free, and
+//! stable across platforms. CRC32 detects all single-burst errors up to
+//! 32 bits and virtually all truncations, which covers the failure modes
+//! the fault injector produces (torn prefixes, flipped bytes).
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Checksum `data` with the IEEE CRC32.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"<trim version=\"1\"/>");
+        let b = crc32(b"<trim version=\"1\"/=");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sensitive_to_truncation() {
+        let payload = b"<marks version=\"1\" next=\"4\"></marks>";
+        let full = crc32(payload);
+        for cut in 0..payload.len() {
+            assert_ne!(crc32(&payload[..cut]), full, "truncation at {cut} collided");
+        }
+    }
+}

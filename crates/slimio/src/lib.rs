@@ -1,0 +1,41 @@
+//! Crash-safe persistence for the SLIM workspace.
+//!
+//! Every saved artifact in this system is a small XML document — a triple
+//! store, a mark store, or a pad file that embeds both. Before this crate
+//! existed each persistence site called `std::fs::write` directly, which
+//! has two failure modes the paper's bundle model cannot tolerate:
+//!
+//! 1. **Torn writes.** A crash mid-write leaves a truncated file that
+//!    replaced the previous good one. The superimposed layer loses marks
+//!    whose base documents are perfectly intact.
+//! 2. **Silent corruption.** A lying disk reports success for bytes that
+//!    never hit the platter; the damage surfaces only at the next load.
+//!
+//! `slimio` addresses both with three cooperating pieces:
+//!
+//! - [`Vfs`] — a small file-system trait so every persistence site is
+//!   testable against an in-memory backend ([`MemVfs`]) and a
+//!   deterministic fault injector ([`FaultVfs`]) as well as the real
+//!   disk ([`StdVfs`]).
+//! - [`save_atomic`] — write-temp → fsync → rename, so a crash at any
+//!   point leaves either the old file or the new file, never a hybrid.
+//! - [`seal`]/[`check_seal`] — a CRC32 footer appended as a trailing XML
+//!   comment, so corruption is detected at load time and salvage
+//!   recovery (in the consuming crates) can be attempted deliberately
+//!   instead of discovered as a parse panic.
+//!
+//! The [`Recovered`] report type is shared by every salvage-capable
+//! loader in the workspace so callers see one shape: what survived, what
+//! was lost, and why.
+
+mod atomic;
+mod crc;
+mod report;
+mod seal;
+mod vfs;
+
+pub use atomic::{load_sealed, save_atomic, IoError};
+pub use crc::crc32;
+pub use report::Recovered;
+pub use seal::{check_seal, seal, strip_seal, Integrity, SEAL_VERSION};
+pub use vfs::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs, StdVfs, Vfs};

@@ -1,0 +1,87 @@
+//! Salvage recovery report.
+
+use std::fmt;
+
+/// The result of a salvage load: the recovered value plus an accounting
+/// of what survived and what didn't.
+///
+/// Every salvage-capable loader in the workspace returns this shape so
+/// callers — and users reading a recovery log — see one vocabulary:
+/// `salvaged` items made it, `lost` items were present in the damaged
+/// artifact but could not be recovered, and `notes` says why in
+/// human-readable terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovered<T> {
+    /// The recovered value (possibly empty, never absent: salvage that
+    /// recovers nothing still yields a valid empty store).
+    pub value: T,
+    /// Number of items recovered intact.
+    pub salvaged: usize,
+    /// Number of items detected as present but unrecoverable.
+    pub lost: usize,
+    /// Human-readable notes on what happened, in discovery order.
+    pub notes: Vec<String>,
+}
+
+impl<T> Recovered<T> {
+    /// A clean load: everything salvaged, nothing lost, no notes.
+    pub fn clean(value: T, salvaged: usize) -> Self {
+        Recovered { value, salvaged, lost: 0, notes: Vec::new() }
+    }
+
+    /// True when nothing was lost and no degradation was noted.
+    pub fn is_clean(&self) -> bool {
+        self.lost == 0 && self.notes.is_empty()
+    }
+
+    /// Map the recovered value, keeping the accounting.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Recovered<U> {
+        Recovered { value: f(self.value), salvaged: self.salvaged, lost: self.lost, notes: self.notes }
+    }
+
+    /// Record a degradation note.
+    pub fn note(&mut self, message: impl Into<String>) {
+        self.notes.push(message.into());
+    }
+}
+
+impl<T> fmt::Display for Recovered<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "salvaged {} item(s), lost {}", self.salvaged, self.lost)?;
+        for note in &self.notes {
+            write!(f, "; {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report() {
+        let r = Recovered::clean(vec![1, 2, 3], 3);
+        assert!(r.is_clean());
+        assert_eq!(r.to_string(), "salvaged 3 item(s), lost 0");
+    }
+
+    #[test]
+    fn degraded_report() {
+        let mut r = Recovered::clean((), 5);
+        r.lost = 2;
+        r.note("last triple truncated mid-element");
+        assert!(!r.is_clean());
+        assert_eq!(r.to_string(), "salvaged 5 item(s), lost 2; last triple truncated mid-element");
+    }
+
+    #[test]
+    fn map_keeps_accounting() {
+        let mut r = Recovered::clean(4usize, 4);
+        r.note("x");
+        let mapped = r.map(|n| n * 2);
+        assert_eq!(mapped.value, 8);
+        assert_eq!(mapped.salvaged, 4);
+        assert_eq!(mapped.notes, vec!["x".to_string()]);
+    }
+}

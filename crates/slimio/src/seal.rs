@@ -1,0 +1,144 @@
+//! Checksummed seal footer for saved XML artifacts.
+//!
+//! A sealed artifact is the original payload followed by one trailing
+//! XML comment:
+//!
+//! ```text
+//! <trim version="1">...</trim>
+//! <!--slimio v1 crc32=9ae0daaf len=1024-->
+//! ```
+//!
+//! The footer is a comment so sealed files remain well-formed XML and
+//! loadable by tools that know nothing about slimio. `len` is the byte
+//! length of the payload (everything before the footer's leading
+//! newline); `crc32` is the IEEE CRC32 of exactly those bytes, in
+//! lowercase hex. Files written before sealing existed carry no footer
+//! and load as [`Integrity::Unsealed`] — trusted but unverifiable.
+
+use crate::crc::crc32;
+
+/// Version tag written into the footer, bumped if the format changes.
+pub const SEAL_VERSION: u32 = 1;
+
+const FOOTER_PREFIX: &str = "\n<!--slimio v1 crc32=";
+const FOOTER_SUFFIX: &str = "-->";
+
+/// What checking a seal told us about an artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integrity {
+    /// Footer present and the checksum matches the payload.
+    Verified,
+    /// No footer: a legacy artifact saved before sealing existed.
+    Unsealed,
+    /// Footer present but damaged, or checksum/length mismatch.
+    Corrupt,
+}
+
+/// Append the seal footer to `payload`.
+pub fn seal(payload: &str) -> String {
+    let bytes = payload.as_bytes();
+    format!(
+        "{payload}{FOOTER_PREFIX}{:08x} len={}{FOOTER_SUFFIX}",
+        crc32(bytes),
+        bytes.len()
+    )
+}
+
+/// Check a possibly-sealed artifact, returning the verdict and the
+/// payload with the footer stripped (the input unchanged if unsealed).
+///
+/// On [`Integrity::Corrupt`] the returned payload is the best guess —
+/// the bytes before the footer if one was found, otherwise the whole
+/// input — so salvage parsing can still be attempted.
+pub fn check_seal(text: &str) -> (Integrity, &str) {
+    let Some(idx) = text.rfind(FOOTER_PREFIX) else {
+        return (Integrity::Unsealed, text);
+    };
+    let payload = &text[..idx];
+    let footer = &text[idx + FOOTER_PREFIX.len()..];
+    let Some(body) = footer.strip_suffix(FOOTER_SUFFIX) else {
+        // Footer started but never finished: the write tore inside it.
+        return (Integrity::Corrupt, payload);
+    };
+    let Some((crc_hex, len_field)) = body.split_once(" len=") else {
+        return (Integrity::Corrupt, payload);
+    };
+    let (Ok(expected_crc), Ok(expected_len)) =
+        (u32::from_str_radix(crc_hex, 16), len_field.parse::<usize>())
+    else {
+        return (Integrity::Corrupt, payload);
+    };
+    if payload.len() == expected_len && crc32(payload.as_bytes()) == expected_crc {
+        (Integrity::Verified, payload)
+    } else {
+        (Integrity::Corrupt, payload)
+    }
+}
+
+/// Strip a seal footer without verifying it (for display/diff tooling).
+pub fn strip_seal(text: &str) -> &str {
+    check_seal(text).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_verifies() {
+        let payload = "<trim version=\"1\">\n  <t s=\"a\" p=\"b\"><lit>c</lit></t>\n</trim>";
+        let sealed = seal(payload);
+        let (verdict, stripped) = check_seal(&sealed);
+        assert_eq!(verdict, Integrity::Verified);
+        assert_eq!(stripped, payload);
+    }
+
+    #[test]
+    fn unsealed_passes_through() {
+        let legacy = "<trim version=\"1\"></trim>";
+        let (verdict, stripped) = check_seal(legacy);
+        assert_eq!(verdict, Integrity::Unsealed);
+        assert_eq!(stripped, legacy);
+    }
+
+    #[test]
+    fn flipped_byte_is_corrupt() {
+        let sealed = seal("<marks version=\"1\" next=\"2\"></marks>");
+        let mut bytes = sealed.into_bytes();
+        bytes[10] ^= 0x20;
+        let tampered = String::from_utf8(bytes).unwrap();
+        let (verdict, _) = check_seal(&tampered);
+        assert_eq!(verdict, Integrity::Corrupt);
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        let sealed = seal("<slimpad-file version=\"1\"><store>s</store><marks>m</marks></slimpad-file>");
+        for cut in 1..sealed.len() {
+            if !sealed.is_char_boundary(cut) {
+                continue;
+            }
+            let (verdict, _) = check_seal(&sealed[..cut]);
+            assert_ne!(
+                verdict,
+                Integrity::Verified,
+                "truncation at byte {cut} passed verification"
+            );
+        }
+    }
+
+    #[test]
+    fn sealed_file_is_still_wellformed_xml_shape() {
+        let sealed = seal("<trim version=\"1\"></trim>");
+        assert!(sealed.ends_with("-->"));
+        assert!(sealed.contains("<!--slimio v1 crc32="));
+    }
+
+    #[test]
+    fn garbage_footer_fields_are_corrupt() {
+        let bad = format!("<x/>{}zzzzzzzz len=4{}", FOOTER_PREFIX, FOOTER_SUFFIX);
+        assert_eq!(check_seal(&bad).0, Integrity::Corrupt);
+        let bad_len = format!("<x/>{}00000000 len=nope{}", FOOTER_PREFIX, FOOTER_SUFFIX);
+        assert_eq!(check_seal(&bad_len).0, Integrity::Corrupt);
+    }
+}

@@ -1,0 +1,405 @@
+//! Virtual file system: the seam every persistence site goes through.
+//!
+//! Three backends:
+//!
+//! - [`StdVfs`] — the real disk.
+//! - [`MemVfs`] — an in-memory map, for tests that want speed and
+//!   isolation.
+//! - [`FaultVfs`] — wraps any backend and injects one deterministic
+//!   fault (fail / torn / silently-torn) into the nth write, rename, or
+//!   sync, optionally halting all further mutation to simulate the
+//!   process dying at that instant.
+//!
+//! The trait is deliberately tiny: exactly the operations the atomic
+//! save protocol and the loaders need, nothing speculative.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The file operations the persistence layer is allowed to perform.
+pub trait Vfs {
+    /// Read an entire file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create or replace a file with `data`.
+    fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Atomically rename `from` onto `to`, replacing `to` if it exists.
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Force a previously written file's bytes to stable storage.
+    fn sync(&mut self, path: &Path) -> io::Result<()>;
+    /// Delete a file; succeeds silently if it does not exist.
+    fn remove(&mut self, path: &Path) -> io::Result<()>;
+    /// Whether a file exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The real file system.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// In-memory file system for tests.
+#[derive(Debug, Default, Clone)]
+pub struct MemVfs {
+    files: BTreeMap<PathBuf, Vec<u8>>,
+}
+
+impl MemVfs {
+    pub fn new() -> Self {
+        MemVfs::default()
+    }
+
+    /// Direct access for assertions: the raw bytes of a file, if any.
+    pub fn bytes(&self, path: impl AsRef<Path>) -> Option<&[u8]> {
+        self.files.get(path.as_ref()).map(Vec::as_slice)
+    }
+
+    /// Number of files currently stored.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display())))
+    }
+
+    fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.files.insert(path.to_path_buf(), data.to_vec());
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        let data = self.files.remove(from).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("{}", from.display()))
+        })?;
+        self.files.insert(to.to_path_buf(), data);
+        Ok(())
+    }
+
+    fn sync(&mut self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        self.files.remove(path);
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.files.contains_key(path)
+    }
+}
+
+/// Which operation class a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    Write,
+    Rename,
+    Sync,
+}
+
+/// How the targeted operation misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation does nothing and returns an error.
+    Fail,
+    /// A prefix of the data lands, then the operation errors (a crash
+    /// mid-write). For renames and syncs this behaves like [`Fail`].
+    ///
+    /// [`Fail`]: FaultMode::Fail
+    Torn,
+    /// A prefix of the data lands but the operation *reports success* —
+    /// the lying-disk case only the checksum seal can catch. For a
+    /// rename this means "reported done, never happened"; for a sync,
+    /// a no-op that claims durability.
+    SilentTorn,
+}
+
+/// One scheduled fault: the `index`th (0-based) operation of kind `op`
+/// misbehaves according to `mode`. `seed` makes the torn-prefix length
+/// deterministic; `halt_after_fault` makes every later mutating
+/// operation fail, simulating the process dying at the fault.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    pub op: FaultOp,
+    pub mode: FaultMode,
+    pub index: u64,
+    pub seed: u64,
+    pub halt_after_fault: bool,
+}
+
+impl FaultConfig {
+    pub fn new(op: FaultOp, mode: FaultMode, index: u64, seed: u64) -> Self {
+        FaultConfig { op, mode, index, seed, halt_after_fault: false }
+    }
+
+    /// Simulate a hard crash at the fault: all subsequent mutation fails.
+    pub fn halting(mut self) -> Self {
+        self.halt_after_fault = true;
+        self
+    }
+}
+
+/// A [`Vfs`] decorator that injects the configured fault.
+#[derive(Debug)]
+pub struct FaultVfs<V> {
+    inner: V,
+    config: FaultConfig,
+    writes: u64,
+    renames: u64,
+    syncs: u64,
+    fired: bool,
+    halted: bool,
+}
+
+impl<V: Vfs> FaultVfs<V> {
+    pub fn new(inner: V, config: FaultConfig) -> Self {
+        FaultVfs { inner, config, writes: 0, renames: 0, syncs: 0, fired: false, halted: false }
+    }
+
+    /// Whether the scheduled fault actually triggered.
+    pub fn fault_fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Unwrap the inner backend (to inspect state "after the crash").
+    pub fn into_inner(self) -> V {
+        self.inner
+    }
+
+    /// Borrow the inner backend.
+    pub fn inner(&self) -> &V {
+        &self.inner
+    }
+
+    /// Deterministic torn-prefix length in `0..=len` (splitmix64 on the
+    /// seed and the op counter, so distinct faults tear differently).
+    fn torn_len(&self, counter: u64, len: usize) -> usize {
+        let mut z = self.config.seed ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % (len as u64 + 1)) as usize
+    }
+
+    fn fault_error(&self, what: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {what}"))
+    }
+
+    fn halted_error(&self) -> io::Error {
+        io::Error::other("injected fault: process halted")
+    }
+
+    /// Returns the fault mode if this operation is the scheduled victim.
+    fn arm(&mut self, op: FaultOp) -> Option<FaultMode> {
+        let counter = match op {
+            FaultOp::Write => {
+                self.writes += 1;
+                self.writes - 1
+            }
+            FaultOp::Rename => {
+                self.renames += 1;
+                self.renames - 1
+            }
+            FaultOp::Sync => {
+                self.syncs += 1;
+                self.syncs - 1
+            }
+        };
+        if !self.fired && self.config.op == op && counter == self.config.index {
+            self.fired = true;
+            if self.config.halt_after_fault {
+                self.halted = true;
+            }
+            Some(self.config.mode)
+        } else {
+            None
+        }
+    }
+}
+
+impl<V: Vfs> Vfs for FaultVfs<V> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let was_halted = self.halted;
+        match self.arm(FaultOp::Write) {
+            _ if was_halted => Err(self.halted_error()),
+            None => self.inner.write(path, data),
+            Some(FaultMode::Fail) => Err(self.fault_error("write failed")),
+            Some(FaultMode::Torn) => {
+                let keep = self.torn_len(self.writes, data.len());
+                self.inner.write(path, &data[..keep])?;
+                Err(self.fault_error("write torn"))
+            }
+            Some(FaultMode::SilentTorn) => {
+                let keep = self.torn_len(self.writes, data.len());
+                self.inner.write(path, &data[..keep])
+            }
+        }
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        let was_halted = self.halted;
+        match self.arm(FaultOp::Rename) {
+            _ if was_halted => Err(self.halted_error()),
+            None => self.inner.rename(from, to),
+            Some(FaultMode::Fail) | Some(FaultMode::Torn) => {
+                Err(self.fault_error("rename failed"))
+            }
+            // Reported done, never happened: the metadata update was lost.
+            Some(FaultMode::SilentTorn) => Ok(()),
+        }
+    }
+
+    fn sync(&mut self, path: &Path) -> io::Result<()> {
+        let was_halted = self.halted;
+        match self.arm(FaultOp::Sync) {
+            _ if was_halted => Err(self.halted_error()),
+            None => self.inner.sync(path),
+            Some(FaultMode::Fail) | Some(FaultMode::Torn) => Err(self.fault_error("sync failed")),
+            Some(FaultMode::SilentTorn) => Ok(()),
+        }
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        if self.halted {
+            return Err(self.halted_error());
+        }
+        self.inner.remove(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_basics() {
+        let mut vfs = MemVfs::new();
+        let path = Path::new("a.xml");
+        assert!(!vfs.exists(path));
+        assert!(vfs.read(path).is_err());
+        vfs.write(path, b"hello").unwrap();
+        assert_eq!(vfs.read(path).unwrap(), b"hello");
+        vfs.rename(path, Path::new("b.xml")).unwrap();
+        assert!(!vfs.exists(path));
+        assert_eq!(vfs.read(Path::new("b.xml")).unwrap(), b"hello");
+        vfs.remove(Path::new("b.xml")).unwrap();
+        vfs.remove(Path::new("b.xml")).unwrap(); // idempotent
+        assert_eq!(vfs.file_count(), 0);
+    }
+
+    #[test]
+    fn fault_fail_hits_the_scheduled_write_only() {
+        let config = FaultConfig::new(FaultOp::Write, FaultMode::Fail, 1, 7);
+        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        vfs.write(Path::new("one"), b"1").unwrap();
+        assert!(vfs.write(Path::new("two"), b"2").is_err());
+        assert!(vfs.fault_fired());
+        vfs.write(Path::new("three"), b"3").unwrap();
+        let inner = vfs.into_inner();
+        assert!(inner.exists(Path::new("one")));
+        assert!(!inner.exists(Path::new("two")));
+        assert!(inner.exists(Path::new("three")));
+    }
+
+    #[test]
+    fn torn_write_leaves_a_strict_prefix_and_errors() {
+        let data = b"0123456789abcdef";
+        for seed in 0..32 {
+            let config = FaultConfig::new(FaultOp::Write, FaultMode::Torn, 0, seed);
+            let mut vfs = FaultVfs::new(MemVfs::new(), config);
+            assert!(vfs.write(Path::new("f"), data).is_err());
+            let inner = vfs.into_inner();
+            let on_disk = inner.bytes("f").unwrap();
+            assert!(on_disk.len() <= data.len());
+            assert_eq!(on_disk, &data[..on_disk.len()]);
+        }
+    }
+
+    #[test]
+    fn torn_prefix_is_deterministic_per_seed() {
+        let data = vec![0xAB; 1000];
+        let lens: Vec<usize> = (0..2)
+            .map(|_| {
+                let config = FaultConfig::new(FaultOp::Write, FaultMode::Torn, 0, 42);
+                let mut vfs = FaultVfs::new(MemVfs::new(), config);
+                let _ = vfs.write(Path::new("f"), &data);
+                vfs.into_inner().bytes("f").unwrap().len()
+            })
+            .collect();
+        assert_eq!(lens[0], lens[1]);
+    }
+
+    #[test]
+    fn silent_torn_write_reports_success() {
+        let config = FaultConfig::new(FaultOp::Write, FaultMode::SilentTorn, 0, 99);
+        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        vfs.write(Path::new("f"), &[1u8; 64]).unwrap(); // lies
+        assert!(vfs.fault_fired());
+    }
+
+    #[test]
+    fn silent_rename_loses_the_rename() {
+        let config = FaultConfig::new(FaultOp::Rename, FaultMode::SilentTorn, 0, 3);
+        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        vfs.write(Path::new("tmp"), b"x").unwrap();
+        vfs.rename(Path::new("tmp"), Path::new("final")).unwrap(); // lies
+        let inner = vfs.into_inner();
+        assert!(inner.exists(Path::new("tmp")));
+        assert!(!inner.exists(Path::new("final")));
+    }
+
+    #[test]
+    fn halting_fault_kills_all_later_mutation() {
+        let config = FaultConfig::new(FaultOp::Sync, FaultMode::Fail, 0, 0).halting();
+        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        vfs.write(Path::new("f"), b"x").unwrap();
+        assert!(vfs.sync(Path::new("f")).is_err());
+        assert!(vfs.write(Path::new("g"), b"y").is_err());
+        assert!(vfs.rename(Path::new("f"), Path::new("h")).is_err());
+        assert!(vfs.remove(Path::new("f")).is_err());
+        // Reads still work: the "disk" survives the process.
+        assert_eq!(vfs.read(Path::new("f")).unwrap(), b"x");
+    }
+}

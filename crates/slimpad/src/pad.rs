@@ -4,10 +4,11 @@
 use crate::layout::{detect_grid, GridDetection, Point};
 use basedocs::DocKind;
 use marks::{MarkError, MarkManager, Resolution};
+use slimio::{Integrity, Recovered, StdVfs, Vfs};
 use slimstore::{BundleHandle, DmiError, PadHandle, ScrapHandle, SlimPadDmi};
 use std::fmt;
 use std::path::Path;
-use xmlkit::XmlWriter;
+use xmlkit::{Element, XmlWriter};
 
 /// Errors from pad-session operations.
 #[derive(Debug)]
@@ -18,6 +19,13 @@ pub enum PadError {
     Mark(MarkError),
     /// A malformed combined pad file.
     File { message: String },
+    /// The file declares a format version newer than this build supports.
+    UnsupportedVersion { found: String, supported: u32 },
+    /// The pad file failed its integrity check (checksum mismatch or
+    /// truncation); salvage loading may still recover a prefix.
+    Corrupt { detail: String },
+    /// An I/O failure while reading or writing the pad file.
+    Io(slimio::IoError),
 }
 
 impl fmt::Display for PadError {
@@ -26,6 +34,15 @@ impl fmt::Display for PadError {
             PadError::Dmi(e) => write!(f, "pad data error: {e}"),
             PadError::Mark(e) => write!(f, "mark error: {e}"),
             PadError::File { message } => write!(f, "pad file error: {message}"),
+            PadError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "pad file declares format version {found}, \
+                 but this build supports at most version {supported}"
+            ),
+            PadError::Corrupt { detail } => {
+                write!(f, "pad file failed its integrity check: {detail}")
+            }
+            PadError::Io(e) => write!(f, "pad file I/O error: {e}"),
         }
     }
 }
@@ -44,8 +61,34 @@ impl From<MarkError> for PadError {
     }
 }
 
+impl From<slimio::IoError> for PadError {
+    fn from(e: slimio::IoError) -> Self {
+        PadError::Io(e)
+    }
+}
+
 /// On-disk format version for combined pad files.
 const FILE_VERSION: &str = "1";
+/// Highest numeric format version this build can read.
+const SUPPORTED_VERSION: u32 = 1;
+
+/// Reject files from the future with a typed error; anything else odd
+/// about the version attribute is a plain format error.
+fn check_version(root: &Element) -> Result<(), PadError> {
+    match root.attr("version") {
+        Some(FILE_VERSION) => Ok(()),
+        Some(other) => match other.trim().parse::<u32>() {
+            Ok(n) if n > SUPPORTED_VERSION => Err(PadError::UnsupportedVersion {
+                found: other.to_string(),
+                supported: SUPPORTED_VERSION,
+            }),
+            _ => Err(PadError::File {
+                message: format!("unsupported pad file version {other:?}"),
+            }),
+        },
+        None => Err(PadError::File { message: "missing version attribute".into() }),
+    }
+}
 
 /// Session statistics: what a status bar would show.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -324,21 +367,27 @@ impl PadSession {
         w.finish()
     }
 
-    /// Save to a file.
+    /// Save to a file: sealed with a checksum footer, installed
+    /// atomically (write-temp → fsync → rename). A crash at any point
+    /// leaves the previous file intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PadError> {
-        std::fs::write(path, self.save_xml())
-            .map_err(|e| PadError::File { message: e.to_string() })
+        self.save_to(&mut StdVfs, path.as_ref())
+    }
+
+    /// [`save`](PadSession::save) through an explicit [`Vfs`] backend.
+    pub fn save_to(&self, vfs: &mut dyn Vfs, path: &Path) -> Result<(), PadError> {
+        slimio::save_atomic(vfs, path, &self.save_xml())?;
+        Ok(())
     }
 
     /// Load a combined pad file. `manager` supplies the mark modules
     /// (live base applications); its mark store is replaced by the file's.
     pub fn load_xml(text: &str, mut manager: MarkManager) -> Result<Self, PadError> {
         let doc = xmlkit::parse(text).map_err(|e| PadError::File { message: e.to_string() })?;
-        if doc.root.name != "slimpad-file" || doc.root.attr("version") != Some(FILE_VERSION) {
-            return Err(PadError::File {
-                message: "not a SLIMPad file (or unsupported version)".into(),
-            });
+        if doc.root.name != "slimpad-file" {
+            return Err(PadError::File { message: "not a SLIMPad file".into() });
         }
+        check_version(&doc.root)?;
         let store_xml = doc
             .root
             .child("store")
@@ -361,11 +410,149 @@ impl PadSession {
         Ok(PadSession { dmi, pad, root, marks: manager, undo_stack: Vec::new() })
     }
 
-    /// Load from a file.
+    /// Load from a file written by [`PadSession::save`].
+    ///
+    /// Strict: a file whose checksum footer does not match its contents
+    /// is refused with [`PadError::Corrupt`] — use
+    /// [`PadSession::load_salvage`] to recover what remains. Legacy
+    /// files without a footer are trusted as-is.
     pub fn load(path: impl AsRef<Path>, manager: MarkManager) -> Result<Self, PadError> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| PadError::File { message: e.to_string() })?;
-        Self::load_xml(&text, manager)
+        Self::load_from(&StdVfs, path.as_ref(), manager)
+    }
+
+    /// [`load`](PadSession::load) through an explicit [`Vfs`] backend.
+    pub fn load_from(
+        vfs: &dyn Vfs,
+        path: &Path,
+        manager: MarkManager,
+    ) -> Result<Self, PadError> {
+        let (verdict, payload) = slimio::load_sealed(vfs, path)?;
+        if verdict == Integrity::Corrupt {
+            return Err(PadError::Corrupt {
+                detail: format!("{} (checksum mismatch or truncation)", path.display()),
+            });
+        }
+        Self::load_xml(&payload, manager)
+    }
+
+    /// Salvage a pad from a damaged file: recover what remains of the
+    /// bundle tree and mark store instead of failing hard.
+    ///
+    /// Errors only when no session at all can be built — the file is
+    /// unreadable, the root element never materialized, it declares a
+    /// newer format than this build understands, or the `<store>`
+    /// section (which holds the pad object itself) is gone.
+    pub fn load_salvage(
+        path: impl AsRef<Path>,
+        manager: MarkManager,
+    ) -> Result<Recovered<Self>, PadError> {
+        Self::load_salvage_from(&StdVfs, path.as_ref(), manager)
+    }
+
+    /// [`load_salvage`](PadSession::load_salvage) through an explicit
+    /// [`Vfs`] backend.
+    pub fn load_salvage_from(
+        vfs: &dyn Vfs,
+        path: &Path,
+        manager: MarkManager,
+    ) -> Result<Recovered<Self>, PadError> {
+        let (verdict, payload) = slimio::load_sealed(vfs, path)?;
+        let mut recovered = Self::load_xml_salvage(&payload, manager)?;
+        if verdict == Integrity::Corrupt {
+            recovered.note("integrity check failed: checksum mismatch or truncation");
+        }
+        Ok(recovered)
+    }
+
+    /// Salvage a pad session from combined XML text.
+    ///
+    /// The `<store>` section is salvaged through the data layer (every
+    /// readable triple survives); a damaged or missing `<marks>` section
+    /// degrades to an empty mark store rather than refusing the load.
+    /// Scraps whose marks did not survive stay on the pad as degraded
+    /// scraps — their labels and layout are intact, only activation
+    /// fails — and the report counts the dangling wires.
+    pub fn load_xml_salvage(
+        text: &str,
+        mut manager: MarkManager,
+    ) -> Result<Recovered<Self>, PadError> {
+        let salvaged = xmlkit::parse_salvage(text);
+        let root = match salvaged.root {
+            Some(root) => root,
+            None => {
+                return Err(match salvaged.error {
+                    Some(e) => PadError::File { message: e.to_string() },
+                    None => PadError::File { message: "no root element".into() },
+                })
+            }
+        };
+        if root.name != "slimpad-file" {
+            return Err(PadError::File { message: "not a SLIMPad file".into() });
+        }
+        check_version(&root)?;
+
+        let mut recovered = Recovered::clean((), 0);
+        if let Some(e) = &salvaged.error {
+            recovered.note(format!("file damaged: {e}"));
+        }
+
+        // The store carries the pad object and bundle tree; without it
+        // there is no session to build, so it alone is load-bearing.
+        let store_xml = root
+            .child("store")
+            .ok_or_else(|| PadError::File { message: "missing <store>".into() })?
+            .text();
+        let store_rec = SlimPadDmi::load_xml_salvage(&store_xml)?;
+        recovered.salvaged += store_rec.salvaged;
+        recovered.lost += store_rec.lost;
+        recovered.notes.extend(store_rec.notes);
+        let (dmi, pads) = store_rec.value;
+        let pad = *pads.first().ok_or_else(|| PadError::File {
+            message: "pad file contains no SlimPad object".into(),
+        })?;
+        let root_bundle = dmi
+            .pad(pad)?
+            .root_bundle
+            .ok_or_else(|| PadError::File { message: "pad has no root bundle".into() })?;
+
+        // Marks are individually expendable: a scrap without its mark is
+        // degraded (no wire back to the source), not gone.
+        match root.child("marks") {
+            Some(m) => match manager.load_xml_salvage(&m.text()) {
+                Ok(marks_rec) => {
+                    recovered.salvaged += marks_rec.salvaged;
+                    recovered.lost += marks_rec.lost;
+                    recovered.notes.extend(marks_rec.notes);
+                }
+                Err(e) => {
+                    recovered.note(format!(
+                        "marks section unrecoverable ({e}); continuing without marks"
+                    ));
+                }
+            },
+            None => recovered.note("marks section missing; continuing without marks"),
+        }
+
+        let session =
+            PadSession { dmi, pad, root: root_bundle, marks: manager, undo_stack: Vec::new() };
+
+        let mut dangling = 0usize;
+        for scrap in session.dmi.all_scraps() {
+            let Ok(data) = session.dmi.scrap(scrap) else { continue };
+            for handle in &data.marks {
+                let Ok(mh) = session.dmi.mark_handle(*handle) else { continue };
+                if session.marks.get(&mh.mark_id).is_err() {
+                    dangling += 1;
+                }
+            }
+        }
+        if dangling > 0 {
+            recovered.note(format!(
+                "{dangling} scrap mark reference(s) dangle; those scraps are \
+                 degraded but still on the pad"
+            ));
+        }
+        Ok(recovered.map(|()| session))
     }
 }
 
@@ -550,6 +737,146 @@ mod tests {
         let pad2 = PadSession::load(&path, manager).unwrap();
         assert_eq!(pad2.dmi().pad(pad2.pad()).unwrap().name, "Rounds");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn newer_version_is_a_typed_refusal() {
+        let text = r#"<slimpad-file version="99"><store>s</store><marks>m</marks></slimpad-file>"#;
+        assert!(matches!(
+            PadSession::load_xml(text, MarkManager::new()),
+            Err(PadError::UnsupportedVersion { supported: 1, .. })
+        ));
+        // Salvage does not override the version gate: a future format
+        // is refused, not half-understood.
+        assert!(matches!(
+            PadSession::load_xml_salvage(text, MarkManager::new()),
+            Err(PadError::UnsupportedVersion { supported: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn saved_files_are_sealed_and_load_back() {
+        use slimio::MemVfs;
+        let (mut pad, excel, _) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        pad.place_selection(DocKind::Spreadsheet, None, (20, 40), None).unwrap();
+
+        let mut vfs = MemVfs::new();
+        let path = Path::new("rounds.slimpad.xml");
+        pad.save_to(&mut vfs, path).unwrap();
+        let bytes = vfs.bytes(path).unwrap();
+        assert!(
+            String::from_utf8_lossy(bytes).contains("<!--slimio v1 crc32="),
+            "saved pad should carry a seal footer"
+        );
+
+        let mut manager = MarkManager::new();
+        manager
+            .register_module(Box::new(AppModule::in_context("excel", excel)))
+            .unwrap();
+        let pad2 = PadSession::load_from(&vfs, path, manager).unwrap();
+        assert_eq!(pad2.stats().scraps, 1);
+        assert_eq!(pad2.stats().marks, 1);
+    }
+
+    #[test]
+    fn crash_during_save_preserves_previous_file() {
+        use slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+        let path = Path::new("rounds.slimpad.xml");
+        let (pad_v1, _, _) = session();
+        let (mut pad_v2, excel, _) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A2").unwrap();
+        pad_v2.place_selection(DocKind::Spreadsheet, None, (5, 5), None).unwrap();
+
+        for op in [FaultOp::Write, FaultOp::Sync, FaultOp::Rename] {
+            for mode in [FaultMode::Fail, FaultMode::Torn] {
+                let mut base = MemVfs::new();
+                pad_v1.save_to(&mut base, path).unwrap();
+                let mut vfs = FaultVfs::new(
+                    base,
+                    FaultConfig { op, mode, index: 0, seed: 7, halt_after_fault: true },
+                );
+                let _ = pad_v2.save_to(&mut vfs, path);
+                // Whatever happened mid-save, the previous pad is intact.
+                let vfs = vfs.into_inner();
+                let pad =
+                    PadSession::load_from(&vfs, path, MarkManager::new()).unwrap();
+                assert_eq!(pad.stats().scraps, 0, "op {op:?} mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_file_refused_strictly_but_salvageable() {
+        use slimio::MemVfs;
+        let (mut pad, excel, _) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        pad.place_selection(DocKind::Spreadsheet, None, (20, 40), None).unwrap();
+
+        let mut vfs = MemVfs::new();
+        let path = Path::new("rounds.slimpad.xml");
+        pad.save_to(&mut vfs, path).unwrap();
+        // Flip one payload byte behind the seal's back.
+        let mut bytes = vfs.bytes(path).unwrap().to_vec();
+        let i = bytes.iter().position(|&b| b == b'R').unwrap(); // "Rounds"
+        bytes[i] = b'W';
+        vfs.write(path, &bytes).unwrap();
+
+        assert!(matches!(
+            PadSession::load_from(&vfs, path, MarkManager::new()),
+            Err(PadError::Corrupt { .. })
+        ));
+        let rec = PadSession::load_salvage_from(&vfs, path, MarkManager::new()).unwrap();
+        assert!(rec.notes.iter().any(|n| n.contains("integrity check failed")), "{rec}");
+        assert_eq!(rec.value.stats().scraps, 1);
+    }
+
+    #[test]
+    fn lost_marks_leave_degraded_scraps_not_load_errors() {
+        let (mut pad, excel, _) = session();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        let scrap_label = "Lasix 40 IV bid";
+        pad.place_selection(DocKind::Spreadsheet, None, (20, 40), None).unwrap();
+        let xml_text = pad.save_xml();
+
+        // Rip out the whole marks section, as a mid-file tear would.
+        let start = xml_text.find("<marks>").unwrap();
+        let end = xml_text.find("</marks>").unwrap() + "</marks>".len();
+        let mangled = format!("{}{}", &xml_text[..start], &xml_text[end..]);
+
+        let rec = PadSession::load_xml_salvage(&mangled, MarkManager::new()).unwrap();
+        assert!(rec.notes.iter().any(|n| n.contains("marks section missing")), "{rec}");
+        assert!(rec.notes.iter().any(|n| n.contains("dangle")), "{rec}");
+        let mut session = rec.value;
+        // The scrap survives with its label and layout — only the wire
+        // back to the source is gone.
+        let scraps = session.dmi().all_scraps();
+        assert_eq!(scraps.len(), 1);
+        assert_eq!(session.dmi().scrap(scraps[0]).unwrap().name, scrap_label);
+        assert!(matches!(
+            session.activate(scraps[0]),
+            Err(PadError::Mark(MarkError::UnknownMark { .. }))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_of_a_saved_pad_loads_salvages_or_errors() {
+        // A minimal pad keeps the exhaustive sweep fast while still
+        // cutting through every structural region of the file (prolog,
+        // root tag, store, marks, seal footer). The integration suite
+        // sweeps a populated pad at sampled offsets.
+        let pad = PadSession::new("Rounds").unwrap();
+        let sealed = slimio::seal(&pad.save_xml());
+        for cut in 0..=sealed.len() {
+            if !sealed.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &sealed[..cut];
+            // Strict load must refuse gracefully or succeed — and
+            // salvage must never panic either.
+            let _ = PadSession::load_xml(prefix, MarkManager::new());
+            let _ = PadSession::load_xml_salvage(prefix, MarkManager::new());
+        }
     }
 
     #[test]

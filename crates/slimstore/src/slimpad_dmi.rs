@@ -26,6 +26,7 @@ use metamodel::builtin;
 use metamodel::encode::encode_model;
 use metamodel::vocab;
 use metamodel::ConformanceReport;
+use slimio::{Recovered, Vfs};
 use std::path::Path;
 use trim::{Atom, TriplePattern, TripleStore, Value};
 
@@ -686,9 +687,17 @@ impl SlimPadDmi {
     // ---- persistence and inspection (Figure 10: save/load) ------------------
 
     /// `save(fileName)` — persist the whole store (model + instances)
-    /// through TRIM's XML format.
+    /// through TRIM's XML format. Durable: the file is checksummed and
+    /// installed atomically, so a crash mid-save leaves the previous
+    /// version intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DmiError> {
         self.store.save(path)?;
+        Ok(())
+    }
+
+    /// [`save`](SlimPadDmi::save) through an explicit [`Vfs`] backend.
+    pub fn save_to(&self, vfs: &mut dyn Vfs, path: &Path) -> Result<(), DmiError> {
+        self.store.save_to(vfs, path)?;
         Ok(())
     }
 
@@ -698,9 +707,18 @@ impl SlimPadDmi {
     }
 
     /// `load(fileName) : SlimPad` — load a store and return the DMI plus
-    /// the pads found inside.
+    /// the pads found inside. Strict: refuses files that fail their
+    /// integrity check (see [`SlimPadDmi::load_salvage`]).
     pub fn load(path: impl AsRef<Path>) -> Result<(Self, Vec<PadHandle>), DmiError> {
         let store = TripleStore::load(path)?;
+        let dmi = SlimPadDmi { store };
+        let pads = dmi.pads();
+        Ok((dmi, pads))
+    }
+
+    /// [`load`](SlimPadDmi::load) through an explicit [`Vfs`] backend.
+    pub fn load_from(vfs: &dyn Vfs, path: &Path) -> Result<(Self, Vec<PadHandle>), DmiError> {
+        let store = TripleStore::load_from(vfs, path)?;
         let dmi = SlimPadDmi { store };
         let pads = dmi.pads();
         Ok((dmi, pads))
@@ -712,6 +730,40 @@ impl SlimPadDmi {
         let dmi = SlimPadDmi { store };
         let pads = dmi.pads();
         Ok((dmi, pads))
+    }
+
+    /// Salvage a store from a damaged file: every triple in the longest
+    /// valid prefix is kept. Pads whose triples survive are returned;
+    /// scraps that lost their containment or mark triples simply don't
+    /// appear in the respective queries — degraded, not fatal.
+    pub fn load_salvage(
+        path: impl AsRef<Path>,
+    ) -> Result<Recovered<(Self, Vec<PadHandle>)>, DmiError> {
+        Self::load_salvage_from(&slimio::StdVfs, path.as_ref())
+    }
+
+    /// [`load_salvage`](SlimPadDmi::load_salvage) through an explicit
+    /// [`Vfs`] backend.
+    pub fn load_salvage_from(
+        vfs: &dyn Vfs,
+        path: &Path,
+    ) -> Result<Recovered<(Self, Vec<PadHandle>)>, DmiError> {
+        let recovered = TripleStore::load_salvage_from(vfs, path)?;
+        Ok(recovered.map(|store| {
+            let dmi = SlimPadDmi { store };
+            let pads = dmi.pads();
+            (dmi, pads)
+        }))
+    }
+
+    /// Salvage from XML text (see [`SlimPadDmi::load_salvage`]).
+    pub fn load_xml_salvage(text: &str) -> Result<Recovered<(Self, Vec<PadHandle>)>, DmiError> {
+        let recovered = TripleStore::from_xml_salvage(text)?;
+        Ok(recovered.map(|store| {
+            let dmi = SlimPadDmi { store };
+            let pads = dmi.pads();
+            (dmi, pads)
+        }))
     }
 
     /// Read access to the underlying triples (the paper's point is that

@@ -42,17 +42,34 @@ impl AtomTable {
         Self::default()
     }
 
-    /// Intern `s`, returning its atom. Idempotent: the same string always
-    /// yields the same atom.
-    pub fn intern(&mut self, s: &str) -> Atom {
+    /// Intern `s` if there is capacity, returning `None` when the table
+    /// already holds `u32::MAX` distinct strings. The persistence
+    /// loaders use this so hostile or runaway input surfaces as a typed
+    /// error instead of a panic.
+    pub fn try_intern(&mut self, s: &str) -> Option<Atom> {
         if let Some(&a) = self.lookup.get(s) {
-            return a;
+            return Some(a);
         }
-        let a = Atom(u32::try_from(self.strings.len()).expect("more than u32::MAX atoms"));
+        let a = Atom(u32::try_from(self.strings.len()).ok()?);
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
         self.lookup.insert(boxed, a);
-        a
+        Some(a)
+    }
+
+    /// Intern `s`, returning its atom. Idempotent: the same string always
+    /// yields the same atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table already holds `u32::MAX` distinct strings —
+    /// memory is exhausted long before this in practice. Code handling
+    /// untrusted input should prefer [`AtomTable::try_intern`].
+    pub fn intern(&mut self, s: &str) -> Atom {
+        match self.try_intern(s) {
+            Some(a) => a,
+            None => panic!("atom table capacity exhausted (u32::MAX distinct strings)"),
+        }
     }
 
     /// Look up an already-interned string without interning it.

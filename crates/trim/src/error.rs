@@ -9,10 +9,18 @@ pub enum TrimError {
     Xml(xmlkit::ParseError),
     /// The XML parsed but is not a valid triple-store document.
     Format { message: String },
+    /// The file declares a format version newer than this build supports.
+    UnsupportedVersion { found: String, supported: u32 },
+    /// The file failed its integrity check (checksum mismatch or
+    /// truncation) and strict loading refused it. Salvage loading may
+    /// still recover a prefix.
+    Corrupt { detail: String },
     /// An I/O failure while reading or writing a store file.
     Io(std::io::Error),
     /// An undo was requested past the beginning of the journal.
     UndoPastStart { requested: usize, available: usize },
+    /// The atom interner is full (more than `u32::MAX` distinct strings).
+    CapacityExhausted,
 }
 
 impl fmt::Display for TrimError {
@@ -22,11 +30,22 @@ impl fmt::Display for TrimError {
             TrimError::Format { message } => {
                 write!(f, "persisted store has invalid structure: {message}")
             }
+            TrimError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "persisted store declares format version {found}, \
+                 but this build supports at most version {supported}"
+            ),
+            TrimError::Corrupt { detail } => {
+                write!(f, "persisted store failed its integrity check: {detail}")
+            }
             TrimError::Io(e) => write!(f, "store I/O error: {e}"),
             TrimError::UndoPastStart { requested, available } => write!(
                 f,
                 "cannot undo {requested} change(s); journal holds only {available}"
             ),
+            TrimError::CapacityExhausted => {
+                write!(f, "triple store capacity exhausted: too many distinct strings")
+            }
         }
     }
 }
@@ -50,6 +69,12 @@ impl From<xmlkit::ParseError> for TrimError {
 impl From<std::io::Error> for TrimError {
     fn from(e: std::io::Error) -> Self {
         TrimError::Io(e)
+    }
+}
+
+impl From<slimio::IoError> for TrimError {
+    fn from(e: slimio::IoError) -> Self {
+        TrimError::Io(e.into())
     }
 }
 

@@ -16,11 +16,34 @@
 
 use crate::error::TrimError;
 use crate::store::{TripleStore, Value};
+use slimio::{Integrity, Recovered, StdVfs, Vfs};
 use std::path::Path;
 use xmlkit::{Element, XmlWriter};
 
 /// Current on-disk format version.
 const FORMAT_VERSION: &str = "1";
+
+/// Highest format version this build can read.
+const SUPPORTED_VERSION: u32 = 1;
+
+/// Version gate shared by strict and salvage loading: equal versions
+/// load, newer versions are a typed refusal (we cannot guess a future
+/// format), anything else is malformed.
+fn check_version(root: &Element) -> Result<(), TrimError> {
+    match root.attr("version") {
+        Some(FORMAT_VERSION) => Ok(()),
+        Some(other) => match other.trim().parse::<u32>() {
+            Ok(n) if n > SUPPORTED_VERSION => Err(TrimError::UnsupportedVersion {
+                found: other.to_string(),
+                supported: SUPPORTED_VERSION,
+            }),
+            _ => Err(TrimError::Format {
+                message: format!("unsupported format version {other:?}"),
+            }),
+        },
+        None => Err(TrimError::Format { message: "missing version attribute".into() }),
+    }
+}
 
 impl TripleStore {
     /// Serialize the whole store to canonical XML text.
@@ -62,36 +85,15 @@ impl TripleStore {
                 message: format!("expected root element <trim>, found <{}>", doc.root.name),
             });
         }
-        match doc.root.attr("version") {
-            Some(FORMAT_VERSION) => {}
-            Some(other) => {
-                return Err(TrimError::Format {
-                    message: format!("unsupported format version {other:?}"),
-                })
-            }
-            None => {
-                return Err(TrimError::Format { message: "missing version attribute".into() })
-            }
-        }
+        check_version(&doc.root)?;
         let mut store = TripleStore::new();
         for (i, t) in doc.root.elements().enumerate() {
-            if t.name != "t" {
-                return Err(TrimError::Format {
-                    message: format!("unexpected element <{}> at triple position {i}", t.name),
-                });
-            }
-            let subject = t.attr("s").ok_or_else(|| TrimError::Format {
-                message: format!("triple #{i} missing 's' attribute"),
-            })?;
-            let property = t.attr("p").ok_or_else(|| TrimError::Format {
-                message: format!("triple #{i} missing 'p' attribute"),
-            })?;
-            let object = read_object(t, i)?;
-            let s = store.atom(subject);
-            let p = store.atom(property);
+            let (subject, property, object) = read_triple(t, i)?;
+            let s = store.try_atom(&subject)?;
+            let p = store.try_atom(&property)?;
             let o = match object {
-                ObjectText::Resource(text) => Value::Resource(store.atom(&text)),
-                ObjectText::Literal(text) => store.literal_value(&text),
+                ObjectText::Resource(text) => Value::Resource(store.try_atom(&text)?),
+                ObjectText::Literal(text) => Value::Literal(store.try_atom(&text)?),
             };
             store.insert(s, p, o);
         }
@@ -101,16 +103,122 @@ impl TripleStore {
         Ok(store)
     }
 
-    /// Write the store to a file (canonical XML).
+    /// Write the store to a file: canonical XML, sealed with a checksum
+    /// footer, installed atomically (write-temp → fsync → rename). A
+    /// crash at any point leaves the previous file intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TrimError> {
-        std::fs::write(path, self.to_xml())?;
+        self.save_to(&mut StdVfs, path.as_ref())
+    }
+
+    /// [`save`](TripleStore::save) through an explicit [`Vfs`] backend.
+    pub fn save_to(&self, vfs: &mut dyn Vfs, path: &Path) -> Result<(), TrimError> {
+        slimio::save_atomic(vfs, path, &self.to_xml())?;
         Ok(())
     }
 
     /// Read a store from a file written by [`TripleStore::save`].
+    ///
+    /// Strict: a file whose checksum footer does not match its contents
+    /// is refused with [`TrimError::Corrupt`] — use
+    /// [`TripleStore::load_salvage`] to recover what remains. Legacy
+    /// files without a footer are trusted as-is.
     pub fn load(path: impl AsRef<Path>) -> Result<TripleStore, TrimError> {
-        let text = std::fs::read_to_string(path)?;
-        TripleStore::from_xml(&text)
+        TripleStore::load_from(&StdVfs, path.as_ref())
+    }
+
+    /// [`load`](TripleStore::load) through an explicit [`Vfs`] backend.
+    pub fn load_from(vfs: &dyn Vfs, path: &Path) -> Result<TripleStore, TrimError> {
+        let (verdict, payload) = slimio::load_sealed(vfs, path)?;
+        if verdict == Integrity::Corrupt {
+            return Err(TrimError::Corrupt {
+                detail: format!("{} (checksum mismatch or truncation)", path.display()),
+            });
+        }
+        TripleStore::from_xml(&payload)
+    }
+
+    /// Salvage a store from a damaged file: recover the longest valid
+    /// prefix of triples instead of failing hard.
+    ///
+    /// Errors only when nothing at all is recoverable (the file is
+    /// unreadable, its root element never materialized, or it declares
+    /// a newer format than this build understands).
+    pub fn load_salvage(path: impl AsRef<Path>) -> Result<Recovered<TripleStore>, TrimError> {
+        TripleStore::load_salvage_from(&StdVfs, path.as_ref())
+    }
+
+    /// [`load_salvage`](TripleStore::load_salvage) through an explicit
+    /// [`Vfs`] backend.
+    pub fn load_salvage_from(
+        vfs: &dyn Vfs,
+        path: &Path,
+    ) -> Result<Recovered<TripleStore>, TrimError> {
+        let (verdict, payload) = slimio::load_sealed(vfs, path)?;
+        let mut recovered = TripleStore::from_xml_salvage(&payload)?;
+        if verdict == Integrity::Corrupt {
+            recovered.note("integrity check failed: checksum mismatch or truncation");
+        }
+        Ok(recovered)
+    }
+
+    /// Salvage a store from XML text: every well-formed triple in the
+    /// longest valid prefix is kept, malformed or truncated records are
+    /// counted as lost, and the report says what happened.
+    pub fn from_xml_salvage(text: &str) -> Result<Recovered<TripleStore>, TrimError> {
+        let salvaged = xmlkit::parse_salvage(text);
+        let root = match salvaged.root {
+            Some(root) => root,
+            None => {
+                return Err(match salvaged.error {
+                    Some(e) => TrimError::Xml(e),
+                    None => TrimError::Format { message: "no root element".into() },
+                })
+            }
+        };
+        if root.name != "trim" {
+            return Err(TrimError::Format {
+                message: format!("expected root element <trim>, found <{}>", root.name),
+            });
+        }
+        check_version(&root)?;
+
+        let mut store = TripleStore::new();
+        let mut recovered = Recovered::clean((), 0);
+        if let Some(e) = &salvaged.error {
+            recovered.note(format!("file damaged: {e}"));
+        }
+        let children: Vec<&Element> = root.elements().collect();
+        // With the root and a record both open at the failure point, the
+        // last record was implicitly closed by the salvage parser: its
+        // contents may be truncated mid-text, so it cannot be trusted
+        // even if it happens to convert.
+        let suspect_last = salvaged.unclosed >= 2;
+        for (i, t) in children.iter().enumerate() {
+            let is_last = i + 1 == children.len();
+            if suspect_last && is_last {
+                recovered.lost += 1;
+                recovered.note(format!("triple #{i} truncated mid-record; dropped"));
+                continue;
+            }
+            match read_triple(t, i) {
+                Ok((subject, property, object)) => {
+                    let s = store.try_atom(&subject)?;
+                    let p = store.try_atom(&property)?;
+                    let o = match object {
+                        ObjectText::Resource(text) => Value::Resource(store.try_atom(&text)?),
+                        ObjectText::Literal(text) => Value::Literal(store.try_atom(&text)?),
+                    };
+                    store.insert(s, p, o);
+                    recovered.salvaged += 1;
+                }
+                Err(e) => {
+                    recovered.lost += 1;
+                    recovered.note(format!("skipped unreadable record: {e}"));
+                }
+            }
+        }
+        store.journal_mut().truncate();
+        Ok(recovered.map(|()| store))
     }
 
     /// Serialize only the triples of a view (see [`TripleStore::view`])
@@ -138,6 +246,23 @@ impl TripleStore {
 enum ObjectText {
     Resource(String),
     Literal(String),
+}
+
+/// Validate one `<t>` record and extract its parts.
+fn read_triple(t: &Element, index: usize) -> Result<(String, String, ObjectText), TrimError> {
+    if t.name != "t" {
+        return Err(TrimError::Format {
+            message: format!("unexpected element <{}> at triple position {index}", t.name),
+        });
+    }
+    let subject = t.attr("s").ok_or_else(|| TrimError::Format {
+        message: format!("triple #{index} missing 's' attribute"),
+    })?;
+    let property = t.attr("p").ok_or_else(|| TrimError::Format {
+        message: format!("triple #{index} missing 'p' attribute"),
+    })?;
+    let object = read_object(t, index)?;
+    Ok((subject.to_string(), property.to_string(), object))
 }
 
 fn read_object(t: &Element, index: usize) -> Result<ObjectText, TrimError> {
@@ -290,5 +415,126 @@ mod tests {
         let s2 = TripleStore::from_xml(&sample().to_xml()).unwrap();
         let p = s2.find_atom("bundleName").unwrap();
         assert_eq!(s2.select(&TriplePattern::default().with_property(p)).len(), 2);
+    }
+
+    // ---- durability & recovery ------------------------------------------
+
+    use slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+
+    #[test]
+    fn newer_version_is_a_typed_refusal() {
+        let err = TripleStore::from_xml(r#"<trim version="2"/>"#).unwrap_err();
+        assert!(
+            matches!(err, TrimError::UnsupportedVersion { ref found, supported: 1 } if found == "2")
+        );
+        // Salvage refuses too: a future format cannot be guessed at.
+        assert!(matches!(
+            TripleStore::from_xml_salvage(r#"<trim version="2"/>"#),
+            Err(TrimError::UnsupportedVersion { .. })
+        ));
+        // Non-numeric garbage is malformed, not "newer".
+        assert!(matches!(
+            TripleStore::from_xml(r#"<trim version="latest"/>"#),
+            Err(TrimError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn saved_files_are_sealed_and_roundtrip() {
+        let mut vfs = MemVfs::new();
+        let s = sample();
+        s.save_to(&mut vfs, Path::new("store.xml")).unwrap();
+        assert_eq!(vfs.file_count(), 1, "temp file must not linger");
+        let raw = String::from_utf8(vfs.bytes("store.xml").unwrap().to_vec()).unwrap();
+        assert!(raw.contains("<!--slimio v1 crc32="), "missing seal footer");
+        let s2 = TripleStore::load_from(&vfs, Path::new("store.xml")).unwrap();
+        assert_eq!(s2.len(), s.len());
+    }
+
+    #[test]
+    fn crash_during_save_preserves_previous_file() {
+        let old = sample();
+        let mut new = sample();
+        new.insert_literal("bundle:3", "bundleName", "Recent Work");
+        for op in [FaultOp::Write, FaultOp::Sync, FaultOp::Rename] {
+            for mode in [FaultMode::Fail, FaultMode::Torn] {
+                let mut base = MemVfs::new();
+                old.save_to(&mut base, Path::new("store.xml")).unwrap();
+                let mut vfs = FaultVfs::new(base, FaultConfig::new(op, mode, 0, 11).halting());
+                assert!(new.save_to(&mut vfs, Path::new("store.xml")).is_err());
+                let disk = vfs.into_inner();
+                let reread = TripleStore::load_from(&disk, Path::new("store.xml")).unwrap();
+                assert_eq!(reread.len(), old.len(), "{op:?}/{mode:?} damaged the previous file");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_file_refused_strictly_but_salvageable() {
+        let mut vfs = MemVfs::new();
+        sample().save_to(&mut vfs, Path::new("store.xml")).unwrap();
+        let mut bytes = vfs.bytes("store.xml").unwrap().to_vec();
+        // Flip a byte inside a literal so the XML stays well-formed but
+        // the checksum no longer matches.
+        let idx = String::from_utf8(bytes.clone()).unwrap().find("John").unwrap();
+        bytes[idx] = b'X';
+        vfs.write(Path::new("store.xml"), &bytes).unwrap();
+
+        let err = TripleStore::load_from(&vfs, Path::new("store.xml")).unwrap_err();
+        assert!(matches!(err, TrimError::Corrupt { .. }));
+
+        let recovered = TripleStore::load_salvage_from(&vfs, Path::new("store.xml")).unwrap();
+        assert_eq!(recovered.salvaged, 3);
+        assert!(!recovered.is_clean());
+        assert!(recovered.notes.iter().any(|n| n.contains("integrity")));
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_of_truncated_store() {
+        let xml = sample().to_xml();
+        // Cut inside the last record's literal text: the record parses
+        // but its object may be incomplete, so it must be distrusted.
+        let cut = xml.rfind("<lit>").unwrap() + "<lit>".len() + 1;
+        let recovered = TripleStore::from_xml_salvage(&xml[..cut]).unwrap();
+        assert_eq!(recovered.salvaged + recovered.lost, 3);
+        assert!(recovered.lost >= 1, "truncated record must not be trusted");
+        assert_eq!(recovered.value.len(), recovered.salvaged);
+        assert!(!recovered.is_clean());
+    }
+
+    #[test]
+    fn salvage_of_wellformed_store_is_clean() {
+        let recovered = TripleStore::from_xml_salvage(&sample().to_xml()).unwrap();
+        assert!(recovered.is_clean());
+        assert_eq!(recovered.salvaged, 3);
+        assert_eq!(recovered.value.len(), 3);
+    }
+
+    #[test]
+    fn salvage_skips_malformed_records_mid_file() {
+        let xml = r#"<trim version="1"><t s="a" p="b"><lit>x</lit></t><t s="broken"/><t s="c" p="d"><lit>y</lit></t></trim>"#;
+        let recovered = TripleStore::from_xml_salvage(xml).unwrap();
+        assert_eq!(recovered.salvaged, 2);
+        assert_eq!(recovered.lost, 1);
+        assert!(recovered.notes.iter().any(|n| n.contains("unreadable")));
+    }
+
+    #[test]
+    fn every_truncation_of_a_saved_store_loads_salvages_or_errors() {
+        let mut vfs = MemVfs::new();
+        sample().save_to(&mut vfs, Path::new("store.xml")).unwrap();
+        let sealed = vfs.bytes("store.xml").unwrap().to_vec();
+        for cut in 0..sealed.len() {
+            let mut damaged = MemVfs::new();
+            damaged.write(Path::new("store.xml"), &sealed[..cut]).unwrap();
+            // Strict load: full file verifies, any truncation is refused
+            // or parses to a typed error — never a panic.
+            let _ = TripleStore::load_from(&damaged, Path::new("store.xml"));
+            // Salvage load: same guarantee, plus an accurate report.
+            if let Ok(r) = TripleStore::load_salvage_from(&damaged, Path::new("store.xml")) {
+                assert!(r.salvaged <= 3);
+                assert_eq!(r.value.len(), r.salvaged);
+            }
+        }
     }
 }

@@ -138,6 +138,13 @@ impl TripleStore {
         self.atoms.intern(s)
     }
 
+    /// Intern a string, surfacing interner exhaustion as a typed error
+    /// instead of a panic — the entry point for untrusted input paths
+    /// such as the persistence loaders.
+    pub fn try_atom(&mut self, s: &str) -> Result<Atom, crate::error::TrimError> {
+        self.atoms.try_intern(s).ok_or(crate::error::TrimError::CapacityExhausted)
+    }
+
     /// Look up a string without interning.
     pub fn find_atom(&self, s: &str) -> Option<Atom> {
         self.atoms.get(s)

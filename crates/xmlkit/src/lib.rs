@@ -7,7 +7,9 @@
 //!
 //! * a **DOM** ([`Document`], [`Element`], [`Node`]) with ordered
 //!   attributes and mixed content,
-//! * a tolerant, position-tracking **parser** ([`parse`]),
+//! * a strict, position-tracking **parser** ([`parse`]),
+//! * a **salvage parser** ([`parse_salvage`]) that recovers the longest
+//!   well-formed prefix of a damaged document,
 //! * a **writer** with compact and pretty output ([`Element::to_xml`],
 //!   [`write::XmlWriter`]),
 //! * text/attribute **escaping** ([`escape`]),
@@ -38,11 +40,13 @@ pub mod dom;
 pub mod error;
 pub mod escape;
 pub mod parser;
+pub mod salvage;
 pub mod write;
 pub mod xpath;
 
 pub use dom::{Attribute, Document, Element, Node};
 pub use error::{ParseError, Position};
 pub use parser::parse;
+pub use salvage::{parse_salvage, SalvagedXml};
 pub use write::XmlWriter;
 pub use xpath::{XPath, XPathError, XPathStep};

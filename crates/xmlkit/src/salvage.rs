@@ -1,0 +1,639 @@
+//! Salvage parsing: recover the longest well-formed prefix of a damaged
+//! document.
+//!
+//! The strict parser ([`crate::parse`]) answers "is this document
+//! well-formed?". This module answers a different question, asked after
+//! a crash or disk corruption: "how much of it can still be trusted?".
+//!
+//! [`parse_salvage`] scans with an explicit element stack instead of
+//! recursion. When it hits the first well-formedness violation — usually
+//! a truncation mid-tag — it stops, implicitly closes every element
+//! still open, and returns whatever tree was built so far alongside the
+//! error and the number of elements that had to be force-closed. Callers
+//! use `unclosed` to decide how much of the tail to distrust: a store
+//! whose root alone was open (`unclosed == 1`) has only complete
+//! records; a record element still open at the failure point
+//! (`unclosed >= 2`) is itself suspect and is typically dropped.
+//!
+//! Salvage is also lenient where strictness buys nothing after damage:
+//! unknown entities become literal text, duplicate attributes keep the
+//! first value, and trailing garbage after the root closes is ignored.
+
+use crate::dom::{Attribute, Element, Node};
+use crate::error::{ParseError, ParseErrorKind, Position};
+use crate::escape::predefined_entity;
+
+/// The outcome of a salvage parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvagedXml {
+    /// The recovered tree, with all open elements implicitly closed.
+    /// `None` only when damage precedes the root start tag.
+    pub root: Option<Element>,
+    /// The violation that stopped the scan, if any. `None` means the
+    /// document was well-formed (modulo the leniencies noted above).
+    pub error: Option<ParseError>,
+    /// Number of elements still open when the scan stopped (0 for a
+    /// clean parse). The deepest `unclosed - 1` of them were truncated
+    /// mid-content and should be treated as suspect.
+    pub unclosed: usize,
+}
+
+impl SalvagedXml {
+    /// True when the input parsed completely with nothing force-closed.
+    pub fn is_complete(&self) -> bool {
+        self.error.is_none() && self.unclosed == 0
+    }
+}
+
+/// Parse as much of `input` as possible; never fails, never panics.
+pub fn parse_salvage(input: &str) -> SalvagedXml {
+    Salvager::new(input).run()
+}
+
+struct Salvager<'a> {
+    input: &'a str,
+    offset: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Salvager<'a> {
+    fn new(input: &'a str) -> Self {
+        Salvager { input, offset: 0, line: 1, column: 1 }
+    }
+
+    fn position(&self) -> Position {
+        Position { line: self.line, column: self.column, offset: self.offset }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(kind, self.position())
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.offset..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> SalvagedXml {
+        // Tolerant prolog: skip declaration, comments, PIs, DOCTYPE.
+        self.skip_prolog();
+        if self.peek().is_none() {
+            return SalvagedXml {
+                root: None,
+                error: Some(self.err(ParseErrorKind::NoRootElement)),
+                unclosed: 0,
+            };
+        }
+
+        // Frames: each open element, children accumulated in place.
+        let mut stack: Vec<Element> = Vec::new();
+        let mut text = String::new();
+
+        macro_rules! flush_text {
+            () => {
+                if !text.is_empty() {
+                    if let Some(top) = stack.last_mut() {
+                        top.children.push(Node::Text(std::mem::take(&mut text)));
+                    } else {
+                        text.clear();
+                    }
+                }
+            };
+        }
+
+        // Stop the scan: force-close everything open.
+        macro_rules! unwind {
+            ($error:expr) => {{
+                flush_text!();
+                let unclosed = stack.len();
+                let mut root = None;
+                while let Some(done) = stack.pop() {
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(Node::Element(done)),
+                        None => root = Some(done),
+                    }
+                }
+                return SalvagedXml { root, error: $error, unclosed };
+            }};
+        }
+
+        loop {
+            if stack.is_empty() {
+                // Before the root (first iteration only, given the
+                // unwind on root completion below).
+                match self.start_tag() {
+                    Ok((element, true)) => {
+                        stack.push(element);
+                        continue;
+                    }
+                    Ok((element, false)) => {
+                        // Self-closing root: complete document.
+                        return SalvagedXml { root: Some(element), error: None, unclosed: 0 };
+                    }
+                    Err(e) => unwind!(Some(e)),
+                }
+            }
+            if self.rest().starts_with("</") {
+                flush_text!();
+                self.bump();
+                self.bump();
+                match self.close_tag_name() {
+                    Ok(close) => {
+                        if !stack.iter().any(|f| f.name == close) {
+                            // A close tag for nothing that is open:
+                            // damage, not structure. Stop here.
+                            unwind!(Some(self.err(ParseErrorKind::MismatchedCloseTag {
+                                open: stack.last().map(|f| f.name.clone()).unwrap_or_default(),
+                                close,
+                            })));
+                        }
+                        // Implicitly close intervening frames down to the
+                        // matching ancestor (handles a lost close tag).
+                        while let Some(done) = stack.pop() {
+                            let matched = done.name == close;
+                            match stack.last_mut() {
+                                Some(parent) => parent.children.push(Node::Element(done)),
+                                None => {
+                                    // Root closed: ignore any trailing
+                                    // content — it's beyond the artifact.
+                                    return SalvagedXml {
+                                        root: Some(done),
+                                        error: None,
+                                        unclosed: 0,
+                                    };
+                                }
+                            }
+                            if matched {
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => unwind!(Some(e)),
+                }
+            } else if self.rest().starts_with("<!--") {
+                flush_text!();
+                match self.comment() {
+                    Ok(body) => {
+                        if let Some(top) = stack.last_mut() {
+                            top.children.push(Node::Comment(body));
+                        }
+                    }
+                    Err(e) => unwind!(Some(e)),
+                }
+            } else if self.rest().starts_with("<![CDATA[") {
+                flush_text!();
+                match self.cdata() {
+                    Ok(body) => {
+                        if let Some(top) = stack.last_mut() {
+                            top.children.push(Node::CData(body));
+                        }
+                    }
+                    Err(e) => unwind!(Some(e)),
+                }
+            } else if self.rest().starts_with("<?") {
+                flush_text!();
+                match self.processing_instruction() {
+                    Ok(node) => {
+                        if let Some(top) = stack.last_mut() {
+                            top.children.push(node);
+                        }
+                    }
+                    Err(e) => unwind!(Some(e)),
+                }
+            } else {
+                match self.peek() {
+                    Some('<') => {
+                        flush_text!();
+                        match self.start_tag() {
+                            Ok((element, true)) => stack.push(element),
+                            Ok((element, false)) => {
+                                if let Some(top) = stack.last_mut() {
+                                    top.children.push(Node::Element(element));
+                                }
+                            }
+                            Err(e) => unwind!(Some(e)),
+                        }
+                    }
+                    Some('&') => text.push_str(&self.lenient_reference()),
+                    Some(_) => {
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
+                    }
+                    None => unwind!(Some(self.err(ParseErrorKind::UnexpectedEof {
+                        expected: "close tag",
+                    }))),
+                }
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.rest().starts_with("<!--") {
+                if self.comment().is_err() {
+                    return;
+                }
+            } else if self.rest().starts_with("<!DOCTYPE") {
+                self.eat_str("<!DOCTYPE");
+                let mut depth = 0usize;
+                loop {
+                    match self.bump() {
+                        Some('[') => depth += 1,
+                        Some(']') => depth = depth.saturating_sub(1),
+                        Some('>') if depth == 0 => break,
+                        Some(_) => {}
+                        None => return,
+                    }
+                }
+            } else if self.rest().starts_with("<?") {
+                if self.processing_instruction().is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Parse `<name attrs…>` or `<name attrs…/>`; returns the element
+    /// and whether it was left open (`true` = has content to come).
+    fn start_tag(&mut self, ) -> Result<(Element, bool), ParseError> {
+        if self.bump() != Some('<') {
+            return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "'<' starting element" }));
+        }
+        let name = self.name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('/') => {
+                    self.bump();
+                    if self.peek() == Some('>') {
+                        self.bump();
+                        return Ok((Element { name, attributes, children: Vec::new() }, false));
+                    }
+                    return Err(self.err(ParseErrorKind::UnexpectedChar {
+                        found: self.peek().unwrap_or('\0'),
+                        expected: "'>' after '/'",
+                    }));
+                }
+                Some('>') => {
+                    self.bump();
+                    return Ok((Element { name, attributes, children: Vec::new() }, true));
+                }
+                Some(_) => {
+                    let attr_name = self.name()?;
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some('=') => {
+                            self.bump();
+                        }
+                        _ => {
+                            return Err(self.err(ParseErrorKind::UnexpectedEof {
+                                expected: "'=' after attribute name",
+                            }))
+                        }
+                    }
+                    self.skip_whitespace();
+                    let value = self.quoted_value()?;
+                    // Leniency: keep the first of duplicate attributes.
+                    if !attributes.iter().any(|a| a.name == attr_name) {
+                        attributes.push(Attribute { name: attr_name, value });
+                    }
+                }
+                None => {
+                    return Err(self.err(ParseErrorKind::UnexpectedEof {
+                        expected: "'>' closing start tag",
+                    }))
+                }
+            }
+        }
+    }
+
+    fn close_tag_name(&mut self) -> Result<String, ParseError> {
+        let name = self.name()?;
+        self.skip_whitespace();
+        match self.peek() {
+            Some('>') => {
+                self.bump();
+                Ok(name)
+            }
+            Some(c) => Err(self.err(ParseErrorKind::UnexpectedChar {
+                found: c,
+                expected: "'>' closing end tag",
+            })),
+            None => Err(self.err(ParseErrorKind::UnexpectedEof { expected: "'>' closing end tag" })),
+        }
+    }
+
+    fn comment(&mut self) -> Result<String, ParseError> {
+        self.eat_str("<!--");
+        let start = self.offset;
+        loop {
+            if self.rest().starts_with("-->") {
+                let body = self.input[start..self.offset].to_string();
+                self.eat_str("-->");
+                return Ok(body);
+            }
+            if self.bump().is_none() {
+                return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "'-->'" }));
+            }
+        }
+    }
+
+    fn cdata(&mut self) -> Result<String, ParseError> {
+        self.eat_str("<![CDATA[");
+        let start = self.offset;
+        loop {
+            if self.rest().starts_with("]]>") {
+                let body = self.input[start..self.offset].to_string();
+                self.eat_str("]]>");
+                return Ok(body);
+            }
+            if self.bump().is_none() {
+                return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "']]>'" }));
+            }
+        }
+    }
+
+    fn processing_instruction(&mut self) -> Result<Node, ParseError> {
+        self.eat_str("<?");
+        let target = self.name()?;
+        self.skip_whitespace();
+        let start = self.offset;
+        loop {
+            if self.rest().starts_with("?>") {
+                let data = self.input[start..self.offset].to_string();
+                self.eat_str("?>");
+                return Ok(Node::ProcessingInstruction { target, data });
+            }
+            if self.bump().is_none() {
+                return Err(self.err(ParseErrorKind::UnexpectedEof { expected: "'?>'" }));
+            }
+        }
+    }
+
+    /// `&…;` resolved if possible; otherwise the raw text as written.
+    /// Damage inside character data should cost one garbled character,
+    /// not the rest of the document.
+    fn lenient_reference(&mut self) -> String {
+        let start = self.offset;
+        self.bump(); // '&'
+        let body_start = self.offset;
+        while let Some(c) = self.peek() {
+            if c == ';' {
+                let body = &self.input[body_start..self.offset];
+                self.bump();
+                if let Some(resolved) = resolve_reference(body) {
+                    return resolved.to_string();
+                }
+                return self.input[start..self.offset].to_string();
+            }
+            if !c.is_ascii_alphanumeric() && c != '#' {
+                break;
+            }
+            self.bump();
+        }
+        self.input[start..self.offset].to_string()
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.offset;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => {
+                let found: String = self.rest().chars().take(8).collect();
+                return Err(self.err(ParseErrorKind::InvalidName { found }));
+            }
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.offset].to_string())
+    }
+
+    fn quoted_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.bump();
+                q
+            }
+            Some(c) => {
+                return Err(self.err(ParseErrorKind::UnexpectedChar {
+                    found: c,
+                    expected: "quoted attribute value",
+                }))
+            }
+            None => {
+                return Err(self.err(ParseErrorKind::UnexpectedEof {
+                    expected: "quoted attribute value",
+                }))
+            }
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(value);
+                }
+                Some('&') => value.push_str(&self.lenient_reference()),
+                Some(_) => {
+                    if let Some(c) = self.bump() {
+                        value.push(c);
+                    }
+                }
+                None => {
+                    return Err(self.err(ParseErrorKind::UnexpectedEof {
+                        expected: "closing quote",
+                    }))
+                }
+            }
+        }
+    }
+}
+
+fn resolve_reference(body: &str) -> Option<char> {
+    if let Some(num) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+        char::from_u32(u32::from_str_radix(num, 16).ok()?)
+    } else if let Some(num) = body.strip_prefix('#') {
+        char::from_u32(num.parse().ok()?)
+    } else {
+        predefined_entity(body)
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wellformed_matches_strict_parse() {
+        let src = r#"<pad name="Rounds"><bundle n="A &amp; B"><scrap pos="3">Na 140</scrap></bundle><!-- c --></pad>"#;
+        let salvaged = parse_salvage(src);
+        assert!(salvaged.is_complete());
+        let strict = crate::parse(src).unwrap();
+        assert_eq!(salvaged.root.unwrap(), strict.root);
+    }
+
+    #[test]
+    fn truncation_mid_child_keeps_complete_siblings() {
+        let src = r#"<trim version="1"><t s="a" p="b"><lit>one</lit></t><t s="c" p="d"><li"#;
+        let salvaged = parse_salvage(src);
+        assert!(salvaged.error.is_some());
+        // Open at failure: <trim> and the second <t>.
+        assert_eq!(salvaged.unclosed, 2);
+        let root = salvaged.root.unwrap();
+        assert_eq!(root.name, "trim");
+        let triples: Vec<&Element> = root
+            .children
+            .iter()
+            .filter_map(|n| match n {
+                Node::Element(e) => Some(e),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[0].child("lit").unwrap().text(), "one");
+        // The second triple is present but visibly incomplete.
+        assert!(triples[1].child("lit").is_none());
+    }
+
+    #[test]
+    fn truncation_between_children_leaves_only_root_open() {
+        let src = r#"<trim version="1"><t s="a" p="b"><lit>one</lit></t><t "#;
+        let salvaged = parse_salvage(src);
+        assert!(salvaged.error.is_some());
+        // The partial `<t ` start tag never materialized as an element.
+        assert_eq!(salvaged.unclosed, 1);
+        let root = salvaged.root.unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn truncation_inside_root_start_tag_yields_no_root() {
+        let salvaged = parse_salvage(r#"<trim versi"#);
+        assert!(salvaged.root.is_none());
+        assert!(salvaged.error.is_some());
+        assert_eq!(salvaged.unclosed, 0);
+    }
+
+    #[test]
+    fn empty_input_yields_no_root() {
+        let salvaged = parse_salvage("   ");
+        assert!(salvaged.root.is_none());
+        assert!(salvaged.error.is_some());
+    }
+
+    #[test]
+    fn lost_close_tag_is_implicitly_closed() {
+        // </b> is missing; </a> should close both.
+        let salvaged = parse_salvage("<a><b>hi</a>");
+        assert!(salvaged.error.is_none());
+        assert_eq!(salvaged.unclosed, 0);
+        let root = salvaged.root.unwrap();
+        assert_eq!(root.child("b").unwrap().text(), "hi");
+    }
+
+    #[test]
+    fn stray_close_tag_stops_the_scan() {
+        let salvaged = parse_salvage("<a><b>hi</c></a>");
+        assert!(salvaged.error.is_some());
+        let root = salvaged.root.unwrap();
+        assert_eq!(root.name, "a");
+    }
+
+    #[test]
+    fn unknown_entities_become_literal_text() {
+        let salvaged = parse_salvage("<a>x &nbsp; y</a>");
+        assert!(salvaged.error.is_none());
+        assert_eq!(salvaged.root.unwrap().text(), "x &nbsp; y");
+    }
+
+    #[test]
+    fn broken_reference_at_eof_salvages_preceding_text() {
+        let salvaged = parse_salvage("<a>hello &am");
+        let root = salvaged.root.unwrap();
+        assert!(root.text().starts_with("hello "));
+        assert_eq!(salvaged.unclosed, 1);
+    }
+
+    #[test]
+    fn duplicate_attributes_keep_first() {
+        let salvaged = parse_salvage(r#"<a x="1" x="2"/>"#);
+        assert!(salvaged.error.is_none());
+        assert_eq!(salvaged.root.unwrap().attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn trailing_garbage_after_root_is_ignored() {
+        let salvaged = parse_salvage("<a>ok</a>@#$%<<<");
+        assert!(salvaged.error.is_none());
+        assert_eq!(salvaged.root.unwrap().text(), "ok");
+    }
+
+    #[test]
+    fn every_prefix_of_a_real_document_salvages_without_panic() {
+        let src = r#"<?xml version="1.0"?><trim version="1">
+  <t s="doc/rounds" p="title"><lit>Morning Rounds</lit></t>
+  <t s="doc/rounds" p="author"><res>staff/jones</res></t>
+  <t s="doc/rounds" p="body"><lit>Na 140 &amp; K 4.1 &lt;stable&gt;</lit></t>
+</trim>"#;
+        for cut in 0..=src.len() {
+            if !src.is_char_boundary(cut) {
+                continue;
+            }
+            let salvaged = parse_salvage(&src[..cut]);
+            if let Some(root) = &salvaged.root {
+                assert_eq!(root.name, "trim");
+            }
+        }
+        // And the full document is complete.
+        assert!(parse_salvage(src).is_complete());
+    }
+}

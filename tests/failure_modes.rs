@@ -189,3 +189,138 @@ fn zero_sized_bundles_are_representable() {
     sys.reopen_pad(&saved).unwrap();
     assert!(sys.pad.dmi().check().is_conformant());
 }
+
+// ---- crash-safety: fault-injected saves ------------------------------------
+
+use proptest::prelude::*;
+use superimposed::slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+use std::path::Path;
+
+#[test]
+fn crash_during_pad_save_never_corrupts_the_previous_save() {
+    let path = Path::new("rounds.slimpad.xml");
+    for op in [FaultOp::Write, FaultOp::Sync, FaultOp::Rename] {
+        for mode in [FaultMode::Fail, FaultMode::Torn, FaultMode::SilentTorn] {
+            for seed in [1u64, 7, 1999] {
+                let (mut sys, _) = saved_pad();
+                let mut base = MemVfs::new();
+                sys.pad.save_to(&mut base, path).unwrap();
+
+                // Mutate the pad, then crash partway through re-saving it.
+                sys.pad.create_bundle("Transient", (500, 10), 100, 100, None).unwrap();
+                let mut vfs = FaultVfs::new(
+                    base,
+                    FaultConfig { op, mode, index: 0, seed, halt_after_fault: true },
+                );
+                let _ = sys.pad.save_to(&mut vfs, path);
+
+                // The machine "rebooted": whatever the fault did, the
+                // previous save must load strictly and completely.
+                let vfs = vfs.into_inner();
+                let manager = sys.fresh_manager().unwrap();
+                let pad = superimposed::PadSession::load_from(&vfs, path, manager)
+                    .unwrap_or_else(|e| panic!("{op:?}/{mode:?}/seed {seed}: {e}"));
+                assert_eq!(pad.stats().scraps, 1, "{op:?}/{mode:?}/seed {seed}");
+                assert_eq!(pad.stats().bundles, 0, "{op:?}/{mode:?}/seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn silently_torn_pad_write_is_caught_at_load_time() {
+    // A lying disk: the write "succeeds" but only a prefix hits the
+    // platter, and the process keeps running (no halt). The seal is the
+    // only line of defence.
+    let path = Path::new("rounds.slimpad.xml");
+    let (sys, _) = saved_pad();
+    let mut vfs = FaultVfs::new(
+        MemVfs::new(),
+        FaultConfig {
+            op: FaultOp::Write,
+            mode: FaultMode::SilentTorn,
+            index: 0,
+            seed: 42,
+            halt_after_fault: false,
+        },
+    );
+    sys.pad.save_to(&mut vfs, path).expect("the lying disk reports success");
+
+    let vfs = vfs.into_inner();
+    // A tear that keeps (part of) the footer fails the checksum; a tear
+    // that chops the footer off leaves a malformed document. Either way
+    // the strict load refuses with a typed error — never a silent
+    // success on partial data.
+    let strict = superimposed::PadSession::load_from(&vfs, path, sys.fresh_manager().unwrap());
+    match strict {
+        Err(PadError::Corrupt { .. } | PadError::File { .. }) => {}
+        Err(e) => panic!("torn payload must be refused with Corrupt or File, got {e}"),
+        Ok(_) => panic!("torn payload must not load as a pad"),
+    }
+    // Salvage either recovers a degraded pad (and says so) or fails
+    // with a typed error if the tear landed before the root element.
+    match superimposed::PadSession::load_salvage_from(&vfs, path, sys.fresh_manager().unwrap()) {
+        Ok(rec) => assert!(!rec.is_clean(), "a torn file cannot salvage clean"),
+        Err(e) => drop(e),
+    }
+}
+
+#[test]
+fn recover_pad_file_reports_damage_through_the_facade() {
+    let dir = std::env::temp_dir().join("slim-failure-modes-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rounds.slimpad.xml");
+    let (mut sys, _) = saved_pad();
+    sys.pad.save(&path).unwrap();
+
+    // Chop the tail off the file on the real filesystem.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() * 3 / 4]).unwrap();
+
+    let report = sys.recover_pad_file(&path).unwrap();
+    assert!(!report.is_clean(), "truncation must be reported: {report}");
+    assert!(
+        report
+            .notes
+            .iter()
+            .any(|n| n.contains("file damaged") || n.contains("integrity check failed")),
+        "{report}"
+    );
+    // The recovered pad is live and conformance-checkable.
+    assert!(sys.pad.dmi().check().is_conformant() || sys.pad.stats().triples > 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Truncating a saved (sealed) pad at any byte offset never panics:
+    /// strict load succeeds or returns a typed error, and salvage — when
+    /// it returns a pad at all — returns a usable one.
+    #[test]
+    fn any_truncation_of_a_sealed_pad_is_handled(cut_permille in 0usize..1001, seed in 0u64..4) {
+        let (sys, xml) = saved_pad();
+        let _ = seed; // the pad content is deterministic; seed widens case spread
+        let sealed = superimposed::slimio::seal(&xml);
+        let mut cut = sealed.len() * cut_permille / 1000;
+        while !sealed.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let prefix = &sealed[..cut];
+
+        let strict = superimposed::PadSession::load_xml(prefix, sys.fresh_manager().unwrap());
+        if cut == sealed.len() {
+            prop_assert!(strict.is_ok(), "full file must load strictly");
+        }
+        match superimposed::PadSession::load_xml_salvage(prefix, sys.fresh_manager().unwrap()) {
+            Ok(rec) => {
+                let stats = rec.value.stats();
+                prop_assert!(stats.scraps <= 1);
+                if cut == sealed.len() {
+                    prop_assert!(rec.is_clean(), "undamaged file salvages clean: {rec}");
+                }
+            }
+            Err(_) => prop_assert!(cut < sealed.len(), "full file must salvage"),
+        }
+    }
+}

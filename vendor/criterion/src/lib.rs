@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple wall-clock timing loop instead of
+//! criterion's statistical machinery. Numbers are indicative, not
+//! rigorous; the benches stay runnable and their workloads stay compiled
+//! and type-checked offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Throughput annotation (reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times to get a stable-ish mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up once, then scale the iteration count so the measured
+        // block takes a few milliseconds.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let warm = warm_start.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(5);
+        let iters = (target.as_nanos() / warm.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Declare a sample count (accepted for API compatibility; ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(&self.name, &id.text, &b, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b, input);
+        report(&self.name, &id.text, &b, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints nothing extra in this stand-in).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{group}/{id}: no measurement (b.iter was not called)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.0} elem/s)", n as f64 / (per_iter / 1e9))
+        }
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!(" ({:.0} B/s)", n as f64 / (per_iter / 1e9))
+        }
+        None => String::new(),
+    };
+    println!("{group}/{id}: {:.1} ns/iter{rate}", per_iter);
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        report("bench", &id.text, &b, None);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(21) * 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        let mut c = Criterion::default();
+        c.bench_function("top", |b| b.iter(|| black_box(1)));
+    }
+}

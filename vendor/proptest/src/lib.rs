@@ -1,0 +1,139 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! deterministic, generation-only property-testing harness that covers the
+//! strategy combinators its test suites actually use: integer/float range
+//! strategies, tuples, `Just`, `any::<bool>()`, `prop_map`, `prop_filter`,
+//! `prop_oneof!`, `prop_recursive`, `collection::vec`, `option::of`, and a
+//! regex-subset string generator. Failing cases are reported with their
+//! deterministic seed; there is no shrinking — cases are generated from a
+//! seed derived from the test name and case index, so every failure is
+//! reproducible by rerunning the test.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define deterministic property tests.
+///
+/// Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in proptest::collection::vec(0i64..5, 0..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, -5i64..5), flip in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            let _ = flip;
+        }
+
+        #[test]
+        fn vec_and_oneof(xs in crate::collection::vec(prop_oneof![Just(1u32), 2u32..9], 0..12)) {
+            prop_assert!(xs.len() < 12);
+            prop_assert!(xs.iter().all(|&x| (1..9).contains(&x)));
+        }
+
+        #[test]
+        fn mapped_and_filtered(x in (0i32..100).prop_map(|v| v * 2).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 199);
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-c]{2,4}", opt in crate::option::of(Just(7u8))) {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            if let Some(v) = opt { prop_assert_eq!(v, 7); }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u32..1000, 0..10);
+        let mut r1 = crate::test_runner::TestRng::for_case("det", 3);
+        let mut r2 = crate::test_runner::TestRng::for_case("det", 3);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

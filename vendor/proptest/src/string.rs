@@ -1,0 +1,304 @@
+//! Regex-subset string generation.
+//!
+//! Supports the pattern subset the workspace's property tests use:
+//! literal characters, escapes (`\n`, `\t`, `\r`, `\\`, `\.`, …),
+//! character classes with ranges (`[a-z0-9_.-]`, `[ -~]`), alternation
+//! groups (`(xls|xml|doc)`), and the quantifiers `{n}`, `{m,n}`, `?`,
+//! `*`, `+` (the open-ended ones capped at 8 repetitions — generation
+//! only needs *some* matching string, not the full language).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A compiled pattern usable as a [`Strategy`] for `String`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    Ok(RegexGeneratorStrategy { nodes: parse_sequence(&mut Chars::new(pattern), true)? })
+}
+
+/// Generate one string matching `pattern` (used by the `&str` strategy).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> Result<String, Error> {
+    let nodes = parse_sequence(&mut Chars::new(pattern), true)?;
+    let mut out = String::new();
+    generate_sequence(&nodes, rng, &mut out);
+    Ok(out)
+}
+
+/// Pattern-compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported or malformed pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// See [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    nodes: Vec<Node>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate_sequence(&self.nodes, rng, &mut out);
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternation of sequences.
+    Group(Vec<Vec<Node>>),
+}
+
+struct Chars {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Chars {
+    fn new(s: &str) -> Self {
+        Chars { chars: s.chars().collect(), pos: 0 }
+    }
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_sequence(input: &mut Chars, top_level: bool) -> Result<Vec<Node>, Error> {
+    let mut nodes = Vec::new();
+    while let Some(c) = input.peek() {
+        if !top_level && (c == '|' || c == ')') {
+            break;
+        }
+        input.next();
+        let atom = match c {
+            '[' => parse_class(input)?,
+            '(' => parse_group(input)?,
+            '\\' => Atom::Literal(unescape(
+                input.next().ok_or_else(|| Error("dangling backslash".into()))?,
+            )),
+            '{' | '}' | ']' | '*' | '+' | '?' => {
+                return Err(Error(format!("unexpected {c:?}")));
+            }
+            '.' => Atom::Class(vec![(' ', '~')]),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(input)?;
+        nodes.push(Node { atom, min, max });
+    }
+    Ok(nodes)
+}
+
+fn parse_quantifier(input: &mut Chars) -> Result<(usize, usize), Error> {
+    match input.peek() {
+        Some('{') => {
+            input.next();
+            let mut min_text = String::new();
+            let mut max_text = None;
+            loop {
+                match input.next() {
+                    Some('}') => break,
+                    Some(',') => max_text = Some(String::new()),
+                    Some(d) if d.is_ascii_digit() => match &mut max_text {
+                        Some(t) => t.push(d),
+                        None => min_text.push(d),
+                    },
+                    _ => return Err(Error("malformed {m,n} quantifier".into())),
+                }
+            }
+            let min: usize =
+                min_text.parse().map_err(|_| Error("malformed {m,n} quantifier".into()))?;
+            let max = match max_text {
+                None => min,
+                Some(t) => t.parse().map_err(|_| Error("malformed {m,n} quantifier".into()))?,
+            };
+            if max < min {
+                return Err(Error("quantifier max below min".into()));
+            }
+            Ok((min, max))
+        }
+        Some('?') => {
+            input.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            input.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            input.next();
+            Ok((1, 8))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn parse_class(input: &mut Chars) -> Result<Atom, Error> {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = input.next().ok_or_else(|| Error("unterminated character class".into()))?;
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                if ranges.is_empty() {
+                    return Err(Error("empty character class".into()));
+                }
+                return Ok(Atom::Class(ranges));
+            }
+            '-' if pending.is_some() && input.peek() != Some(']') => {
+                let start = pending.take().expect("checked is_some");
+                let mut end = input.next().ok_or_else(|| Error("unterminated range".into()))?;
+                if end == '\\' {
+                    end = unescape(
+                        input.next().ok_or_else(|| Error("dangling backslash".into()))?,
+                    );
+                }
+                if end < start {
+                    return Err(Error(format!("inverted range {start:?}-{end:?}")));
+                }
+                ranges.push((start, end));
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(unescape(
+                    input.next().ok_or_else(|| Error("dangling backslash".into()))?,
+                )) {
+                    ranges.push((p, p));
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    ranges.push((p, p));
+                }
+            }
+        }
+    }
+}
+
+fn parse_group(input: &mut Chars) -> Result<Atom, Error> {
+    let mut alternatives = Vec::new();
+    loop {
+        alternatives.push(parse_sequence(input, false)?);
+        match input.next() {
+            Some('|') => continue,
+            Some(')') => return Ok(Atom::Group(alternatives)),
+            _ => return Err(Error("unterminated group".into())),
+        }
+    }
+}
+
+fn generate_sequence(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+    for node in nodes {
+        let count = node.min + rng.below((node.max - node.min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &node.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u64 =
+                        ranges.iter().map(|&(a, b)| (b as u64) - (a as u64) + 1).sum();
+                    let mut pick = rng.below(total);
+                    for &(a, b) in ranges {
+                        let size = (b as u64) - (a as u64) + 1;
+                        if pick < size {
+                            // Skip the surrogate gap if a range spans it.
+                            let code = a as u32 + pick as u32;
+                            out.push(char::from_u32(code).unwrap_or(a));
+                            break;
+                        }
+                        pick -= size;
+                    }
+                }
+                Atom::Group(alternatives) => {
+                    let idx = rng.below(alternatives.len() as u64) as usize;
+                    generate_sequence(&alternatives[idx], rng, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        let mut rng = TestRng::from_seed(seed);
+        generate_from_pattern(pattern, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn classes_ranges_and_quantifiers() {
+        for seed in 0..200 {
+            let s = gen("[a-z][a-z0-9_.-]{0,6}", seed);
+            assert!((1..=7).contains(&s.chars().count()), "{s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || "_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        for seed in 0..200 {
+            let s = gen("[ -~]{0,10}", seed);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_and_escapes() {
+        for seed in 0..100 {
+            let s = gen("[a-z]{1,3}\\.(xls|xml|doc)", seed);
+            let (stem, ext) = s.split_once('.').unwrap();
+            assert!((1..=3).contains(&stem.len()), "{s:?}");
+            assert!(["xls", "xml", "doc"].contains(&ext), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_newline_in_class() {
+        let any_newline = (0..500).any(|seed| gen("[ -~\\n]{0,20}", seed).contains('\n'));
+        assert!(any_newline);
+    }
+
+    #[test]
+    fn malformed_patterns_are_errors() {
+        for bad in ["[a-", "(a|b", "a{2,", "[]", "a{3,1}", "\\"] {
+            assert!(string_regex(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}
