@@ -1,0 +1,259 @@
+//! slimcheck: deterministic model-based differential testing across the
+//! SLIM stack.
+//!
+//! One op sequence is generated per case and driven simultaneously
+//! through the real implementation and cheap reference models:
+//!
+//! * **store** — [`trim::TripleStore`] vs [`trim::NaiveStore`] vs a
+//!   `BTreeSet` oracle, journal undo vs a snapshot stack, and every save
+//!   (including fault-injected crash saves) round-tripped through
+//!   `slimio` ([`store_diff`]).
+//! * **dmi** — [`slimstore::SlimPadDmi`] typed objects vs a plain-Rust
+//!   reference world, with triple-pattern readback, conformance, and
+//!   canonical persistence checks ([`dmi_diff`]).
+//! * **pad** — [`slimpad::PadSession`] begin-op/undo cycles vs a
+//!   snapshot stack of canonical XML ([`pad_diff`]).
+//!
+//! On divergence the failing sequence is shrunk with the vendored
+//! proptest shrinker and reported with a `SLIMCHECK_SEED` that replays
+//! the exact failure. Seeded mutations ([`Mutation`]) disable known
+//! pieces of the real implementation to prove the harness catches bugs.
+
+pub mod dmi_diff;
+pub mod ops;
+pub mod pad_diff;
+pub mod store_diff;
+
+use proptest::strategy::Strategy;
+use proptest::test_runner::{panic_message, shrink_to_minimal, with_quiet_panics, TestRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Seeded bugs for mutation mode: each disables one piece of the real
+/// store so the harness can demonstrate detection plus shrinking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// No seeded bug — the real implementation as shipped.
+    None,
+    /// Inserts skip the by-subject index (queries go stale).
+    SkipSubjectIndex,
+    /// `set_unique` degrades to a plain insert (old values survive).
+    LossySetUnique,
+    /// `undo_to` silently does nothing.
+    UndoNoop,
+}
+
+impl Mutation {
+    /// All seeded bugs (excludes `None`).
+    pub const ALL: [Mutation; 3] =
+        [Mutation::SkipSubjectIndex, Mutation::LossySetUnique, Mutation::UndoNoop];
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::SkipSubjectIndex => "skip-subject-index",
+            Mutation::LossySetUnique => "lossy-set-unique",
+            Mutation::UndoNoop => "undo-noop",
+        }
+    }
+}
+
+/// Which layer of the stack a sweep exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    Store,
+    Dmi,
+    Pad,
+}
+
+impl Layer {
+    /// All layers, in stack order.
+    pub const ALL: [Layer; 3] = [Layer::Store, Layer::Dmi, Layer::Pad];
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Store => "store",
+            Layer::Dmi => "dmi",
+            Layer::Pad => "pad",
+        }
+    }
+
+    /// Parse a `--layer` argument.
+    pub fn parse(s: &str) -> Option<Layer> {
+        match s {
+            "store" => Some(Layer::Store),
+            "dmi" => Some(Layer::Dmi),
+            "pad" => Some(Layer::Pad),
+            _ => None,
+        }
+    }
+
+    /// Per-layer tag mixed into case seeds so the three sweeps draw
+    /// disjoint streams from one base seed.
+    fn tag(self) -> u64 {
+        match self {
+            Layer::Store => 0x73746f72, // "stor"
+            Layer::Dmi => 0x646d69,    // "dmi"
+            Layer::Pad => 0x706164,    // "pad"
+        }
+    }
+}
+
+/// A confirmed, shrunk divergence between the real stack and a model.
+#[derive(Debug)]
+pub struct Divergence {
+    /// Layer the divergence was found in.
+    pub layer: Layer,
+    /// Mutation active during the sweep (`None` for a real-bug report).
+    pub mutation: Mutation,
+    /// The case seed; replaying it regenerates the failing sequence.
+    pub seed: u64,
+    /// Case index within the sweep (0 for a replay).
+    pub case: u32,
+    /// Panic message from the minimal failing sequence.
+    pub message: String,
+    /// `{:#?}` of the minimal failing sequence.
+    pub minimal_debug: String,
+    /// Ops in the minimal failing sequence.
+    pub minimal_len: usize,
+    /// Ops in the originally generated failing sequence.
+    pub original_len: usize,
+    /// Accepted shrink steps between the two.
+    pub shrink_steps: u32,
+}
+
+impl Divergence {
+    /// Human-readable report with the replay command. The
+    /// `SLIMCHECK_SEED=` line is the machine-readable hook CI greps for.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "slimcheck: divergence in layer `{}` (case {}, mutation: {})\n",
+            self.layer.name(),
+            self.case,
+            self.mutation.name(),
+        ));
+        out.push_str(&format!(
+            "  shrunk {} ops -> {} ops in {} accepted steps\n",
+            self.original_len, self.minimal_len, self.shrink_steps
+        ));
+        out.push_str(&format!("  failure: {}\n", self.message));
+        out.push_str(&format!("  minimal sequence: {}\n", self.minimal_debug));
+        out.push_str(&format!("SLIMCHECK_SEED=0x{:016x}\n", self.seed));
+        out.push_str(&format!(
+            "replay: cargo run -p slimcheck -- --layer {} --seed 0x{:016x}{}\n",
+            self.layer.name(),
+            self.seed,
+            if self.mutation == Mutation::None {
+                String::new()
+            } else {
+                format!(" --mutation {}", self.mutation.name())
+            },
+        ));
+        out
+    }
+}
+
+/// splitmix64-style seed mixer: one base seed fans out into independent
+/// per-(layer, case) streams.
+fn mix_seed(base: u64, tag: u64, case: u32) -> u64 {
+    let mut z = base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((case as u64) << 32 | 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shrink budget: predicate evaluations allowed while minimizing.
+const SHRINK_ATTEMPTS: u32 = 4096;
+
+/// Generate one sequence from `seed`, check it, and on failure shrink to
+/// a minimal reproduction. Deterministic: the same seed always yields
+/// the same sequence, verdict, and minimal form.
+fn run_case<S, T>(
+    layer: Layer,
+    mutation: Mutation,
+    strategy: &S,
+    check: impl Fn(&[T]),
+    seed: u64,
+    case: u32,
+) -> Option<Divergence>
+where
+    S: Strategy<Value = Vec<T>>,
+    T: Clone + std::fmt::Debug,
+{
+    let mut rng = TestRng::from_seed(seed);
+    let ops = strategy.generate(&mut rng);
+    with_quiet_panics(|| {
+        if catch_unwind(AssertUnwindSafe(|| check(&ops))).is_ok() {
+            return None;
+        }
+        let fails = |v: &Vec<T>| catch_unwind(AssertUnwindSafe(|| check(v))).is_err();
+        let (minimal, shrink_steps, _) =
+            shrink_to_minimal(strategy, ops.clone(), fails, SHRINK_ATTEMPTS);
+        let message = match catch_unwind(AssertUnwindSafe(|| check(&minimal))) {
+            Err(payload) => panic_message(&*payload),
+            Ok(()) => "<failure did not reproduce on minimal sequence>".to_string(),
+        };
+        Some(Divergence {
+            layer,
+            mutation,
+            seed,
+            case,
+            message,
+            minimal_debug: format!("{minimal:#?}"),
+            minimal_len: minimal.len(),
+            original_len: ops.len(),
+            shrink_steps,
+        })
+    })
+}
+
+/// Run `cases` differential cases against one layer, stopping at the
+/// first divergence. `mutation` only affects the store layer.
+pub fn run_layer(
+    layer: Layer,
+    base_seed: u64,
+    cases: u32,
+    max_ops: usize,
+    mutation: Mutation,
+) -> Option<Divergence> {
+    for case in 0..cases {
+        let seed = mix_seed(base_seed, layer.tag(), case);
+        let divergence = replay_case(layer, mutation, seed, case, max_ops);
+        if divergence.is_some() {
+            return divergence;
+        }
+    }
+    None
+}
+
+/// Re-run the single case identified by `seed` (as printed in a
+/// divergence report).
+pub fn replay(layer: Layer, seed: u64, max_ops: usize, mutation: Mutation) -> Option<Divergence> {
+    replay_case(layer, mutation, seed, 0, max_ops)
+}
+
+fn replay_case(
+    layer: Layer,
+    mutation: Mutation,
+    seed: u64,
+    case: u32,
+    max_ops: usize,
+) -> Option<Divergence> {
+    let max_ops = max_ops.max(1);
+    match layer {
+        Layer::Store => {
+            let strategy = proptest::collection::vec(ops::store_op_strategy(), 1..max_ops + 1);
+            run_case(layer, mutation, &strategy, |ops| store_diff::check(ops, mutation), seed, case)
+        }
+        Layer::Dmi => {
+            let strategy = proptest::collection::vec(ops::dmi_op_strategy(), 1..max_ops + 1);
+            run_case(layer, mutation, &strategy, dmi_diff::check, seed, case)
+        }
+        Layer::Pad => {
+            let strategy = proptest::collection::vec(ops::pad_op_strategy(), 1..max_ops + 1);
+            run_case(layer, mutation, &strategy, pad_diff::check, seed, case)
+        }
+    }
+}

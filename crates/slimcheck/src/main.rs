@@ -1,0 +1,197 @@
+//! slimcheck CLI.
+//!
+//! * `cargo run -p slimcheck` — bounded differential sweep of every
+//!   layer; exits 1 with a replay seed on divergence.
+//! * `cargo run -p slimcheck -- --layer store --seed 0x…` — replay one
+//!   case deterministically.
+//! * `cargo run -p slimcheck -- --mutate` — enable each seeded store
+//!   bug in turn and prove the harness detects and shrinks it.
+
+use slimcheck::{run_layer, replay, Divergence, Layer, Mutation};
+
+/// Sweep base seed: stable so CI runs are reproducible; override with
+/// `--base-seed` to explore a different region.
+const DEFAULT_BASE_SEED: u64 = 0x5eed0f5113;
+const DEFAULT_CASES: u32 = 64;
+const DEFAULT_OPS: usize = 64;
+/// Mutation mode requires minimal reproductions at or under this many
+/// ops — the shrinker must reduce seeded bugs to near-trivial sequences.
+const MUTANT_SHRINK_BOUND: usize = 10;
+
+struct Args {
+    layers: Vec<Layer>,
+    cases: u32,
+    max_ops: usize,
+    base_seed: u64,
+    seed: Option<u64>,
+    mutation: Mutation,
+    mutate: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: slimcheck [--layer store|dmi|pad|all] [--cases N] [--ops N]\n\
+         \x20                [--base-seed HEX] [--seed HEX] [--mutation NAME] [--mutate]\n\
+         \n\
+         Default: a bounded differential sweep of every layer.\n\
+         --seed HEX        replay one case (requires a single --layer)\n\
+         --mutation NAME   seeded store bug to enable: {}\n\
+         --mutate          run every seeded store bug; each must be caught\n\
+         \x20                and shrunk to <= {MUTANT_SHRINK_BOUND} ops",
+        Mutation::ALL.map(|m| m.name()).join(", "),
+    );
+    std::process::exit(2)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        layers: Layer::ALL.to_vec(),
+        cases: DEFAULT_CASES,
+        max_ops: DEFAULT_OPS,
+        base_seed: DEFAULT_BASE_SEED,
+        seed: None,
+        mutation: Mutation::None,
+        mutate: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| usage_for(flag));
+        match flag.as_str() {
+            "--layer" => {
+                let v = value("--layer");
+                args.layers = if v == "all" {
+                    Layer::ALL.to_vec()
+                } else {
+                    vec![Layer::parse(&v).unwrap_or_else(|| usage_for("--layer"))]
+                };
+            }
+            "--cases" => args.cases = value("--cases").parse().unwrap_or_else(|_| usage_for("--cases")),
+            "--ops" => args.max_ops = value("--ops").parse().unwrap_or_else(|_| usage_for("--ops")),
+            "--base-seed" => {
+                args.base_seed =
+                    parse_u64(&value("--base-seed")).unwrap_or_else(|| usage_for("--base-seed"))
+            }
+            "--seed" => {
+                args.seed = Some(parse_u64(&value("--seed")).unwrap_or_else(|| usage_for("--seed")))
+            }
+            "--mutation" => {
+                let v = value("--mutation");
+                args.mutation = Mutation::ALL
+                    .into_iter()
+                    .find(|m| m.name() == v)
+                    .unwrap_or_else(|| usage_for("--mutation"));
+            }
+            "--mutate" => args.mutate = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage_for(flag: &str) -> ! {
+    eprintln!("slimcheck: bad or missing value for {flag}\n");
+    usage()
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.mutate {
+        std::process::exit(mutation_mode(&args));
+    }
+
+    if let Some(seed) = args.seed {
+        if args.layers.len() != 1 {
+            eprintln!("slimcheck: --seed needs a single --layer (the one from the report)\n");
+            usage();
+        }
+        let layer = args.layers[0];
+        match replay(layer, seed, args.max_ops, args.mutation) {
+            Some(d) => {
+                print!("{}", d.report());
+                std::process::exit(1);
+            }
+            None => {
+                println!(
+                    "slimcheck: layer `{}` seed 0x{seed:016x}: no divergence (mutation: {})",
+                    layer.name(),
+                    args.mutation.name(),
+                );
+                return;
+            }
+        }
+    }
+
+    // Default: bounded sweep over the selected layers.
+    let mut failed: Option<Divergence> = None;
+    for layer in &args.layers {
+        println!(
+            "slimcheck: sweeping layer `{}` ({} cases, <= {} ops, base seed 0x{:016x})",
+            layer.name(),
+            args.cases,
+            args.max_ops,
+            args.base_seed,
+        );
+        if let Some(d) = run_layer(*layer, args.base_seed, args.cases, args.max_ops, args.mutation) {
+            print!("{}", d.report());
+            failed = Some(d);
+            break;
+        }
+    }
+    match failed {
+        Some(_) => std::process::exit(1),
+        None => println!("slimcheck: all layers agree with their models"),
+    }
+}
+
+/// Run every seeded store bug; the harness must catch each one and
+/// shrink it to a near-trivial sequence. Exit 0 only if all die.
+fn mutation_mode(args: &Args) -> i32 {
+    let mut surviving = 0;
+    for mutation in Mutation::ALL {
+        match run_layer(Layer::Store, args.base_seed, args.cases, args.max_ops, mutation) {
+            Some(d) if d.minimal_len <= MUTANT_SHRINK_BOUND => {
+                println!(
+                    "mutant `{}`: KILLED in case {} — shrunk {} -> {} ops \
+                     (seed 0x{:016x})\n  failure: {}\n  minimal: {}",
+                    mutation.name(),
+                    d.case,
+                    d.original_len,
+                    d.minimal_len,
+                    d.seed,
+                    d.message,
+                    d.minimal_debug,
+                );
+            }
+            Some(d) => {
+                println!(
+                    "mutant `{}`: detected but NOT shrunk (minimal {} ops > bound {})\n{}",
+                    mutation.name(),
+                    d.minimal_len,
+                    MUTANT_SHRINK_BOUND,
+                    d.report(),
+                );
+                surviving += 1;
+            }
+            None => {
+                println!("mutant `{}`: SURVIVED the sweep — harness gap", mutation.name());
+                surviving += 1;
+            }
+        }
+    }
+    if surviving == 0 {
+        println!("slimcheck: all {} seeded mutants killed", Mutation::ALL.len());
+        0
+    } else {
+        println!("slimcheck: {surviving} mutant(s) escaped");
+        1
+    }
+}

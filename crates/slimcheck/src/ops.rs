@@ -1,0 +1,149 @@
+//! Operation alphabets for the three checked layers, plus their
+//! strategies. Every op addresses objects by *index* into small pools or
+//! into the set of live objects at execution time (resolved modulo the
+//! live count), so any randomly generated op is executable and every
+//! shrink candidate stays meaningful.
+
+use proptest::prelude::*;
+
+/// A small vocabulary so operations collide often.
+pub const SUBJECTS: &[&str] = &["b1", "b2", "s1", "s2", "pad"];
+pub const PROPS: &[&str] = &["name", "content", "nested", "pos"];
+pub const OBJECTS: &[&str] = &["b2", "s1", "John", "140", ""];
+
+/// Name pool shared by the DMI and pad layers.
+pub const NAMES: &[&str] = &["Rounds", "John Smith", "Na 140", "K 4.1", ""];
+/// Annotation pool (small so add/remove collide).
+pub const ANNOTATIONS: &[&str] = &["stat", "recheck", "od? <&>", "hold"];
+
+/// One step against the triple-store stack (TRIM + journal + slimio).
+#[derive(Debug, Clone)]
+pub enum StoreOp {
+    Insert { s: usize, p: usize, o: usize, res: bool },
+    Remove { s: usize, p: usize, o: usize, res: bool },
+    SetUnique { s: usize, p: usize, o: usize, res: bool },
+    RemoveMatching { s: Option<usize>, p: Option<usize>, o: Option<(usize, bool)> },
+    /// Record the current revision + model snapshot for a later `Undo`.
+    Checkpoint,
+    /// Undo to the `back`-th most recent checkpoint (modulo stack size).
+    Undo { back: usize },
+    /// Durable save to the world's disk, then verified reload.
+    Save,
+    /// Attempt a save with an injected fault (`fault`/`mode` select the
+    /// victim operation and misbehavior, `tear_seed` the torn length),
+    /// then check the crash-safety invariants on the post-crash disk.
+    CrashSave { fault: usize, mode: usize, tear_seed: u64 },
+}
+
+pub fn store_op_strategy() -> impl Strategy<Value = StoreOp> {
+    let field = (0..SUBJECTS.len(), 0..PROPS.len(), 0..OBJECTS.len(), any::<bool>());
+    prop_oneof![
+        // Insert twice: growth-biased sequences reach interesting states.
+        field.clone().prop_map(|(s, p, o, res)| StoreOp::Insert { s, p, o, res }),
+        field.clone().prop_map(|(s, p, o, res)| StoreOp::Insert { s, p, o, res }),
+        field.clone().prop_map(|(s, p, o, res)| StoreOp::Remove { s, p, o, res }),
+        field.prop_map(|(s, p, o, res)| StoreOp::SetUnique { s, p, o, res }),
+        (
+            proptest::option::of(0..SUBJECTS.len()),
+            proptest::option::of(0..PROPS.len()),
+            proptest::option::of((0..OBJECTS.len(), any::<bool>())),
+        )
+            .prop_map(|(s, p, o)| StoreOp::RemoveMatching { s, p, o }),
+        Just(StoreOp::Checkpoint),
+        (0usize..8).prop_map(|back| StoreOp::Undo { back }),
+        Just(StoreOp::Save),
+        (0usize..3, 0usize..3, any::<u64>())
+            .prop_map(|(fault, mode, tear_seed)| StoreOp::CrashSave { fault, mode, tear_seed }),
+    ]
+}
+
+/// One step against the typed [`slimstore::SlimPadDmi`] layer. Object
+/// fields are raw indices resolved against the live object lists; an op
+/// whose target class has no live objects is a no-op.
+#[derive(Debug, Clone)]
+pub enum DmiOp {
+    CreateBundle { name: usize, pos: (i64, i64), w: i64, h: i64 },
+    CreatePad { name: usize, root: Option<usize> },
+    CreateScrap { name: usize, pos: (i64, i64), mark: usize },
+    NestBundle { parent: usize, child: usize },
+    UnnestBundle { parent: usize, child: usize },
+    AddScrap { bundle: usize, scrap: usize },
+    RemoveScrap { bundle: usize, scrap: usize },
+    AddMark { scrap: usize, mark: usize },
+    RemoveMark { scrap: usize, pick: usize },
+    Annotate { scrap: usize, text: usize },
+    Unannotate { scrap: usize, text: usize },
+    Link { from: usize, to: usize },
+    Unlink { from: usize, to: usize },
+    UpdateBundlePos { bundle: usize, pos: (i64, i64) },
+    UpdateScrapName { scrap: usize, name: usize },
+    UpdateRootBundle { pad: usize, root: Option<usize> },
+    DeleteBundle { bundle: usize },
+    DeleteScrap { scrap: usize },
+    DeletePad { pad: usize },
+    Checkpoint,
+    Rollback { back: usize },
+}
+
+pub fn dmi_op_strategy() -> impl Strategy<Value = DmiOp> {
+    let pos = (0i64..200, 0i64..200);
+    let idx = 0usize..16;
+    prop_oneof![
+        (0..NAMES.len(), pos.clone(), 10i64..400, 10i64..300)
+            .prop_map(|(name, pos, w, h)| DmiOp::CreateBundle { name, pos, w, h }),
+        (0..NAMES.len(), proptest::option::of(idx.clone()))
+            .prop_map(|(name, root)| DmiOp::CreatePad { name, root }),
+        (0..NAMES.len(), pos.clone(), idx.clone())
+            .prop_map(|(name, pos, mark)| DmiOp::CreateScrap { name, pos, mark }),
+        (idx.clone(), idx.clone()).prop_map(|(parent, child)| DmiOp::NestBundle { parent, child }),
+        (idx.clone(), idx.clone())
+            .prop_map(|(parent, child)| DmiOp::UnnestBundle { parent, child }),
+        (idx.clone(), idx.clone()).prop_map(|(bundle, scrap)| DmiOp::AddScrap { bundle, scrap }),
+        (idx.clone(), idx.clone()).prop_map(|(bundle, scrap)| DmiOp::RemoveScrap { bundle, scrap }),
+        (idx.clone(), idx.clone()).prop_map(|(scrap, mark)| DmiOp::AddMark { scrap, mark }),
+        (idx.clone(), idx.clone()).prop_map(|(scrap, pick)| DmiOp::RemoveMark { scrap, pick }),
+        (idx.clone(), 0..ANNOTATIONS.len())
+            .prop_map(|(scrap, text)| DmiOp::Annotate { scrap, text }),
+        (idx.clone(), 0..ANNOTATIONS.len())
+            .prop_map(|(scrap, text)| DmiOp::Unannotate { scrap, text }),
+        (idx.clone(), idx.clone()).prop_map(|(from, to)| DmiOp::Link { from, to }),
+        (idx.clone(), idx.clone()).prop_map(|(from, to)| DmiOp::Unlink { from, to }),
+        (idx.clone(), pos.clone()).prop_map(|(bundle, pos)| DmiOp::UpdateBundlePos { bundle, pos }),
+        (idx.clone(), 0..NAMES.len())
+            .prop_map(|(scrap, name)| DmiOp::UpdateScrapName { scrap, name }),
+        (idx.clone(), proptest::option::of(idx.clone()))
+            .prop_map(|(pad, root)| DmiOp::UpdateRootBundle { pad, root }),
+        idx.clone().prop_map(|bundle| DmiOp::DeleteBundle { bundle }),
+        idx.clone().prop_map(|scrap| DmiOp::DeleteScrap { scrap }),
+        idx.clone().prop_map(|pad| DmiOp::DeletePad { pad }),
+        Just(DmiOp::Checkpoint),
+        (0usize..8).prop_map(|back| DmiOp::Rollback { back }),
+    ]
+}
+
+/// One step against the [`slimpad::PadSession`] application layer.
+#[derive(Debug, Clone)]
+pub enum PadOp {
+    BeginOp,
+    Undo,
+    CreateBundle { name: usize, pos: (i64, i64), parent: Option<usize> },
+    PlaceMark { label: usize, pos: (i64, i64), bundle: Option<usize> },
+    Annotate { scrap: usize, text: usize },
+    DeleteScrap { scrap: usize },
+}
+
+pub fn pad_op_strategy() -> impl Strategy<Value = PadOp> {
+    let pos = (0i64..200, 0i64..200);
+    let idx = 0usize..16;
+    prop_oneof![
+        Just(PadOp::BeginOp),
+        Just(PadOp::Undo),
+        (0..NAMES.len(), pos.clone(), proptest::option::of(idx.clone()))
+            .prop_map(|(name, pos, parent)| PadOp::CreateBundle { name, pos, parent }),
+        (0..NAMES.len(), pos, proptest::option::of(idx.clone()))
+            .prop_map(|(label, pos, bundle)| PadOp::PlaceMark { label, pos, bundle }),
+        (idx.clone(), 0..ANNOTATIONS.len())
+            .prop_map(|(scrap, text)| PadOp::Annotate { scrap, text }),
+        idx.prop_map(|scrap| PadOp::DeleteScrap { scrap }),
+    ]
+}

@@ -61,4 +61,5 @@ pub mod view;
 pub use atom::{Atom, AtomTable};
 pub use error::TrimError;
 pub use journal::{Change, Journal, Revision};
+pub use naive::{NaiveStore, NaiveTriple};
 pub use store::{StoreStats, Triple, TriplePattern, TripleStore, Value};

@@ -83,6 +83,86 @@ impl NaiveStore {
         self.triples.is_empty()
     }
 
+    /// Remove an exact triple including its object kind; `true` if it was
+    /// present. Unlike [`NaiveStore::remove`], this distinguishes a
+    /// resource object `"b2"` from a literal object `"b2"`, matching
+    /// [`crate::TripleStore::remove`] semantics for differential testing.
+    pub fn remove_exact(
+        &mut self,
+        subject: &str,
+        property: &str,
+        object: &str,
+        object_is_resource: bool,
+    ) -> bool {
+        let before = self.triples.len();
+        self.triples.retain(|t| {
+            !(t.subject == subject
+                && t.property == property
+                && t.object == object
+                && t.object_is_resource == object_is_resource)
+        });
+        self.triples.len() != before
+    }
+
+    /// Kind-aware selection: like [`NaiveStore::select`] but an object
+    /// constraint also fixes whether the object is a resource. Mirrors
+    /// [`crate::TriplePattern`] matching.
+    pub fn select_matching(
+        &self,
+        subject: Option<&str>,
+        property: Option<&str>,
+        object: Option<(&str, bool)>,
+    ) -> Vec<&NaiveTriple> {
+        self.triples
+            .iter()
+            .filter(|t| {
+                subject.is_none_or(|s| t.subject == s)
+                    && property.is_none_or(|p| t.property == p)
+                    && object.is_none_or(|(o, is_res)| {
+                        t.object == o && t.object_is_resource == is_res
+                    })
+            })
+            .collect()
+    }
+
+    /// Remove every triple matched by the kind-aware pattern; returns how
+    /// many were removed. Mirrors [`crate::TripleStore::remove_matching`].
+    pub fn remove_matching(
+        &mut self,
+        subject: Option<&str>,
+        property: Option<&str>,
+        object: Option<(&str, bool)>,
+    ) -> usize {
+        let before = self.triples.len();
+        self.triples.retain(|t| {
+            !(subject.is_none_or(|s| t.subject == s)
+                && property.is_none_or(|p| t.property == p)
+                && object.is_none_or(|(o, is_res)| {
+                    t.object == o && t.object_is_resource == is_res
+                }))
+        });
+        before - self.triples.len()
+    }
+
+    /// Replace all `(subject, property, *)` triples with the single given
+    /// one. Mirrors [`crate::TripleStore::set_unique`].
+    pub fn set_unique(
+        &mut self,
+        subject: &str,
+        property: &str,
+        object: &str,
+        object_is_resource: bool,
+    ) {
+        self.triples
+            .retain(|t| !(t.subject == subject && t.property == property));
+        self.triples.push(NaiveTriple {
+            subject: subject.to_string(),
+            property: property.to_string(),
+            object: object.to_string(),
+            object_is_resource,
+        });
+    }
+
     /// Estimated resident bytes: every string owned separately, no
     /// sharing. Comparable to [`crate::StoreStats::estimated_bytes`].
     pub fn estimated_bytes(&self) -> usize {

@@ -242,6 +242,16 @@ impl TripleStore {
         true
     }
 
+    /// Drop `t` from the subject index only, leaving membership and the
+    /// other indexes untouched — i.e. deliberately corrupt the store.
+    /// Exists solely so mutation-testing harnesses (slimcheck `--mutate`)
+    /// can prove they detect a skipped index-maintenance bug; never call
+    /// this from production code.
+    #[doc(hidden)]
+    pub fn testonly_unindex_subject(&mut self, t: Triple) {
+        Self::index_remove(&mut self.by_subject, t.subject, &t);
+    }
+
     fn index_remove<K: std::hash::Hash + Eq>(
         index: &mut HashMap<K, HashSet<Triple>>,
         key: K,

@@ -1,0 +1,212 @@
+//! Differential property tests: the indexed [`TripleStore`] must agree
+//! with the scan-everything [`NaiveStore`] on queries, bulk removal, and
+//! size after arbitrary operation sequences, and `undo_to` must restore
+//! the exact triple set at any recorded revision — including across
+//! `set_unique`, whose replace-then-insert expansion spans several
+//! journal entries.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use trim::{NaiveStore, Revision, TriplePattern, TripleStore, Value};
+
+/// A small vocabulary so operations collide often.
+const SUBJECTS: &[&str] = &["b1", "b2", "s1", "s2", "pad"];
+const PROPS: &[&str] = &["name", "content", "nested", "pos"];
+const OBJECTS: &[&str] = &["b2", "s1", "John", "140", ""];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { s: usize, p: usize, o: usize, res: bool },
+    Remove { s: usize, p: usize, o: usize, res: bool },
+    SetUnique { s: usize, p: usize, o: usize, res: bool },
+    RemoveMatching { s: Option<usize>, p: Option<usize>, o: Option<(usize, bool)> },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let field = (0..SUBJECTS.len(), 0..PROPS.len(), 0..OBJECTS.len(), any::<bool>());
+    prop_oneof![
+        field.clone().prop_map(|(s, p, o, res)| Op::Insert { s, p, o, res }),
+        field.clone().prop_map(|(s, p, o, res)| Op::Remove { s, p, o, res }),
+        field.prop_map(|(s, p, o, res)| Op::SetUnique { s, p, o, res }),
+        (
+            proptest::option::of(0..SUBJECTS.len()),
+            proptest::option::of(0..PROPS.len()),
+            proptest::option::of((0..OBJECTS.len(), any::<bool>())),
+        )
+            .prop_map(|(s, p, o)| Op::RemoveMatching { s, p, o }),
+    ]
+}
+
+/// Build the kind-aware pattern for the indexed store; atoms are interned
+/// on demand so a query over never-seen strings still typechecks.
+fn pattern_for(
+    store: &mut TripleStore,
+    s: Option<usize>,
+    p: Option<usize>,
+    o: Option<(usize, bool)>,
+) -> TriplePattern {
+    let mut pattern = TriplePattern::default();
+    if let Some(s) = s {
+        let a = store.atom(SUBJECTS[s]);
+        pattern = pattern.with_subject(a);
+    }
+    if let Some(p) = p {
+        let a = store.atom(PROPS[p]);
+        pattern = pattern.with_property(a);
+    }
+    if let Some((o, res)) = o {
+        let v = if res {
+            let a = store.atom(OBJECTS[o]);
+            Value::Resource(a)
+        } else {
+            store.literal_value(OBJECTS[o])
+        };
+        pattern = pattern.with_object(v);
+    }
+    pattern
+}
+
+/// Apply one op to both stores, asserting result agreement where the op
+/// reports one (insert/remove booleans, remove_matching counts).
+fn apply(store: &mut TripleStore, naive: &mut NaiveStore, op: &Op) {
+    match *op {
+        Op::Insert { s, p, o, res } => {
+            let (subj, prop, obj) = (SUBJECTS[s], PROPS[p], OBJECTS[o]);
+            let sa = store.atom(subj);
+            let pa = store.atom(prop);
+            let ov = if res { Value::Resource(store.atom(obj)) } else { store.literal_value(obj) };
+            let added = store.insert(sa, pa, ov);
+            let naive_added = naive.insert(subj, prop, obj, res);
+            assert_eq!(added, naive_added, "insert disagreement on {op:?}");
+        }
+        Op::Remove { s, p, o, res } => {
+            let (subj, prop, obj) = (SUBJECTS[s], PROPS[p], OBJECTS[o]);
+            let sa = store.atom(subj);
+            let pa = store.atom(prop);
+            let ov = if res { Value::Resource(store.atom(obj)) } else { store.literal_value(obj) };
+            let removed = store.remove(trim::Triple { subject: sa, property: pa, object: ov });
+            let naive_removed = naive.remove_exact(subj, prop, obj, res);
+            assert_eq!(removed, naive_removed, "remove disagreement on {op:?}");
+        }
+        Op::SetUnique { s, p, o, res } => {
+            let (subj, prop, obj) = (SUBJECTS[s], PROPS[p], OBJECTS[o]);
+            let sa = store.atom(subj);
+            let pa = store.atom(prop);
+            let ov = if res { Value::Resource(store.atom(obj)) } else { store.literal_value(obj) };
+            store.set_unique(sa, pa, ov);
+            naive.set_unique(subj, prop, obj, res);
+        }
+        Op::RemoveMatching { s, p, o } => {
+            let pattern = pattern_for(store, s, p, o);
+            let removed = store.remove_matching(&pattern);
+            let naive_removed = naive.remove_matching(
+                s.map(|i| SUBJECTS[i]),
+                p.map(|i| PROPS[i]),
+                o.map(|(i, res)| (OBJECTS[i], res)),
+            );
+            assert_eq!(removed, naive_removed, "remove_matching disagreement on {op:?}");
+        }
+    }
+}
+
+type ModelTriple = (String, String, String, bool);
+
+fn store_contents(store: &TripleStore) -> BTreeSet<ModelTriple> {
+    store
+        .iter()
+        .map(|t| {
+            (
+                store.resolve(t.subject).to_string(),
+                store.resolve(t.property).to_string(),
+                store.value_text(t.object).to_string(),
+                t.object.is_resource(),
+            )
+        })
+        .collect()
+}
+
+fn naive_contents(naive: &NaiveStore) -> BTreeSet<ModelTriple> {
+    naive
+        .select_matching(None, None, None)
+        .into_iter()
+        .map(|t| (t.subject.clone(), t.property.clone(), t.object.clone(), t.object_is_resource))
+        .collect()
+}
+
+proptest! {
+    /// Full differential agreement: same ops into both stores ⇒ same
+    /// contents, same len, consistent indexes.
+    #[test]
+    fn indexed_store_agrees_with_naive(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let mut store = TripleStore::new();
+        let mut naive = NaiveStore::new();
+        for op in &ops {
+            apply(&mut store, &mut naive, op);
+            prop_assert_eq!(store.len(), naive.len(), "len diverged after {:?}", op);
+        }
+        store.check_invariants();
+        prop_assert_eq!(store_contents(&store), naive_contents(&naive));
+    }
+
+    /// Every query shape answers identically in both stores.
+    #[test]
+    fn queries_agree_between_stores(
+        ops in proptest::collection::vec(op_strategy(), 0..80),
+        qs in proptest::option::of(0..SUBJECTS.len()),
+        qp in proptest::option::of(0..PROPS.len()),
+        qo in proptest::option::of((0..OBJECTS.len(), any::<bool>())),
+    ) {
+        let mut store = TripleStore::new();
+        let mut naive = NaiveStore::new();
+        for op in &ops {
+            apply(&mut store, &mut naive, op);
+        }
+        let pattern = pattern_for(&mut store, qs, qp, qo);
+        let indexed: BTreeSet<ModelTriple> = store
+            .select(&pattern)
+            .into_iter()
+            .map(|t| {
+                (
+                    store.resolve(t.subject).to_string(),
+                    store.resolve(t.property).to_string(),
+                    store.value_text(t.object).to_string(),
+                    t.object.is_resource(),
+                )
+            })
+            .collect();
+        let scanned: BTreeSet<ModelTriple> = naive
+            .select_matching(
+                qs.map(|i| SUBJECTS[i]),
+                qp.map(|i| PROPS[i]),
+                qo.map(|(i, res)| (OBJECTS[i], res)),
+            )
+            .into_iter()
+            .map(|t| (t.subject.clone(), t.property.clone(), t.object.clone(), t.object_is_resource))
+            .collect();
+        prop_assert_eq!(indexed.len(), store.count(&pattern));
+        prop_assert_eq!(indexed, scanned);
+    }
+
+    /// Undoing to any recorded revision restores the exact triple set as
+    /// of that revision, no matter what ran afterwards — including
+    /// `set_unique`, which journals a removal batch plus an insert.
+    #[test]
+    fn undo_to_restores_any_recorded_revision(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        pick in 0usize..100,
+    ) {
+        let mut store = TripleStore::new();
+        let mut naive = NaiveStore::new();
+        let mut timeline: Vec<(Revision, BTreeSet<ModelTriple>)> = Vec::new();
+        timeline.push((store.revision(), store_contents(&store)));
+        for op in &ops {
+            apply(&mut store, &mut naive, op);
+            timeline.push((store.revision(), store_contents(&store)));
+        }
+        let (rev, snapshot) = timeline[pick % timeline.len()].clone();
+        store.undo_to(rev).expect("recorded revision must be undoable");
+        store.check_invariants();
+        prop_assert_eq!(store.revision(), rev);
+        prop_assert_eq!(store_contents(&store), snapshot);
+    }
+}

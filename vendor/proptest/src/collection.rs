@@ -23,4 +23,44 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let len = self.size.start + rng.below(span) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
     }
+
+    fn shrink(&self, value: &Vec<S::Value>, out: &mut Vec<Vec<S::Value>>) {
+        let min = self.size.start;
+        let len = value.len();
+
+        // 1. Length reductions, most aggressive first: empty (or minimal),
+        //    then drop the back/front half. These collapse long failing
+        //    op-sequences in O(log n) accepted candidates.
+        if len > min {
+            out.push(value[..min].to_vec());
+            let half = min + (len - min) / 2;
+            if half > min && half < len {
+                out.push(value[..half].to_vec());
+                out.push(value[len - half..].to_vec());
+            }
+            // 2. Single-element removals (each position), so the minimal
+            //    sequence keeps only load-bearing operations. Bounded to
+            //    keep the candidate set linear in sequence length.
+            if len <= 64 {
+                for i in 0..len {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+        }
+
+        // 3. Element-wise shrinks at fixed length, so surviving operations
+        //    simplify (smaller indices, simpler variants). Cap candidates
+        //    per slot to bound the total frontier.
+        for (i, item) in value.iter().enumerate() {
+            let mut candidates = Vec::new();
+            self.element.shrink(item, &mut candidates);
+            for c in candidates.into_iter().take(3) {
+                let mut next = value.clone();
+                next[i] = c;
+                out.push(next);
+            }
+        }
+    }
 }

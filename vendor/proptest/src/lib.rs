@@ -5,10 +5,11 @@
 //! strategy combinators its test suites actually use: integer/float range
 //! strategies, tuples, `Just`, `any::<bool>()`, `prop_map`, `prop_filter`,
 //! `prop_oneof!`, `prop_recursive`, `collection::vec`, `option::of`, and a
-//! regex-subset string generator. Failing cases are reported with their
-//! deterministic seed; there is no shrinking — cases are generated from a
-//! seed derived from the test name and case index, so every failure is
-//! reproducible by rerunning the test.
+//! regex-subset string generator. Cases are generated from a seed derived
+//! from the test name and case index, so every failure is reproducible by
+//! rerunning the test; on failure the input is shrunk via
+//! [`strategy::Strategy::shrink`] and the minimal counterexample is
+//! reported alongside the original.
 
 pub mod collection;
 pub mod option;
@@ -81,13 +82,29 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
-                for case in 0..config.cases {
-                    let mut rng = $crate::test_runner::TestRng::for_case(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        case,
+                // A single tuple strategy preserves the historical RNG
+                // stream: tuple generate draws components in declaration
+                // order from the same rng the old per-pattern loop used.
+                let __strategy = ($($strategy,)+);
+                let result = $crate::test_runner::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    &__strategy,
+                    |__value| {
+                        let ($($pat,)+) = __value.clone();
+                        $body
+                    },
+                );
+                if let $crate::test_runner::PropertyResult::Fail(failure) = result {
+                    panic!(
+                        "property {} failed at case {} ({} shrink steps)\n  minimal input: {:?}\n  original input: {:?}\n  message: {}",
+                        stringify!($name),
+                        failure.case,
+                        failure.shrink_steps,
+                        failure.minimal,
+                        failure.original,
+                        failure.message,
                     );
-                    $(let $pat = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
-                    $body
                 }
             }
         )*
@@ -135,5 +152,52 @@ mod tests {
         let mut r1 = crate::test_runner::TestRng::for_case("det", 3);
         let mut r2 = crate::test_runner::TestRng::for_case("det", 3);
         assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    fn vec_failures_shrink_to_minimal() {
+        use crate::test_runner::{run_property, PropertyResult, ProptestConfig};
+        // Property fails whenever the vec contains a value >= 500. The
+        // minimal counterexample is the single-element vec [500].
+        let strat = crate::collection::vec(0u32..1000, 0..30);
+        let result = run_property(
+            "shrink::vec_failures_shrink_to_minimal",
+            &ProptestConfig::with_cases(64),
+            &strat,
+            |xs: &Vec<u32>| assert!(xs.iter().all(|&x| x < 500), "big element"),
+        );
+        match result {
+            PropertyResult::Fail(f) => {
+                assert_eq!(f.minimal, vec![500], "expected fully shrunk input");
+                assert!(f.shrink_steps > 0);
+                assert!(f.message.contains("big element"));
+            }
+            PropertyResult::Pass => panic!("property should have failed"),
+        }
+    }
+
+    #[test]
+    fn tuple_and_range_shrink_toward_start() {
+        use crate::strategy::Strategy;
+        let strat = (5u32..100, 0i64..10);
+        let mut out = Vec::new();
+        strat.shrink(&(80, 7), &mut out);
+        assert!(out.contains(&(5, 7)), "first slot shrinks to range start");
+        assert!(out.contains(&(80, 0)), "second slot shrinks to range start");
+        // Foreign values below the range start must not underflow.
+        let range = 5u32..100;
+        let mut none = Vec::new();
+        range.shrink(&2, &mut none);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn shrink_respects_vec_min_size() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u32..10, 2..8);
+        let mut out = Vec::new();
+        strat.generate(&mut crate::test_runner::TestRng::for_case("minsize", 0));
+        strat.shrink(&vec![9, 8, 7, 6, 5], &mut out);
+        assert!(out.iter().all(|v| v.len() >= 2), "candidates respect min len");
     }
 }

@@ -22,4 +22,13 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             Some(self.inner.generate(rng))
         }
     }
+
+    fn shrink(&self, value: &Option<S::Value>, out: &mut Vec<Option<S::Value>>) {
+        if let Some(v) = value {
+            out.push(None);
+            let mut candidates = Vec::new();
+            self.inner.shrink(v, &mut candidates);
+            out.extend(candidates.into_iter().map(Some));
+        }
+    }
 }

@@ -4,19 +4,34 @@ use crate::test_runner::TestRng;
 use std::ops::Range;
 use std::rc::Rc;
 
-/// A generator of values of one type. This stand-in is generation-only:
-/// no shrinking, no rejection bookkeeping beyond [`Strategy::prop_filter`].
+/// A generator of values of one type, plus a shrinker: on failure the
+/// runner asks the strategy for simpler variants of the failing value
+/// ([`Strategy::shrink`]) and keeps any that still fail, so reported
+/// counterexamples are minimal instead of full-length.
+///
+/// Shrink candidates are *suggestions*: the runner re-checks every one
+/// against the property, so a strategy may propose values it could not
+/// itself have generated without harming soundness.
 pub trait Strategy {
-    /// The generated value type.
-    type Value;
+    /// The generated value type. `Clone + Debug` so the runner can
+    /// re-run shrink candidates and print minimal counterexamples.
+    type Value: Clone + std::fmt::Debug;
 
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Push simpler variants of `value` onto `out`, most aggressive
+    /// first. The default is no shrinking (the value is already atomic
+    /// or the strategy cannot invert its own transformation).
+    fn shrink(&self, value: &Self::Value, out: &mut Vec<Self::Value>) {
+        let _ = (value, out);
+    }
 
     /// Transform generated values.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
+        O: Clone + std::fmt::Debug,
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
@@ -74,10 +89,13 @@ impl<T> Clone for BoxedStrategy<T> {
     }
 }
 
-impl<T> Strategy for BoxedStrategy<T> {
+impl<T: Clone + std::fmt::Debug> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.generate(rng)
+    }
+    fn shrink(&self, value: &T, out: &mut Vec<T>) {
+        self.0.shrink(value, out);
     }
 }
 
@@ -85,7 +103,7 @@ impl<T> Strategy for BoxedStrategy<T> {
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
 
-impl<T: Clone> Strategy for Just<T> {
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
     type Value = T;
     fn generate(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
@@ -98,11 +116,13 @@ pub struct Map<S, F> {
     f: F,
 }
 
-impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+impl<S: Strategy, O: Clone + std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+    // No shrink: the mapping cannot be inverted, so the failing output
+    // cannot be traced back to an input to simplify.
 }
 
 /// See [`Strategy::prop_filter`].
@@ -123,6 +143,11 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter {:?} rejected 1000 consecutive values", self.whence);
     }
+    fn shrink(&self, value: &S::Value, out: &mut Vec<S::Value>) {
+        let mut candidates = Vec::new();
+        self.inner.shrink(value, &mut candidates);
+        out.extend(candidates.into_iter().filter(|c| (self.f)(c)));
+    }
 }
 
 /// Uniform choice among strategies of one value type (`prop_oneof!`).
@@ -136,11 +161,18 @@ impl<T> Union<T> {
     }
 }
 
-impl<T> Strategy for Union<T> {
+impl<T: Clone + std::fmt::Debug> Strategy for Union<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         let idx = rng.below(self.0.len() as u64) as usize;
         self.0[idx].generate(rng)
+    }
+    fn shrink(&self, value: &T, out: &mut Vec<T>) {
+        // The generating member is unknown, so ask every member; the
+        // runner re-checks candidates, so foreign suggestions are safe.
+        for option in &self.0 {
+            option.shrink(value, out);
+        }
     }
 }
 
@@ -156,6 +188,22 @@ macro_rules! impl_range_strategy {
                 let off = (rng.next_u64() as u128) % span;
                 (self.start as i128 + off as i128) as $t
             }
+            fn shrink(&self, value: &$t, out: &mut Vec<$t>) {
+                let v = *value;
+                // Guard: unions may hand us a foreign value below start.
+                if v <= self.start {
+                    return;
+                }
+                out.push(self.start);
+                let mid = self.start + (v - self.start) / 2;
+                if mid != self.start && mid != v {
+                    out.push(mid);
+                }
+                let dec = v - 1;
+                if dec != self.start && dec != mid {
+                    out.push(dec);
+                }
+            }
         }
     )*};
 }
@@ -167,9 +215,23 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "cannot generate from empty range");
         self.start + rng.unit_f64() * (self.end - self.start)
     }
+    fn shrink(&self, value: &f64, out: &mut Vec<f64>) {
+        let v = *value;
+        // NaN-safe: only shrink values strictly above the range start.
+        if v.partial_cmp(&self.start) != Some(std::cmp::Ordering::Greater) {
+            return;
+        }
+        out.push(self.start);
+        let mid = self.start + (v - self.start) / 2.0;
+        if mid != self.start && mid != v {
+            out.push(mid);
+        }
+    }
 }
 
 /// String literals are regex-subset strategies, as in real proptest.
+/// No shrinking: a simpler string is not guaranteed to stay inside the
+/// pattern, and the pattern's minimum shape is not recoverable here.
 impl Strategy for &str {
     type Value = String;
     fn generate(&self, rng: &mut TestRng) -> String {
@@ -179,7 +241,7 @@ impl Strategy for &str {
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
+    ($($name:ident => $idx:tt),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
@@ -187,16 +249,36 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+            #[allow(non_snake_case)]
+            fn shrink(&self, value: &Self::Value, out: &mut Vec<Self::Value>) {
+                let ($($name,)+) = self;
+                $(
+                    {
+                        let mut candidates = Vec::new();
+                        $name.shrink(&value.$idx, &mut candidates);
+                        for c in candidates {
+                            let mut next = value.clone();
+                            next.$idx = c;
+                            out.push(next);
+                        }
+                    }
+                )+
+            }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
-impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9, K => 10);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9, K => 10, L => 11);
 
 // ---- any::<T>() ------------------------------------------------------------
 
@@ -222,6 +304,11 @@ impl Strategy for AnyPrimitive<bool> {
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+    fn shrink(&self, value: &bool, out: &mut Vec<bool>) {
+        if *value {
+            out.push(false);
+        }
+    }
 }
 
 impl Arbitrary for bool {
@@ -237,6 +324,16 @@ macro_rules! impl_arbitrary_int {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink(&self, value: &$t, out: &mut Vec<$t>) {
+                let v = *value;
+                if v != 0 {
+                    out.push(0);
+                    let half = v / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                }
             }
         }
         impl Arbitrary for $t {

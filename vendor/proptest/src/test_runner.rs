@@ -1,4 +1,10 @@
-//! Deterministic case runner state: configuration and the per-case RNG.
+//! Deterministic case runner state: configuration, the per-case RNG, and
+//! the generate → check → shrink driver shared by `proptest!` and external
+//! harnesses such as `slimcheck`.
+
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// Runner configuration; only `cases` is honoured by this stand-in.
 #[derive(Debug, Clone)]
@@ -82,4 +88,166 @@ impl TestRng {
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
+}
+
+// ---- quiet panic capture ---------------------------------------------------
+
+// Shrinking re-runs the property against many candidates, most of which are
+// *expected* to panic; the default hook would spam stderr with a backtrace
+// per candidate. The hook is process-global, so installs are refcounted
+// behind a mutex: the silent hook goes in on the 0→1 transition and the
+// original comes back on 1→0, which keeps parallel test threads safe.
+struct HookGuard;
+
+static HOOK_STATE: Mutex<HookDepth> = Mutex::new(HookDepth { depth: 0, prev: None });
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+struct HookDepth {
+    depth: usize,
+    prev: Option<PanicHook>,
+}
+
+impl HookGuard {
+    fn install() -> HookGuard {
+        let mut state = HOOK_STATE.lock().unwrap();
+        if state.depth == 0 {
+            state.prev = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        state.depth += 1;
+        HookGuard
+    }
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        let mut state = HOOK_STATE.lock().unwrap();
+        state.depth -= 1;
+        if state.depth == 0 {
+            if let Some(prev) = state.prev.take() {
+                std::panic::set_hook(prev);
+            }
+        }
+    }
+}
+
+/// Run `f` with the silent panic hook installed (refcounted, thread-safe).
+/// For external harnesses (slimcheck) that drive `catch_unwind` loops of
+/// their own and don't want a backtrace per expected failure.
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = HookGuard::install();
+    f()
+}
+
+/// Extract a human-readable message from a `catch_unwind` payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Outcome of one [`run_property`] sweep.
+pub enum PropertyResult<V> {
+    /// Every case passed.
+    Pass,
+    /// A case failed; carries the minimal failing value after shrinking.
+    Fail(PropertyFailure<V>),
+}
+
+/// Details of a failing, shrunk property case.
+pub struct PropertyFailure<V> {
+    /// Case index (within the sweep) that first failed.
+    pub case: u32,
+    /// The originally generated failing value.
+    pub original: V,
+    /// The minimal failing value after shrinking.
+    pub minimal: V,
+    /// Number of accepted shrink steps.
+    pub shrink_steps: u32,
+    /// Panic message from re-running the *minimal* value.
+    pub message: String,
+}
+
+/// Greedily minimize `initial`, which must satisfy `still_fails`. At each
+/// step the strategy proposes candidates and the first still-failing one is
+/// adopted; stops when no candidate fails or after `max_attempts` predicate
+/// evaluations. Returns the minimal value, accepted steps, and attempts used.
+pub fn shrink_to_minimal<S, F>(
+    strategy: &S,
+    initial: S::Value,
+    mut still_fails: F,
+    max_attempts: u32,
+) -> (S::Value, u32, u32)
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> bool,
+{
+    let mut current = initial;
+    let mut steps = 0u32;
+    let mut attempts = 0u32;
+    loop {
+        let mut candidates = Vec::new();
+        strategy.shrink(&current, &mut candidates);
+        let mut advanced = false;
+        for candidate in candidates {
+            if attempts >= max_attempts {
+                return (current, steps, attempts);
+            }
+            attempts += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return (current, steps, attempts);
+        }
+    }
+}
+
+/// Generate-and-check driver with shrinking: runs `config.cases` cases of
+/// `check` over values from `strategy`, seeding each case from
+/// `(test_name, case)` exactly as the historical macro did (so value
+/// streams are unchanged). On the first panic the failing value is
+/// minimized via [`shrink_to_minimal`] and returned.
+pub fn run_property<S, F>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    check: F,
+) -> PropertyResult<S::Value>
+where
+    S: Strategy,
+    F: Fn(&S::Value),
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        let value = strategy.generate(&mut rng);
+        let _quiet = HookGuard::install();
+        if catch_unwind(AssertUnwindSafe(|| check(&value))).is_ok() {
+            continue;
+        }
+        let fails = |v: &S::Value| catch_unwind(AssertUnwindSafe(|| check(v))).is_err();
+        let (minimal, shrink_steps, _) =
+            shrink_to_minimal(strategy, value.clone(), fails, 4096);
+        let message = match catch_unwind(AssertUnwindSafe(|| check(&minimal))) {
+            Err(payload) => panic_message(&*payload),
+            Ok(()) => "<failure did not reproduce on minimal value>".to_string(),
+        };
+        return PropertyResult::Fail(PropertyFailure {
+            case,
+            original: value,
+            minimal,
+            shrink_steps,
+            message,
+        });
+    }
+    PropertyResult::Pass
 }
