@@ -48,7 +48,9 @@ pub fn parse_html(input: &str) -> Element {
         match event {
             HtmlEvent::Text(t) => {
                 if !t.is_empty() {
-                    stack.last_mut().expect("root never popped").push_text(t);
+                    if let Some(top) = stack.last_mut() {
+                        top.push_text(t);
+                    }
                 }
             }
             HtmlEvent::Open { name, attributes, self_closing } => {
@@ -62,7 +64,7 @@ pub fn parse_html(input: &str) -> Element {
                     continue;
                 }
                 while stack.len() > 1
-                    && implicitly_closes(&name, &stack.last().expect("nonempty").name)
+                    && stack.last().is_some_and(|top| implicitly_closes(&name, &top.name))
                 {
                     pop_into_parent(&mut stack);
                 }
@@ -71,7 +73,9 @@ pub fn parse_html(input: &str) -> Element {
                     e.set_attr(k, v);
                 }
                 if self_closing || VOID.contains(&name.as_str()) {
-                    stack.last_mut().expect("nonempty").push_element(e);
+                    if let Some(top) = stack.last_mut() {
+                        top.push_element(e);
+                    }
                 } else {
                     stack.push(e);
                 }
@@ -95,12 +99,19 @@ pub fn parse_html(input: &str) -> Element {
     while stack.len() > 1 {
         pop_into_parent(&mut stack);
     }
-    stack.pop().expect("root")
+    stack.pop().unwrap_or_else(|| Element::new("html"))
 }
 
 fn pop_into_parent(stack: &mut Vec<Element>) {
-    let child = stack.pop().expect("pop_into_parent on root");
-    stack.last_mut().expect("root remains").push_element(child);
+    // The synthetic root stays put; popping it would orphan the tree.
+    if stack.len() < 2 {
+        return;
+    }
+    if let Some(child) = stack.pop() {
+        if let Some(parent) = stack.last_mut() {
+            parent.push_element(child);
+        }
+    }
 }
 
 enum HtmlEvent {
@@ -422,8 +433,18 @@ impl HtmlApp {
             let mut stack: Vec<Vec<usize>> = vec![vec![]];
             while let Some(indices) = stack.pop() {
                 let mut cur = &doc.root;
+                let mut reachable = true;
                 for &i in &indices {
-                    cur = cur.elements().nth(i).expect("indices derived from tree");
+                    match cur.elements().nth(i) {
+                        Some(child) => cur = child,
+                        None => {
+                            reachable = false;
+                            break;
+                        }
+                    }
+                }
+                if !reachable {
+                    continue;
                 }
                 if cur.text().to_lowercase().contains(&lower) {
                     if let Some(path) = XPath::of(doc, &indices) {
@@ -919,5 +940,27 @@ mod tests {
             cur = next;
         }
         assert_eq!(depth, 50);
+    }
+
+    #[test]
+    fn pathological_soup_parses_without_panicking() {
+        // Stray close tags, implicit closes, void elements, an explicit
+        // </html>, and trailing text all funnel through the safe stack
+        // paths instead of `expect`s.
+        let root = parse_html("</div><li>a<li>b<td>c</html><p>d<br><img src=x>tail");
+        assert_eq!(root.name, "html");
+        let text = root.deep_text();
+        for piece in ["a", "b", "c", "d", "tail"] {
+            assert!(text.contains(piece), "{piece:?} survived parsing: {text}");
+        }
+    }
+
+    #[test]
+    fn find_text_walks_every_element() {
+        let mut a = HtmlApp::new();
+        a.load("p.html", "<ul><li>alpha<li>beta</ul><p>beta gamma</p>").unwrap();
+        let hits = a.find_text("beta");
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(a.find_text("delta").is_empty());
     }
 }

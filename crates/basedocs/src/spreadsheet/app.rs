@@ -8,6 +8,11 @@ use crate::common::{DocError, DocKind};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Largest range `extract_content` will materialize. Addresses come from
+/// persisted pads, so a corrupt or hostile range (`A1:ZZ999999`) must be
+/// rejected, not allocated.
+pub const MAX_EXTRACT_CELLS: u64 = 4096;
+
 /// The Excel mark address, exactly as in paper Figure 8:
 /// `fileName`, `sheetName`, `range`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -199,6 +204,17 @@ impl BaseApplication for SpreadsheetApp {
         let sheet = wb.sheet(&addr.sheet_name).ok_or_else(|| DocError::Dangling {
             message: format!("no sheet {:?} in {:?}", addr.sheet_name, addr.file_name),
         })?;
+        // Addresses arrive from persisted pads, not just live selections:
+        // refuse absurd ranges instead of materializing them.
+        if addr.range.cell_count() > MAX_EXTRACT_CELLS {
+            return Err(DocError::BadAddress {
+                message: format!(
+                    "range {} covers {} cells (extract limit {MAX_EXTRACT_CELLS})",
+                    addr.range,
+                    addr.range.cell_count(),
+                ),
+            });
+        }
         // A row of values per range row, tab-separated — what a clipboard
         // copy of the range would give.
         let mut rows: Vec<String> = Vec::new();
@@ -373,5 +389,24 @@ mod tests {
         assert!(app.address_is_live(&addr));
         app.close("medications.xls").unwrap();
         assert!(!app.address_is_live(&addr));
+    }
+
+    #[test]
+    fn extract_refuses_absurd_ranges() {
+        // A persisted pad can hand us any range text; a huge one must be
+        // rejected as a bad address, not materialized cell by cell.
+        let app = app_with_meds();
+        let addr = SpreadsheetAddress {
+            file_name: "medications.xls".into(),
+            sheet_name: "Sheet1".into(),
+            range: Range::parse("A1:ZZ99999").unwrap(),
+        };
+        let err = app.extract_content(&addr).unwrap_err();
+        assert!(matches!(err, DocError::BadAddress { .. }), "{err}");
+        assert!(err.to_string().contains("extract limit"), "{err}");
+        // An in-bounds range of ordinary size still extracts.
+        let small = SpreadsheetAddress { range: Range::parse("A1:B2").unwrap(), ..addr };
+        assert!(small.range.cell_count() <= MAX_EXTRACT_CELLS);
+        assert!(app.extract_content(&small).is_ok());
     }
 }

@@ -189,9 +189,16 @@ impl TextDocument {
     /// Resolve a target to (paragraph index, span), following bookmarks.
     fn resolve_target(&self, target: &TextTarget) -> Result<(usize, Span), DocError> {
         match target {
-            TextTarget::Bookmark(name) => self.bookmark(name).ok_or_else(|| DocError::Dangling {
-                message: format!("no bookmark {name:?} in {:?}", self.name),
-            }),
+            TextTarget::Bookmark(name) => {
+                let (paragraph, span) =
+                    self.bookmark(name).ok_or_else(|| DocError::Dangling {
+                        message: format!("no bookmark {name:?} in {:?}", self.name),
+                    })?;
+                // A bookmark can outlive the text it pointed at; validate
+                // it like a raw span instead of trusting the stored range.
+                self.check_span(paragraph, span)?;
+                Ok((paragraph, span))
+            }
             TextTarget::Span { paragraph, span } => {
                 self.check_span(*paragraph, *span)?;
                 Ok((*paragraph, *span))
@@ -202,7 +209,10 @@ impl TextDocument {
     /// The text covered by a target.
     pub fn text_at(&self, target: &TextTarget) -> Result<String, DocError> {
         let (para, span) = self.resolve_target(target)?;
-        span.slice(&self.paragraphs[para]).ok_or_else(|| DocError::Dangling {
+        let text = self.paragraphs.get(para).ok_or_else(|| DocError::Dangling {
+            message: format!("paragraph {para} out of range"),
+        })?;
+        span.slice(text).ok_or_else(|| DocError::Dangling {
             message: format!("span {span} no longer fits paragraph {para}"),
         })
     }
@@ -465,9 +475,14 @@ impl BaseApplication for TextApp {
             }
             if i == target_para {
                 let chars: Vec<char> = para.chars().collect();
-                let before: String = chars[..span.start].iter().collect();
-                let inside: String = chars[span.start..span.end].iter().collect();
-                let after: String = chars[span.end..].iter().collect();
+                // Clamp rather than index: the span was validated at
+                // resolve time, but rendering must never panic even if
+                // the document changed in between.
+                let start = span.start.min(chars.len());
+                let end = span.end.clamp(start, chars.len());
+                let before: String = chars[..start].iter().collect();
+                let inside: String = chars[start..end].iter().collect();
+                let after: String = chars[end..].iter().collect();
                 out.push_str(&format!("¶{i}: {before}[{inside}]{after}\n"));
             } else {
                 out.push_str(&format!("¶{i}: {para}\n"));
@@ -687,5 +702,23 @@ Disposition: likely transfer to floor tomorrow if stable.";
         a.select_span("u.doc", 0, 0, 3).unwrap();
         let addr = a.current_selection().unwrap();
         assert_eq!(a.extract_content(&addr).unwrap(), "Na⁺");
+    }
+
+    #[test]
+    fn bookmark_over_shrunken_paragraph_dangles_instead_of_panicking() {
+        let mut a = app();
+        let doc = a.document_mut("note.doc").unwrap();
+        doc.set_bookmark("tail", 2, Span::new(0, 30)).unwrap();
+        // The bookmarked text shrinks out from under the stored span.
+        doc.replace_paragraph(2, "short").unwrap();
+        let addr = TextAddress {
+            file_name: "note.doc".into(),
+            target: TextTarget::Bookmark("tail".into()),
+        };
+        let err = a.extract_content(&addr).unwrap_err();
+        assert!(matches!(err, DocError::Dangling { .. }), "{err}");
+        let err = a.display_in_place(&addr).unwrap_err();
+        assert!(matches!(err, DocError::Dangling { .. }), "{err}");
+        assert!(!a.address_is_live(&addr), "a bookmark past the text is not live");
     }
 }

@@ -7,8 +7,9 @@
 //! (scrap labels, annotations) come back as scrap handles.
 
 use crate::SuperimposedSystem;
-use marks::MarkAddress;
+use marks::{MarkAddress, MarkId, RebindOutcome};
 use slimstore::ScrapHandle;
+use std::fmt;
 
 /// One search hit in a base document: a mark-able address plus the
 /// matching content.
@@ -40,6 +41,47 @@ impl SearchResults {
     /// True if nothing matched anywhere.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// What a repair pass did across all quarantined marks.
+#[derive(Debug, Clone, Default)]
+pub struct RepairReport {
+    /// One entry per quarantined mark, in mark-id order.
+    pub actions: Vec<RebindOutcome>,
+}
+
+impl RepairReport {
+    /// Marks successfully re-bound (and released from quarantine).
+    pub fn rebound(&self) -> usize {
+        self.actions.iter().filter(|a| matches!(a, RebindOutcome::Rebound { .. })).count()
+    }
+
+    /// Marks still quarantined (no match, or ambiguous matches).
+    pub fn unrepaired(&self) -> usize {
+        self.actions.len() - self.rebound()
+    }
+}
+
+impl fmt::Display for RepairReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} mark(s) examined, {} re-bound", self.actions.len(), self.rebound())?;
+        for action in &self.actions {
+            match action {
+                RebindOutcome::Rebound { mark_id, to } => {
+                    write!(f, "\n  {mark_id}: re-bound to {to}")?
+                }
+                RebindOutcome::NoMatch { mark_id } => {
+                    write!(f, "\n  {mark_id}: excerpt not found anywhere; still quarantined")?
+                }
+                RebindOutcome::Ambiguous { mark_id, candidates } => write!(
+                    f,
+                    "\n  {mark_id}: excerpt found in {candidates} places; \
+                     refusing to guess, still quarantined"
+                )?,
+            }
+        }
+        Ok(())
     }
 }
 
@@ -110,6 +152,26 @@ impl SuperimposedSystem {
     ) -> Result<ScrapHandle, crate::PadError> {
         let mark_id = self.pad.marks_mut().create_mark_at(hit.address.clone())?;
         self.pad.place_mark(&mark_id, label, pos, bundle)
+    }
+
+    /// Repair pass over quarantined marks: search every base document
+    /// for each mark's saved excerpt and re-bind to the *unique* address
+    /// whose current content equals it exactly. Zero matches leave the
+    /// mark quarantined; multiple matches refuse to guess.
+    pub fn repair_quarantined(&mut self) -> Result<RepairReport, crate::PadError> {
+        let ids: Vec<MarkId> = self.pad.resolver().quarantined_marks();
+        let mut report = RepairReport::default();
+        for id in ids {
+            let excerpt = self.pad.marks().get(&id)?.excerpt.clone();
+            let candidates: Vec<MarkAddress> = if excerpt.is_empty() {
+                Vec::new() // nothing to search for; try_rebind refuses anyway
+            } else {
+                self.search_all(&excerpt).base.into_iter().map(|h| h.address).collect()
+            };
+            let (resolver, marks) = self.pad.resolver_parts();
+            report.actions.push(resolver.try_rebind(marks, &id, &candidates)?);
+        }
+        Ok(report)
     }
 }
 
@@ -191,6 +253,66 @@ mod tests {
         // The scrap's wire resolves back to the hit content.
         let content = sys.pad.extract(scrap).unwrap();
         assert!(content.to_lowercase().contains("furosemide"), "{content}");
+    }
+
+    #[test]
+    fn repair_pass_rebinds_unique_excerpt_match() {
+        use marks::{BreakerConfig, MockClock, ResilientResolver, RetryPolicy};
+        use std::rc::Rc;
+        let mut sys = loaded_system();
+        sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A2").unwrap(); // "heparin"
+        let scrap = sys.pad.place_selection(DocKind::Spreadsheet, None, (0, 0), None).unwrap();
+        sys.pad.set_resolver(ResilientResolver::with_config(
+            Rc::new(MockClock::new()),
+            RetryPolicy::default(),
+            BreakerConfig::default(),
+            1, // quarantine on the first dangle
+        ));
+        sys.excel.borrow_mut().close("meds.xls").unwrap();
+        assert!(sys.pad.activate_resilient(scrap).unwrap().is_degraded());
+        assert_eq!(sys.pad.resolver().quarantined_marks().len(), 1);
+
+        // The content resurfaces elsewhere; the repair pass finds it by
+        // searching for the saved excerpt.
+        let mut wb = Workbook::new("archive.xls");
+        wb.sheet_mut("Sheet1").unwrap().set_a1("B7", "heparin").unwrap();
+        sys.excel.borrow_mut().open(wb).unwrap();
+        let report = sys.repair_quarantined().unwrap();
+        assert_eq!(report.rebound(), 1, "{report}");
+        assert_eq!(report.unrepaired(), 0);
+        assert!(report.to_string().contains("archive.xls"), "{report}");
+
+        let resolved = sys.pad.activate_resilient(scrap).unwrap();
+        assert!(!resolved.is_degraded(), "rebound mark resolves live again");
+        assert!(resolved.resolution.display.contains("heparin"));
+    }
+
+    #[test]
+    fn repair_pass_refuses_ambiguous_excerpt_matches() {
+        use marks::{BreakerConfig, MockClock, ResilientResolver, RetryPolicy};
+        use std::rc::Rc;
+        let mut sys = loaded_system();
+        sys.excel.borrow_mut().select("meds.xls", "Sheet1", "A2").unwrap();
+        let scrap = sys.pad.place_selection(DocKind::Spreadsheet, None, (0, 0), None).unwrap();
+        sys.pad.set_resolver(ResilientResolver::with_config(
+            Rc::new(MockClock::new()),
+            RetryPolicy::default(),
+            BreakerConfig::default(),
+            1,
+        ));
+        sys.excel.borrow_mut().close("meds.xls").unwrap();
+        assert!(sys.pad.activate_resilient(scrap).unwrap().is_degraded());
+
+        // Two cells now hold the excerpt: re-binding would be a guess.
+        let mut wb = Workbook::new("archive.xls");
+        wb.sheet_mut("Sheet1").unwrap().set_a1("B7", "heparin").unwrap();
+        wb.sheet_mut("Sheet1").unwrap().set_a1("C9", "heparin").unwrap();
+        sys.excel.borrow_mut().open(wb).unwrap();
+        let report = sys.repair_quarantined().unwrap();
+        assert_eq!(report.rebound(), 0, "{report}");
+        assert_eq!(report.unrepaired(), 1);
+        assert!(sys.pad.resolver().quarantined_marks().len() == 1, "still quarantined");
+        assert!(report.to_string().contains("refusing to guess"), "{report}");
     }
 
     #[test]

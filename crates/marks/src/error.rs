@@ -29,6 +29,15 @@ pub enum MarkError {
     Corrupt { detail: String },
     /// An I/O failure while reading or writing a mark store file.
     Io { detail: String },
+    /// A resolution ran out of time: the per-call deadline elapsed
+    /// before the module produced (a timely) answer.
+    Timeout { mark_id: String, module: String, deadline_ms: u64 },
+    /// The module's circuit breaker is open; calls are short-circuited
+    /// until `open_until` (clock ms) at the earliest.
+    ModuleUnavailable { module: String, open_until: u64 },
+    /// The mark has dangled repeatedly and is quarantined; resolution
+    /// degrades to the stored excerpt until a repair pass re-binds it.
+    Quarantined { mark_id: String },
 }
 
 impl fmt::Display for MarkError {
@@ -56,6 +65,20 @@ impl fmt::Display for MarkError {
                 write!(f, "mark store failed its integrity check: {detail}")
             }
             MarkError::Io { detail } => write!(f, "mark store I/O error: {detail}"),
+            MarkError::Timeout { mark_id, module, deadline_ms } => write!(
+                f,
+                "resolving mark {mark_id:?} via module {module:?} \
+                 exceeded the {deadline_ms}ms deadline"
+            ),
+            MarkError::ModuleUnavailable { module, open_until } => write!(
+                f,
+                "mark module {module:?} unavailable: circuit open until t={open_until}ms"
+            ),
+            MarkError::Quarantined { mark_id } => write!(
+                f,
+                "mark {mark_id:?} is quarantined after repeated dangling \
+                 resolutions; run a repair pass to re-bind it"
+            ),
         }
     }
 }
@@ -86,5 +109,23 @@ mod tests {
         assert!(e.to_string().contains("pdf"));
         let e = MarkError::Base(DocError::NoSelection);
         assert!(e.to_string().contains("no current selection"));
+    }
+
+    #[test]
+    fn resilience_variants_name_module_and_mark() {
+        let e = MarkError::Timeout {
+            mark_id: "mark:3".into(),
+            module: "spreadsheet".into(),
+            deadline_ms: 1000,
+        };
+        assert!(e.to_string().contains("mark:3"));
+        assert!(e.to_string().contains("spreadsheet"));
+        assert!(e.to_string().contains("1000ms"));
+        let e = MarkError::ModuleUnavailable { module: "xml".into(), open_until: 750 };
+        assert!(e.to_string().contains("xml"));
+        assert!(e.to_string().contains("750"));
+        let e = MarkError::Quarantined { mark_id: "mark:9".into() };
+        assert!(e.to_string().contains("mark:9"));
+        assert!(e.to_string().contains("quarantine"));
     }
 }

@@ -1,0 +1,281 @@
+//! Deterministic fault injection at the mark-module boundary.
+//!
+//! [`FlakyModule`] wraps any [`MarkModule`] and injects failures in the
+//! spirit of slimio's `FaultVfs` and slimcheck's seed-replay discipline:
+//! the fault hitting call *n* is a pure function of `(seed, n)`, so a
+//! seed from a failing run replays the exact fault schedule, and two
+//! runs with the same seed produce byte-identical resolution traces.
+//!
+//! Fault taxonomy (see DESIGN.md §9):
+//!
+//! * **Transient** — the module errors with an I/O-shaped failure that a
+//!   retry may outlive.
+//! * **Latency** — the module answers, but only after advancing the
+//!   shared [`MockClock`]; the resolver's deadline decides whether the
+//!   late answer still counts.
+//! * **DocumentGone** — the base layer reports the mark's target as
+//!   dangling (document closed / element deleted).
+//! * **ContentDrift** — the module answers successfully but the content
+//!   differs from what was marked.
+
+use crate::error::MarkError;
+use crate::mark::MarkAddress;
+use crate::module::{MarkModule, Resolution};
+use crate::resilience::{mix64, MockClock};
+use basedocs::{DocError, DocKind};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Pass the call through untouched.
+    None,
+    /// Fail with a retryable I/O-shaped error.
+    Transient,
+    /// Advance the shared clock by this many ms, then answer.
+    Latency(u64),
+    /// Report the target as dangling.
+    DocumentGone,
+    /// Answer, but with visibly drifted content.
+    ContentDrift,
+}
+
+/// Percent weights for each fault kind; the remainder passes through.
+/// Weights must sum to <= 100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultProfile {
+    pub transient_pct: u8,
+    pub latency_pct: u8,
+    pub gone_pct: u8,
+    pub drift_pct: u8,
+    /// Injected delay for latency faults.
+    pub latency_ms: u64,
+}
+
+impl FaultProfile {
+    /// No faults at all.
+    pub const fn healthy() -> Self {
+        FaultProfile { transient_pct: 0, latency_pct: 0, gone_pct: 0, drift_pct: 0, latency_ms: 0 }
+    }
+
+    /// A lively mixed storm.
+    pub const fn stormy() -> Self {
+        FaultProfile {
+            transient_pct: 35,
+            latency_pct: 15,
+            gone_pct: 10,
+            drift_pct: 10,
+            latency_ms: 400,
+        }
+    }
+
+    /// Every call fails transiently — the all-kill schedule.
+    pub const fn always_transient() -> Self {
+        FaultProfile { transient_pct: 100, latency_pct: 0, gone_pct: 0, drift_pct: 0, latency_ms: 0 }
+    }
+
+    /// Every call stalls for `latency_ms`.
+    pub const fn always_slow(latency_ms: u64) -> Self {
+        FaultProfile { transient_pct: 0, latency_pct: 100, gone_pct: 0, drift_pct: 0, latency_ms }
+    }
+
+    /// The fault for call number `call` under `seed` — a pure function,
+    /// so schedules replay exactly and a reference model can mirror the
+    /// arithmetic without sharing state.
+    pub fn fault(&self, seed: u64, call: u64) -> Fault {
+        let roll = (mix64(seed, call) % 100) as u8;
+        let mut edge = self.transient_pct;
+        if roll < edge {
+            return Fault::Transient;
+        }
+        edge = edge.saturating_add(self.latency_pct);
+        if roll < edge {
+            return Fault::Latency(self.latency_ms);
+        }
+        edge = edge.saturating_add(self.gone_pct);
+        if roll < edge {
+            return Fault::DocumentGone;
+        }
+        edge = edge.saturating_add(self.drift_pct);
+        if roll < edge {
+            return Fault::ContentDrift;
+        }
+        Fault::None
+    }
+}
+
+/// Clone-able handle to a [`FlakyModule`]'s schedule state. The module
+/// is boxed away inside the [`crate::MarkManager`] at registration, so
+/// tests keep a control handle to arm faults *after* fixture setup (mark
+/// creation also calls the module) and to reseed mid-run.
+#[derive(Clone)]
+pub struct FlakyControl {
+    seed: Rc<Cell<u64>>,
+    calls: Rc<Cell<u64>>,
+    armed: Rc<Cell<bool>>,
+}
+
+impl FlakyControl {
+    /// Start injecting faults (calls made while disarmed neither fault
+    /// nor consume schedule positions).
+    pub fn arm(&self) {
+        self.armed.set(true);
+    }
+
+    pub fn disarm(&self) {
+        self.armed.set(false);
+    }
+
+    /// Switch to a new schedule: new seed, call counter back to zero.
+    pub fn reseed(&self, seed: u64) {
+        self.seed.set(seed);
+        self.calls.set(0);
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed.get()
+    }
+
+    /// Faultable calls consumed so far (while armed).
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+}
+
+/// A [`MarkModule`] wrapper that injects seeded faults into `resolve`
+/// and `extract`. Selection capture and liveness checks pass through
+/// unfaulted (they are local, not base-layer drives).
+pub struct FlakyModule {
+    inner: Box<dyn MarkModule>,
+    profile: FaultProfile,
+    clock: MockClock,
+    control: FlakyControl,
+}
+
+impl FlakyModule {
+    pub fn new(
+        inner: Box<dyn MarkModule>,
+        seed: u64,
+        profile: FaultProfile,
+        clock: MockClock,
+    ) -> Self {
+        FlakyModule {
+            inner,
+            profile,
+            clock,
+            control: FlakyControl {
+                seed: Rc::new(Cell::new(seed)),
+                calls: Rc::new(Cell::new(0)),
+                armed: Rc::new(Cell::new(true)),
+            },
+        }
+    }
+
+    /// A handle for arming/reseeding after the module is boxed away.
+    pub fn control(&self) -> FlakyControl {
+        self.control.clone()
+    }
+
+    /// Consume the next schedule position and return its fault together
+    /// with the call number (for error messages).
+    fn next_fault(&self) -> (u64, Fault) {
+        if !self.control.armed.get() {
+            return (self.control.calls.get(), Fault::None);
+        }
+        let call = self.control.calls.get();
+        self.control.calls.set(call + 1);
+        (call, self.profile.fault(self.control.seed.get(), call))
+    }
+}
+
+impl MarkModule for FlakyModule {
+    fn kind(&self) -> DocKind {
+        self.inner.kind()
+    }
+
+    fn module_name(&self) -> &str {
+        self.inner.module_name()
+    }
+
+    fn address_from_selection(&self) -> Result<MarkAddress, MarkError> {
+        self.inner.address_from_selection()
+    }
+
+    fn resolve(&self, address: &MarkAddress) -> Result<Resolution, MarkError> {
+        match self.next_fault() {
+            (_, Fault::None) => self.inner.resolve(address),
+            (call, Fault::Transient) => Err(MarkError::Io {
+                detail: format!("injected transient fault (call {call})"),
+            }),
+            (_, Fault::Latency(ms)) => {
+                self.clock.advance(ms);
+                self.inner.resolve(address)
+            }
+            (_, Fault::DocumentGone) => Err(MarkError::Base(DocError::Dangling {
+                message: format!("injected document-gone fault: {}", address.file_name()),
+            })),
+            (_, Fault::ContentDrift) => {
+                let mut resolution = self.inner.resolve(address)?;
+                resolution.display.push_str(" [drifted]");
+                Ok(resolution)
+            }
+        }
+    }
+
+    fn extract(&self, address: &MarkAddress) -> Result<String, MarkError> {
+        match self.next_fault() {
+            (_, Fault::None) => self.inner.extract(address),
+            (call, Fault::Transient) => Err(MarkError::Io {
+                detail: format!("injected transient fault (call {call})"),
+            }),
+            (_, Fault::Latency(ms)) => {
+                self.clock.advance(ms);
+                self.inner.extract(address)
+            }
+            (_, Fault::DocumentGone) => Err(MarkError::Base(DocError::Dangling {
+                message: format!("injected document-gone fault: {}", address.file_name()),
+            })),
+            (_, Fault::ContentDrift) => {
+                let mut content = self.inner.extract(address)?;
+                content.push_str(" [drifted]");
+                Ok(content)
+            }
+        }
+    }
+
+    fn is_live(&self, address: &MarkAddress) -> bool {
+        // Liveness probes are cheap local checks; don't consume faults,
+        // or audits would perturb the resolution schedule.
+        self.inner.is_live(address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_call() {
+        let profile = FaultProfile::stormy();
+        let a: Vec<Fault> = (0..64).map(|c| profile.fault(0xfeed, c)).collect();
+        let b: Vec<Fault> = (0..64).map(|c| profile.fault(0xfeed, c)).collect();
+        assert_eq!(a, b);
+        let c: Vec<Fault> = (0..64).map(|call| profile.fault(0xbeef, call)).collect();
+        assert_ne!(a, c, "different seeds should give different schedules");
+        // The storm actually contains a mix.
+        assert!(a.contains(&Fault::Transient));
+        assert!(a.iter().any(|f| matches!(f, Fault::Latency(_))));
+        assert!(a.contains(&Fault::None));
+    }
+
+    #[test]
+    fn profiles_cover_their_advertised_extremes() {
+        let all = FaultProfile::always_transient();
+        assert!((0..100).all(|c| all.fault(7, c) == Fault::Transient));
+        let none = FaultProfile::healthy();
+        assert!((0..100).all(|c| none.fault(7, c) == Fault::None));
+        let slow = FaultProfile::always_slow(250);
+        assert!((0..100).all(|c| slow.fault(7, c) == Fault::Latency(250)));
+    }
+}

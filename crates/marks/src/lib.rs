@@ -30,11 +30,18 @@
 //! addressed by a mark, regardless of its type."
 
 pub mod error;
+pub mod flaky;
 pub mod manager;
 pub mod mark;
 pub mod module;
+pub mod resilience;
 
 pub use error::MarkError;
-pub use manager::{MarkAudit, MarkManager, MarkStats};
+pub use flaky::{Fault, FaultProfile, FlakyControl, FlakyModule};
+pub use manager::{MarkAudit, MarkManager, MarkStats, RefreshReport};
 pub use mark::{Mark, MarkAddress, MarkId, WrapAddress};
 pub use module::{AppModule, MarkModule, Resolution, ResolutionStyle};
+pub use resilience::{
+    Attempt, Breaker, BreakerConfig, BreakerState, Clock, MockClock, RebindOutcome,
+    ResilientResolution, ResilientResolver, ResolutionOutcome, RetryPolicy, SystemClock,
+};

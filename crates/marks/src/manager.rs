@@ -6,6 +6,7 @@ use crate::module::{MarkModule, Resolution};
 use basedocs::DocKind;
 use slimio::{Integrity, Recovered, StdVfs, Vfs};
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::path::Path;
 use xmlkit::{Element, XmlWriter};
 
@@ -86,6 +87,43 @@ pub struct MarkAudit {
     pub drifted: bool,
 }
 
+/// Outcome of a bulk excerpt refresh: which marks were re-captured,
+/// which already matched, and which dangled (base content unreachable,
+/// stale excerpt deliberately left in place).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// Marks whose excerpt changed.
+    pub refreshed: Vec<MarkId>,
+    /// Marks whose excerpt already matched current base content.
+    pub unchanged: Vec<MarkId>,
+    /// Marks whose base content could not be read (dangling target or no
+    /// module for the kind); their stored excerpt is untouched.
+    pub dangling: Vec<MarkId>,
+}
+
+impl RefreshReport {
+    /// True when every mark could be read from the base layer.
+    pub fn is_clean(&self) -> bool {
+        self.dangling.is_empty()
+    }
+}
+
+impl fmt::Display for RefreshReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} refreshed, {} unchanged, {} dangling",
+            self.refreshed.len(),
+            self.unchanged.len(),
+            self.dangling.len()
+        )?;
+        if !self.dangling.is_empty() {
+            write!(f, " ({})", self.dangling.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
 /// The Mark Manager (paper Figure 7).
 ///
 /// "Since the specific addressing scheme of the base-layer information is
@@ -151,6 +189,13 @@ impl MarkManager {
         let mut kinds: Vec<DocKind> = self.modules.keys().copied().collect();
         kinds.sort_unstable();
         kinds
+    }
+
+    /// Name of the default module for a kind, if one is registered —
+    /// lets the resilient resolver key its per-module circuit breakers
+    /// without reaching into the registry.
+    pub fn default_module_name(&self, kind: DocKind) -> Option<&str> {
+        self.modules.get(&kind).and_then(|v| v.first()).map(|m| m.module_name())
     }
 
     fn default_module(&self, kind: DocKind) -> Result<&dyn MarkModule, MarkError> {
@@ -259,6 +304,23 @@ impl MarkManager {
         self.default_module(mark.kind())?.extract(&mark.address)
     }
 
+    /// Current content at an arbitrary address (no mark needed) — used
+    /// by the repair pass to vet re-bind candidates.
+    pub fn extract_at(&self, address: &MarkAddress) -> Result<String, MarkError> {
+        self.default_module(address.kind())?.extract(address)
+    }
+
+    /// Point an existing mark at a new address (repair re-bind). The
+    /// excerpt is kept — a re-bind targets the address that still holds
+    /// it. Returns the old address.
+    pub fn rebind(&mut self, mark_id: &str, address: MarkAddress) -> Result<MarkAddress, MarkError> {
+        let mark = self
+            .marks
+            .get_mut(mark_id)
+            .ok_or_else(|| MarkError::UnknownMark { mark_id: mark_id.to_string() })?;
+        Ok(std::mem::replace(&mut mark.address, address))
+    }
+
     /// The resolution audit trail.
     pub fn resolution_log(&self) -> &[(MarkId, String)] {
         &self.resolution_log
@@ -297,19 +359,26 @@ impl MarkManager {
     }
 
     /// Accept drift everywhere: refresh every live mark's excerpt.
-    /// Returns how many excerpts actually changed. Dangling marks are
-    /// left untouched (their stale excerpt is the only content left).
-    pub fn refresh_all_excerpts(&mut self) -> usize {
+    /// Dangling marks are left untouched (their stale excerpt is the
+    /// only content left) but *reported*, never silently skipped — the
+    /// report's `dangling` ids are exactly the marks a repair pass
+    /// should look at.
+    pub fn refresh_all_excerpts(&mut self) -> RefreshReport {
         let ids: Vec<MarkId> = self.marks.keys().cloned().collect();
-        let mut changed = 0;
+        let mut report = RefreshReport::default();
         for id in ids {
-            if let Ok(old) = self.refresh_excerpt(&id) {
-                if self.get(&id).map(|m| m.excerpt != old).unwrap_or(false) {
-                    changed += 1;
+            match self.refresh_excerpt(&id) {
+                Ok(old) => {
+                    if self.get(&id).map(|m| m.excerpt != old).unwrap_or(false) {
+                        report.refreshed.push(id);
+                    } else {
+                        report.unchanged.push(id);
+                    }
                 }
+                Err(_) => report.dangling.push(id),
             }
         }
-        changed
+        report
     }
 
     /// Counts per kind and module registry size.
@@ -684,7 +753,10 @@ mod tests {
         assert_eq!(mgr.get(&id).unwrap().excerpt, "Furosemide");
         assert!(!mgr.audit()[0].drifted, "drift accepted");
         // A second refresh changes nothing.
-        assert_eq!(mgr.refresh_all_excerpts(), 0);
+        let report = mgr.refresh_all_excerpts();
+        assert!(report.refreshed.is_empty());
+        assert_eq!(report.unchanged, vec![id]);
+        assert!(report.is_clean());
     }
 
     #[test]
@@ -703,10 +775,60 @@ mod tests {
             .unwrap()
             .set_a1("A1", "Torsemide")
             .unwrap();
-        assert_eq!(mgr.refresh_all_excerpts(), 1);
-        // Dangling marks are skipped, not errors.
+        let report = mgr.refresh_all_excerpts();
+        assert_eq!(report.refreshed.len(), 1);
+        assert_eq!(report.unchanged.len(), 1);
+        assert!(report.is_clean());
+        // Dangling marks are untouched — and reported, not hidden.
         xml_app.borrow_mut().close("labs.xml").unwrap();
-        assert_eq!(mgr.refresh_all_excerpts(), 0);
+        let report = mgr.refresh_all_excerpts();
+        assert!(report.refreshed.is_empty());
+        assert_eq!(report.unchanged.len(), 1);
+        assert_eq!(report.dangling.len(), 1);
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("1 dangling"), "{report}");
+    }
+
+    #[test]
+    fn refresh_excerpt_on_dangling_mark_errors_and_keeps_excerpt() {
+        let (mut mgr, _, xml_app) = manager_with_apps();
+        xml_app.borrow_mut().select_by_path("labs.xml", "/labs/k").unwrap();
+        let id = mgr.create_mark(DocKind::Xml).unwrap();
+        let excerpt = mgr.get(&id).unwrap().excerpt.clone();
+        assert!(!excerpt.is_empty());
+        xml_app.borrow_mut().close("labs.xml").unwrap();
+        // The refresh fails loudly instead of blanking the excerpt…
+        assert!(mgr.refresh_excerpt(&id).is_err());
+        // …which is now the only copy of the marked content.
+        assert_eq!(mgr.get(&id).unwrap().excerpt, excerpt);
+    }
+
+    #[test]
+    fn rebind_repoints_a_mark_and_keeps_its_excerpt() {
+        let (mut mgr, sheet_app, _) = manager_with_apps();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+        let id = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+        sheet_app.borrow_mut().select("meds.xls", "Sheet1", "B1").unwrap();
+        let new_addr = mgr
+            .modules
+            .get(&DocKind::Spreadsheet)
+            .and_then(|v| v.first())
+            .unwrap()
+            .address_from_selection()
+            .unwrap();
+        let old = mgr.rebind(&id, new_addr.clone()).unwrap();
+        assert_eq!(old.to_string(), "meds.xls!Sheet1!A1");
+        assert_eq!(mgr.get(&id).unwrap().address, new_addr);
+        assert_eq!(mgr.get(&id).unwrap().excerpt, "Lasix", "rebind must not touch the excerpt");
+        assert!(mgr.rebind("mark:99", new_addr).is_err());
+    }
+
+    #[test]
+    fn default_module_name_tracks_registry_order() {
+        let (mgr, _, _) = manager_with_apps();
+        assert_eq!(mgr.default_module_name(DocKind::Spreadsheet), Some("excel"));
+        assert_eq!(mgr.default_module_name(DocKind::Xml), Some("xml"));
+        assert_eq!(mgr.default_module_name(DocKind::Pdf), None);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum ResolutionStyle {
     /// Return the element's content without touching the application's
     /// selection (independent viewing, paper Figure 6).
     InPlace,
+    /// The base layer could not be reached (or the mark is quarantined):
+    /// the display is the mark's *stored excerpt*, possibly stale, not
+    /// live base content. Produced only by the resilient resolver.
+    DegradedExcerpt,
 }
 
 /// The result of resolving a mark.
@@ -128,7 +132,10 @@ where
                 let display = app.display_in_place(typed)?;
                 Ok(Resolution { style: ResolutionStyle::InContext, display })
             }
-            ResolutionStyle::InPlace => {
+            // An AppModule never *starts* degraded; DegradedExcerpt is
+            // produced only by the resilient resolver's fallback. Treat
+            // it as a plain in-place read if anyone asks.
+            ResolutionStyle::InPlace | ResolutionStyle::DegradedExcerpt => {
                 let display = self.app.borrow().extract_content(typed)?;
                 Ok(Resolution { style: ResolutionStyle::InPlace, display })
             }

@@ -1,0 +1,813 @@
+//! Resilient mark resolution: deadlines, bounded retry with backoff,
+//! per-module circuit breakers, and excerpt-degraded fallback.
+//!
+//! The paper's mark modules "drive the base-layer application to the
+//! information element designated by the mark" (§4.2) — every resolution
+//! is a call across a process boundary into software that can stall,
+//! fail transiently, or lose the document outright. [`ResilientResolver`]
+//! wraps [`MarkManager::resolve`] with the classic failure-safety trio:
+//!
+//! * a **per-call deadline** and bounded retries with exponential
+//!   backoff plus deterministic jitter ([`RetryPolicy`]);
+//! * a **per-module circuit breaker** ([`Breaker`]) so a misbehaving
+//!   base application is short-circuited instead of hammered, with
+//!   half-open probes to detect recovery;
+//! * **graceful degradation**: when resolution ultimately fails the
+//!   caller still gets a [`Resolution`] — the mark's stored excerpt as
+//!   [`ResolutionStyle::DegradedExcerpt`] — together with a structured
+//!   [`ResolutionOutcome`] recording every attempt.
+//!
+//! Marks that repeatedly dangle are **quarantined** (resolution
+//! short-circuits to the excerpt until a repair pass re-binds them; see
+//! `core`'s repair pass, which searches the base layer for the saved
+//! excerpt and calls [`ResilientResolver::try_rebind`]).
+//!
+//! All timing flows through a pluggable [`Clock`], so tests run on a
+//! [`MockClock`] — instant, and byte-identically reproducible per seed.
+
+use crate::error::MarkError;
+use crate::manager::{MarkAudit, MarkManager};
+use crate::mark::{MarkAddress, MarkId};
+use crate::module::{Resolution, ResolutionStyle};
+use basedocs::DocError;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// splitmix64-style mixer shared by backoff jitter and fault schedules:
+/// two words in, one well-scrambled word out, fully deterministic.
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Time source for the resolver. Production uses [`SystemClock`]; every
+/// test uses [`MockClock`] so backoff sleeps are instant and timestamps
+/// in traces are reproducible.
+pub trait Clock {
+    /// Milliseconds since this clock's epoch.
+    fn now_ms(&self) -> u64;
+    /// Block (or pretend to block) for `ms` milliseconds.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// A manually advanced clock. Cloning shares the underlying instant, so
+/// a fault injector and a resolver can move the same timeline.
+#[derive(Clone, Default)]
+pub struct MockClock {
+    now: Rc<Cell<u64>>,
+}
+
+impl MockClock {
+    pub fn new() -> Self {
+        MockClock::default()
+    }
+
+    /// Move time forward.
+    pub fn advance(&self, ms: u64) {
+        self.now.set(self.now.get().saturating_add(ms));
+    }
+
+    /// Jump to an absolute instant (monotonic: earlier values ignored).
+    pub fn set(&self, ms: u64) {
+        if ms > self.now.get() {
+            self.now.set(ms);
+        }
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ms(&self) -> u64 {
+        self.now.get()
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.advance(ms);
+    }
+}
+
+/// Wall-clock time, measured from construction.
+pub struct SystemClock {
+    start: std::time::Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        SystemClock { start: std::time::Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// Retry/deadline policy for one resolution call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Most attempts per resolution (>= 1).
+    pub max_attempts: u32,
+    /// Per-call deadline: once this much time has passed since the call
+    /// started, no further attempt is made and late successes count as
+    /// failures.
+    pub deadline_ms: u64,
+    /// Backoff before retry `n` is `base << (n-1)`, capped at
+    /// `max_backoff_ms`, plus deterministic jitter in `0..=base`.
+    pub base_backoff_ms: u64,
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter stream; same seed, same backoff schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            deadline_ms: 1_000,
+            base_backoff_ms: 8,
+            max_backoff_ms: 256,
+            jitter_seed: 0x5eed_ba5e,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before the `retry`-th retry (`retry >= 1`): exponential
+    /// with a cap, plus deterministic jitter so synchronized callers
+    /// would still fan out — and so traces stay byte-identical per seed.
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        let base = self.base_backoff_ms.max(1);
+        let exp = base
+            .saturating_mul(1u64 << (retry.saturating_sub(1)).min(16))
+            .min(self.max_backoff_ms.max(base));
+        exp + mix64(self.jitter_seed, retry as u64) % (base + 1)
+    }
+}
+
+/// Circuit-breaker tuning for one module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed -> Open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects calls before probing.
+    pub cooldown_ms: u64,
+    /// Probe calls admitted while half-open before the breaker gives up
+    /// and re-opens.
+    pub probe_budget: u32,
+    /// Probe successes needed to close again.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 500,
+            probe_budget: 3,
+            probe_successes: 2,
+        }
+    }
+}
+
+/// Observable breaker state, also used for trace formatting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; `failures` consecutive failures so far.
+    Closed { failures: u32 },
+    /// Calls are short-circuited until `until_ms`.
+    Open { until_ms: u64 },
+    /// Cooldown elapsed; a bounded probe budget trickles calls through.
+    HalfOpen { probes_used: u32, successes: u32 },
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakerState::Closed { failures } => write!(f, "closed(failures={failures})"),
+            BreakerState::Open { until_ms } => write!(f, "open(until={until_ms}ms)"),
+            BreakerState::HalfOpen { probes_used, successes } => {
+                write!(f, "half-open(probes={probes_used}, ok={successes})")
+            }
+        }
+    }
+}
+
+/// Admission decision for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    Allowed,
+    /// The breaker is open; no call may be made until `open_until`.
+    ShortCircuit { open_until: u64 },
+}
+
+/// Per-module circuit breaker.
+///
+/// ```text
+///            failure_threshold consecutive failures
+///   Closed ------------------------------------------> Open
+///     ^                                                  |
+///     | probe_successes                     cooldown_ms  |
+///     |   successes                           elapsed    v
+///   HalfOpen <---------------------------------------- (admit)
+///     |   ^
+///     |   | any failure, or probe budget exhausted
+///     +---+--------------------------------------------> Open
+/// ```
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+}
+
+impl Breaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker { cfg, state: BreakerState::Closed { failures: 0 } }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Decide whether a call may proceed at time `now`.
+    pub fn admit(&mut self, now: u64) -> Admit {
+        match self.state {
+            BreakerState::Closed { .. } => Admit::Allowed,
+            BreakerState::Open { until_ms } if now < until_ms => {
+                Admit::ShortCircuit { open_until: until_ms }
+            }
+            BreakerState::Open { .. } => {
+                // Cooldown elapsed: start probing.
+                self.state = BreakerState::HalfOpen { probes_used: 1, successes: 0 };
+                Admit::Allowed
+            }
+            BreakerState::HalfOpen { probes_used, successes } => {
+                if probes_used >= self.cfg.probe_budget {
+                    // Probe budget spent without closing — re-open.
+                    self.state =
+                        BreakerState::Open { until_ms: now.saturating_add(self.cfg.cooldown_ms) };
+                    Admit::ShortCircuit { open_until: now.saturating_add(self.cfg.cooldown_ms) }
+                } else {
+                    self.state =
+                        BreakerState::HalfOpen { probes_used: probes_used + 1, successes };
+                    Admit::Allowed
+                }
+            }
+        }
+    }
+
+    /// Record a successful call.
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed { .. } => {
+                self.state = BreakerState::Closed { failures: 0 };
+            }
+            BreakerState::HalfOpen { probes_used, successes } => {
+                let successes = successes + 1;
+                if successes >= self.cfg.probe_successes {
+                    self.state = BreakerState::Closed { failures: 0 };
+                } else {
+                    self.state = BreakerState::HalfOpen { probes_used, successes };
+                }
+            }
+            // A success while open means a call slipped out before the
+            // trip; keep rejecting until cooldown.
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Record a failed call finishing at time `now`.
+    pub fn on_failure(&mut self, now: u64) {
+        match self.state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.cfg.failure_threshold {
+                    self.state =
+                        BreakerState::Open { until_ms: now.saturating_add(self.cfg.cooldown_ms) };
+                } else {
+                    self.state = BreakerState::Closed { failures };
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                self.state =
+                    BreakerState::Open { until_ms: now.saturating_add(self.cfg.cooldown_ms) };
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+/// One resolution attempt as recorded in a [`ResolutionOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attempt {
+    /// Clock reading when the attempt was admitted (before the module
+    /// call, after any backoff sleep).
+    pub at_ms: u64,
+    /// `None` for success; the attempt's error otherwise.
+    pub error: Option<MarkError>,
+}
+
+/// Structured account of one resilient resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolutionOutcome {
+    pub mark_id: MarkId,
+    /// Module the call was routed to (`None` when no module was
+    /// registered for the mark's kind).
+    pub module: Option<String>,
+    /// Every attempt in order, including short-circuits and timeouts.
+    pub attempts: Vec<Attempt>,
+    /// True when the caller got the stored excerpt, not the base layer.
+    pub degraded: bool,
+    /// True when the audit machinery flagged this mark's excerpt as
+    /// drifted from current base content.
+    pub stale: bool,
+    /// True when the mark is quarantined (now, possibly as a result of
+    /// this very call).
+    pub quarantined: bool,
+    /// Breaker state for `module` after the call, if a breaker exists.
+    pub breaker: Option<BreakerState>,
+    pub started_ms: u64,
+    pub finished_ms: u64,
+}
+
+impl ResolutionOutcome {
+    /// Number of attempts that carried an error.
+    pub fn failed_attempts(&self) -> usize {
+        self.attempts.iter().filter(|a| a.error.is_some()).count()
+    }
+
+    /// Deterministic multi-line trace. Contains only timestamps, error
+    /// text, and state — never display content — so two runs of the same
+    /// seeded fault schedule produce byte-identical traces.
+    pub fn trace(&self) -> String {
+        let mut out = String::new();
+        let module = self.module.as_deref().unwrap_or("(none)");
+        let verdict = if self.degraded { "DEGRADED" } else { "ok" };
+        out.push_str(&format!(
+            "resolve {} via {module}: {verdict} after {} attempt(s), {}ms..{}ms\n",
+            self.mark_id,
+            self.attempts.len(),
+            self.started_ms,
+            self.finished_ms,
+        ));
+        for (i, attempt) in self.attempts.iter().enumerate() {
+            match &attempt.error {
+                None => out.push_str(&format!("  #{} @{}ms: ok\n", i + 1, attempt.at_ms)),
+                Some(e) => out.push_str(&format!("  #{} @{}ms: {e}\n", i + 1, attempt.at_ms)),
+            }
+        }
+        if let Some(state) = &self.breaker {
+            out.push_str(&format!("  breaker[{module}]: {state}\n"));
+        }
+        out.push_str(&format!(
+            "  flags: stale={} quarantined={}\n",
+            self.stale, self.quarantined
+        ));
+        out
+    }
+}
+
+/// A resolution plus the structured account of how it was obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilientResolution {
+    pub resolution: Resolution,
+    pub outcome: ResolutionOutcome,
+}
+
+impl ResilientResolution {
+    /// True when `resolution.display` is the stored excerpt rather than
+    /// live base-layer content.
+    pub fn is_degraded(&self) -> bool {
+        self.outcome.degraded
+    }
+}
+
+/// What a repair pass did with one quarantined mark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebindOutcome {
+    /// Exactly one candidate held the saved excerpt; the mark now points
+    /// at it and is out of quarantine.
+    Rebound { mark_id: MarkId, to: String },
+    /// No candidate held the saved excerpt; the mark stays quarantined.
+    NoMatch { mark_id: MarkId },
+    /// Multiple candidates held the saved excerpt; re-binding would be a
+    /// guess, so the mark stays quarantined.
+    Ambiguous { mark_id: MarkId, candidates: usize },
+}
+
+/// Resolution with deadlines, retries, breakers, and degradation.
+///
+/// The resolver is deliberately separate from [`MarkManager`] (which
+/// stays the paper-faithful registry): it owns only failure-handling
+/// state — breakers per module, dangle counts and quarantine per mark,
+/// staleness flags fed by [`MarkManager::audit`].
+pub struct ResilientResolver {
+    policy: RetryPolicy,
+    breaker_cfg: BreakerConfig,
+    /// Dangling failures before a mark is quarantined.
+    dangle_threshold: u32,
+    clock: Rc<dyn Clock>,
+    breakers: BTreeMap<String, Breaker>,
+    dangle_counts: BTreeMap<MarkId, u32>,
+    quarantined: BTreeSet<MarkId>,
+    stale: BTreeSet<MarkId>,
+}
+
+impl Default for ResilientResolver {
+    fn default() -> Self {
+        ResilientResolver::new(Rc::new(SystemClock::new()))
+    }
+}
+
+impl ResilientResolver {
+    pub fn new(clock: Rc<dyn Clock>) -> Self {
+        ResilientResolver::with_config(
+            clock,
+            RetryPolicy::default(),
+            BreakerConfig::default(),
+            3,
+        )
+    }
+
+    pub fn with_config(
+        clock: Rc<dyn Clock>,
+        policy: RetryPolicy,
+        breaker_cfg: BreakerConfig,
+        dangle_threshold: u32,
+    ) -> Self {
+        ResilientResolver {
+            policy,
+            breaker_cfg,
+            dangle_threshold: dangle_threshold.max(1),
+            clock,
+            breakers: BTreeMap::new(),
+            dangle_counts: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            stale: BTreeSet::new(),
+        }
+    }
+
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Breaker state for a module, if any call has been routed to it.
+    pub fn breaker_state(&self, module: &str) -> Option<BreakerState> {
+        self.breakers.get(module).map(|b| b.state())
+    }
+
+    /// Feed audit results in: drifted marks are flagged stale (and the
+    /// flag clears when a later audit sees them undrifted). Auditing
+    /// never clears quarantine — only a successful repair does.
+    pub fn note_audit(&mut self, audits: &[MarkAudit]) {
+        for audit in audits {
+            if audit.drifted {
+                self.stale.insert(audit.mark_id.clone());
+            } else {
+                self.stale.remove(&audit.mark_id);
+            }
+        }
+    }
+
+    pub fn is_stale(&self, mark_id: &str) -> bool {
+        self.stale.contains(mark_id)
+    }
+
+    pub fn is_quarantined(&self, mark_id: &str) -> bool {
+        self.quarantined.contains(mark_id)
+    }
+
+    /// Marks currently quarantined, in id order.
+    pub fn quarantined_marks(&self) -> Vec<MarkId> {
+        self.quarantined.iter().cloned().collect()
+    }
+
+    /// Consecutive dangling resolutions recorded against a mark.
+    pub fn dangle_count(&self, mark_id: &str) -> u32 {
+        self.dangle_counts.get(mark_id).copied().unwrap_or(0)
+    }
+
+    /// Lift a mark out of quarantine and forget its dangle history —
+    /// called after a successful re-bind (or by an operator override).
+    pub fn release(&mut self, mark_id: &str) {
+        self.quarantined.remove(mark_id);
+        self.dangle_counts.remove(mark_id);
+    }
+
+    /// Resolve with deadlines, retries, a breaker, and excerpt fallback.
+    ///
+    /// `Err` is reserved for caller mistakes (unknown mark id); every
+    /// base-layer failure mode degrades to the stored excerpt instead.
+    pub fn resolve(
+        &mut self,
+        mgr: &mut MarkManager,
+        mark_id: &str,
+    ) -> Result<ResilientResolution, MarkError> {
+        let mark = mgr.get(mark_id)?;
+        let excerpt = mark.excerpt.clone();
+        let kind = mark.kind();
+        let started = self.clock.now_ms();
+        let mut outcome = ResolutionOutcome {
+            mark_id: mark_id.to_string(),
+            module: None,
+            attempts: Vec::new(),
+            degraded: false,
+            stale: self.stale.contains(mark_id),
+            quarantined: self.quarantined.contains(mark_id),
+            breaker: None,
+            started_ms: started,
+            finished_ms: started,
+        };
+
+        if outcome.quarantined {
+            outcome.attempts.push(Attempt {
+                at_ms: started,
+                error: Some(MarkError::Quarantined { mark_id: mark_id.to_string() }),
+            });
+            return Ok(self.degrade(excerpt, outcome));
+        }
+
+        let module = match mgr.default_module_name(kind) {
+            Some(name) => name.to_string(),
+            None => {
+                outcome
+                    .attempts
+                    .push(Attempt { at_ms: started, error: Some(MarkError::NoModule { kind }) });
+                return Ok(self.degrade(excerpt, outcome));
+            }
+        };
+        outcome.module = Some(module.clone());
+
+        let deadline = started.saturating_add(self.policy.deadline_ms);
+        for attempt_no in 1..=self.policy.max_attempts.max(1) {
+            if attempt_no > 1 {
+                self.clock.sleep_ms(self.policy.backoff_ms(attempt_no - 1));
+            }
+            let now = self.clock.now_ms();
+            if now >= deadline {
+                outcome.attempts.push(Attempt {
+                    at_ms: now,
+                    error: Some(MarkError::Timeout {
+                        mark_id: mark_id.to_string(),
+                        module: module.clone(),
+                        deadline_ms: self.policy.deadline_ms,
+                    }),
+                });
+                break;
+            }
+            let breaker = self
+                .breakers
+                .entry(module.clone())
+                .or_insert_with(|| Breaker::new(self.breaker_cfg.clone()));
+            if let Admit::ShortCircuit { open_until } = breaker.admit(now) {
+                outcome.attempts.push(Attempt {
+                    at_ms: now,
+                    error: Some(MarkError::ModuleUnavailable {
+                        module: module.clone(),
+                        open_until,
+                    }),
+                });
+                break;
+            }
+            let result = mgr.resolve(mark_id);
+            let after = self.clock.now_ms();
+            // `mgr.resolve` can advance an injected clock; re-fetch the
+            // breaker entry (the map may not be re-borrowed across the
+            // call) — it must exist, we just inserted it.
+            let breaker = match self.breakers.get_mut(&module) {
+                Some(b) => b,
+                None => break,
+            };
+            match result {
+                Ok(_) if after > deadline => {
+                    // The module answered, but past the deadline — the
+                    // caller has moved on; count it against the breaker.
+                    breaker.on_failure(after);
+                    outcome.attempts.push(Attempt {
+                        at_ms: now,
+                        error: Some(MarkError::Timeout {
+                            mark_id: mark_id.to_string(),
+                            module: module.clone(),
+                            deadline_ms: self.policy.deadline_ms,
+                        }),
+                    });
+                    break;
+                }
+                Ok(resolution) => {
+                    breaker.on_success();
+                    outcome.attempts.push(Attempt { at_ms: now, error: None });
+                    outcome.breaker = Some(breaker.state());
+                    outcome.finished_ms = after;
+                    self.dangle_counts.remove(mark_id);
+                    return Ok(ResilientResolution { resolution, outcome });
+                }
+                Err(e) => {
+                    breaker.on_failure(after);
+                    let dangling = is_dangling(&e);
+                    let retryable = is_retryable(&e);
+                    outcome.attempts.push(Attempt { at_ms: now, error: Some(e) });
+                    if dangling {
+                        let n = self.dangle_counts.entry(mark_id.to_string()).or_insert(0);
+                        *n += 1;
+                        if *n >= self.dangle_threshold {
+                            self.quarantined.insert(mark_id.to_string());
+                            outcome.quarantined = true;
+                        }
+                    }
+                    if !retryable {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(self.degrade(excerpt, outcome))
+    }
+
+    /// Re-bind a mark to the unique candidate address that still holds
+    /// its saved excerpt. Candidates whose current content differs from
+    /// the excerpt (or that no module can read) are filtered out; zero
+    /// or multiple survivors refuse the re-bind.
+    pub fn try_rebind(
+        &mut self,
+        mgr: &mut MarkManager,
+        mark_id: &str,
+        candidates: &[MarkAddress],
+    ) -> Result<RebindOutcome, MarkError> {
+        let excerpt = mgr.get(mark_id)?.excerpt.clone();
+        if excerpt.is_empty() {
+            // An empty excerpt matches everything; never guess.
+            return Ok(RebindOutcome::NoMatch { mark_id: mark_id.to_string() });
+        }
+        let matching: Vec<&MarkAddress> = candidates
+            .iter()
+            .filter(|addr| mgr.extract_at(addr).as_deref() == Ok(excerpt.as_str()))
+            .collect();
+        match matching.len() {
+            0 => Ok(RebindOutcome::NoMatch { mark_id: mark_id.to_string() }),
+            1 => {
+                let to = matching[0].clone();
+                let display = to.to_string();
+                mgr.rebind(mark_id, to)?;
+                self.release(mark_id);
+                Ok(RebindOutcome::Rebound { mark_id: mark_id.to_string(), to: display })
+            }
+            n => Ok(RebindOutcome::Ambiguous { mark_id: mark_id.to_string(), candidates: n }),
+        }
+    }
+
+    fn degrade(&self, excerpt: String, mut outcome: ResolutionOutcome) -> ResilientResolution {
+        outcome.degraded = true;
+        if let Some(module) = &outcome.module {
+            outcome.breaker = self.breakers.get(module).map(|b| b.state());
+        }
+        outcome.finished_ms = self.clock.now_ms();
+        ResilientResolution {
+            resolution: Resolution { style: ResolutionStyle::DegradedExcerpt, display: excerpt },
+            outcome,
+        }
+    }
+}
+
+/// Errors that indicate the mark's target is gone (document closed,
+/// element deleted) rather than the module misbehaving.
+fn is_dangling(e: &MarkError) -> bool {
+    matches!(
+        e,
+        MarkError::Base(DocError::NoSuchDocument { .. }) | MarkError::Base(DocError::Dangling { .. })
+    )
+}
+
+/// Errors worth retrying: transient I/O-shaped failures. Dangling
+/// targets and routing bugs won't heal on retry.
+fn is_retryable(e: &MarkError) -> bool {
+    matches!(e, MarkError::Io { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 3, cooldown_ms: 100, probe_budget: 3, probe_successes: 2 }
+    }
+
+    #[test]
+    fn breaker_trips_open_at_threshold() {
+        let mut b = Breaker::new(cfg());
+        assert_eq!(b.admit(0), Admit::Allowed);
+        b.on_failure(10);
+        b.on_failure(20);
+        assert_eq!(b.state(), BreakerState::Closed { failures: 2 });
+        b.on_failure(30);
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 130 });
+        // Short-circuits while open.
+        assert_eq!(b.admit(50), Admit::ShortCircuit { open_until: 130 });
+        assert_eq!(b.admit(129), Admit::ShortCircuit { open_until: 130 });
+    }
+
+    #[test]
+    fn breaker_success_resets_closed_failure_count() {
+        let mut b = Breaker::new(cfg());
+        b.on_failure(1);
+        b.on_failure(2);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed { failures: 0 });
+        // The streak restarts: two more failures still don't trip it.
+        b.on_failure(3);
+        b.on_failure(4);
+        assert_eq!(b.state(), BreakerState::Closed { failures: 2 });
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probes() {
+        let mut b = Breaker::new(cfg());
+        for t in [1, 2, 3] {
+            b.on_failure(t);
+        }
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+        // Cooldown elapsed: the next admit becomes the first probe.
+        assert_eq!(b.admit(103), Admit::Allowed);
+        assert_eq!(b.state(), BreakerState::HalfOpen { probes_used: 1, successes: 0 });
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen { probes_used: 1, successes: 1 });
+        assert_eq!(b.admit(104), Admit::Allowed);
+        b.on_success();
+        // probe_successes reached: closed again, streak cleared.
+        assert_eq!(b.state(), BreakerState::Closed { failures: 0 });
+    }
+
+    #[test]
+    fn breaker_failure_during_half_open_reopens() {
+        let mut b = Breaker::new(cfg());
+        for t in [1, 2, 3] {
+            b.on_failure(t);
+        }
+        assert_eq!(b.admit(200), Admit::Allowed);
+        b.on_failure(205);
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 305 });
+    }
+
+    #[test]
+    fn breaker_probe_budget_exhaustion_reopens() {
+        let mut b = Breaker::new(cfg());
+        for t in [1, 2, 3] {
+            b.on_failure(t);
+        }
+        // Three probes admitted, none concluding (no on_success/failure
+        // recorded — e.g. probes cut short by timeouts elsewhere).
+        assert_eq!(b.admit(200), Admit::Allowed);
+        assert_eq!(b.admit(201), Admit::Allowed);
+        assert_eq!(b.admit(202), Admit::Allowed);
+        // Budget spent: the breaker re-opens defensively.
+        assert_eq!(b.admit(203), Admit::ShortCircuit { open_until: 303 });
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 303 });
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            deadline_ms: 10_000,
+            base_backoff_ms: 8,
+            max_backoff_ms: 64,
+            jitter_seed: 42,
+        };
+        let a: Vec<u64> = (1..8).map(|n| policy.backoff_ms(n)).collect();
+        let b: Vec<u64> = (1..8).map(|n| policy.backoff_ms(n)).collect();
+        assert_eq!(a, b, "same policy must give the same schedule");
+        for (n, ms) in a.iter().enumerate() {
+            // exp part capped at 64, jitter bounded by base.
+            assert!(*ms <= 64 + 8, "retry {} backoff {} exceeds cap+jitter", n + 1, ms);
+        }
+        // Exponential growth is visible before the cap.
+        assert!(a[1] >= a[0].saturating_sub(8), "monotone-ish growth expected");
+        let other = RetryPolicy { jitter_seed: 43, ..policy };
+        let c: Vec<u64> = (1..8).map(|n| other.backoff_ms(n)).collect();
+        assert_ne!(a, c, "different jitter seeds should differ somewhere");
+    }
+
+    #[test]
+    fn mock_clock_is_shared_across_clones() {
+        let clock = MockClock::new();
+        let other = clock.clone();
+        clock.advance(250);
+        assert_eq!(other.now_ms(), 250);
+        other.sleep_ms(50);
+        assert_eq!(clock.now_ms(), 300);
+        clock.set(200); // monotonic: no rewind
+        assert_eq!(clock.now_ms(), 300);
+    }
+}

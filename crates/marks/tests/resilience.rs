@@ -1,0 +1,277 @@
+//! End-to-end resilience tests: seeded fault schedules driven through a
+//! real spreadsheet module under a mock clock. These are the acceptance
+//! tests for the resolver: all-kill schedules degrade (never panic,
+//! never hang), traces are byte-identical per seed, the breaker
+//! short-circuits while open and recovers through half-open probes, and
+//! repeatedly-dangling marks are quarantined until a repair re-binds.
+
+use basedocs::spreadsheet::Workbook;
+use basedocs::{BaseApplication, DocKind, SpreadsheetApp};
+use marks::{
+    AppModule, BreakerConfig, BreakerState, Clock, FaultProfile, FlakyControl, MarkError, MarkId,
+    MarkManager, MockClock, RebindOutcome, ResilientResolver, ResolutionStyle, RetryPolicy,
+    WrapAddress,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Fixture {
+    mgr: MarkManager,
+    control: FlakyControl,
+    clock: MockClock,
+    app: Rc<RefCell<SpreadsheetApp>>,
+    mark: MarkId,
+}
+
+/// A workbook with A1=Lasix / B1=40, marked at A1, behind a
+/// [`marks::FlakyModule`]. Faults are armed only after the fixture mark
+/// exists, so the schedule starts at call 0 for the test body.
+fn fixture(profile: FaultProfile, seed: u64) -> Fixture {
+    let clock = MockClock::new();
+    let mut wb = Workbook::new("meds.xls");
+    wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix").unwrap();
+    wb.sheet_mut("Sheet1").unwrap().set_a1("B1", "40").unwrap();
+    let mut app = SpreadsheetApp::new();
+    app.open(wb).unwrap();
+    let app = Rc::new(RefCell::new(app));
+    let inner = AppModule::in_context("spreadsheet", Rc::clone(&app));
+    let flaky = marks::FlakyModule::new(Box::new(inner), seed, profile, clock.clone());
+    let control = flaky.control();
+    control.disarm();
+    let mut mgr = MarkManager::new();
+    mgr.register_module(Box::new(flaky)).unwrap();
+    app.borrow_mut().select("meds.xls", "Sheet1", "A1").unwrap();
+    let mark = mgr.create_mark(DocKind::Spreadsheet).unwrap();
+    control.arm();
+    Fixture { mgr, control, clock, app, mark }
+}
+
+fn resolver(clock: &MockClock) -> ResilientResolver {
+    ResilientResolver::with_config(
+        Rc::new(clock.clone()),
+        RetryPolicy {
+            max_attempts: 4,
+            deadline_ms: 10_000,
+            base_backoff_ms: 8,
+            max_backoff_ms: 64,
+            jitter_seed: 0x7e57,
+        },
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 500,
+            probe_budget: 3,
+            probe_successes: 2,
+        },
+        2,
+    )
+}
+
+#[test]
+fn all_kill_schedule_degrades_to_excerpt_never_panics() {
+    let mut fx = fixture(FaultProfile::always_transient(), 0xdead);
+    let mut r = resolver(&fx.clock);
+    let out = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(out.is_degraded());
+    assert_eq!(out.resolution.style, ResolutionStyle::DegradedExcerpt);
+    assert_eq!(out.resolution.display, "Lasix", "fallback is the stored excerpt");
+    // Three transient failures trip the breaker; the fourth attempt is a
+    // short-circuit, so the module itself saw exactly three calls.
+    assert_eq!(out.outcome.attempts.len(), 4);
+    assert_eq!(fx.control.calls(), 3);
+    assert!(matches!(
+        out.outcome.attempts[3].error,
+        Some(MarkError::ModuleUnavailable { .. })
+    ));
+    assert!(matches!(r.breaker_state("spreadsheet"), Some(BreakerState::Open { .. })));
+}
+
+#[test]
+fn same_seed_reproduces_byte_identical_traces() {
+    let traces: Vec<String> = (0..2)
+        .map(|_| {
+            let mut fx = fixture(FaultProfile::stormy(), 0x5eed_cafe);
+            let mut r = resolver(&fx.clock);
+            let mut all = String::new();
+            for _ in 0..6 {
+                let out = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+                all.push_str(&out.outcome.trace());
+                fx.clock.advance(100);
+            }
+            all
+        })
+        .collect();
+    assert_eq!(traces[0], traces[1], "one seed, one trace — byte for byte");
+    // And a different seed gives a genuinely different schedule.
+    let mut fx = fixture(FaultProfile::stormy(), 0x0bad_5eed);
+    let mut r = resolver(&fx.clock);
+    let mut other = String::new();
+    for _ in 0..6 {
+        let out = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+        other.push_str(&out.outcome.trace());
+        fx.clock.advance(100);
+    }
+    assert_ne!(traces[0], other);
+}
+
+#[test]
+fn latency_faults_blow_the_deadline() {
+    let mut fx = fixture(FaultProfile::always_slow(700), 1);
+    let mut r = ResilientResolver::with_config(
+        Rc::new(fx.clock.clone()),
+        RetryPolicy {
+            max_attempts: 3,
+            deadline_ms: 600,
+            base_backoff_ms: 8,
+            max_backoff_ms: 64,
+            jitter_seed: 1,
+        },
+        BreakerConfig::default(),
+        3,
+    );
+    let out = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(out.is_degraded());
+    // The module answered — 700ms later. The resolver had moved on.
+    assert_eq!(out.outcome.attempts.len(), 1);
+    assert!(matches!(out.outcome.attempts[0].error, Some(MarkError::Timeout { .. })));
+    assert_eq!(fx.clock.now_ms(), 700, "the injected stall advanced the shared clock");
+}
+
+#[test]
+fn breaker_short_circuits_while_open_and_recovers_through_probes() {
+    let mut fx = fixture(FaultProfile::always_transient(), 0xabba);
+    // One attempt per call so each resolve() is one breaker event.
+    let mut r = ResilientResolver::with_config(
+        Rc::new(fx.clock.clone()),
+        RetryPolicy {
+            max_attempts: 1,
+            deadline_ms: 10_000,
+            base_backoff_ms: 8,
+            max_backoff_ms: 64,
+            jitter_seed: 1,
+        },
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 500,
+            probe_budget: 3,
+            probe_successes: 2,
+        },
+        3,
+    );
+    for _ in 0..3 {
+        assert!(r.resolve(&mut fx.mgr, &fx.mark).unwrap().is_degraded());
+    }
+    assert!(matches!(r.breaker_state("spreadsheet"), Some(BreakerState::Open { .. })));
+    let consumed = fx.control.calls();
+
+    // While open: short-circuit, and the module is not called at all.
+    let out = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(matches!(
+        out.outcome.attempts[0].error,
+        Some(MarkError::ModuleUnavailable { .. })
+    ));
+    assert_eq!(fx.control.calls(), consumed, "open breaker must not touch the module");
+
+    // Cooldown elapses; the base layer has recovered.
+    fx.clock.advance(500);
+    fx.control.disarm();
+    let probe1 = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(!probe1.is_degraded(), "first half-open probe should pass through");
+    assert!(matches!(
+        r.breaker_state("spreadsheet"),
+        Some(BreakerState::HalfOpen { probes_used: 1, successes: 1 })
+    ));
+    let probe2 = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(!probe2.is_degraded());
+    assert_eq!(r.breaker_state("spreadsheet"), Some(BreakerState::Closed { failures: 0 }));
+    assert!(probe2.resolution.display.contains("[Lasix]"), "{}", probe2.resolution.display);
+}
+
+#[test]
+fn repeated_dangles_quarantine_the_mark() {
+    let mut fx = fixture(FaultProfile::healthy(), 7);
+    let mut r = resolver(&fx.clock); // dangle_threshold = 2
+    fx.app.borrow_mut().close("meds.xls").unwrap();
+
+    let first = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(first.is_degraded());
+    assert!(!first.outcome.quarantined);
+    assert_eq!(r.dangle_count(&fx.mark), 1);
+
+    let second = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(second.outcome.quarantined, "second dangle crosses the threshold");
+    assert!(r.is_quarantined(&fx.mark));
+    assert_eq!(r.quarantined_marks(), vec![fx.mark.clone()]);
+
+    // Quarantined resolution short-circuits: excerpt comes back with a
+    // Quarantined attempt and the module is never consulted.
+    let consumed = fx.control.calls();
+    let third = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(matches!(third.outcome.attempts[0].error, Some(MarkError::Quarantined { .. })));
+    assert_eq!(third.resolution.display, "Lasix");
+    assert_eq!(fx.control.calls(), consumed);
+
+    // Satellite: repeated audits do not shake the mark out of quarantine
+    // (or reset its dangle history) — only a successful repair does.
+    for _ in 0..3 {
+        let audits = fx.mgr.audit();
+        assert!(!audits[0].live);
+        r.note_audit(&audits);
+    }
+    assert!(r.is_quarantined(&fx.mark), "audits must not clear quarantine");
+    assert_eq!(r.dangle_count(&fx.mark), 2, "audits must not reset dangle history");
+}
+
+#[test]
+fn repair_rebinds_unique_excerpt_match_and_refuses_ambiguity() {
+    let mut fx = fixture(FaultProfile::healthy(), 7);
+    let mut r = ResilientResolver::with_config(
+        Rc::new(fx.clock.clone()),
+        RetryPolicy::default(),
+        BreakerConfig::default(),
+        1, // quarantine on the first dangle
+    );
+    fx.app.borrow_mut().close("meds.xls").unwrap();
+    r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(r.is_quarantined(&fx.mark));
+
+    // The content resurfaces in an archive workbook.
+    let mut wb = Workbook::new("archive.xls");
+    wb.sheet_mut("Sheet1").unwrap().set_a1("C3", "Lasix").unwrap();
+    wb.sheet_mut("Sheet1").unwrap().set_a1("D4", "40").unwrap();
+    fx.app.borrow_mut().open(wb).unwrap();
+    let addr_at = |a1: &str| {
+        fx.app.borrow_mut().select("archive.xls", "Sheet1", a1).unwrap();
+        fx.app.borrow().current_selection().unwrap().wrap()
+    };
+    let lasix = addr_at("C3");
+    let forty = addr_at("D4");
+
+    // The non-matching candidate is filtered; the unique match wins.
+    let outcome = r.try_rebind(&mut fx.mgr, &fx.mark, &[lasix.clone(), forty]).unwrap();
+    assert!(matches!(outcome, RebindOutcome::Rebound { ref to, .. } if to.contains("C3")));
+    assert!(!r.is_quarantined(&fx.mark), "successful repair releases quarantine");
+    assert_eq!(r.dangle_count(&fx.mark), 0);
+    let resolved = r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(!resolved.is_degraded(), "rebound mark resolves against the base layer again");
+
+    // Now make the excerpt ambiguous: a second cell with the same text.
+    fx.app
+        .borrow_mut()
+        .workbook_mut("archive.xls")
+        .unwrap()
+        .sheet_mut("Sheet1")
+        .unwrap()
+        .set_a1("E5", "Lasix")
+        .unwrap();
+    let dupe = addr_at("E5");
+    fx.app.borrow_mut().close("archive.xls").unwrap();
+    r.resolve(&mut fx.mgr, &fx.mark).unwrap();
+    assert!(r.is_quarantined(&fx.mark));
+    let mut wb = Workbook::new("archive.xls");
+    wb.sheet_mut("Sheet1").unwrap().set_a1("C3", "Lasix").unwrap();
+    wb.sheet_mut("Sheet1").unwrap().set_a1("E5", "Lasix").unwrap();
+    fx.app.borrow_mut().open(wb).unwrap();
+    let outcome = r.try_rebind(&mut fx.mgr, &fx.mark, &[lasix, dupe]).unwrap();
+    assert!(matches!(outcome, RebindOutcome::Ambiguous { candidates: 2, .. }));
+    assert!(r.is_quarantined(&fx.mark), "ambiguous repair must not guess");
+}

@@ -13,6 +13,9 @@
 //!   canonical persistence checks ([`dmi_diff`]).
 //! * **pad** — [`slimpad::PadSession`] begin-op/undo cycles vs a
 //!   snapshot stack of canonical XML ([`pad_diff`]).
+//! * **resolver** — [`marks::ResilientResolver`] retry/breaker/
+//!   quarantine behavior under seeded fault injection vs a reference
+//!   model of the state machine ([`resolver_diff`]).
 //!
 //! On divergence the failing sequence is shrunk with the vendored
 //! proptest shrinker and reported with a `SLIMCHECK_SEED` that replays
@@ -22,6 +25,7 @@
 pub mod dmi_diff;
 pub mod ops;
 pub mod pad_diff;
+pub mod resolver_diff;
 pub mod store_diff;
 
 use proptest::strategy::Strategy;
@@ -64,11 +68,12 @@ pub enum Layer {
     Store,
     Dmi,
     Pad,
+    Resolver,
 }
 
 impl Layer {
     /// All layers, in stack order.
-    pub const ALL: [Layer; 3] = [Layer::Store, Layer::Dmi, Layer::Pad];
+    pub const ALL: [Layer; 4] = [Layer::Store, Layer::Dmi, Layer::Pad, Layer::Resolver];
 
     /// CLI / report name.
     pub fn name(self) -> &'static str {
@@ -76,6 +81,7 @@ impl Layer {
             Layer::Store => "store",
             Layer::Dmi => "dmi",
             Layer::Pad => "pad",
+            Layer::Resolver => "resolver",
         }
     }
 
@@ -85,17 +91,19 @@ impl Layer {
             "store" => Some(Layer::Store),
             "dmi" => Some(Layer::Dmi),
             "pad" => Some(Layer::Pad),
+            "resolver" => Some(Layer::Resolver),
             _ => None,
         }
     }
 
-    /// Per-layer tag mixed into case seeds so the three sweeps draw
-    /// disjoint streams from one base seed.
+    /// Per-layer tag mixed into case seeds so the sweeps draw disjoint
+    /// streams from one base seed.
     fn tag(self) -> u64 {
         match self {
-            Layer::Store => 0x73746f72, // "stor"
-            Layer::Dmi => 0x646d69,    // "dmi"
-            Layer::Pad => 0x706164,    // "pad"
+            Layer::Store => 0x73746f72,    // "stor"
+            Layer::Dmi => 0x646d69,        // "dmi"
+            Layer::Pad => 0x706164,        // "pad"
+            Layer::Resolver => 0x7265736f, // "reso"
         }
     }
 }
@@ -254,6 +262,10 @@ fn replay_case(
         Layer::Pad => {
             let strategy = proptest::collection::vec(ops::pad_op_strategy(), 1..max_ops + 1);
             run_case(layer, mutation, &strategy, pad_diff::check, seed, case)
+        }
+        Layer::Resolver => {
+            let strategy = proptest::collection::vec(ops::resolver_op_strategy(), 1..max_ops + 1);
+            run_case(layer, mutation, &strategy, resolver_diff::check, seed, case)
         }
     }
 }

@@ -30,7 +30,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: slimcheck [--layer store|dmi|pad|all] [--cases N] [--ops N]\n\
+        "usage: slimcheck [--layer store|dmi|pad|resolver|all] [--cases N] [--ops N]\n\
          \x20                [--base-seed HEX] [--seed HEX] [--mutation NAME] [--mutate]\n\
          \n\
          Default: a bounded differential sweep of every layer.\n\

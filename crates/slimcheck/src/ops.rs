@@ -147,3 +147,28 @@ pub fn pad_op_strategy() -> impl Strategy<Value = PadOp> {
         idx.prop_map(|scrap| PadOp::DeleteScrap { scrap }),
     ]
 }
+
+/// One step against the resilient-resolver state machine (see
+/// `resolver_diff`). `Resolve` targets a fixture mark by index modulo
+/// the fixture's mark count; `Advance` moves the mock clock (letting
+/// open breakers cool down between resolutions); `Reseed` switches the
+/// fault schedule mid-run.
+#[derive(Debug, Clone)]
+pub enum ResolverOp {
+    Resolve { mark: usize },
+    Advance { ms: u16 },
+    Reseed { seed: u64 },
+}
+
+pub fn resolver_op_strategy() -> impl Strategy<Value = ResolverOp> {
+    let mark = 0usize..8;
+    prop_oneof![
+        // Resolve three times: resolution-heavy sequences are what walk
+        // the breaker through trip / cooldown / probe transitions.
+        mark.clone().prop_map(|mark| ResolverOp::Resolve { mark }),
+        mark.clone().prop_map(|mark| ResolverOp::Resolve { mark }),
+        mark.prop_map(|mark| ResolverOp::Resolve { mark }),
+        (0u16..1200).prop_map(|ms| ResolverOp::Advance { ms }),
+        any::<u64>().prop_map(|seed| ResolverOp::Reseed { seed }),
+    ]
+}

@@ -1,0 +1,371 @@
+//! Differential check of the resilient resolver against a reference
+//! model of its retry/breaker/quarantine state machine.
+//!
+//! The real side is a [`marks::ResilientResolver`] driving a real
+//! spreadsheet module wrapped in a [`marks::FlakyModule`] under a
+//! [`marks::MockClock`]. The model side re-implements the state machine
+//! (breaker transitions, backoff arithmetic, deadline checks, dangle
+//! counting) in plain code that shares *no state* with the real stack —
+//! only the pure fault-schedule and jitter functions, which both sides
+//! must agree on by construction. After every `Resolve` op the two
+//! sides' structured summaries (attempt tags + timestamps, breaker
+//! state, quarantine flag, clock, schedule position) must match exactly.
+
+use crate::ops::ResolverOp;
+use basedocs::spreadsheet::Workbook;
+use basedocs::{DocKind, SpreadsheetApp};
+use marks::resilience::mix64;
+use marks::{
+    AppModule, BreakerConfig, BreakerState, Clock, Fault, FaultProfile, FlakyModule, MarkError,
+    MarkManager, MockClock, ResilientResolution, ResilientResolver, ResolutionStyle, RetryPolicy,
+};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Marks in the fixture; `Resolve { mark }` indexes modulo this.
+pub const MARKS: usize = 2;
+/// Default fault-schedule seed (ops can reseed mid-run).
+const PLAN_SEED: u64 = 0x000f_a01f_5eed;
+
+const MAX_ATTEMPTS: u32 = 3;
+const DEADLINE_MS: u64 = 600;
+const BASE_BACKOFF_MS: u64 = 10;
+const MAX_BACKOFF_MS: u64 = 80;
+const JITTER_SEED: u64 = 7;
+const FAILURE_THRESHOLD: u32 = 3;
+const COOLDOWN_MS: u64 = 250;
+const PROBE_BUDGET: u32 = 3;
+const PROBE_SUCCESSES: u32 = 2;
+const DANGLE_THRESHOLD: u32 = 2;
+
+/// Mixed storm; latency (700ms) deliberately exceeds the deadline so
+/// latency faults exercise the late-success timeout path.
+const PROFILE: FaultProfile = FaultProfile {
+    transient_pct: 30,
+    latency_pct: 15,
+    gone_pct: 15,
+    drift_pct: 10,
+    latency_ms: 700,
+};
+
+/// Execute one op sequence; panics on real-vs-model divergence.
+pub fn check(ops: &[ResolverOp]) {
+    // ---- real side --------------------------------------------------------
+    let clock = MockClock::new();
+    let mut wb = Workbook::new("meds.xls");
+    wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix").unwrap();
+    wb.sheet_mut("Sheet1").unwrap().set_a1("B1", "40").unwrap();
+    let mut app = SpreadsheetApp::new();
+    app.open(wb).unwrap();
+    let app = Rc::new(RefCell::new(app));
+    let inner = AppModule::in_context("spreadsheet", Rc::clone(&app));
+    let flaky = FlakyModule::new(Box::new(inner), PLAN_SEED, PROFILE, clock.clone());
+    let control = flaky.control();
+    control.disarm();
+    let mut mgr = MarkManager::new();
+    mgr.register_module(Box::new(flaky)).unwrap();
+    for cell in ["A1", "B1"] {
+        app.borrow_mut().select("meds.xls", "Sheet1", cell).unwrap();
+        mgr.create_mark(DocKind::Spreadsheet).unwrap();
+    }
+    control.arm(); // the schedule starts at call 0 for the op sequence
+    let mut resolver = ResilientResolver::with_config(
+        Rc::new(clock.clone()),
+        RetryPolicy {
+            max_attempts: MAX_ATTEMPTS,
+            deadline_ms: DEADLINE_MS,
+            base_backoff_ms: BASE_BACKOFF_MS,
+            max_backoff_ms: MAX_BACKOFF_MS,
+            jitter_seed: JITTER_SEED,
+        },
+        BreakerConfig {
+            failure_threshold: FAILURE_THRESHOLD,
+            cooldown_ms: COOLDOWN_MS,
+            probe_budget: PROBE_BUDGET,
+            probe_successes: PROBE_SUCCESSES,
+        },
+        DANGLE_THRESHOLD,
+    );
+
+    // ---- model side -------------------------------------------------------
+    let mut model = Model::new(PLAN_SEED);
+
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            ResolverOp::Advance { ms } => {
+                clock.advance(*ms as u64);
+                model.clock += *ms as u64;
+            }
+            ResolverOp::Reseed { seed } => {
+                control.reseed(*seed);
+                model.seed = *seed;
+                model.call = 0;
+            }
+            ResolverOp::Resolve { mark } => {
+                let id = format!("mark:{}", mark % MARKS);
+                let real = resolver
+                    .resolve(&mut mgr, &id)
+                    .unwrap_or_else(|e| panic!("resolve({id}) errored: {e}"));
+                assert_eq!(
+                    real.resolution.style == ResolutionStyle::DegradedExcerpt,
+                    real.outcome.degraded,
+                    "op {i}: degraded flag and resolution style disagree",
+                );
+                let got = summarize(&real);
+                let want = model.resolve(&id);
+                assert_eq!(got, want, "op {i}: resolver diverged from model on {id}");
+                assert_eq!(
+                    clock.now_ms(),
+                    model.clock,
+                    "op {i}: clock drift after resolving {id}"
+                );
+                assert_eq!(
+                    control.calls(),
+                    model.call,
+                    "op {i}: fault-schedule position drift after {id}"
+                );
+            }
+        }
+    }
+}
+
+/// Compact structured summary of the real side, compared byte-for-byte
+/// with the model's prediction. Deliberately excludes display content —
+/// the model knows the state machine, not workbook rendering.
+fn summarize(real: &ResilientResolution) -> String {
+    let attempts: Vec<String> = real
+        .outcome
+        .attempts
+        .iter()
+        .map(|a| format!("{}@{}", error_tag(&a.error), a.at_ms))
+        .collect();
+    format!(
+        "deg={};att=[{}];brk={};q={};clock={}",
+        real.outcome.degraded,
+        attempts.join(","),
+        real.outcome.breaker.map(breaker_tag).unwrap_or_else(|| "none".into()),
+        real.outcome.quarantined,
+        real.outcome.finished_ms,
+    )
+}
+
+fn error_tag(e: &Option<MarkError>) -> &'static str {
+    match e {
+        None => "ok",
+        Some(MarkError::Io { .. }) => "transient",
+        Some(MarkError::Timeout { .. }) => "timeout",
+        Some(MarkError::ModuleUnavailable { .. }) => "open",
+        Some(MarkError::Base(basedocs::DocError::Dangling { .. }))
+        | Some(MarkError::Base(basedocs::DocError::NoSuchDocument { .. })) => "gone",
+        Some(MarkError::Quarantined { .. }) => "quar",
+        Some(MarkError::NoModule { .. }) => "nomod",
+        Some(_) => "other",
+    }
+}
+
+fn breaker_tag(state: BreakerState) -> String {
+    match state {
+        BreakerState::Closed { failures } => format!("closed({failures})"),
+        BreakerState::Open { until_ms } => format!("open({until_ms})"),
+        BreakerState::HalfOpen { probes_used, successes } => {
+            format!("half({probes_used},{successes})")
+        }
+    }
+}
+
+// ---- the reference model --------------------------------------------------
+//
+// An independent re-implementation of the breaker/retry state machine.
+// It shares only the *pure functions* (`mix64`, `FaultProfile::fault`)
+// with the real stack; all state transitions are written out again here
+// so a bug in the real resolver cannot hide in shared code.
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MBreaker {
+    Closed { failures: u32 },
+    Open { until: u64 },
+    HalfOpen { used: u32, ok: u32 },
+}
+
+impl MBreaker {
+    fn tag(self) -> String {
+        match self {
+            MBreaker::Closed { failures } => format!("closed({failures})"),
+            MBreaker::Open { until } => format!("open({until})"),
+            MBreaker::HalfOpen { used, ok } => format!("half({used},{ok})"),
+        }
+    }
+
+    /// Returns `true` when the call is short-circuited.
+    fn admit(&mut self, now: u64) -> bool {
+        match *self {
+            MBreaker::Closed { .. } => false,
+            MBreaker::Open { until } if now < until => true,
+            MBreaker::Open { .. } => {
+                *self = MBreaker::HalfOpen { used: 1, ok: 0 };
+                false
+            }
+            MBreaker::HalfOpen { used, ok } => {
+                if used >= PROBE_BUDGET {
+                    *self = MBreaker::Open { until: now + COOLDOWN_MS };
+                    true
+                } else {
+                    *self = MBreaker::HalfOpen { used: used + 1, ok };
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&mut self) {
+        match *self {
+            MBreaker::Closed { .. } => *self = MBreaker::Closed { failures: 0 },
+            MBreaker::HalfOpen { used, ok } => {
+                if ok + 1 >= PROBE_SUCCESSES {
+                    *self = MBreaker::Closed { failures: 0 };
+                } else {
+                    *self = MBreaker::HalfOpen { used, ok: ok + 1 };
+                }
+            }
+            MBreaker::Open { .. } => {}
+        }
+    }
+
+    fn on_failure(&mut self, now: u64) {
+        match *self {
+            MBreaker::Closed { failures } => {
+                if failures + 1 >= FAILURE_THRESHOLD {
+                    *self = MBreaker::Open { until: now + COOLDOWN_MS };
+                } else {
+                    *self = MBreaker::Closed { failures: failures + 1 };
+                }
+            }
+            MBreaker::HalfOpen { .. } => *self = MBreaker::Open { until: now + COOLDOWN_MS },
+            MBreaker::Open { .. } => {}
+        }
+    }
+}
+
+struct Model {
+    seed: u64,
+    call: u64,
+    clock: u64,
+    /// Single breaker: the fixture routes everything through one module.
+    breaker: MBreaker,
+    /// Whether any call has been routed yet. The real resolver creates
+    /// breakers lazily, so until the first admitted attempt the outcome
+    /// reports no breaker state.
+    breaker_born: bool,
+    dangles: BTreeMap<String, u32>,
+    quarantined: BTreeSet<String>,
+}
+
+fn backoff(retry: u32) -> u64 {
+    let exp = BASE_BACKOFF_MS
+        .saturating_mul(1u64 << (retry.saturating_sub(1)).min(16))
+        .min(MAX_BACKOFF_MS);
+    exp + mix64(JITTER_SEED, retry as u64) % (BASE_BACKOFF_MS + 1)
+}
+
+impl Model {
+    fn new(seed: u64) -> Self {
+        Model {
+            seed,
+            call: 0,
+            clock: 0,
+            breaker: MBreaker::Closed { failures: 0 },
+            breaker_born: false,
+            dangles: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+        }
+    }
+
+    fn breaker_tag(&self) -> String {
+        if self.breaker_born {
+            self.breaker.tag()
+        } else {
+            "none".into()
+        }
+    }
+
+    /// Predict the summary for one resolution, advancing model state.
+    fn resolve(&mut self, id: &str) -> String {
+        let started = self.clock;
+
+        if self.quarantined.contains(id) {
+            // Quarantine short-circuits before any module/breaker work;
+            // the real outcome never names a module, so brk stays none.
+            return format!("deg=true;att=[quar@{started}];brk=none;q=true;clock={started}");
+        }
+
+        let mut attempts: Vec<String> = Vec::new();
+        let mut quarantined = false;
+        let deadline = started + DEADLINE_MS;
+        let mut success = false;
+        for attempt_no in 1..=MAX_ATTEMPTS {
+            if attempt_no > 1 {
+                self.clock += backoff(attempt_no - 1);
+            }
+            let now = self.clock;
+            if now >= deadline {
+                attempts.push(format!("timeout@{now}"));
+                break;
+            }
+            self.breaker_born = true;
+            if self.breaker.admit(now) {
+                attempts.push(format!("open@{now}"));
+                break;
+            }
+            // The admitted call consumes one fault-schedule position.
+            let fault = PROFILE.fault(self.seed, self.call);
+            self.call += 1;
+            let outcome: Result<(), &str> = match fault {
+                Fault::None | Fault::ContentDrift => Ok(()),
+                Fault::Latency(ms) => {
+                    self.clock += ms;
+                    Ok(())
+                }
+                Fault::Transient => Err("transient"),
+                Fault::DocumentGone => Err("gone"),
+            };
+            let after = self.clock;
+            match outcome {
+                Ok(()) if after > deadline => {
+                    self.breaker.on_failure(after);
+                    attempts.push(format!("timeout@{now}"));
+                    break;
+                }
+                Ok(()) => {
+                    self.breaker.on_success();
+                    attempts.push(format!("ok@{now}"));
+                    self.dangles.remove(id);
+                    success = true;
+                    break;
+                }
+                Err(tag) => {
+                    self.breaker.on_failure(after);
+                    attempts.push(format!("{tag}@{now}"));
+                    if tag == "gone" {
+                        let n = self.dangles.entry(id.to_string()).or_insert(0);
+                        *n += 1;
+                        if *n >= DANGLE_THRESHOLD {
+                            self.quarantined.insert(id.to_string());
+                            quarantined = true;
+                        }
+                        break; // dangling targets are not retried
+                    }
+                    // transient: retry
+                }
+            }
+        }
+        format!(
+            "deg={};att=[{}];brk={};q={};clock={}",
+            !success,
+            attempts.join(","),
+            self.breaker_tag(),
+            quarantined,
+            self.clock,
+        )
+    }
+}

@@ -28,6 +28,13 @@ fn pad_layer_agrees_with_models() {
 }
 
 #[test]
+fn resolver_layer_agrees_with_model() {
+    if let Some(d) = run_layer(Layer::Resolver, SEED, 32, 48, Mutation::None) {
+        panic!("unexpected resolver divergence:\n{}", d.report());
+    }
+}
+
+#[test]
 fn every_seeded_mutant_is_caught_and_shrunk() {
     for mutation in Mutation::ALL {
         let d = run_layer(Layer::Store, SEED, 64, 48, mutation)

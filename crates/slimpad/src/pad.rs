@@ -3,7 +3,9 @@
 
 use crate::layout::{detect_grid, GridDetection, Point};
 use basedocs::DocKind;
-use marks::{MarkError, MarkManager, Resolution};
+use marks::{
+    MarkAudit, MarkError, MarkManager, ResilientResolution, ResilientResolver, Resolution,
+};
 use slimio::{Integrity, Recovered, StdVfs, Vfs};
 use slimstore::{BundleHandle, DmiError, PadHandle, ScrapHandle, SlimPadDmi};
 use std::fmt;
@@ -131,6 +133,9 @@ pub struct PadSession {
     pad: PadHandle,
     root: BundleHandle,
     marks: MarkManager,
+    /// Failure handling for mark resolution: deadlines, retries,
+    /// breakers, quarantine ([`PadSession::activate_resilient`]).
+    resolver: ResilientResolver,
     /// Checkpoints taken by [`PadSession::begin_op`], popped by
     /// [`PadSession::undo`].
     undo_stack: Vec<trim::Revision>,
@@ -143,7 +148,14 @@ impl PadSession {
         let mut dmi = SlimPadDmi::new();
         let root = dmi.create_bundle(pad_name, (0, 0), 1280, 960);
         let pad = dmi.create_slim_pad(pad_name, Some(root))?;
-        Ok(PadSession { dmi, pad, root, marks: MarkManager::new(), undo_stack: Vec::new() })
+        Ok(PadSession {
+            dmi,
+            pad,
+            root,
+            marks: MarkManager::new(),
+            resolver: ResilientResolver::default(),
+            undo_stack: Vec::new(),
+        })
     }
 
     /// Mark the start of a user-visible operation; [`PadSession::undo`]
@@ -284,6 +296,49 @@ impl PadSession {
         Ok(self.marks.resolve(&mark_id)?)
     }
 
+    /// Double-click with a safety net: resolve the scrap's (first) mark
+    /// through the session's [`ResilientResolver`]. Base-layer failures
+    /// degrade to the mark's stored excerpt
+    /// ([`marks::ResolutionStyle::DegradedExcerpt`]) instead of erroring;
+    /// the returned outcome carries the full attempt trace.
+    pub fn activate_resilient(
+        &mut self,
+        scrap: ScrapHandle,
+    ) -> Result<ResilientResolution, PadError> {
+        let mark_id = self.first_mark_id(scrap)?;
+        Ok(self.resolver.resolve(&mut self.marks, &mark_id)?)
+    }
+
+    /// The session's resilient resolver (breaker states, quarantine).
+    pub fn resolver(&self) -> &ResilientResolver {
+        &self.resolver
+    }
+
+    /// Mutable resolver access (release a quarantined mark, …).
+    pub fn resolver_mut(&mut self) -> &mut ResilientResolver {
+        &mut self.resolver
+    }
+
+    /// Replace the resolver — tests and embedders install one driven by
+    /// a mock clock or tuned policies here.
+    pub fn set_resolver(&mut self, resolver: ResilientResolver) {
+        self.resolver = resolver;
+    }
+
+    /// Split borrow for callers that drive the resolver against this
+    /// session's marks (e.g. the repair pass in `core`).
+    pub fn resolver_parts(&mut self) -> (&mut ResilientResolver, &mut MarkManager) {
+        (&mut self.resolver, &mut self.marks)
+    }
+
+    /// Audit every mark and feed the result to the resolver, so
+    /// subsequent degraded resolutions carry an accurate staleness flag.
+    pub fn audit_marks(&mut self) -> Vec<MarkAudit> {
+        let audits = self.marks.audit();
+        self.resolver.note_audit(&audits);
+        audits
+    }
+
     /// Activate through a named module (e.g. an in-place viewer).
     pub fn activate_with(
         &mut self,
@@ -299,6 +354,17 @@ impl PadSession {
     pub fn extract(&self, scrap: ScrapHandle) -> Result<String, PadError> {
         let mark_id = self.first_mark_id(scrap)?;
         Ok(self.marks.extract_content(&mark_id)?)
+    }
+
+    /// [`extract`](PadSession::extract) with a safety net: fall back to
+    /// the mark's stored excerpt when the base layer cannot supply the
+    /// content. The boolean is `true` when the fallback was used.
+    pub fn extract_degraded(&self, scrap: ScrapHandle) -> Result<(String, bool), PadError> {
+        let mark_id = self.first_mark_id(scrap)?;
+        match self.marks.extract_content(&mark_id) {
+            Ok(content) => Ok((content, false)),
+            Err(_) => Ok((self.marks.get(&mark_id)?.excerpt.clone(), true)),
+        }
     }
 
     /// Resolve *all* of a scrap's marks, in handle order — the
@@ -407,7 +473,14 @@ impl PadSession {
             .root_bundle
             .ok_or_else(|| PadError::File { message: "pad has no root bundle".into() })?;
         manager.load_xml(&marks_xml)?;
-        Ok(PadSession { dmi, pad, root, marks: manager, undo_stack: Vec::new() })
+        Ok(PadSession {
+            dmi,
+            pad,
+            root,
+            marks: manager,
+            resolver: ResilientResolver::default(),
+            undo_stack: Vec::new(),
+        })
     }
 
     /// Load from a file written by [`PadSession::save`].
@@ -533,8 +606,14 @@ impl PadSession {
             None => recovered.note("marks section missing; continuing without marks"),
         }
 
-        let session =
-            PadSession { dmi, pad, root: root_bundle, marks: manager, undo_stack: Vec::new() };
+        let session = PadSession {
+            dmi,
+            pad,
+            root: root_bundle,
+            marks: manager,
+            resolver: ResilientResolver::default(),
+            undo_stack: Vec::new(),
+        };
 
         let mut dangling = 0usize;
         for scrap in session.dmi.all_scraps() {

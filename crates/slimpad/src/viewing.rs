@@ -13,6 +13,7 @@
 
 use crate::pad::{PadError, PadSession};
 use crate::render::render_pad;
+use marks::ResilientResolution;
 use slimstore::ScrapHandle;
 
 /// Which Figure 6 style to present.
@@ -23,8 +24,31 @@ pub enum ViewingStyle {
     Independent,
 }
 
+/// The banner shown in place of (or alongside) base content when a
+/// resolution degraded to the mark's stored excerpt.
+fn degraded_banner(resolved: &ResilientResolution) -> String {
+    let staleness = if resolved.outcome.stale { "stale " } else { "" };
+    format!(
+        "⚠ base layer unavailable — showing {}excerpt ({} attempt(s))",
+        staleness,
+        resolved.outcome.attempts.len(),
+    )
+}
+
+/// The base "window" for a resilient resolution: live content, or the
+/// stored excerpt under a banner when the base layer was unreachable.
+fn base_window(resolved: &ResilientResolution) -> String {
+    if resolved.is_degraded() {
+        format!("{}\n{}", degraded_banner(resolved), resolved.resolution.display)
+    } else {
+        resolved.resolution.display.clone()
+    }
+}
+
 /// Present a scrap in the requested viewing style, returning the full
-/// textual "screen".
+/// textual "screen". Base-layer failures never abort the view: the
+/// resilient resolver degrades to the mark's stored excerpt, rendered
+/// under a stale-excerpt banner.
 pub fn view_scrap(
     session: &mut PadSession,
     scrap: ScrapHandle,
@@ -35,14 +59,14 @@ pub fn view_scrap(
             // Two windows side by side: the pad and the base application.
             // Activation drives the base window to the marked element
             // first, as the user's double-click would.
-            let base = session.activate(scrap)?.display;
+            let base = base_window(&session.activate_resilient(scrap)?);
             let pad = render_pad(session)?;
             Ok(crate::render::side_by_side(&pad, &base))
         }
         ViewingStyle::EnhancedBase => {
             // One window: the base application's view, enhanced with the
             // superimposed layer's knowledge about this element.
-            let base = session.activate(scrap)?.display;
+            let base = base_window(&session.activate_resilient(scrap)?);
             let data = session.dmi().scrap(scrap)?;
             let annotations = session.dmi().annotations(scrap)?;
             let mut out = base;
@@ -55,11 +79,13 @@ pub fn view_scrap(
         }
         ViewingStyle::Independent => {
             // One window: the pad only; the marked content is pulled
-            // in-place without showing the base application.
-            let content = session.extract(scrap)?;
+            // in-place without showing the base application. A dangling
+            // wire degrades to the stored excerpt, flagged inline.
+            let (content, degraded) = session.extract_degraded(scrap)?;
             let data = session.dmi().scrap(scrap)?;
             let pad = render_pad(session)?;
-            Ok(format!("{pad}\n[{}] ⇐ {content}\n", data.name))
+            let flag = if degraded { " ⚠ stored excerpt (base unavailable)" } else { "" };
+            Ok(format!("{pad}\n[{}] ⇐ {content}{flag}\n", data.name))
         }
     }
 }
@@ -73,7 +99,7 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn session_with_scrap() -> (PadSession, ScrapHandle) {
+    fn session_with_scrap() -> (PadSession, ScrapHandle, Rc<RefCell<SpreadsheetApp>>) {
         let mut wb = Workbook::new("meds.xls");
         wb.sheet_mut("Sheet1").unwrap().set_a1("A1", "Lasix 40").unwrap();
         let mut excel = SpreadsheetApp::new();
@@ -82,16 +108,16 @@ mod tests {
         let excel = Rc::new(RefCell::new(excel));
         let mut pad = PadSession::new("Rounds").unwrap();
         pad.marks_mut()
-            .register_module(Box::new(AppModule::in_context("excel", excel)))
+            .register_module(Box::new(AppModule::in_context("excel", Rc::clone(&excel))))
             .unwrap();
         let scrap = pad.place_selection(DocKind::Spreadsheet, None, (40, 90), None).unwrap();
         pad.dmi_mut().add_annotation(scrap, "dose due 14:00").unwrap();
-        (pad, scrap)
+        (pad, scrap, excel)
     }
 
     #[test]
     fn simultaneous_shows_both_windows() {
-        let (mut pad, scrap) = session_with_scrap();
+        let (mut pad, scrap, _excel) = session_with_scrap();
         let screen = view_scrap(&mut pad, scrap, ViewingStyle::Simultaneous).unwrap();
         assert!(screen.contains(" Rounds "), "pad window present: {screen}");
         assert!(screen.contains("meds.xls"), "base window present: {screen}");
@@ -100,7 +126,7 @@ mod tests {
 
     #[test]
     fn enhanced_base_injects_superimposed_info_into_base_view() {
-        let (mut pad, scrap) = session_with_scrap();
+        let (mut pad, scrap, _excel) = session_with_scrap();
         let screen = view_scrap(&mut pad, scrap, ViewingStyle::EnhancedBase).unwrap();
         assert!(screen.contains("meds.xls"), "{screen}");
         assert!(screen.contains("superimposed: scrap \"Lasix 40\""), "{screen}");
@@ -110,10 +136,49 @@ mod tests {
 
     #[test]
     fn independent_hides_the_base_application() {
-        let (mut pad, scrap) = session_with_scrap();
+        let (mut pad, scrap, _excel) = session_with_scrap();
         let screen = view_scrap(&mut pad, scrap, ViewingStyle::Independent).unwrap();
         assert!(screen.contains(" Rounds "), "{screen}");
         assert!(!screen.contains("meds.xls"), "base window hidden: {screen}");
         assert!(screen.contains("⇐ Lasix 40"), "content pulled in place: {screen}");
+    }
+
+    #[test]
+    fn simultaneous_degrades_to_excerpt_banner_when_base_is_gone() {
+        let (mut pad, scrap, excel) = session_with_scrap();
+        excel.borrow_mut().close("meds.xls").unwrap();
+        let screen = view_scrap(&mut pad, scrap, ViewingStyle::Simultaneous).unwrap();
+        assert!(screen.contains("base layer unavailable"), "banner present: {screen}");
+        assert!(screen.contains("Lasix 40"), "stored excerpt shown: {screen}");
+        assert!(screen.contains(" Rounds "), "pad window still present: {screen}");
+    }
+
+    #[test]
+    fn enhanced_base_banner_flags_stale_excerpts() {
+        let (mut pad, scrap, excel) = session_with_scrap();
+        // Drift first, audit (so staleness is known), then lose the doc.
+        excel
+            .borrow_mut()
+            .workbook_mut("meds.xls")
+            .unwrap()
+            .sheet_mut("Sheet1")
+            .unwrap()
+            .set_a1("A1", "Lasix 80")
+            .unwrap();
+        pad.audit_marks();
+        excel.borrow_mut().close("meds.xls").unwrap();
+        let screen = view_scrap(&mut pad, scrap, ViewingStyle::EnhancedBase).unwrap();
+        assert!(screen.contains("showing stale excerpt"), "{screen}");
+        assert!(screen.contains("Lasix 40"), "the stale excerpt is all we have: {screen}");
+        assert!(screen.contains("superimposed: scrap"), "annotations still render: {screen}");
+    }
+
+    #[test]
+    fn independent_view_survives_a_dangling_wire() {
+        let (mut pad, scrap, excel) = session_with_scrap();
+        excel.borrow_mut().close("meds.xls").unwrap();
+        let screen = view_scrap(&mut pad, scrap, ViewingStyle::Independent).unwrap();
+        assert!(screen.contains("⇐ Lasix 40"), "{screen}");
+        assert!(screen.contains("stored excerpt (base unavailable)"), "{screen}");
     }
 }

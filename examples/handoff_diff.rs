@@ -52,7 +52,7 @@ fn main() {
 
     // Accept the overnight drift (the lab value changed under the mark),
     // then record the morning's state.
-    let drift_accepted = saturday.pad.marks_mut().refresh_all_excerpts();
+    let drift_report = saturday.pad.marks_mut().refresh_all_excerpts();
     let k = saturday.pad.dmi().find_scraps("K 3.4 LOW").remove(0);
     saturday.pad.dmi_mut().update_scrap_name(k, "K 4.1 ok").unwrap();
     saturday.pad.dmi_mut().add_annotation(k, "normalized; stop repletion").unwrap();
@@ -61,7 +61,10 @@ fn main() {
         .pad
         .place_selection(DocKind::Spreadsheet, Some("KCl — stop today"), (40, 210), None)
         .unwrap();
-    println!("Saturday: {} excerpt(s) refreshed to current base content", drift_accepted);
+    println!(
+        "Saturday: {} excerpt(s) refreshed to current base content ({drift_report})",
+        drift_report.refreshed.len()
+    );
 
     // ---- the diff report ---------------------------------------------------------
     println!("\n══ changes since Friday ══");
