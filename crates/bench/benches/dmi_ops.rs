@@ -1,0 +1,53 @@
+//! DMI structural-op benches over the batched write paths: instance
+//! creation (`insert_all` of the type/conformance pair plus the model
+//! encoding batch), recursive deletion (`remove_all` on incoming edges),
+//! and the literal-index searches that back system-wide find.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slim_bench::build_pad;
+use std::hint::black_box;
+use superimposed::slimstore::SlimPadDmi;
+
+fn create_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmi_create");
+    // Fresh DMI = one encode_model batch; the dominant cost of small pads.
+    group.bench_function("fresh_dmi", |b| b.iter(|| black_box(SlimPadDmi::new())));
+    for n in [100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("build_pad", n), &n, |b, &n| {
+            b.iter(|| black_box(build_pad(n)))
+        });
+    }
+    group.finish();
+}
+
+fn delete_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmi_delete");
+    for n in [100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("delete_bundle", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut dmi = build_pad(n);
+                let bundle = dmi.bundles().remove(0);
+                dmi.delete_bundle(bundle).unwrap();
+                black_box(dmi)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn find_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmi_find");
+    let mut dmi = build_pad(1_000);
+    let scrap = dmi.all_scraps()[0];
+    dmi.add_annotation(scrap, "recheck in the morning").unwrap();
+    group.bench_function("find_scraps", |b| {
+        b.iter(|| black_box(dmi.find_scraps("lab value 99")))
+    });
+    group.bench_function("find_annotated", |b| {
+        b.iter(|| black_box(dmi.find_annotated("recheck")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, create_ops, delete_ops, find_ops);
+criterion_main!(benches);

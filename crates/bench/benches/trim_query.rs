@@ -1,0 +1,53 @@
+//! Planner-aware TRIM query benches: every one of the eight pattern
+//! shapes against the 50k-triple workload, plus the naive-scan baseline
+//! for the two shapes the permutation indexes exist for (predicate- and
+//! object-bound). `cargo run -p slim-bench --release` turns the same
+//! measurements into `BENCH_trim.json`; this bench is the interactive
+//! view of them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slim_bench::{naive_copy, random_store, shape_pattern, BENCH_TRIPLES};
+use std::hint::black_box;
+use superimposed::trim::PatternShape;
+
+fn all_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trim_query_shapes");
+    let (store, subjects, properties) = random_store(BENCH_TRIPLES, 42);
+    for shape in PatternShape::ALL {
+        let pattern = shape_pattern(&store, shape, &subjects, &properties);
+        group.bench_with_input(BenchmarkId::from_parameter(shape.name()), &store, |b, store| {
+            b.iter(|| black_box(store.select(&pattern)))
+        });
+    }
+    group.finish();
+}
+
+fn counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trim_query_counts");
+    let (store, subjects, properties) = random_store(BENCH_TRIPLES, 42);
+    for shape in [PatternShape::P, PatternShape::O, PatternShape::Po] {
+        let pattern = shape_pattern(&store, shape, &subjects, &properties);
+        group.bench_with_input(BenchmarkId::from_parameter(shape.name()), &store, |b, store| {
+            b.iter(|| black_box(store.count(&pattern)))
+        });
+    }
+    group.finish();
+}
+
+fn naive_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trim_query_naive");
+    let (store, subjects, properties) = random_store(BENCH_TRIPLES, 42);
+    let naive = naive_copy(&store);
+    // The two shapes the tentpole claims ≥5× on: the old path was a
+    // linear scan for anything that wasn't subject-led.
+    group.bench_function("p", |b| {
+        b.iter(|| black_box(naive.select_matching(None, Some(&properties[3]), None)))
+    });
+    group.bench_function("o", |b| {
+        b.iter(|| black_box(naive.select_matching(None, None, Some((&subjects[2], true)))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, all_shapes, counts, naive_baseline);
+criterion_main!(benches);

@@ -9,8 +9,13 @@ use superimposed::basedocs::spreadsheet::Workbook;
 use superimposed::basedocs::textdoc::TextDocument;
 use superimposed::slimstore::SlimPadDmi;
 use superimposed::trim::naive::NaiveStore;
-use superimposed::trim::TripleStore;
+use superimposed::trim::{PatternShape, TriplePattern, TripleStore, Value};
 use superimposed::{DocKind, SuperimposedSystem};
+
+/// Store size for the planner baseline (`BENCH_trim.json` and the
+/// `trim_query` bench): the 50k-triple point the tentpole's ≥5× claim is
+/// made at.
+pub const BENCH_TRIPLES: usize = 50_000;
 
 /// Build a pad with one bundle of `n` scraps through the hand-written DMI.
 pub fn build_pad(n: usize) -> SlimPadDmi {
@@ -92,6 +97,31 @@ pub fn random_store(n: usize, seed: u64) -> (TripleStore, Vec<String>, Vec<Strin
         }
     }
     (store, subjects, properties)
+}
+
+/// The canonical query pattern of one shape over [`random_store`]'s
+/// vocabulary: subject `res:1`, property `prop3`, object the resource
+/// `res:2` — whichever of those the shape binds. Both the criterion
+/// benches and the `BENCH_trim.json` reporter draw from here so their
+/// numbers describe the same queries.
+pub fn shape_pattern(
+    store: &TripleStore,
+    shape: PatternShape,
+    subjects: &[String],
+    properties: &[String],
+) -> TriplePattern {
+    let mut pattern = TriplePattern::default();
+    if shape.binds_subject() {
+        pattern = pattern.with_subject(store.find_atom(&subjects[1]).expect("bench subject"));
+    }
+    if shape.binds_property() {
+        pattern = pattern.with_property(store.find_atom(&properties[3]).expect("bench property"));
+    }
+    if shape.binds_object() {
+        pattern =
+            pattern.with_object(Value::Resource(store.find_atom(&subjects[2]).expect("bench object")));
+    }
+    pattern
 }
 
 /// The naive-store copy of a triple store, for E9.

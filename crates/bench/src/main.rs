@@ -1,0 +1,212 @@
+//! `BENCH_trim.json` reporter: measure every pattern shape against the
+//! 50k-triple workload, compare the indexed store to the naive linear
+//! scan, and write (or gate against) the committed baseline.
+//!
+//! * `cargo run -p slim-bench --release` — full run, writes
+//!   `BENCH_trim.json` in the current directory.
+//! * `-- --quick` — shorter per-measurement budget for CI smoke runs.
+//! * `-- --check BENCH_trim.json` — additionally gate: predicate- and
+//!   object-bound speedups must stay ≥ 5× and must not fall below half
+//!   of the committed baseline's speedup (a machine-independent ratio,
+//!   unlike raw latencies).
+//! * `-- --out PATH` — write the report somewhere else.
+
+use slim_bench::{naive_copy, random_store, shape_pattern, BENCH_TRIPLES};
+use std::hint::black_box;
+use std::time::Instant;
+use superimposed::trim::PatternShape;
+
+/// Shapes the ≥5× floor and the regression gate apply to: the tentpole's
+/// claim is about queries the pre-index store had to answer by scanning.
+const GATED_SHAPES: [PatternShape; 2] = [PatternShape::P, PatternShape::O];
+const SPEEDUP_FLOOR: f64 = 5.0;
+/// `--check` fails if a gated speedup drops below baseline/this factor.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+struct Args {
+    quick: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quick: false, out: "BENCH_trim.json".to_string(), check: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--check" => args.check = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: slim-bench [--quick] [--out PATH] [--check BASELINE_PATH]");
+    std::process::exit(2)
+}
+
+/// Nanoseconds per call: warm once, size the batch to roughly
+/// `budget_ms`, then take the best of three batches (best-of counters
+/// scheduler noise; these are pure in-memory queries).
+fn time_ns(budget_ms: u64, mut f: impl FnMut()) -> f64 {
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_nanos().max(1);
+    let iters = ((budget_ms as u128 * 1_000_000) / once).clamp(1, 100_000) as u32;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+struct ShapeResult {
+    shape: PatternShape,
+    plan: String,
+    hits: usize,
+    indexed_ns: f64,
+    naive_ns: f64,
+}
+
+impl ShapeResult {
+    fn speedup(&self) -> f64 {
+        self.naive_ns / self.indexed_ns.max(1.0)
+    }
+}
+
+fn measure(quick: bool) -> Vec<ShapeResult> {
+    let budget_ms = if quick { 20 } else { 200 };
+    let (store, subjects, properties) = random_store(BENCH_TRIPLES, 42);
+    let naive = naive_copy(&store);
+    let naive_args = |shape: PatternShape| {
+        (
+            shape.binds_subject().then_some(subjects[1].as_str()),
+            shape.binds_property().then_some(properties[3].as_str()),
+            shape.binds_object().then_some((subjects[2].as_str(), true)),
+        )
+    };
+    PatternShape::ALL
+        .into_iter()
+        .map(|shape| {
+            let pattern = shape_pattern(&store, shape, &subjects, &properties);
+            let (ns, np, no) = naive_args(shape);
+            let hits = store.count(&pattern);
+            assert_eq!(
+                hits,
+                naive.select_matching(ns, np, no).len(),
+                "indexed and naive stores disagree on shape {} — refusing to benchmark a wrong answer",
+                shape.name()
+            );
+            let indexed_ns = time_ns(budget_ms, || {
+                black_box(store.select(black_box(&pattern)));
+            });
+            let naive_ns = time_ns(budget_ms, || {
+                black_box(naive.select_matching(black_box(ns), np, no));
+            });
+            ShapeResult {
+                shape,
+                plan: store.explain(&pattern).to_string(),
+                hits,
+                indexed_ns,
+                naive_ns,
+            }
+        })
+        .collect()
+}
+
+fn render_json(results: &[ShapeResult], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"n_triples\": {BENCH_TRIPLES},\n"));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str("  \"shapes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"plan\": \"{}\", \"hits\": {}, \
+             \"indexed_ns\": {:.1}, \"naive_ns\": {:.1}, \"speedup\": {:.1}}}{}\n",
+            r.shape.name(),
+            r.plan,
+            r.hits,
+            r.indexed_ns,
+            r.naive_ns,
+            r.speedup(),
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pull `"speedup": X` for one shape out of a baseline report. String
+/// scanning instead of a JSON dependency: the file is machine-written by
+/// this binary in a fixed shape.
+fn baseline_speedup(baseline: &str, shape: PatternShape) -> Option<f64> {
+    let marker = format!("\"shape\": \"{}\"", shape.name());
+    let line = baseline.lines().find(|l| l.contains(&marker))?;
+    let rest = line.split("\"speedup\":").nth(1)?;
+    rest.trim_start().trim_end_matches(['}', ',', ' ']).parse().ok()
+}
+
+fn check(results: &[ShapeResult], baseline_path: &str) -> Result<(), String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    for shape in GATED_SHAPES {
+        let r = results
+            .iter()
+            .find(|r| r.shape == shape)
+            .expect("measure() covers every shape");
+        let speedup = r.speedup();
+        if speedup < SPEEDUP_FLOOR {
+            return Err(format!(
+                "shape `{}`: speedup {speedup:.1}x over naive scan is below the {SPEEDUP_FLOOR}x floor",
+                shape.name()
+            ));
+        }
+        if let Some(committed) = baseline_speedup(&baseline, shape) {
+            if speedup < committed / REGRESSION_FACTOR {
+                return Err(format!(
+                    "shape `{}`: speedup {speedup:.1}x regressed more than {REGRESSION_FACTOR}x \
+                     against the committed baseline ({committed:.1}x)",
+                    shape.name()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let results = measure(args.quick);
+    for r in &results {
+        println!(
+            "shape {:>7}  {:<34}  hits {:>6}  indexed {:>12.1} ns  naive {:>12.1} ns  speedup {:>8.1}x",
+            r.shape.name(),
+            r.plan,
+            r.hits,
+            r.indexed_ns,
+            r.naive_ns,
+            r.speedup(),
+        );
+    }
+    std::fs::write(&args.out, render_json(&results, args.quick))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+    if let Some(baseline) = &args.check {
+        match check(&results, baseline) {
+            Ok(()) => println!("baseline check passed against {baseline}"),
+            Err(msg) => {
+                eprintln!("baseline check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -4,55 +4,61 @@
 
 use crate::model::{Cardinality, ConnectorDef, ConnectorKind, ConstructDef, ConstructKind, ModelDef};
 use crate::vocab;
-use trim::{Atom, TriplePattern, TripleStore, Value};
+use trim::{Atom, Triple, TriplePattern, TripleStore, Value};
 
 /// Write a model definition into a store. Returns the model's resource
 /// atom. Idempotent for identical definitions (triples are a set).
+///
+/// All triples land through one [`TripleStore::insert_all`] batch: the
+/// interning pass builds the triple list, the store indexes it in one go.
 pub fn encode_model(store: &mut TripleStore, model: &ModelDef) -> Atom {
     let model_atom = store.atom(&vocab::model_res(&model.name));
     let type_p = store.atom(vocab::TYPE);
-    let model_class = store.atom(vocab::MODEL);
-    store.insert(model_atom, type_p, Value::Resource(model_class));
     let name_p = store.atom(vocab::NAME);
+    let mut batch: Vec<Triple> = Vec::new();
+    let push = |batch: &mut Vec<Triple>, s: Atom, p: Atom, o: Value| {
+        batch.push(Triple { subject: s, property: p, object: o });
+    };
+    let model_class = store.atom(vocab::MODEL);
+    push(&mut batch, model_atom, type_p, Value::Resource(model_class));
     let name_v = store.literal_value(&model.name);
-    store.insert(model_atom, name_p, name_v);
+    push(&mut batch, model_atom, name_p, name_v);
 
     for c in model.constructs() {
         let c_atom = store.atom(&vocab::construct_res(&model.name, &c.name));
         let construct_class = store.atom(vocab::CONSTRUCT);
-        store.insert(c_atom, type_p, Value::Resource(construct_class));
+        push(&mut batch, c_atom, type_p, Value::Resource(construct_class));
         let v = store.literal_value(&c.name);
-        let p = store.atom(vocab::NAME);
-        store.insert(c_atom, p, v);
+        push(&mut batch, c_atom, name_p, v);
         let p = store.atom(vocab::CONSTRUCT_KIND);
         let v = store.literal_value(c.kind.id());
-        store.insert(c_atom, p, v);
+        push(&mut batch, c_atom, p, v);
         let p = store.atom(vocab::IN_MODEL);
-        store.insert(c_atom, p, Value::Resource(model_atom));
+        push(&mut batch, c_atom, p, Value::Resource(model_atom));
     }
 
     for c in model.connectors() {
         let c_atom = store.atom(&vocab::connector_res(&model.name, &c.name));
         let connector_class = store.atom(vocab::CONNECTOR);
-        store.insert(c_atom, type_p, Value::Resource(connector_class));
-        let p = store.atom(vocab::NAME);
+        push(&mut batch, c_atom, type_p, Value::Resource(connector_class));
         let v = store.literal_value(&c.name);
-        store.insert(c_atom, p, v);
+        push(&mut batch, c_atom, name_p, v);
         let p = store.atom(vocab::CONNECTOR_KIND);
         let v = store.literal_value(c.kind.id());
-        store.insert(c_atom, p, v);
+        push(&mut batch, c_atom, p, v);
         let p = store.atom(vocab::FROM);
         let from_atom = store.atom(&vocab::construct_res(&model.name, &c.from));
-        store.insert(c_atom, p, Value::Resource(from_atom));
+        push(&mut batch, c_atom, p, Value::Resource(from_atom));
         let p = store.atom(vocab::TO);
         let to_atom = store.atom(&vocab::construct_res(&model.name, &c.to));
-        store.insert(c_atom, p, Value::Resource(to_atom));
+        push(&mut batch, c_atom, p, Value::Resource(to_atom));
         let p = store.atom(vocab::CARDINALITY);
         let v = store.literal_value(c.cardinality.id());
-        store.insert(c_atom, p, v);
+        push(&mut batch, c_atom, p, v);
         let p = store.atom(vocab::IN_MODEL);
-        store.insert(c_atom, p, Value::Resource(model_atom));
+        push(&mut batch, c_atom, p, Value::Resource(model_atom));
     }
+    store.insert_all(batch);
     model_atom
 }
 

@@ -44,12 +44,19 @@ pub enum Mutation {
     LossySetUnique,
     /// `undo_to` silently does nothing.
     UndoNoop,
+    /// Removes forget the POS index: the triple lingers there and
+    /// property-bound queries see a phantom.
+    SkipPosIndexOnRemove,
 }
 
 impl Mutation {
     /// All seeded bugs (excludes `None`).
-    pub const ALL: [Mutation; 3] =
-        [Mutation::SkipSubjectIndex, Mutation::LossySetUnique, Mutation::UndoNoop];
+    pub const ALL: [Mutation; 4] = [
+        Mutation::SkipSubjectIndex,
+        Mutation::LossySetUnique,
+        Mutation::UndoNoop,
+        Mutation::SkipPosIndexOnRemove,
+    ];
 
     /// CLI / report name.
     pub fn name(self) -> &'static str {
@@ -58,6 +65,19 @@ impl Mutation {
             Mutation::SkipSubjectIndex => "skip-subject-index",
             Mutation::LossySetUnique => "lossy-set-unique",
             Mutation::UndoNoop => "undo-noop",
+            Mutation::SkipPosIndexOnRemove => "skip-pos-on-remove",
+        }
+    }
+
+    /// Mutation-mode shrink budget: a divergence from this seeded bug
+    /// must reduce to at most this many ops, or the bug counts as
+    /// escaped.
+    pub fn shrink_bound(self) -> usize {
+        match self {
+            // A stale POS entry takes exactly [Insert, Remove] to plant
+            // and at most one query op to observe.
+            Mutation::SkipPosIndexOnRemove => 3,
+            _ => 10,
         }
     }
 }

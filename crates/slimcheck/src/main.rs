@@ -14,9 +14,6 @@ use slimcheck::{run_layer, replay, Divergence, Layer, Mutation};
 const DEFAULT_BASE_SEED: u64 = 0x5eed0f5113;
 const DEFAULT_CASES: u32 = 64;
 const DEFAULT_OPS: usize = 64;
-/// Mutation mode requires minimal reproductions at or under this many
-/// ops — the shrinker must reduce seeded bugs to near-trivial sequences.
-const MUTANT_SHRINK_BOUND: usize = 10;
 
 struct Args {
     layers: Vec<Layer>,
@@ -37,7 +34,7 @@ fn usage() -> ! {
          --seed HEX        replay one case (requires a single --layer)\n\
          --mutation NAME   seeded store bug to enable: {}\n\
          --mutate          run every seeded store bug; each must be caught\n\
-         \x20                and shrunk to <= {MUTANT_SHRINK_BOUND} ops",
+         \x20                and shrunk to within its per-bug op bound",
         Mutation::ALL.map(|m| m.name()).join(", "),
     );
     std::process::exit(2)
@@ -158,7 +155,7 @@ fn mutation_mode(args: &Args) -> i32 {
     let mut surviving = 0;
     for mutation in Mutation::ALL {
         match run_layer(Layer::Store, args.base_seed, args.cases, args.max_ops, mutation) {
-            Some(d) if d.minimal_len <= MUTANT_SHRINK_BOUND => {
+            Some(d) if d.minimal_len <= mutation.shrink_bound() => {
                 println!(
                     "mutant `{}`: KILLED in case {} — shrunk {} -> {} ops \
                      (seed 0x{:016x})\n  failure: {}\n  minimal: {}",
@@ -176,7 +173,7 @@ fn mutation_mode(args: &Args) -> i32 {
                     "mutant `{}`: detected but NOT shrunk (minimal {} ops > bound {})\n{}",
                     mutation.name(),
                     d.minimal_len,
-                    MUTANT_SHRINK_BOUND,
+                    mutation.shrink_bound(),
                     d.report(),
                 );
                 surviving += 1;

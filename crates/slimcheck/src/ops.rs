@@ -23,6 +23,10 @@ pub enum StoreOp {
     Remove { s: usize, p: usize, o: usize, res: bool },
     SetUnique { s: usize, p: usize, o: usize, res: bool },
     RemoveMatching { s: Option<usize>, p: Option<usize>, o: Option<(usize, bool)> },
+    /// Mid-sequence query probe: select/count/explain one pattern shape
+    /// against the oracle. Having the shape *in the op alphabet* means a
+    /// shrunk counterexample names the failing pattern shape directly.
+    QueryShape { s: Option<usize>, p: Option<usize>, o: Option<(usize, bool)> },
     /// Record the current revision + model snapshot for a later `Undo`.
     Checkpoint,
     /// Undo to the `back`-th most recent checkpoint (modulo stack size).
@@ -49,6 +53,12 @@ pub fn store_op_strategy() -> impl Strategy<Value = StoreOp> {
             proptest::option::of((0..OBJECTS.len(), any::<bool>())),
         )
             .prop_map(|(s, p, o)| StoreOp::RemoveMatching { s, p, o }),
+        (
+            proptest::option::of(0..SUBJECTS.len()),
+            proptest::option::of(0..PROPS.len()),
+            proptest::option::of((0..OBJECTS.len(), any::<bool>())),
+        )
+            .prop_map(|(s, p, o)| StoreOp::QueryShape { s, p, o }),
         Just(StoreOp::Checkpoint),
         (0usize..8).prop_map(|back| StoreOp::Undo { back }),
         Just(StoreOp::Save),

@@ -12,7 +12,7 @@ use crate::Mutation;
 use slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs, Vfs};
 use std::collections::BTreeSet;
 use std::path::Path;
-use trim::{NaiveStore, Revision, Triple, TriplePattern, TripleStore, Value};
+use trim::{NaiveStore, PatternShape, Plan, Revision, Triple, TriplePattern, TripleStore, Value};
 
 const SAVE_PATH: &str = "slimcheck/store.xml";
 const FAULT_OPS: [FaultOp; 3] = [FaultOp::Write, FaultOp::Sync, FaultOp::Rename];
@@ -31,6 +31,11 @@ pub fn check(ops: &[StoreOp], mutation: Mutation) {
         world.verify();
     }
     world.pattern_sweep();
+    // Index invariants run once at the end of the sequence, *after* the
+    // sweep: an index left stale mid-sequence is reported as the query
+    // divergence that observed it (naming the pattern shape), not as an
+    // anonymous structural failure.
+    world.store.check_invariants();
 }
 
 struct World {
@@ -92,6 +97,9 @@ impl World {
             StoreOp::Remove { s, p, o, res } => {
                 let t = self.intern(s, p, o, res);
                 let removed = self.store.remove(t);
+                if removed && mutation == Mutation::SkipPosIndexOnRemove {
+                    self.store.testonly_reinsert_pos(t);
+                }
                 let naive_removed = self.naive.remove_exact(SUBJECTS[s], PROPS[p], OBJECTS[o], res);
                 let oracle_removed = self.oracle.remove(&model_key(s, p, o, res));
                 assert_eq!(removed, naive_removed, "remove: store vs naive on {op:?}");
@@ -124,6 +132,9 @@ impl World {
                 let oracle_removed = before - self.oracle.len();
                 assert_eq!(removed, naive_removed, "remove_matching: store vs naive on {op:?}");
                 assert_eq!(removed, oracle_removed, "remove_matching: store vs oracle on {op:?}");
+            }
+            StoreOp::QueryShape { s, p, o } => {
+                self.query_shape(s, p, o);
             }
             StoreOp::Checkpoint => {
                 self.checkpoints.push((self.store.revision(), self.oracle.clone()));
@@ -283,11 +294,59 @@ impl World {
         }
     }
 
-    /// Per-step agreement: contents, length, and index invariants.
+    /// Probe one query shape mid-sequence: select/count against the
+    /// oracle, and the planner must have picked the table's plan for the
+    /// pattern's shape. Failure messages carry the shape name so a shrunk
+    /// counterexample states which pattern shape went wrong.
+    fn query_shape(&mut self, s: Option<usize>, p: Option<usize>, o: Option<(usize, bool)>) {
+        let pattern = self.pattern(s, p, o);
+        let plan = self.store.explain(&pattern);
+        // Independently derive the expected shape from the op's bound
+        // fields — `explain` must classify the pattern the same way.
+        let expected_shape = match (s.is_some(), p.is_some(), o.is_some()) {
+            (false, false, false) => PatternShape::Unbound,
+            (true, false, false) => PatternShape::S,
+            (false, true, false) => PatternShape::P,
+            (false, false, true) => PatternShape::O,
+            (true, true, false) => PatternShape::Sp,
+            (true, false, true) => PatternShape::So,
+            (false, true, true) => PatternShape::Po,
+            (true, true, true) => PatternShape::Spo,
+        };
+        assert_eq!(
+            plan,
+            Plan::for_shape(expected_shape),
+            "explain chose an off-table plan for shape `{}`",
+            expected_shape.name()
+        );
+        let indexed: BTreeSet<ModelTriple> = self
+            .store
+            .select(&pattern)
+            .into_iter()
+            .map(|t| triple_key(&self.store, &t))
+            .collect();
+        let expected: BTreeSet<ModelTriple> =
+            self.oracle.iter().filter(|t| model_matches(t, s, p, o)).cloned().collect();
+        assert_eq!(
+            indexed,
+            expected,
+            "query shape `{}` ({plan}) diverged from oracle",
+            expected_shape.name()
+        );
+        assert_eq!(
+            self.store.count(&pattern),
+            expected.len(),
+            "count for shape `{}` diverged from oracle",
+            expected_shape.name()
+        );
+    }
+
+    /// Per-step agreement: contents and length. (Index *invariants* run
+    /// once at the end of the sequence — see [`check`] — so a stale index
+    /// surfaces as a shaped query divergence first.)
     fn verify(&self) {
         assert_eq!(self.store.len(), self.oracle.len(), "store len diverged from oracle");
         assert_eq!(self.naive.len(), self.oracle.len(), "naive len diverged from oracle");
-        self.store.check_invariants();
         assert_eq!(contents(&self.store), self.oracle, "store contents diverged from oracle");
         let naive: BTreeSet<ModelTriple> = self
             .naive
@@ -357,5 +416,5 @@ fn triple_key(store: &TripleStore, t: &Triple) -> ModelTriple {
 }
 
 fn contents(store: &TripleStore) -> BTreeSet<ModelTriple> {
-    store.iter().map(|t| triple_key(store, t)).collect()
+    store.iter().map(|t| triple_key(store, &t)).collect()
 }

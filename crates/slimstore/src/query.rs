@@ -114,42 +114,21 @@ impl GenericDmi {
 impl SlimPadDmi {
     /// Find scraps whose label contains `needle` (case-insensitive) —
     /// the pad-level "find scrap" the paper's navigational access lacks.
+    /// Served by the store's literal index: only matching literals are
+    /// examined, not every scrap.
     pub fn find_scraps(&self, needle: &str) -> Vec<ScrapHandle> {
-        let lower = needle.to_lowercase();
-        self.all_scraps()
-            .into_iter()
-            .filter(|s| {
-                self.scrap(*s)
-                    .map(|d| d.name.to_lowercase().contains(&lower))
-                    .unwrap_or(false)
-            })
-            .collect()
+        self.scraps_by_literal("scrapName", needle)
     }
 
     /// Find bundles whose name contains `needle` (case-insensitive).
     pub fn find_bundles(&self, needle: &str) -> Vec<BundleHandle> {
-        let lower = needle.to_lowercase();
-        self.bundles()
-            .into_iter()
-            .filter(|b| {
-                self.bundle(*b)
-                    .map(|d| d.name.to_lowercase().contains(&lower))
-                    .unwrap_or(false)
-            })
-            .collect()
+        self.bundles_by_literal("bundleName", needle)
     }
 
-    /// Scraps annotated with text containing `needle`.
+    /// Scraps annotated with text containing `needle`, found through the
+    /// literal index on annotation values.
     pub fn find_annotated(&self, needle: &str) -> Vec<ScrapHandle> {
-        let lower = needle.to_lowercase();
-        self.all_scraps()
-            .into_iter()
-            .filter(|s| {
-                self.annotations(*s)
-                    .map(|notes| notes.iter().any(|n| n.to_lowercase().contains(&lower)))
-                    .unwrap_or(false)
-            })
-            .collect()
+        self.scraps_by_literal("scrapAnnotation", needle)
     }
 
     /// The bundle that directly contains a scrap, if any.

@@ -141,9 +141,11 @@ impl SlimPadDmi {
         let id = self.store.fresh_resource(construct);
         let c = self.construct_atom(construct);
         let type_p = self.store.atom(vocab::TYPE);
-        self.store.insert(id, type_p, Value::Resource(c));
         let conf_p = self.store.atom(vocab::CONFORMS_TO);
-        self.store.insert(id, conf_p, Value::Resource(c));
+        self.store.insert_all([
+            trim::Triple { subject: id, property: type_p, object: Value::Resource(c) },
+            trim::Triple { subject: id, property: conf_p, object: Value::Resource(c) },
+        ]);
         id
     }
 
@@ -558,9 +560,7 @@ impl SlimPadDmi {
                 !s.starts_with("construct:") && !s.starts_with("connector:") && !s.starts_with("model:")
             })
             .collect();
-        for t in incoming {
-            self.store.remove(t);
-        }
+        self.store.remove_all(incoming);
     }
 
     /// `Delete_SlimPad(SlimPad)` — deletes the pad object only; its
@@ -682,6 +682,37 @@ impl SlimPadDmi {
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// Subjects whose `property` literal contains `needle`
+    /// (case-insensitive), answered by the store's literal index instead
+    /// of a scan over every instance. Sorted by atom and deduplicated —
+    /// the same order `instances_of` produces.
+    fn subjects_with_literal(&self, property: &str, needle: &str) -> Vec<Atom> {
+        let Some(p) = self.store.find_atom(property) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Atom> = self
+            .store
+            .find_literals(needle)
+            .into_iter()
+            .filter(|t| t.property == p)
+            .map(|t| t.subject)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Scrap handles matched through the literal index (handle
+    /// construction lives here, where the handle internals are visible).
+    pub(crate) fn scraps_by_literal(&self, property: &str, needle: &str) -> Vec<ScrapHandle> {
+        self.subjects_with_literal(property, needle).into_iter().map(ScrapHandle).collect()
+    }
+
+    /// Bundle handles matched through the literal index.
+    pub(crate) fn bundles_by_literal(&self, property: &str, needle: &str) -> Vec<BundleHandle> {
+        self.subjects_with_literal(property, needle).into_iter().map(BundleHandle).collect()
     }
 
     // ---- persistence and inspection (Figure 10: save/load) ------------------

@@ -17,6 +17,15 @@ use std::fmt;
 pub struct Atom(u32);
 
 impl Atom {
+    /// The smallest representable atom. Only used as an inclusive
+    /// range-scan sentinel by the permutation indexes; may or may not be
+    /// interned in any given table.
+    pub(crate) const MIN: Atom = Atom(0);
+
+    /// The largest representable atom. Also an inclusive sentinel, so
+    /// scans stay correct even at intern-table capacity.
+    pub(crate) const MAX: Atom = Atom(u32::MAX);
+
     /// The raw index, useful for dense side tables.
     pub fn index(self) -> usize {
         self.0 as usize

@@ -64,6 +64,12 @@ impl Journal {
         self.changes.push(change);
     }
 
+    /// Pre-grow the log for a known-size batch so `insert_all` /
+    /// `remove_all` pay for at most one reallocation.
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.changes.reserve(additional);
+    }
+
     /// The current revision.
     pub fn revision(&self) -> Revision {
         Revision(self.base + self.changes.len() as u64)

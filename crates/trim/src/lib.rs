@@ -20,9 +20,11 @@
 //! * [`AtomTable`] — string interning, so a triple is three machine words
 //!   ([`Triple`] is `Copy`) and repeated resource/property names cost one
 //!   allocation total;
-//! * [`TripleStore`] — a set of triples with three hash indexes (by
-//!   subject, by property, by object) so a selection query with *any*
-//!   combination of fixed fields runs against the most selective index;
+//! * [`TripleStore`] — a set of triples held in three sorted permutation
+//!   indexes (SPO, POS, OSP) so a selection query with *any* combination
+//!   of fixed fields is a single membership probe, prefix range scan, or
+//!   full scan — the [`plan`] module's selection table, exposed through
+//!   [`TripleStore::explain`];
 //! * [`TriplePattern`] selection queries and [`TripleStore::view`]
 //!   reachability views;
 //! * XML persistence ([`TripleStore::to_xml`] / [`TripleStore::from_xml`])
@@ -55,6 +57,7 @@ pub mod error;
 pub mod journal;
 pub mod naive;
 pub mod persist;
+pub mod plan;
 pub mod store;
 pub mod view;
 
@@ -62,4 +65,5 @@ pub use atom::{Atom, AtomTable};
 pub use error::TrimError;
 pub use journal::{Change, Journal, Revision};
 pub use naive::{NaiveStore, NaiveTriple};
+pub use plan::{Access, IndexKind, PatternShape, Plan};
 pub use store::{StoreStats, Triple, TriplePattern, TripleStore, Value};

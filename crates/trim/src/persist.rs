@@ -15,7 +15,7 @@
 //! byte-identical stores serialize to byte-identical files.
 
 use crate::error::TrimError;
-use crate::store::{TripleStore, Value};
+use crate::store::{Triple, TripleStore, Value};
 use slimio::{Integrity, Recovered, StdVfs, Vfs};
 use std::path::Path;
 use xmlkit::{Element, XmlWriter};
@@ -87,6 +87,9 @@ impl TripleStore {
         }
         check_version(&doc.root)?;
         let mut store = TripleStore::new();
+        // Intern while parsing, then rebuild the indexes in one batch:
+        // this is the pad-load hot path.
+        let mut batch: Vec<Triple> = Vec::new();
         for (i, t) in doc.root.elements().enumerate() {
             let (subject, property, object) = read_triple(t, i)?;
             let s = store.try_atom(&subject)?;
@@ -95,8 +98,9 @@ impl TripleStore {
                 ObjectText::Resource(text) => Value::Resource(store.try_atom(&text)?),
                 ObjectText::Literal(text) => Value::Literal(store.try_atom(&text)?),
             };
-            store.insert(s, p, o);
+            batch.push(Triple { subject: s, property: p, object: o });
         }
+        store.insert_all(batch);
         // Loading is initial state, not edits: start with a clean journal
         // so undo cannot unwind the load itself.
         store.journal_mut().truncate();
@@ -226,18 +230,23 @@ impl TripleStore {
     pub fn view_to_xml(&self, root: crate::Atom) -> String {
         let view = self.view(root);
         let mut sub = TripleStore::new();
-        for t in &view.triples {
-            let s = sub.atom(self.resolve(t.subject));
-            let p = sub.atom(self.resolve(t.property));
-            let o = match t.object {
-                Value::Resource(a) => {
-                    let atom = sub.atom(self.resolve(a));
-                    Value::Resource(atom)
-                }
-                Value::Literal(a) => sub.literal_value(self.resolve(a)),
-            };
-            sub.insert(s, p, o);
-        }
+        let batch: Vec<Triple> = view
+            .triples
+            .iter()
+            .map(|t| {
+                let s = sub.atom(self.resolve(t.subject));
+                let p = sub.atom(self.resolve(t.property));
+                let o = match t.object {
+                    Value::Resource(a) => {
+                        let atom = sub.atom(self.resolve(a));
+                        Value::Resource(atom)
+                    }
+                    Value::Literal(a) => sub.literal_value(self.resolve(a)),
+                };
+                Triple { subject: s, property: p, object: o }
+            })
+            .collect();
+        sub.insert_all(batch);
         sub.to_xml()
     }
 
@@ -305,7 +314,7 @@ mod tests {
         assert_eq!(s2.len(), s.len());
         let display = |st: &TripleStore| {
             let mut v: Vec<String> =
-                st.iter().map(|t| st.display_triple(t)).collect();
+                st.iter().map(|t| st.display_triple(&t)).collect();
             v.sort();
             v
         };

@@ -1,0 +1,273 @@
+//! Query planning over the permutation indexes.
+//!
+//! A [`crate::TriplePattern`] fixes any subset of the three triple fields,
+//! giving eight possible *shapes*. Each shape has exactly one cheapest
+//! access path over the store's three permutation indexes (SPO, POS, OSP):
+//! a fully-bound pattern is a membership probe, an unbound pattern is a
+//! full scan, and every partially-bound pattern is a contiguous prefix
+//! range scan on the one permutation whose sort order leads with the bound
+//! fields. [`Plan::for_pattern`] encodes that selection table;
+//! `TripleStore::explain` exposes it so tests (and slimcheck) can assert
+//! *which* index answered a query, not just that the answer was right.
+//!
+//! | shape (bound fields) | plan                    |
+//! |----------------------|-------------------------|
+//! | — (none)             | full scan of SPO        |
+//! | S                    | SPO prefix scan, len 1  |
+//! | S P                  | SPO prefix scan, len 2  |
+//! | P                    | POS prefix scan, len 1  |
+//! | P O                  | POS prefix scan, len 2  |
+//! | O                    | OSP prefix scan, len 1  |
+//! | S O                  | OSP prefix scan, len 2  |
+//! | S P O                | membership probe on SPO |
+//!
+//! Because every bound field is always part of the chosen index prefix, no
+//! plan needs residual filtering: a range scan yields exactly the result
+//! set.
+
+use crate::store::TriplePattern;
+use std::fmt;
+
+/// Which of the three triple fields a pattern fixes. The name lists the
+/// bound fields: `Sp` means subject and property bound, object free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternShape {
+    /// No field bound: matches every triple.
+    Unbound,
+    /// Subject bound.
+    S,
+    /// Property bound.
+    P,
+    /// Object bound.
+    O,
+    /// Subject and property bound.
+    Sp,
+    /// Subject and object bound.
+    So,
+    /// Property and object bound.
+    Po,
+    /// All three fields bound: at most one triple matches.
+    Spo,
+}
+
+impl PatternShape {
+    /// All eight shapes, for exhaustive sweeps in tests and benchmarks.
+    pub const ALL: [PatternShape; 8] = [
+        PatternShape::Unbound,
+        PatternShape::S,
+        PatternShape::P,
+        PatternShape::O,
+        PatternShape::Sp,
+        PatternShape::So,
+        PatternShape::Po,
+        PatternShape::Spo,
+    ];
+
+    /// Classify a pattern by which fields it binds.
+    pub fn of(pattern: &TriplePattern) -> Self {
+        match (
+            pattern.subject.is_some(),
+            pattern.property.is_some(),
+            pattern.object.is_some(),
+        ) {
+            (false, false, false) => PatternShape::Unbound,
+            (true, false, false) => PatternShape::S,
+            (false, true, false) => PatternShape::P,
+            (false, false, true) => PatternShape::O,
+            (true, true, false) => PatternShape::Sp,
+            (true, false, true) => PatternShape::So,
+            (false, true, true) => PatternShape::Po,
+            (true, true, true) => PatternShape::Spo,
+        }
+    }
+
+    /// True if this shape fixes the subject field.
+    pub fn binds_subject(self) -> bool {
+        matches!(
+            self,
+            PatternShape::S | PatternShape::Sp | PatternShape::So | PatternShape::Spo
+        )
+    }
+
+    /// True if this shape fixes the property field.
+    pub fn binds_property(self) -> bool {
+        matches!(
+            self,
+            PatternShape::P | PatternShape::Sp | PatternShape::Po | PatternShape::Spo
+        )
+    }
+
+    /// True if this shape fixes the object field.
+    pub fn binds_object(self) -> bool {
+        matches!(
+            self,
+            PatternShape::O | PatternShape::So | PatternShape::Po | PatternShape::Spo
+        )
+    }
+
+    /// A short stable name (`"sp"`, `"unbound"`, …) for reports and
+    /// shrunk counterexamples.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternShape::Unbound => "unbound",
+            PatternShape::S => "s",
+            PatternShape::P => "p",
+            PatternShape::O => "o",
+            PatternShape::Sp => "sp",
+            PatternShape::So => "so",
+            PatternShape::Po => "po",
+            PatternShape::Spo => "spo",
+        }
+    }
+}
+
+/// One of the three permutation indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Sorted by (subject, property, object).
+    Spo,
+    /// Sorted by (property, object, subject).
+    Pos,
+    /// Sorted by (object, subject, property).
+    Osp,
+}
+
+impl IndexKind {
+    /// The permutation's name in index-order field initials.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::Spo => "SPO",
+            IndexKind::Pos => "POS",
+            IndexKind::Osp => "OSP",
+        }
+    }
+}
+
+/// How a plan touches the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Exact membership test on the SPO index (all fields bound).
+    Probe,
+    /// Contiguous range scan of `index` whose first `prefix_len` sort
+    /// fields are bound by the pattern (1 or 2).
+    Scan { index: IndexKind, prefix_len: u8 },
+    /// Walk the whole SPO index (no field bound).
+    FullScan,
+}
+
+/// The chosen access path for one pattern. Returned by
+/// `TripleStore::explain`; selection, counting, and bulk removal all
+/// execute exactly this plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Plan {
+    /// Which fields the pattern binds.
+    pub shape: PatternShape,
+    /// The access path that serves it.
+    pub access: Access,
+}
+
+impl Plan {
+    /// The plan for a pattern — a pure function of its shape; with one
+    /// optimal index per shape there is nothing to estimate.
+    pub fn for_pattern(pattern: &TriplePattern) -> Self {
+        Self::for_shape(PatternShape::of(pattern))
+    }
+
+    /// The selection table itself (see module docs).
+    pub fn for_shape(shape: PatternShape) -> Self {
+        let access = match shape {
+            PatternShape::Unbound => Access::FullScan,
+            PatternShape::Spo => Access::Probe,
+            PatternShape::S => Access::Scan { index: IndexKind::Spo, prefix_len: 1 },
+            PatternShape::Sp => Access::Scan { index: IndexKind::Spo, prefix_len: 2 },
+            PatternShape::P => Access::Scan { index: IndexKind::Pos, prefix_len: 1 },
+            PatternShape::Po => Access::Scan { index: IndexKind::Pos, prefix_len: 2 },
+            PatternShape::O => Access::Scan { index: IndexKind::Osp, prefix_len: 1 },
+            PatternShape::So => Access::Scan { index: IndexKind::Osp, prefix_len: 2 },
+        };
+        Plan { shape, access }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.access {
+            Access::Probe => write!(f, "probe SPO (shape {})", self.shape.name()),
+            Access::FullScan => write!(f, "full scan (shape {})", self.shape.name()),
+            Access::Scan { index, prefix_len } => write!(
+                f,
+                "{} prefix scan, {prefix_len} bound (shape {})",
+                index.name(),
+                self.shape.name()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TripleStore;
+
+    /// The full selection table, shape by shape.
+    #[test]
+    fn selection_table_is_exhaustive_and_correct() {
+        use Access::*;
+        use IndexKind::*;
+        let expected = [
+            (PatternShape::Unbound, FullScan),
+            (PatternShape::S, Scan { index: Spo, prefix_len: 1 }),
+            (PatternShape::P, Scan { index: Pos, prefix_len: 1 }),
+            (PatternShape::O, Scan { index: Osp, prefix_len: 1 }),
+            (PatternShape::Sp, Scan { index: Spo, prefix_len: 2 }),
+            (PatternShape::So, Scan { index: Osp, prefix_len: 2 }),
+            (PatternShape::Po, Scan { index: Pos, prefix_len: 2 }),
+            (PatternShape::Spo, Probe),
+        ];
+        for (shape, access) in expected {
+            let plan = Plan::for_shape(shape);
+            assert_eq!(plan.shape, shape);
+            assert_eq!(plan.access, access, "wrong access for shape {}", shape.name());
+        }
+        assert_eq!(PatternShape::ALL.len(), 8);
+    }
+
+    #[test]
+    fn shape_of_pattern_reads_bound_fields() {
+        let mut s = TripleStore::new();
+        let a = s.atom("a");
+        let v = s.literal_value("v");
+        let base = TripleStore::pattern();
+        assert_eq!(PatternShape::of(&base), PatternShape::Unbound);
+        assert_eq!(PatternShape::of(&base.with_subject(a)), PatternShape::S);
+        assert_eq!(PatternShape::of(&base.with_property(a)), PatternShape::P);
+        assert_eq!(PatternShape::of(&base.with_object(v)), PatternShape::O);
+        assert_eq!(
+            PatternShape::of(&base.with_subject(a).with_property(a)),
+            PatternShape::Sp
+        );
+        assert_eq!(
+            PatternShape::of(&base.with_subject(a).with_object(v)),
+            PatternShape::So
+        );
+        assert_eq!(
+            PatternShape::of(&base.with_property(a).with_object(v)),
+            PatternShape::Po
+        );
+        assert_eq!(
+            PatternShape::of(&base.with_subject(a).with_property(a).with_object(v)),
+            PatternShape::Spo
+        );
+    }
+
+    #[test]
+    fn plans_render_for_diagnostics() {
+        let plan = Plan::for_shape(PatternShape::Po);
+        assert_eq!(plan.to_string(), "POS prefix scan, 2 bound (shape po)");
+        assert_eq!(Plan::for_shape(PatternShape::Spo).to_string(), "probe SPO (shape spo)");
+        assert_eq!(
+            Plan::for_shape(PatternShape::Unbound).to_string(),
+            "full scan (shape unbound)"
+        );
+    }
+}

@@ -1,11 +1,23 @@
 //! The indexed triple store: insertion, removal, and selection queries.
+//!
+//! Storage is three sorted permutation indexes — SPO, POS, OSP — each
+//! holding every triple, reordered so that any combination of bound
+//! pattern fields is a contiguous prefix range of exactly one index (see
+//! [`crate::plan`] for the selection table). A fourth, refcounted index
+//! tracks which literal atoms are in use, backing
+//! [`TripleStore::find_literals`].
 
 use crate::atom::{Atom, AtomTable};
 use crate::journal::{Change, Journal, Revision};
-use std::collections::{HashMap, HashSet};
+use crate::plan::{Access, IndexKind, Plan};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The object position of a triple: either another resource (forming the
 /// graph edges reachability views follow) or a literal string.
+///
+/// The derived ordering (resources before literals, then by atom) is what
+/// the permutation indexes sort by; [`VALUE_MIN`]/[`VALUE_MAX`] below are
+/// its inclusive extremes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// A reference to a resource; traversed by views.
@@ -13,6 +25,11 @@ pub enum Value {
     /// An opaque literal; never traversed.
     Literal(Atom),
 }
+
+/// Inclusive lower bound over all [`Value`]s, for range-scan sentinels.
+const VALUE_MIN: Value = Value::Resource(Atom::MIN);
+/// Inclusive upper bound over all [`Value`]s, for range-scan sentinels.
+const VALUE_MAX: Value = Value::Literal(Atom::MAX);
 
 impl Value {
     /// The underlying atom regardless of kind.
@@ -92,9 +109,9 @@ pub struct StoreStats {
     pub atoms: usize,
     /// Total bytes of interned string content.
     pub atom_string_bytes: usize,
-    /// Estimated resident bytes: triple copies in the membership set and
-    /// the three indexes, plus interned strings and per-atom bookkeeping.
-    /// An estimate for comparative experiments, not an allocator audit.
+    /// Estimated resident bytes: triple copies in the three permutation
+    /// indexes, plus interned strings and per-atom bookkeeping. An
+    /// estimate for comparative experiments, not an allocator audit.
     pub estimated_bytes: usize,
     /// Changes recorded in the journal since creation (or last clear).
     pub journal_len: usize,
@@ -104,20 +121,38 @@ pub struct StoreStats {
 ///
 /// Invariants, enforced by construction and checked by
 /// [`TripleStore::check_invariants`] in tests:
-/// * the membership set and all three indexes contain exactly the same
-///   triples;
+/// * the three permutation indexes contain exactly the same triples (SPO
+///   is the authoritative membership set);
+/// * the literal index refcounts exactly the literal objects present;
 /// * every atom appearing in a triple resolves in the atom table;
 /// * the journal replays to the current contents.
 #[derive(Debug, Default)]
 pub struct TripleStore {
     atoms: AtomTable,
-    /// Membership set: the authoritative contents.
-    all: HashSet<Triple>,
-    by_subject: HashMap<Atom, HashSet<Triple>>,
-    by_property: HashMap<Atom, HashSet<Triple>>,
-    by_object: HashMap<Value, HashSet<Triple>>,
+    /// (subject, property, object) permutation — also the membership set
+    /// and the store's canonical iteration order.
+    spo: BTreeSet<(Atom, Atom, Value)>,
+    /// (property, object, subject) permutation.
+    pos: BTreeSet<(Atom, Value, Atom)>,
+    /// (object, subject, property) permutation.
+    osp: BTreeSet<(Value, Atom, Atom)>,
+    /// Literal atoms currently used as objects → number of carrying
+    /// triples. Keys ascend in atom (= first-interning) order.
+    literals: BTreeMap<Atom, u32>,
     journal: Journal,
     fresh_counter: u64,
+}
+
+fn spo_key(t: Triple) -> (Atom, Atom, Value) {
+    (t.subject, t.property, t.object)
+}
+
+fn pos_key(t: Triple) -> (Atom, Value, Atom) {
+    (t.property, t.object, t.subject)
+}
+
+fn osp_key(t: Triple) -> (Value, Atom, Atom) {
+    (t.object, t.subject, t.property)
 }
 
 impl TripleStore {
@@ -195,19 +230,73 @@ impl TripleStore {
         &self.atoms
     }
 
+    // ---- index maintenance -------------------------------------------------
+
+    /// Add `t` to every index, without journaling. Returns `true` if it
+    /// was new.
+    fn link(&mut self, t: Triple) -> bool {
+        if !self.spo.insert(spo_key(t)) {
+            return false;
+        }
+        self.pos.insert(pos_key(t));
+        self.osp.insert(osp_key(t));
+        if let Value::Literal(a) = t.object {
+            *self.literals.entry(a).or_insert(0) += 1;
+        }
+        true
+    }
+
+    /// Drop `t` from every index, without journaling. Returns `true` if
+    /// it was present.
+    fn unlink(&mut self, t: Triple) -> bool {
+        if !self.spo.remove(&spo_key(t)) {
+            return false;
+        }
+        self.pos.remove(&pos_key(t));
+        self.osp.remove(&osp_key(t));
+        if let Value::Literal(a) = t.object {
+            if let Some(n) = self.literals.get_mut(&a) {
+                *n -= 1;
+                if *n == 0 {
+                    self.literals.remove(&a);
+                }
+            }
+        }
+        true
+    }
+
     // ---- mutation ----------------------------------------------------------
 
     /// Insert a triple. Returns `true` if it was not already present.
     pub fn insert(&mut self, subject: Atom, property: Atom, object: Value) -> bool {
         let t = Triple { subject, property, object };
-        if !self.all.insert(t) {
+        if !self.link(t) {
             return false;
         }
-        self.by_subject.entry(subject).or_default().insert(t);
-        self.by_property.entry(property).or_default().insert(t);
-        self.by_object.entry(object).or_default().insert(t);
         self.journal.record(Change::Insert(t));
         true
+    }
+
+    /// Insert a batch of triples, amortizing journal growth over the
+    /// whole batch. Equivalent to calling [`TripleStore::insert`] per
+    /// triple (each new triple is journaled individually, so `undo_to`
+    /// can still land between any two of them); returns how many were
+    /// actually new. This is the write path DMI structural operations
+    /// and pad load use.
+    pub fn insert_all<I>(&mut self, triples: I) -> usize
+    where
+        I: IntoIterator<Item = Triple>,
+    {
+        let iter = triples.into_iter();
+        self.journal.reserve(iter.size_hint().0);
+        let mut added = 0;
+        for t in iter {
+            if self.link(t) {
+                self.journal.record(Change::Insert(t));
+                added += 1;
+            }
+        }
+        added
     }
 
     /// Convenience: intern all three fields and insert, with the object as
@@ -232,46 +321,54 @@ impl TripleStore {
 
     /// Remove a triple. Returns `true` if it was present.
     pub fn remove(&mut self, t: Triple) -> bool {
-        if !self.all.remove(&t) {
+        if !self.unlink(t) {
             return false;
         }
-        Self::index_remove(&mut self.by_subject, t.subject, &t);
-        Self::index_remove(&mut self.by_property, t.property, &t);
-        Self::index_remove(&mut self.by_object, t.object, &t);
         self.journal.record(Change::Remove(t));
         true
     }
 
-    /// Drop `t` from the subject index only, leaving membership and the
-    /// other indexes untouched — i.e. deliberately corrupt the store.
+    /// Remove a batch of triples; the removal-side twin of
+    /// [`TripleStore::insert_all`]. Returns how many were present.
+    pub fn remove_all<I>(&mut self, triples: I) -> usize
+    where
+        I: IntoIterator<Item = Triple>,
+    {
+        let iter = triples.into_iter();
+        self.journal.reserve(iter.size_hint().0);
+        let mut removed = 0;
+        for t in iter {
+            if self.unlink(t) {
+                self.journal.record(Change::Remove(t));
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Drop `t` from the subject-led (SPO) index only, leaving the other
+    /// permutations untouched — i.e. deliberately corrupt the store.
     /// Exists solely so mutation-testing harnesses (slimcheck `--mutate`)
     /// can prove they detect a skipped index-maintenance bug; never call
     /// this from production code.
     #[doc(hidden)]
     pub fn testonly_unindex_subject(&mut self, t: Triple) {
-        Self::index_remove(&mut self.by_subject, t.subject, &t);
+        self.spo.remove(&spo_key(t));
     }
 
-    fn index_remove<K: std::hash::Hash + Eq>(
-        index: &mut HashMap<K, HashSet<Triple>>,
-        key: K,
-        t: &Triple,
-    ) {
-        if let Some(set) = index.get_mut(&key) {
-            set.remove(t);
-            if set.is_empty() {
-                index.remove(&key);
-            }
-        }
+    /// Re-add `t` to the POS index after a remove, simulating a remove
+    /// path that forgot POS maintenance: property-bound queries then see
+    /// a phantom triple. Mutation-testing hook (slimcheck `--mutate`);
+    /// never call this from production code.
+    #[doc(hidden)]
+    pub fn testonly_reinsert_pos(&mut self, t: Triple) {
+        self.pos.insert(pos_key(t));
     }
 
     /// Remove every triple matching the pattern; returns how many went.
     pub fn remove_matching(&mut self, pattern: &TriplePattern) -> usize {
         let victims = self.select(pattern);
-        for t in &victims {
-            self.remove(*t);
-        }
-        victims.len()
+        self.remove_all(victims)
     }
 
     /// Replace the object of the unique triple `(subject, property, _)`.
@@ -296,47 +393,121 @@ impl TripleStore {
 
     /// True if the exact triple is present.
     pub fn contains(&self, t: &Triple) -> bool {
-        self.all.contains(t)
+        self.spo.contains(&spo_key(*t))
     }
 
     /// Number of stored triples.
     pub fn len(&self) -> usize {
-        self.all.len()
+        self.spo.len()
     }
 
     /// True if the store holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.all.is_empty()
+        self.spo.is_empty()
     }
 
-    /// Iterate all triples (arbitrary order).
-    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
-        self.all.iter()
+    /// Iterate all triples in (subject, property, object) sorted order —
+    /// the SPO index order, which is also [`Triple`]'s derived `Ord`.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&(subject, property, object)| Triple {
+            subject,
+            property,
+            object,
+        })
     }
 
-    /// Selection query: all triples matching the pattern, using the most
-    /// selective available index. Result order is unspecified.
+    /// The access plan [`TripleStore::select`], [`TripleStore::count`],
+    /// and [`TripleStore::remove_matching`] will execute for `pattern` —
+    /// a pure function of the pattern's shape (see [`crate::plan`]).
+    /// Lets tests and slimcheck assert *which* index answers a query.
+    pub fn explain(&self, pattern: &TriplePattern) -> Plan {
+        Plan::for_pattern(pattern)
+    }
+
+    /// Selection query: all triples matching the pattern, answered by the
+    /// one index whose sort order leads with the bound fields (see
+    /// [`TripleStore::explain`]). No residual filtering is ever needed.
+    ///
+    /// Result order is deterministic: the chosen index's sort order —
+    /// (s, p, o) for subject-led scans, full scans, and probes;
+    /// (p, o, s) for property-led scans; (o, s, p) for object-led scans.
+    /// Use [`TripleStore::select_sorted`] for canonical (s, p, o) order
+    /// regardless of shape.
     pub fn select(&self, pattern: &TriplePattern) -> Vec<Triple> {
-        self.candidates(pattern)
-            .map(|set| set.iter().filter(|t| pattern.matches(t)).copied().collect())
-            .unwrap_or_else(|| {
-                self.all.iter().filter(|t| pattern.matches(t)).copied().collect()
-            })
+        let out = self.execute(pattern, |iter| iter.collect::<Vec<_>>());
+        debug_assert!(out.iter().all(|t| pattern.matches(t)));
+        out
     }
 
-    /// Selection query returning results in a deterministic (sorted)
-    /// order, for display and golden tests.
+    /// Selection query returning results in canonical (s, p, o) sorted
+    /// order regardless of pattern shape, for display and golden tests.
     pub fn select_sorted(&self, pattern: &TriplePattern) -> Vec<Triple> {
         let mut v = self.select(pattern);
         v.sort_unstable();
         v
     }
 
-    /// Count matches without materializing them.
+    /// Count matches without materializing them. Executes the same plan
+    /// as [`TripleStore::select`].
     pub fn count(&self, pattern: &TriplePattern) -> usize {
-        self.candidates(pattern)
-            .map(|set| set.iter().filter(|t| pattern.matches(t)).count())
-            .unwrap_or_else(|| self.all.iter().filter(|t| pattern.matches(t)).count())
+        self.execute(pattern, |iter| iter.count())
+    }
+
+    /// Run `consume` over the pattern's matches, produced by the plan
+    /// from [`crate::plan::Plan::for_pattern`].
+    fn execute<R>(
+        &self,
+        pattern: &TriplePattern,
+        consume: impl FnOnce(&mut dyn Iterator<Item = Triple>) -> R,
+    ) -> R {
+        match Plan::for_pattern(pattern).access {
+            Access::Probe => {
+                let t = Triple {
+                    subject: pattern.subject.expect("probe binds subject"),
+                    property: pattern.property.expect("probe binds property"),
+                    object: pattern.object.expect("probe binds object"),
+                };
+                let mut iter = self.contains(&t).then_some(t).into_iter();
+                consume(&mut iter)
+            }
+            Access::FullScan => consume(&mut self.iter()),
+            Access::Scan { index: IndexKind::Spo, .. } => {
+                let s = pattern.subject.expect("SPO scan binds subject");
+                let (p_lo, p_hi) = match pattern.property {
+                    Some(p) => (p, p),
+                    None => (Atom::MIN, Atom::MAX),
+                };
+                let mut iter = self
+                    .spo
+                    .range((s, p_lo, VALUE_MIN)..=(s, p_hi, VALUE_MAX))
+                    .map(|&(subject, property, object)| Triple { subject, property, object });
+                consume(&mut iter)
+            }
+            Access::Scan { index: IndexKind::Pos, .. } => {
+                let p = pattern.property.expect("POS scan binds property");
+                let (o_lo, o_hi) = match pattern.object {
+                    Some(o) => (o, o),
+                    None => (VALUE_MIN, VALUE_MAX),
+                };
+                let mut iter = self
+                    .pos
+                    .range((p, o_lo, Atom::MIN)..=(p, o_hi, Atom::MAX))
+                    .map(|&(property, object, subject)| Triple { subject, property, object });
+                consume(&mut iter)
+            }
+            Access::Scan { index: IndexKind::Osp, .. } => {
+                let o = pattern.object.expect("OSP scan binds object");
+                let (s_lo, s_hi) = match pattern.subject {
+                    Some(s) => (s, s),
+                    None => (Atom::MIN, Atom::MAX),
+                };
+                let mut iter = self
+                    .osp
+                    .range((o, s_lo, Atom::MIN)..=(o, s_hi, Atom::MAX))
+                    .map(|&(object, subject, property)| Triple { subject, property, object });
+                consume(&mut iter)
+            }
+        }
     }
 
     /// The single triple matching `(subject, property, _)`, if exactly one
@@ -344,12 +515,13 @@ impl TripleStore {
     pub fn get_unique(&self, subject: Atom, property: Atom) -> Option<Triple> {
         let pattern =
             TriplePattern::default().with_subject(subject).with_property(property);
-        let mut hits = self.select(&pattern).into_iter();
-        let first = hits.next()?;
-        if hits.next().is_some() {
-            return None;
-        }
-        Some(first)
+        self.execute(&pattern, |iter| {
+            let first = iter.next()?;
+            if iter.next().is_some() {
+                return None;
+            }
+            Some(first)
+        })
     }
 
     /// The object of the unique `(subject, property, _)` triple.
@@ -358,43 +530,35 @@ impl TripleStore {
     }
 
     /// Full-text-lite: every triple whose *literal* object contains
-    /// `needle` (case-insensitive). A scan over the object index keys —
-    /// each distinct literal string is tested once no matter how many
-    /// triples carry it. Results sorted for determinism.
+    /// `needle` (case-insensitive). The lowercased needle is built once,
+    /// off the scan path, and each distinct literal string is tested once
+    /// no matter how many triples carry it — candidates come from the
+    /// refcounted literal index, matches from an OSP prefix scan.
+    ///
+    /// Result order is deterministic: matching literals in first-interning
+    /// order (the order each literal string first entered the store, which
+    /// for a freshly built store is insertion order), and within one
+    /// literal by (subject, property) atom order — again first-interning
+    /// order, not lexicographic. Tested by
+    /// `find_literals_returns_interning_order`.
     pub fn find_literals(&self, needle: &str) -> Vec<Triple> {
         let lower = needle.to_lowercase();
         let mut out = Vec::new();
-        for (value, triples) in &self.by_object {
-            if let Value::Literal(a) = value {
-                if self.atoms.resolve(*a).to_lowercase().contains(&lower) {
-                    out.extend(triples.iter().copied());
-                }
+        for &lit in self.literals.keys() {
+            if self.atoms.resolve(lit).to_lowercase().contains(&lower) {
+                let o = Value::Literal(lit);
+                out.extend(
+                    self.osp
+                        .range((o, Atom::MIN, Atom::MIN)..=(o, Atom::MAX, Atom::MAX))
+                        .map(|&(object, subject, property)| Triple {
+                            subject,
+                            property,
+                            object,
+                        }),
+                );
             }
         }
-        out.sort_unstable();
         out
-    }
-
-    /// Pick the smallest candidate set among the indexes the pattern can
-    /// use. `None` means no field is fixed (full scan).
-    fn candidates(&self, pattern: &TriplePattern) -> Option<&HashSet<Triple>> {
-        static EMPTY: std::sync::OnceLock<HashSet<Triple>> = std::sync::OnceLock::new();
-        let empty = EMPTY.get_or_init(HashSet::new);
-        let mut best: Option<&HashSet<Triple>> = None;
-        // A fixed field with no index entry means zero matches, so the
-        // shared empty set is the (optimal) candidate set in that case.
-        let options = [
-            pattern.subject.map(|s| self.by_subject.get(&s).unwrap_or(empty)),
-            pattern.property.map(|p| self.by_property.get(&p).unwrap_or(empty)),
-            pattern.object.map(|o| self.by_object.get(&o).unwrap_or(empty)),
-        ];
-        for set in options.into_iter().flatten() {
-            match best {
-                Some(b) if b.len() <= set.len() => {}
-                _ => best = Some(set),
-            }
-        }
-        best
     }
 
     // ---- journal ---------------------------------------------------------
@@ -417,27 +581,21 @@ impl TripleStore {
 
     /// Undo all changes made after `rev`, restoring the store contents at
     /// that revision. The undone entries are removed from the journal.
+    /// All four indexes are maintained through the rollback.
     ///
     /// # Errors
     ///
-    /// [`crate::TrimError::UndoPastStart`] if `rev` is newer than the
-    /// current revision... cannot happen; if `rev` predates the journal's
-    /// retained history an error is returned.
+    /// [`crate::TrimError::UndoPastStart`] if `rev` predates the
+    /// journal's retained history.
     pub fn undo_to(&mut self, rev: Revision) -> Result<(), crate::TrimError> {
         let undone = self.journal.take_since(rev)?;
         for change in undone.into_iter().rev() {
             match change {
                 Change::Insert(t) => {
-                    self.all.remove(&t);
-                    Self::index_remove(&mut self.by_subject, t.subject, &t);
-                    Self::index_remove(&mut self.by_property, t.property, &t);
-                    Self::index_remove(&mut self.by_object, t.object, &t);
+                    self.unlink(t);
                 }
                 Change::Remove(t) => {
-                    self.all.insert(t);
-                    self.by_subject.entry(t.subject).or_default().insert(t);
-                    self.by_property.entry(t.property).or_default().insert(t);
-                    self.by_object.entry(t.object).or_default().insert(t);
+                    self.link(t);
                 }
             }
         }
@@ -449,12 +607,13 @@ impl TripleStore {
     /// Current size statistics.
     pub fn stats(&self) -> StoreStats {
         use std::mem::size_of;
-        let triple_copies = self.all.len() * 4; // membership + three indexes
+        let triple_copies = self.spo.len() * 3; // three permutation indexes
         let estimated_bytes = triple_copies * size_of::<Triple>()
+            + self.literals.len() * (size_of::<Atom>() + size_of::<u32>())
             + self.atoms.string_bytes()
             + self.atoms.len() * (size_of::<Box<str>>() + size_of::<Atom>());
         StoreStats {
-            triples: self.all.len(),
+            triples: self.spo.len(),
             atoms: self.atoms.len(),
             atom_string_bytes: self.atoms.string_bytes(),
             estimated_bytes,
@@ -468,27 +627,25 @@ impl TripleStore {
     ///
     /// Panics with a description of the first violated invariant.
     pub fn check_invariants(&self) {
-        let mut indexed: HashSet<Triple> = HashSet::new();
-        for set in self.by_subject.values() {
-            indexed.extend(set.iter().copied());
-        }
-        assert_eq!(indexed, self.all, "subject index disagrees with membership set");
-        let mut indexed: HashSet<Triple> = HashSet::new();
-        for set in self.by_property.values() {
-            indexed.extend(set.iter().copied());
-        }
-        assert_eq!(indexed, self.all, "property index disagrees with membership set");
-        let mut indexed: HashSet<Triple> = HashSet::new();
-        for set in self.by_object.values() {
-            indexed.extend(set.iter().copied());
-        }
-        assert_eq!(indexed, self.all, "object index disagrees with membership set");
-        for t in &self.all {
+        assert_eq!(self.pos.len(), self.spo.len(), "POS index size disagrees with SPO");
+        assert_eq!(self.osp.len(), self.spo.len(), "OSP index size disagrees with SPO");
+        let mut literal_counts: BTreeMap<Atom, u32> = BTreeMap::new();
+        for &(s, p, o) in &self.spo {
+            // Equal sizes plus SPO ⊆ POS/OSP makes the three indexes equal.
+            assert!(self.pos.contains(&(p, o, s)), "triple missing from POS index");
+            assert!(self.osp.contains(&(o, s, p)), "triple missing from OSP index");
+            if let Value::Literal(a) = o {
+                *literal_counts.entry(a).or_insert(0) += 1;
+            }
             // resolve() panics on foreign atoms; reaching it at all is the check
-            let _ = self.atoms.resolve(t.subject);
-            let _ = self.atoms.resolve(t.property);
-            let _ = self.atoms.resolve(t.object.atom());
+            let _ = self.atoms.resolve(s);
+            let _ = self.atoms.resolve(p);
+            let _ = self.atoms.resolve(o.atom());
         }
+        assert_eq!(
+            literal_counts, self.literals,
+            "literal index refcounts disagree with contents"
+        );
     }
 
     /// Render a triple as `subject --property--> value` for diagnostics.
@@ -509,6 +666,7 @@ impl TripleStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::PatternShape;
 
     fn store_with_bundle() -> (TripleStore, Atom, Atom) {
         let mut s = TripleStore::new();
@@ -593,6 +751,99 @@ mod tests {
     }
 
     #[test]
+    fn explain_matches_the_selection_table() {
+        let (s, b1, b2) = store_with_bundle();
+        let name = s.find_atom("bundleName").unwrap();
+        let obj = Value::Resource(b2);
+        let cases = [
+            (TriplePattern::default(), PatternShape::Unbound),
+            (TriplePattern::default().with_subject(b1), PatternShape::S),
+            (TriplePattern::default().with_property(name), PatternShape::P),
+            (TriplePattern::default().with_object(obj), PatternShape::O),
+            (TriplePattern::default().with_subject(b1).with_property(name), PatternShape::Sp),
+            (TriplePattern::default().with_subject(b1).with_object(obj), PatternShape::So),
+            (TriplePattern::default().with_property(name).with_object(obj), PatternShape::Po),
+            (
+                TriplePattern::default().with_subject(b1).with_property(name).with_object(obj),
+                PatternShape::Spo,
+            ),
+        ];
+        for (pattern, shape) in cases {
+            let plan = s.explain(&pattern);
+            assert_eq!(plan.shape, shape);
+            assert_eq!(plan, Plan::for_shape(shape), "explain must execute the table");
+        }
+    }
+
+    #[test]
+    fn select_returns_index_order() {
+        let mut s = TripleStore::new();
+        // Interleave inserts so insertion order differs from index order.
+        s.insert_literal("s2", "p1", "b");
+        s.insert_literal("s1", "p2", "a");
+        s.insert_literal("s1", "p1", "c");
+        let p1 = s.find_atom("p1").unwrap();
+        // Property-led scan: (p, o, s) order.
+        let hits = s.select(&TriplePattern::default().with_property(p1));
+        let rendered: Vec<String> =
+            hits.iter().map(|t| s.display_triple(t)).collect();
+        assert_eq!(rendered, vec![r#"s2 --p1--> "b""#, r#"s1 --p1--> "c""#]);
+        // Full scan: (s, p, o) order, same as iter() and Triple's Ord.
+        let all = s.select(&TriplePattern::default());
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(all, sorted);
+        assert_eq!(all, s.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_all_batches_and_reports_new_triples() {
+        let mut s = TripleStore::new();
+        let a = s.atom("a");
+        let p = s.atom("p");
+        let v1 = s.literal_value("1");
+        let v2 = s.literal_value("2");
+        let batch = vec![
+            Triple { subject: a, property: p, object: v1 },
+            Triple { subject: a, property: p, object: v2 },
+            Triple { subject: a, property: p, object: v1 }, // duplicate in batch
+        ];
+        assert_eq!(s.insert_all(batch.clone()), 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.insert_all(batch), 0, "re-inserting is a no-op");
+        assert_eq!(s.journal().len(), 2, "only new triples are journaled");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn remove_all_is_the_batch_twin_of_remove() {
+        let (mut s, b1, _) = store_with_bundle();
+        let victims = s.select(&TriplePattern::default().with_subject(b1));
+        assert_eq!(s.remove_all(victims.clone()), 2);
+        assert_eq!(s.remove_all(victims), 0);
+        assert_eq!(s.len(), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn batch_insert_then_undo_restores_cleanly() {
+        let (mut s, b1, _) = store_with_bundle();
+        let rev = s.revision();
+        let extra = s.atom("extra");
+        let vals: Vec<Triple> = (0..10)
+            .map(|i| {
+                let v = s.literal_value(&format!("v{i}"));
+                Triple { subject: b1, property: extra, object: v }
+            })
+            .collect();
+        assert_eq!(s.insert_all(vals), 10);
+        assert_eq!(s.len(), 13);
+        s.undo_to(rev).unwrap();
+        assert_eq!(s.len(), 3);
+        s.check_invariants();
+    }
+
+    #[test]
     fn set_unique_replaces_value() {
         let (mut s, b1, _) = store_with_bundle();
         let name = s.atom("bundleName");
@@ -640,16 +891,16 @@ mod tests {
     fn undo_restores_prior_contents() {
         let (mut s, b1, _) = store_with_bundle();
         let rev = s.revision();
-        let before: std::collections::BTreeSet<_> = s.iter().copied().collect();
+        let before: std::collections::BTreeSet<_> = s.iter().collect();
         let extra = s.atom("extra");
         let v = s.literal_value("x");
         s.insert(b1, extra, v);
         let name = s.find_atom("bundleName").unwrap();
         let old = s.get_unique(b1, name).unwrap();
         s.remove(old);
-        assert_ne!(before, s.iter().copied().collect());
+        assert_ne!(before, s.iter().collect());
         s.undo_to(rev).unwrap();
-        let after: std::collections::BTreeSet<_> = s.iter().copied().collect();
+        let after: std::collections::BTreeSet<_> = s.iter().collect();
         assert_eq!(before, after);
         s.check_invariants();
     }
@@ -691,6 +942,37 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert!(s.find_literals("digoxin").is_empty());
         assert_eq!(s.find_literals("").len(), 3, "empty needle matches all literals");
+    }
+
+    #[test]
+    fn find_literals_returns_interning_order() {
+        let mut s = TripleStore::new();
+        // Literals intern in this order: "beta", "alpha", "betamax".
+        s.insert_literal("s3", "name", "beta");
+        s.insert_literal("s1", "name", "alpha");
+        s.insert_literal("s2", "name", "betamax");
+        s.insert_literal("s1", "alias", "beta"); // second carrier of "beta"
+        let hits = s.find_literals("beta");
+        let rendered: Vec<String> = hits.iter().map(|t| s.display_triple(t)).collect();
+        // Matching literals in first-interning order ("beta" before
+        // "betamax"); within one literal, (subject, property) atom order —
+        // "s3" interned before "s1", so it leads.
+        assert_eq!(
+            rendered,
+            vec![
+                r#"s3 --name--> "beta""#,
+                r#"s1 --alias--> "beta""#,
+                r#"s2 --name--> "betamax""#,
+            ]
+        );
+        // Removing the last carrier of a literal drops it from the
+        // candidate set entirely.
+        let t = hits[0];
+        s.remove(t);
+        let t = s.find_literals("beta")[0];
+        s.remove(t);
+        assert_eq!(s.find_literals("beta").len(), 1, "only betamax remains");
+        s.check_invariants();
     }
 
     #[test]

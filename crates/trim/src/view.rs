@@ -39,8 +39,9 @@ impl TripleStore {
     ///
     /// Traversal follows `Value::Resource` objects only (literals are
     /// leaves), visits each resource once (cycles are safe), and expands
-    /// each subject's triples in sorted order so the output is
-    /// deterministic.
+    /// each subject's triples in the SPO index's (property, object)
+    /// order — subject-bound selection is a sorted prefix scan, so the
+    /// output is deterministic without re-sorting.
     pub fn view(&self, root: Atom) -> View {
         let mut visited: HashSet<Atom> = HashSet::new();
         let mut frontier = vec![root];
@@ -49,8 +50,7 @@ impl TripleStore {
         let mut resources = Vec::new();
         while let Some(subject) = frontier.pop() {
             resources.push(subject);
-            let mut out = self.select(&TriplePattern::default().with_subject(subject));
-            out.sort_unstable();
+            let out = self.select(&TriplePattern::default().with_subject(subject));
             for t in out {
                 if let Value::Resource(next) = t.object {
                     if visited.insert(next) {

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
-use trim::{NaiveStore, Revision, TriplePattern, TripleStore, Value};
+use trim::{NaiveStore, PatternShape, Plan, Revision, TriplePattern, TripleStore, Value};
 
 /// A small vocabulary so operations collide often.
 const SUBJECTS: &[&str] = &["b1", "b2", "s1", "s2", "pad"];
@@ -109,6 +109,27 @@ fn apply(store: &mut TripleStore, naive: &mut NaiveStore, op: &Op) {
     }
 }
 
+/// Replay one op into a naive store alone — used to reconstruct the
+/// naive baseline at an undo point (NaiveStore has no journal).
+fn apply_naive(naive: &mut NaiveStore, op: &Op) {
+    match *op {
+        Op::Insert { s, p, o, res } => {
+            naive.insert(SUBJECTS[s], PROPS[p], OBJECTS[o], res);
+        }
+        Op::Remove { s, p, o, res } => {
+            naive.remove_exact(SUBJECTS[s], PROPS[p], OBJECTS[o], res);
+        }
+        Op::SetUnique { s, p, o, res } => naive.set_unique(SUBJECTS[s], PROPS[p], OBJECTS[o], res),
+        Op::RemoveMatching { s, p, o } => {
+            naive.remove_matching(
+                s.map(|i| SUBJECTS[i]),
+                p.map(|i| PROPS[i]),
+                o.map(|(i, res)| (OBJECTS[i], res)),
+            );
+        }
+    }
+}
+
 type ModelTriple = (String, String, String, bool);
 
 fn store_contents(store: &TripleStore) -> BTreeSet<ModelTriple> {
@@ -131,6 +152,60 @@ fn naive_contents(naive: &NaiveStore) -> BTreeSet<ModelTriple> {
         .into_iter()
         .map(|t| (t.subject.clone(), t.property.clone(), t.object.clone(), t.object_is_resource))
         .collect()
+}
+
+/// Query both stores with every one of the 8 pattern shapes over the same
+/// vocabulary point, asserting the planner's result set, count, and
+/// `explain()` index choice against the naive scan.
+fn sweep_all_shapes(
+    store: &mut TripleStore,
+    naive: &NaiveStore,
+    qs: usize,
+    qp: usize,
+    qo: (usize, bool),
+) {
+    for shape in PatternShape::ALL {
+        let s = shape.binds_subject().then_some(qs);
+        let p = shape.binds_property().then_some(qp);
+        let o = shape.binds_object().then_some(qo);
+        let pattern = pattern_for(store, s, p, o);
+        let plan = store.explain(&pattern);
+        assert_eq!(plan.shape, shape, "pattern classified under the wrong shape");
+        assert_eq!(
+            plan,
+            Plan::for_shape(shape),
+            "explain() deviated from the selection table for shape {}",
+            shape.name()
+        );
+        let indexed: BTreeSet<ModelTriple> = store
+            .select(&pattern)
+            .into_iter()
+            .map(|t| {
+                (
+                    store.resolve(t.subject).to_string(),
+                    store.resolve(t.property).to_string(),
+                    store.value_text(t.object).to_string(),
+                    t.object.is_resource(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            store.count(&pattern),
+            indexed.len(),
+            "count disagrees with select for shape {}",
+            shape.name()
+        );
+        let scanned: BTreeSet<ModelTriple> = naive
+            .select_matching(
+                s.map(|i| SUBJECTS[i]),
+                p.map(|i| PROPS[i]),
+                o.map(|(i, res)| (OBJECTS[i], res)),
+            )
+            .into_iter()
+            .map(|t| (t.subject.clone(), t.property.clone(), t.object.clone(), t.object_is_resource))
+            .collect();
+        assert_eq!(indexed, scanned, "select diverged for shape {}", shape.name());
+    }
 }
 
 proptest! {
@@ -185,6 +260,39 @@ proptest! {
             .collect();
         prop_assert_eq!(indexed.len(), store.count(&pattern));
         prop_assert_eq!(indexed, scanned);
+    }
+
+    /// All-8-pattern-shapes sweep: the planner's results, counts, and
+    /// `explain()` index choices must agree with the naive scan on a
+    /// seeded random workload — and must *still* agree after undoing to
+    /// an arbitrary op boundary, proving every permutation index (not
+    /// just the membership set) is maintained through rollback.
+    #[test]
+    fn all_shapes_sweep_with_explain_and_post_undo(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        qs in 0..SUBJECTS.len(),
+        qp in 0..PROPS.len(),
+        qo in (0..OBJECTS.len(), any::<bool>()),
+        pick in 0usize..80,
+    ) {
+        let mut store = TripleStore::new();
+        let mut naive = NaiveStore::new();
+        let mut revisions = vec![store.revision()];
+        for op in &ops {
+            apply(&mut store, &mut naive, op);
+            revisions.push(store.revision());
+        }
+        sweep_all_shapes(&mut store, &naive, qs, qp, qo);
+        // Roll back to a random op boundary, replay the naive baseline to
+        // the same point, and sweep again.
+        let k = pick % revisions.len();
+        store.undo_to(revisions[k]).expect("op-boundary revision must be undoable");
+        store.check_invariants();
+        let mut replayed = NaiveStore::new();
+        for op in &ops[..k] {
+            apply_naive(&mut replayed, op);
+        }
+        sweep_all_shapes(&mut store, &replayed, qs, qp, qo);
     }
 
     /// Undoing to any recorded revision restores the exact triple set as
