@@ -8,6 +8,9 @@
 //!   `BTreeSet` oracle, journal undo vs a snapshot stack, and every save
 //!   (including fault-injected crash saves) round-tripped through
 //!   `slimio` ([`store_diff`]).
+//! * **wal** — the logged commit path ([`trim::StoreLog`] over
+//!   [`slimio::Wal`]) vs a model of acknowledged commits, with seeded
+//!   crash schedules, reboots, and log-byte corruption ([`wal_diff`]).
 //! * **dmi** — [`slimstore::SlimPadDmi`] typed objects vs a plain-Rust
 //!   reference world, with triple-pattern readback, conformance, and
 //!   canonical persistence checks ([`dmi_diff`]).
@@ -27,6 +30,7 @@ pub mod ops;
 pub mod pad_diff;
 pub mod resolver_diff;
 pub mod store_diff;
+pub mod wal_diff;
 
 use proptest::strategy::Strategy;
 use proptest::test_runner::{panic_message, shrink_to_minimal, with_quiet_panics, TestRng};
@@ -47,15 +51,19 @@ pub enum Mutation {
     /// Removes forget the POS index: the triple lingers there and
     /// property-bound queries see a phantom.
     SkipPosIndexOnRemove,
+    /// Log recovery skips the tail frame's CRC check: a corrupted tail
+    /// replays garbage instead of being truncated at the damage.
+    WalSkipTailCrc,
 }
 
 impl Mutation {
     /// All seeded bugs (excludes `None`).
-    pub const ALL: [Mutation; 4] = [
+    pub const ALL: [Mutation; 5] = [
         Mutation::SkipSubjectIndex,
         Mutation::LossySetUnique,
         Mutation::UndoNoop,
         Mutation::SkipPosIndexOnRemove,
+        Mutation::WalSkipTailCrc,
     ];
 
     /// CLI / report name.
@@ -66,6 +74,15 @@ impl Mutation {
             Mutation::LossySetUnique => "lossy-set-unique",
             Mutation::UndoNoop => "undo-noop",
             Mutation::SkipPosIndexOnRemove => "skip-pos-on-remove",
+            Mutation::WalSkipTailCrc => "wal-skip-tail-crc",
+        }
+    }
+
+    /// The layer whose sweep exercises this seeded bug.
+    pub fn layer(self) -> Layer {
+        match self {
+            Mutation::WalSkipTailCrc => Layer::Wal,
+            _ => Layer::Store,
         }
     }
 
@@ -77,6 +94,10 @@ impl Mutation {
             // A stale POS entry takes exactly [Insert, Remove] to plant
             // and at most one query op to observe.
             Mutation::SkipPosIndexOnRemove => 3,
+            // [Insert, Commit, CorruptTail] plants and observes it; the
+            // shrinker sometimes keeps one extra op while minimizing the
+            // flip offset.
+            Mutation::WalSkipTailCrc => 5,
             _ => 10,
         }
     }
@@ -86,6 +107,7 @@ impl Mutation {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Layer {
     Store,
+    Wal,
     Dmi,
     Pad,
     Resolver,
@@ -93,12 +115,14 @@ pub enum Layer {
 
 impl Layer {
     /// All layers, in stack order.
-    pub const ALL: [Layer; 4] = [Layer::Store, Layer::Dmi, Layer::Pad, Layer::Resolver];
+    pub const ALL: [Layer; 5] =
+        [Layer::Store, Layer::Wal, Layer::Dmi, Layer::Pad, Layer::Resolver];
 
     /// CLI / report name.
     pub fn name(self) -> &'static str {
         match self {
             Layer::Store => "store",
+            Layer::Wal => "wal",
             Layer::Dmi => "dmi",
             Layer::Pad => "pad",
             Layer::Resolver => "resolver",
@@ -109,6 +133,7 @@ impl Layer {
     pub fn parse(s: &str) -> Option<Layer> {
         match s {
             "store" => Some(Layer::Store),
+            "wal" => Some(Layer::Wal),
             "dmi" => Some(Layer::Dmi),
             "pad" => Some(Layer::Pad),
             "resolver" => Some(Layer::Resolver),
@@ -121,6 +146,7 @@ impl Layer {
     fn tag(self) -> u64 {
         match self {
             Layer::Store => 0x73746f72,    // "stor"
+            Layer::Wal => 0x77616c,        // "wal"
             Layer::Dmi => 0x646d69,        // "dmi"
             Layer::Pad => 0x706164,        // "pad"
             Layer::Resolver => 0x7265736f, // "reso"
@@ -274,6 +300,10 @@ fn replay_case(
         Layer::Store => {
             let strategy = proptest::collection::vec(ops::store_op_strategy(), 1..max_ops + 1);
             run_case(layer, mutation, &strategy, |ops| store_diff::check(ops, mutation), seed, case)
+        }
+        Layer::Wal => {
+            let strategy = proptest::collection::vec(ops::wal_op_strategy(), 1..max_ops + 1);
+            run_case(layer, mutation, &strategy, |ops| wal_diff::check(ops, mutation), seed, case)
         }
         Layer::Dmi => {
             let strategy = proptest::collection::vec(ops::dmi_op_strategy(), 1..max_ops + 1);

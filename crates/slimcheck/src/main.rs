@@ -4,8 +4,8 @@
 //!   layer; exits 1 with a replay seed on divergence.
 //! * `cargo run -p slimcheck -- --layer store --seed 0x…` — replay one
 //!   case deterministically.
-//! * `cargo run -p slimcheck -- --mutate` — enable each seeded store
-//!   bug in turn and prove the harness detects and shrinks it.
+//! * `cargo run -p slimcheck -- --mutate` — enable each seeded bug in
+//!   turn and prove the harness detects and shrinks it.
 
 use slimcheck::{run_layer, replay, Divergence, Layer, Mutation};
 
@@ -27,13 +27,13 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: slimcheck [--layer store|dmi|pad|resolver|all] [--cases N] [--ops N]\n\
+        "usage: slimcheck [--layer store|wal|dmi|pad|resolver|all] [--cases N] [--ops N]\n\
          \x20                [--base-seed HEX] [--seed HEX] [--mutation NAME] [--mutate]\n\
          \n\
          Default: a bounded differential sweep of every layer.\n\
          --seed HEX        replay one case (requires a single --layer)\n\
-         --mutation NAME   seeded store bug to enable: {}\n\
-         --mutate          run every seeded store bug; each must be caught\n\
+         --mutation NAME   seeded bug to enable: {}\n\
+         --mutate          run every seeded bug; each must be caught\n\
          \x20                and shrunk to within its per-bug op bound",
         Mutation::ALL.map(|m| m.name()).join(", "),
     );
@@ -149,12 +149,13 @@ fn main() {
     }
 }
 
-/// Run every seeded store bug; the harness must catch each one and
-/// shrink it to a near-trivial sequence. Exit 0 only if all die.
+/// Run every seeded bug against the layer that exercises it; the
+/// harness must catch each one and shrink it to a near-trivial
+/// sequence. Exit 0 only if all die.
 fn mutation_mode(args: &Args) -> i32 {
     let mut surviving = 0;
     for mutation in Mutation::ALL {
-        match run_layer(Layer::Store, args.base_seed, args.cases, args.max_ops, mutation) {
+        match run_layer(mutation.layer(), args.base_seed, args.cases, args.max_ops, mutation) {
             Some(d) if d.minimal_len <= mutation.shrink_bound() => {
                 println!(
                     "mutant `{}`: KILLED in case {} — shrunk {} -> {} ops \

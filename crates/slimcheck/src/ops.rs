@@ -158,6 +158,63 @@ pub fn pad_op_strategy() -> impl Strategy<Value = PadOp> {
     ]
 }
 
+/// One step against the logged-persistence stack ([`trim::StoreLog`]
+/// over [`slimio::Wal`]; see `wal_diff`). Mutating ops edit the live
+/// store; `Commit`/`Compact` move the durability boundary; the crash
+/// ops inject a halting fault mid-write and then "reboot" through
+/// recovery, checking the recovered state against the model's
+/// acknowledged commits.
+#[derive(Debug, Clone)]
+pub enum WalOp {
+    Insert { s: usize, p: usize, o: usize, res: bool },
+    Remove { s: usize, p: usize, o: usize, res: bool },
+    SetUnique { s: usize, p: usize, o: usize, res: bool },
+    /// Record the current revision + model snapshot for a later `Undo`.
+    Checkpoint,
+    /// Undo to the `back`-th most recent checkpoint (modulo stack size).
+    Undo { back: usize },
+    /// Group-commit the changes since the last commit as one log frame.
+    Commit,
+    /// Fold the log into a fresh snapshot and reset it.
+    Compact,
+    /// Drop the live handles and recover from disk; must land exactly on
+    /// the last acknowledged commit.
+    Reopen,
+    /// Crash during a commit: `fault` picks append/sync, `mode` the
+    /// misbehavior, `tear_seed` the torn length; then reboot + recover.
+    CrashCommit { fault: usize, mode: usize, tear_seed: u64 },
+    /// Crash at one of the eight compaction steps (write/sync/rename/
+    /// sync_dir for the snapshot install, then again for the log reset).
+    CrashCompact { step: usize, mode: usize, tear_seed: u64 },
+    /// Flip one byte of the on-disk log (on a clone), then recover: the
+    /// result must be a commit boundary or a clean refusal.
+    CorruptTail { offset: u64, flip: u8 },
+}
+
+pub fn wal_op_strategy() -> impl Strategy<Value = WalOp> {
+    let field = (0..SUBJECTS.len(), 0..PROPS.len(), 0..OBJECTS.len(), any::<bool>());
+    prop_oneof![
+        // Insert twice: growth-biased sequences give commits substance.
+        field.clone().prop_map(|(s, p, o, res)| WalOp::Insert { s, p, o, res }),
+        field.clone().prop_map(|(s, p, o, res)| WalOp::Insert { s, p, o, res }),
+        field.clone().prop_map(|(s, p, o, res)| WalOp::Remove { s, p, o, res }),
+        field.prop_map(|(s, p, o, res)| WalOp::SetUnique { s, p, o, res }),
+        Just(WalOp::Checkpoint),
+        (0usize..8).prop_map(|back| WalOp::Undo { back }),
+        // Commit twice: boundaries are what every other check leans on.
+        Just(WalOp::Commit),
+        Just(WalOp::Commit),
+        Just(WalOp::Compact),
+        Just(WalOp::Reopen),
+        (0usize..2, 0usize..3, any::<u64>())
+            .prop_map(|(fault, mode, tear_seed)| WalOp::CrashCommit { fault, mode, tear_seed }),
+        (0usize..8, 0usize..3, any::<u64>())
+            .prop_map(|(step, mode, tear_seed)| WalOp::CrashCompact { step, mode, tear_seed }),
+        (any::<u64>(), any::<u8>())
+            .prop_map(|(offset, flip)| WalOp::CorruptTail { offset, flip }),
+    ]
+}
+
 /// One step against the resilient-resolver state machine (see
 /// `resolver_diff`). `Resolve` targets a fixture mark by index modulo
 /// the fixture's mark count; `Advance` moves the mock clock (letting

@@ -1,0 +1,355 @@
+//! Logged-persistence differential check: one op sequence driven through
+//! the real (snapshot, write-ahead log) pair and a model that tracks the
+//! in-memory state, the last *acknowledged* commit, and every commit
+//! boundary of the current log generation.
+//!
+//! The contract under test is PR 6's crash matrix, generalized to random
+//! schedules:
+//!
+//! * a graceful [`WalOp::Reopen`] recovers exactly the last acknowledged
+//!   commit;
+//! * a crashed commit ([`WalOp::CrashCommit`]) recovers the last
+//!   acknowledged commit — or the attempted batch if its frame landed
+//!   whole — never a partial batch;
+//! * a crash at any of the eight compaction steps
+//!   ([`WalOp::CrashCompact`]) recovers the pre-compaction acknowledged
+//!   state or the compacted one, nothing else;
+//! * a corrupted log byte ([`WalOp::CorruptTail`]) yields some commit
+//!   boundary (CRC salvage truncates at the damage) or a typed refusal —
+//!   never a state no commit ever acknowledged.
+//!
+//! [`Mutation::WalSkipTailCrc`] disables the tail frame's CRC check in
+//! recovery; the `CorruptTail` op is what must catch it.
+
+use crate::ops::{WalOp, OBJECTS, PROPS, SUBJECTS};
+use crate::Mutation;
+use slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs, Vfs};
+use std::collections::BTreeSet;
+use std::path::Path;
+use trim::{CommitOutcome, Revision, StoreLog, Triple, TripleStore, TrimError, Value};
+
+const SNAP_PATH: &str = "slimcheck/wal-store.xml";
+const COMMIT_FAULTS: [FaultOp; 2] = [FaultOp::Append, FaultOp::Sync];
+const COMPACT_FAULTS: [FaultOp; 4] =
+    [FaultOp::Write, FaultOp::Sync, FaultOp::Rename, FaultOp::SyncDir];
+const FAULT_MODES: [FaultMode; 3] = [FaultMode::Fail, FaultMode::Torn, FaultMode::SilentTorn];
+
+type ModelTriple = (String, String, String, bool);
+type State = BTreeSet<ModelTriple>;
+
+fn snap() -> &'static Path {
+    Path::new(SNAP_PATH)
+}
+
+/// Run `ops` through the logged world; panics on any divergence.
+pub fn check(ops: &[WalOp], mutation: Mutation) {
+    let mut world = World::new(mutation);
+    for op in ops {
+        world.apply(op);
+        world.verify();
+    }
+    world.store.check_invariants();
+    // Final differential recovery: whatever the schedule did, a graceful
+    // reopen must land exactly on the last acknowledged commit.
+    world.reopen();
+}
+
+struct World {
+    mutation: Mutation,
+    disk: MemVfs,
+    store: TripleStore,
+    log: StoreLog,
+    /// Model of the live in-memory store.
+    oracle: State,
+    /// Model of the last acknowledged durable commit.
+    acked: State,
+    /// State at each commit boundary of the current log generation,
+    /// oldest first (index 0 is the snapshot itself). Damage to the log
+    /// can only ever recover one of these.
+    boundaries: Vec<State>,
+    /// `(journal revision, oracle snapshot)` pairs for `Undo`; reset on
+    /// every reopen, which truncates the journal.
+    checkpoints: Vec<(Revision, State)>,
+}
+
+impl World {
+    fn new(mutation: Mutation) -> Self {
+        let mut disk = MemVfs::new();
+        let (store, log) =
+            open_pair(&mut disk, mutation).expect("opening a fresh logged store cannot fail");
+        let checkpoints = vec![(store.revision(), State::new())];
+        World {
+            mutation,
+            disk,
+            store,
+            log,
+            oracle: State::new(),
+            acked: State::new(),
+            boundaries: vec![State::new()],
+            checkpoints,
+        }
+    }
+
+    fn intern(&mut self, s: usize, p: usize, o: usize, res: bool) -> Triple {
+        let subject = self.store.atom(SUBJECTS[s]);
+        let property = self.store.atom(PROPS[p]);
+        let object = if res {
+            Value::Resource(self.store.atom(OBJECTS[o]))
+        } else {
+            self.store.literal_value(OBJECTS[o])
+        };
+        Triple { subject, property, object }
+    }
+
+    fn apply(&mut self, op: &WalOp) {
+        match *op {
+            WalOp::Insert { s, p, o, res } => {
+                let t = self.intern(s, p, o, res);
+                self.store.insert(t.subject, t.property, t.object);
+                self.oracle.insert(model_key(s, p, o, res));
+            }
+            WalOp::Remove { s, p, o, res } => {
+                let t = self.intern(s, p, o, res);
+                self.store.remove(t);
+                self.oracle.remove(&model_key(s, p, o, res));
+            }
+            WalOp::SetUnique { s, p, o, res } => {
+                let t = self.intern(s, p, o, res);
+                self.store.set_unique(t.subject, t.property, t.object);
+                self.oracle.retain(|(ms, mp, _, _)| !(ms == SUBJECTS[s] && mp == PROPS[p]));
+                self.oracle.insert(model_key(s, p, o, res));
+            }
+            WalOp::Checkpoint => {
+                self.checkpoints.push((self.store.revision(), self.oracle.clone()));
+            }
+            WalOp::Undo { back } => {
+                let idx = self.checkpoints.len() - 1 - (back % self.checkpoints.len());
+                let (rev, snapshot) = self.checkpoints[idx].clone();
+                self.store.undo_to(rev).expect("recorded revision must be undoable");
+                self.oracle = snapshot;
+                self.checkpoints.truncate(idx + 1);
+            }
+            WalOp::Commit => self.commit(),
+            WalOp::Compact => {
+                self.log
+                    .compact(&mut self.disk, &mut self.store)
+                    .expect("compact on MemVfs cannot fail");
+                self.acked = self.oracle.clone();
+                self.boundaries = vec![self.oracle.clone()];
+            }
+            WalOp::Reopen => self.reopen(),
+            WalOp::CrashCommit { fault, mode, tear_seed } => {
+                self.crash_commit(fault, mode, tear_seed)
+            }
+            WalOp::CrashCompact { step, mode, tear_seed } => {
+                self.crash_compact(step, mode, tear_seed)
+            }
+            WalOp::CorruptTail { offset, flip } => self.corrupt_tail(offset, flip),
+        }
+    }
+
+    fn commit(&mut self) {
+        let outcome = self
+            .log
+            .commit(&mut self.disk, &mut self.store)
+            .expect("commit on MemVfs cannot fail");
+        self.note_outcome(outcome);
+    }
+
+    /// Fold a successful (unfaulted) commit outcome into the model.
+    fn note_outcome(&mut self, outcome: CommitOutcome) {
+        match outcome {
+            CommitOutcome::Clean => {
+                // An empty delta means the store is exactly at the
+                // committed state — so must the model be.
+                assert_eq!(
+                    self.oracle, self.acked,
+                    "commit reported Clean but the model has pending changes"
+                );
+            }
+            CommitOutcome::Committed { .. } => {
+                self.acked = self.oracle.clone();
+                self.boundaries.push(self.oracle.clone());
+            }
+            CommitOutcome::NeedsFullSnapshot => {
+                // Nothing was persisted; compaction re-establishes
+                // durability (the same recovery adopters perform).
+                self.log
+                    .compact(&mut self.disk, &mut self.store)
+                    .expect("compact on MemVfs cannot fail");
+                self.acked = self.oracle.clone();
+                self.boundaries = vec![self.oracle.clone()];
+            }
+        }
+    }
+
+    /// Drop the live handles and recover from disk; graceful shutdown
+    /// semantics — uncommitted in-memory changes die, acknowledged ones
+    /// must all survive.
+    fn reopen(&mut self) {
+        let (store, log) =
+            open_pair(&mut self.disk, self.mutation).expect("reopen of an intact pair must work");
+        self.store = store;
+        self.log = log;
+        let got = contents(&self.store);
+        assert_eq!(got, self.acked, "graceful reopen diverged from the acknowledged commit");
+        self.oracle = self.acked.clone();
+        self.checkpoints = vec![(self.store.revision(), self.oracle.clone())];
+    }
+
+    /// Reboot after a crash: recover from disk and check the recovered
+    /// state is one of `allowed`. Returns the recovered state (which
+    /// becomes both the durable and the in-memory truth).
+    fn reboot(&mut self, context: &str, allowed: &[&State]) -> State {
+        let (store, log) = open_pair(&mut self.disk, self.mutation)
+            .unwrap_or_else(|e| panic!("recovery after {context} failed: {e}"));
+        self.store = store;
+        self.log = log;
+        let got = contents(&self.store);
+        assert!(
+            allowed.iter().any(|s| **s == got),
+            "recovery after {context} landed on a state no commit acknowledged"
+        );
+        self.acked = got.clone();
+        self.oracle = got.clone();
+        self.checkpoints = vec![(self.store.revision(), self.oracle.clone())];
+        got
+    }
+
+    /// Crash mid-commit (halting fault at the log append or sync), then
+    /// reboot and recover.
+    fn crash_commit(&mut self, fault: usize, mode: usize, tear_seed: u64) {
+        let op = COMMIT_FAULTS[fault % COMMIT_FAULTS.len()];
+        let mode = FAULT_MODES[mode % FAULT_MODES.len()];
+        let attempted = self.oracle.clone();
+        let config = FaultConfig::new(op, mode, 0, tear_seed).halting();
+        let disk = std::mem::replace(&mut self.disk, MemVfs::new());
+        let mut vfs = FaultVfs::new(disk, config);
+        let result = self.log.commit(&mut vfs, &mut self.store);
+        let fired = vfs.fault_fired();
+        self.disk = vfs.into_inner();
+        if !fired {
+            // The commit never reached the faulted op — it was Clean or
+            // NeedsFullSnapshot and did no log I/O. A plain outcome.
+            self.note_outcome(result.expect("unfaulted commit on MemVfs cannot fail"));
+            return;
+        }
+        // The process died at the fault. Whether the commit was
+        // acknowledged (lying disk) or errored, recovery must land on the
+        // previous acked state or — only if its frame landed whole — the
+        // attempted batch. Never a partial batch.
+        let prev_acked = self.acked.clone();
+        let got = self.reboot(
+            &format!("crash-commit {op:?}/{mode:?}/{tear_seed}"),
+            &[&prev_acked, &attempted],
+        );
+        if got == attempted && got != prev_acked {
+            self.boundaries.push(attempted);
+        }
+    }
+
+    /// Crash at one of the eight compaction steps, then reboot. The
+    /// recovered state must be the pre-compaction acknowledged state (old
+    /// generation intact) or the full compacted state (new generation
+    /// installed) — compaction never tears.
+    fn crash_compact(&mut self, step: usize, mode: usize, tear_seed: u64) {
+        let op = COMPACT_FAULTS[step % COMPACT_FAULTS.len()];
+        let index = (step / COMPACT_FAULTS.len()) as u64 % 2;
+        let mode = FAULT_MODES[mode % FAULT_MODES.len()];
+        // Compaction persists the *current* store state, committed or not.
+        let attempted = self.oracle.clone();
+        let config = FaultConfig::new(op, mode, index, tear_seed).halting();
+        let disk = std::mem::replace(&mut self.disk, MemVfs::new());
+        let mut vfs = FaultVfs::new(disk, config);
+        let result = self.log.compact(&mut vfs, &mut self.store);
+        let fired = vfs.fault_fired();
+        self.disk = vfs.into_inner();
+        if !fired {
+            result.expect("unfaulted compact on MemVfs cannot fail");
+            self.acked = attempted.clone();
+            self.boundaries = vec![attempted];
+            return;
+        }
+        let prev_acked = self.acked.clone();
+        let got = self.reboot(
+            &format!("crash-compact {op:?}#{index}/{mode:?}/{tear_seed}"),
+            &[&prev_acked, &attempted],
+        );
+        if got == attempted && got != prev_acked {
+            // The new snapshot generation made it in.
+            self.boundaries = vec![attempted];
+        }
+    }
+
+    /// Flip one byte of the log on a *clone* of the disk and recover
+    /// from it: CRC salvage must truncate at the damage and land on some
+    /// commit boundary, or refuse with a typed error — never replay the
+    /// damage into a state no commit acknowledged.
+    fn corrupt_tail(&mut self, offset: u64, flip: u8) {
+        let wal_file = StoreLog::wal_path(snap());
+        let Some(bytes) = self.disk.bytes(&wal_file) else { return };
+        if bytes.is_empty() {
+            return;
+        }
+        let mut mangled = bytes.to_vec();
+        let at = (offset % mangled.len() as u64) as usize;
+        mangled[at] ^= if flip == 0 { 0x01 } else { flip };
+        let mut side = self.disk.clone();
+        side.write(&wal_file, &mangled).expect("MemVfs write cannot fail");
+        // A typed refusal (`Err`) is sound: the corruption was detected.
+        if let Ok((store, _)) = open_pair(&mut side, self.mutation) {
+            store.check_invariants();
+            let got = contents(&store);
+            assert!(
+                self.boundaries.contains(&got),
+                "corrupted log byte {at} recovered a state that was never a commit boundary"
+            );
+        }
+    }
+
+    /// Per-step agreement between the live store and the model.
+    fn verify(&self) {
+        assert_eq!(self.store.len(), self.oracle.len(), "store len diverged from wal model");
+        assert_eq!(contents(&self.store), self.oracle, "store contents diverged from wal model");
+    }
+}
+
+/// Recovery as adopters run it: sweep temps, strict snapshot load, log
+/// attach + replay. Under [`Mutation::WalSkipTailCrc`] the tail frame's
+/// CRC check is disabled (the seeded bug this layer must catch).
+fn open_pair(
+    disk: &mut MemVfs,
+    mutation: Mutation,
+) -> Result<(TripleStore, StoreLog), TrimError> {
+    if mutation == Mutation::WalSkipTailCrc {
+        slimio::sweep_stale_temp(disk, snap());
+        let mut store = if disk.exists(snap()) {
+            TripleStore::load_from(disk, snap())?
+        } else {
+            TripleStore::new()
+        };
+        let (log, _) = StoreLog::testonly_attach_skip_tail_crc(disk, snap(), &mut store)?;
+        Ok((store, log))
+    } else {
+        let (store, log, _) = TripleStore::open_logged(disk, snap())?;
+        Ok((store, log))
+    }
+}
+
+fn model_key(s: usize, p: usize, o: usize, res: bool) -> ModelTriple {
+    (SUBJECTS[s].to_string(), PROPS[p].to_string(), OBJECTS[o].to_string(), res)
+}
+
+fn contents(store: &TripleStore) -> State {
+    store
+        .iter()
+        .map(|t| {
+            (
+                store.resolve(t.subject).to_string(),
+                store.resolve(t.property).to_string(),
+                store.value_text(t.object).to_string(),
+                t.object.is_resource(),
+            )
+        })
+        .collect()
+}

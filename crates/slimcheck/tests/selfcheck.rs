@@ -14,6 +14,13 @@ fn store_layer_agrees_with_models() {
 }
 
 #[test]
+fn wal_layer_agrees_with_models() {
+    if let Some(d) = run_layer(Layer::Wal, SEED, 48, 48, Mutation::None) {
+        panic!("unexpected wal divergence:\n{}", d.report());
+    }
+}
+
+#[test]
 fn dmi_layer_agrees_with_models() {
     if let Some(d) = run_layer(Layer::Dmi, SEED, 32, 48, Mutation::None) {
         panic!("unexpected DMI divergence:\n{}", d.report());
@@ -37,10 +44,10 @@ fn resolver_layer_agrees_with_model() {
 #[test]
 fn every_seeded_mutant_is_caught_and_shrunk() {
     for mutation in Mutation::ALL {
-        let d = run_layer(Layer::Store, SEED, 64, 48, mutation)
+        let d = run_layer(mutation.layer(), SEED, 64, 48, mutation)
             .unwrap_or_else(|| panic!("mutant {:?} survived the sweep", mutation));
         assert!(
-            d.minimal_len <= 10,
+            d.minimal_len <= mutation.shrink_bound(),
             "mutant {:?} caught but only shrunk to {} ops:\n{}",
             mutation,
             d.minimal_len,

@@ -54,14 +54,27 @@ fn temp_path(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-/// Seal `payload` and durably, atomically install it at `path`.
-pub fn save_atomic(vfs: &mut dyn Vfs, path: &Path, payload: &str) -> Result<(), IoError> {
-    let sealed = seal(payload);
+/// The directory whose entry table the final rename mutates.
+fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
+/// Durably, atomically install raw `bytes` at `path`: write-temp →
+/// fsync → rename → fsync the parent directory. The directory sync is
+/// what makes the *rename itself* survive power loss; without it the
+/// old file can reappear after a crash even though the save reported
+/// success.
+pub fn install_atomic(vfs: &mut dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), IoError> {
     let tmp = temp_path(path);
     let result = (|| {
-        vfs.write(&tmp, sealed.as_bytes()).map_err(|e| IoError::new("write", &tmp, e))?;
+        vfs.write(&tmp, bytes).map_err(|e| IoError::new("write", &tmp, e))?;
         vfs.sync(&tmp).map_err(|e| IoError::new("sync", &tmp, e))?;
         vfs.rename(&tmp, path).map_err(|e| IoError::new("rename", path, e))?;
+        let dir = parent_dir(path);
+        vfs.sync_dir(dir).map_err(|e| IoError::new("sync_dir", dir, e))?;
         Ok(())
     })();
     if result.is_err() {
@@ -70,6 +83,25 @@ pub fn save_atomic(vfs: &mut dyn Vfs, path: &Path, payload: &str) -> Result<(), 
         let _ = vfs.remove(&tmp);
     }
     result
+}
+
+/// Seal `payload` and durably, atomically install it at `path`.
+pub fn save_atomic(vfs: &mut dyn Vfs, path: &Path, payload: &str) -> Result<(), IoError> {
+    install_atomic(vfs, path, seal(payload).as_bytes())
+}
+
+/// Remove a stale `.slimio-tmp` sibling left by a crash between the
+/// temp write and the rename (the in-process cleanup in
+/// [`install_atomic`] only runs when the process survives the failed
+/// save). Returns `true` if a leftover was found and removed. Call this
+/// when *opening* an artifact for ongoing use.
+pub fn sweep_stale_temp(vfs: &mut dyn Vfs, path: &Path) -> bool {
+    let tmp = temp_path(path);
+    if vfs.exists(&tmp) {
+        vfs.remove(&tmp).is_ok()
+    } else {
+        false
+    }
 }
 
 /// Read a possibly-sealed artifact: the integrity verdict plus the
@@ -139,6 +171,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sync_dir_failure_errors_but_leaves_a_loadable_artifact() {
+        // The rename itself succeeded; only its durability barrier failed.
+        // The caller sees an error and must not ack the save, but the disk
+        // holds either the old or the new artifact — both fully sealed.
+        for mode in [FaultMode::Fail, FaultMode::Torn] {
+            let config = FaultConfig::new(FaultOp::SyncDir, mode, 0, 0).halting();
+            let mut vfs = FaultVfs::new(with_existing(), config);
+            assert!(save_atomic(&mut vfs, Path::new("store.xml"), NEW).is_err());
+            assert!(vfs.fault_fired());
+            let disk = vfs.into_inner();
+            let (verdict, payload) = load_sealed(&disk, Path::new("store.xml")).unwrap();
+            assert_eq!(verdict, Integrity::Verified, "{mode:?}: artifact damaged");
+            assert!(payload == OLD || payload == NEW, "{mode:?}: hybrid artifact");
+        }
+    }
+
+    #[test]
+    fn successful_save_syncs_the_parent_directory() {
+        // Scheduling a fault on the first sync_dir must make the save fail:
+        // proof that the protocol actually issues the barrier.
+        let config = FaultConfig::new(FaultOp::SyncDir, FaultMode::Fail, 0, 0);
+        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        assert!(save_atomic(&mut vfs, Path::new("dir/store.xml"), NEW).is_err());
+        assert!(vfs.fault_fired());
+    }
+
+    #[test]
+    fn crash_between_write_and_rename_leaves_a_temp_the_sweep_removes() {
+        // A halting rename fault kills the in-process cleanup too — the
+        // temp file survives the "crash" exactly as it would on a real disk.
+        let config = FaultConfig::new(FaultOp::Rename, FaultMode::Fail, 0, 0).halting();
+        let mut vfs = FaultVfs::new(with_existing(), config);
+        assert!(save_atomic(&mut vfs, Path::new("store.xml"), NEW).is_err());
+        let mut disk = vfs.into_inner();
+        assert_eq!(disk.file_count(), 2, "crash should strand the temp file");
+
+        // "Reboot": the open-time sweep clears it; a second sweep is a no-op.
+        assert!(sweep_stale_temp(&mut disk, Path::new("store.xml")));
+        assert_eq!(disk.file_count(), 1);
+        assert!(!sweep_stale_temp(&mut disk, Path::new("store.xml")));
+        let (verdict, payload) = load_sealed(&disk, Path::new("store.xml")).unwrap();
+        assert_eq!(verdict, Integrity::Verified);
+        assert_eq!(payload, OLD);
     }
 
     #[test]

@@ -33,9 +33,11 @@ mod crc;
 mod report;
 mod seal;
 mod vfs;
+mod wal;
 
-pub use atomic::{load_sealed, save_atomic, IoError};
+pub use atomic::{install_atomic, load_sealed, save_atomic, sweep_stale_temp, IoError};
 pub use crc::crc32;
 pub use report::Recovered;
 pub use seal::{check_seal, seal, strip_seal, Integrity, SEAL_VERSION};
 pub use vfs::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs, StdVfs, Vfs};
+pub use wal::{Wal, WalFrame, WalReport};

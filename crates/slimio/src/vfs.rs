@@ -23,10 +23,17 @@ pub trait Vfs {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// Create or replace a file with `data`.
     fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Append `data` to the end of a file, creating it if absent.
+    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()>;
     /// Atomically rename `from` onto `to`, replacing `to` if it exists.
     fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
     /// Force a previously written file's bytes to stable storage.
     fn sync(&mut self, path: &Path) -> io::Result<()>;
+    /// Force a directory's entry table to stable storage, making earlier
+    /// renames and creations inside it durable. On POSIX a rename is only
+    /// guaranteed to survive power loss after the *parent directory* is
+    /// fsynced; skipping this is the classic "atomic save that wasn't".
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()>;
     /// Delete a file; succeeds silently if it does not exist.
     fn remove(&mut self, path: &Path) -> io::Result<()>;
     /// Whether a file exists.
@@ -46,12 +53,24 @@ impl Vfs for StdVfs {
         std::fs::write(path, data)
     }
 
+    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut file =
+            std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(data)
+    }
+
     fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
         std::fs::rename(from, to)
     }
 
     fn sync(&mut self, path: &Path) -> io::Result<()> {
         std::fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        let dir = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
+        std::fs::File::open(dir)?.sync_all()
     }
 
     fn remove(&mut self, path: &Path) -> io::Result<()> {
@@ -101,6 +120,11 @@ impl Vfs for MemVfs {
         Ok(())
     }
 
+    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.files.entry(path.to_path_buf()).or_default().extend_from_slice(data);
+        Ok(())
+    }
+
     fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
         let data = self.files.remove(from).ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, format!("{}", from.display()))
@@ -110,6 +134,10 @@ impl Vfs for MemVfs {
     }
 
     fn sync(&mut self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn sync_dir(&mut self, _dir: &Path) -> io::Result<()> {
         Ok(())
     }
 
@@ -127,8 +155,10 @@ impl Vfs for MemVfs {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultOp {
     Write,
+    Append,
     Rename,
     Sync,
+    SyncDir,
 }
 
 /// How the targeted operation misbehaves.
@@ -179,15 +209,27 @@ pub struct FaultVfs<V> {
     inner: V,
     config: FaultConfig,
     writes: u64,
+    appends: u64,
     renames: u64,
     syncs: u64,
+    sync_dirs: u64,
     fired: bool,
     halted: bool,
 }
 
 impl<V: Vfs> FaultVfs<V> {
     pub fn new(inner: V, config: FaultConfig) -> Self {
-        FaultVfs { inner, config, writes: 0, renames: 0, syncs: 0, fired: false, halted: false }
+        FaultVfs {
+            inner,
+            config,
+            writes: 0,
+            appends: 0,
+            renames: 0,
+            syncs: 0,
+            sync_dirs: 0,
+            fired: false,
+            halted: false,
+        }
     }
 
     /// Whether the scheduled fault actually triggered.
@@ -230,6 +272,10 @@ impl<V: Vfs> FaultVfs<V> {
                 self.writes += 1;
                 self.writes - 1
             }
+            FaultOp::Append => {
+                self.appends += 1;
+                self.appends - 1
+            }
             FaultOp::Rename => {
                 self.renames += 1;
                 self.renames - 1
@@ -237,6 +283,10 @@ impl<V: Vfs> FaultVfs<V> {
             FaultOp::Sync => {
                 self.syncs += 1;
                 self.syncs - 1
+            }
+            FaultOp::SyncDir => {
+                self.sync_dirs += 1;
+                self.sync_dirs - 1
             }
         };
         if !self.fired && self.config.op == op && counter == self.config.index {
@@ -274,6 +324,24 @@ impl<V: Vfs> Vfs for FaultVfs<V> {
         }
     }
 
+    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let was_halted = self.halted;
+        match self.arm(FaultOp::Append) {
+            _ if was_halted => Err(self.halted_error()),
+            None => self.inner.append(path, data),
+            Some(FaultMode::Fail) => Err(self.fault_error("append failed")),
+            Some(FaultMode::Torn) => {
+                let keep = self.torn_len(self.appends, data.len());
+                self.inner.append(path, &data[..keep])?;
+                Err(self.fault_error("append torn"))
+            }
+            Some(FaultMode::SilentTorn) => {
+                let keep = self.torn_len(self.appends, data.len());
+                self.inner.append(path, &data[..keep])
+            }
+        }
+    }
+
     fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
         let was_halted = self.halted;
         match self.arm(FaultOp::Rename) {
@@ -293,6 +361,18 @@ impl<V: Vfs> Vfs for FaultVfs<V> {
             _ if was_halted => Err(self.halted_error()),
             None => self.inner.sync(path),
             Some(FaultMode::Fail) | Some(FaultMode::Torn) => Err(self.fault_error("sync failed")),
+            Some(FaultMode::SilentTorn) => Ok(()),
+        }
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        let was_halted = self.halted;
+        match self.arm(FaultOp::SyncDir) {
+            _ if was_halted => Err(self.halted_error()),
+            None => self.inner.sync_dir(dir),
+            Some(FaultMode::Fail) | Some(FaultMode::Torn) => {
+                Err(self.fault_error("sync_dir failed"))
+            }
             Some(FaultMode::SilentTorn) => Ok(()),
         }
     }
@@ -391,13 +471,56 @@ mod tests {
     }
 
     #[test]
+    fn mem_vfs_append_creates_and_extends() {
+        let mut vfs = MemVfs::new();
+        let path = Path::new("log");
+        vfs.append(path, b"ab").unwrap();
+        vfs.append(path, b"cd").unwrap();
+        assert_eq!(vfs.read(path).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn torn_append_leaves_old_content_plus_a_prefix() {
+        for seed in 0..16 {
+            let config = FaultConfig::new(FaultOp::Append, FaultMode::Torn, 1, seed);
+            let mut vfs = FaultVfs::new(MemVfs::new(), config);
+            vfs.append(Path::new("log"), b"first").unwrap();
+            assert!(vfs.append(Path::new("log"), b"second").is_err());
+            let on_disk = vfs.into_inner().read(Path::new("log")).unwrap();
+            assert!(on_disk.starts_with(b"first"));
+            assert!(on_disk.len() <= b"firstsecond".len());
+            assert_eq!(&on_disk[5..], &b"second"[..on_disk.len() - 5]);
+        }
+    }
+
+    #[test]
+    fn failed_append_lands_nothing() {
+        let config = FaultConfig::new(FaultOp::Append, FaultMode::Fail, 0, 0);
+        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        assert!(vfs.append(Path::new("log"), b"x").is_err());
+        assert!(!vfs.into_inner().exists(Path::new("log")));
+    }
+
+    #[test]
+    fn sync_dir_fault_fires_on_schedule() {
+        let config = FaultConfig::new(FaultOp::SyncDir, FaultMode::Fail, 1, 0);
+        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        vfs.sync_dir(Path::new(".")).unwrap();
+        assert!(vfs.sync_dir(Path::new(".")).is_err());
+        assert!(vfs.fault_fired());
+        vfs.sync_dir(Path::new(".")).unwrap();
+    }
+
+    #[test]
     fn halting_fault_kills_all_later_mutation() {
         let config = FaultConfig::new(FaultOp::Sync, FaultMode::Fail, 0, 0).halting();
         let mut vfs = FaultVfs::new(MemVfs::new(), config);
         vfs.write(Path::new("f"), b"x").unwrap();
         assert!(vfs.sync(Path::new("f")).is_err());
         assert!(vfs.write(Path::new("g"), b"y").is_err());
+        assert!(vfs.append(Path::new("f"), b"y").is_err());
         assert!(vfs.rename(Path::new("f"), Path::new("h")).is_err());
+        assert!(vfs.sync_dir(Path::new(".")).is_err());
         assert!(vfs.remove(Path::new("f")).is_err());
         // Reads still work: the "disk" survives the process.
         assert_eq!(vfs.read(Path::new("f")).unwrap(), b"x");

@@ -73,6 +73,17 @@ impl From<slimio::IoError> for PadError {
 const FILE_VERSION: &str = "1";
 /// Highest numeric format version this build can read.
 const SUPPORTED_VERSION: u32 = 1;
+/// Aux-record key under which the mark-store XML rides in the log.
+const MARKS_AUX_KEY: &str = "marks";
+
+/// The error for log operations on a session that has no log attached.
+fn no_log_error() -> PadError {
+    PadError::File {
+        message: "pad session has no write-ahead log \
+                  (open with open_logged, or call enable_logging)"
+            .into(),
+    }
+}
 
 /// Reject files from the future with a typed error; anything else odd
 /// about the version attribute is a plain format error.
@@ -139,6 +150,14 @@ pub struct PadSession {
     /// Checkpoints taken by [`PadSession::begin_op`], popped by
     /// [`PadSession::undo`].
     undo_stack: Vec<trim::Revision>,
+    /// The write-ahead log, when this session was opened through
+    /// [`PadSession::open_logged`] or upgraded via
+    /// [`PadSession::enable_logging`].
+    log: Option<trim::StoreLog>,
+    /// CRC32 of the mark-store XML as of the last committed "marks"
+    /// sidecar record, so [`PadSession::commit`] only ships the marks
+    /// when they actually changed.
+    committed_marks_crc: u32,
 }
 
 impl PadSession {
@@ -155,6 +174,8 @@ impl PadSession {
             marks: MarkManager::new(),
             resolver: ResilientResolver::default(),
             undo_stack: Vec::new(),
+            log: None,
+            committed_marks_crc: 0,
         })
     }
 
@@ -480,6 +501,8 @@ impl PadSession {
             marks: manager,
             resolver: ResilientResolver::default(),
             undo_stack: Vec::new(),
+            log: None,
+            committed_marks_crc: 0,
         })
     }
 
@@ -506,6 +529,138 @@ impl PadSession {
             });
         }
         Self::load_xml(&payload, manager)
+    }
+
+    // ---- logged persistence ----------------------------------------------------
+
+    /// Open a pad file with its write-ahead log attached: load the
+    /// sealed snapshot, replay committed log frames onto the embedded
+    /// store, and restore the mark store from the newest `"marks"`
+    /// sidecar record if one was committed after the snapshot. The
+    /// session comes back in the state of its last acknowledged
+    /// [`commit`](PadSession::commit), even after a crash.
+    ///
+    /// The file must exist; for a brand-new pad, build the session with
+    /// [`PadSession::new`] and call
+    /// [`enable_logging`](PadSession::enable_logging).
+    pub fn open_logged(
+        vfs: &mut dyn Vfs,
+        path: &Path,
+        manager: MarkManager,
+    ) -> Result<(Self, trim::LogReport), PadError> {
+        slimio::sweep_stale_temp(vfs, path);
+        let mut session = Self::load_from(&*vfs, path, manager)?;
+        let (log, report) = session.dmi.attach_log(vfs, path)?;
+        session.adopt_log(log, &report)?;
+        Ok((session, report))
+    }
+
+    /// [`open_logged`](PadSession::open_logged) with tail-frame CRC
+    /// checks disabled — only for the slimcheck mutation harness.
+    #[doc(hidden)]
+    pub fn testonly_open_logged_skip_tail_crc(
+        vfs: &mut dyn Vfs,
+        path: &Path,
+        manager: MarkManager,
+    ) -> Result<(Self, trim::LogReport), PadError> {
+        slimio::sweep_stale_temp(vfs, path);
+        let mut session = Self::load_from(&*vfs, path, manager)?;
+        let (log, report) = session.dmi.testonly_attach_log_skip_tail_crc(vfs, path)?;
+        session.adopt_log(log, &report)?;
+        Ok((session, report))
+    }
+
+    /// Upgrade this session to logged persistence: write a full snapshot
+    /// of the current state to `path`, then attach a (fresh) log to it.
+    /// After this, [`commit`](PadSession::commit) persists deltas.
+    ///
+    /// Any stale log at the sibling `.wal` path belongs to an older
+    /// snapshot generation and is discarded, not replayed.
+    pub fn enable_logging(
+        &mut self,
+        vfs: &mut dyn Vfs,
+        path: &Path,
+    ) -> Result<trim::LogReport, PadError> {
+        self.save_to(vfs, path)?;
+        let (log, report) = self.dmi.attach_log(vfs, path)?;
+        self.adopt_log(log, &report)?;
+        Ok(report)
+    }
+
+    /// Wire a freshly attached log into the session: restore the marks
+    /// sidecar the log recovered (if any), record the committed marks
+    /// generation, and invalidate undo checkpoints — attaching truncates
+    /// the store journal, so revisions taken before it are unreachable.
+    fn adopt_log(
+        &mut self,
+        log: trim::StoreLog,
+        report: &trim::LogReport,
+    ) -> Result<(), PadError> {
+        if let Some(bytes) = report.aux.get(MARKS_AUX_KEY) {
+            let text = std::str::from_utf8(bytes).map_err(|_| PadError::File {
+                message: "recovered marks sidecar is not valid UTF-8".into(),
+            })?;
+            self.marks.load_xml(text)?;
+        }
+        self.committed_marks_crc = slimio::crc32(self.marks.to_xml().as_bytes());
+        self.undo_stack.clear();
+        self.log = Some(log);
+        Ok(())
+    }
+
+    /// Group-commit every change since the last commit — store triples
+    /// and, when it changed, the mark store as a `"marks"` sidecar
+    /// record — as one log frame with one sync.
+    ///
+    /// On [`CommitOutcome::NeedsFullSnapshot`](trim::CommitOutcome) (an
+    /// undo crossed the previous commit boundary) the session compacts
+    /// internally, so on `Ok` the current state is durable regardless of
+    /// the outcome value.
+    pub fn commit(&mut self, vfs: &mut dyn Vfs) -> Result<trim::CommitOutcome, PadError> {
+        if self.log.is_none() {
+            return Err(no_log_error());
+        }
+        let marks_xml = self.marks.to_xml();
+        let marks_crc = slimio::crc32(marks_xml.as_bytes());
+        let mut aux: Vec<(&str, &[u8])> = Vec::new();
+        if marks_crc != self.committed_marks_crc {
+            aux.push((MARKS_AUX_KEY, marks_xml.as_bytes()));
+        }
+        let log = self.log.as_mut().expect("checked above");
+        let outcome = self.dmi.commit_log_with_aux(vfs, log, &aux)?;
+        match outcome {
+            trim::CommitOutcome::NeedsFullSnapshot => self.compact(vfs)?,
+            trim::CommitOutcome::Committed { .. } => self.committed_marks_crc = marks_crc,
+            trim::CommitOutcome::Clean => {}
+        }
+        Ok(outcome)
+    }
+
+    /// Fold the log into a fresh snapshot of the combined pad file
+    /// (store *and* marks) and reset the log to an empty generation.
+    /// Crash-consistent at every step; run when
+    /// [`should_compact`](PadSession::should_compact) reports true.
+    pub fn compact(&mut self, vfs: &mut dyn Vfs) -> Result<(), PadError> {
+        if self.log.is_none() {
+            return Err(no_log_error());
+        }
+        let payload = self.save_xml();
+        let marks_crc = slimio::crc32(self.marks.to_xml().as_bytes());
+        let log = self.log.as_mut().expect("checked above");
+        self.dmi.compact_log_with(vfs, log, &payload)?;
+        self.committed_marks_crc = marks_crc;
+        Ok(())
+    }
+
+    /// True when this is a logged session whose log has outgrown its
+    /// compaction threshold.
+    pub fn should_compact(&self) -> bool {
+        self.log.as_ref().is_some_and(|log| log.should_compact())
+    }
+
+    /// The attached write-ahead log, if this is a logged session.
+    pub fn log(&self) -> Option<&trim::StoreLog> {
+        self.log.as_ref()
     }
 
     /// Salvage a pad from a damaged file: recover what remains of the
@@ -613,6 +768,8 @@ impl PadSession {
             marks: manager,
             resolver: ResilientResolver::default(),
             undo_stack: Vec::new(),
+            log: None,
+            committed_marks_crc: 0,
         };
 
         let mut dangling = 0usize;
@@ -956,6 +1113,189 @@ mod tests {
             let _ = PadSession::load_xml(prefix, MarkManager::new());
             let _ = PadSession::load_xml_salvage(prefix, MarkManager::new());
         }
+    }
+
+    /// A fresh manager wired to the same live spreadsheet, for reloads.
+    fn reload_manager(excel: &Rc<RefCell<SpreadsheetApp>>) -> MarkManager {
+        let mut manager = MarkManager::new();
+        manager
+            .register_module(Box::new(AppModule::in_context("excel", Rc::clone(excel))))
+            .unwrap();
+        manager
+    }
+
+    /// Names of the bundles nested directly on the pad surface.
+    fn surface_bundles(pad: &PadSession) -> Vec<String> {
+        pad.dmi()
+            .bundle(pad.root_bundle())
+            .unwrap()
+            .nested
+            .iter()
+            .map(|&b| pad.dmi().bundle(b).unwrap().name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn logged_session_commits_deltas_and_recovers() {
+        use slimio::MemVfs;
+        let path = Path::new("rounds.slimpad.xml");
+        let mut vfs = MemVfs::new();
+        let (mut pad, excel, _) = session();
+        pad.enable_logging(&mut vfs, path).unwrap();
+
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        let john = pad.create_bundle("John Smith", (10, 10), 400, 300, None).unwrap();
+        let scrap =
+            pad.place_selection(DocKind::Spreadsheet, None, (20, 40), Some(john)).unwrap();
+        let snapshot_before = vfs.bytes(path).unwrap().to_vec();
+        assert!(matches!(
+            pad.commit(&mut vfs).unwrap(),
+            trim::CommitOutcome::Committed { .. }
+        ));
+        // The delta went to the log; the snapshot was not rewritten.
+        assert_eq!(vfs.bytes(path).unwrap(), &snapshot_before[..]);
+
+        pad.dmi_mut().add_annotation(scrap, "hold if SBP < 90").unwrap();
+        assert!(matches!(
+            pad.commit(&mut vfs).unwrap(),
+            trim::CommitOutcome::Committed { .. }
+        ));
+        // Nothing changed since: a clean commit writes nothing.
+        let log_len = pad.log().unwrap().log_bytes();
+        assert!(matches!(pad.commit(&mut vfs).unwrap(), trim::CommitOutcome::Clean));
+        assert_eq!(pad.log().unwrap().log_bytes(), log_len);
+
+        let (mut pad2, report) =
+            PadSession::open_logged(&mut vfs, path, reload_manager(&excel)).unwrap();
+        assert_eq!(report.frames_replayed, 2);
+        assert_eq!(pad2.stats().scraps, 1);
+        assert_eq!(pad2.stats().marks, 1);
+        let scraps = pad2.dmi().all_scraps();
+        assert_eq!(
+            pad2.dmi().annotations(scraps[0]).unwrap(),
+            vec!["hold if SBP < 90"]
+        );
+        // The mark came back through the sidecar and still resolves live.
+        let res = pad2.activate(scraps[0]).unwrap();
+        assert!(res.display.contains("[Lasix 40 IV bid]"), "{}", res.display);
+    }
+
+    #[test]
+    fn crashed_commit_recovers_an_acknowledged_session() {
+        use slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+        let path = Path::new("rounds.slimpad.xml");
+        for op in [FaultOp::Append, FaultOp::Sync] {
+            for mode in [FaultMode::Fail, FaultMode::Torn] {
+                for seed in 0..4u64 {
+                    let mut base = MemVfs::new();
+                    let (mut pad, excel, _) = session();
+                    pad.enable_logging(&mut base, path).unwrap();
+                    excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+                    let john =
+                        pad.create_bundle("John Smith", (10, 10), 400, 300, None).unwrap();
+                    pad.place_selection(DocKind::Spreadsheet, None, (20, 40), Some(john))
+                        .unwrap();
+                    pad.commit(&mut base).unwrap();
+
+                    // An unacknowledged batch dies with the process.
+                    pad.create_bundle("Unacked", (50, 50), 100, 100, None).unwrap();
+                    let config = FaultConfig::new(op, mode, 0, seed).halting();
+                    let mut vfs = FaultVfs::new(base, config);
+                    assert!(pad.commit(&mut vfs).is_err());
+                    assert!(vfs.fault_fired());
+
+                    let mut disk = vfs.into_inner();
+                    let (mut pad2, _) =
+                        PadSession::open_logged(&mut disk, path, reload_manager(&excel))
+                            .unwrap();
+                    // Recovery lands on the acknowledged commit — or, if a
+                    // torn append happened to land the whole frame, on the
+                    // complete attempted batch. Never anything partial.
+                    let names = surface_bundles(&pad2);
+                    assert!(
+                        names == ["John Smith"] || names == ["John Smith", "Unacked"],
+                        "{op:?}/{mode:?}/{seed}: {names:?}"
+                    );
+                    assert_eq!(pad2.stats().scraps, 1, "{op:?}/{mode:?}/{seed}");
+                    assert_eq!(pad2.stats().marks, 1, "{op:?}/{mode:?}/{seed}");
+                    let scraps = pad2.dmi().all_scraps();
+                    let res = pad2.activate(scraps[0]).unwrap();
+                    assert!(res.display.contains("[Lasix 40 IV bid]"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commit_after_cross_boundary_undo_compacts_internally() {
+        use slimio::MemVfs;
+        let path = Path::new("rounds.slimpad.xml");
+        let mut vfs = MemVfs::new();
+        let (mut pad, _, _) = session();
+        pad.enable_logging(&mut vfs, path).unwrap();
+
+        pad.begin_op();
+        pad.create_bundle("Oops", (0, 0), 10, 10, None).unwrap();
+        pad.commit(&mut vfs).unwrap();
+        // Undo back across the acknowledged commit: the journal suffix no
+        // longer describes the delta, so commit falls back to compaction.
+        assert!(pad.undo().unwrap());
+        pad.create_bundle("Kept", (5, 5), 10, 10, None).unwrap();
+        let outcome = pad.commit(&mut vfs).unwrap();
+        assert_eq!(outcome, trim::CommitOutcome::NeedsFullSnapshot);
+
+        // The state is durable regardless: reopen sees it, from the
+        // snapshot alone (the compaction reset the log).
+        let (pad2, report) =
+            PadSession::open_logged(&mut vfs, path, MarkManager::new()).unwrap();
+        assert_eq!(report.frames_replayed, 0);
+        assert_eq!(surface_bundles(&pad2), ["Kept"]);
+    }
+
+    #[test]
+    fn compaction_folds_marks_into_the_snapshot() {
+        use slimio::MemVfs;
+        let path = Path::new("rounds.slimpad.xml");
+        let mut vfs = MemVfs::new();
+        let (mut pad, excel, _) = session();
+        pad.enable_logging(&mut vfs, path).unwrap();
+        excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
+        pad.place_selection(DocKind::Spreadsheet, None, (20, 40), None).unwrap();
+        pad.commit(&mut vfs).unwrap();
+
+        let log_len = pad.log().unwrap().log_bytes();
+        pad.compact(&mut vfs).unwrap();
+        assert!(pad.log().unwrap().log_bytes() < log_len);
+
+        let (mut pad2, report) =
+            PadSession::open_logged(&mut vfs, path, reload_manager(&excel)).unwrap();
+        assert_eq!(report.frames_replayed, 0);
+        assert_eq!(pad2.stats().marks, 1);
+        let scraps = pad2.dmi().all_scraps();
+        let res = pad2.activate(scraps[0]).unwrap();
+        assert!(res.display.contains("[Lasix 40 IV bid]"));
+        // Marks unchanged since the compaction: a new commit carries no
+        // redundant sidecar (it would be a whole mark-store copy).
+        pad2.create_bundle("B", (0, 0), 10, 10, None).unwrap();
+        let wal_file = trim::StoreLog::wal_path(path);
+        let before = vfs.bytes(&wal_file).unwrap().len();
+        pad2.commit(&mut vfs).unwrap();
+        let frame = &vfs.bytes(&wal_file).unwrap()[before..];
+        assert!(
+            !frame.windows(b"<marks".len()).any(|w| w == b"<marks"),
+            "marks sidecar should not ride a marks-free commit"
+        );
+    }
+
+    #[test]
+    fn log_operations_without_a_log_are_typed_errors() {
+        use slimio::MemVfs;
+        let mut vfs = MemVfs::new();
+        let (mut pad, _, _) = session();
+        assert!(matches!(pad.commit(&mut vfs), Err(PadError::File { .. })));
+        assert!(matches!(pad.compact(&mut vfs), Err(PadError::File { .. })));
+        assert!(!pad.should_compact());
+        assert!(pad.log().is_none());
     }
 
     #[test]

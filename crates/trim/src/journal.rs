@@ -51,6 +51,14 @@ pub struct Journal {
     changes: Vec<Change>,
     /// Revision number of `changes[0]` (0 unless truncated).
     base: u64,
+    /// Low-water mark: the lowest revision the store has been rewound to
+    /// (via [`Journal::take_since`]) since the last
+    /// [`Journal::reset_low_water`] or [`Journal::truncate`]. A durability
+    /// layer that remembers "everything up to revision R is persisted"
+    /// checks this to detect an undo that crossed R — in that case the
+    /// entries after R in the journal are no longer the delta between the
+    /// persisted state and the current one.
+    low: u64,
 }
 
 impl Journal {
@@ -109,6 +117,7 @@ impl Journal {
             // Future revision: nothing to take.
             return Ok(Vec::new());
         }
+        self.low = self.low.min(rev.0);
         Ok(self.changes.split_off(keep))
     }
 
@@ -117,6 +126,28 @@ impl Journal {
     pub fn truncate(&mut self) {
         self.base += self.changes.len() as u64;
         self.changes.clear();
+        // Rewinding below the truncation point is now impossible.
+        self.low = self.base;
+    }
+
+    /// The oldest revision retained history can reach (the truncation
+    /// point).
+    pub fn earliest(&self) -> Revision {
+        Revision(self.base)
+    }
+
+    /// The lowest revision rewound to since the last
+    /// [`Journal::reset_low_water`] (or [`Journal::truncate`]). See the
+    /// field documentation for the durability contract.
+    pub fn low_water(&self) -> Revision {
+        Revision(self.low)
+    }
+
+    /// Declare the current revision a durability boundary: raise the
+    /// low-water mark to it so a later rewind below this point is
+    /// detectable.
+    pub fn reset_low_water(&mut self) {
+        self.low = self.base + self.changes.len() as u64;
     }
 
     /// Iterate over retained entries, oldest first.
@@ -197,6 +228,34 @@ mod tests {
         let future = Revision(99);
         assert!(j.take_since(future).unwrap().is_empty());
         assert_eq!(j.len(), 1, "future revision must not disturb history");
+    }
+
+    #[test]
+    fn low_water_tracks_rewinds_across_the_boundary() {
+        let mut j = Journal::new();
+        j.record(Change::Insert(t(1)));
+        j.record(Change::Insert(t(2)));
+        j.reset_low_water();
+        let boundary = j.revision();
+        assert_eq!(j.low_water(), boundary);
+        // Rewinding to (not below) the boundary leaves the mark alone.
+        j.record(Change::Insert(t(3)));
+        j.take_since(boundary).unwrap();
+        assert_eq!(j.low_water(), boundary);
+        // Rewinding below it is flagged until the next reset.
+        j.take_since(Revision::start()).unwrap();
+        assert!(j.low_water() < boundary);
+        j.reset_low_water();
+        assert_eq!(j.low_water(), j.revision());
+    }
+
+    #[test]
+    fn truncate_raises_the_low_water_mark() {
+        let mut j = Journal::new();
+        j.record(Change::Insert(t(1)));
+        j.truncate();
+        assert_eq!(j.low_water(), j.revision());
+        assert_eq!(j.earliest(), j.revision());
     }
 
     #[test]

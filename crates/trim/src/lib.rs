@@ -60,6 +60,7 @@ pub mod persist;
 pub mod plan;
 pub mod store;
 pub mod view;
+pub mod wal;
 
 pub use atom::{Atom, AtomTable};
 pub use error::TrimError;
@@ -67,3 +68,4 @@ pub use journal::{Change, Journal, Revision};
 pub use naive::{NaiveStore, NaiveTriple};
 pub use plan::{Access, IndexKind, PatternShape, Plan};
 pub use store::{StoreStats, Triple, TriplePattern, TripleStore, Value};
+pub use wal::{CommitOutcome, LogReport, StoreLog};

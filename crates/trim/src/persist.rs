@@ -130,6 +130,36 @@ impl TripleStore {
         TripleStore::load_from(&StdVfs, path.as_ref())
     }
 
+    /// Open a store with the write-ahead log as its commit path: load
+    /// the snapshot at `path` (or start empty if none exists), replay
+    /// the paired `<path>.wal` log — salvaging a torn tail — and return
+    /// the store positioned at its last committed state together with
+    /// the attached [`StoreLog`].
+    ///
+    /// This is the authoritative way to open a store for ongoing
+    /// mutation: edits become durable through [`StoreLog::commit`]
+    /// (O(changes), one fsync per batch) instead of a full rewrite, and
+    /// the full [`TripleStore::save`] rewrite becomes the *compaction*
+    /// step ([`StoreLog::compact`]). Stale `.slimio-tmp` files from
+    /// crashed saves are swept as part of opening.
+    ///
+    /// [`StoreLog`]: crate::wal::StoreLog
+    /// [`StoreLog::commit`]: crate::wal::StoreLog::commit
+    /// [`StoreLog::compact`]: crate::wal::StoreLog::compact
+    pub fn open_logged(
+        vfs: &mut dyn Vfs,
+        path: &Path,
+    ) -> Result<(TripleStore, crate::wal::StoreLog, crate::wal::LogReport), TrimError> {
+        slimio::sweep_stale_temp(vfs, path);
+        let mut store = if vfs.exists(path) {
+            TripleStore::load_from(vfs, path)?
+        } else {
+            TripleStore::new()
+        };
+        let (log, report) = crate::wal::StoreLog::attach(vfs, path, &mut store)?;
+        Ok((store, log, report))
+    }
+
     /// [`load`](TripleStore::load) through an explicit [`Vfs`] backend.
     pub fn load_from(vfs: &dyn Vfs, path: &Path) -> Result<TripleStore, TrimError> {
         let (verdict, payload) = slimio::load_sealed(vfs, path)?;

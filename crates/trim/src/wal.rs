@@ -1,0 +1,714 @@
+//! Logged persistence: the write-ahead log as the store's commit path.
+//!
+//! Rewriting the whole sealed XML artifact on every save is O(store);
+//! with a log in front of it, a commit costs O(changes since the last
+//! commit): the journal suffix is encoded as one CRC-framed record batch
+//! and appended with a single sync (group commit, [`slimio::Wal`]).
+//! The full `to_xml` rewrite survives as the *compaction* step, run
+//! periodically to bound log length and restart time.
+//!
+//! Recovery = snapshot + replay:
+//!
+//! 1. load the snapshot (atomic, sealed — exactly as before),
+//! 2. open the log, salvaging a torn tail down to the longest CRC-valid
+//!    frame prefix,
+//! 3. replay the surviving frames' operations onto the store.
+//!
+//! The result is the state as of the last acknowledged commit — never a
+//! partial batch, because a batch is one frame and a frame is atomic
+//! under CRC.
+//!
+//! Compaction is crash-consistent by ordering + binding: the new
+//! snapshot is installed atomically *first*, then the log is reset. The
+//! log header carries the CRC of the snapshot generation it extends
+//! ([`slimio::Wal`] "bind"), so a crash between the two steps leaves a
+//! stale log that the next open detects and discards instead of
+//! replaying old operations over the newer snapshot.
+//!
+//! [`StoreLog`] deliberately does not own the [`TripleStore`]: the
+//! SLIMPad DMI embeds its store, and the pad file format embeds the
+//! store's XML inside a larger document. Callers that snapshot a
+//! different payload (the pad) use [`StoreLog::compact_with`]; the aux
+//! record channel ([`StoreLog::commit_with_aux`]) lets them ride small
+//! sidecar blobs (the mark store) in the same committed frame.
+
+use crate::journal::{Change, Revision};
+use crate::store::{Triple, TripleStore, Value};
+use crate::TrimError;
+use slimio::{crc32, Vfs, Wal, WalFrame, WalReport};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Record tags inside a frame payload.
+const REC_INSERT: u8 = 0;
+const REC_REMOVE: u8 = 1;
+const REC_AUX: u8 = 2;
+
+/// Object kind bytes.
+const OBJ_LITERAL: u8 = 0;
+const OBJ_RESOURCE: u8 = 1;
+
+/// Compact when the log grows past this many bytes (callers can tune it
+/// with [`StoreLog::set_compact_threshold`]).
+const DEFAULT_COMPACT_THRESHOLD: u64 = 1 << 20;
+
+/// What [`StoreLog::attach`] (and [`TripleStore::open_logged`]) found:
+/// the low-level log salvage report plus the replay accounting.
+#[derive(Debug, Clone, Default)]
+pub struct LogReport {
+    /// The frame-level open/salvage report.
+    pub wal: WalReport,
+    /// Frames whose operations were replayed onto the store.
+    pub frames_replayed: usize,
+    /// Individual insert/remove operations replayed.
+    pub ops_replayed: usize,
+    /// Aux records recovered from the log, last write per key.
+    pub aux: BTreeMap<String, Vec<u8>>,
+}
+
+impl LogReport {
+    /// True when the open found a pristine snapshot+log pair.
+    pub fn is_clean(&self) -> bool {
+        self.wal.is_clean() || (self.wal.created && self.wal.notes.is_empty())
+    }
+}
+
+impl std::fmt::Display for LogReport {
+    /// Status-bar summary of a recovery, e.g.
+    /// `replayed 2 frames (9 ops); dropped 7 torn tail bytes`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.wal.created {
+            write!(f, "started a fresh log")?;
+        } else {
+            write!(f, "replayed {} frames ({} ops)", self.frames_replayed, self.ops_replayed)?;
+        }
+        if !self.aux.is_empty() {
+            write!(f, ", {} aux record(s)", self.aux.len())?;
+        }
+        if self.wal.torn_bytes > 0 {
+            write!(f, "; dropped {} torn tail bytes", self.wal.torn_bytes)?;
+        }
+        if self.wal.discarded_frames > 0 {
+            write!(f, "; discarded {} stale frames", self.wal.discarded_frames)?;
+        }
+        if self.wal.swept_temp {
+            write!(f, "; swept a stale temp file")?;
+        }
+        for note in &self.wal.notes {
+            write!(f, "; {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of a [`StoreLog::commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Nothing changed since the last commit; nothing was written.
+    Clean,
+    /// One frame holding `ops` store operations was group-committed with
+    /// sequence number `seq`.
+    Committed { seq: u64, ops: usize },
+    /// The delta since the last commit could not be derived — an undo
+    /// crossed the commit boundary, or the journal was truncated.
+    /// **Nothing was persisted**: the caller must run a compaction
+    /// ([`StoreLog::compact`] or [`StoreLog::compact_with`]) to make the
+    /// current state durable.
+    NeedsFullSnapshot,
+}
+
+/// A write-ahead log attached to a snapshot file, tracking which store
+/// revision is durably committed.
+#[derive(Debug, Clone)]
+pub struct StoreLog {
+    snapshot_path: PathBuf,
+    wal: Wal,
+    committed: Revision,
+    compact_threshold: u64,
+}
+
+impl StoreLog {
+    /// The log file that pairs with a snapshot: `pad.xml` → `pad.xml.wal`
+    /// (a sibling, so both live on the same file system).
+    pub fn wal_path(snapshot_path: &Path) -> PathBuf {
+        let mut name =
+            snapshot_path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(".wal");
+        snapshot_path.with_file_name(name)
+    }
+
+    /// Open the log paired with `snapshot_path` and replay its frames
+    /// onto `store` (which the caller loaded from the snapshot, or
+    /// created fresh if no snapshot exists). Returns the attached log
+    /// and a report of what recovery found.
+    ///
+    /// After this call `store` holds the last-committed state, its
+    /// journal is truncated (replay is not undoable), and subsequent
+    /// [`StoreLog::commit`] calls persist exactly the journal suffix.
+    pub fn attach(
+        vfs: &mut dyn Vfs,
+        snapshot_path: &Path,
+        store: &mut TripleStore,
+    ) -> Result<(StoreLog, LogReport), TrimError> {
+        Self::attach_impl(vfs, snapshot_path, store, true)
+    }
+
+    /// [`StoreLog::attach`] with tail-frame CRC verification disabled —
+    /// exists only for the slimcheck mutation harness.
+    #[doc(hidden)]
+    pub fn testonly_attach_skip_tail_crc(
+        vfs: &mut dyn Vfs,
+        snapshot_path: &Path,
+        store: &mut TripleStore,
+    ) -> Result<(StoreLog, LogReport), TrimError> {
+        Self::attach_impl(vfs, snapshot_path, store, false)
+    }
+
+    fn attach_impl(
+        vfs: &mut dyn Vfs,
+        snapshot_path: &Path,
+        store: &mut TripleStore,
+        verify_crc: bool,
+    ) -> Result<(StoreLog, LogReport), TrimError> {
+        let bind = snapshot_bind(vfs, snapshot_path)?;
+        let wal_path = Self::wal_path(snapshot_path);
+        let (wal, frames, wal_report) = if verify_crc {
+            Wal::open(vfs, &wal_path, bind)?
+        } else {
+            Wal::testonly_open_skip_tail_crc(vfs, &wal_path, bind)?
+        };
+        let mut report = LogReport { wal: wal_report, ..LogReport::default() };
+        report.frames_replayed = frames.len();
+        report.ops_replayed = replay_frames(store, &frames, &mut report.aux)?;
+        // Replay restores committed state; it is not an edit the user can
+        // undo, and the commit boundary starts here.
+        store.journal_mut().truncate();
+        let log = StoreLog {
+            snapshot_path: snapshot_path.to_path_buf(),
+            wal,
+            committed: store.revision(),
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+        };
+        Ok((log, report))
+    }
+
+    /// Group-commit every store change since the last commit as one log
+    /// frame: one append, one sync, regardless of how many operations
+    /// the batch holds. See [`CommitOutcome`] for the three results.
+    pub fn commit(
+        &mut self,
+        vfs: &mut dyn Vfs,
+        store: &mut TripleStore,
+    ) -> Result<CommitOutcome, TrimError> {
+        self.commit_with_aux(vfs, store, &[])
+    }
+
+    /// [`StoreLog::commit`] plus sidecar aux records riding in the same
+    /// frame (e.g. the pad's mark-store XML). Aux records replay
+    /// last-write-wins into [`LogReport::aux`] on recovery.
+    pub fn commit_with_aux(
+        &mut self,
+        vfs: &mut dyn Vfs,
+        store: &mut TripleStore,
+        aux: &[(&str, &[u8])],
+    ) -> Result<CommitOutcome, TrimError> {
+        let rev = store.revision();
+        {
+            let journal = store.journal();
+            // The journal suffix after `committed` is the delta between
+            // the persisted state and the current one only if (a) history
+            // still reaches back to `committed` and (b) no undo rewound
+            // below it since the last commit. Otherwise only a full
+            // snapshot can re-establish durability.
+            if journal.earliest() > self.committed || journal.low_water() < self.committed {
+                return Ok(CommitOutcome::NeedsFullSnapshot);
+            }
+        }
+        let (payload, ops) = {
+            let changes = store.journal().since(self.committed);
+            if changes.is_empty() && aux.is_empty() {
+                return Ok(CommitOutcome::Clean);
+            }
+            (encode_records(store, changes, aux), changes.len())
+        };
+        let seq = self.wal.append(vfs, &payload)?;
+        self.committed = rev;
+        store.journal_mut().reset_low_water();
+        Ok(CommitOutcome::Committed { seq, ops })
+    }
+
+    /// Compact: fold the log into a fresh snapshot of the store itself
+    /// (canonical sealed XML, atomically installed), then reset the log
+    /// to an empty generation bound to that snapshot.
+    ///
+    /// Crash-consistent at every step: before the snapshot rename the old
+    /// (snapshot, log) pair is intact; between snapshot install and log
+    /// reset the stale log is detected by its bind and discarded on the
+    /// next open; after the reset the pair is the new generation.
+    pub fn compact(
+        &mut self,
+        vfs: &mut dyn Vfs,
+        store: &mut TripleStore,
+    ) -> Result<(), TrimError> {
+        let xml = store.to_xml();
+        self.compact_with(vfs, store, &xml)
+    }
+
+    /// [`StoreLog::compact`] with a caller-provided snapshot payload, for
+    /// adopters whose snapshot file embeds the store in a larger document
+    /// (the pad file). `payload` must be a document that, when reopened
+    /// through the caller's load path, reproduces `store`'s current
+    /// contents.
+    pub fn compact_with(
+        &mut self,
+        vfs: &mut dyn Vfs,
+        store: &mut TripleStore,
+        payload: &str,
+    ) -> Result<(), TrimError> {
+        let sealed = slimio::seal(payload);
+        slimio::install_atomic(vfs, &self.snapshot_path, sealed.as_bytes())?;
+        self.wal.reset(vfs, crc32(sealed.as_bytes()))?;
+        self.committed = store.revision();
+        store.journal_mut().reset_low_water();
+        Ok(())
+    }
+
+    /// True when the log has grown past the compaction threshold and the
+    /// caller should fold it into a snapshot at the next opportunity.
+    pub fn should_compact(&self) -> bool {
+        self.wal.len_bytes() > self.compact_threshold
+    }
+
+    /// Tune the [`StoreLog::should_compact`] threshold (bytes of log).
+    pub fn set_compact_threshold(&mut self, bytes: u64) {
+        self.compact_threshold = bytes;
+    }
+
+    /// The store revision whose effects are durably committed.
+    pub fn committed_revision(&self) -> Revision {
+        self.committed
+    }
+
+    /// Acknowledged log length in bytes (header + committed frames).
+    pub fn log_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// The snapshot file this log extends.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot_path
+    }
+}
+
+/// The bind CRC for the snapshot currently on disk: the CRC32 of the raw
+/// file bytes, or of the empty string when no snapshot exists yet. The
+/// same value is computed from the sealed payload at compaction time, so
+/// snapshot and log agree on the generation they form together.
+fn snapshot_bind(vfs: &dyn Vfs, snapshot_path: &Path) -> Result<u32, TrimError> {
+    if !vfs.exists(snapshot_path) {
+        return Ok(crc32(b""));
+    }
+    let bytes = vfs.read(snapshot_path).map_err(TrimError::Io)?;
+    Ok(crc32(&bytes))
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn push_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    buf.extend_from_slice(b);
+}
+
+/// Encode a journal suffix (plus aux records) as one frame payload.
+fn encode_records(store: &TripleStore, changes: &[Change], aux: &[(&str, &[u8])]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for change in changes {
+        let (tag, t) = match change {
+            Change::Insert(t) => (REC_INSERT, t),
+            Change::Remove(t) => (REC_REMOVE, t),
+        };
+        buf.push(tag);
+        push_str(&mut buf, store.resolve(t.subject));
+        push_str(&mut buf, store.resolve(t.property));
+        match t.object {
+            Value::Literal(a) => {
+                buf.push(OBJ_LITERAL);
+                push_str(&mut buf, store.resolve(a));
+            }
+            Value::Resource(a) => {
+                buf.push(OBJ_RESOURCE);
+                push_str(&mut buf, store.resolve(a));
+            }
+        }
+    }
+    for (key, value) in aux {
+        buf.push(REC_AUX);
+        push_str(&mut buf, key);
+        push_bytes(&mut buf, value);
+    }
+    buf
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    seq: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn corrupt(&self, what: &str) -> TrimError {
+        TrimError::Corrupt {
+            detail: format!(
+                "log frame {} is malformed at byte {}: {what}",
+                self.seq, self.at
+            ),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, TrimError> {
+        let b = *self.bytes.get(self.at).ok_or_else(|| self.corrupt("truncated record"))?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn blob(&mut self) -> Result<&'a [u8], TrimError> {
+        if self.bytes.len() - self.at < 4 {
+            return Err(self.corrupt("truncated length prefix"));
+        }
+        let len =
+            u32::from_le_bytes(self.bytes[self.at..self.at + 4].try_into().unwrap()) as usize;
+        self.at += 4;
+        if self.bytes.len() - self.at < len {
+            return Err(self.corrupt("length prefix exceeds record"));
+        }
+        let out = &self.bytes[self.at..self.at + len];
+        self.at += len;
+        Ok(out)
+    }
+
+    fn str(&mut self) -> Result<&'a str, TrimError> {
+        let blob = self.blob()?;
+        std::str::from_utf8(blob).map_err(|_| self.corrupt("non-UTF-8 string"))
+    }
+
+    fn done(&self) -> bool {
+        self.at >= self.bytes.len()
+    }
+}
+
+/// Replay recovered frames onto the store, collecting aux records
+/// last-write-wins. Returns the number of store operations applied.
+fn replay_frames(
+    store: &mut TripleStore,
+    frames: &[WalFrame],
+    aux: &mut BTreeMap<String, Vec<u8>>,
+) -> Result<usize, TrimError> {
+    let mut ops = 0;
+    for frame in frames {
+        let mut cur = Cursor { bytes: &frame.payload, at: 0, seq: frame.seq };
+        while !cur.done() {
+            let tag = cur.u8()?;
+            match tag {
+                REC_INSERT | REC_REMOVE => {
+                    let s = store.try_atom(cur.str()?)?;
+                    let p = store.try_atom(cur.str()?)?;
+                    let kind = cur.u8()?;
+                    let o = store.try_atom(cur.str()?)?;
+                    let object = match kind {
+                        OBJ_LITERAL => Value::Literal(o),
+                        OBJ_RESOURCE => Value::Resource(o),
+                        other => {
+                            return Err(cur.corrupt(&format!("unknown object kind {other}")))
+                        }
+                    };
+                    let triple = Triple { subject: s, property: p, object };
+                    if tag == REC_INSERT {
+                        store.insert(s, p, object);
+                    } else {
+                        store.remove(triple);
+                    }
+                    ops += 1;
+                }
+                REC_AUX => {
+                    let key = cur.str()?.to_string();
+                    let value = cur.blob()?.to_vec();
+                    aux.insert(key, value);
+                }
+                other => return Err(cur.corrupt(&format!("unknown record tag {other}"))),
+            }
+        }
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+
+    const SNAP: &str = "store.xml";
+
+    fn snap() -> &'static Path {
+        Path::new(SNAP)
+    }
+
+    fn contents(store: &TripleStore) -> Vec<(String, String, bool, String)> {
+        let mut out: Vec<_> = store
+            .iter()
+            .map(|t| {
+                let (is_res, obj) = match t.object {
+                    Value::Resource(a) => (true, store.resolve(a).to_string()),
+                    Value::Literal(a) => (false, store.resolve(a).to_string()),
+                };
+                (
+                    store.resolve(t.subject).to_string(),
+                    store.resolve(t.property).to_string(),
+                    is_res,
+                    obj,
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn reopen(vfs: &mut MemVfs) -> (TripleStore, StoreLog, LogReport) {
+        TripleStore::open_logged(vfs, snap()).unwrap()
+    }
+
+    #[test]
+    fn open_commit_reopen_roundtrip() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, report) = reopen(&mut vfs);
+        assert!(report.wal.created);
+        store.insert_literal("b:1", "bundleName", "John Smith");
+        store.insert_resource("b:1", "nestedBundle", "b:2");
+        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        assert!(matches!(outcome, CommitOutcome::Committed { seq: 0, ops: 2 }));
+
+        let (recovered, log2, report) = reopen(&mut vfs);
+        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(report.ops_replayed, 2);
+        assert_eq!(contents(&recovered), contents(&store));
+        assert_eq!(log2.committed_revision(), recovered.revision());
+    }
+
+    #[test]
+    fn clean_commit_writes_nothing() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        store.insert_literal("s", "p", "v");
+        log.commit(&mut vfs, &mut store).unwrap();
+        let before = log.log_bytes();
+        assert_eq!(log.commit(&mut vfs, &mut store).unwrap(), CommitOutcome::Clean);
+        assert_eq!(log.log_bytes(), before);
+    }
+
+    #[test]
+    fn a_batch_is_one_frame() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        for i in 0..100 {
+            store.insert_literal(&format!("s:{i}"), "p", "v");
+        }
+        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        assert!(matches!(outcome, CommitOutcome::Committed { seq: 0, ops: 100 }));
+        store.insert_literal("one", "more", "row");
+        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        assert!(matches!(outcome, CommitOutcome::Committed { seq: 1, ops: 1 }));
+    }
+
+    #[test]
+    fn removes_and_set_unique_replay_correctly() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        let s = store.atom("b:1");
+        let p = store.atom("bundleName");
+        let v1 = store.literal_value("first");
+        store.insert(s, p, v1);
+        log.commit(&mut vfs, &mut store).unwrap();
+        let v2 = store.literal_value("second");
+        store.set_unique(s, p, v2);
+        let t = store.insert_literal("x", "y", "z");
+        store.remove(t);
+        log.commit(&mut vfs, &mut store).unwrap();
+
+        let (recovered, _, _) = reopen(&mut vfs);
+        assert_eq!(contents(&recovered), contents(&store));
+        recovered.check_invariants();
+    }
+
+    #[test]
+    fn undo_within_the_commit_window_commits_the_net_delta() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        store.insert_literal("keep", "p", "v");
+        let mark = store.revision();
+        store.insert_literal("oops", "p", "v");
+        store.undo_to(mark).unwrap();
+        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        assert!(matches!(outcome, CommitOutcome::Committed { ops: 1, .. }), "{outcome:?}");
+        let (recovered, _, _) = reopen(&mut vfs);
+        assert_eq!(contents(&recovered), contents(&store));
+    }
+
+    #[test]
+    fn undo_across_the_commit_boundary_forces_a_snapshot() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        store.insert_literal("a", "p", "v");
+        let mark = store.revision();
+        store.insert_literal("b", "p", "v");
+        log.commit(&mut vfs, &mut store).unwrap();
+        // Rewind below the committed revision: the journal suffix no
+        // longer describes the delta from the persisted state.
+        store.undo_to(mark).unwrap();
+        store.insert_literal("c", "p", "v");
+        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        assert_eq!(outcome, CommitOutcome::NeedsFullSnapshot);
+        // Nothing was persisted by that call; compaction re-establishes
+        // durability and subsequent commits are incremental again.
+        log.compact(&mut vfs, &mut store).unwrap();
+        let (recovered, mut log2, report) = reopen(&mut vfs);
+        assert_eq!(report.frames_replayed, 0);
+        assert_eq!(contents(&recovered), contents(&store));
+        let mut recovered = recovered;
+        recovered.insert_literal("d", "p", "v");
+        assert!(matches!(
+            log2.commit(&mut vfs, &mut recovered).unwrap(),
+            CommitOutcome::Committed { ops: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn compaction_folds_the_log_and_preserves_state() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        for i in 0..20 {
+            store.insert_literal(&format!("s:{i}"), "p", "v");
+            log.commit(&mut vfs, &mut store).unwrap();
+        }
+        let long_log = log.log_bytes();
+        log.compact(&mut vfs, &mut store).unwrap();
+        assert!(log.log_bytes() < long_log);
+        let (recovered, _, report) = reopen(&mut vfs);
+        assert_eq!(report.frames_replayed, 0, "compacted log must be empty");
+        assert_eq!(contents(&recovered), contents(&store));
+    }
+
+    #[test]
+    fn should_compact_follows_the_threshold() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        log.set_compact_threshold(64);
+        assert!(!log.should_compact());
+        store.insert_literal("some-subject", "some-property", "some-value");
+        log.commit(&mut vfs, &mut store).unwrap();
+        assert!(log.should_compact());
+        log.compact(&mut vfs, &mut store).unwrap();
+        assert!(!log.should_compact());
+    }
+
+    #[test]
+    fn aux_records_ride_the_frame_and_replay_last_wins() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        store.insert_literal("s", "p", "v");
+        log.commit_with_aux(&mut vfs, &mut store, &[("marks", b"<marks v=1/>")]).unwrap();
+        store.insert_literal("s2", "p", "v");
+        log.commit_with_aux(&mut vfs, &mut store, &[("marks", b"<marks v=2/>")]).unwrap();
+
+        let (_, _, report) = reopen(&mut vfs);
+        assert_eq!(report.aux.get("marks").map(Vec::as_slice), Some(&b"<marks v=2/>"[..]));
+    }
+
+    #[test]
+    fn aux_only_commit_is_a_frame() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        let outcome =
+            log.commit_with_aux(&mut vfs, &mut store, &[("marks", b"<m/>")]).unwrap();
+        assert!(matches!(outcome, CommitOutcome::Committed { ops: 0, .. }));
+        let (_, _, report) = reopen(&mut vfs);
+        assert_eq!(report.aux.get("marks").map(Vec::as_slice), Some(&b"<m/>"[..]));
+    }
+
+    #[test]
+    fn stale_log_after_external_snapshot_rewrite_is_discarded() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        store.insert_literal("logged", "p", "v");
+        log.commit(&mut vfs, &mut store).unwrap();
+        // Someone rewrites the snapshot through the classic full-save
+        // path, without touching the log: the snapshot is now the newer
+        // authority and the log frames are stale.
+        let mut authoritative = TripleStore::new();
+        authoritative.insert_literal("authoritative", "p", "v");
+        authoritative.save_to(&mut vfs, snap()).unwrap();
+
+        let (recovered, _, report) = reopen(&mut vfs);
+        assert_eq!(report.wal.discarded_frames, 1);
+        assert_eq!(contents(&recovered), contents(&authoritative));
+    }
+
+    #[test]
+    fn crash_between_snapshot_install_and_log_reset_recovers_the_snapshot() {
+        // Simulate the exact compaction window: the new snapshot is
+        // installed but the log reset never happens (halting fault on the
+        // log's header rewrite).
+        let mut base = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut base);
+        store.insert_literal("s1", "p", "v");
+        log.commit(&mut base, &mut store).unwrap();
+        store.insert_literal("s2", "p", "v");
+        log.commit(&mut base, &mut store).unwrap();
+
+        // The snapshot install is the first write+sync+rename+sync_dir
+        // quartet; the log reset is the second write. Fail it.
+        let config = FaultConfig::new(FaultOp::Write, FaultMode::Fail, 1, 0).halting();
+        let mut vfs = FaultVfs::new(base, config);
+        assert!(log.compact(&mut vfs, &mut store).is_err());
+        assert!(vfs.fault_fired());
+
+        let mut disk = vfs.into_inner();
+        let (recovered, _, report) = reopen(&mut disk);
+        assert_eq!(
+            report.wal.discarded_frames, 2,
+            "stale pre-compaction frames must be discarded, not replayed"
+        );
+        assert_eq!(contents(&recovered), contents(&store));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_refused_strictly() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        store.insert_literal("s", "p", "v");
+        log.compact(&mut vfs, &mut store).unwrap();
+        let mut bytes = vfs.bytes(SNAP).unwrap().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        vfs.write(snap(), &bytes).unwrap();
+        assert!(matches!(
+            TripleStore::open_logged(&mut vfs, snap()),
+            Err(TrimError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn open_logged_sweeps_stale_snapshot_temps() {
+        let mut vfs = MemVfs::new();
+        let (mut store, mut log, _) = reopen(&mut vfs);
+        store.insert_literal("s", "p", "v");
+        log.compact(&mut vfs, &mut store).unwrap();
+        vfs.write(Path::new("store.xml.slimio-tmp"), b"crash leftover").unwrap();
+        vfs.write(Path::new("store.xml.wal.slimio-tmp"), b"crash leftover").unwrap();
+        let (_, _, report) = reopen(&mut vfs);
+        assert!(report.wal.swept_temp);
+        assert!(!vfs.exists(Path::new("store.xml.slimio-tmp")));
+        assert!(!vfs.exists(Path::new("store.xml.wal.slimio-tmp")));
+    }
+}
