@@ -65,6 +65,11 @@ impl RowShift {
     }
 }
 
+/// Still a reference after rewriting (i.e. no member became `#REF!`)?
+fn still_ref(expr: &Expr) -> bool {
+    matches!(expr, Expr::Cell(_) | Expr::Range(_) | Expr::Union(_) | Expr::Intersect { .. })
+}
+
 /// Rewrite every cell/range reference in an expression. References to a
 /// deleted row become `#REF!`-producing markers (an unknown-name call,
 /// rendering the classic error on evaluation).
@@ -79,6 +84,24 @@ fn rewrite_expr(expr: &Expr, shift: RowShift) -> Expr {
             Some(new) => Expr::Range(new),
             None => Expr::Call { name: "__REF_ERROR".into(), args: Vec::new() },
         },
+        // Union/intersection members must stay references to re-render, so
+        // one deleted member turns the whole reference into `#REF!`.
+        Expr::Union(parts) => {
+            let new: Vec<Expr> = parts.iter().map(|p| rewrite_expr(p, shift)).collect();
+            if new.iter().all(still_ref) {
+                Expr::Union(new)
+            } else {
+                Expr::Call { name: "__REF_ERROR".into(), args: Vec::new() }
+            }
+        }
+        Expr::Intersect { lhs, rhs } => {
+            let (l, r) = (rewrite_expr(lhs, shift), rewrite_expr(rhs, shift));
+            if still_ref(&l) && still_ref(&r) {
+                Expr::Intersect { lhs: Box::new(l), rhs: Box::new(r) }
+            } else {
+                Expr::Call { name: "__REF_ERROR".into(), args: Vec::new() }
+            }
+        }
         Expr::Unary { negate, expr } => {
             Expr::Unary { negate: *negate, expr: Box::new(rewrite_expr(expr, shift)) }
         }
@@ -115,6 +138,23 @@ fn expr_to_text(expr: &Expr) -> String {
             Expr::Range(r) => {
                 // Always emit the two-corner form so 1×1 ranges stay ranges.
                 out.push_str(&format!("{}:{}", r.start, r.end));
+            }
+            Expr::Union(parts) => {
+                out.push('(');
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    go(p, out);
+                }
+                out.push(')');
+            }
+            Expr::Intersect { lhs, rhs } => {
+                out.push('(');
+                go(lhs, out);
+                out.push(' ');
+                go(rhs, out);
+                out.push(')');
             }
             Expr::Unary { negate, expr } => {
                 if *negate {

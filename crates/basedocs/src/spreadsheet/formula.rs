@@ -10,9 +10,18 @@
 //! muldiv  := power  ( ('*' | '/') power )*
 //! power   := unary  ( '^' power )?            // right-associative
 //! unary   := ('-' | '+')* primary
-//! primary := number | string | TRUE | FALSE | range | cell
+//! primary := number | string | TRUE | FALSE | ref | cell
 //!          | name '(' args ')' | '(' compare ')'
+//! ref     := refterm ( WS refterm )*          // whitespace = intersection
+//! refterm := range | cell | '(' ref ( ',' ref )* ')'   // ',' = union
 //! ```
+//!
+//! The reference operators follow the spreadsheet tradition: `,` inside
+//! parentheses unions references (`SUM((A1:A2,C1:C2))` sums both
+//! columns), whitespace between two references intersects them
+//! (`SUM(A1:C3 B2:D4)` sums the overlap, `#NULL!` when disjoint). Both
+//! bind tighter than any arithmetic operator and only ever apply to
+//! references — `SUM(1 2)` stays a parse error.
 //!
 //! Evaluation is pull-based: the evaluator asks a [`CellResolver`] for
 //! referenced cell values, and the workbook's resolver (see
@@ -32,6 +41,12 @@ pub enum Expr {
     Bool(bool),
     Cell(CellRef),
     Range(Range),
+    /// Reference union: `(A1:A2,C1:C2)` — the concatenation of the
+    /// member references (duplicates kept, like the spreadsheet union).
+    Union(Vec<Expr>),
+    /// Reference intersection: `A1:C3 B2:D4` — the cells common to both
+    /// sides; empty intersections evaluate to `#NULL!`.
+    Intersect { lhs: Box<Expr>, rhs: Box<Expr> },
     Unary { negate: bool, expr: Box<Expr> },
     Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
     Call { name: String, args: Vec<Expr> },
@@ -87,7 +102,16 @@ pub fn eval(expr: &Expr, cells: &dyn CellResolver) -> CellValue {
         Expr::Text(s) => CellValue::Text(s.clone()),
         Expr::Bool(b) => CellValue::Bool(*b),
         Expr::Cell(c) => cells.cell_value(*c),
-        Expr::Range(_) => CellValue::Error("#VALUE!".into()),
+        Expr::Range(_) | Expr::Union(_) | Expr::Intersect { .. } => {
+            // A multi-cell reference in scalar position is `#VALUE!`; an
+            // intersection that narrows to one cell reads that cell, and
+            // an empty intersection is `#NULL!`.
+            match ref_cells(expr).as_deref() {
+                Some([c]) => cells.cell_value(*c),
+                Some([]) => CellValue::Error("#NULL!".into()),
+                _ => CellValue::Error("#VALUE!".into()),
+            }
+        }
         Expr::Unary { negate, expr } => {
             let v = eval(expr, cells);
             if !negate {
@@ -169,17 +193,51 @@ fn compare(op: BinOp, l: &CellValue, r: &CellValue) -> CellValue {
     CellValue::Bool(b)
 }
 
-/// Flatten arguments into scalar values: ranges expand to their cells.
+/// A reference expression: something the union/intersection operators
+/// (and `ref_cells`) apply to.
+fn is_ref_expr(expr: &Expr) -> bool {
+    matches!(expr, Expr::Cell(_) | Expr::Range(_) | Expr::Union(_) | Expr::Intersect { .. })
+}
+
+/// The cells a reference expression covers, in reference order — `None`
+/// for non-reference expressions. Unions concatenate (duplicates kept);
+/// intersections keep the left side's order.
+fn ref_cells(expr: &Expr) -> Option<Vec<CellRef>> {
+    match expr {
+        Expr::Cell(c) => Some(vec![*c]),
+        Expr::Range(r) => Some(r.cells().collect()),
+        Expr::Union(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend(ref_cells(p)?);
+            }
+            Some(out)
+        }
+        Expr::Intersect { lhs, rhs } => {
+            let l = ref_cells(lhs)?;
+            let r = ref_cells(rhs)?;
+            Some(l.into_iter().filter(|c| r.contains(c)).collect())
+        }
+        _ => None,
+    }
+}
+
+/// Flatten arguments into scalar values: references (ranges, unions,
+/// intersections) expand to their cells. An empty intersection surfaces
+/// as `#NULL!`, matching the spreadsheet null-intersection error.
 fn flatten_args(args: &[Expr], cells: &dyn CellResolver) -> Result<Vec<CellValue>, CellValue> {
     let mut out = Vec::new();
     for a in args {
-        match a {
-            Expr::Range(r) => {
-                for c in r.cells() {
+        match ref_cells(a) {
+            Some(refs) => {
+                if refs.is_empty() && matches!(a, Expr::Intersect { .. }) {
+                    return Err(CellValue::Error("#NULL!".into()));
+                }
+                for c in refs {
                     out.push(cells.cell_value(c));
                 }
             }
-            other => out.push(eval(other, cells)),
+            None => out.push(eval(a, cells)),
         }
     }
     for v in &out {
@@ -286,6 +344,64 @@ fn eval_call(name: &str, args: &[Expr], cells: &dyn CellResolver) -> CellValue {
                 )
             }
         }
+        "IFS" => {
+            // (cond1, value1, cond2, value2, …): the first truthy
+            // condition's value; no pair matching is `#N/A`.
+            if args.is_empty() || !args.len().is_multiple_of(2) {
+                return arity_error();
+            }
+            for pair in args.chunks(2) {
+                let cond = eval(&pair[0], cells);
+                if let CellValue::Error(_) = cond {
+                    return cond;
+                }
+                if cond.is_truthy() {
+                    return eval(&pair[1], cells);
+                }
+            }
+            CellValue::Error("#N/A".into())
+        }
+        "COUNTIFS" => match ifs_mask(args, None, cells) {
+            Ok(mask) => CellValue::Number(mask.iter().filter(|m| **m).count() as f64),
+            Err(e) => e,
+        },
+        "SUMIFS" | "AVERAGEIFS" | "MAXIFS" | "MINIFS" => {
+            // (target_range, crit_range1, crit1, [crit_range2, crit2, …]):
+            // aggregate target cells whose row passes every criterion.
+            let [target, rest @ ..] = args else {
+                return arity_error();
+            };
+            let Some(values) = ref_cells(target).map(|refs| {
+                refs.iter().map(|c| cells.cell_value(*c)).collect::<Vec<_>>()
+            }) else {
+                return arity_error();
+            };
+            let mask = match ifs_mask(rest, Some(values.len()), cells) {
+                Ok(mask) => mask,
+                Err(e) => return e,
+            };
+            let picked: Vec<f64> = values
+                .iter()
+                .zip(&mask)
+                .filter(|(_, m)| **m)
+                .filter_map(|(v, _)| v.as_number().ok())
+                .collect();
+            match upper.as_str() {
+                "SUMIFS" => CellValue::Number(picked.iter().sum()),
+                "AVERAGEIFS" if picked.is_empty() => CellValue::Error("#DIV/0!".into()),
+                "AVERAGEIFS" => {
+                    CellValue::Number(picked.iter().sum::<f64>() / picked.len() as f64)
+                }
+                "MAXIFS" => {
+                    CellValue::Number(picked.iter().copied().fold(0.0f64, f64::max))
+                }
+                "MINIFS" if picked.is_empty() => CellValue::Number(0.0),
+                "MINIFS" => {
+                    CellValue::Number(picked.iter().copied().fold(f64::INFINITY, f64::min))
+                }
+                _ => unreachable!(),
+            }
+        }
         "ABS" | "SQRT" | "ROUND" | "NOT" | "LEN" => {
             let vals = match flatten_args(args, cells) {
                 Ok(v) => v,
@@ -387,6 +503,40 @@ fn criterion_matches(value: &CellValue, criterion: &CellValue) -> bool {
         (Ok(a), Ok(b)) => a == b,
         _ => value.to_string().eq_ignore_ascii_case(&criterion.to_string()),
     }
+}
+
+/// Evaluate `(crit_range, criterion)` argument pairs into a per-position
+/// keep-mask. Every criterion range must be a reference of the same
+/// length, which must also match `expected` (the target-range length)
+/// when one is supplied.
+fn ifs_mask(
+    pairs: &[Expr],
+    expected: Option<usize>,
+    cells: &dyn CellResolver,
+) -> Result<Vec<bool>, CellValue> {
+    if pairs.is_empty() || !pairs.len().is_multiple_of(2) {
+        return Err(CellValue::Error("#VALUE!".into()));
+    }
+    let mut mask: Option<Vec<bool>> = expected.map(|n| vec![true; n]);
+    for pair in pairs.chunks(2) {
+        let Some(refs) = ref_cells(&pair[0]) else {
+            return Err(CellValue::Error("#VALUE!".into()));
+        };
+        let criterion = eval(&pair[1], cells);
+        if let CellValue::Error(_) = criterion {
+            return Err(criterion);
+        }
+        let m = mask.get_or_insert_with(|| vec![true; refs.len()]);
+        if m.len() != refs.len() {
+            return Err(CellValue::Error("#VALUE!".into()));
+        }
+        for (keep, cell) in m.iter_mut().zip(&refs) {
+            if *keep && !criterion_matches(&cells.cell_value(*cell), &criterion) {
+                *keep = false;
+            }
+        }
+    }
+    Ok(mask.unwrap_or_default())
 }
 
 /// MIN/MAX of an empty set is 0 in classic spreadsheet semantics.
@@ -535,10 +685,30 @@ impl<'a> Parser<'a> {
         if first == '(' {
             self.pos += 1;
             let inner = self.compare()?;
+            // Reference union: `(ref1, ref2, …)`. A comma after a
+            // reference inside grouping parens unions further references;
+            // after a non-reference it stays a parse error.
+            if is_ref_expr(&inner) && self.eat(",") {
+                let mut members = vec![inner];
+                loop {
+                    let member = self.compare()?;
+                    if !is_ref_expr(&member) {
+                        return Err(self.error("union members must be references".into()));
+                    }
+                    members.push(member);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                if !self.eat(")") {
+                    return Err(self.error("missing ')'".into()));
+                }
+                return Ok(self.maybe_intersect(Expr::Union(members)));
+            }
             if !self.eat(")") {
                 return Err(self.error("missing ')'".into()));
             }
-            return Ok(inner);
+            return Ok(self.maybe_intersect(inner));
         }
         if first == '"' {
             return self.string_literal();
@@ -643,13 +813,53 @@ impl<'a> Parser<'a> {
             }
             let second = &self.text[second_start..self.pos];
             match (CellRef::parse(word), CellRef::parse(second)) {
-                (Ok(a), Ok(b)) => return Ok(Expr::Range(Range::new(a, b))),
+                (Ok(a), Ok(b)) => {
+                    return Ok(self.maybe_intersect(Expr::Range(Range::new(a, b))));
+                }
                 _ => self.pos = save,
             }
         }
-        CellRef::parse(word)
-            .map(Expr::Cell)
-            .map_err(|_| self.error(format!("unknown name {word:?}")))
+        match CellRef::parse(word) {
+            Ok(cell) => Ok(self.maybe_intersect(Expr::Cell(cell))),
+            Err(_) => Err(self.error(format!("unknown name {word:?}"))),
+        }
+    }
+
+    /// After a reference term, whitespace followed by another reference
+    /// term is the intersection operator. Anything else (an arithmetic
+    /// operator, a non-reference, end of input) leaves `lhs` untouched.
+    fn maybe_intersect(&mut self, lhs: Expr) -> Expr {
+        if !is_ref_expr(&lhs) {
+            return lhs;
+        }
+        let mut out = lhs;
+        while let Some(rhs) = self.try_ref_term() {
+            out = Expr::Intersect { lhs: Box::new(out), rhs: Box::new(rhs) };
+        }
+        out
+    }
+
+    /// Try to parse a reference term at the current position; restore the
+    /// position and return `None` if what follows is not a reference.
+    fn try_ref_term(&mut self) -> Option<Expr> {
+        let save = self.pos;
+        self.skip_ws();
+        let rest = self.rest();
+        let parsed = if rest.starts_with('(') {
+            self.primary()
+        } else if rest.starts_with(|c: char| c.is_ascii_alphabetic()) {
+            self.name_or_ref()
+        } else {
+            self.pos = save;
+            return None;
+        };
+        match parsed {
+            Ok(expr) if is_ref_expr(&expr) => Some(expr),
+            _ => {
+                self.pos = save;
+                None
+            }
+        }
     }
 
     /// A function argument: a bare range is allowed here.
@@ -847,5 +1057,91 @@ mod tests {
     #[test]
     fn nested_calls() {
         assert_eq!(ev("SUM(1, IF(TRUE, 2, 99), MAX(0, 3))"), n(6.0));
+    }
+
+    #[test]
+    fn reference_union() {
+        let cells = MapResolver::new(&[
+            ("A1", n(1.0)),
+            ("A2", n(2.0)),
+            ("C1", n(10.0)),
+            ("C2", n(20.0)),
+        ]);
+        assert_eq!(evaluate("SUM((A1:A2,C1:C2))", &cells).unwrap(), n(33.0));
+        assert_eq!(evaluate("COUNT((A1,C1,C2))", &cells).unwrap(), n(3.0));
+        // Union keeps duplicates, like the spreadsheet union operator.
+        assert_eq!(evaluate("SUM((A1:A2,A1:A2))", &cells).unwrap(), n(6.0));
+        // Unions only accept references.
+        assert!(parse("SUM((A1, 2))").is_err());
+    }
+
+    #[test]
+    fn reference_intersection() {
+        let cells = MapResolver::new(&[
+            ("B2", n(5.0)),
+            ("B3", n(7.0)),
+            ("C2", n(11.0)),
+            ("D4", n(100.0)),
+        ]);
+        // A1:C3 ∩ B2:D4 = B2:C3.
+        assert_eq!(evaluate("SUM(A1:C3 B2:D4)", &cells).unwrap(), n(23.0));
+        // An intersection narrowing to one cell reads as that cell.
+        assert_eq!(evaluate("B2:B9 A2:Z2 + 1", &cells).unwrap(), n(6.0));
+        // Disjoint references: the null-intersection error.
+        assert_eq!(evaluate("SUM(A1:A3 C1:C3)", &cells).unwrap(), CellValue::Error("#NULL!".into()));
+        assert_eq!(evaluate("A1:A3 C1:C3", &cells).unwrap(), CellValue::Error("#NULL!".into()));
+        // Chains and union operands intersect too.
+        assert_eq!(evaluate("SUM(A1:D4 B1:C9 A2:Z2)", &cells).unwrap(), n(16.0));
+        assert_eq!(evaluate("SUM((A1:A9,B1:B9) A2:Z3)", &cells).unwrap(), n(12.0));
+    }
+
+    #[test]
+    fn ifs_family() {
+        let cells = MapResolver::new(&[
+            // ward, sodium, potassium — one row per draw.
+            ("A1", CellValue::Text("icu".into())),
+            ("B1", n(140.0)),
+            ("C1", n(4.1)),
+            ("A2", CellValue::Text("ward".into())),
+            ("B2", n(128.0)),
+            ("C2", n(3.2)),
+            ("A3", CellValue::Text("icu".into())),
+            ("B3", n(145.0)),
+            ("C3", n(5.4)),
+        ]);
+        assert_eq!(evaluate("IFS(1>2, 10, 2>1, 20)", &cells).unwrap(), n(20.0));
+        assert_eq!(evaluate("IFS(1>2, 10)", &cells).unwrap(), CellValue::Error("#N/A".into()));
+        assert_eq!(
+            evaluate("COUNTIFS(A1:A3, \"icu\", B1:B3, \">135\")", &cells).unwrap(),
+            n(2.0)
+        );
+        assert_eq!(
+            evaluate("SUMIFS(B1:B3, A1:A3, \"icu\", C1:C3, \">5\")", &cells).unwrap(),
+            n(145.0)
+        );
+        assert_eq!(
+            evaluate("AVERAGEIFS(C1:C3, A1:A3, \"icu\")", &cells).unwrap(),
+            n(4.75)
+        );
+        assert_eq!(
+            evaluate("MAXIFS(B1:B3, A1:A3, \"ward\")", &cells).unwrap(),
+            n(128.0)
+        );
+        assert_eq!(
+            evaluate("MINIFS(B1:B3, A1:A3, \"icu\")", &cells).unwrap(),
+            n(140.0)
+        );
+        // No matching rows: AVERAGEIFS divides by zero, MINIFS is 0.
+        assert_eq!(
+            evaluate("AVERAGEIFS(C1:C3, A1:A3, \"morgue\")", &cells).unwrap(),
+            CellValue::Error("#DIV/0!".into())
+        );
+        assert_eq!(evaluate("MINIFS(B1:B3, A1:A3, \"morgue\")", &cells).unwrap(), n(0.0));
+        // Mismatched criterion-range length is a #VALUE! error.
+        assert_eq!(
+            evaluate("SUMIFS(B1:B3, A1:A2, \"icu\")", &cells).unwrap(),
+            CellValue::Error("#VALUE!".into())
+        );
+        assert_eq!(ev("COUNTIFS(A1:A3)"), CellValue::Error("#VALUE!".into()));
     }
 }

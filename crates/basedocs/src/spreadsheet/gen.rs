@@ -1,0 +1,230 @@
+//! Deterministic flowsheet generation: the spreadsheet hook for
+//! hospital-scale corpus synthesis (slimgen).
+//!
+//! A generated flowsheet is the workhorse document of the scaled-up
+//! scenario corpus: an hourly vitals grid (ward, heart rate, blood
+//! pressure, SpO₂, temperature, electrolytes) followed by a computed
+//! summary block that exercises the conditional-aggregation functions
+//! (`COUNTIFS`/`AVERAGEIFS`/`MAXIFS`/`MINIFS`/`IFS`) and the reference
+//! union/intersection operators. The generator returns the mark-worthy
+//! coordinates — the data grid, per-vital column ranges, and each
+//! computed cell — so callers can superimpose range-addressed and
+//! computed-cell marks without re-deriving the layout.
+//!
+//! Everything is a pure function of [`FlowsheetSpec`]: the same spec
+//! yields a byte-identical workbook, which is what lets slimgen promise
+//! seed-stable corpus digests.
+
+use super::cellref::{CellRef, Range};
+use super::workbook::Workbook;
+
+/// What to generate. Same spec ⇒ identical workbook.
+#[derive(Debug, Clone)]
+pub struct FlowsheetSpec {
+    /// Workbook file name, e.g. `"flowsheet-0042.xls"`.
+    pub file_name: String,
+    /// Patient label stamped into the title cell.
+    pub patient: String,
+    /// Number of hourly observation rows (clamped to at least 4 so the
+    /// summary block always has data under it).
+    pub hours: usize,
+    /// RNG seed for the vitals series.
+    pub seed: u64,
+}
+
+/// A generated flowsheet plus the coordinates worth marking.
+pub struct Flowsheet {
+    pub workbook: Workbook,
+    /// The sheet holding the grid (always `"Flowsheet"`).
+    pub sheet: String,
+    /// The full observation grid (header row excluded).
+    pub data_range: Range,
+    /// Per-vital column ranges over the data rows, `(label, range)`.
+    pub vital_columns: Vec<(String, Range)>,
+    /// The computed summary cells, `(label, cell)` — each holds a
+    /// formula using the IFS family or reference union/intersection.
+    pub computed_cells: Vec<(String, CellRef)>,
+}
+
+/// splitmix64 — tiny, dependency-free, deterministic.
+struct GenRng(u64);
+
+impl GenRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+}
+
+const WARDS: [&str; 3] = ["icu", "ward", "stepdown"];
+
+/// Generate a flowsheet workbook from a spec.
+pub fn flowsheet(spec: &FlowsheetSpec) -> Flowsheet {
+    let hours = spec.hours.max(4);
+    let mut rng = GenRng(spec.seed);
+    let mut wb = Workbook::new(spec.file_name.clone());
+    let sheet_name = "Flowsheet";
+    let sheet = wb.add_sheet(sheet_name).expect("fresh workbook");
+
+    // Header row.
+    let headers = ["Time", "Ward", "HR", "SBP", "SpO2", "Temp", "Na", "K"];
+    for (col, h) in headers.iter().enumerate() {
+        sheet.set(CellRef::new(0, col as u32), h).expect("header");
+    }
+
+    // Observation rows 1..=hours. The first two rows are pinned to icu
+    // and ward so every conditional aggregate has a non-empty match set.
+    for row in 1..=hours as u32 {
+        let ward = match row {
+            1 => "icu",
+            2 => "ward",
+            // Skew: the ICU produces the most observations.
+            _ => WARDS[[0, 0, 1, 2][rng.in_range(0, 3) as usize]],
+        };
+        let hr = rng.in_range(52, 135);
+        let sbp = rng.in_range(85, 165);
+        let spo2 = rng.in_range(88, 100);
+        let temp = 36.0 + rng.in_range(0, 25) as f64 / 10.0;
+        let na = rng.in_range(128, 148);
+        let k = 3.0 + rng.in_range(0, 28) as f64 / 10.0;
+        let cells: [(u32, String); 8] = [
+            (0, format!("{:02}:00", (row - 1) % 24)),
+            (1, ward.to_string()),
+            (2, hr.to_string()),
+            (3, sbp.to_string()),
+            (4, spo2.to_string()),
+            (5, format!("{temp:.1}")),
+            (6, na.to_string()),
+            (7, format!("{k:.1}")),
+        ];
+        for (col, text) in cells {
+            sheet.set(CellRef::new(row, col), &text).expect("data cell");
+        }
+    }
+
+    let last = hours as u32; // 0-based last data row
+    let data_range = Range::new(CellRef::new(1, 0), CellRef::new(last, 7));
+    let col_range = |col: u32| Range::new(CellRef::new(1, col), CellRef::new(last, col));
+    let vital_columns: Vec<(String, Range)> = headers[1..]
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (h.to_string(), col_range(i as u32 + 1)))
+        .collect();
+    let a1 = |col: u32| col_range(col).to_string(); // e.g. "C2:C25"
+
+    // Computed summary block: label in column A, formula in column B.
+    let (ward_r, hr_r, sbp_r, spo2_r, k_r) = (a1(1), a1(2), a1(3), a1(4), a1(7));
+    let tachy_cell = CellRef::new(last + 3, 1); // referenced by the IFS band
+    let mid = 1 + hours as u32 / 2;
+    let summary: Vec<(&str, String)> = vec![
+        ("icu mean hr", format!("=AVERAGEIFS({hr_r}, {ward_r}, \"icu\")")),
+        ("icu tachy hours", format!("=COUNTIFS({ward_r}, \"icu\", {hr_r}, \">110\")")),
+        ("ward max sbp", format!("=MAXIFS({sbp_r}, {ward_r}, \"ward\")")),
+        ("icu min spo2", format!("=MINIFS({spo2_r}, {ward_r}, \"icu\")")),
+        (
+            "risk band",
+            format!("=IFS({tachy_cell}>6, \"high\", {tachy_cell}>2, \"guarded\", TRUE, \"stable\")"),
+        ),
+        // Union: the first and last two heart-rate readings together.
+        (
+            "hr edges mean",
+            format!(
+                "=AVERAGE((C2:C3,{}:{}))",
+                CellRef::new(last - 1, 2),
+                CellRef::new(last, 2)
+            ),
+        ),
+        // Intersection: the potassium column clipped to the mid-stay row.
+        ("mid-stay k", format!("={k_r} A{row}:Z{row}", row = mid + 1)),
+    ];
+    let mut computed_cells = Vec::new();
+    for (i, (label, formula)) in summary.iter().enumerate() {
+        let row = last + 2 + i as u32;
+        sheet.set(CellRef::new(row, 0), label).expect("summary label");
+        let cell = CellRef::new(row, 1);
+        sheet.set(cell, formula).expect("summary formula");
+        computed_cells.push((label.to_string(), cell));
+    }
+    sheet
+        .set(CellRef::new(last + 2 + summary.len() as u32 + 1, 0), &spec.patient)
+        .expect("patient stamp");
+
+    wb.define_name("Vitals", sheet_name, data_range).expect("fresh name");
+    wb.define_name("HR", sheet_name, col_range(2)).expect("fresh name");
+
+    Flowsheet {
+        workbook: wb,
+        sheet: sheet_name.to_string(),
+        data_range,
+        vital_columns,
+        computed_cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spreadsheet::CellValue;
+
+    fn spec(seed: u64) -> FlowsheetSpec {
+        FlowsheetSpec {
+            file_name: "flow.xls".into(),
+            patient: "Bed 4: John Smith".into(),
+            hours: 24,
+            seed,
+        }
+    }
+
+    #[test]
+    fn computed_cells_evaluate_cleanly() {
+        let f = flowsheet(&spec(7));
+        let sheet = f.workbook.sheet(&f.sheet).unwrap();
+        for (label, cell) in &f.computed_cells {
+            let v = sheet.value(*cell);
+            assert!(
+                !matches!(v, CellValue::Error(_) | CellValue::Empty),
+                "{label} at {cell} evaluated to {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = flowsheet(&spec(42));
+        let b = flowsheet(&spec(42));
+        let sheet_a = a.workbook.sheet(&a.sheet).unwrap();
+        let sheet_b = b.workbook.sheet(&b.sheet).unwrap();
+        for cell in a.data_range.cells() {
+            assert_eq!(sheet_a.value(cell), sheet_b.value(cell));
+        }
+        let c = flowsheet(&spec(43));
+        let sheet_c = c.workbook.sheet(&c.sheet).unwrap();
+        assert!(
+            a.data_range.cells().any(|cell| sheet_a.value(cell) != sheet_c.value(cell)),
+            "different seeds should produce different vitals"
+        );
+    }
+
+    #[test]
+    fn mark_targets_are_well_formed() {
+        let f = flowsheet(&spec(1));
+        assert_eq!(f.vital_columns.len(), 7);
+        assert!(f.computed_cells.len() >= 6);
+        assert_eq!(f.workbook.resolve_name("Vitals").unwrap().1, f.data_range);
+        // The data grid holds a value in every vitals cell.
+        let sheet = f.workbook.sheet(&f.sheet).unwrap();
+        for (_, range) in &f.vital_columns {
+            for cell in range.cells() {
+                assert!(!matches!(sheet.value(cell), CellValue::Empty));
+            }
+        }
+    }
+}

@@ -21,10 +21,12 @@ mod edits;
 mod cellref;
 pub mod csv;
 pub mod formula;
+pub mod gen;
 mod value;
 mod workbook;
 
 pub use app::{SpreadsheetAddress, SpreadsheetApp};
+pub use gen::{flowsheet, Flowsheet, FlowsheetSpec};
 pub use cellref::{CellRef, Range};
 pub use value::CellValue;
 pub use workbook::{Sheet, Workbook};

@@ -1,0 +1,248 @@
+//! `BENCH_macro.json` reporter: end-to-end throughput of the whole stack
+//! under slimgen's hospital-scale workload — ops/sec and p99 op latency
+//! per traffic mix, plus restart (recovery) time at corpus scale.
+//!
+//! Unlike the micro reporters (`BENCH_trim`, `BENCH_wal`) this drives
+//! the *macro* path: every operation goes through `PadSession` over the
+//! WAL-logged store with the full quick-profile corpus (≥ 1,000
+//! documents, ≥ 100,000 marks) underneath, so mark resolution, scrap
+//! queries, undo and group-commit all pay their real costs.
+//!
+//! * `cargo run -p slim-bench --bin bench-macro --release` — full run,
+//!   writes `BENCH_macro.json` in the current directory.
+//! * `-- --quick` — fewer trace ops and restart rounds for CI smoke
+//!   runs; the corpus stays at quick-profile scale so per-op numbers
+//!   remain comparable with the committed baseline.
+//! * `-- --check BENCH_macro.json` — additionally gate: each mix's
+//!   throughput must stay within 2× of the committed baseline (the
+//!   factor absorbs machine variance; a real regression shows up well
+//!   past it).
+//! * `-- --out PATH` — write the report somewhere else.
+
+use slimgen::corpus::{self, Corpus};
+use slimgen::trace::{self, Driver, Mix};
+use slimgen::Profile;
+use std::path::Path;
+use std::time::Instant;
+use superimposed::slimio::MemVfs;
+use superimposed::slimpad::PadSession;
+
+const PAD: &str = "bench-macro.pad";
+const SEED: u64 = 0xC0FFEE;
+/// `--check` fails if a mix's ops/sec drops below baseline/this factor.
+const REGRESSION_FACTOR: f64 = 2.0;
+const MIXES: [Mix; 3] = [Mix::ReadHeavy, Mix::WriteHeavy, Mix::Mixed];
+
+struct Args {
+    quick: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quick: false, out: "BENCH_macro.json".to_string(), check: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--check" => args.check = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench-macro [--quick] [--out PATH] [--check BASELINE_PATH]");
+    std::process::exit(2)
+}
+
+struct MixResult {
+    mix: Mix,
+    ops: usize,
+    ops_per_sec: f64,
+    p99_ns: f64,
+}
+
+struct Report {
+    corpus_stats: corpus::CorpusStats,
+    mixes: Vec<MixResult>,
+    restart_replay_ns: f64,
+    restart_compacted_ns: f64,
+}
+
+/// A fresh logged quick-profile corpus — identical for every mix, so
+/// the mixes measure traffic shape, not accumulated state.
+fn logged_corpus() -> (Corpus, MemVfs) {
+    let mut corpus = corpus::generate(Profile::Quick, SEED);
+    let mut vfs = MemVfs::new();
+    corpus
+        .system
+        .pad
+        .enable_logging(&mut vfs, Path::new(PAD))
+        .expect("snapshot the corpus to the bench vfs");
+    (corpus, vfs)
+}
+
+fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+fn measure(quick: bool) -> Report {
+    let ops_per_mix = if quick { 500 } else { Profile::Quick.trace_ops() };
+    let mut corpus_stats = None;
+    let mut mixes = Vec::new();
+    let mut restart_replay_ns = 0.0;
+    let mut restart_compacted_ns = 0.0;
+
+    for mix in MIXES {
+        let (mut corpus, mut vfs) = logged_corpus();
+        corpus_stats.get_or_insert(corpus.stats);
+        let ops = trace::generate(SEED, ops_per_mix, mix);
+        let mut driver = Driver::new(&corpus.system);
+
+        let mut latencies_ns = Vec::with_capacity(ops.len());
+        let run = Instant::now();
+        for op in &ops {
+            let t = Instant::now();
+            driver.apply(&mut corpus.system, &corpus.mark_ids, &mut vfs, op);
+            latencies_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        let total_s = run.elapsed().as_secs_f64();
+        latencies_ns.sort_by(|a, b| a.total_cmp(b));
+        mixes.push(MixResult {
+            mix,
+            ops: ops.len(),
+            ops_per_sec: ops.len() as f64 / total_s.max(f64::EPSILON),
+            p99_ns: percentile(&latencies_ns, 0.99),
+        });
+
+        // Restart at scale, measured once off the write-heavy log: the
+        // most frames to replay over the largest mark store.
+        if mix == Mix::WriteHeavy {
+            corpus.system.pad.commit(&mut vfs).expect("seal the write-heavy run");
+            let rounds = if quick { 1 } else { 2 };
+            restart_replay_ns = best_restart_ns(&corpus, &mut vfs, rounds);
+            corpus.system.pad.compact(&mut vfs).expect("compact");
+            restart_compacted_ns = best_restart_ns(&corpus, &mut vfs, rounds);
+        }
+    }
+
+    Report {
+        corpus_stats: corpus_stats.expect("at least one mix ran"),
+        mixes,
+        restart_replay_ns,
+        restart_compacted_ns,
+    }
+}
+
+/// Best-of-`rounds` time to recover a session from the logged pad —
+/// snapshot load, frame replay, and mark-module rewiring included.
+fn best_restart_ns(corpus: &Corpus, vfs: &mut MemVfs, rounds: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let manager = corpus.system.fresh_manager().expect("rebuild mark modules");
+        let start = Instant::now();
+        PadSession::open_logged(vfs, Path::new(PAD), manager).expect("recovery open");
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn render_json(r: &Report, quick: bool) -> String {
+    let s = &r.corpus_stats;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str(&format!("  \"seed\": \"{SEED:#x}\",\n"));
+    out.push_str(&format!(
+        "  \"corpus\": {{\"docs\": {}, \"marks\": {}, \"bundles\": {}, \"scraps\": {}}},\n",
+        s.docs, s.marks, s.bundles, s.scraps
+    ));
+    out.push_str("  \"mixes\": [\n");
+    for (i, m) in r.mixes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mix\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.1}, \"p99_ns\": {:.1}}}{}\n",
+            m.mix.name(),
+            m.ops,
+            m.ops_per_sec,
+            m.p99_ns,
+            if i + 1 == r.mixes.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"restart\": {{\"replay_ns\": {:.1}, \"compacted_ns\": {:.1}}}\n",
+        r.restart_replay_ns, r.restart_compacted_ns
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Pull `"ops_per_sec": X` for one mix out of a baseline report
+/// (machine-written by this binary in a fixed shape).
+fn baseline_ops_per_sec(baseline: &str, mix: Mix) -> Option<f64> {
+    let marker = format!("\"mix\": \"{}\"", mix.name());
+    let line = baseline.lines().find(|l| l.contains(&marker))?;
+    let rest = line.split("\"ops_per_sec\":").nth(1)?;
+    rest.trim_start().split([',', '}']).next()?.trim().parse().ok()
+}
+
+fn check(r: &Report, baseline_path: &str) -> Result<(), String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    for m in &r.mixes {
+        let Some(committed) = baseline_ops_per_sec(&baseline, m.mix) else {
+            return Err(format!("baseline has no ops_per_sec for mix `{}`", m.mix.name()));
+        };
+        if m.ops_per_sec < committed / REGRESSION_FACTOR {
+            return Err(format!(
+                "mix `{}`: {:.1} ops/sec regressed more than {REGRESSION_FACTOR}x against \
+                 the committed baseline ({committed:.1} ops/sec)",
+                m.mix.name(),
+                m.ops_per_sec,
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let report = measure(args.quick);
+    let s = &report.corpus_stats;
+    println!(
+        "corpus: {} docs, {} marks, {} bundles, {} scraps (seed {SEED:#x})",
+        s.docs, s.marks, s.bundles, s.scraps
+    );
+    for m in &report.mixes {
+        println!(
+            "mix {:>5}: {:>6} ops  {:>10.1} ops/sec  p99 {:>12.1} ns",
+            m.mix.name(),
+            m.ops,
+            m.ops_per_sec,
+            m.p99_ns,
+        );
+    }
+    println!(
+        "restart at scale: {:>14.1} ns replay, {:>14.1} ns after compaction",
+        report.restart_replay_ns, report.restart_compacted_ns
+    );
+    std::fs::write(&args.out, render_json(&report, args.quick))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+    if let Some(baseline) = &args.check {
+        match check(&report, baseline) {
+            Ok(()) => println!("baseline check passed against {baseline}"),
+            Err(msg) => {
+                eprintln!("baseline check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

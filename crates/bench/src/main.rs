@@ -23,6 +23,23 @@ const SPEEDUP_FLOOR: f64 = 5.0;
 /// `--check` fails if a gated speedup drops below baseline/this factor.
 const REGRESSION_FACTOR: f64 = 2.0;
 
+/// Shapes known to run *slower* than the naive scan, tracked instead of
+/// silenced: they are exempt from the ≥5× floor but still gated against
+/// the committed baseline, so the known ratio cannot quietly get worse.
+/// Each entry carries the issue note explaining why it is allowed.
+struct AllowedRegression {
+    shape: PatternShape,
+    note: &'static str,
+}
+
+const ALLOWED_REGRESSIONS: [AllowedRegression; 1] = [AllowedRegression {
+    shape: PatternShape::Unbound,
+    note: "unbound full scan runs at ~0.3x of the naive Vec scan: iterating \
+           the BTreeSet index pointer-chases where the Vec streams. Tracked \
+           (ROADMAP: dense sidecar for shape-unbound scans); gated against \
+           the baseline so it cannot silently degrade further.",
+}];
+
 struct Args {
     quick: bool,
     out: String,
@@ -141,6 +158,19 @@ fn render_json(results: &[ShapeResult], quick: bool) -> String {
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"allowed_regressions\": [\n");
+    for (i, a) in ALLOWED_REGRESSIONS.iter().enumerate() {
+        let r = results.iter().find(|r| r.shape == a.shape).expect("measured");
+        out.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"allow_regression\": true, \"ratio\": {:.1}, \
+             \"note\": \"{}\"}}{}\n",
+            a.shape.name(),
+            r.speedup(),
+            a.note,
+            if i + 1 == ALLOWED_REGRESSIONS.len() { "" } else { "," },
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -180,6 +210,25 @@ fn check(results: &[ShapeResult], baseline_path: &str) -> Result<(), String> {
             }
         }
     }
+    // Allowed regressions skip the floor but not the baseline gate: the
+    // tracked ratio must not quietly get worse.
+    for allowed in &ALLOWED_REGRESSIONS {
+        let r = results
+            .iter()
+            .find(|r| r.shape == allowed.shape)
+            .expect("measure() covers every shape");
+        let ratio = r.speedup();
+        if let Some(committed) = baseline_speedup(&baseline, allowed.shape) {
+            if ratio < committed / REGRESSION_FACTOR {
+                return Err(format!(
+                    "shape `{}`: tracked ratio {ratio:.1}x fell more than {REGRESSION_FACTOR}x \
+                     below the committed baseline ({committed:.1}x) — the allowed regression \
+                     is degrading",
+                    allowed.shape.name()
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -195,6 +244,18 @@ fn main() {
             r.indexed_ns,
             r.naive_ns,
             r.speedup(),
+        );
+    }
+    for allowed in &ALLOWED_REGRESSIONS {
+        let r = results
+            .iter()
+            .find(|r| r.shape == allowed.shape)
+            .expect("measure() covers every shape");
+        println!(
+            "note: shape {:>7} runs at {:.1}x (allowed regression, tracked): {}",
+            allowed.shape.name(),
+            r.speedup(),
+            allowed.note
         );
     }
     std::fs::write(&args.out, render_json(&results, args.quick))

@@ -25,6 +25,7 @@
 //! the exact failure. Seeded mutations ([`Mutation`]) disable known
 //! pieces of the real implementation to prove the harness catches bugs.
 
+pub mod corpus_prefix;
 pub mod dmi_diff;
 pub mod ops;
 pub mod pad_diff;
@@ -272,9 +273,26 @@ pub fn run_layer(
     max_ops: usize,
     mutation: Mutation,
 ) -> Option<Divergence> {
+    run_layer_with_corpus(layer, base_seed, cases, max_ops, mutation, 0)
+}
+
+/// [`run_layer`] with a slimgen seed-corpus prefix: every case starts
+/// from `corpus` translated structure-building ops (see
+/// [`corpus_prefix`]) prepended inside the check closure, so the
+/// shrinker only minimizes the random suffix. `corpus = 0` is exactly
+/// [`run_layer`]; the resolver layer has no structure ops and ignores
+/// the prefix.
+pub fn run_layer_with_corpus(
+    layer: Layer,
+    base_seed: u64,
+    cases: u32,
+    max_ops: usize,
+    mutation: Mutation,
+    corpus: usize,
+) -> Option<Divergence> {
     for case in 0..cases {
         let seed = mix_seed(base_seed, layer.tag(), case);
-        let divergence = replay_case(layer, mutation, seed, case, max_ops);
+        let divergence = replay_case(layer, mutation, seed, case, max_ops, corpus);
         if divergence.is_some() {
             return divergence;
         }
@@ -285,7 +303,20 @@ pub fn run_layer(
 /// Re-run the single case identified by `seed` (as printed in a
 /// divergence report).
 pub fn replay(layer: Layer, seed: u64, max_ops: usize, mutation: Mutation) -> Option<Divergence> {
-    replay_case(layer, mutation, seed, 0, max_ops)
+    replay_case(layer, mutation, seed, 0, max_ops, 0)
+}
+
+/// [`replay`] for a case originally found with a seed-corpus prefix:
+/// `corpus` must match the sweep's `--corpus` value or the sequence the
+/// seed regenerates will differ.
+pub fn replay_with_corpus(
+    layer: Layer,
+    seed: u64,
+    max_ops: usize,
+    mutation: Mutation,
+    corpus: usize,
+) -> Option<Divergence> {
+    replay_case(layer, mutation, seed, 0, max_ops, corpus)
 }
 
 fn replay_case(
@@ -294,28 +325,69 @@ fn replay_case(
     seed: u64,
     case: u32,
     max_ops: usize,
+    corpus: usize,
 ) -> Option<Divergence> {
     let max_ops = max_ops.max(1);
     match layer {
         Layer::Store => {
             let strategy = proptest::collection::vec(ops::store_op_strategy(), 1..max_ops + 1);
-            run_case(layer, mutation, &strategy, |ops| store_diff::check(ops, mutation), seed, case)
+            let prefix = corpus_prefix::store_prefix(seed, corpus);
+            run_case(
+                layer,
+                mutation,
+                &strategy,
+                |ops| store_diff::check(&with_prefix(&prefix, ops), mutation),
+                seed,
+                case,
+            )
         }
         Layer::Wal => {
             let strategy = proptest::collection::vec(ops::wal_op_strategy(), 1..max_ops + 1);
-            run_case(layer, mutation, &strategy, |ops| wal_diff::check(ops, mutation), seed, case)
+            let prefix = corpus_prefix::wal_prefix(seed, corpus);
+            run_case(
+                layer,
+                mutation,
+                &strategy,
+                |ops| wal_diff::check(&with_prefix(&prefix, ops), mutation),
+                seed,
+                case,
+            )
         }
         Layer::Dmi => {
             let strategy = proptest::collection::vec(ops::dmi_op_strategy(), 1..max_ops + 1);
-            run_case(layer, mutation, &strategy, dmi_diff::check, seed, case)
+            let prefix = corpus_prefix::dmi_prefix(seed, corpus);
+            run_case(
+                layer,
+                mutation,
+                &strategy,
+                |ops| dmi_diff::check(&with_prefix(&prefix, ops)),
+                seed,
+                case,
+            )
         }
         Layer::Pad => {
             let strategy = proptest::collection::vec(ops::pad_op_strategy(), 1..max_ops + 1);
-            run_case(layer, mutation, &strategy, pad_diff::check, seed, case)
+            let prefix = corpus_prefix::pad_prefix(seed, corpus);
+            run_case(
+                layer,
+                mutation,
+                &strategy,
+                |ops| pad_diff::check(&with_prefix(&prefix, ops)),
+                seed,
+                case,
+            )
         }
         Layer::Resolver => {
             let strategy = proptest::collection::vec(ops::resolver_op_strategy(), 1..max_ops + 1);
             run_case(layer, mutation, &strategy, resolver_diff::check, seed, case)
         }
     }
+}
+
+/// `prefix ++ suffix` without cloning when there is no prefix.
+fn with_prefix<T: Clone>(prefix: &[T], suffix: &[T]) -> Vec<T> {
+    let mut all = Vec::with_capacity(prefix.len() + suffix.len());
+    all.extend_from_slice(prefix);
+    all.extend_from_slice(suffix);
+    all
 }

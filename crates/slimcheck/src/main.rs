@@ -7,7 +7,7 @@
 //! * `cargo run -p slimcheck -- --mutate` — enable each seeded bug in
 //!   turn and prove the harness detects and shrinks it.
 
-use slimcheck::{run_layer, replay, Divergence, Layer, Mutation};
+use slimcheck::{replay_with_corpus, run_layer_with_corpus, Divergence, Layer, Mutation};
 
 /// Sweep base seed: stable so CI runs are reproducible; override with
 /// `--base-seed` to explore a different region.
@@ -19,6 +19,7 @@ struct Args {
     layers: Vec<Layer>,
     cases: u32,
     max_ops: usize,
+    corpus: usize,
     base_seed: u64,
     seed: Option<u64>,
     mutation: Mutation,
@@ -28,9 +29,12 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: slimcheck [--layer store|wal|dmi|pad|resolver|all] [--cases N] [--ops N]\n\
-         \x20                [--base-seed HEX] [--seed HEX] [--mutation NAME] [--mutate]\n\
+         \x20                [--corpus N] [--base-seed HEX] [--seed HEX] [--mutation NAME]\n\
+         \x20                [--mutate]\n\
          \n\
          Default: a bounded differential sweep of every layer.\n\
+         --corpus N        prepend N slimgen seed-corpus ops to every case\n\
+         \x20                (replays must pass the same value)\n\
          --seed HEX        replay one case (requires a single --layer)\n\
          --mutation NAME   seeded bug to enable: {}\n\
          --mutate          run every seeded bug; each must be caught\n\
@@ -52,6 +56,7 @@ fn parse_args() -> Args {
         layers: Layer::ALL.to_vec(),
         cases: DEFAULT_CASES,
         max_ops: DEFAULT_OPS,
+        corpus: 0,
         base_seed: DEFAULT_BASE_SEED,
         seed: None,
         mutation: Mutation::None,
@@ -71,6 +76,9 @@ fn parse_args() -> Args {
             }
             "--cases" => args.cases = value("--cases").parse().unwrap_or_else(|_| usage_for("--cases")),
             "--ops" => args.max_ops = value("--ops").parse().unwrap_or_else(|_| usage_for("--ops")),
+            "--corpus" => {
+                args.corpus = value("--corpus").parse().unwrap_or_else(|_| usage_for("--corpus"))
+            }
             "--base-seed" => {
                 args.base_seed =
                     parse_u64(&value("--base-seed")).unwrap_or_else(|| usage_for("--base-seed"))
@@ -111,16 +119,18 @@ fn main() {
             usage();
         }
         let layer = args.layers[0];
-        match replay(layer, seed, args.max_ops, args.mutation) {
+        match replay_with_corpus(layer, seed, args.max_ops, args.mutation, args.corpus) {
             Some(d) => {
                 print!("{}", d.report());
+                report_corpus(args.corpus);
                 std::process::exit(1);
             }
             None => {
                 println!(
-                    "slimcheck: layer `{}` seed 0x{seed:016x}: no divergence (mutation: {})",
+                    "slimcheck: layer `{}` seed 0x{seed:016x}: no divergence (mutation: {}, corpus: {})",
                     layer.name(),
                     args.mutation.name(),
+                    args.corpus,
                 );
                 return;
             }
@@ -131,14 +141,23 @@ fn main() {
     let mut failed: Option<Divergence> = None;
     for layer in &args.layers {
         println!(
-            "slimcheck: sweeping layer `{}` ({} cases, <= {} ops, base seed 0x{:016x})",
+            "slimcheck: sweeping layer `{}` ({} cases, <= {} ops, corpus {}, base seed 0x{:016x})",
             layer.name(),
             args.cases,
             args.max_ops,
+            args.corpus,
             args.base_seed,
         );
-        if let Some(d) = run_layer(*layer, args.base_seed, args.cases, args.max_ops, args.mutation) {
+        if let Some(d) = run_layer_with_corpus(
+            *layer,
+            args.base_seed,
+            args.cases,
+            args.max_ops,
+            args.mutation,
+            args.corpus,
+        ) {
             print!("{}", d.report());
+            report_corpus(args.corpus);
             failed = Some(d);
             break;
         }
@@ -149,13 +168,28 @@ fn main() {
     }
 }
 
+/// The divergence report prints a bare replay command; when a
+/// seed-corpus prefix was active the replay must repeat it.
+fn report_corpus(corpus: usize) {
+    if corpus > 0 {
+        println!("  note: sweep ran with --corpus {corpus}; add it to the replay command");
+    }
+}
+
 /// Run every seeded bug against the layer that exercises it; the
 /// harness must catch each one and shrink it to a near-trivial
 /// sequence. Exit 0 only if all die.
 fn mutation_mode(args: &Args) -> i32 {
     let mut surviving = 0;
     for mutation in Mutation::ALL {
-        match run_layer(mutation.layer(), args.base_seed, args.cases, args.max_ops, mutation) {
+        match run_layer_with_corpus(
+            mutation.layer(),
+            args.base_seed,
+            args.cases,
+            args.max_ops,
+            mutation,
+            args.corpus,
+        ) {
             Some(d) if d.minimal_len <= mutation.shrink_bound() => {
                 println!(
                     "mutant `{}`: KILLED in case {} — shrunk {} -> {} ops \

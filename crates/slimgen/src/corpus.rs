@@ -1,0 +1,490 @@
+//! Corpus synthesis: thousands of base documents across all six kinds,
+//! hundreds of thousands of marks, and a pad world — all from one seed.
+//!
+//! ## Skew model
+//!
+//! Real chart traffic is nothing like uniform, so neither is ours:
+//!
+//! * **Hot documents** — a mark picks its document with a cubed-uniform
+//!   draw (`(u³ · n)`), so the first few documents of every kind absorb
+//!   most of the marks, a power-law-ish head with a long tail.
+//! * **Clustered targets** — every document pre-selects a few *hot
+//!   anchors* (a vitals row, a bookmark, a slide); 70% of its marks land
+//!   on a hot anchor with small jitter, the rest anywhere valid.
+//! * **Deep nesting** — new bundles parent into recently created bundles
+//!   far more often than into the root, growing chains like a clinician
+//!   filing patients → problems → evidence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use superimposed::basedocs::pdfdoc::PdfDocument;
+use superimposed::basedocs::slides::SlideDeck;
+use superimposed::basedocs::spreadsheet::gen::{flowsheet, FlowsheetSpec};
+use superimposed::basedocs::spreadsheet::{CellRef, Range, SpreadsheetAddress};
+use superimposed::basedocs::textdoc::{TextAddress, TextDocument, TextTarget};
+use superimposed::basedocs::htmldoc::{HtmlAddress, HtmlTarget};
+use superimposed::basedocs::pdfdoc::PdfAddress;
+use superimposed::basedocs::xmldoc::XmlAddress;
+use superimposed::basedocs::Span;
+use superimposed::marks::MarkAddress;
+use superimposed::slimstore::{BundleHandle, ScrapHandle};
+use superimposed::xmlkit::XPath;
+use superimposed::SuperimposedSystem;
+
+use crate::{Digest, Profile};
+
+/// Mark-worthy coordinates of one generated document, enough to draw a
+/// valid in-bounds address without consulting the live application.
+#[derive(Debug, Clone)]
+pub enum DocTargets {
+    Sheet {
+        file: String,
+        sheet: String,
+        /// Per-vital column ranges over the data rows.
+        columns: Vec<Range>,
+        /// Computed summary cells (IFS-family / union / intersection).
+        computed: Vec<CellRef>,
+    },
+    Xml {
+        file: String,
+        /// Element names addressable as `/labReport/<name>`.
+        elems: Vec<String>,
+    },
+    Text {
+        file: String,
+        /// `(paragraph index, paragraph length)`.
+        paragraphs: Vec<usize>,
+        bookmarks: Vec<String>,
+    },
+    Html {
+        url: String,
+        anchors: Vec<String>,
+    },
+    Pdf {
+        file: String,
+        /// Line lengths per page: `lines[page][line]`.
+        lines: Vec<Vec<usize>>,
+    },
+    Slides {
+        file: String,
+        /// `(slide index, shape ids)`.
+        slides: Vec<Vec<String>>,
+    },
+}
+
+/// One generated document plus its hot anchors (indices into the
+/// document's target space; meaning depends on the kind).
+#[derive(Debug, Clone)]
+pub struct Doc {
+    pub targets: DocTargets,
+    hot: Vec<usize>,
+}
+
+/// Corpus-level counts for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusStats {
+    pub docs: usize,
+    pub marks: usize,
+    pub bundles: usize,
+    pub scraps: usize,
+}
+
+/// A generated corpus: the live system, every mark id, the pad world
+/// handles, and the digest of all generated document content.
+pub struct Corpus {
+    pub system: SuperimposedSystem,
+    pub docs: Vec<Doc>,
+    pub mark_ids: Vec<String>,
+    pub bundles: Vec<BundleHandle>,
+    pub scraps: Vec<ScrapHandle>,
+    /// Digest folded over every string fed into the base applications —
+    /// two runs with the same `(profile, seed)` must agree on it.
+    pub input_digest: Digest,
+    pub stats: CorpusStats,
+}
+
+impl Corpus {
+    /// The full serialized pad (store + marks) — the byte-identical
+    /// artifact of the determinism guarantee.
+    pub fn corpus_xml(&self) -> String {
+        self.system.pad.save_xml()
+    }
+}
+
+/// Cubed-uniform index: heavy head, long tail.
+fn skewed_index(rng: &mut StdRng, n: usize) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    ((u * u * u) * n as f64) as usize % n.max(1)
+}
+
+/// Generate the corpus for `(profile, seed)`.
+pub fn generate(profile: Profile, seed: u64) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x005e_3dc0_4b0c_0de5_u64);
+    let mut digest = Digest::new();
+    let mut system = SuperimposedSystem::new("slimgen hospital").expect("boot system");
+    let per_kind = profile.docs_per_kind();
+
+    let mut docs = Vec::with_capacity(per_kind * 6);
+    build_spreadsheets(&mut system, &mut rng, &mut digest, per_kind, &mut docs);
+    build_xml(&mut system, &mut rng, &mut digest, per_kind, &mut docs);
+    build_text(&mut system, &mut rng, &mut digest, per_kind, &mut docs);
+    build_html(&mut system, &mut rng, &mut digest, per_kind, &mut docs);
+    build_pdf(&mut system, &mut rng, &mut digest, per_kind, &mut docs);
+    build_slides(&mut system, &mut rng, &mut digest, per_kind, &mut docs);
+
+    // ---- marks: skewed over documents, clustered within ------------------
+    let mut mark_ids = Vec::with_capacity(profile.marks());
+    for _ in 0..profile.marks() {
+        let doc = &docs[skewed_index(&mut rng, docs.len())];
+        let address = random_address(doc, &mut rng);
+        let id = system
+            .pad
+            .marks_mut()
+            .create_mark_at(address)
+            .expect("generated addresses are in bounds");
+        mark_ids.push(id);
+    }
+
+    // ---- pad world: deep nesting, hot marks on scraps --------------------
+    let mut bundles = Vec::with_capacity(profile.bundles());
+    for i in 0..profile.bundles() {
+        // 20% file under the root; otherwise under a recent bundle, which
+        // grows chains instead of a flat fan.
+        let parent = if bundles.is_empty() || rng.gen_bool(0.2) {
+            None
+        } else {
+            let back = 1 + rng.gen_range(0..bundles.len().min(8));
+            Some(bundles[bundles.len() - back])
+        };
+        let pos = (rng.gen_range(0..1200i64), rng.gen_range(0..900i64));
+        let b = system
+            .pad
+            .create_bundle(&format!("bundle {i}"), pos, 400, 300, parent)
+            .expect("bundle creation");
+        bundles.push(b);
+    }
+    let mut scraps = Vec::with_capacity(profile.scraps());
+    for i in 0..profile.scraps() {
+        let mark = &mark_ids[skewed_index(&mut rng, mark_ids.len())];
+        let bundle = bundles[rng.gen_range(0..bundles.len())];
+        let pos = (rng.gen_range(0..380i64), rng.gen_range(0..280i64));
+        let s = system
+            .pad
+            .place_mark(mark, Some(&format!("scrap {i}")), pos, Some(bundle))
+            .expect("scrap placement");
+        scraps.push(s);
+    }
+
+    let stats = CorpusStats {
+        docs: docs.len(),
+        marks: mark_ids.len(),
+        bundles: bundles.len(),
+        scraps: scraps.len(),
+    };
+    Corpus { system, docs, mark_ids, bundles, scraps, input_digest: digest, stats }
+}
+
+// ---- per-kind builders ----------------------------------------------------
+
+fn pick_hot(rng: &mut StdRng, space: usize) -> Vec<usize> {
+    let k = 1 + rng.gen_range(0..3usize.min(space.max(1)));
+    (0..k).map(|_| rng.gen_range(0..space.max(1))).collect()
+}
+
+fn build_spreadsheets(
+    system: &mut SuperimposedSystem,
+    rng: &mut StdRng,
+    digest: &mut Digest,
+    n: usize,
+    docs: &mut Vec<Doc>,
+) {
+    for i in 0..n {
+        let spec = FlowsheetSpec {
+            file_name: format!("flowsheet-{i:04}.xls"),
+            patient: format!("Bed {}: patient {i}", i % 40),
+            hours: 24,
+            seed: rng.gen(),
+        };
+        let sheet_rows: u32 = spec.hours as u32;
+        let f = flowsheet(&spec);
+        digest.update(spec.file_name.as_bytes());
+        digest.update_u64(spec.seed);
+        let targets = DocTargets::Sheet {
+            file: spec.file_name.clone(),
+            sheet: f.sheet.clone(),
+            columns: f.vital_columns.iter().map(|(_, r)| *r).collect(),
+            computed: f.computed_cells.iter().map(|(_, c)| *c).collect(),
+        };
+        system.excel.borrow_mut().open(f.workbook).expect("open workbook");
+        docs.push(Doc { targets, hot: pick_hot(rng, sheet_rows as usize) });
+    }
+}
+
+fn build_xml(
+    system: &mut SuperimposedSystem,
+    rng: &mut StdRng,
+    digest: &mut Digest,
+    n: usize,
+    docs: &mut Vec<Doc>,
+) {
+    const PANELS: [&str; 12] = [
+        "sodium", "potassium", "chloride", "bicarb", "bun", "creatinine", "glucose", "calcium",
+        "wbc", "hgb", "platelets", "lactate",
+    ];
+    for i in 0..n {
+        let file = format!("labs-{i:04}.xml");
+        let mut body = String::from("<labReport>");
+        for name in PANELS {
+            body.push_str(&format!("<{name}>{}</{name}>", rng.gen_range(1..500)));
+        }
+        body.push_str("</labReport>");
+        digest.update(file.as_bytes());
+        digest.update(body.as_bytes());
+        system.xml.borrow_mut().open_text(&file, &body).expect("open xml");
+        docs.push(Doc {
+            targets: DocTargets::Xml {
+                file,
+                elems: PANELS.iter().map(|s| s.to_string()).collect(),
+            },
+            hot: pick_hot(rng, PANELS.len()),
+        });
+    }
+}
+
+fn build_text(
+    system: &mut SuperimposedSystem,
+    rng: &mut StdRng,
+    digest: &mut Digest,
+    n: usize,
+    docs: &mut Vec<Doc>,
+) {
+    const BOOKMARKS: [&str; 3] = ["hpi", "assessment", "plan"];
+    for i in 0..n {
+        let file = format!("note-{i:04}.doc");
+        let paras: Vec<String> = (0..16)
+            .map(|p| format!("Progress note {i} paragraph {p}: stable overnight, case {}.",
+                rng.gen_range(0..10_000)))
+            .collect();
+        let text = paras.join("\n\n");
+        digest.update(file.as_bytes());
+        digest.update(text.as_bytes());
+        let mut doc = TextDocument::from_text(&file, &text);
+        for (b, name) in BOOKMARKS.iter().enumerate() {
+            doc.set_bookmark(*name, b * 5, Span::new(0, 13)).expect("bookmark in bounds");
+        }
+        let paragraphs = paras.iter().map(|p| p.len()).collect();
+        system.text.borrow_mut().open(doc).expect("open note");
+        docs.push(Doc {
+            targets: DocTargets::Text {
+                file,
+                paragraphs,
+                bookmarks: BOOKMARKS.iter().map(|s| s.to_string()).collect(),
+            },
+            hot: pick_hot(rng, 16),
+        });
+    }
+}
+
+fn build_html(
+    system: &mut SuperimposedSystem,
+    rng: &mut StdRng,
+    digest: &mut Digest,
+    n: usize,
+    docs: &mut Vec<Doc>,
+) {
+    for i in 0..n {
+        let url = format!("https://guidelines.example/page-{i:04}.html");
+        let mut body = String::from("<html><body>");
+        let anchors: Vec<String> = (0..12).map(|a| format!("sec{a}")).collect();
+        for a in &anchors {
+            body.push_str(&format!(
+                "<p id='{a}'>Guideline {i} section {a}, revision {}.</p>",
+                rng.gen_range(0..100)
+            ));
+        }
+        body.push_str("</body></html>");
+        digest.update(url.as_bytes());
+        digest.update(body.as_bytes());
+        system.html.borrow_mut().load(&url, &body).expect("load html");
+        docs.push(Doc {
+            targets: DocTargets::Html { url, anchors },
+            hot: pick_hot(rng, 12),
+        });
+    }
+}
+
+fn build_pdf(
+    system: &mut SuperimposedSystem,
+    rng: &mut StdRng,
+    digest: &mut Digest,
+    n: usize,
+    docs: &mut Vec<Doc>,
+) {
+    for i in 0..n {
+        let file = format!("protocol-{i:04}.pdf");
+        let prose: String = (0..40)
+            .map(|s| format!("Protocol {i} step {s} dose {} mg as directed. ", rng.gen_range(1..500)))
+            .collect();
+        digest.update(file.as_bytes());
+        digest.update(prose.as_bytes());
+        let doc = PdfDocument::paginate(&file, &prose, 60, 24);
+        let lines: Vec<Vec<usize>> =
+            doc.pages().iter().map(|p| p.lines().iter().map(|l| l.len()).collect()).collect();
+        system.pdf.borrow_mut().open(doc).expect("open pdf");
+        let line_count: usize = lines.iter().map(|p| p.len()).sum();
+        docs.push(Doc {
+            targets: DocTargets::Pdf { file, lines },
+            hot: pick_hot(rng, line_count),
+        });
+    }
+}
+
+fn build_slides(
+    system: &mut SuperimposedSystem,
+    rng: &mut StdRng,
+    digest: &mut Digest,
+    n: usize,
+    docs: &mut Vec<Doc>,
+) {
+    for i in 0..n {
+        let file = format!("rounds-{i:04}.ppt");
+        let mut deck = SlideDeck::new(&file);
+        let mut slides = Vec::new();
+        digest.update(file.as_bytes());
+        for s in 0..8 {
+            let bullets: Vec<String> = (0..3)
+                .map(|b| format!("Case {i} slide {s} point {b}: value {}", rng.gen_range(0..1000)))
+                .collect();
+            for b in &bullets {
+                digest.update(b.as_bytes());
+            }
+            let refs: Vec<&str> = bullets.iter().map(|b| b.as_str()).collect();
+            deck.add_bullet_slide(&format!("Case {i} — slide {s}"), &refs);
+            let mut ids = vec!["title".to_string()];
+            ids.extend((1..=3).map(|b| format!("bullet{b}")));
+            slides.push(ids);
+        }
+        system.slides.borrow_mut().open(deck).expect("open deck");
+        docs.push(Doc {
+            targets: DocTargets::Slides { file, slides },
+            hot: pick_hot(rng, 8),
+        });
+    }
+}
+
+// ---- address generation ---------------------------------------------------
+
+/// Pick a clustered index in `0..space`: 70% a hot anchor ± jitter.
+fn clustered(rng: &mut StdRng, hot: &[usize], space: usize) -> usize {
+    if space == 0 {
+        return 0;
+    }
+    if !hot.is_empty() && rng.gen_bool(0.7) {
+        let base = hot[rng.gen_range(0..hot.len())];
+        let jitter = rng.gen_range(0..3usize);
+        (base + jitter) % space
+    } else {
+        rng.gen_range(0..space)
+    }
+}
+
+/// Draw one valid address on `doc`, clustered around its hot anchors.
+pub fn random_address(doc: &Doc, rng: &mut StdRng) -> MarkAddress {
+    match &doc.targets {
+        DocTargets::Sheet { file, sheet, columns, computed } => {
+            // 1-in-5 marks target a computed summary cell; the rest take a
+            // 1–3-row window of one vitals column near a hot row.
+            let range = if !computed.is_empty() && rng.gen_bool(0.2) {
+                let c = computed[rng.gen_range(0..computed.len())];
+                Range::new(c, c)
+            } else {
+                let col = columns[rng.gen_range(0..columns.len())];
+                let rows = (col.end.row - col.start.row + 1) as usize;
+                let start = col.start.row + clustered(rng, &doc.hot, rows) as u32;
+                let end = (start + rng.gen_range(0..3u32)).min(col.end.row);
+                Range::new(
+                    CellRef::new(start.min(col.end.row), col.start.col),
+                    CellRef::new(end, col.start.col),
+                )
+            };
+            MarkAddress::Spreadsheet(SpreadsheetAddress {
+                file_name: file.clone(),
+                sheet_name: sheet.clone(),
+                range,
+            })
+        }
+        DocTargets::Xml { file, elems } => {
+            let elem = &elems[clustered(rng, &doc.hot, elems.len())];
+            MarkAddress::Xml(XmlAddress {
+                file_name: file.clone(),
+                xml_path: XPath::parse(&format!("/labReport/{elem}")).expect("static path"),
+            })
+        }
+        DocTargets::Text { file, paragraphs, bookmarks } => {
+            let target = if rng.gen_bool(0.3) {
+                TextTarget::Bookmark(bookmarks[rng.gen_range(0..bookmarks.len())].clone())
+            } else {
+                let p = clustered(rng, &doc.hot, paragraphs.len());
+                let len = paragraphs[p];
+                let start = rng.gen_range(0..len.max(1));
+                let end = (start + rng.gen_range(1..20usize)).min(len);
+                TextTarget::Span { paragraph: p, span: Span::new(start, end.max(start)) }
+            };
+            MarkAddress::Text(TextAddress { file_name: file.clone(), target })
+        }
+        DocTargets::Html { url, anchors } => {
+            let a = &anchors[clustered(rng, &doc.hot, anchors.len())];
+            MarkAddress::Html(HtmlAddress {
+                url: url.clone(),
+                target: HtmlTarget::Anchor(a.clone()),
+            })
+        }
+        DocTargets::Pdf { file, lines } => {
+            let total: usize = lines.iter().map(|p| p.len()).sum();
+            let mut flat = clustered(rng, &doc.hot, total);
+            let mut page = 0;
+            while flat >= lines[page].len() {
+                flat -= lines[page].len();
+                page += 1;
+            }
+            let len = lines[page][flat];
+            let start = rng.gen_range(0..len.max(1));
+            let end = (start + rng.gen_range(1..16usize)).min(len);
+            MarkAddress::Pdf(PdfAddress {
+                file_name: file.clone(),
+                page,
+                line: flat,
+                span: Span::new(start, end.max(start)),
+            })
+        }
+        DocTargets::Slides { file, slides } => {
+            let s = clustered(rng, &doc.hot, slides.len());
+            let ids = &slides[s];
+            MarkAddress::Slides(superimposed::basedocs::slides::SlideAddress {
+                file_name: file.clone(),
+                slide: s,
+                shape_id: ids[rng.gen_range(0..ids.len())].clone(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_corpus_builds_with_live_marks() {
+        let corpus = generate(Profile::Smoke, 0xdecaf);
+        assert_eq!(corpus.stats.docs, Profile::Smoke.docs_per_kind() * 6);
+        assert_eq!(corpus.stats.marks, Profile::Smoke.marks());
+        // Every generated address extracted a non-empty excerpt — the
+        // addresses really land on live content.
+        let empty = corpus
+            .mark_ids
+            .iter()
+            .filter(|id| corpus.system.pad.marks().get(id).unwrap().excerpt.is_empty())
+            .count();
+        assert_eq!(empty, 0, "{empty} marks extracted empty excerpts");
+    }
+}

@@ -1,0 +1,209 @@
+//! The stress/soak harness: drive a generated trace against a generated
+//! corpus with invariant checkpoints and a mid-run crash/recovery.
+//!
+//! Every `checkpoint_every` operations the harness runs two oracles:
+//!
+//! * **conformance** — [`SlimPadDmi::check`] validates the whole store
+//!   against the Bundle/Scrap metamodel (the same check slimcheck's
+//!   model layers apply);
+//! * **counts** — the trace driver's mirror of live bundles and scraps
+//!   must equal the store's ([`Driver::counts_match`]).
+//!
+//! With `crash: true` the harness injects a halting append failure at
+//! ~60% of the trace, drops the session, reopens the log with
+//! [`PadSession::open_logged`], and verifies the recovered state is the
+//! last acknowledged commit before finishing the remaining operations —
+//! the crash path of PR 5's write-ahead log under hospital-scale data.
+//!
+//! [`SlimPadDmi::check`]: superimposed::slimstore::SlimPadDmi::check
+//! [`PadSession::open_logged`]: superimposed::slimpad::PadSession::open_logged
+//! [`Driver::counts_match`]: crate::trace::Driver::counts_match
+
+use std::path::Path;
+
+use superimposed::slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+use superimposed::slimpad::PadSession;
+
+use crate::corpus::{self, CorpusStats};
+use crate::trace::{self, Driver, Mix};
+use crate::{Digest, Profile};
+
+/// What to run.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    pub profile: Profile,
+    pub seed: u64,
+    pub mix: Mix,
+    /// Oracle cadence in operations.
+    pub checkpoint_every: usize,
+    /// Inject a crash at ~60% of the trace and recover from the log.
+    pub crash: bool,
+}
+
+impl SoakConfig {
+    /// The defaults the CI soak job runs: mixed traffic, checkpoints
+    /// every 100 ops, crash/recovery on.
+    pub fn new(profile: Profile, seed: u64) -> SoakConfig {
+        SoakConfig { profile, seed, mix: Mix::Mixed, checkpoint_every: 100, crash: true }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    pub stats: CorpusStats,
+    /// Digest of all generated base-document content.
+    pub input_digest: Digest,
+    /// Digest of every observable trace outcome.
+    pub outcome_digest: Digest,
+    /// Operations applied (crash-interrupted ops are not counted).
+    pub ops: usize,
+    /// Oracle checkpoints evaluated.
+    pub checkpoints: usize,
+    /// Checkpoints where an oracle disagreed with the store. Must be 0.
+    pub divergences: Vec<String>,
+    /// Whether the mid-run crash was injected and recovered.
+    pub crash_recovered: bool,
+}
+
+impl SoakReport {
+    pub fn passed(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+const PAD_PATH: &str = "soak.pad";
+
+/// Run a soak: generate corpus and trace from `config.seed`, drive the
+/// trace with checkpointed oracles (and a crash in the middle), report.
+pub fn run(config: &SoakConfig) -> SoakReport {
+    let mut corpus = corpus::generate(config.profile, config.seed);
+    let path = Path::new(PAD_PATH);
+    let mut vfs = MemVfs::new();
+    corpus
+        .system
+        .pad
+        .enable_logging(&mut vfs, path)
+        .expect("snapshot a fresh corpus to the mem vfs");
+
+    let ops = trace::generate(config.seed, config.profile.trace_ops(), config.mix);
+    let mut driver = Driver::new(&corpus.system);
+    let crash_at = if config.crash { Some(ops.len() * 3 / 5) } else { None };
+
+    let mut report = SoakReport {
+        stats: corpus.stats,
+        input_digest: corpus.input_digest,
+        outcome_digest: Digest::new(),
+        ops: 0,
+        checkpoints: 0,
+        divergences: Vec::new(),
+        crash_recovered: false,
+    };
+
+    for (i, op) in ops.iter().enumerate() {
+        if Some(i) == crash_at {
+            vfs = crash_and_recover(&mut corpus, &mut driver, vfs, path, &mut report);
+        }
+        driver.apply(&mut corpus.system, &corpus.mark_ids, &mut vfs, op);
+        report.ops += 1;
+        if (i + 1) % config.checkpoint_every.max(1) == 0 {
+            checkpoint(&corpus, &driver, i + 1, &mut report);
+        }
+    }
+
+    // Final commit, then one last full check.
+    corpus.system.pad.commit(&mut vfs).expect("final commit");
+    checkpoint(&corpus, &driver, report.ops, &mut report);
+    report.outcome_digest = driver.digest;
+    report
+}
+
+fn checkpoint(corpus: &corpus::Corpus, driver: &Driver, at: usize, report: &mut SoakReport) {
+    report.checkpoints += 1;
+    let conformance = corpus.system.pad.dmi().check();
+    if !conformance.is_conformant() {
+        report
+            .divergences
+            .push(format!("op {at}: store violates the Bundle/Scrap metamodel: {conformance:?}"));
+    }
+    if !driver.counts_match(&corpus.system) {
+        report.divergences.push(format!(
+            "op {at}: count model mismatch: model {}b/{}s, store {}b/{}s",
+            driver.bundles.len(),
+            driver.scraps.len(),
+            corpus.system.pad.dmi().bundles().len(),
+            corpus.system.pad.dmi().all_scraps().len(),
+        ));
+    }
+}
+
+/// Commit what we have, then crash the *next* commit mid-append (the
+/// frame never lands), reopen the log, and verify the recovered store
+/// is exactly the acknowledged state.
+fn crash_and_recover(
+    corpus: &mut corpus::Corpus,
+    driver: &mut Driver,
+    mut vfs: MemVfs,
+    path: &Path,
+    report: &mut SoakReport,
+) -> MemVfs {
+    // Ack a commit so the crash has a well-defined state to return to,
+    // then arm the fault: the next append (the crash commit's frame)
+    // never lands.
+    corpus.system.pad.commit(&mut vfs).expect("ack the pre-crash state");
+    let acked_bundles = corpus.system.pad.dmi().bundles().len();
+    let acked_scraps = corpus.system.pad.dmi().all_scraps().len();
+
+    let mut faulty = FaultVfs::new(
+        vfs,
+        FaultConfig::new(FaultOp::Append, FaultMode::Fail, 0, 0).halting(),
+    );
+
+    corpus
+        .system
+        .pad
+        .create_bundle("doomed by crash", (1, 1), 10, 10, None)
+        .expect("pre-crash mutation");
+    let crashed = corpus.system.pad.commit(&mut faulty);
+    assert!(crashed.is_err(), "commit must fail when the append faults");
+    assert!(faulty.fault_fired(), "the injected fault must be the failure cause");
+
+    // "Reboot": discard the session, reopen from what's on disk.
+    let mut vfs = faulty.into_inner();
+    let manager = corpus.system.fresh_manager().expect("rebuild mark modules");
+    let (session, _log_report) =
+        PadSession::open_logged(&mut vfs, path, manager).expect("recover from the log");
+    corpus.system.pad = session;
+
+    let got_bundles = corpus.system.pad.dmi().bundles().len();
+    let got_scraps = corpus.system.pad.dmi().all_scraps().len();
+    if (got_bundles, got_scraps) != (acked_bundles, acked_scraps) {
+        report.divergences.push(format!(
+            "recovery: expected acked {acked_bundles}b/{acked_scraps}s, \
+             recovered {got_bundles}b/{got_scraps}s"
+        ));
+    }
+    if !corpus.system.pad.dmi().check().is_conformant() {
+        report.divergences.push("recovery: recovered store violates the metamodel".into());
+    }
+
+    driver.resync(&corpus.system);
+    report.crash_recovered = true;
+    vfs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_soak_is_clean_without_crash() {
+        let mut config = SoakConfig::new(Profile::Smoke, 11);
+        config.crash = false;
+        config.checkpoint_every = 50;
+        let report = run(&config);
+        assert!(report.passed(), "divergences: {:?}", report.divergences);
+        assert_eq!(report.ops, Profile::Smoke.trace_ops());
+        assert!(!report.crash_recovered);
+    }
+}

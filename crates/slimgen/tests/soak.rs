@@ -1,0 +1,47 @@
+//! The soak harness end to end at test scale: a mixed trace with a
+//! mid-run crash and log recovery completes with zero oracle
+//! divergences, and the whole run — crash included — is replayable.
+
+use slimgen::soak::{run, SoakConfig};
+use slimgen::trace::Mix;
+use slimgen::Profile;
+
+#[test]
+fn mixed_soak_with_crash_recovery_has_zero_divergences() {
+    let mut config = SoakConfig::new(Profile::Smoke, 0xBED5);
+    config.checkpoint_every = 40;
+    let report = run(&config);
+    assert!(report.passed(), "oracle divergences: {:#?}", report.divergences);
+    assert!(report.crash_recovered, "the mid-run crash must be injected and recovered");
+    assert_eq!(report.ops, Profile::Smoke.trace_ops());
+    assert!(report.checkpoints >= Profile::Smoke.trace_ops() / 40);
+}
+
+#[test]
+fn soak_outcomes_are_replayable() {
+    let config = SoakConfig::new(Profile::Smoke, 7);
+    let a = run(&config);
+    let b = run(&config);
+    assert!(a.passed() && b.passed());
+    assert_eq!(
+        a.outcome_digest, b.outcome_digest,
+        "the same seed must soak to the same outcome digest, crash and all"
+    );
+    let other = run(&SoakConfig::new(Profile::Smoke, 8));
+    assert_ne!(a.outcome_digest, other.outcome_digest);
+}
+
+#[test]
+fn every_mix_soaks_clean() {
+    for mix in [Mix::ReadHeavy, Mix::WriteHeavy, Mix::Mixed] {
+        let mut config = SoakConfig::new(Profile::Smoke, 21);
+        config.mix = mix;
+        let report = run(&config);
+        assert!(
+            report.passed(),
+            "mix {:?} diverged: {:#?}",
+            mix,
+            report.divergences
+        );
+    }
+}

@@ -663,6 +663,16 @@ impl PadSession {
         self.log.as_ref()
     }
 
+    /// Override the log-size threshold at which
+    /// [`should_compact`](PadSession::should_compact) (and the
+    /// `NeedsFullSnapshot` auto-compaction) trigger. No-op on unlogged
+    /// sessions; soak harnesses lower it to exercise compaction cheaply.
+    pub fn set_compact_threshold(&mut self, bytes: u64) {
+        if let Some(log) = self.log.as_mut() {
+            log.set_compact_threshold(bytes);
+        }
+    }
+
     /// Salvage a pad from a damaged file: recover what remains of the
     /// bundle tree and mark store instead of failing hard.
     ///

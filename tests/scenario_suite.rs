@@ -205,6 +205,83 @@ fn six_source_conference_pad() {
     assert!(sys.pad.marks().audit().iter().all(|a| a.live));
 }
 
+/// A generated ICU flowsheet — slimgen's workhorse document class. The
+/// computed summary block (AVERAGEIFS/COUNTIFS/MAXIFS/MINIFS, the IFS
+/// risk band, and the reference union/intersection cells) and the
+/// range-addressed vitals columns all take live marks, and the computed
+/// marks re-resolve when the night shift charts new observations.
+#[test]
+fn generated_flowsheet_computed_and_ranged_marks() {
+    use superimposed::basedocs::spreadsheet::gen::{flowsheet, FlowsheetSpec};
+
+    let mut sys = SuperimposedSystem::new("ICU Flowsheet").unwrap();
+    let f = flowsheet(&FlowsheetSpec {
+        file_name: "flowsheet-0007.xls".into(),
+        patient: "Bed 7: R. Doe".into(),
+        hours: 24,
+        seed: 7,
+    });
+    // Snapshot the evaluated summary values before the workbook moves
+    // into the live app.
+    let expected: Vec<String> = {
+        let sheet = f.workbook.sheet(&f.sheet).unwrap();
+        f.computed_cells.iter().map(|(_, c)| sheet.value(*c).to_string()).collect()
+    };
+    let sheet_name = f.sheet.clone();
+    let computed = f.computed_cells.clone();
+    let hr_range = f.vital_columns.iter().find(|(label, _)| label == "HR").unwrap().1;
+    sys.excel.borrow_mut().open(f.workbook).unwrap();
+
+    // Every computed summary cell becomes a live computed-cell mark that
+    // extracts its *evaluated* value, never a formula string or error.
+    let bundle = sys.pad.create_bundle("flowsheet summary", (20, 40), 700, 600, None).unwrap();
+    let mut summary_scraps = Vec::new();
+    for (i, (label, cell)) in computed.iter().enumerate() {
+        sys.excel
+            .borrow_mut()
+            .select("flowsheet-0007.xls", &sheet_name, &cell.to_string())
+            .unwrap();
+        let scrap = sys
+            .pad
+            .place_selection(DocKind::Spreadsheet, Some(label), (40, 80 + 40 * i as i64), Some(bundle))
+            .unwrap();
+        let value = sys.pad.extract(scrap).unwrap();
+        assert_eq!(value, expected[i], "{label}");
+        assert!(!value.is_empty() && !value.starts_with('#'), "{label} -> {value:?}");
+        summary_scraps.push(scrap);
+    }
+
+    // A range-addressed mark over the whole heart-rate column: one line
+    // per charted hour.
+    sys.excel
+        .borrow_mut()
+        .select("flowsheet-0007.xls", &sheet_name, &hr_range.to_string())
+        .unwrap();
+    let hr_scrap = sys
+        .pad
+        .place_selection(DocKind::Spreadsheet, Some("HR trend"), (400, 80), Some(bundle))
+        .unwrap();
+    assert_eq!(sys.pad.extract(hr_scrap).unwrap().lines().count(), 24);
+
+    // The night shift charts an extreme tachycardia reading in the
+    // pinned ICU row. Generated heart rates top out at 135, so 200 is
+    // strictly above every sample and the ICU mean must move.
+    {
+        let excel = sys.excel.borrow_mut();
+        let mut excel = excel;
+        let wb = excel.workbook_mut("flowsheet-0007.xls").unwrap();
+        wb.sheet_mut(&sheet_name).unwrap().set_a1("C2", "200").unwrap();
+    }
+    let icu_mean_now = sys.pad.extract(summary_scraps[0]).unwrap();
+    assert_ne!(icu_mean_now, expected[0], "icu mean hr must track the new reading");
+    // The addresses held still while the data moved: live, and the
+    // audit sees the drift on the affected computed cell.
+    let audit = sys.pad.marks().audit();
+    assert!(audit.iter().all(|a| a.live));
+    assert!(audit.iter().any(|a| a.drifted), "the icu mean drifted and the audit sees it");
+    assert!(sys.pad.dmi().check().is_conformant());
+}
+
 /// The drift scenario the paper's redundancy discussion warns about:
 /// the base document evolves under the marks. Absolute-range marks
 /// drift; the audit sees it; named-range addressing would have survived
