@@ -76,11 +76,11 @@ struct Report {
 /// the mixes measure traffic shape, not accumulated state.
 fn logged_corpus() -> (Corpus, MemVfs) {
     let mut corpus = corpus::generate(Profile::Quick, SEED);
-    let mut vfs = MemVfs::new();
+    let vfs = MemVfs::new();
     corpus
         .system
         .pad
-        .enable_logging(&mut vfs, Path::new(PAD))
+        .enable_logging(&vfs, Path::new(PAD))
         .expect("snapshot the corpus to the bench vfs");
     (corpus, vfs)
 }
@@ -110,7 +110,7 @@ fn measure(quick: bool) -> Report {
         let run = Instant::now();
         for op in &ops {
             let t = Instant::now();
-            driver.apply(&mut corpus.system, &corpus.mark_ids, &mut vfs, op);
+            driver.apply(&mut corpus.system, &corpus.mark_ids, &vfs, op);
             latencies_ns.push(t.elapsed().as_nanos() as f64);
         }
         let total_s = run.elapsed().as_secs_f64();
@@ -125,10 +125,10 @@ fn measure(quick: bool) -> Report {
         // Restart at scale, measured once off the write-heavy log: the
         // most frames to replay over the largest mark store.
         if mix == Mix::WriteHeavy {
-            corpus.system.pad.commit(&mut vfs).expect("seal the write-heavy run");
+            corpus.system.pad.commit(&vfs).expect("seal the write-heavy run");
             let rounds = if quick { 1 } else { 2 };
             restart_replay_ns = best_restart_ns(&corpus, &mut vfs, rounds);
-            corpus.system.pad.compact(&mut vfs).expect("compact");
+            corpus.system.pad.compact(&vfs).expect("compact");
             restart_compacted_ns = best_restart_ns(&corpus, &mut vfs, rounds);
         }
     }

@@ -1,0 +1,390 @@
+//! `BENCH_serve.json` reporter: the concurrent session service under
+//! load.
+//!
+//! Three measurements, all on `MemVfs` (algorithmic cost, not fsync):
+//!
+//! * **reader throughput under a hot writer** at 1, 4, and 16 reader
+//!   sessions — each reader clones the published snapshot and scans it
+//!   while two feeder sessions keep the writer committing continuously;
+//! * **shed rate at saturation** — submitters enqueue flat out against
+//!   a small queue; backpressure must engage (typed `Overloaded`
+//!   refusals, not silence) while the writer keeps acking;
+//! * **commit latency percentiles** — p50/p99 of a blocking submit
+//!   (enqueue → group commit → ack) from a single session.
+//!
+//! * `cargo run -p slim-bench --bin bench-serve --release` — full run,
+//!   writes `BENCH_serve.json` in the current directory.
+//! * `-- --quick` — shorter measurement windows for CI smoke runs.
+//! * `-- --check BENCH_serve.json` — additionally gate: aggregate
+//!   reader throughput at 16 sessions must stay above the starvation
+//!   floor relative to the single-reader run, must not regress more
+//!   than 3× against the committed baseline's scaling ratio, and
+//!   saturation must both shed and ack.
+//! * `-- --out PATH` — write the report somewhere else.
+//!
+//! The gates are ratios measured within one run, so they hold across
+//! machines of different speeds.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use slimserve::{ServeConfig, ServeError, ServeOp, Service};
+use superimposed::marks::resilience::SystemClock;
+use superimposed::slimio::MemVfs;
+
+const SNAP: &str = "bench/serve-store.xml";
+/// Reader-session counts measured under the hot writer.
+const READER_SESSIONS: [usize; 3] = [1, 4, 16];
+/// Aggregate reader throughput at 16 sessions must stay above this
+/// fraction of the single-reader aggregate — the "no reader
+/// starvation" gate. Aggregate (not per-reader) so the floor holds on
+/// single-core machines where 16 threads necessarily time-slice; a
+/// collapse below the single-reader rate means readers are being
+/// starved by the writer or convoying on shared state, not merely
+/// sharing cores.
+const SCALING_FLOOR: f64 = 0.5;
+/// `--check` fails if the scaling ratio drops below baseline/this.
+const REGRESSION_FACTOR: f64 = 3.0;
+/// Triples seeded into the store before measuring readers.
+const SEED_TRIPLES: usize = 2_000;
+
+struct Args {
+    quick: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quick: false, out: "BENCH_serve.json".to_string(), check: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--check" => args.check = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench-serve [--quick] [--out PATH] [--check BASELINE_PATH]");
+    std::process::exit(2)
+}
+
+struct ReaderResult {
+    sessions: usize,
+    reads_total: u64,
+    reads_per_sec_total: f64,
+    reads_per_sec_per_reader: f64,
+}
+
+struct Report {
+    readers: Vec<ReaderResult>,
+    /// aggregate reads/s at 16 sessions / aggregate at 1 session.
+    reader_scaling_16: f64,
+    saturation_attempts: u64,
+    saturation_acked: u64,
+    saturation_shed: u64,
+    shed_rate: f64,
+    commit_p50_ns: f64,
+    commit_p99_ns: f64,
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 1024,
+        max_batch: 64,
+        // SystemClock milliseconds; generous so the bench never trips it.
+        op_deadline_ms: 60_000,
+        ..ServeConfig::default()
+    }
+}
+
+fn open_service(config: ServeConfig) -> Service {
+    let vfs = Arc::new(MemVfs::new());
+    let clock = Arc::new(SystemClock::new());
+    let (service, _) = Service::open(vfs, Path::new(SNAP), config, clock)
+        .expect("fresh bench service opens");
+    service
+}
+
+/// Seed the store through the front door so snapshots have substance.
+fn seed(service: &Service) {
+    let session = service.session();
+    for i in 0..SEED_TRIPLES {
+        session
+            .submit(ServeOp::insert(
+                &format!("hot:doc{}", i % 64),
+                if i % 3 == 0 { "annotation" } else { "containsScrap" },
+                &format!("seed value {i}"),
+            ))
+            .expect("seeding submit");
+    }
+}
+
+/// Reader throughput with `n` reader sessions while two feeder sessions
+/// keep the writer committing for the whole window.
+fn measure_readers(service: &Service, n: usize, window: Duration) -> ReaderResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+
+    let feeders: Vec<_> = (0..2)
+        .map(|f| {
+            let session = service.session();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let _ = session.submit(ServeOp::insert(
+                        &format!("feed{f}:{i}"),
+                        "seq",
+                        &i.to_string(),
+                    ));
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..n)
+        .map(|r| {
+            let session = service.session();
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            std::thread::spawn(move || {
+                let mut local = 0u64;
+                let subject = format!("hot:doc{}", r % 64);
+                while !stop.load(Ordering::Relaxed) {
+                    // One "read op": clone the published snapshot, scan
+                    // one hot subject, touch the overall cardinality.
+                    let snap = session.snapshot();
+                    let hits = snap.scan_subject(&subject).count();
+                    assert!(hits > 0, "seeded subject must be visible");
+                    local += 1;
+                }
+                reads.fetch_add(local, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for t in readers {
+        t.join().expect("reader thread");
+    }
+    for t in feeders {
+        t.join().expect("feeder thread");
+    }
+
+    let reads_total = reads.load(Ordering::Relaxed);
+    let secs = window.as_secs_f64();
+    ReaderResult {
+        sessions: n,
+        reads_total,
+        reads_per_sec_total: reads_total as f64 / secs,
+        reads_per_sec_per_reader: reads_total as f64 / secs / n as f64,
+    }
+}
+
+/// Hammer a small queue with non-blocking enqueues from four threads:
+/// count accepted vs shed. Tickets are dropped — the writer still acks
+/// into them, the bench only cares about admission outcomes.
+fn measure_saturation(window: Duration) -> (u64, u64, u64) {
+    let service = open_service(ServeConfig {
+        queue_capacity: 64,
+        max_batch: 64,
+        op_deadline_ms: 60_000,
+        ..ServeConfig::default()
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let attempts = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let submitters: Vec<_> = (0..4)
+        .map(|s| {
+            let session = service.session();
+            let stop = Arc::clone(&stop);
+            let attempts = Arc::clone(&attempts);
+            let shed = Arc::clone(&shed);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    match session.enqueue(ServeOp::insert(
+                        &format!("sat{s}:{i}"),
+                        "seq",
+                        &i.to_string(),
+                    )) {
+                        Ok(_ticket) => {}
+                        Err(ServeError::Overloaded { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected refusal at saturation: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for t in submitters {
+        t.join().expect("submitter thread");
+    }
+    let stats = service.shutdown();
+    (attempts.load(Ordering::Relaxed), stats.acked, shed.load(Ordering::Relaxed))
+}
+
+/// Blocking-submit latency distribution from one session.
+fn measure_commit_latency(service: &Service, rounds: usize) -> (f64, f64) {
+    let session = service.session();
+    let mut lat: Vec<u64> = Vec::with_capacity(rounds);
+    for i in 0..rounds {
+        let start = Instant::now();
+        session
+            .submit(ServeOp::insert(&format!("lat:{i}"), "seq", &i.to_string()))
+            .expect("latency submit");
+        lat.push(start.elapsed().as_nanos() as u64);
+    }
+    lat.sort_unstable();
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize] as f64;
+    (pct(0.50), pct(0.99))
+}
+
+fn measure(quick: bool) -> Report {
+    let window = if quick { Duration::from_millis(100) } else { Duration::from_millis(400) };
+
+    let service = open_service(serve_config());
+    seed(&service);
+    let readers: Vec<ReaderResult> =
+        READER_SESSIONS.iter().map(|&n| measure_readers(&service, n, window)).collect();
+    let total_1 = readers[0].reads_per_sec_total;
+    let total_16 = readers[readers.len() - 1].reads_per_sec_total;
+    let reader_scaling_16 = total_16 / total_1.max(1.0);
+
+    let latency_rounds = if quick { 500 } else { 2_000 };
+    let (commit_p50_ns, commit_p99_ns) = measure_commit_latency(&service, latency_rounds);
+    drop(service);
+
+    let (saturation_attempts, saturation_acked, saturation_shed) = measure_saturation(window);
+    let shed_rate = saturation_shed as f64 / saturation_attempts.max(1) as f64;
+
+    Report {
+        readers,
+        reader_scaling_16,
+        saturation_attempts,
+        saturation_acked,
+        saturation_shed,
+        shed_rate,
+        commit_p50_ns,
+        commit_p99_ns,
+    }
+}
+
+fn render_json(r: &Report, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str("  \"readers_under_hot_writer\": [\n");
+    for (i, rr) in r.readers.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sessions\": {}, \"reads_total\": {}, \"reads_per_sec_total\": {:.1}, \
+             \"reads_per_sec_per_reader\": {:.1}}}{}\n",
+            rr.sessions,
+            rr.reads_total,
+            rr.reads_per_sec_total,
+            rr.reads_per_sec_per_reader,
+            if i + 1 == r.readers.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"reader_scaling_16\": {:.3},\n", r.reader_scaling_16));
+    out.push_str(&format!(
+        "  \"saturation\": {{\"attempts\": {}, \"acked\": {}, \"shed\": {}, \
+         \"shed_rate\": {:.3}}},\n",
+        r.saturation_attempts, r.saturation_acked, r.saturation_shed, r.shed_rate
+    ));
+    out.push_str(&format!(
+        "  \"commit_latency_ns\": {{\"p50\": {:.1}, \"p99\": {:.1}}}\n",
+        r.commit_p50_ns, r.commit_p99_ns
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Pull `"reader_scaling_16": X` out of a baseline report
+/// (machine-written by this binary in a fixed shape).
+fn baseline_scaling(baseline: &str) -> Option<f64> {
+    let line = baseline.lines().find(|l| l.contains("\"reader_scaling_16\":"))?;
+    let rest = line.split("\"reader_scaling_16\":").nth(1)?;
+    rest.trim_start().trim_end_matches([',', ' ']).parse().ok()
+}
+
+fn check(r: &Report, baseline_path: &str) -> Result<(), String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    if r.reader_scaling_16 < SCALING_FLOOR {
+        return Err(format!(
+            "aggregate reader throughput at 16 sessions fell to {:.3} of the single-reader \
+             run (starvation floor: {SCALING_FLOOR})",
+            r.reader_scaling_16
+        ));
+    }
+    if let Some(committed) = baseline_scaling(&baseline) {
+        if r.reader_scaling_16 < committed / REGRESSION_FACTOR {
+            return Err(format!(
+                "reader scaling {:.3} regressed more than {REGRESSION_FACTOR}x against the \
+                 committed baseline ({committed:.3})",
+                r.reader_scaling_16
+            ));
+        }
+    }
+    if r.saturation_shed == 0 {
+        return Err("saturation never shed: backpressure is not engaging".to_string());
+    }
+    if r.saturation_acked == 0 {
+        return Err("saturation acked nothing: the writer starved completely".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let report = measure(args.quick);
+    for rr in &report.readers {
+        println!(
+            "readers {:>2}: {:>12.1} reads/s total  ({:>12.1} per reader)",
+            rr.sessions, rr.reads_per_sec_total, rr.reads_per_sec_per_reader
+        );
+    }
+    println!(
+        "reader scaling at 16 sessions: {:.3}x the single-reader aggregate",
+        report.reader_scaling_16
+    );
+    println!(
+        "saturation: {} attempts, {} acked, {} shed ({:.1}% shed rate)",
+        report.saturation_attempts,
+        report.saturation_acked,
+        report.saturation_shed,
+        report.shed_rate * 100.0
+    );
+    println!(
+        "commit latency: p50 {:>10.1} ns, p99 {:>10.1} ns",
+        report.commit_p50_ns, report.commit_p99_ns
+    );
+    std::fs::write(&args.out, render_json(&report, args.quick))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+    if let Some(baseline) = &args.check {
+        match check(&report, baseline) {
+            Ok(()) => println!("baseline check passed against {baseline}"),
+            Err(msg) => {
+                eprintln!("baseline check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -97,15 +97,15 @@ fn measure(quick: bool) -> Report {
 
     // The old authoritative path: rewrite the whole sealed XML artifact.
     let mut vfs = MemVfs::new();
-    seed_store.save_to(&mut vfs, snap).expect("seed save");
+    seed_store.save_to(&vfs, snap).expect("seed save");
     let save_rounds = if quick { 2 } else { 5 };
     let full_save_ns = best_ns(save_rounds, || {
-        seed_store.save_to(&mut vfs, snap).expect("full save");
+        seed_store.save_to(&vfs, snap).expect("full save");
     });
 
     // The logged path, on top of the same 50k-triple snapshot.
     let (mut store, mut log, report) =
-        TripleStore::open_logged(&mut vfs, snap).expect("open logged");
+        TripleStore::open_logged(&vfs, snap).expect("open logged");
     assert!(report.is_clean(), "bench setup must start from a clean pair");
     let commit_rounds = if quick { 32 } else { 256 };
     let mut round = 0usize;
@@ -126,23 +126,23 @@ fn measure(quick: bool) -> Report {
 
     // Restart time with a populated log vs after compaction.
     let restart_commits = if quick { RESTART_COMMITS / 4 } else { RESTART_COMMITS };
-    let mut disk = MemVfs::new();
-    seed_store.save_to(&mut disk, snap).expect("restart seed save");
-    let (mut rstore, mut rlog, _) = TripleStore::open_logged(&mut disk, snap).expect("open");
+    let disk = MemVfs::new();
+    seed_store.save_to(&disk, snap).expect("restart seed save");
+    let (mut rstore, mut rlog, _) = TripleStore::open_logged(&disk, snap).expect("open");
     for c in 0..restart_commits {
         for i in 0..RESTART_BATCH {
             rstore.insert_literal(&format!("restart:{c}:{i}"), "prop", "value");
         }
-        let outcome = rlog.commit(&mut disk, &mut rstore).expect("commit");
+        let outcome = rlog.commit(&disk, &mut rstore).expect("commit");
         assert!(matches!(outcome, CommitOutcome::Committed { .. }));
     }
     let open_rounds = if quick { 2 } else { 3 };
     let restart_replay_ns = best_ns(open_rounds, || {
-        TripleStore::open_logged(&mut disk, snap).expect("recovery open");
+        TripleStore::open_logged(&disk, snap).expect("recovery open");
     });
-    rlog.compact(&mut disk, &mut rstore).expect("compact");
+    rlog.compact(&disk, &mut rstore).expect("compact");
     let restart_compacted_ns = best_ns(open_rounds, || {
-        TripleStore::open_logged(&mut disk, snap).expect("post-compaction open");
+        TripleStore::open_logged(&disk, snap).expect("post-compaction open");
     });
 
     Report {

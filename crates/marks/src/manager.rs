@@ -520,11 +520,11 @@ impl MarkManager {
     /// installed atomically. A crash at any point leaves the previous
     /// file intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MarkError> {
-        self.save_to(&mut StdVfs, path.as_ref())
+        self.save_to(&StdVfs, path.as_ref())
     }
 
     /// [`save`](MarkManager::save) through an explicit [`Vfs`] backend.
-    pub fn save_to(&self, vfs: &mut dyn Vfs, path: &Path) -> Result<(), MarkError> {
+    pub fn save_to(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), MarkError> {
         slimio::save_atomic(vfs, path, &self.to_xml())?;
         Ok(())
     }
@@ -928,8 +928,8 @@ mod tests {
     #[test]
     fn file_save_load_roundtrips_and_is_sealed() {
         let mgr = populated_manager();
-        let mut vfs = MemVfs::new();
-        mgr.save_to(&mut vfs, Path::new("marks.xml")).unwrap();
+        let vfs = MemVfs::new();
+        mgr.save_to(&vfs, Path::new("marks.xml")).unwrap();
         assert_eq!(vfs.file_count(), 1, "temp file must not linger");
         let raw = String::from_utf8(vfs.bytes("marks.xml").unwrap().to_vec()).unwrap();
         assert!(raw.contains("<!--slimio v1 crc32="), "missing seal footer");
@@ -946,11 +946,11 @@ mod tests {
     fn crash_during_save_preserves_previous_file() {
         let old = populated_manager();
         for op in [FaultOp::Write, FaultOp::Sync, FaultOp::Rename] {
-            let mut base = MemVfs::new();
-            old.save_to(&mut base, Path::new("marks.xml")).unwrap();
+            let base = MemVfs::new();
+            old.save_to(&base, Path::new("marks.xml")).unwrap();
             let config = FaultConfig::new(op, FaultMode::Torn, 0, 23).halting();
-            let mut vfs = FaultVfs::new(base, config);
-            assert!(old.save_to(&mut vfs, Path::new("marks.xml")).is_err());
+            let vfs = FaultVfs::new(base, config);
+            assert!(old.save_to(&vfs, Path::new("marks.xml")).is_err());
             let disk = vfs.into_inner();
             let (mut reread, _, _) = manager_with_apps();
             reread.load_file_from(&disk, Path::new("marks.xml")).unwrap();
@@ -961,8 +961,8 @@ mod tests {
     #[test]
     fn corrupt_file_refused_strictly_but_salvageable() {
         let mgr = populated_manager();
-        let mut vfs = MemVfs::new();
-        mgr.save_to(&mut vfs, Path::new("marks.xml")).unwrap();
+        let vfs = MemVfs::new();
+        mgr.save_to(&vfs, Path::new("marks.xml")).unwrap();
         let mut bytes = vfs.bytes("marks.xml").unwrap().to_vec();
         let idx = String::from_utf8(bytes.clone()).unwrap().find("Lasix").unwrap();
         bytes[idx] = b'Z';

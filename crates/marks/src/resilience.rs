@@ -30,10 +30,11 @@ use crate::manager::{MarkAudit, MarkManager};
 use crate::mark::{MarkAddress, MarkId};
 use crate::module::{Resolution, ResolutionStyle};
 use basedocs::DocError;
-use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// splitmix64-style mixer shared by backoff jitter and fault schedules:
 /// two words in, one well-scrambled word out, fully deterministic.
@@ -55,10 +56,12 @@ pub trait Clock {
 }
 
 /// A manually advanced clock. Cloning shares the underlying instant, so
-/// a fault injector and a resolver can move the same timeline.
+/// a fault injector and a resolver can move the same timeline — and the
+/// instant is atomic, so a chaos harness on another thread can stall a
+/// service whose deadlines read the same clock (`Send + Sync`).
 #[derive(Clone, Default)]
 pub struct MockClock {
-    now: Rc<Cell<u64>>,
+    now: Arc<AtomicU64>,
 }
 
 impl MockClock {
@@ -68,20 +71,24 @@ impl MockClock {
 
     /// Move time forward.
     pub fn advance(&self, ms: u64) {
-        self.now.set(self.now.get().saturating_add(ms));
+        // Saturating add without a compare loop: time is u64 ms; wrapping
+        // would need half a billion years of uptime, but stay exact.
+        let _ = self.now.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |now| {
+            Some(now.saturating_add(ms))
+        });
     }
 
     /// Jump to an absolute instant (monotonic: earlier values ignored).
     pub fn set(&self, ms: u64) {
-        if ms > self.now.get() {
-            self.now.set(ms);
-        }
+        let _ = self.now.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |now| {
+            Some(now.max(ms))
+        });
     }
 }
 
 impl Clock for MockClock {
     fn now_ms(&self) -> u64 {
-        self.now.get()
+        self.now.load(Ordering::SeqCst)
     }
 
     fn sleep_ms(&self, ms: u64) {

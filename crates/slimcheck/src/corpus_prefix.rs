@@ -62,15 +62,48 @@ pub fn store_prefix(seed: u64, n: usize) -> Vec<StoreOp> {
 
 /// Structure prefix for the WAL layer: the same inserts, with slimgen
 /// checkpoints doubling as commit boundaries so the suffix's crashes
-/// and reopens have acknowledged history behind them.
+/// and reopens have acknowledged history behind them. Links seed the
+/// *sibling* session, and every other checkpoint commits both sessions
+/// back to back, so two-session suffix schedules (commit/commit,
+/// commit/crash, commit/compact) start from populated logs on each
+/// side. Deterministic per seed, so `SLIMCHECK_SEED` replays hold.
 pub fn wal_prefix(seed: u64, n: usize) -> Vec<WalOp> {
-    store_prefix(seed, n)
+    let mut commits = 0u64;
+    seed_ops(seed, n)
         .into_iter()
-        .map(|op| match op {
-            StoreOp::Insert { s, p, o, res } => WalOp::Insert { s, p, o, res },
-            StoreOp::SetUnique { s, p, o, res } => WalOp::SetUnique { s, p, o, res },
-            StoreOp::Checkpoint => WalOp::Commit,
-            _ => unreachable!("store_prefix only emits Insert/SetUnique/Checkpoint"),
+        .flat_map(|op| match op {
+            SeedOp::CreateBundle { parent } => vec![WalOp::Insert {
+                s: sel(parent, SUBJECTS.len()),
+                p: sel(parent >> 8, PROPS.len()),
+                o: sel(parent >> 16, OBJECTS.len()),
+                res: parent & 1 == 0,
+            }],
+            SeedOp::CreateScrap { bundle, mark } => vec![WalOp::Insert {
+                s: sel(bundle, SUBJECTS.len()),
+                p: sel(mark, PROPS.len()),
+                o: sel(mark >> 8, OBJECTS.len()),
+                res: mark & 1 == 0,
+            }],
+            SeedOp::Annotate { scrap, note } => vec![WalOp::SetUnique {
+                s: sel(scrap, SUBJECTS.len()),
+                p: sel(note, PROPS.len()),
+                o: sel(note >> 8, OBJECTS.len()),
+                res: note & 1 == 0,
+            }],
+            SeedOp::Link { from, to } => vec![WalOp::SiblingInsert {
+                s: sel(from, SUBJECTS.len()),
+                p: sel(to, PROPS.len()),
+                o: sel(to >> 8, OBJECTS.len()),
+                res: to & 1 == 0,
+            }],
+            SeedOp::Checkpoint => {
+                commits += 1;
+                if commits.is_multiple_of(2) {
+                    vec![WalOp::Commit, WalOp::SiblingCommit]
+                } else {
+                    vec![WalOp::Commit]
+                }
+            }
         })
         .collect()
 }
@@ -156,5 +189,7 @@ mod tests {
         let ops = wal_prefix(9, 256);
         assert!(ops.iter().any(|op| matches!(op, WalOp::Commit)));
         assert!(ops.iter().any(|op| matches!(op, WalOp::Insert { .. })));
+        assert!(ops.iter().any(|op| matches!(op, WalOp::SiblingInsert { .. })));
+        assert!(ops.iter().any(|op| matches!(op, WalOp::SiblingCommit)));
     }
 }

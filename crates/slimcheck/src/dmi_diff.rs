@@ -599,9 +599,9 @@ impl DmiWorld {
         assert_eq!(reloaded.save_xml(), xml, "canonical XML round-trip is not byte-identical");
         assert_eq!(pads.len(), self.live_pads().len(), "pad census changed across round-trip");
 
-        let mut disk = MemVfs::new();
+        let disk = MemVfs::new();
         let path = Path::new("slimcheck/dmi.xml");
-        self.dmi.save_to(&mut disk, path).expect("MemVfs save cannot fail");
+        self.dmi.save_to(&disk, path).expect("MemVfs save cannot fail");
         let (from_disk, _) = SlimPadDmi::load_from(&disk, path).expect("saved DMI must load");
         assert_eq!(from_disk.save_xml(), xml, "durable round-trip diverged from canonical XML");
         let recovered = SlimPadDmi::load_salvage_from(&disk, path).expect("fresh save must salvage");

@@ -189,6 +189,21 @@ pub enum WalOp {
     /// Flip one byte of the on-disk log (on a clone), then recover: the
     /// result must be a commit boundary or a clean refusal.
     CorruptTail { offset: u64, flip: u8 },
+    /// Second session: insert into the *sibling* logged store (its own
+    /// snapshot + log at a sibling path on the same disk). Interleaving
+    /// these with the main ops produces two-session schedules.
+    SiblingInsert { s: usize, p: usize, o: usize, res: bool },
+    /// Second session: group-commit the sibling's pending changes —
+    /// commit/commit interleavings with the main session.
+    SiblingCommit,
+    /// Second session: fold the sibling's log into a fresh snapshot —
+    /// commit/compact interleavings.
+    SiblingCompact,
+    /// Crash during the *sibling's* commit, then reboot both sessions.
+    /// The sibling recovers its acked state or the attempted batch; the
+    /// main session must recover **exactly** its acknowledged commit —
+    /// one session's crash never moves another's durability boundary.
+    SiblingCrashCommit { fault: usize, mode: usize, tear_seed: u64 },
 }
 
 pub fn wal_op_strategy() -> impl Strategy<Value = WalOp> {
@@ -198,7 +213,7 @@ pub fn wal_op_strategy() -> impl Strategy<Value = WalOp> {
         field.clone().prop_map(|(s, p, o, res)| WalOp::Insert { s, p, o, res }),
         field.clone().prop_map(|(s, p, o, res)| WalOp::Insert { s, p, o, res }),
         field.clone().prop_map(|(s, p, o, res)| WalOp::Remove { s, p, o, res }),
-        field.prop_map(|(s, p, o, res)| WalOp::SetUnique { s, p, o, res }),
+        field.clone().prop_map(|(s, p, o, res)| WalOp::SetUnique { s, p, o, res }),
         Just(WalOp::Checkpoint),
         (0usize..8).prop_map(|back| WalOp::Undo { back }),
         // Commit twice: boundaries are what every other check leans on.
@@ -212,6 +227,12 @@ pub fn wal_op_strategy() -> impl Strategy<Value = WalOp> {
             .prop_map(|(step, mode, tear_seed)| WalOp::CrashCompact { step, mode, tear_seed }),
         (any::<u64>(), any::<u8>())
             .prop_map(|(offset, flip)| WalOp::CorruptTail { offset, flip }),
+        field.prop_map(|(s, p, o, res)| WalOp::SiblingInsert { s, p, o, res }),
+        Just(WalOp::SiblingCommit),
+        Just(WalOp::SiblingCompact),
+        (0usize..2, 0usize..3, any::<u64>()).prop_map(|(fault, mode, tear_seed)| {
+            WalOp::SiblingCrashCommit { fault, mode, tear_seed }
+        }),
     ]
 }
 

@@ -174,9 +174,9 @@ impl PadWorld {
         );
         assert_eq!(reloaded.stats().marks, self.minted_marks, "pad-file round-trip lost marks");
 
-        let mut disk = MemVfs::new();
+        let disk = MemVfs::new();
         let path = Path::new("slimcheck/pad.xml");
-        self.session.save_to(&mut disk, path).expect("MemVfs save cannot fail");
+        self.session.save_to(&disk, path).expect("MemVfs save cannot fail");
         let from_disk = PadSession::load_from(&disk, path, MarkManager::new())
             .expect("sealed pad file must load");
         assert_eq!(

@@ -153,7 +153,7 @@ impl World {
             }
             StoreOp::Save => {
                 self.store
-                    .save_to(&mut self.disk, Path::new(SAVE_PATH))
+                    .save_to(&self.disk, Path::new(SAVE_PATH))
                     .expect("MemVfs save cannot fail");
                 let loaded = TripleStore::load_from(&self.disk, Path::new(SAVE_PATH))
                     .expect("fresh save must load strictly");
@@ -215,8 +215,8 @@ impl World {
             tear_seed,
         )
         .halting();
-        let mut vfs = FaultVfs::new(self.disk.clone(), config);
-        let result = self.store.save_to(&mut vfs, Path::new(SAVE_PATH));
+        let vfs = FaultVfs::new(self.disk.clone(), config);
+        let result = self.store.save_to(&vfs, Path::new(SAVE_PATH));
         let fired = vfs.fault_fired();
         let after = vfs.into_inner();
         let loaded = TripleStore::load_from(&after, Path::new(SAVE_PATH)).map(|s| contents(&s));
@@ -281,7 +281,7 @@ impl World {
     fn torn_destination_salvage(&self, tear_seed: u64) {
         let sealed = slimio::seal(&self.store.to_xml());
         let keep = (tear_seed % (sealed.len() as u64 + 1)) as usize;
-        let mut torn_disk = self.disk.clone();
+        let torn_disk = self.disk.clone();
         torn_disk
             .write(Path::new(SAVE_PATH), &sealed.as_bytes()[..keep])
             .expect("MemVfs write cannot fail");

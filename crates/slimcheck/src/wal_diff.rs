@@ -18,6 +18,15 @@
 //!   boundary (CRC salvage truncates at the damage) or a typed refusal —
 //!   never a state no commit ever acknowledged.
 //!
+//! A second *sibling* session (its own snapshot + log at a sibling path
+//! on the same disk) runs alongside the main one. The `Sibling*` ops
+//! interleave its commits, compactions, and crashes with the main
+//! session's, checking the cross-session contract: the two logs are
+//! independent — a crash mid-commit in one session recovers that
+//! session to an acknowledged state and must leave the *other* session
+//! exactly at its own acknowledged commit, and the prefix-scoped temp
+//! sweep during one session's recovery must not eat the other's files.
+//!
 //! [`Mutation::WalSkipTailCrc`] disables the tail frame's CRC check in
 //! recovery; the `CorruptTail` op is what must catch it.
 
@@ -29,6 +38,7 @@ use std::path::Path;
 use trim::{CommitOutcome, Revision, StoreLog, Triple, TripleStore, TrimError, Value};
 
 const SNAP_PATH: &str = "slimcheck/wal-store.xml";
+const SIB_PATH: &str = "slimcheck/wal-sibling.xml";
 const COMMIT_FAULTS: [FaultOp; 2] = [FaultOp::Append, FaultOp::Sync];
 const COMPACT_FAULTS: [FaultOp; 4] =
     [FaultOp::Write, FaultOp::Sync, FaultOp::Rename, FaultOp::SyncDir];
@@ -39,6 +49,10 @@ type State = BTreeSet<ModelTriple>;
 
 fn snap() -> &'static Path {
     Path::new(SNAP_PATH)
+}
+
+fn sib() -> &'static Path {
+    Path::new(SIB_PATH)
 }
 
 /// Run `ops` through the logged world; panics on any divergence.
@@ -70,13 +84,22 @@ struct World {
     /// `(journal revision, oracle snapshot)` pairs for `Undo`; reset on
     /// every reopen, which truncates the journal.
     checkpoints: Vec<(Revision, State)>,
+    /// The second session: its own logged store at a sibling path.
+    sib_store: TripleStore,
+    sib_log: StoreLog,
+    /// Model of the sibling's live in-memory store.
+    sib_oracle: State,
+    /// Model of the sibling's last acknowledged durable commit.
+    sib_acked: State,
 }
 
 impl World {
     fn new(mutation: Mutation) -> Self {
         let mut disk = MemVfs::new();
-        let (store, log) =
-            open_pair(&mut disk, mutation).expect("opening a fresh logged store cannot fail");
+        let (store, log) = open_pair(&mut disk, mutation, snap())
+            .expect("opening a fresh logged store cannot fail");
+        let (sib_store, sib_log) = open_pair(&mut disk, mutation, sib())
+            .expect("opening a fresh sibling store cannot fail");
         let checkpoints = vec![(store.revision(), State::new())];
         World {
             mutation,
@@ -87,18 +110,15 @@ impl World {
             acked: State::new(),
             boundaries: vec![State::new()],
             checkpoints,
+            sib_store,
+            sib_log,
+            sib_oracle: State::new(),
+            sib_acked: State::new(),
         }
     }
 
     fn intern(&mut self, s: usize, p: usize, o: usize, res: bool) -> Triple {
-        let subject = self.store.atom(SUBJECTS[s]);
-        let property = self.store.atom(PROPS[p]);
-        let object = if res {
-            Value::Resource(self.store.atom(OBJECTS[o]))
-        } else {
-            self.store.literal_value(OBJECTS[o])
-        };
-        Triple { subject, property, object }
+        intern_into(&mut self.store, s, p, o, res)
     }
 
     fn apply(&mut self, op: &WalOp) {
@@ -132,7 +152,7 @@ impl World {
             WalOp::Commit => self.commit(),
             WalOp::Compact => {
                 self.log
-                    .compact(&mut self.disk, &mut self.store)
+                    .compact(&self.disk, &mut self.store)
                     .expect("compact on MemVfs cannot fail");
                 self.acked = self.oracle.clone();
                 self.boundaries = vec![self.oracle.clone()];
@@ -145,13 +165,34 @@ impl World {
                 self.crash_compact(step, mode, tear_seed)
             }
             WalOp::CorruptTail { offset, flip } => self.corrupt_tail(offset, flip),
+            WalOp::SiblingInsert { s, p, o, res } => {
+                let t = intern_into(&mut self.sib_store, s, p, o, res);
+                self.sib_store.insert(t.subject, t.property, t.object);
+                self.sib_oracle.insert(model_key(s, p, o, res));
+            }
+            WalOp::SiblingCommit => {
+                let outcome = self
+                    .sib_log
+                    .commit(&self.disk, &mut self.sib_store)
+                    .expect("sibling commit on MemVfs cannot fail");
+                self.note_sibling_outcome(outcome);
+            }
+            WalOp::SiblingCompact => {
+                self.sib_log
+                    .compact(&self.disk, &mut self.sib_store)
+                    .expect("sibling compact on MemVfs cannot fail");
+                self.sib_acked = self.sib_oracle.clone();
+            }
+            WalOp::SiblingCrashCommit { fault, mode, tear_seed } => {
+                self.sibling_crash_commit(fault, mode, tear_seed)
+            }
         }
     }
 
     fn commit(&mut self) {
         let outcome = self
             .log
-            .commit(&mut self.disk, &mut self.store)
+            .commit(&self.disk, &mut self.store)
             .expect("commit on MemVfs cannot fail");
         self.note_outcome(outcome);
     }
@@ -175,7 +216,7 @@ impl World {
                 // Nothing was persisted; compaction re-establishes
                 // durability (the same recovery adopters perform).
                 self.log
-                    .compact(&mut self.disk, &mut self.store)
+                    .compact(&self.disk, &mut self.store)
                     .expect("compact on MemVfs cannot fail");
                 self.acked = self.oracle.clone();
                 self.boundaries = vec![self.oracle.clone()];
@@ -183,25 +224,65 @@ impl World {
         }
     }
 
+    /// Fold a successful (unfaulted) sibling commit into its model.
+    fn note_sibling_outcome(&mut self, outcome: CommitOutcome) {
+        match outcome {
+            CommitOutcome::Clean => {
+                assert_eq!(
+                    self.sib_oracle, self.sib_acked,
+                    "sibling commit reported Clean but its model has pending changes"
+                );
+            }
+            CommitOutcome::Committed { .. } => {
+                self.sib_acked = self.sib_oracle.clone();
+            }
+            CommitOutcome::NeedsFullSnapshot => {
+                self.sib_log
+                    .compact(&self.disk, &mut self.sib_store)
+                    .expect("sibling compact on MemVfs cannot fail");
+                self.sib_acked = self.sib_oracle.clone();
+            }
+        }
+    }
+
     /// Drop the live handles and recover from disk; graceful shutdown
     /// semantics — uncommitted in-memory changes die, acknowledged ones
-    /// must all survive.
+    /// must all survive, in both sessions.
     fn reopen(&mut self) {
-        let (store, log) =
-            open_pair(&mut self.disk, self.mutation).expect("reopen of an intact pair must work");
+        let (store, log) = open_pair(&mut self.disk, self.mutation, snap())
+            .expect("reopen of an intact pair must work");
         self.store = store;
         self.log = log;
         let got = contents(&self.store);
         assert_eq!(got, self.acked, "graceful reopen diverged from the acknowledged commit");
         self.oracle = self.acked.clone();
         self.checkpoints = vec![(self.store.revision(), self.oracle.clone())];
+        self.reopen_sibling_exact("graceful reopen");
+    }
+
+    /// Recover the sibling session from disk and require it to land
+    /// *exactly* on its acknowledged commit — used whenever the crash
+    /// (or shutdown) happened outside the sibling's own commit path.
+    fn reopen_sibling_exact(&mut self, context: &str) {
+        let (store, log) = open_pair(&mut self.disk, self.mutation, sib())
+            .unwrap_or_else(|e| panic!("sibling recovery after {context} failed: {e}"));
+        self.sib_store = store;
+        self.sib_log = log;
+        let got = contents(&self.sib_store);
+        assert_eq!(
+            got, self.sib_acked,
+            "{context} moved the sibling session's durability boundary"
+        );
+        self.sib_oracle = self.sib_acked.clone();
     }
 
     /// Reboot after a crash: recover from disk and check the recovered
-    /// state is one of `allowed`. Returns the recovered state (which
+    /// state is one of `allowed`. The sibling session — whose files the
+    /// crashed operation never touched — must recover exactly its own
+    /// acknowledged commit. Returns the recovered main state (which
     /// becomes both the durable and the in-memory truth).
     fn reboot(&mut self, context: &str, allowed: &[&State]) -> State {
-        let (store, log) = open_pair(&mut self.disk, self.mutation)
+        let (store, log) = open_pair(&mut self.disk, self.mutation, snap())
             .unwrap_or_else(|e| panic!("recovery after {context} failed: {e}"));
         self.store = store;
         self.log = log;
@@ -213,7 +294,52 @@ impl World {
         self.acked = got.clone();
         self.oracle = got.clone();
         self.checkpoints = vec![(self.store.revision(), self.oracle.clone())];
+        self.reopen_sibling_exact(context);
         got
+    }
+
+    /// Crash mid-commit in the *sibling* session, then reboot both. The
+    /// sibling recovers its previous acked state or the attempted batch;
+    /// the main session must come back exactly at its own acked commit.
+    fn sibling_crash_commit(&mut self, fault: usize, mode: usize, tear_seed: u64) {
+        let op = COMMIT_FAULTS[fault % COMMIT_FAULTS.len()];
+        let mode = FAULT_MODES[mode % FAULT_MODES.len()];
+        let attempted = self.sib_oracle.clone();
+        let config = FaultConfig::new(op, mode, 0, tear_seed).halting();
+        let disk = std::mem::replace(&mut self.disk, MemVfs::new());
+        let vfs = FaultVfs::new(disk, config);
+        let result = self.sib_log.commit(&vfs, &mut self.sib_store);
+        let fired = vfs.fault_fired();
+        self.disk = vfs.into_inner();
+        if !fired {
+            self.note_sibling_outcome(result.expect("unfaulted sibling commit cannot fail"));
+            return;
+        }
+        let context = format!("sibling crash-commit {op:?}/{mode:?}/{tear_seed}");
+        // Sibling leg: acked-or-attempted, like any crashed commit.
+        let (store, log) = open_pair(&mut self.disk, self.mutation, sib())
+            .unwrap_or_else(|e| panic!("{context}: sibling recovery failed: {e}"));
+        self.sib_store = store;
+        self.sib_log = log;
+        let got = contents(&self.sib_store);
+        assert!(
+            got == self.sib_acked || got == attempted,
+            "{context}: sibling recovered a state no commit acknowledged"
+        );
+        self.sib_acked = got.clone();
+        self.sib_oracle = got;
+        // Main leg: untouched by the sibling's crash, must recover exact.
+        let (store, log) = open_pair(&mut self.disk, self.mutation, snap())
+            .unwrap_or_else(|e| panic!("{context}: main recovery failed: {e}"));
+        self.store = store;
+        self.log = log;
+        assert_eq!(
+            contents(&self.store),
+            self.acked,
+            "{context} moved the main session's durability boundary"
+        );
+        self.oracle = self.acked.clone();
+        self.checkpoints = vec![(self.store.revision(), self.oracle.clone())];
     }
 
     /// Crash mid-commit (halting fault at the log append or sync), then
@@ -224,8 +350,8 @@ impl World {
         let attempted = self.oracle.clone();
         let config = FaultConfig::new(op, mode, 0, tear_seed).halting();
         let disk = std::mem::replace(&mut self.disk, MemVfs::new());
-        let mut vfs = FaultVfs::new(disk, config);
-        let result = self.log.commit(&mut vfs, &mut self.store);
+        let vfs = FaultVfs::new(disk, config);
+        let result = self.log.commit(&vfs, &mut self.store);
         let fired = vfs.fault_fired();
         self.disk = vfs.into_inner();
         if !fired {
@@ -260,8 +386,8 @@ impl World {
         let attempted = self.oracle.clone();
         let config = FaultConfig::new(op, mode, index, tear_seed).halting();
         let disk = std::mem::replace(&mut self.disk, MemVfs::new());
-        let mut vfs = FaultVfs::new(disk, config);
-        let result = self.log.compact(&mut vfs, &mut self.store);
+        let vfs = FaultVfs::new(disk, config);
+        let result = self.log.compact(&vfs, &mut self.store);
         let fired = vfs.fault_fired();
         self.disk = vfs.into_inner();
         if !fired {
@@ -297,7 +423,7 @@ impl World {
         let mut side = self.disk.clone();
         side.write(&wal_file, &mangled).expect("MemVfs write cannot fail");
         // A typed refusal (`Err`) is sound: the corruption was detected.
-        if let Ok((store, _)) = open_pair(&mut side, self.mutation) {
+        if let Ok((store, _)) = open_pair(&mut side, self.mutation, snap()) {
             store.check_invariants();
             let got = contents(&store);
             assert!(
@@ -307,10 +433,15 @@ impl World {
         }
     }
 
-    /// Per-step agreement between the live store and the model.
+    /// Per-step agreement between each live store and its model.
     fn verify(&self) {
         assert_eq!(self.store.len(), self.oracle.len(), "store len diverged from wal model");
         assert_eq!(contents(&self.store), self.oracle, "store contents diverged from wal model");
+        assert_eq!(
+            contents(&self.sib_store),
+            self.sib_oracle,
+            "sibling store contents diverged from wal model"
+        );
     }
 }
 
@@ -320,24 +451,36 @@ impl World {
 fn open_pair(
     disk: &mut MemVfs,
     mutation: Mutation,
+    path: &Path,
 ) -> Result<(TripleStore, StoreLog), TrimError> {
     if mutation == Mutation::WalSkipTailCrc {
-        slimio::sweep_stale_temp(disk, snap());
-        let mut store = if disk.exists(snap()) {
-            TripleStore::load_from(disk, snap())?
+        slimio::sweep_stale_temp(disk, path);
+        let mut store = if disk.exists(path) {
+            TripleStore::load_from(disk, path)?
         } else {
             TripleStore::new()
         };
-        let (log, _) = StoreLog::testonly_attach_skip_tail_crc(disk, snap(), &mut store)?;
+        let (log, _) = StoreLog::testonly_attach_skip_tail_crc(disk, path, &mut store)?;
         Ok((store, log))
     } else {
-        let (store, log, _) = TripleStore::open_logged(disk, snap())?;
+        let (store, log, _) = TripleStore::open_logged(disk, path)?;
         Ok((store, log))
     }
 }
 
 fn model_key(s: usize, p: usize, o: usize, res: bool) -> ModelTriple {
     (SUBJECTS[s].to_string(), PROPS[p].to_string(), OBJECTS[o].to_string(), res)
+}
+
+fn intern_into(store: &mut TripleStore, s: usize, p: usize, o: usize, res: bool) -> Triple {
+    let subject = store.atom(SUBJECTS[s]);
+    let property = store.atom(PROPS[p]);
+    let object = if res {
+        Value::Resource(store.atom(OBJECTS[o]))
+    } else {
+        store.literal_value(OBJECTS[o])
+    };
+    Triple { subject, property, object }
 }
 
 fn contents(store: &TripleStore) -> State {

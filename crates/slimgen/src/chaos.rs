@@ -1,0 +1,566 @@
+//! Seeded chaos soak for the concurrent session service.
+//!
+//! Drives N interleaved sessions of trace-derived traffic through a
+//! [`slimserve::Service`] while injecting every fault class the
+//! supervisor claims to contain:
+//!
+//! * **worker panics** — [`ServeOp::ChaosPanic`] ops spliced into each
+//!   session's script on a seeded schedule;
+//! * **I/O faults** — one-shot [`FaultVfs`] append failures armed
+//!   mid-traffic, plus a halting *torn-append* fault that plays a full
+//!   crash (service aborted, disk reopened, WAL salvaged);
+//! * **slow-clock stalls** — a thread yanking the shared [`MockClock`]
+//!   forward so queued ops age past their deadlines;
+//! * **deterministic drills** — a parked writer to force `Overloaded`
+//!   shedding and `Timeout` expiry, and a serially-panicking session to
+//!   force quarantine, independent of scheduling luck.
+//!
+//! The oracle is differential: every acknowledged op is recorded with
+//! its writer-assigned serialization order, replayed in `(epoch,
+//! order)` order into a fresh **single-session** [`TripleStore`], and
+//! the model's snapshot digest must equal both the live service's final
+//! snapshot and a from-disk reopen. Refusals are checked the other way
+//! around — refused drill markers must be absent, and the stats ledger
+//! must balance: every submission ends in exactly one typed bucket,
+//! nothing is silently dropped.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+use slimserve::{Gate, ServeConfig, ServeError, ServeOp, ServeStats, Service, SessionHandle};
+use superimposed::marks::resilience::{mix64, BreakerConfig, MockClock};
+use superimposed::trim::{SnapTriple, SnapValue, SnapshotPublisher, TripleStore};
+
+use crate::trace::{self, Mix, TraceOp};
+use crate::Profile;
+
+/// Where the chaos service's snapshot + log live on the in-memory VFS.
+const STORE_PATH: &str = "chaos/store.xml";
+
+/// Tuning for one chaos run. Everything observable is a pure function
+/// of this config — re-running with the same seed replays the same
+/// per-session scripts and fault schedules.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Concurrent session threads per epoch.
+    pub sessions: usize,
+    /// Trace ops per session per epoch.
+    pub ops_per_session: usize,
+    /// Master seed; fans out per session and per fault schedule.
+    pub seed: u64,
+    /// Inject the mid-run torn-append crash + recovery.
+    pub crash: bool,
+    /// Traffic mix for the underlying trace generator.
+    pub mix: Mix,
+}
+
+impl ChaosConfig {
+    /// Profile-scaled defaults (crash on, mixed traffic).
+    pub fn new(profile: Profile, seed: u64) -> Self {
+        let (sessions, ops_per_session) = match profile {
+            Profile::Smoke => (4, 48),
+            Profile::Quick => (8, 160),
+            Profile::Full => (16, 512),
+        };
+        ChaosConfig { sessions, ops_per_session, seed, crash: true, mix: Mix::Mixed }
+    }
+}
+
+/// What a chaos run observed. [`ChaosReport::passed`] is the verdict
+/// the CI job gates on.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// The seed that replays this run.
+    pub seed: u64,
+    /// Session threads per epoch.
+    pub sessions: usize,
+    /// Trace ops per session per epoch.
+    pub ops_per_session: usize,
+    /// Whether the torn-append crash was injected.
+    pub crash: bool,
+    /// Write submissions the harness made (reads not counted).
+    pub attempts: u64,
+    /// Service counters summed across both incarnations.
+    pub stats: ServeStats,
+    /// The WAL's recovery summary after the injected crash.
+    pub recovery: Option<String>,
+    /// Final snapshot digest of the live service.
+    pub service_digest: u64,
+    /// Digest of the serialized single-session model replay.
+    pub model_digest: u64,
+    /// Digest of a fresh from-disk reopen after shutdown.
+    pub disk_digest: u64,
+    /// Every invariant violation observed; empty means PASS.
+    pub divergences: Vec<String>,
+}
+
+impl ChaosReport {
+    /// True when every invariant held.
+    pub fn passed(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// One step of a session's script.
+enum Action {
+    /// Submit a write op and record its verdict.
+    Write(ServeOp),
+    /// Take a snapshot and scan a subject — readers under a hot writer.
+    Read { subject: String },
+}
+
+/// What one session thread observed.
+struct Outcome {
+    /// Acknowledged ops with their writer serialization order.
+    acked: Vec<(u64, ServeOp)>,
+    /// Write submissions made.
+    attempts: u64,
+    /// Invariant violations (read-your-writes, unexpected verdicts).
+    divergences: Vec<String>,
+}
+
+/// Run the chaos soak to completion and report.
+pub fn run(config: &ChaosConfig) -> ChaosReport {
+    let disk = Arc::new(FaultVfs::unarmed(MemVfs::new()));
+    let clock = Arc::new(MockClock::new());
+    let path = Path::new(STORE_PATH);
+    let serve_config = ServeConfig {
+        queue_capacity: 64,
+        max_batch: 16,
+        op_deadline_ms: 1_000,
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 5_000,
+            probe_budget: 3,
+            probe_successes: 1,
+        },
+        // Small enough that the soak exercises compaction repeatedly.
+        compact_threshold: 1 << 15,
+    };
+
+    let mut divergences: Vec<String> = Vec::new();
+    let mut acked: Vec<(u64, u64, ServeOp)> = Vec::new();
+    let mut attempts = 0u64;
+    let mut stats = ServeStats::default();
+    let mut recovery = None;
+
+    // Slow-clock chaos: stalls big enough that ops queued across a few
+    // ticks blow their deadlines, small enough that quarantine cooldowns
+    // still elapse and breakers cycle through half-open probes.
+    let stop_stall = Arc::new(AtomicBool::new(false));
+    let stall = {
+        let clock = Arc::clone(&clock);
+        let stop = Arc::clone(&stop_stall);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                clock.advance(700);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    // ---- Epoch 1: traffic, then (optionally) a torn-append crash ----
+    let (service, _) = Service::open(disk.clone(), path, serve_config.clone(), clock.clone())
+        .expect("fresh chaos store opens");
+    let epoch1 = spawn_epoch(&service, config, 1);
+    if config.crash {
+        // Let some traffic commit, then tear an append mid-frame and
+        // halt the disk: every later commit fails with a typed Io
+        // refusal until the "machine" reboots.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.stats().acked < 20 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        disk.rearm(FaultConfig::new(FaultOp::Append, FaultMode::Torn, 0, config.seed).halting());
+    }
+    join_epoch(epoch1, 1, &mut acked, &mut attempts, &mut divergences);
+
+    let service = if config.crash {
+        stats += service.abort(); // the crash: queued work refused, writer gone
+        disk.disarm();
+        let epoch1_model = model_digest(&acked);
+        let (service, report) =
+            Service::open(disk.clone(), path, serve_config.clone(), clock.clone())
+                .expect("chaos store recovers after torn-append crash");
+        recovery = Some(report.to_string());
+        let recovered = service.snapshot().digest();
+        if recovered != epoch1_model {
+            divergences.push(format!(
+                "post-crash recovery digest {recovered:#018x} != epoch-1 acked model \
+                 {epoch1_model:#018x} — an acked commit was lost or a refused op survived"
+            ));
+        }
+        service
+    } else {
+        service
+    };
+
+    // ---- Epoch 2: traffic with one-shot I/O faults sprinkled in ----
+    let epoch2 = spawn_epoch(&service, config, 2);
+    for burst in 0..3u64 {
+        std::thread::sleep(Duration::from_millis(2));
+        disk.rearm(FaultConfig::new(
+            FaultOp::Append,
+            FaultMode::Fail,
+            burst,
+            mix64(config.seed, burst),
+        ));
+    }
+    join_epoch(epoch2, 2, &mut acked, &mut attempts, &mut divergences);
+
+    // The drills below need a working disk and a frozen clock.
+    disk.disarm();
+    stop_stall.store(true, Ordering::Relaxed);
+    stall.join().expect("stall thread exits");
+
+    // ---- Drill: repeated panics must land a session in quarantine ----
+    let bad = service.session();
+    for k in 0..serve_config.breaker.failure_threshold {
+        attempts += 1;
+        let verdict = bad.submit(ServeOp::ChaosPanic { detail: format!("drill panic {k}") });
+        if !matches!(verdict, Err(ServeError::Panicked { .. })) {
+            divergences.push(format!("quarantine drill: panic {k} got {verdict:?}"));
+        }
+    }
+    attempts += 1;
+    match bad.submit(ServeOp::insert("drill:quarantined", "p", "v")) {
+        Err(ServeError::Quarantined { .. }) => {}
+        other => {
+            divergences.push(format!("quarantine drill: expected Quarantined, got {other:?}"))
+        }
+    }
+
+    // ---- Drill: a parked writer must shed and expire, loudly --------
+    let driller = service.session();
+    let gate = Gate::new();
+    attempts += 1;
+    let park = driller
+        .enqueue(ServeOp::ChaosPark(gate.clone()))
+        .expect("park admits into an empty queue");
+    gate.wait_arrived(); // the writer is parked; the queue is all ours
+    let mut fills = Vec::new();
+    for k in 0..serve_config.queue_capacity {
+        attempts += 1;
+        match driller.enqueue(ServeOp::insert(&format!("drill:fill{k}"), "p", "v")) {
+            Ok(ticket) => fills.push(ticket),
+            Err(e) => divergences.push(format!("backpressure drill: fill {k} refused: {e}")),
+        }
+    }
+    attempts += 1;
+    match driller.enqueue(ServeOp::insert("drill:overflow", "p", "v")) {
+        Err(ServeError::Overloaded { .. }) => {}
+        other => {
+            divergences.push(format!("backpressure drill: expected Overloaded, got {other:?}"))
+        }
+    }
+    clock.advance(serve_config.op_deadline_ms + 1); // age the queue past its deadlines
+    gate.open();
+    match park.wait() {
+        Ok(ack) => acked.push((2, ack.order, ServeOp::ChaosPark(gate.clone()))),
+        Err(e) => divergences.push(format!("park op refused: {e}")),
+    }
+    for (k, ticket) in fills.into_iter().enumerate() {
+        match ticket.wait() {
+            Err(ServeError::Timeout { .. }) => {}
+            other => {
+                divergences.push(format!("deadline drill: fill {k} expected Timeout, got {other:?}"))
+            }
+        }
+    }
+
+    // Refused markers must be observably absent — shed is loud, not lossy.
+    let snap = service.snapshot();
+    for subject in ["drill:quarantined", "drill:overflow", "drill:fill0", "drill:fill63"] {
+        if snap.scan_subject(subject).next().is_some() {
+            divergences.push(format!("refused op {subject:?} leaked into the store"));
+        }
+    }
+
+    // ---- Final differential: service == model == disk ---------------
+    let service_digest = service.snapshot().digest();
+    let model = model_digest(&acked);
+    if service_digest != model {
+        divergences.push(format!(
+            "final service digest {service_digest:#018x} != serialized model {model:#018x}"
+        ));
+    }
+    stats += service.shutdown();
+    let (mut store, _, _) =
+        TripleStore::open_logged(&disk, path).expect("post-shutdown reopen succeeds");
+    let disk_digest = SnapshotPublisher::new(&mut store).publish(&mut store).0.digest();
+    if disk_digest != model {
+        divergences.push(format!(
+            "from-disk digest {disk_digest:#018x} != serialized model {model:#018x}"
+        ));
+    }
+
+    // ---- The books must balance: every attempt, one typed verdict ---
+    let buckets = stats.acked
+        + stats.shed
+        + stats.timed_out
+        + stats.panicked
+        + stats.quarantine_rejections
+        + stats.io_refusals
+        + stats.closed_refusals;
+    if attempts != buckets {
+        divergences.push(format!(
+            "ledger imbalance: {attempts} submissions vs {buckets} accounted verdicts"
+        ));
+    }
+    if acked.len() as u64 != stats.acked {
+        divergences.push(format!(
+            "ack mismatch: harness observed {} acks, service counted {}",
+            acked.len(),
+            stats.acked
+        ));
+    }
+    if stats.acked == 0 {
+        divergences.push("no traffic survived the chaos at all".into());
+    }
+    if stats.panicked < serve_config.breaker.failure_threshold as u64 {
+        divergences.push("injected panics were not all observed as Panicked".into());
+    }
+    if stats.quarantine_rejections == 0 {
+        divergences.push("no session was ever quarantined".into());
+    }
+    if stats.shed == 0 {
+        divergences.push("overload never shed".into());
+    }
+    if stats.timed_out < serve_config.queue_capacity as u64 {
+        divergences.push("expired deadlines were not all refused as Timeout".into());
+    }
+    if stats.commits == 0 {
+        divergences.push("nothing was ever group-committed".into());
+    }
+
+    ChaosReport {
+        seed: config.seed,
+        sessions: config.sessions,
+        ops_per_session: config.ops_per_session,
+        crash: config.crash,
+        attempts,
+        stats,
+        recovery,
+        service_digest,
+        model_digest: model,
+        disk_digest,
+        divergences,
+    }
+}
+
+/// Spawn one epoch's session threads. The caller keeps the `Service`
+/// and may inject faults while they run.
+fn spawn_epoch(
+    service: &Service,
+    config: &ChaosConfig,
+    epoch: u64,
+) -> Vec<JoinHandle<Outcome>> {
+    (0..config.sessions)
+        .map(|s| {
+            let session = service.session();
+            let script = session_script(config, s as u64, epoch);
+            let tag = format!("session {s} epoch {epoch}");
+            std::thread::spawn(move || drive(session, script, tag))
+        })
+        .collect()
+}
+
+fn join_epoch(
+    threads: Vec<JoinHandle<Outcome>>,
+    epoch: u64,
+    acked: &mut Vec<(u64, u64, ServeOp)>,
+    attempts: &mut u64,
+    divergences: &mut Vec<String>,
+) {
+    for t in threads {
+        let out = t.join().expect("session threads never panic");
+        *attempts += out.attempts;
+        divergences.extend(out.divergences);
+        acked.extend(out.acked.into_iter().map(|(order, op)| (epoch, order, op)));
+    }
+}
+
+/// One session's whole workload: the hospital trace translated to
+/// store-level service ops, with seeded panic injections spliced in.
+fn session_script(config: &ChaosConfig, sess: u64, epoch: u64) -> Vec<Action> {
+    let trace =
+        trace::generate(mix64(config.seed, sess * 2 + epoch), config.ops_per_session, config.mix);
+    trace
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let sel = mix64(config.seed ^ sess.rotate_left(17), epoch << 32 | i as u64);
+            if sel.is_multiple_of(13) {
+                return Action::Write(ServeOp::ChaosPanic {
+                    detail: format!("chaos panic s{sess} e{epoch} i{i}"),
+                });
+            }
+            translate(sess, epoch, i as u64, op)
+        })
+        .collect()
+}
+
+/// Map one trace verb onto the service alphabet. Subjects are scoped
+/// `c{sess}e{epoch}:*` so every session's writes are attributable, plus
+/// a small shared `hot:doc*` set so sessions genuinely contend.
+fn translate(sess: u64, epoch: u64, i: u64, op: &TraceOp) -> Action {
+    let bundle = |j: u64| format!("c{sess}e{epoch}:b{j}");
+    let scrap = |j: u64| format!("c{sess}e{epoch}:s{j}");
+    let hot = |j: u64| format!("hot:doc{}", j % 8);
+    match op {
+        TraceOp::BeginOp => Action::Write(ServeOp::insert(
+            &format!("c{sess}e{epoch}:journal"),
+            "checkpoint",
+            &i.to_string(),
+        )),
+        TraceOp::CreateBundle { parent } => Action::Write(ServeOp::Insert {
+            subject: bundle(i),
+            property: "bundleName".into(),
+            object: SnapValue::Literal(format!("bundle {sess}/{epoch}/{i} under {parent}")),
+        }),
+        TraceOp::PlaceMark { mark, bundle: b } => Action::Write(ServeOp::Insert {
+            subject: bundle(b % (i + 1)),
+            property: "containsScrap".into(),
+            object: SnapValue::Resource(scrap(mark % (i + 1))),
+        }),
+        TraceOp::Annotate { scrap: s, note } => Action::Write(ServeOp::Insert {
+            subject: scrap(s % (i + 1)),
+            property: "annotation".into(),
+            object: SnapValue::Literal(format!("note {note} @{i}")),
+        }),
+        TraceOp::Link { from, to } => Action::Write(ServeOp::Insert {
+            subject: scrap(from % (i + 1)),
+            property: "linksTo".into(),
+            object: SnapValue::Resource(hot(*to)),
+        }),
+        TraceOp::DeleteScrap { scrap: s } => Action::Write(ServeOp::Remove {
+            subject: bundle(s % (i + 1)),
+            property: "containsScrap".into(),
+            object: SnapValue::Resource(scrap(s % (i + 1))),
+        }),
+        TraceOp::Undo => Action::Write(ServeOp::SetUnique {
+            subject: hot(i),
+            property: "lastEditor".into(),
+            object: SnapValue::Literal(format!("c{sess} @e{epoch}i{i}")),
+        }),
+        TraceOp::Extract { scrap: s } => Action::Read { subject: scrap(s % (i + 1)) },
+        TraceOp::Query { needle } => Action::Read { subject: hot(*needle) },
+        TraceOp::Commit => Action::Read { subject: format!("c{sess}e{epoch}:journal") },
+    }
+}
+
+/// Run one session's script to completion, tolerating every typed
+/// refusal (that is the point) but recording invariant violations.
+fn drive(session: SessionHandle, script: Vec<Action>, tag: String) -> Outcome {
+    let mut out = Outcome { acked: Vec::new(), attempts: 0, divergences: Vec::new() };
+    for (i, action) in script.into_iter().enumerate() {
+        match action {
+            Action::Read { subject } => {
+                // Readers never block: clone the snapshot, scan freely.
+                let snap = session.snapshot();
+                let _ = snap.scan_subject(&subject).count();
+            }
+            Action::Write(op) => {
+                out.attempts += 1;
+                match session.submit(op.clone()) {
+                    Ok(ack) => {
+                        // Read-your-writes: an ack implies a published
+                        // snapshot at least as new as the op. Annotation
+                        // triples are never removed, so they must be
+                        // visible from here on.
+                        if let ServeOp::Insert { subject, property, object } = &op {
+                            if property == "annotation" {
+                                let t = SnapTriple {
+                                    subject: subject.clone(),
+                                    property: property.clone(),
+                                    object: object.clone(),
+                                };
+                                if !session.snapshot().contains(&t) {
+                                    out.divergences.push(format!(
+                                        "{tag}: acked op {i} invisible in the next snapshot"
+                                    ));
+                                }
+                            }
+                        }
+                        out.acked.push((ack.order, op));
+                    }
+                    // Every refusal is typed and guarantees the op was
+                    // not applied; the model replay below proves it.
+                    Err(ServeError::Overloaded { .. })
+                    | Err(ServeError::Timeout { .. })
+                    | Err(ServeError::Quarantined { .. })
+                    | Err(ServeError::Panicked { .. })
+                    | Err(ServeError::Io { .. })
+                    | Err(ServeError::Closed) => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The serialized single-session oracle: replay every acknowledged op
+/// in `(epoch, order)` order into a fresh store and digest it.
+fn model_digest(acked: &[(u64, u64, ServeOp)]) -> u64 {
+    let mut ordered: Vec<&(u64, u64, ServeOp)> = acked.iter().collect();
+    ordered.sort_by_key(|(epoch, order, _)| (*epoch, *order));
+    let mut model = TripleStore::new();
+    for (_, _, op) in ordered {
+        op.apply_to(&mut model);
+    }
+    SnapshotPublisher::new(&mut model).publish(&mut model).0.digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tier-1 chaos gate: a smoke-profile run with the full fault
+    /// menu (panics, I/O faults, clock stalls, torn-append crash) must
+    /// come out differentially clean.
+    #[test]
+    fn smoke_chaos_soak_passes() {
+        let config = ChaosConfig::new(Profile::Smoke, 0xC0FFEE);
+        let report = run(&config);
+        assert!(
+            report.passed(),
+            "chaos divergences: {:#?}\nstats: {:?}",
+            report.divergences,
+            report.stats
+        );
+        assert!(report.recovery.is_some(), "the crash leg must actually run");
+        assert_eq!(report.service_digest, report.model_digest);
+        assert_eq!(report.disk_digest, report.model_digest);
+    }
+
+    /// Crash-free variant: one service incarnation end to end.
+    #[test]
+    fn chaos_soak_without_crash_passes() {
+        let mut config = ChaosConfig::new(Profile::Smoke, 0xFEED);
+        config.crash = false;
+        let report = run(&config);
+        assert!(report.passed(), "chaos divergences: {:#?}", report.divergences);
+        assert!(report.recovery.is_none());
+    }
+
+    /// Two runs with one seed must make identical scripts (the report
+    /// depends on thread interleaving, the workload must not).
+    #[test]
+    fn scripts_are_seed_deterministic() {
+        let config = ChaosConfig::new(Profile::Smoke, 7);
+        let a = session_script(&config, 3, 1);
+        let b = session_script(&config, 3, 1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            match (x, y) {
+                (Action::Write(p), Action::Write(q)) => assert_eq!(p, q),
+                (Action::Read { subject: p }, Action::Read { subject: q }) => assert_eq!(p, q),
+                _ => panic!("schedules diverged in shape"),
+            }
+        }
+    }
+}

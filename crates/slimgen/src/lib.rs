@@ -17,6 +17,10 @@
 //!   generated corpus with invariant checkpoints (metamodel conformance
 //!   plus the count oracle) and a mid-run crash/recovery through the
 //!   fault-injecting VFS.
+//! * [`chaos`] — the concurrent-service chaos soak: N interleaved
+//!   sessions of trace traffic through `slimserve` with injected
+//!   panics, I/O faults, clock stalls, and a mid-run crash,
+//!   differentially checked against a serialized single-session model.
 //!
 //! Everything is a pure function of `(profile, seed)`: the same pair
 //! reproduces the same corpus XML byte for byte and the same trace
@@ -25,6 +29,7 @@
 //! report's seed with `cargo run -p slimgen -- --profile quick --seed
 //! 0x…`.
 
+pub mod chaos;
 pub mod corpus;
 pub mod seed_ops;
 pub mod soak;

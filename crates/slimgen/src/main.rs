@@ -3,23 +3,32 @@
 //! ```text
 //! slimgen --digest --profile quick --seed 0xC0FFEE   # corpus + trace digests
 //! slimgen --soak   --profile quick --seed 0xC0FFEE   # checkpointed soak + crash
+//! slimgen --chaos  --profile quick --seed 0xC0FFEE   # concurrent service chaos
 //! ```
 //!
-//! `--soak` exits non-zero on any oracle divergence — that exit code is
-//! the CI soak job's verdict. Both modes print the seed so any report
-//! can be replayed verbatim.
+//! `--soak` and `--chaos` exit non-zero on any oracle divergence — that
+//! exit code is the CI soak jobs' verdict. All modes print the seed so
+//! any report can be replayed verbatim.
 
 use std::process::ExitCode;
 
+use slimgen::chaos::{self, ChaosConfig};
 use slimgen::soak::{self, SoakConfig};
 use slimgen::trace::{self, Mix};
 use slimgen::{corpus, Profile};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Digest,
+    Soak,
+    Chaos,
+}
 
 struct Args {
     profile: Profile,
     seed: u64,
     mix: Mix,
-    soak: bool,
+    mode: Mode,
     no_crash: bool,
 }
 
@@ -28,14 +37,15 @@ fn parse_args() -> Result<Args, String> {
         profile: Profile::Quick,
         seed: 0xC0FFEE,
         mix: Mix::Mixed,
-        soak: false,
+        mode: Mode::Digest,
         no_crash: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--digest" => args.soak = false,
-            "--soak" => args.soak = true,
+            "--digest" => args.mode = Mode::Digest,
+            "--soak" => args.mode = Mode::Soak,
+            "--chaos" => args.mode = Mode::Chaos,
             "--no-crash" => args.no_crash = true,
             "--profile" => {
                 let v = it.next().ok_or("--profile needs a value")?;
@@ -73,7 +83,52 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.soak {
+    if args.mode == Mode::Chaos {
+        let mut config = ChaosConfig::new(args.profile, args.seed);
+        config.mix = args.mix;
+        config.crash = !args.no_crash;
+        let report = chaos::run(&config);
+        println!("slimgen chaos  seed={:#x}  mix={}", args.seed, args.mix.name());
+        println!(
+            "  {} sessions x {} ops x 2 epochs, crash: {}",
+            report.sessions, report.ops_per_session, report.crash
+        );
+        let s = &report.stats;
+        println!(
+            "  {} attempts: {} acked, {} shed, {} timed out, {} panicked, {} quarantined, \
+             {} io-refused, {} closed",
+            report.attempts,
+            s.acked,
+            s.shed,
+            s.timed_out,
+            s.panicked,
+            s.quarantine_rejections,
+            s.io_refusals,
+            s.closed_refusals
+        );
+        println!(
+            "  {} commits, {} compactions, {} snapshots ({} rebuilt)",
+            s.commits, s.compactions, s.snapshots_published, s.snapshot_rebuilds
+        );
+        if let Some(recovery) = &report.recovery {
+            println!("  recovery: {recovery}");
+        }
+        println!(
+            "  digests: service {:#018x}  model {:#018x}  disk {:#018x}",
+            report.service_digest, report.model_digest, report.disk_digest
+        );
+        return if report.passed() {
+            println!("  PASS: zero divergences");
+            ExitCode::SUCCESS
+        } else {
+            for d in &report.divergences {
+                eprintln!("  DIVERGENCE: {d}");
+            }
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.mode == Mode::Soak {
         let mut config = SoakConfig::new(args.profile, args.seed);
         config.mix = args.mix;
         config.crash = !args.no_crash;

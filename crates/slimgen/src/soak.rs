@@ -83,7 +83,7 @@ pub fn run(config: &SoakConfig) -> SoakReport {
     corpus
         .system
         .pad
-        .enable_logging(&mut vfs, path)
+        .enable_logging(&vfs, path)
         .expect("snapshot a fresh corpus to the mem vfs");
 
     let ops = trace::generate(config.seed, config.profile.trace_ops(), config.mix);
@@ -104,7 +104,7 @@ pub fn run(config: &SoakConfig) -> SoakReport {
         if Some(i) == crash_at {
             vfs = crash_and_recover(&mut corpus, &mut driver, vfs, path, &mut report);
         }
-        driver.apply(&mut corpus.system, &corpus.mark_ids, &mut vfs, op);
+        driver.apply(&mut corpus.system, &corpus.mark_ids, &vfs, op);
         report.ops += 1;
         if (i + 1) % config.checkpoint_every.max(1) == 0 {
             checkpoint(&corpus, &driver, i + 1, &mut report);
@@ -112,7 +112,7 @@ pub fn run(config: &SoakConfig) -> SoakReport {
     }
 
     // Final commit, then one last full check.
-    corpus.system.pad.commit(&mut vfs).expect("final commit");
+    corpus.system.pad.commit(&vfs).expect("final commit");
     checkpoint(&corpus, &driver, report.ops, &mut report);
     report.outcome_digest = driver.digest;
     report
@@ -143,18 +143,18 @@ fn checkpoint(corpus: &corpus::Corpus, driver: &Driver, at: usize, report: &mut 
 fn crash_and_recover(
     corpus: &mut corpus::Corpus,
     driver: &mut Driver,
-    mut vfs: MemVfs,
+    vfs: MemVfs,
     path: &Path,
     report: &mut SoakReport,
 ) -> MemVfs {
     // Ack a commit so the crash has a well-defined state to return to,
     // then arm the fault: the next append (the crash commit's frame)
     // never lands.
-    corpus.system.pad.commit(&mut vfs).expect("ack the pre-crash state");
+    corpus.system.pad.commit(&vfs).expect("ack the pre-crash state");
     let acked_bundles = corpus.system.pad.dmi().bundles().len();
     let acked_scraps = corpus.system.pad.dmi().all_scraps().len();
 
-    let mut faulty = FaultVfs::new(
+    let faulty = FaultVfs::new(
         vfs,
         FaultConfig::new(FaultOp::Append, FaultMode::Fail, 0, 0).halting(),
     );
@@ -164,15 +164,15 @@ fn crash_and_recover(
         .pad
         .create_bundle("doomed by crash", (1, 1), 10, 10, None)
         .expect("pre-crash mutation");
-    let crashed = corpus.system.pad.commit(&mut faulty);
+    let crashed = corpus.system.pad.commit(&faulty);
     assert!(crashed.is_err(), "commit must fail when the append faults");
     assert!(faulty.fault_fired(), "the injected fault must be the failure cause");
 
     // "Reboot": discard the session, reopen from what's on disk.
-    let mut vfs = faulty.into_inner();
+    let vfs = faulty.into_inner();
     let manager = corpus.system.fresh_manager().expect("rebuild mark modules");
     let (session, _log_report) =
-        PadSession::open_logged(&mut vfs, path, manager).expect("recover from the log");
+        PadSession::open_logged(&vfs, path, manager).expect("recover from the log");
     corpus.system.pad = session;
 
     let got_bundles = corpus.system.pad.dmi().bundles().len();

@@ -205,7 +205,7 @@ impl Driver {
         &mut self,
         system: &mut SuperimposedSystem,
         mark_ids: &[String],
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         op: &TraceOp,
     ) {
         let pad = &mut system.pad;

@@ -15,18 +15,18 @@ const PAD: &str = "commit-compact.pad";
 
 fn logged_corpus() -> (corpus::Corpus, MemVfs) {
     let mut corpus = corpus::generate(Profile::Smoke, 0xAC1D);
-    let mut vfs = MemVfs::new();
-    corpus.system.pad.enable_logging(&mut vfs, Path::new(PAD)).expect("enable logging");
+    let vfs = MemVfs::new();
+    corpus.system.pad.enable_logging(&vfs, Path::new(PAD)).expect("enable logging");
     (corpus, vfs)
 }
 
 #[test]
 fn log_growth_is_proportional_to_changes_not_store_size() {
-    let (mut corpus, mut vfs) = logged_corpus();
+    let (mut corpus, vfs) = logged_corpus();
     let pad = &mut corpus.system.pad;
     let snapshot_bytes = pad.save_xml().len() as u64;
 
-    assert!(matches!(pad.commit(&mut vfs), Ok(CommitOutcome::Clean)));
+    assert!(matches!(pad.commit(&vfs), Ok(CommitOutcome::Clean)));
     let base = pad.log().expect("logged").log_bytes();
 
     // A handful of bundle creations against a store holding hundreds of
@@ -35,7 +35,7 @@ fn log_growth_is_proportional_to_changes_not_store_size() {
     for i in 0..5 {
         pad.create_bundle(&format!("delta {i}"), (i, i), 10, 10, None).expect("bundle");
     }
-    let outcome = pad.commit(&mut vfs).expect("commit");
+    let outcome = pad.commit(&vfs).expect("commit");
     assert!(matches!(outcome, CommitOutcome::Committed { .. }), "got {outcome:?}");
     let delta = pad.log().expect("logged").log_bytes() - base;
     assert!(delta > 0);
@@ -46,13 +46,13 @@ fn log_growth_is_proportional_to_changes_not_store_size() {
 
     // Committing nothing costs nothing.
     let before = pad.log().expect("logged").log_bytes();
-    assert!(matches!(pad.commit(&mut vfs), Ok(CommitOutcome::Clean)));
+    assert!(matches!(pad.commit(&vfs), Ok(CommitOutcome::Clean)));
     assert_eq!(pad.log().expect("logged").log_bytes(), before);
 }
 
 #[test]
 fn compaction_threshold_is_tunable_and_honoured() {
-    let (mut corpus, mut vfs) = logged_corpus();
+    let (mut corpus, vfs) = logged_corpus();
     let pad = &mut corpus.system.pad;
 
     // At the 1 MiB default a smoke-sized delta is nowhere near due.
@@ -62,18 +62,18 @@ fn compaction_threshold_is_tunable_and_honoured() {
     let mut commits = 0;
     while !pad.should_compact() {
         pad.create_bundle(&format!("grow {commits}"), (1, 1), 10, 10, None).expect("bundle");
-        pad.commit(&mut vfs).expect("commit");
+        pad.commit(&vfs).expect("commit");
         commits += 1;
         assert!(commits < 1_000, "log never crossed a 256-byte threshold");
     }
 
-    pad.compact(&mut vfs).expect("compact");
+    pad.compact(&vfs).expect("compact");
     assert!(!pad.should_compact(), "compaction must reset the log below the threshold");
 
     // The compacted pad reopens with zero frames to replay.
     let manager = corpus.system.fresh_manager().expect("fresh manager");
     let (reopened, report) =
-        PadSession::open_logged(&mut vfs, Path::new(PAD), manager).expect("reopen");
+        PadSession::open_logged(&vfs, Path::new(PAD), manager).expect("reopen");
     assert_eq!(report.frames_replayed, 0, "a compacted log replays nothing");
     assert_eq!(
         reopened.dmi().bundles().len(),
@@ -84,25 +84,25 @@ fn compaction_threshold_is_tunable_and_honoured() {
 
 #[test]
 fn needs_full_snapshot_auto_compacts_into_a_durable_state() {
-    let (mut corpus, mut vfs) = logged_corpus();
+    let (mut corpus, vfs) = logged_corpus();
     let pad = &mut corpus.system.pad;
-    pad.commit(&mut vfs).expect("baseline commit");
+    pad.commit(&vfs).expect("baseline commit");
 
     // Undo across the commit boundary: the incremental path cannot
     // persist this, so commit() reports NeedsFullSnapshot and compacts
     // internally (the PadSession contract: on Ok the state is durable).
     pad.begin_op();
     pad.create_bundle("inside the op", (2, 2), 10, 10, None).expect("bundle");
-    pad.commit(&mut vfs).expect("commit mid-op");
+    pad.commit(&vfs).expect("commit mid-op");
     assert!(pad.undo().expect("undo"), "there was a checkpoint to undo to");
     pad.create_bundle("after the undo", (3, 3), 10, 10, None).expect("bundle");
-    let outcome = pad.commit(&mut vfs).expect("commit after boundary-crossing undo");
+    let outcome = pad.commit(&vfs).expect("commit after boundary-crossing undo");
     assert_eq!(outcome, CommitOutcome::NeedsFullSnapshot);
 
     let expected_bundles = pad.dmi().bundles().len();
     let manager = corpus.system.fresh_manager().expect("fresh manager");
     let (reopened, report) =
-        PadSession::open_logged(&mut vfs, Path::new(PAD), manager).expect("reopen");
+        PadSession::open_logged(&vfs, Path::new(PAD), manager).expect("reopen");
     assert_eq!(report.frames_replayed, 0, "auto-compaction folded the log");
     assert_eq!(
         reopened.dmi().bundles().len(),

@@ -16,9 +16,9 @@ fn run_once(seed: u64) -> (CorpusStats, String, Digest, Digest) {
     let xml = corpus.corpus_xml();
     let ops = trace::generate(seed, Profile::Quick.trace_ops(), Mix::Mixed);
     let mut driver = Driver::new(&corpus.system);
-    let mut vfs = MemVfs::new();
+    let vfs = MemVfs::new();
     for op in &ops {
-        driver.apply(&mut corpus.system, &corpus.mark_ids, &mut vfs, op);
+        driver.apply(&mut corpus.system, &corpus.mark_ids, &vfs, op);
     }
     (corpus.stats, xml, corpus.input_digest, driver.digest)
 }

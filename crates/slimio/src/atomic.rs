@@ -7,12 +7,23 @@
 //! `std::fs::write` — destination truncated, new bytes partly written —
 //! never exists, because all writing happens to a sibling temp file and
 //! the only mutation of the destination is a rename.
+//!
+//! Temp names are unique per install (`pad.xml.slimio-tmp.<token>`), and
+//! every in-flight temp is registered in a process-wide table while the
+//! install runs. [`sweep_stale_temp`] — the open-time cleanup — only
+//! removes temps for *its own* artifact that are *not* registered, so an
+//! opener can no longer delete the temp a concurrently-saving sibling
+//! session is about to rename into place.
 
 use crate::seal::{check_seal, seal, Integrity};
 use crate::vfs::Vfs;
+use std::collections::HashSet;
+use std::ffi::OsString;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// An I/O failure with the operation and path that produced it.
 #[derive(Debug)]
@@ -46,11 +57,25 @@ impl From<IoError> for io::Error {
     }
 }
 
-/// Sibling temp path: `pad.xml` → `pad.xml.slimio-tmp`. A sibling (not
-/// a tempdir) so the final rename never crosses a file system.
-fn temp_path(path: &Path) -> PathBuf {
+/// Marker all temp siblings carry: `pad.xml` → `pad.xml.slimio-tmp…`.
+const TMP_MARKER: &str = ".slimio-tmp";
+
+/// The temp prefix every install of `path` uses (and the sweep scopes
+/// itself to): the destination file name plus the marker.
+fn temp_prefix(path: &Path) -> OsString {
     let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
-    name.push(".slimio-tmp");
+    name.push(TMP_MARKER);
+    name
+}
+
+/// Unique sibling temp path: `pad.xml` → `pad.xml.slimio-tmp.<token>`.
+/// A sibling (not a tempdir) so the final rename never crosses a file
+/// system; a process-unique token so concurrent installs — even of the
+/// same artifact — never write through each other's temp.
+fn temp_path(path: &Path) -> PathBuf {
+    static TOKEN: AtomicU64 = AtomicU64::new(0);
+    let mut name = temp_prefix(path);
+    name.push(format!(".{:x}", TOKEN.fetch_add(1, Ordering::Relaxed)));
     path.with_file_name(name)
 }
 
@@ -62,13 +87,45 @@ fn parent_dir(path: &Path) -> &Path {
     }
 }
 
+/// In-flight temps: registered for the duration of an install so the
+/// sweep can tell a *live* sibling save from a crash leftover. Process-
+/// wide is the right scope — the sweep protects against same-process
+/// sibling sessions; a temp from a different (crashed) process is by
+/// definition stale.
+fn active_temps() -> &'static Mutex<HashSet<PathBuf>> {
+    static ACTIVE: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Registration guard: deregisters on drop, so even a panicking VFS
+/// backend cannot leak a registry entry (which would shield a genuinely
+/// stale temp from every future sweep).
+struct ActiveTemp(PathBuf);
+
+impl ActiveTemp {
+    fn register(tmp: &Path) -> Self {
+        active_temps()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(tmp.to_path_buf());
+        ActiveTemp(tmp.to_path_buf())
+    }
+}
+
+impl Drop for ActiveTemp {
+    fn drop(&mut self) {
+        active_temps().lock().unwrap_or_else(PoisonError::into_inner).remove(&self.0);
+    }
+}
+
 /// Durably, atomically install raw `bytes` at `path`: write-temp →
 /// fsync → rename → fsync the parent directory. The directory sync is
 /// what makes the *rename itself* survive power loss; without it the
 /// old file can reappear after a crash even though the save reported
 /// success.
-pub fn install_atomic(vfs: &mut dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), IoError> {
+pub fn install_atomic(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), IoError> {
     let tmp = temp_path(path);
+    let _active = ActiveTemp::register(&tmp);
     let result = (|| {
         vfs.write(&tmp, bytes).map_err(|e| IoError::new("write", &tmp, e))?;
         vfs.sync(&tmp).map_err(|e| IoError::new("sync", &tmp, e))?;
@@ -86,22 +143,42 @@ pub fn install_atomic(vfs: &mut dyn Vfs, path: &Path, bytes: &[u8]) -> Result<()
 }
 
 /// Seal `payload` and durably, atomically install it at `path`.
-pub fn save_atomic(vfs: &mut dyn Vfs, path: &Path, payload: &str) -> Result<(), IoError> {
+pub fn save_atomic(vfs: &dyn Vfs, path: &Path, payload: &str) -> Result<(), IoError> {
     install_atomic(vfs, path, seal(payload).as_bytes())
 }
 
-/// Remove a stale `.slimio-tmp` sibling left by a crash between the
+/// Remove stale temp siblings of `path` left by a crash between the
 /// temp write and the rename (the in-process cleanup in
 /// [`install_atomic`] only runs when the process survives the failed
-/// save). Returns `true` if a leftover was found and removed. Call this
-/// when *opening* an artifact for ongoing use.
-pub fn sweep_stale_temp(vfs: &mut dyn Vfs, path: &Path) -> bool {
-    let tmp = temp_path(path);
-    if vfs.exists(&tmp) {
-        vfs.remove(&tmp).is_ok()
-    } else {
-        false
+/// save). Scoped two ways: only temps whose name starts with *this*
+/// artifact's `…​.slimio-tmp` prefix are candidates, and temps
+/// registered by an in-flight sibling install are skipped — sweeping on
+/// open must never break a concurrent save of the same artifact.
+/// Returns `true` if at least one leftover was removed. Call this when
+/// *opening* an artifact for ongoing use.
+pub fn sweep_stale_temp(vfs: &dyn Vfs, path: &Path) -> bool {
+    let prefix = temp_prefix(path);
+    let prefix = prefix.to_string_lossy().into_owned();
+    let dir = parent_dir(path);
+    let Ok(entries) = vfs.list(dir) else { return false };
+    let mut removed = false;
+    for entry in entries {
+        let is_temp = entry
+            .file_name()
+            .map(|n| n.to_string_lossy().starts_with(&prefix))
+            .unwrap_or(false);
+        if !is_temp {
+            continue;
+        }
+        let live = active_temps()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains(&entry);
+        if !live && vfs.remove(&entry).is_ok() {
+            removed = true;
+        }
     }
+    removed
 }
 
 /// Read a possibly-sealed artifact: the integrity verdict plus the
@@ -128,20 +205,21 @@ pub fn load_sealed(vfs: &dyn Vfs, path: &Path) -> Result<(Integrity, String), Io
 mod tests {
     use super::*;
     use crate::vfs::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+    use std::sync::Arc;
 
     const OLD: &str = "<trim version=\"1\"><t s=\"old\" p=\"p\"><lit>v</lit></t></trim>";
     const NEW: &str = "<trim version=\"1\"><t s=\"new\" p=\"p\"><lit>v</lit></t></trim>";
 
     fn with_existing() -> MemVfs {
-        let mut vfs = MemVfs::new();
-        save_atomic(&mut vfs, Path::new("store.xml"), OLD).unwrap();
+        let vfs = MemVfs::new();
+        save_atomic(&vfs, Path::new("store.xml"), OLD).unwrap();
         vfs
     }
 
     #[test]
     fn save_then_load_verifies() {
-        let mut vfs = MemVfs::new();
-        save_atomic(&mut vfs, Path::new("store.xml"), NEW).unwrap();
+        let vfs = MemVfs::new();
+        save_atomic(&vfs, Path::new("store.xml"), NEW).unwrap();
         let (verdict, payload) = load_sealed(&vfs, Path::new("store.xml")).unwrap();
         assert_eq!(verdict, Integrity::Verified);
         assert_eq!(payload, NEW);
@@ -154,8 +232,8 @@ mod tests {
             for mode in [FaultMode::Fail, FaultMode::Torn] {
                 for seed in 0..8 {
                     let config = FaultConfig::new(op, mode, index, seed).halting();
-                    let mut vfs = FaultVfs::new(with_existing(), config);
-                    let err = save_atomic(&mut vfs, Path::new("store.xml"), NEW);
+                    let vfs = FaultVfs::new(with_existing(), config);
+                    let err = save_atomic(&vfs, Path::new("store.xml"), NEW);
                     assert!(err.is_err(), "{op:?}/{mode:?} should surface an error");
                     assert!(vfs.fault_fired());
                     // "Reboot": inspect the disk the crashed process left.
@@ -180,8 +258,8 @@ mod tests {
         // holds either the old or the new artifact — both fully sealed.
         for mode in [FaultMode::Fail, FaultMode::Torn] {
             let config = FaultConfig::new(FaultOp::SyncDir, mode, 0, 0).halting();
-            let mut vfs = FaultVfs::new(with_existing(), config);
-            assert!(save_atomic(&mut vfs, Path::new("store.xml"), NEW).is_err());
+            let vfs = FaultVfs::new(with_existing(), config);
+            assert!(save_atomic(&vfs, Path::new("store.xml"), NEW).is_err());
             assert!(vfs.fault_fired());
             let disk = vfs.into_inner();
             let (verdict, payload) = load_sealed(&disk, Path::new("store.xml")).unwrap();
@@ -195,8 +273,8 @@ mod tests {
         // Scheduling a fault on the first sync_dir must make the save fail:
         // proof that the protocol actually issues the barrier.
         let config = FaultConfig::new(FaultOp::SyncDir, FaultMode::Fail, 0, 0);
-        let mut vfs = FaultVfs::new(MemVfs::new(), config);
-        assert!(save_atomic(&mut vfs, Path::new("dir/store.xml"), NEW).is_err());
+        let vfs = FaultVfs::new(MemVfs::new(), config);
+        assert!(save_atomic(&vfs, Path::new("dir/store.xml"), NEW).is_err());
         assert!(vfs.fault_fired());
     }
 
@@ -205,18 +283,150 @@ mod tests {
         // A halting rename fault kills the in-process cleanup too — the
         // temp file survives the "crash" exactly as it would on a real disk.
         let config = FaultConfig::new(FaultOp::Rename, FaultMode::Fail, 0, 0).halting();
-        let mut vfs = FaultVfs::new(with_existing(), config);
-        assert!(save_atomic(&mut vfs, Path::new("store.xml"), NEW).is_err());
-        let mut disk = vfs.into_inner();
+        let vfs = FaultVfs::new(with_existing(), config);
+        assert!(save_atomic(&vfs, Path::new("store.xml"), NEW).is_err());
+        let disk = vfs.into_inner();
         assert_eq!(disk.file_count(), 2, "crash should strand the temp file");
 
         // "Reboot": the open-time sweep clears it; a second sweep is a no-op.
-        assert!(sweep_stale_temp(&mut disk, Path::new("store.xml")));
+        assert!(sweep_stale_temp(&disk, Path::new("store.xml")));
         assert_eq!(disk.file_count(), 1);
-        assert!(!sweep_stale_temp(&mut disk, Path::new("store.xml")));
+        assert!(!sweep_stale_temp(&disk, Path::new("store.xml")));
         let (verdict, payload) = load_sealed(&disk, Path::new("store.xml")).unwrap();
         assert_eq!(verdict, Integrity::Verified);
         assert_eq!(payload, OLD);
+    }
+
+    #[test]
+    fn sweep_only_touches_its_own_artifacts_temps() {
+        // Strand temps for two different artifacts in one directory.
+        for name in ["a.xml", "b.xml"] {
+            let config = FaultConfig::new(FaultOp::Rename, FaultMode::Fail, 0, 0).halting();
+            let vfs = FaultVfs::new(MemVfs::new(), config);
+            assert!(save_atomic(&vfs, Path::new(name), OLD).is_err());
+            let disk = vfs.into_inner();
+            assert_eq!(disk.file_count(), 1);
+            // Opening the *other* artifact must not sweep this temp.
+            let other = if name == "a.xml" { "b.xml" } else { "a.xml" };
+            assert!(!sweep_stale_temp(&disk, Path::new(other)));
+            assert_eq!(disk.file_count(), 1);
+            assert!(sweep_stale_temp(&disk, Path::new(name)));
+            assert_eq!(disk.file_count(), 0);
+        }
+    }
+
+    /// A VFS decorator that parks the saving thread after the temp-file
+    /// write, holding it there until released — freezing a sibling
+    /// session exactly inside the write→rename window the old sweep
+    /// used to raid.
+    struct ParkAfterWrite<V> {
+        inner: V,
+        gate: Arc<(Mutex<bool>, std::sync::Condvar)>,
+    }
+
+    impl<V> ParkAfterWrite<V> {
+        fn new(inner: V) -> (Self, Arc<(Mutex<bool>, std::sync::Condvar)>) {
+            let gate = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+            (ParkAfterWrite { inner, gate: gate.clone() }, gate)
+        }
+    }
+
+    impl<V: Vfs> Vfs for ParkAfterWrite<V> {
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+        fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+            self.inner.write(path, data)?;
+            let (lock, cvar) = &*self.gate;
+            let mut released = lock.lock().unwrap();
+            while !*released {
+                released = cvar.wait(released).unwrap();
+            }
+            Ok(())
+        }
+        fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+            self.inner.append(path, data)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn sync(&self, path: &Path) -> io::Result<()> {
+            self.inner.sync(path)
+        }
+        fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+            self.inner.sync_dir(dir)
+        }
+        fn remove(&self, path: &Path) -> io::Result<()> {
+            self.inner.remove(path)
+        }
+        fn exists(&self, path: &Path) -> bool {
+            self.inner.exists(path)
+        }
+        fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+            self.inner.list(dir)
+        }
+    }
+
+    /// Regression: an opener's sweep must not delete the temp file of a
+    /// sibling session whose save is mid-flight (between write and
+    /// rename). Before the active-temp registry, this deleted the temp
+    /// and the sibling's rename failed.
+    #[test]
+    fn sweep_skips_a_live_sibling_saves_temp() {
+        let shared = Arc::new(MemVfs::new());
+        save_atomic(&*shared, Path::new("store.xml"), OLD).unwrap();
+
+        let (parking, gate) = ParkAfterWrite::new(shared.clone());
+        let saver = std::thread::spawn(move || save_atomic(&parking, Path::new("store.xml"), NEW));
+
+        // Wait until the sibling is parked inside the dangerous window:
+        // its unique temp exists but the rename has not happened.
+        while shared.file_count() < 2 {
+            std::thread::yield_now();
+        }
+
+        // The "opener" sweeps. The sibling's temp is registered as live,
+        // so nothing may be removed.
+        assert!(!sweep_stale_temp(&*shared, Path::new("store.xml")));
+        assert_eq!(shared.file_count(), 2, "live sibling temp was swept");
+
+        // Release the sibling: its rename must succeed and install NEW.
+        {
+            let (lock, cvar) = &*gate;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
+        saver.join().unwrap().expect("sibling save must survive the sweep");
+        let (verdict, payload) = load_sealed(&*shared, Path::new("store.xml")).unwrap();
+        assert_eq!(verdict, Integrity::Verified);
+        assert_eq!(payload, NEW);
+        assert_eq!(shared.file_count(), 1, "temp must be renamed away");
+    }
+
+    #[test]
+    fn concurrent_saves_of_one_artifact_use_distinct_temps() {
+        let shared = Arc::new(MemVfs::new());
+        let savers: Vec<_> = (0..8)
+            .map(|i| {
+                let vfs = shared.clone();
+                std::thread::spawn(move || {
+                    for round in 0..16 {
+                        let payload = format!(
+                            "<trim version=\"1\"><t s=\"w{i}r{round}\" p=\"p\"><lit>v</lit></t></trim>"
+                        );
+                        save_atomic(&*vfs, Path::new("store.xml"), &payload).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for s in savers {
+            s.join().unwrap();
+        }
+        // Last-writer-wins, but the artifact must always be whole and
+        // sealed, and no temp may linger.
+        assert_eq!(shared.file_count(), 1);
+        let (verdict, _) = load_sealed(&*shared, Path::new("store.xml")).unwrap();
+        assert_eq!(verdict, Integrity::Verified);
     }
 
     #[test]
@@ -224,8 +434,8 @@ mod tests {
         // The disk lies about the temp write; the rename then installs a
         // truncated artifact. The seal check must refuse to verify it.
         let config = FaultConfig::new(FaultOp::Write, FaultMode::SilentTorn, 0, 5);
-        let mut vfs = FaultVfs::new(with_existing(), config);
-        let _ = save_atomic(&mut vfs, Path::new("store.xml"), NEW);
+        let vfs = FaultVfs::new(with_existing(), config);
+        let _ = save_atomic(&vfs, Path::new("store.xml"), NEW);
         let disk = vfs.into_inner();
         let (verdict, payload) = load_sealed(&disk, Path::new("store.xml")).unwrap();
         if payload == OLD {
@@ -239,15 +449,15 @@ mod tests {
     #[test]
     fn failed_save_cleans_up_the_temp_file() {
         let config = FaultConfig::new(FaultOp::Sync, FaultMode::Fail, 0, 0);
-        let mut vfs = FaultVfs::new(with_existing(), config);
-        let _ = save_atomic(&mut vfs, Path::new("store.xml"), NEW);
+        let vfs = FaultVfs::new(with_existing(), config);
+        let _ = save_atomic(&vfs, Path::new("store.xml"), NEW);
         let disk = vfs.into_inner();
         assert_eq!(disk.file_count(), 1, "temp file left behind after failed save");
     }
 
     #[test]
     fn legacy_unsealed_file_loads_as_unsealed() {
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         vfs.write(Path::new("legacy.xml"), OLD.as_bytes()).unwrap();
         let (verdict, payload) = load_sealed(&vfs, Path::new("legacy.xml")).unwrap();
         assert_eq!(verdict, Integrity::Unsealed);
@@ -255,8 +465,19 @@ mod tests {
     }
 
     #[test]
+    fn legacy_exact_name_temp_is_still_swept() {
+        // Artifacts written by older versions used the fixed name
+        // `<file>.slimio-tmp`; the prefix-scoped sweep must still clear
+        // those leftovers.
+        let vfs = with_existing();
+        vfs.write(Path::new("store.xml.slimio-tmp"), b"stale").unwrap();
+        assert!(sweep_stale_temp(&vfs, Path::new("store.xml")));
+        assert_eq!(vfs.file_count(), 1);
+    }
+
+    #[test]
     fn non_utf8_content_is_corrupt_not_a_panic() {
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         vfs.write(Path::new("bin.xml"), &[0x3C, 0xFF, 0xFE, 0x00]).unwrap();
         let (verdict, _) = load_sealed(&vfs, Path::new("bin.xml")).unwrap();
         assert_eq!(verdict, Integrity::Corrupt);

@@ -11,34 +11,86 @@
 //!   process dying at that instant.
 //!
 //! The trait is deliberately tiny: exactly the operations the atomic
-//! save protocol and the loaders need, nothing speculative.
+//! save protocol and the loaders need, nothing speculative. All methods
+//! take `&self` — backends use interior mutability — so one VFS can be
+//! shared across threads (`Arc<dyn Vfs + Send + Sync>`): the service
+//! writer thread commits through the same backend a chaos injector
+//! re-arms faults on.
 
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// The file operations the persistence layer is allowed to perform.
 pub trait Vfs {
     /// Read an entire file.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// Create or replace a file with `data`.
-    fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()>;
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
     /// Append `data` to the end of a file, creating it if absent.
-    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()>;
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
     /// Atomically rename `from` onto `to`, replacing `to` if it exists.
-    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
     /// Force a previously written file's bytes to stable storage.
-    fn sync(&mut self, path: &Path) -> io::Result<()>;
+    fn sync(&self, path: &Path) -> io::Result<()>;
     /// Force a directory's entry table to stable storage, making earlier
     /// renames and creations inside it durable. On POSIX a rename is only
     /// guaranteed to survive power loss after the *parent directory* is
     /// fsynced; skipping this is the classic "atomic save that wasn't".
-    fn sync_dir(&mut self, dir: &Path) -> io::Result<()>;
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
     /// Delete a file; succeeds silently if it does not exist.
-    fn remove(&mut self, path: &Path) -> io::Result<()>;
+    fn remove(&self, path: &Path) -> io::Result<()>;
     /// Whether a file exists.
     fn exists(&self, path: &Path) -> bool;
+    /// Files directly inside `dir` (non-recursive). The open-time temp
+    /// sweep uses this to find stale `.slimio-tmp.*` siblings.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
 }
+
+/// Lock that shrugs off poisoning: a panic in one thread must not turn
+/// every later VFS call into a second panic (the supervisor contains
+/// the first one; the "disk" itself survives).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+macro_rules! delegate_vfs {
+    ($ty:ty) => {
+        impl<V: Vfs + ?Sized> Vfs for $ty {
+            fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+                (**self).read(path)
+            }
+            fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+                (**self).write(path, data)
+            }
+            fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+                (**self).append(path, data)
+            }
+            fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+                (**self).rename(from, to)
+            }
+            fn sync(&self, path: &Path) -> io::Result<()> {
+                (**self).sync(path)
+            }
+            fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+                (**self).sync_dir(dir)
+            }
+            fn remove(&self, path: &Path) -> io::Result<()> {
+                (**self).remove(path)
+            }
+            fn exists(&self, path: &Path) -> bool {
+                (**self).exists(path)
+            }
+            fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+                (**self).list(dir)
+            }
+        }
+    };
+}
+
+delegate_vfs!(&V);
+delegate_vfs!(std::sync::Arc<V>);
 
 /// The real file system.
 #[derive(Debug, Default, Clone, Copy)]
@@ -49,31 +101,31 @@ impl Vfs for StdVfs {
         std::fs::read(path)
     }
 
-    fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         std::fs::write(path, data)
     }
 
-    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         use std::io::Write;
         let mut file =
             std::fs::OpenOptions::new().create(true).append(true).open(path)?;
         file.write_all(data)
     }
 
-    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         std::fs::rename(from, to)
     }
 
-    fn sync(&mut self, path: &Path) -> io::Result<()> {
+    fn sync(&self, path: &Path) -> io::Result<()> {
         std::fs::File::open(path)?.sync_all()
     }
 
-    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
         let dir = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
         std::fs::File::open(dir)?.sync_all()
     }
 
-    fn remove(&mut self, path: &Path) -> io::Result<()> {
+    fn remove(&self, path: &Path) -> io::Result<()> {
         match std::fs::remove_file(path) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             other => other,
@@ -83,12 +135,28 @@ impl Vfs for StdVfs {
     fn exists(&self, path: &Path) -> bool {
         path.exists()
     }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let dir = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
 }
 
-/// In-memory file system for tests.
-#[derive(Debug, Default, Clone)]
+/// In-memory file system for tests. Cheap to clone (snapshots the
+/// "disk") and shareable across threads.
+#[derive(Debug, Default)]
 pub struct MemVfs {
-    files: BTreeMap<PathBuf, Vec<u8>>,
+    files: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+}
+
+impl Clone for MemVfs {
+    fn clone(&self) -> Self {
+        MemVfs { files: Mutex::new(relock(&self.files).clone()) }
+    }
 }
 
 impl MemVfs {
@@ -97,57 +165,73 @@ impl MemVfs {
     }
 
     /// Direct access for assertions: the raw bytes of a file, if any.
-    pub fn bytes(&self, path: impl AsRef<Path>) -> Option<&[u8]> {
-        self.files.get(path.as_ref()).map(Vec::as_slice)
+    pub fn bytes(&self, path: impl AsRef<Path>) -> Option<Vec<u8>> {
+        relock(&self.files).get(path.as_ref()).cloned()
     }
 
     /// Number of files currently stored.
     pub fn file_count(&self) -> usize {
-        self.files.len()
+        relock(&self.files).len()
     }
+}
+
+/// The parent directory a path's entry lives in, as `MemVfs` keys see
+/// it: `""` for bare names (the same normalization `list` applies).
+fn mem_parent(path: &Path) -> &Path {
+    path.parent().unwrap_or_else(|| Path::new(""))
 }
 
 impl Vfs for MemVfs {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        self.files
+        relock(&self.files)
             .get(path)
             .cloned()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display())))
     }
 
-    fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
-        self.files.insert(path.to_path_buf(), data.to_vec());
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        relock(&self.files).insert(path.to_path_buf(), data.to_vec());
         Ok(())
     }
 
-    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
-        self.files.entry(path.to_path_buf()).or_default().extend_from_slice(data);
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        relock(&self.files).entry(path.to_path_buf()).or_default().extend_from_slice(data);
         Ok(())
     }
 
-    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
-        let data = self.files.remove(from).ok_or_else(|| {
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = relock(&self.files);
+        let data = files.remove(from).ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, format!("{}", from.display()))
         })?;
-        self.files.insert(to.to_path_buf(), data);
+        files.insert(to.to_path_buf(), data);
         Ok(())
     }
 
-    fn sync(&mut self, _path: &Path) -> io::Result<()> {
+    fn sync(&self, _path: &Path) -> io::Result<()> {
         Ok(())
     }
 
-    fn sync_dir(&mut self, _dir: &Path) -> io::Result<()> {
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
         Ok(())
     }
 
-    fn remove(&mut self, path: &Path) -> io::Result<()> {
-        self.files.remove(path);
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        relock(&self.files).remove(path);
         Ok(())
     }
 
     fn exists(&self, path: &Path) -> bool {
-        self.files.contains_key(path)
+        relock(&self.files).contains_key(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let dir = if dir == Path::new(".") { Path::new("") } else { dir };
+        Ok(relock(&self.files)
+            .keys()
+            .filter(|p| mem_parent(p) == dir)
+            .cloned()
+            .collect())
     }
 }
 
@@ -203,11 +287,11 @@ impl FaultConfig {
     }
 }
 
-/// A [`Vfs`] decorator that injects the configured fault.
+/// Mutable fault-schedule state, behind one lock so a shared
+/// `FaultVfs` can be re-armed while another thread is writing.
 #[derive(Debug)]
-pub struct FaultVfs<V> {
-    inner: V,
-    config: FaultConfig,
+struct FaultState {
+    config: Option<FaultConfig>,
     writes: u64,
     appends: u64,
     renames: u64,
@@ -217,10 +301,9 @@ pub struct FaultVfs<V> {
     halted: bool,
 }
 
-impl<V: Vfs> FaultVfs<V> {
-    pub fn new(inner: V, config: FaultConfig) -> Self {
-        FaultVfs {
-            inner,
+impl FaultState {
+    fn new(config: Option<FaultConfig>) -> Self {
+        FaultState {
             config,
             writes: 0,
             appends: 0,
@@ -231,10 +314,58 @@ impl<V: Vfs> FaultVfs<V> {
             halted: false,
         }
     }
+}
+
+/// What `arm` decided for one operation.
+enum Decision {
+    /// The process already "died": the op must fail without touching disk.
+    Halted,
+    /// Not the victim: pass through.
+    Pass,
+    /// The scheduled fault: misbehave per `mode`; `torn_counter` feeds
+    /// the deterministic torn-length derivation.
+    Fault { mode: FaultMode, torn_counter: u64, seed: u64 },
+}
+
+/// A [`Vfs`] decorator that injects the configured fault. Shareable:
+/// the schedule lives behind a lock, and [`FaultVfs::rearm`] /
+/// [`FaultVfs::disarm`] swap it at runtime (the chaos harness's lever).
+#[derive(Debug)]
+pub struct FaultVfs<V> {
+    inner: V,
+    state: Mutex<FaultState>,
+}
+
+impl<V: Vfs> FaultVfs<V> {
+    pub fn new(inner: V, config: FaultConfig) -> Self {
+        FaultVfs { inner, state: Mutex::new(FaultState::new(Some(config))) }
+    }
+
+    /// A transparent wrapper with no fault scheduled (arm one later).
+    pub fn unarmed(inner: V) -> Self {
+        FaultVfs { inner, state: Mutex::new(FaultState::new(None)) }
+    }
 
     /// Whether the scheduled fault actually triggered.
     pub fn fault_fired(&self) -> bool {
-        self.fired
+        relock(&self.state).fired
+    }
+
+    /// Whether a halting fault has "killed the process": all mutation
+    /// fails until [`FaultVfs::rearm`] or [`FaultVfs::disarm`].
+    pub fn halted(&self) -> bool {
+        relock(&self.state).halted
+    }
+
+    /// Install a fresh schedule: counters, `fired`, and `halted` reset,
+    /// so a "rebooted" process can reuse the same shared disk.
+    pub fn rearm(&self, config: FaultConfig) {
+        *relock(&self.state) = FaultState::new(Some(config));
+    }
+
+    /// Clear the schedule entirely: behave as the plain inner backend.
+    pub fn disarm(&self) {
+        *relock(&self.state) = FaultState::new(None);
     }
 
     /// Unwrap the inner backend (to inspect state "after the crash").
@@ -249,8 +380,8 @@ impl<V: Vfs> FaultVfs<V> {
 
     /// Deterministic torn-prefix length in `0..=len` (splitmix64 on the
     /// seed and the op counter, so distinct faults tear differently).
-    fn torn_len(&self, counter: u64, len: usize) -> usize {
-        let mut z = self.config.seed ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    fn torn_len(seed: u64, counter: u64, len: usize) -> usize {
+        let mut z = seed ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
@@ -265,38 +396,44 @@ impl<V: Vfs> FaultVfs<V> {
         io::Error::other("injected fault: process halted")
     }
 
-    /// Returns the fault mode if this operation is the scheduled victim.
-    fn arm(&mut self, op: FaultOp) -> Option<FaultMode> {
+    /// Count the operation and decide its fate.
+    fn arm(&self, op: FaultOp) -> Decision {
+        let mut st = relock(&self.state);
+        let was_halted = st.halted;
         let counter = match op {
             FaultOp::Write => {
-                self.writes += 1;
-                self.writes - 1
+                st.writes += 1;
+                st.writes - 1
             }
             FaultOp::Append => {
-                self.appends += 1;
-                self.appends - 1
+                st.appends += 1;
+                st.appends - 1
             }
             FaultOp::Rename => {
-                self.renames += 1;
-                self.renames - 1
+                st.renames += 1;
+                st.renames - 1
             }
             FaultOp::Sync => {
-                self.syncs += 1;
-                self.syncs - 1
+                st.syncs += 1;
+                st.syncs - 1
             }
             FaultOp::SyncDir => {
-                self.sync_dirs += 1;
-                self.sync_dirs - 1
+                st.sync_dirs += 1;
+                st.sync_dirs - 1
             }
         };
-        if !self.fired && self.config.op == op && counter == self.config.index {
-            self.fired = true;
-            if self.config.halt_after_fault {
-                self.halted = true;
+        if was_halted {
+            return Decision::Halted;
+        }
+        match st.config {
+            Some(config) if !st.fired && config.op == op && counter == config.index => {
+                st.fired = true;
+                if config.halt_after_fault {
+                    st.halted = true;
+                }
+                Decision::Fault { mode: config.mode, torn_counter: counter + 1, seed: config.seed }
             }
-            Some(self.config.mode)
-        } else {
-            None
+            _ => Decision::Pass,
         }
     }
 }
@@ -306,79 +443,76 @@ impl<V: Vfs> Vfs for FaultVfs<V> {
         self.inner.read(path)
     }
 
-    fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
-        let was_halted = self.halted;
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         match self.arm(FaultOp::Write) {
-            _ if was_halted => Err(self.halted_error()),
-            None => self.inner.write(path, data),
-            Some(FaultMode::Fail) => Err(self.fault_error("write failed")),
-            Some(FaultMode::Torn) => {
-                let keep = self.torn_len(self.writes, data.len());
+            Decision::Halted => Err(self.halted_error()),
+            Decision::Pass => self.inner.write(path, data),
+            Decision::Fault { mode: FaultMode::Fail, .. } => Err(self.fault_error("write failed")),
+            Decision::Fault { mode: FaultMode::Torn, torn_counter, seed } => {
+                let keep = Self::torn_len(seed, torn_counter, data.len());
                 self.inner.write(path, &data[..keep])?;
                 Err(self.fault_error("write torn"))
             }
-            Some(FaultMode::SilentTorn) => {
-                let keep = self.torn_len(self.writes, data.len());
+            Decision::Fault { mode: FaultMode::SilentTorn, torn_counter, seed } => {
+                let keep = Self::torn_len(seed, torn_counter, data.len());
                 self.inner.write(path, &data[..keep])
             }
         }
     }
 
-    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
-        let was_halted = self.halted;
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         match self.arm(FaultOp::Append) {
-            _ if was_halted => Err(self.halted_error()),
-            None => self.inner.append(path, data),
-            Some(FaultMode::Fail) => Err(self.fault_error("append failed")),
-            Some(FaultMode::Torn) => {
-                let keep = self.torn_len(self.appends, data.len());
+            Decision::Halted => Err(self.halted_error()),
+            Decision::Pass => self.inner.append(path, data),
+            Decision::Fault { mode: FaultMode::Fail, .. } => Err(self.fault_error("append failed")),
+            Decision::Fault { mode: FaultMode::Torn, torn_counter, seed } => {
+                let keep = Self::torn_len(seed, torn_counter, data.len());
                 self.inner.append(path, &data[..keep])?;
                 Err(self.fault_error("append torn"))
             }
-            Some(FaultMode::SilentTorn) => {
-                let keep = self.torn_len(self.appends, data.len());
+            Decision::Fault { mode: FaultMode::SilentTorn, torn_counter, seed } => {
+                let keep = Self::torn_len(seed, torn_counter, data.len());
                 self.inner.append(path, &data[..keep])
             }
         }
     }
 
-    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
-        let was_halted = self.halted;
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         match self.arm(FaultOp::Rename) {
-            _ if was_halted => Err(self.halted_error()),
-            None => self.inner.rename(from, to),
-            Some(FaultMode::Fail) | Some(FaultMode::Torn) => {
+            Decision::Halted => Err(self.halted_error()),
+            Decision::Pass => self.inner.rename(from, to),
+            Decision::Fault { mode: FaultMode::Fail | FaultMode::Torn, .. } => {
                 Err(self.fault_error("rename failed"))
             }
             // Reported done, never happened: the metadata update was lost.
-            Some(FaultMode::SilentTorn) => Ok(()),
+            Decision::Fault { mode: FaultMode::SilentTorn, .. } => Ok(()),
         }
     }
 
-    fn sync(&mut self, path: &Path) -> io::Result<()> {
-        let was_halted = self.halted;
+    fn sync(&self, path: &Path) -> io::Result<()> {
         match self.arm(FaultOp::Sync) {
-            _ if was_halted => Err(self.halted_error()),
-            None => self.inner.sync(path),
-            Some(FaultMode::Fail) | Some(FaultMode::Torn) => Err(self.fault_error("sync failed")),
-            Some(FaultMode::SilentTorn) => Ok(()),
+            Decision::Halted => Err(self.halted_error()),
+            Decision::Pass => self.inner.sync(path),
+            Decision::Fault { mode: FaultMode::Fail | FaultMode::Torn, .. } => {
+                Err(self.fault_error("sync failed"))
+            }
+            Decision::Fault { mode: FaultMode::SilentTorn, .. } => Ok(()),
         }
     }
 
-    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
-        let was_halted = self.halted;
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
         match self.arm(FaultOp::SyncDir) {
-            _ if was_halted => Err(self.halted_error()),
-            None => self.inner.sync_dir(dir),
-            Some(FaultMode::Fail) | Some(FaultMode::Torn) => {
+            Decision::Halted => Err(self.halted_error()),
+            Decision::Pass => self.inner.sync_dir(dir),
+            Decision::Fault { mode: FaultMode::Fail | FaultMode::Torn, .. } => {
                 Err(self.fault_error("sync_dir failed"))
             }
-            Some(FaultMode::SilentTorn) => Ok(()),
+            Decision::Fault { mode: FaultMode::SilentTorn, .. } => Ok(()),
         }
     }
 
-    fn remove(&mut self, path: &Path) -> io::Result<()> {
-        if self.halted {
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        if relock(&self.state).halted {
             return Err(self.halted_error());
         }
         self.inner.remove(path)
@@ -386,6 +520,10 @@ impl<V: Vfs> Vfs for FaultVfs<V> {
 
     fn exists(&self, path: &Path) -> bool {
         self.inner.exists(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
     }
 }
 
@@ -395,7 +533,7 @@ mod tests {
 
     #[test]
     fn mem_vfs_basics() {
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let path = Path::new("a.xml");
         assert!(!vfs.exists(path));
         assert!(vfs.read(path).is_err());
@@ -410,9 +548,46 @@ mod tests {
     }
 
     #[test]
+    fn mem_vfs_lists_only_the_requested_directory() {
+        let vfs = MemVfs::new();
+        vfs.write(Path::new("root.xml"), b"r").unwrap();
+        vfs.write(Path::new("dir/a.xml"), b"a").unwrap();
+        vfs.write(Path::new("dir/b.xml"), b"b").unwrap();
+        vfs.write(Path::new("dir/sub/c.xml"), b"c").unwrap();
+        let mut in_dir = vfs.list(Path::new("dir")).unwrap();
+        in_dir.sort();
+        assert_eq!(in_dir, vec![PathBuf::from("dir/a.xml"), PathBuf::from("dir/b.xml")]);
+        let at_root = vfs.list(Path::new("")).unwrap();
+        assert_eq!(at_root, vec![PathBuf::from("root.xml")]);
+        // "." and "" address the same root namespace.
+        assert_eq!(vfs.list(Path::new(".")).unwrap(), at_root);
+    }
+
+    #[test]
+    fn mem_vfs_is_shareable_across_threads() {
+        let vfs = std::sync::Arc::new(MemVfs::new());
+        let writers: Vec<_> = (0..4)
+            .map(|i| {
+                let vfs = vfs.clone();
+                std::thread::spawn(move || {
+                    let path = PathBuf::from(format!("t{i}.bin"));
+                    for round in 0..50u32 {
+                        vfs.write(&path, &round.to_le_bytes()).unwrap();
+                        vfs.append(&path, b"+").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(vfs.file_count(), 4);
+    }
+
+    #[test]
     fn fault_fail_hits_the_scheduled_write_only() {
         let config = FaultConfig::new(FaultOp::Write, FaultMode::Fail, 1, 7);
-        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        let vfs = FaultVfs::new(MemVfs::new(), config);
         vfs.write(Path::new("one"), b"1").unwrap();
         assert!(vfs.write(Path::new("two"), b"2").is_err());
         assert!(vfs.fault_fired());
@@ -428,7 +603,7 @@ mod tests {
         let data = b"0123456789abcdef";
         for seed in 0..32 {
             let config = FaultConfig::new(FaultOp::Write, FaultMode::Torn, 0, seed);
-            let mut vfs = FaultVfs::new(MemVfs::new(), config);
+            let vfs = FaultVfs::new(MemVfs::new(), config);
             assert!(vfs.write(Path::new("f"), data).is_err());
             let inner = vfs.into_inner();
             let on_disk = inner.bytes("f").unwrap();
@@ -443,7 +618,7 @@ mod tests {
         let lens: Vec<usize> = (0..2)
             .map(|_| {
                 let config = FaultConfig::new(FaultOp::Write, FaultMode::Torn, 0, 42);
-                let mut vfs = FaultVfs::new(MemVfs::new(), config);
+                let vfs = FaultVfs::new(MemVfs::new(), config);
                 let _ = vfs.write(Path::new("f"), &data);
                 vfs.into_inner().bytes("f").unwrap().len()
             })
@@ -454,7 +629,7 @@ mod tests {
     #[test]
     fn silent_torn_write_reports_success() {
         let config = FaultConfig::new(FaultOp::Write, FaultMode::SilentTorn, 0, 99);
-        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        let vfs = FaultVfs::new(MemVfs::new(), config);
         vfs.write(Path::new("f"), &[1u8; 64]).unwrap(); // lies
         assert!(vfs.fault_fired());
     }
@@ -462,7 +637,7 @@ mod tests {
     #[test]
     fn silent_rename_loses_the_rename() {
         let config = FaultConfig::new(FaultOp::Rename, FaultMode::SilentTorn, 0, 3);
-        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        let vfs = FaultVfs::new(MemVfs::new(), config);
         vfs.write(Path::new("tmp"), b"x").unwrap();
         vfs.rename(Path::new("tmp"), Path::new("final")).unwrap(); // lies
         let inner = vfs.into_inner();
@@ -472,7 +647,7 @@ mod tests {
 
     #[test]
     fn mem_vfs_append_creates_and_extends() {
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let path = Path::new("log");
         vfs.append(path, b"ab").unwrap();
         vfs.append(path, b"cd").unwrap();
@@ -483,7 +658,7 @@ mod tests {
     fn torn_append_leaves_old_content_plus_a_prefix() {
         for seed in 0..16 {
             let config = FaultConfig::new(FaultOp::Append, FaultMode::Torn, 1, seed);
-            let mut vfs = FaultVfs::new(MemVfs::new(), config);
+            let vfs = FaultVfs::new(MemVfs::new(), config);
             vfs.append(Path::new("log"), b"first").unwrap();
             assert!(vfs.append(Path::new("log"), b"second").is_err());
             let on_disk = vfs.into_inner().read(Path::new("log")).unwrap();
@@ -496,7 +671,7 @@ mod tests {
     #[test]
     fn failed_append_lands_nothing() {
         let config = FaultConfig::new(FaultOp::Append, FaultMode::Fail, 0, 0);
-        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        let vfs = FaultVfs::new(MemVfs::new(), config);
         assert!(vfs.append(Path::new("log"), b"x").is_err());
         assert!(!vfs.into_inner().exists(Path::new("log")));
     }
@@ -504,7 +679,7 @@ mod tests {
     #[test]
     fn sync_dir_fault_fires_on_schedule() {
         let config = FaultConfig::new(FaultOp::SyncDir, FaultMode::Fail, 1, 0);
-        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        let vfs = FaultVfs::new(MemVfs::new(), config);
         vfs.sync_dir(Path::new(".")).unwrap();
         assert!(vfs.sync_dir(Path::new(".")).is_err());
         assert!(vfs.fault_fired());
@@ -514,9 +689,10 @@ mod tests {
     #[test]
     fn halting_fault_kills_all_later_mutation() {
         let config = FaultConfig::new(FaultOp::Sync, FaultMode::Fail, 0, 0).halting();
-        let mut vfs = FaultVfs::new(MemVfs::new(), config);
+        let vfs = FaultVfs::new(MemVfs::new(), config);
         vfs.write(Path::new("f"), b"x").unwrap();
         assert!(vfs.sync(Path::new("f")).is_err());
+        assert!(vfs.halted());
         assert!(vfs.write(Path::new("g"), b"y").is_err());
         assert!(vfs.append(Path::new("f"), b"y").is_err());
         assert!(vfs.rename(Path::new("f"), Path::new("h")).is_err());
@@ -524,5 +700,32 @@ mod tests {
         assert!(vfs.remove(Path::new("f")).is_err());
         // Reads still work: the "disk" survives the process.
         assert_eq!(vfs.read(Path::new("f")).unwrap(), b"x");
+    }
+
+    #[test]
+    fn rearm_resets_schedule_and_revives_a_halted_disk() {
+        let config = FaultConfig::new(FaultOp::Write, FaultMode::Fail, 0, 0).halting();
+        let vfs = FaultVfs::new(MemVfs::new(), config);
+        assert!(vfs.write(Path::new("f"), b"x").is_err());
+        assert!(vfs.halted());
+        // "Reboot": a fresh schedule targets the second write from now.
+        vfs.rearm(FaultConfig::new(FaultOp::Write, FaultMode::Fail, 1, 0));
+        assert!(!vfs.fault_fired());
+        vfs.write(Path::new("f"), b"x").unwrap();
+        assert!(vfs.write(Path::new("g"), b"y").is_err());
+        assert!(vfs.fault_fired());
+        // Disarm: transparent passthrough from here on.
+        vfs.disarm();
+        vfs.write(Path::new("g"), b"y").unwrap();
+        assert!(!vfs.fault_fired());
+    }
+
+    #[test]
+    fn unarmed_wrapper_is_transparent() {
+        let vfs = FaultVfs::unarmed(MemVfs::new());
+        vfs.write(Path::new("f"), b"x").unwrap();
+        vfs.sync(Path::new("f")).unwrap();
+        assert!(!vfs.fault_fired());
+        assert!(!vfs.halted());
     }
 }

@@ -170,7 +170,7 @@ impl Wal {
     /// header carries a different bind is stale — its frames are already
     /// folded into the snapshot — and is discarded, not replayed.
     pub fn open(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         path: &Path,
         bind_crc: u32,
     ) -> Result<(Wal, Vec<WalFrame>, WalReport), IoError> {
@@ -182,7 +182,7 @@ impl Wal {
     /// notice when this check is missing; never call it from real code.
     #[doc(hidden)]
     pub fn testonly_open_skip_tail_crc(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         path: &Path,
         bind_crc: u32,
     ) -> Result<(Wal, Vec<WalFrame>, WalReport), IoError> {
@@ -190,7 +190,7 @@ impl Wal {
     }
 
     fn open_impl(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         path: &Path,
         bind_crc: u32,
         verify_crc: bool,
@@ -270,7 +270,7 @@ impl Wal {
     }
 
     fn install_fresh(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         path: &Path,
         base_seq: u64,
         bind_crc: u32,
@@ -286,7 +286,7 @@ impl Wal {
     }
 
     /// Append one record; returns its assigned sequence number.
-    pub fn append(&mut self, vfs: &mut dyn Vfs, payload: &[u8]) -> Result<u64, IoError> {
+    pub fn append(&mut self, vfs: &dyn Vfs, payload: &[u8]) -> Result<u64, IoError> {
         let seq = self.next_seq;
         self.append_batch(vfs, std::slice::from_ref(&payload))?;
         Ok(seq)
@@ -299,7 +299,7 @@ impl Wal {
     /// repair, or open).
     pub fn append_batch(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         payloads: &[&[u8]],
     ) -> Result<(), IoError> {
         if self.poisoned {
@@ -329,7 +329,7 @@ impl Wal {
 
     /// Truncate any unacknowledged suffix a failed append may have left,
     /// restoring the file to its last known-good length.
-    pub fn repair(&mut self, vfs: &mut dyn Vfs) -> Result<(), IoError> {
+    pub fn repair(&mut self, vfs: &dyn Vfs) -> Result<(), IoError> {
         let bytes = vfs.read(&self.path).map_err(|e| io_err("read", &self.path, e))?;
         let good = self.len_bytes as usize;
         if bytes.len() < good {
@@ -352,7 +352,7 @@ impl Wal {
     /// Start a new log generation after compaction: atomically replace
     /// the file with an empty log whose `base_seq` continues the sequence
     /// and whose bind ties it to the just-installed snapshot.
-    pub fn reset(&mut self, vfs: &mut dyn Vfs, bind_crc: u32) -> Result<(), IoError> {
+    pub fn reset(&mut self, vfs: &dyn Vfs, bind_crc: u32) -> Result<(), IoError> {
         install_atomic(vfs, &self.path, &header_bytes(self.next_seq, bind_crc))?;
         self.len_bytes = HEADER_LEN as u64;
         self.bind_crc = bind_crc;
@@ -405,14 +405,14 @@ mod tests {
     /// A log with three committed frames; returns the disk and the byte
     /// offset of each frame boundary (for the truncation sweep).
     fn with_frames() -> (MemVfs, Vec<u64>, Vec<Vec<u8>>) {
-        let mut vfs = MemVfs::new();
-        let (mut wal, _, report) = Wal::open(&mut vfs, log_path(), BIND).unwrap();
+        let vfs = MemVfs::new();
+        let (mut wal, _, report) = Wal::open(&vfs, log_path(), BIND).unwrap();
         assert!(report.created);
         let payloads =
             vec![b"alpha".to_vec(), b"".to_vec(), vec![0xA5; 300], b"omega".to_vec()];
         let mut boundaries = vec![wal.len_bytes()];
         for p in &payloads {
-            wal.append(&mut vfs, p).unwrap();
+            wal.append(&vfs, p).unwrap();
             boundaries.push(wal.len_bytes());
         }
         (vfs, boundaries, payloads)
@@ -420,8 +420,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_frames_and_sequence() {
-        let (mut vfs, _, payloads) = with_frames();
-        let (wal, frames, report) = Wal::open(&mut vfs, log_path(), BIND).unwrap();
+        let (vfs, _, payloads) = with_frames();
+        let (wal, frames, report) = Wal::open(&vfs, log_path(), BIND).unwrap();
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(frames.len(), payloads.len());
         for (i, frame) in frames.iter().enumerate() {
@@ -437,15 +437,15 @@ mod tests {
         // second sync) must not fire during a 50-payload batch: the batch
         // goes down in a single append + single sync.
         for op in [FaultOp::Append, FaultOp::Sync] {
-            let mut base = MemVfs::new();
-            let (mut wal, _, _) = Wal::open(&mut base, log_path(), BIND).unwrap();
-            let mut vfs = FaultVfs::new(base, FaultConfig::new(op, FaultMode::Fail, 1, 0));
+            let base = MemVfs::new();
+            let (mut wal, _, _) = Wal::open(&base, log_path(), BIND).unwrap();
+            let vfs = FaultVfs::new(base, FaultConfig::new(op, FaultMode::Fail, 1, 0));
             let payloads: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i; 8]).collect();
             let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
-            wal.append_batch(&mut vfs, &refs).unwrap();
+            wal.append_batch(&vfs, &refs).unwrap();
             assert!(!vfs.fault_fired(), "{op:?}: batch used more than one {op:?}");
-            let mut disk = vfs.into_inner();
-            let (_, frames, _) = Wal::open(&mut disk, log_path(), BIND).unwrap();
+            let disk = vfs.into_inner();
+            let (_, frames, _) = Wal::open(&disk, log_path(), BIND).unwrap();
             assert_eq!(frames.len(), 50);
         }
     }
@@ -455,9 +455,9 @@ mod tests {
         let (vfs, boundaries, payloads) = with_frames();
         let full = vfs.bytes(LOG).unwrap().to_vec();
         for cut in 0..=full.len() {
-            let mut disk = MemVfs::new();
+            let disk = MemVfs::new();
             disk.write(log_path(), &full[..cut]).unwrap();
-            let (wal, frames, _) = Wal::open(&mut disk, log_path(), BIND).unwrap();
+            let (wal, frames, _) = Wal::open(&disk, log_path(), BIND).unwrap();
             // Expected: every frame wholly contained in the first `cut` bytes.
             let expect =
                 boundaries[1..].iter().take_while(|&&end| end <= cut as u64).count();
@@ -468,7 +468,7 @@ mod tests {
             // Salvage must have truncated the file back to the last good
             // frame, and a second open must be clean and identical.
             assert_eq!(wal.len_bytes(), boundaries[expect.min(boundaries.len() - 1)]);
-            let (_, again, report) = Wal::open(&mut disk, log_path(), BIND).unwrap();
+            let (_, again, report) = Wal::open(&disk, log_path(), BIND).unwrap();
             assert_eq!(again.len(), expect, "reopen after salvage, cut {cut}");
             assert_eq!(report.torn_bytes, 0, "salvage must be idempotent, cut {cut}");
         }
@@ -481,9 +481,9 @@ mod tests {
         // Flip one payload byte inside the last frame.
         let tail_payload_start = boundaries[boundaries.len() - 2] as usize + 20;
         bytes[tail_payload_start] ^= 0x01;
-        let mut disk = MemVfs::new();
+        let disk = MemVfs::new();
         disk.write(log_path(), &bytes).unwrap();
-        let (_, frames, report) = Wal::open(&mut disk, log_path(), BIND).unwrap();
+        let (_, frames, report) = Wal::open(&disk, log_path(), BIND).unwrap();
         assert_eq!(frames.len(), payloads.len() - 1, "corrupt tail frame must be dropped");
         assert!(report.torn_bytes > 0);
     }
@@ -497,10 +497,10 @@ mod tests {
         let mut bytes = vfs.bytes(LOG).unwrap().to_vec();
         let tail_payload_start = boundaries[boundaries.len() - 2] as usize + 20;
         bytes[tail_payload_start] ^= 0x01;
-        let mut disk = MemVfs::new();
+        let disk = MemVfs::new();
         disk.write(log_path(), &bytes).unwrap();
         let (_, frames, _) =
-            Wal::testonly_open_skip_tail_crc(&mut disk, log_path(), BIND).unwrap();
+            Wal::testonly_open_skip_tail_crc(&disk, log_path(), BIND).unwrap();
         assert_eq!(frames.len(), payloads.len(), "skip-crc open must keep the bad frame");
         assert_ne!(frames.last().unwrap().payload, payloads.last().unwrap().clone());
     }
@@ -513,16 +513,16 @@ mod tests {
                     // Two committed frames, then a faulted third append;
                     // the fault index skips the opens' internal syncs by
                     // counting only ops issued after setup.
-                    let mut base = MemVfs::new();
-                    let (mut wal, _, _) = Wal::open(&mut base, log_path(), BIND).unwrap();
-                    wal.append(&mut base, b"one").unwrap();
-                    wal.append(&mut base, b"two").unwrap();
+                    let base = MemVfs::new();
+                    let (mut wal, _, _) = Wal::open(&base, log_path(), BIND).unwrap();
+                    wal.append(&base, b"one").unwrap();
+                    wal.append(&base, b"two").unwrap();
                     let config = FaultConfig::new(op, mode, 0, seed).halting();
-                    let mut vfs = FaultVfs::new(base, config);
-                    let result = wal.append(&mut vfs, b"three");
+                    let vfs = FaultVfs::new(base, config);
+                    let result = wal.append(&vfs, b"three");
                     assert!(vfs.fault_fired(), "{op:?}/{mode:?}");
-                    let mut disk = vfs.into_inner();
-                    let (_, frames, _) = Wal::open(&mut disk, log_path(), BIND).unwrap();
+                    let disk = vfs.into_inner();
+                    let (_, frames, _) = Wal::open(&disk, log_path(), BIND).unwrap();
                     let recovered: Vec<&[u8]> =
                         frames.iter().map(|f| f.payload.as_slice()).collect();
                     match (&result, mode) {
@@ -554,21 +554,21 @@ mod tests {
 
     #[test]
     fn poisoned_wal_self_repairs_on_next_append() {
-        let mut base = MemVfs::new();
-        let (mut wal, _, _) = Wal::open(&mut base, log_path(), BIND).unwrap();
-        wal.append(&mut base, b"one").unwrap();
+        let base = MemVfs::new();
+        let (mut wal, _, _) = Wal::open(&base, log_path(), BIND).unwrap();
+        wal.append(&base, b"one").unwrap();
 
         // Torn append: some suffix bytes land, the error poisons the handle.
         let config = FaultConfig::new(FaultOp::Append, FaultMode::Torn, 0, 5);
-        let mut vfs = FaultVfs::new(base, config);
-        assert!(wal.append(&mut vfs, b"two-torn").is_err());
-        let mut disk = vfs.into_inner();
+        let vfs = FaultVfs::new(base, config);
+        assert!(wal.append(&vfs, b"two-torn").is_err());
+        let disk = vfs.into_inner();
 
         // The process survived; the next append truncates the torn suffix
         // and continues the sequence.
-        let seq = wal.append(&mut disk, b"two").unwrap();
+        let seq = wal.append(&disk, b"two").unwrap();
         assert_eq!(seq, 1);
-        let (_, frames, report) = Wal::open(&mut disk, log_path(), BIND).unwrap();
+        let (_, frames, report) = Wal::open(&disk, log_path(), BIND).unwrap();
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(frames.len(), 2);
         assert_eq!(frames[1].payload, b"two");
@@ -576,28 +576,28 @@ mod tests {
 
     #[test]
     fn bind_mismatch_discards_stale_frames() {
-        let (mut vfs, _, _) = with_frames();
-        let (wal, frames, report) = Wal::open(&mut vfs, log_path(), 0x0BAD_F00D).unwrap();
+        let (vfs, _, _) = with_frames();
+        let (wal, frames, report) = Wal::open(&vfs, log_path(), 0x0BAD_F00D).unwrap();
         assert!(frames.is_empty(), "stale frames must not replay");
         assert_eq!(report.discarded_frames, 4);
         // Sequence numbering continues: no seq is ever reused.
         assert_eq!(wal.next_seq(), 4);
         // And the fresh generation opens clean under the new bind.
-        let (_, frames, report) = Wal::open(&mut vfs, log_path(), 0x0BAD_F00D).unwrap();
+        let (_, frames, report) = Wal::open(&vfs, log_path(), 0x0BAD_F00D).unwrap();
         assert!(frames.is_empty());
         assert!(report.is_clean(), "{report:?}");
     }
 
     #[test]
     fn reset_starts_a_new_generation_continuing_the_sequence() {
-        let (mut vfs, _, _) = with_frames();
-        let (mut wal, frames, _) = Wal::open(&mut vfs, log_path(), BIND).unwrap();
+        let (vfs, _, _) = with_frames();
+        let (mut wal, frames, _) = Wal::open(&vfs, log_path(), BIND).unwrap();
         assert_eq!(frames.len(), 4);
-        wal.reset(&mut vfs, 0x1111_2222).unwrap();
+        wal.reset(&vfs, 0x1111_2222).unwrap();
         assert!(wal.is_empty());
-        let seq = wal.append(&mut vfs, b"post-compact").unwrap();
+        let seq = wal.append(&vfs, b"post-compact").unwrap();
         assert_eq!(seq, 4, "sequence must continue across generations");
-        let (_, frames, report) = Wal::open(&mut vfs, log_path(), 0x1111_2222).unwrap();
+        let (_, frames, report) = Wal::open(&vfs, log_path(), 0x1111_2222).unwrap();
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].seq, 4);
@@ -605,31 +605,31 @@ mod tests {
 
     #[test]
     fn garbage_header_salvages_to_a_fresh_log() {
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         vfs.write(log_path(), b"not a wal at all").unwrap();
-        let (wal, frames, report) = Wal::open(&mut vfs, log_path(), BIND).unwrap();
+        let (wal, frames, report) = Wal::open(&vfs, log_path(), BIND).unwrap();
         assert!(frames.is_empty());
         assert_eq!(report.torn_bytes, 16);
         assert!(!report.notes.is_empty());
         assert_eq!(wal.next_seq(), 0);
-        let (_, _, report) = Wal::open(&mut vfs, log_path(), BIND).unwrap();
+        let (_, _, report) = Wal::open(&vfs, log_path(), BIND).unwrap();
         assert!(report.is_clean(), "{report:?}");
     }
 
     #[test]
     fn future_version_refuses_to_open() {
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let mut header = header_bytes(0, BIND);
         header[4..8].copy_from_slice(&(WAL_VERSION + 1).to_le_bytes());
         vfs.write(log_path(), &header).unwrap();
-        assert!(Wal::open(&mut vfs, log_path(), BIND).is_err());
+        assert!(Wal::open(&vfs, log_path(), BIND).is_err());
     }
 
     #[test]
     fn open_sweeps_a_stale_truncation_temp() {
-        let (mut vfs, _, _) = with_frames();
+        let (vfs, _, _) = with_frames();
         vfs.write(Path::new("store.wal.slimio-tmp"), b"leftover").unwrap();
-        let (_, frames, report) = Wal::open(&mut vfs, log_path(), BIND).unwrap();
+        let (_, frames, report) = Wal::open(&vfs, log_path(), BIND).unwrap();
         assert!(report.swept_temp);
         assert_eq!(frames.len(), 4);
         assert!(!vfs.exists(Path::new("store.wal.slimio-tmp")));

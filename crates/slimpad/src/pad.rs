@@ -458,11 +458,11 @@ impl PadSession {
     /// atomically (write-temp → fsync → rename). A crash at any point
     /// leaves the previous file intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PadError> {
-        self.save_to(&mut StdVfs, path.as_ref())
+        self.save_to(&StdVfs, path.as_ref())
     }
 
     /// [`save`](PadSession::save) through an explicit [`Vfs`] backend.
-    pub fn save_to(&self, vfs: &mut dyn Vfs, path: &Path) -> Result<(), PadError> {
+    pub fn save_to(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), PadError> {
         slimio::save_atomic(vfs, path, &self.save_xml())?;
         Ok(())
     }
@@ -544,12 +544,12 @@ impl PadSession {
     /// [`PadSession::new`] and call
     /// [`enable_logging`](PadSession::enable_logging).
     pub fn open_logged(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         path: &Path,
         manager: MarkManager,
     ) -> Result<(Self, trim::LogReport), PadError> {
         slimio::sweep_stale_temp(vfs, path);
-        let mut session = Self::load_from(&*vfs, path, manager)?;
+        let mut session = Self::load_from(vfs, path, manager)?;
         let (log, report) = session.dmi.attach_log(vfs, path)?;
         session.adopt_log(log, &report)?;
         Ok((session, report))
@@ -559,12 +559,12 @@ impl PadSession {
     /// checks disabled — only for the slimcheck mutation harness.
     #[doc(hidden)]
     pub fn testonly_open_logged_skip_tail_crc(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         path: &Path,
         manager: MarkManager,
     ) -> Result<(Self, trim::LogReport), PadError> {
         slimio::sweep_stale_temp(vfs, path);
-        let mut session = Self::load_from(&*vfs, path, manager)?;
+        let mut session = Self::load_from(vfs, path, manager)?;
         let (log, report) = session.dmi.testonly_attach_log_skip_tail_crc(vfs, path)?;
         session.adopt_log(log, &report)?;
         Ok((session, report))
@@ -578,7 +578,7 @@ impl PadSession {
     /// snapshot generation and is discarded, not replayed.
     pub fn enable_logging(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         path: &Path,
     ) -> Result<trim::LogReport, PadError> {
         self.save_to(vfs, path)?;
@@ -616,7 +616,7 @@ impl PadSession {
     /// undo crossed the previous commit boundary) the session compacts
     /// internally, so on `Ok` the current state is durable regardless of
     /// the outcome value.
-    pub fn commit(&mut self, vfs: &mut dyn Vfs) -> Result<trim::CommitOutcome, PadError> {
+    pub fn commit(&mut self, vfs: &dyn Vfs) -> Result<trim::CommitOutcome, PadError> {
         if self.log.is_none() {
             return Err(no_log_error());
         }
@@ -640,7 +640,7 @@ impl PadSession {
     /// (store *and* marks) and reset the log to an empty generation.
     /// Crash-consistent at every step; run when
     /// [`should_compact`](PadSession::should_compact) reports true.
-    pub fn compact(&mut self, vfs: &mut dyn Vfs) -> Result<(), PadError> {
+    pub fn compact(&mut self, vfs: &dyn Vfs) -> Result<(), PadError> {
         if self.log.is_none() {
             return Err(no_log_error());
         }
@@ -1007,12 +1007,12 @@ mod tests {
         excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
         pad.place_selection(DocKind::Spreadsheet, None, (20, 40), None).unwrap();
 
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let path = Path::new("rounds.slimpad.xml");
-        pad.save_to(&mut vfs, path).unwrap();
+        pad.save_to(&vfs, path).unwrap();
         let bytes = vfs.bytes(path).unwrap();
         assert!(
-            String::from_utf8_lossy(bytes).contains("<!--slimio v1 crc32="),
+            String::from_utf8_lossy(&bytes).contains("<!--slimio v1 crc32="),
             "saved pad should carry a seal footer"
         );
 
@@ -1036,13 +1036,13 @@ mod tests {
 
         for op in [FaultOp::Write, FaultOp::Sync, FaultOp::Rename] {
             for mode in [FaultMode::Fail, FaultMode::Torn] {
-                let mut base = MemVfs::new();
-                pad_v1.save_to(&mut base, path).unwrap();
-                let mut vfs = FaultVfs::new(
+                let base = MemVfs::new();
+                pad_v1.save_to(&base, path).unwrap();
+                let vfs = FaultVfs::new(
                     base,
                     FaultConfig { op, mode, index: 0, seed: 7, halt_after_fault: true },
                 );
-                let _ = pad_v2.save_to(&mut vfs, path);
+                let _ = pad_v2.save_to(&vfs, path);
                 // Whatever happened mid-save, the previous pad is intact.
                 let vfs = vfs.into_inner();
                 let pad =
@@ -1059,9 +1059,9 @@ mod tests {
         excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
         pad.place_selection(DocKind::Spreadsheet, None, (20, 40), None).unwrap();
 
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let path = Path::new("rounds.slimpad.xml");
-        pad.save_to(&mut vfs, path).unwrap();
+        pad.save_to(&vfs, path).unwrap();
         // Flip one payload byte behind the seal's back.
         let mut bytes = vfs.bytes(path).unwrap().to_vec();
         let i = bytes.iter().position(|&b| b == b'R').unwrap(); // "Rounds"
@@ -1149,9 +1149,9 @@ mod tests {
     fn logged_session_commits_deltas_and_recovers() {
         use slimio::MemVfs;
         let path = Path::new("rounds.slimpad.xml");
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let (mut pad, excel, _) = session();
-        pad.enable_logging(&mut vfs, path).unwrap();
+        pad.enable_logging(&vfs, path).unwrap();
 
         excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
         let john = pad.create_bundle("John Smith", (10, 10), 400, 300, None).unwrap();
@@ -1159,7 +1159,7 @@ mod tests {
             pad.place_selection(DocKind::Spreadsheet, None, (20, 40), Some(john)).unwrap();
         let snapshot_before = vfs.bytes(path).unwrap().to_vec();
         assert!(matches!(
-            pad.commit(&mut vfs).unwrap(),
+            pad.commit(&vfs).unwrap(),
             trim::CommitOutcome::Committed { .. }
         ));
         // The delta went to the log; the snapshot was not rewritten.
@@ -1167,16 +1167,16 @@ mod tests {
 
         pad.dmi_mut().add_annotation(scrap, "hold if SBP < 90").unwrap();
         assert!(matches!(
-            pad.commit(&mut vfs).unwrap(),
+            pad.commit(&vfs).unwrap(),
             trim::CommitOutcome::Committed { .. }
         ));
         // Nothing changed since: a clean commit writes nothing.
         let log_len = pad.log().unwrap().log_bytes();
-        assert!(matches!(pad.commit(&mut vfs).unwrap(), trim::CommitOutcome::Clean));
+        assert!(matches!(pad.commit(&vfs).unwrap(), trim::CommitOutcome::Clean));
         assert_eq!(pad.log().unwrap().log_bytes(), log_len);
 
         let (mut pad2, report) =
-            PadSession::open_logged(&mut vfs, path, reload_manager(&excel)).unwrap();
+            PadSession::open_logged(&vfs, path, reload_manager(&excel)).unwrap();
         assert_eq!(report.frames_replayed, 2);
         assert_eq!(pad2.stats().scraps, 1);
         assert_eq!(pad2.stats().marks, 1);
@@ -1197,26 +1197,26 @@ mod tests {
         for op in [FaultOp::Append, FaultOp::Sync] {
             for mode in [FaultMode::Fail, FaultMode::Torn] {
                 for seed in 0..4u64 {
-                    let mut base = MemVfs::new();
+                    let base = MemVfs::new();
                     let (mut pad, excel, _) = session();
-                    pad.enable_logging(&mut base, path).unwrap();
+                    pad.enable_logging(&base, path).unwrap();
                     excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
                     let john =
                         pad.create_bundle("John Smith", (10, 10), 400, 300, None).unwrap();
                     pad.place_selection(DocKind::Spreadsheet, None, (20, 40), Some(john))
                         .unwrap();
-                    pad.commit(&mut base).unwrap();
+                    pad.commit(&base).unwrap();
 
                     // An unacknowledged batch dies with the process.
                     pad.create_bundle("Unacked", (50, 50), 100, 100, None).unwrap();
                     let config = FaultConfig::new(op, mode, 0, seed).halting();
-                    let mut vfs = FaultVfs::new(base, config);
-                    assert!(pad.commit(&mut vfs).is_err());
+                    let vfs = FaultVfs::new(base, config);
+                    assert!(pad.commit(&vfs).is_err());
                     assert!(vfs.fault_fired());
 
-                    let mut disk = vfs.into_inner();
+                    let disk = vfs.into_inner();
                     let (mut pad2, _) =
-                        PadSession::open_logged(&mut disk, path, reload_manager(&excel))
+                        PadSession::open_logged(&disk, path, reload_manager(&excel))
                             .unwrap();
                     // Recovery lands on the acknowledged commit — or, if a
                     // torn append happened to land the whole frame, on the
@@ -1240,24 +1240,24 @@ mod tests {
     fn commit_after_cross_boundary_undo_compacts_internally() {
         use slimio::MemVfs;
         let path = Path::new("rounds.slimpad.xml");
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let (mut pad, _, _) = session();
-        pad.enable_logging(&mut vfs, path).unwrap();
+        pad.enable_logging(&vfs, path).unwrap();
 
         pad.begin_op();
         pad.create_bundle("Oops", (0, 0), 10, 10, None).unwrap();
-        pad.commit(&mut vfs).unwrap();
+        pad.commit(&vfs).unwrap();
         // Undo back across the acknowledged commit: the journal suffix no
         // longer describes the delta, so commit falls back to compaction.
         assert!(pad.undo().unwrap());
         pad.create_bundle("Kept", (5, 5), 10, 10, None).unwrap();
-        let outcome = pad.commit(&mut vfs).unwrap();
+        let outcome = pad.commit(&vfs).unwrap();
         assert_eq!(outcome, trim::CommitOutcome::NeedsFullSnapshot);
 
         // The state is durable regardless: reopen sees it, from the
         // snapshot alone (the compaction reset the log).
         let (pad2, report) =
-            PadSession::open_logged(&mut vfs, path, MarkManager::new()).unwrap();
+            PadSession::open_logged(&vfs, path, MarkManager::new()).unwrap();
         assert_eq!(report.frames_replayed, 0);
         assert_eq!(surface_bundles(&pad2), ["Kept"]);
     }
@@ -1266,19 +1266,19 @@ mod tests {
     fn compaction_folds_marks_into_the_snapshot() {
         use slimio::MemVfs;
         let path = Path::new("rounds.slimpad.xml");
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let (mut pad, excel, _) = session();
-        pad.enable_logging(&mut vfs, path).unwrap();
+        pad.enable_logging(&vfs, path).unwrap();
         excel.borrow_mut().select("medications.xls", "Sheet1", "A1").unwrap();
         pad.place_selection(DocKind::Spreadsheet, None, (20, 40), None).unwrap();
-        pad.commit(&mut vfs).unwrap();
+        pad.commit(&vfs).unwrap();
 
         let log_len = pad.log().unwrap().log_bytes();
-        pad.compact(&mut vfs).unwrap();
+        pad.compact(&vfs).unwrap();
         assert!(pad.log().unwrap().log_bytes() < log_len);
 
         let (mut pad2, report) =
-            PadSession::open_logged(&mut vfs, path, reload_manager(&excel)).unwrap();
+            PadSession::open_logged(&vfs, path, reload_manager(&excel)).unwrap();
         assert_eq!(report.frames_replayed, 0);
         assert_eq!(pad2.stats().marks, 1);
         let scraps = pad2.dmi().all_scraps();
@@ -1289,7 +1289,7 @@ mod tests {
         pad2.create_bundle("B", (0, 0), 10, 10, None).unwrap();
         let wal_file = trim::StoreLog::wal_path(path);
         let before = vfs.bytes(&wal_file).unwrap().len();
-        pad2.commit(&mut vfs).unwrap();
+        pad2.commit(&vfs).unwrap();
         let frame = &vfs.bytes(&wal_file).unwrap()[before..];
         assert!(
             !frame.windows(b"<marks".len()).any(|w| w == b"<marks"),
@@ -1300,10 +1300,10 @@ mod tests {
     #[test]
     fn log_operations_without_a_log_are_typed_errors() {
         use slimio::MemVfs;
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let (mut pad, _, _) = session();
-        assert!(matches!(pad.commit(&mut vfs), Err(PadError::File { .. })));
-        assert!(matches!(pad.compact(&mut vfs), Err(PadError::File { .. })));
+        assert!(matches!(pad.commit(&vfs), Err(PadError::File { .. })));
+        assert!(matches!(pad.compact(&vfs), Err(PadError::File { .. })));
         assert!(!pad.should_compact());
         assert!(pad.log().is_none());
     }

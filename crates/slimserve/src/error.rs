@@ -1,0 +1,102 @@
+//! Typed refusals: every op the service does not apply says why.
+//!
+//! The service never drops work silently. Each submission ends in
+//! exactly one of: an [`crate::Ack`] (the op is durably committed), or
+//! one of these errors (the op is provably *not* in the store).
+
+use std::fmt;
+
+/// Why a submission was refused. Every variant is a guarantee that the
+/// op was **not applied** — callers can safely retry, reroute, or give
+/// up without wondering whether the effect half-happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: the op queue was at capacity. The op was
+    /// shed at the door — nothing was enqueued.
+    Overloaded {
+        /// Queue occupancy observed at admission.
+        queue_len: usize,
+        /// The configured bound it collided with.
+        capacity: usize,
+    },
+    /// The op's deadline passed before the writer reached it. The op
+    /// was dequeued and discarded without being applied.
+    Timeout {
+        /// The absolute deadline stamped at submission (clock ms).
+        deadline_ms: u64,
+        /// The writer's clock when it picked the op up.
+        now_ms: u64,
+    },
+    /// The session's circuit breaker is open: it faulted repeatedly
+    /// and is quarantined until the cooldown elapses.
+    Quarantined {
+        /// The quarantined session.
+        session: u64,
+        /// Clock instant when probing may resume.
+        open_until_ms: u64,
+    },
+    /// The op panicked mid-application. Its partial effects were
+    /// rolled back to the pre-op checkpoint; the store and the writer
+    /// survive.
+    Panicked {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// The durable commit failed (I/O). The whole batch was rolled
+    /// back to the last committed revision; the log self-repairs on
+    /// the next append.
+    Io {
+        /// The underlying error, rendered.
+        detail: String,
+    },
+    /// The service is shut down (or shutting down); no new work is
+    /// accepted and in-flight work was refused.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_len, capacity } => {
+                write!(f, "overloaded: queue at {queue_len}/{capacity}, op shed")
+            }
+            ServeError::Timeout { deadline_ms, now_ms } => {
+                write!(f, "timeout: deadline {deadline_ms}ms passed (now {now_ms}ms)")
+            }
+            ServeError::Quarantined { session, open_until_ms } => {
+                write!(f, "session {session} quarantined until {open_until_ms}ms")
+            }
+            ServeError::Panicked { detail } => {
+                write!(f, "op panicked (rolled back): {detail}")
+            }
+            ServeError::Io { detail } => write!(f, "commit failed (rolled back): {detail}"),
+            ServeError::Closed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<trim::TrimError> for ServeError {
+    fn from(e: trim::TrimError) -> Self {
+        ServeError::Io { detail: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_evidence() {
+        let e = ServeError::Overloaded { queue_len: 8, capacity: 8 };
+        assert!(e.to_string().contains("8/8"));
+        let e = ServeError::Timeout { deadline_ms: 100, now_ms: 250 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("250"));
+        let e = ServeError::Quarantined { session: 3, open_until_ms: 900 };
+        assert!(e.to_string().contains("session 3"));
+        let e = ServeError::Panicked { detail: "boom".into() };
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Supervised concurrent session front-end over the SLIM stack.
+//!
+//! Every layer below this crate is single-owner: one thread owns the
+//! [`trim::TripleStore`], its [`trim::StoreLog`], and the VFS handle.
+//! `slimserve` keeps that invariant — one **writer thread** owns the
+//! mutable store — and multiplexes many concurrent sessions on top of
+//! it:
+//!
+//! * **Readers never block.** Each durable commit publishes an
+//!   immutable [`trim::Snapshot`] (copy-on-write base + delta, built by
+//!   [`trim::SnapshotPublisher`]); sessions grab the latest snapshot
+//!   with one mutex clone (three `Arc`s) and scan it freely on their
+//!   own thread.
+//! * **Writes funnel through a bounded queue.** Sessions submit
+//!   [`ServeOp`]s; the writer drains them in batches and group-commits
+//!   each batch as a single WAL frame (one append, one sync). An
+//!   acknowledgement ([`Ack`]) is sent only after the frame is durable,
+//!   and carries the writer-assigned serialization order so a
+//!   differential harness can replay acknowledged ops into a
+//!   single-session model.
+//! * **The supervisor contains faults.** Every op application runs
+//!   under `catch_unwind` with a journal checkpoint: a panicking op is
+//!   rolled back and refused with [`ServeError::Panicked`] — the store,
+//!   the batch's other ops, and the writer all survive. Ops carry
+//!   deadlines stamped at submission ([`marks::resilience::Clock`]);
+//!   an op dequeued past its deadline is refused with
+//!   [`ServeError::Timeout`] and never applied. A full queue refuses
+//!   admission with [`ServeError::Overloaded`] — load is shed loudly,
+//!   never dropped silently. Sessions that repeatedly fault trip a
+//!   per-session circuit breaker ([`marks::resilience::Breaker`]) and
+//!   are quarantined: their submissions are refused with
+//!   [`ServeError::Quarantined`] until the cooldown elapses.
+//!
+//! Durability is exactly the PR 5 write-ahead-log contract: an
+//! acknowledged op is on disk; a refused op never is. A crashed
+//! service reopens with [`Service::open`] — snapshot + log replay —
+//! and resumes serving.
+
+pub mod error;
+pub mod op;
+pub mod service;
+
+pub use error::ServeError;
+pub use op::{Ack, Gate, ServeOp};
+pub use service::{Service, ServeConfig, ServeStats, SessionHandle, Ticket};

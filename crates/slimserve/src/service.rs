@@ -1,0 +1,878 @@
+//! The service: session handles, the bounded op queue, and the
+//! supervised writer thread.
+//!
+//! ```text
+//!  SessionHandle ──submit──▶ [bounded queue] ──batch──▶ writer thread
+//!       │   ▲                 (admission:                 │ per op:
+//!       │   └─ Ack / typed     Overloaded when full,      │  deadline check → Timeout
+//!       │      refusal         Quarantined when the       │  catch_unwind  → Panicked
+//!       │                      session's breaker is open) │  apply to TripleStore
+//!       └──snapshot()                                     │ per batch:
+//!            ▲                                            │  WAL group commit (1 sync)
+//!            └───────────── publish ◀─────────────────────┘  then ack, then publish
+//! ```
+//!
+//! The writer owns the [`TripleStore`], its [`StoreLog`], and the
+//! [`SnapshotPublisher`]; nothing else ever touches them. Sessions
+//! interact only through the queue (writes) and the published
+//! [`Snapshot`] (reads), so a fault in one session's op can be rolled
+//! back and refused without the other sessions noticing more than a
+//! momentary queue delay.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once};
+use std::thread::JoinHandle;
+
+use marks::resilience::{Admit, Breaker, BreakerConfig, BreakerState, Clock};
+use slimio::Vfs;
+use trim::{
+    CommitOutcome, LogReport, PublishPath, Snapshot, SnapshotPublisher, StoreLog, TripleStore,
+};
+
+use crate::error::ServeError;
+use crate::op::{lock, wait, Ack, ServeOp};
+
+/// Tuning for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Op-queue bound; submissions beyond it are shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Most ops the writer applies per group commit.
+    pub max_batch: usize,
+    /// Deadline stamped on each op at submission; ops dequeued later
+    /// than this are refused with [`ServeError::Timeout`].
+    pub op_deadline_ms: u64,
+    /// Per-session circuit-breaker tuning (quarantine behaviour).
+    pub breaker: BreakerConfig,
+    /// Log size (bytes) past which the writer compacts opportunistically.
+    pub compact_threshold: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            max_batch: 64,
+            op_deadline_ms: 1_000,
+            breaker: BreakerConfig::default(),
+            compact_threshold: 1 << 20,
+        }
+    }
+}
+
+/// Monotonic counters describing everything the service did. Every
+/// submission lands in exactly one of `acked`, `shed`, `timed_out`,
+/// `panicked`, `quarantine_rejections`, `io_refusals`, or
+/// `closed_refusals` — the books always balance, which the chaos
+/// harness checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Ops accepted into the queue.
+    pub submitted: u64,
+    /// Ops durably committed and acknowledged.
+    pub acked: u64,
+    /// Ops shed at admission (queue full).
+    pub shed: u64,
+    /// Ops refused because their deadline passed in the queue.
+    pub timed_out: u64,
+    /// Ops that panicked and were rolled back.
+    pub panicked: u64,
+    /// Submissions refused because the session was quarantined.
+    pub quarantine_rejections: u64,
+    /// Ops refused because their batch's commit failed.
+    pub io_refusals: u64,
+    /// Ops refused because the service was closing.
+    pub closed_refusals: u64,
+    /// Durable WAL group commits.
+    pub commits: u64,
+    /// Log compactions (opportunistic or forced).
+    pub compactions: u64,
+    /// Snapshots published to readers.
+    pub snapshots_published: u64,
+    /// Snapshot publishes that fell back to a full rebuild.
+    pub snapshot_rebuilds: u64,
+}
+
+impl std::ops::AddAssign for ServeStats {
+    /// Field-wise sum, for merging the counters of successive service
+    /// incarnations across a crash/reopen boundary.
+    fn add_assign(&mut self, rhs: ServeStats) {
+        self.submitted += rhs.submitted;
+        self.acked += rhs.acked;
+        self.shed += rhs.shed;
+        self.timed_out += rhs.timed_out;
+        self.panicked += rhs.panicked;
+        self.quarantine_rejections += rhs.quarantine_rejections;
+        self.io_refusals += rhs.io_refusals;
+        self.closed_refusals += rhs.closed_refusals;
+        self.commits += rhs.commits;
+        self.compactions += rhs.compactions;
+        self.snapshots_published += rhs.snapshots_published;
+        self.snapshot_rebuilds += rhs.snapshot_rebuilds;
+    }
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    submitted: AtomicU64,
+    acked: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    panicked: AtomicU64,
+    quarantine_rejections: AtomicU64,
+    io_refusals: AtomicU64,
+    closed_refusals: AtomicU64,
+    commits: AtomicU64,
+    compactions: AtomicU64,
+    snapshots_published: AtomicU64,
+    snapshot_rebuilds: AtomicU64,
+}
+
+impl AtomicStats {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> ServeStats {
+        let get = |f: &AtomicU64| f.load(Ordering::Relaxed);
+        ServeStats {
+            submitted: get(&self.submitted),
+            acked: get(&self.acked),
+            shed: get(&self.shed),
+            timed_out: get(&self.timed_out),
+            panicked: get(&self.panicked),
+            quarantine_rejections: get(&self.quarantine_rejections),
+            io_refusals: get(&self.io_refusals),
+            closed_refusals: get(&self.closed_refusals),
+            commits: get(&self.commits),
+            compactions: get(&self.compactions),
+            snapshots_published: get(&self.snapshots_published),
+            snapshot_rebuilds: get(&self.snapshot_rebuilds),
+        }
+    }
+}
+
+/// A write submission waiting for its verdict.
+struct Pending {
+    session: u64,
+    op: ServeOp,
+    deadline_ms: u64,
+    slot: Arc<Slot>,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    result: Mutex<Option<Result<Ack, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn resolve(&self, verdict: Result<Ack, ServeError>) {
+        let mut slot = lock(&self.result);
+        *slot = Some(verdict);
+        self.cv.notify_all();
+    }
+}
+
+/// A claim on a submitted op's eventual verdict. [`Ticket::wait`]
+/// blocks until the writer acknowledges or refuses the op.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Block until the op's verdict arrives.
+    pub fn wait(self) -> Result<Ack, ServeError> {
+        let mut slot = lock(&self.slot.result);
+        loop {
+            if let Some(verdict) = slot.take() {
+                return verdict;
+            }
+            slot = wait(&self.slot.cv, slot);
+        }
+    }
+}
+
+struct Queue {
+    items: VecDeque<Pending>,
+    closed: bool,
+    aborted: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    not_empty: Condvar,
+    snapshot: Mutex<Snapshot>,
+    sessions: Mutex<BTreeMap<u64, Breaker>>,
+    next_session: AtomicU64,
+    stats: AtomicStats,
+    clock: Arc<dyn Clock + Send + Sync>,
+    config: ServeConfig,
+    /// Set once the writer thread has exited (cleanly or not): from
+    /// then on every verdict is [`ServeError::Closed`].
+    writer_gone: AtomicBool,
+}
+
+/// A supervised, concurrent front-end over one logged [`TripleStore`].
+///
+/// Created with [`Service::open`]; handed out as [`SessionHandle`]s.
+/// Dropping (or [`Service::shutdown`]) drains the queue gracefully;
+/// [`Service::abort`] refuses everything still queued — the durable
+/// state is whatever was last committed, exactly like a crash.
+pub struct Service {
+    shared: Arc<Shared>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Open (or create) the logged store at `snapshot_path` on `vfs`,
+    /// recover it (snapshot + WAL replay), and start the writer thread.
+    pub fn open(
+        vfs: Arc<dyn Vfs + Send + Sync>,
+        snapshot_path: &Path,
+        config: ServeConfig,
+        clock: Arc<dyn Clock + Send + Sync>,
+    ) -> Result<(Service, LogReport), ServeError> {
+        let (mut store, mut log, report) = TripleStore::open_logged(&vfs, snapshot_path)?;
+        log.set_compact_threshold(config.compact_threshold);
+        let mut publisher = SnapshotPublisher::new(&mut store);
+        let (snapshot, _) = publisher.publish(&mut store);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                items: VecDeque::new(),
+                closed: false,
+                aborted: false,
+            }),
+            not_empty: Condvar::new(),
+            snapshot: Mutex::new(snapshot),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_session: AtomicU64::new(0),
+            stats: AtomicStats::default(),
+            clock,
+            config,
+            writer_gone: AtomicBool::new(false),
+        });
+        AtomicStats::bump(&shared.stats.snapshots_published);
+        let writer_shared = Arc::clone(&shared);
+        let writer = std::thread::Builder::new()
+            .name("slimserve-writer".into())
+            .spawn(move || writer_loop(writer_shared, vfs, store, log, publisher))
+            .map_err(|e| ServeError::Io { detail: format!("spawn writer: {e}") })?;
+        Ok((Service { shared, writer: Some(writer) }, report))
+    }
+
+    /// Register a new session and hand back its submission handle.
+    pub fn session(&self) -> SessionHandle {
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        lock(&self.shared.sessions)
+            .insert(id, Breaker::new(self.shared.config.breaker.clone()));
+        SessionHandle { shared: Arc::clone(&self.shared), id }
+    }
+
+    /// The most recently published read snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        lock(&self.shared.snapshot).clone()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.read()
+    }
+
+    /// Stop accepting work, let the writer drain and durably commit
+    /// everything already queued, and join it.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close(false);
+        self.join_writer();
+        self.shared.stats.read()
+    }
+
+    /// Stop immediately: everything still queued is refused with
+    /// [`ServeError::Closed`] and the writer exits without touching it.
+    /// Durable state = last committed batch, exactly like a crash.
+    pub fn abort(mut self) -> ServeStats {
+        self.close(true);
+        self.join_writer();
+        self.shared.stats.read()
+    }
+
+    fn close(&self, abort: bool) {
+        let mut q = lock(&self.shared.queue);
+        q.closed = true;
+        if abort {
+            q.aborted = true;
+        }
+        self.shared.not_empty.notify_all();
+    }
+
+    fn join_writer(&mut self) {
+        if let Some(handle) = self.writer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if self.writer.is_some() {
+            self.close(false);
+            self.join_writer();
+        }
+    }
+}
+
+/// One session's capability to submit writes and read snapshots.
+pub struct SessionHandle {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl SessionHandle {
+    /// This session's id (stable for its lifetime).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Submit an op and wait for its verdict.
+    pub fn submit(&self, op: ServeOp) -> Result<Ack, ServeError> {
+        self.enqueue(op)?.wait()
+    }
+
+    /// Submit an op without waiting. Admission refusals (quarantine,
+    /// overload, closed) surface immediately; the returned [`Ticket`]
+    /// carries the rest.
+    pub fn enqueue(&self, op: ServeOp) -> Result<Ticket, ServeError> {
+        let shared = &self.shared;
+        let now = shared.clock.now_ms();
+        {
+            let mut sessions = lock(&shared.sessions);
+            let breaker =
+                sessions.get_mut(&self.id).expect("session is registered for its lifetime");
+            if let Admit::ShortCircuit { open_until } = breaker.admit(now) {
+                AtomicStats::bump(&shared.stats.quarantine_rejections);
+                return Err(ServeError::Quarantined {
+                    session: self.id,
+                    open_until_ms: open_until,
+                });
+            }
+        }
+        let mut q = lock(&shared.queue);
+        if q.closed || shared.writer_gone.load(Ordering::Acquire) {
+            AtomicStats::bump(&shared.stats.closed_refusals);
+            return Err(ServeError::Closed);
+        }
+        if q.items.len() >= shared.config.queue_capacity {
+            AtomicStats::bump(&shared.stats.shed);
+            return Err(ServeError::Overloaded {
+                queue_len: q.items.len(),
+                capacity: shared.config.queue_capacity,
+            });
+        }
+        let slot = Arc::new(Slot::default());
+        q.items.push_back(Pending {
+            session: self.id,
+            op,
+            deadline_ms: now.saturating_add(shared.config.op_deadline_ms),
+            slot: Arc::clone(&slot),
+        });
+        AtomicStats::bump(&shared.stats.submitted);
+        shared.not_empty.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// The most recently published read snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        lock(&self.shared.snapshot).clone()
+    }
+
+    /// This session's breaker state (quarantine observability).
+    pub fn breaker_state(&self) -> BreakerState {
+        lock(&self.shared.sessions)
+            .get(&self.id)
+            .expect("session is registered for its lifetime")
+            .state()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer thread
+// ---------------------------------------------------------------------
+
+fn writer_loop(
+    shared: Arc<Shared>,
+    vfs: Arc<dyn Vfs + Send + Sync>,
+    mut store: TripleStore,
+    mut log: StoreLog,
+    mut publisher: SnapshotPublisher,
+) {
+    let mut next_order: u64 = 0;
+    loop {
+        let batch = {
+            let mut q = lock(&shared.queue);
+            while q.items.is_empty() && !q.closed {
+                q = wait(&shared.not_empty, q);
+            }
+            if q.aborted {
+                let leftovers: Vec<Pending> = q.items.drain(..).collect();
+                drop(q);
+                for p in leftovers {
+                    AtomicStats::bump(&shared.stats.closed_refusals);
+                    p.slot.resolve(Err(ServeError::Closed));
+                }
+                break;
+            }
+            if q.items.is_empty() {
+                break; // closed and drained: graceful end
+            }
+            let take = q.items.len().min(shared.config.max_batch);
+            q.items.drain(..take).collect::<Vec<Pending>>()
+        };
+        process_batch(&shared, &vfs, &mut store, &mut log, &mut publisher, &mut next_order, batch);
+    }
+    shared.writer_gone.store(true, Ordering::Release);
+}
+
+fn process_batch(
+    shared: &Shared,
+    vfs: &Arc<dyn Vfs + Send + Sync>,
+    store: &mut TripleStore,
+    log: &mut StoreLog,
+    publisher: &mut SnapshotPublisher,
+    next_order: &mut u64,
+    batch: Vec<Pending>,
+) {
+    // Phase 1: apply each op under the supervisor's containment.
+    let mut applied: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        let now = shared.clock.now_ms();
+        if now > p.deadline_ms {
+            AtomicStats::bump(&shared.stats.timed_out);
+            p.slot.resolve(Err(ServeError::Timeout { deadline_ms: p.deadline_ms, now_ms: now }));
+            continue;
+        }
+        // Parking is the writer's own affair, not part of the
+        // supervised store mutation: park first, then apply (a no-op
+        // for the park variant).
+        if let ServeOp::ChaosPark(gate) = &p.op {
+            gate.pass();
+        }
+        let checkpoint = store.revision();
+        match quiet_catch_unwind(|| p.op.apply_to(store)) {
+            Ok(()) => applied.push(p),
+            Err(detail) => {
+                // Containment: drop the op's partial effects, charge the
+                // session's breaker, keep serving.
+                let _ = store.undo_to(checkpoint);
+                note_session_failure(shared, p.session);
+                AtomicStats::bump(&shared.stats.panicked);
+                p.slot.resolve(Err(ServeError::Panicked { detail }));
+            }
+        }
+    }
+    if applied.is_empty() && store.revision() == log.committed_revision() {
+        return; // nothing survived and nothing changed: no commit, no publish
+    }
+
+    // Phase 2: one durable group commit for the whole batch.
+    let durable_seq = match log.commit(&**vfs, store) {
+        Ok(CommitOutcome::Clean) => None,
+        Ok(CommitOutcome::Committed { seq, .. }) => {
+            AtomicStats::bump(&shared.stats.commits);
+            Some(seq)
+        }
+        Ok(CommitOutcome::NeedsFullSnapshot) => match log.compact(&**vfs, store) {
+            Ok(()) => {
+                AtomicStats::bump(&shared.stats.compactions);
+                None
+            }
+            Err(e) => return refuse_batch(shared, store, log, applied, &e),
+        },
+        Err(e) => return refuse_batch(shared, store, log, applied, &e),
+    };
+
+    // Opportunistic compaction: acks above are already durable, so a
+    // compaction failure here refuses nothing — the log just stays long.
+    if log.should_compact() && log.compact(&**vfs, store).is_ok() {
+        AtomicStats::bump(&shared.stats.compactions);
+    }
+
+    // Phase 3: publish the new snapshot, then acknowledge. Publishing
+    // first means "my ack implies a snapshot at least as new as my op".
+    publish(shared, store, publisher);
+    let revision = store.revision();
+    for p in applied {
+        let ack = Ack { order: *next_order, revision, durable_seq };
+        *next_order += 1;
+        note_session_success(shared, p.session);
+        AtomicStats::bump(&shared.stats.acked);
+        p.slot.resolve(Ok(ack));
+    }
+}
+
+/// Commit failed: put the store back to its last durable state and
+/// refuse every op of the batch. The WAL handle self-repairs on the
+/// next append, so the writer keeps serving.
+fn refuse_batch(
+    shared: &Shared,
+    store: &mut TripleStore,
+    log: &StoreLog,
+    applied: Vec<Pending>,
+    error: &trim::TrimError,
+) {
+    let _ = store.undo_to(log.committed_revision());
+    let detail = error.to_string();
+    for p in applied {
+        AtomicStats::bump(&shared.stats.io_refusals);
+        p.slot.resolve(Err(ServeError::Io { detail: detail.clone() }));
+    }
+}
+
+fn publish(shared: &Shared, store: &mut TripleStore, publisher: &mut SnapshotPublisher) {
+    let (snapshot, path) = publisher.publish(store);
+    if path == PublishPath::Rebuilt {
+        AtomicStats::bump(&shared.stats.snapshot_rebuilds);
+    }
+    AtomicStats::bump(&shared.stats.snapshots_published);
+    *lock(&shared.snapshot) = snapshot;
+}
+
+fn note_session_failure(shared: &Shared, session: u64) {
+    let now = shared.clock.now_ms();
+    if let Some(breaker) = lock(&shared.sessions).get_mut(&session) {
+        breaker.on_failure(now);
+    }
+}
+
+fn note_session_success(shared: &Shared, session: u64) {
+    if let Some(breaker) = lock(&shared.sessions).get_mut(&session) {
+        breaker.on_success();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Quiet panic containment
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static QUIET: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that stays silent while a
+/// thread is inside the supervisor's `catch_unwind` — contained panics
+/// are refusals, not crashes, and must not spray backtraces over every
+/// chaos run. All other threads keep the previous hook's behaviour.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn quiet_catch_unwind<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    QUIET.with(|q| q.set(true));
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET.with(|q| q.set(false));
+    outcome.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Gate;
+    use marks::resilience::MockClock;
+    use trim::SnapValue;
+    use slimio::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs};
+
+    const PATH: &str = "serve/store.xml";
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 4,
+            max_batch: 2,
+            op_deadline_ms: 100,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_ms: 500,
+                probe_budget: 3,
+                probe_successes: 1,
+            },
+            compact_threshold: 1 << 20,
+        }
+    }
+
+    fn open_mem(config: ServeConfig) -> (Service, Arc<MemVfs>, Arc<MockClock>) {
+        let vfs = Arc::new(MemVfs::new());
+        let clock = Arc::new(MockClock::new());
+        let (service, _) = Service::open(
+            vfs.clone(),
+            Path::new(PATH),
+            config,
+            clock.clone(),
+        )
+        .unwrap();
+        (service, vfs, clock)
+    }
+
+    #[test]
+    fn acked_ops_are_visible_and_durable() {
+        let (service, vfs, _) = open_mem(ServeConfig::default());
+        let session = service.session();
+        let a = session.submit(ServeOp::insert("b:1", "name", "John")).unwrap();
+        let b = session.submit(ServeOp::link("b:1", "member", "s:1")).unwrap();
+        assert!(b.order > a.order, "writer order is monotonic");
+        assert!(a.durable_seq.is_some());
+
+        let snap = session.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.scan_subject("b:1").count(), 2);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.acked, 2);
+        // Reopen straight through trim: both ops were group-committed.
+        let (store, _, _) = TripleStore::open_logged(&vfs, Path::new(PATH)).unwrap();
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn removes_and_set_unique_round_trip() {
+        let (service, _, _) = open_mem(ServeConfig::default());
+        let session = service.session();
+        session.submit(ServeOp::insert("b:1", "ward", "W3")).unwrap();
+        session.submit(ServeOp::set_unique("b:1", "ward", "W4")).unwrap();
+        session.submit(ServeOp::insert("b:1", "name", "John")).unwrap();
+        session.submit(ServeOp::remove("b:1", "name", "John")).unwrap();
+        // Removing something never interned is an acked no-op.
+        session.submit(ServeOp::remove("nope", "nope", "nope")).unwrap();
+        let snap = session.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(
+            snap.iter().next().unwrap().object,
+            SnapValue::Literal("W4".into())
+        );
+    }
+
+    #[test]
+    fn old_snapshots_never_see_later_writes() {
+        let (service, _, _) = open_mem(ServeConfig::default());
+        let session = service.session();
+        session.submit(ServeOp::insert("b:1", "name", "John")).unwrap();
+        let before = session.snapshot();
+        session.submit(ServeOp::insert("b:2", "name", "Mary")).unwrap();
+        assert_eq!(before.len(), 1, "reader isolation");
+        assert_eq!(session.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn overload_is_a_typed_refusal_and_drains_after() {
+        let (service, _, _) = open_mem(small_config());
+        let session = service.session();
+        let gate = Gate::new();
+        let park = session.enqueue(ServeOp::ChaosPark(gate.clone())).unwrap();
+        gate.wait_arrived(); // writer is parked; the queue is all ours
+        let mut tickets = Vec::new();
+        for i in 0..4 {
+            tickets.push(session.enqueue(ServeOp::insert("s", "p", &i.to_string())).unwrap());
+        }
+        let err = session.enqueue(ServeOp::insert("s", "p", "overflow")).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { queue_len: 4, capacity: 4 });
+        gate.open();
+        park.wait().unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let snap = session.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert!(!snap.iter().any(|t| t.object == SnapValue::Literal("overflow".into())));
+        assert_eq!(service.stats().shed, 1);
+    }
+
+    #[test]
+    fn expired_deadlines_refuse_without_applying() {
+        let (service, _, clock) = open_mem(small_config());
+        let session = service.session();
+        let gate = Gate::new();
+        let park = session.enqueue(ServeOp::ChaosPark(gate.clone())).unwrap();
+        gate.wait_arrived();
+        let doomed = session.enqueue(ServeOp::insert("s", "p", "late")).unwrap();
+        clock.advance(101); // past op_deadline_ms while queued
+        gate.open();
+        park.wait().unwrap();
+        match doomed.wait() {
+            Err(ServeError::Timeout { deadline_ms: 100, now_ms: 101 }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(session.snapshot().len(), 0, "timed-out op must never apply");
+        assert_eq!(service.stats().timed_out, 1);
+    }
+
+    #[test]
+    fn panics_are_contained_rolled_back_and_typed() {
+        let (service, _, _) = open_mem(ServeConfig::default());
+        let session = service.session();
+        session.submit(ServeOp::insert("b:1", "name", "John")).unwrap();
+        let err = session
+            .submit(ServeOp::ChaosPanic { detail: "injected fault".into() })
+            .unwrap_err();
+        assert_eq!(err, ServeError::Panicked { detail: "injected fault".into() });
+        // The writer survived and the store is unharmed.
+        session.submit(ServeOp::insert("b:2", "name", "Mary")).unwrap();
+        assert_eq!(session.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn repeated_panics_quarantine_the_session_until_cooldown() {
+        let (service, _, clock) = open_mem(small_config());
+        let bad = service.session();
+        let good = service.session();
+        for _ in 0..2 {
+            let err = bad.submit(ServeOp::ChaosPanic { detail: "boom".into() }).unwrap_err();
+            assert!(matches!(err, ServeError::Panicked { .. }));
+        }
+        let err = bad.submit(ServeOp::insert("s", "p", "refused")).unwrap_err();
+        assert!(matches!(err, ServeError::Quarantined { .. }), "{err:?}");
+        assert!(matches!(bad.breaker_state(), BreakerState::Open { .. }));
+        // The quarantine is per-session: others flow, the writer lives.
+        good.submit(ServeOp::insert("b:1", "name", "John")).unwrap();
+        // Cooldown elapses: the breaker half-opens and a probe succeeds.
+        clock.advance(500);
+        bad.submit(ServeOp::insert("s", "p", "probe")).unwrap();
+        assert!(matches!(bad.breaker_state(), BreakerState::Closed { .. }));
+        assert_eq!(service.stats().quarantine_rejections, 1);
+    }
+
+    #[test]
+    fn commit_failure_rolls_back_refuses_typed_and_recovers() {
+        let fault = Arc::new(FaultVfs::unarmed(MemVfs::new()));
+        let clock = Arc::new(MockClock::new());
+        let (service, _) = Service::open(
+            fault.clone(),
+            Path::new(PATH),
+            ServeConfig::default(),
+            clock,
+        )
+        .unwrap();
+        let session = service.session();
+        session.submit(ServeOp::insert("b:1", "name", "John")).unwrap();
+
+        fault.rearm(FaultConfig::new(FaultOp::Append, FaultMode::Fail, 0, 0));
+        let err = session.submit(ServeOp::insert("b:2", "name", "Mary")).unwrap_err();
+        assert!(matches!(err, ServeError::Io { .. }), "{err:?}");
+        assert!(fault.fault_fired());
+        assert_eq!(session.snapshot().len(), 1, "failed batch must roll back");
+
+        // One-shot fault has passed: the WAL self-repairs on next append.
+        session.submit(ServeOp::insert("b:3", "name", "Sue")).unwrap();
+        let snap = session.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.iter().any(|t| t.subject == "b:2"));
+
+        let stats = service.shutdown();
+        assert_eq!(stats.io_refusals, 1);
+        let (store, _, _) =
+            TripleStore::open_logged(&*fault, Path::new(PATH)).unwrap();
+        assert_eq!(store.len(), 2, "durable state = acked ops exactly");
+    }
+
+    #[test]
+    fn abort_refuses_queued_work_and_preserves_committed_state() {
+        let (service, vfs, _) = open_mem(small_config());
+        let session = service.session();
+        session.submit(ServeOp::insert("b:1", "name", "John")).unwrap();
+        let gate = Gate::new();
+        let park = session.enqueue(ServeOp::ChaosPark(gate.clone())).unwrap();
+        gate.wait_arrived();
+        let doomed = session.enqueue(ServeOp::insert("b:2", "name", "Mary")).unwrap();
+        gate.open();
+        park.wait().unwrap();
+        let waiter = std::thread::spawn(move || doomed.wait());
+        let stats = service.abort();
+        let verdict = waiter.join().unwrap();
+        // The op either made it into the final batch before the abort
+        // flag was observed, or was refused Closed — never lost limbo.
+        match verdict {
+            Ok(_) => {}
+            Err(ServeError::Closed) => assert!(stats.closed_refusals >= 1),
+            other => panic!("unexpected verdict {other:?}"),
+        }
+        let (store, _, _) = TripleStore::open_logged(&vfs, Path::new(PATH)).unwrap();
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_closed() {
+        let (service, _, _) = open_mem(ServeConfig::default());
+        let session = service.session();
+        session.submit(ServeOp::insert("b:1", "name", "John")).unwrap();
+        let shared = Arc::clone(&session.shared);
+        drop(service); // graceful drain + join
+        assert!(shared.writer_gone.load(Ordering::Acquire));
+        let err = session.submit(ServeOp::insert("b:2", "name", "Mary")).unwrap_err();
+        assert_eq!(err, ServeError::Closed);
+    }
+
+    #[test]
+    fn concurrent_sessions_all_commit_and_reopen_intact() {
+        let (service, vfs, _) = open_mem(ServeConfig::default());
+        let service = Arc::new(service);
+        let mut handles = Vec::new();
+        for s in 0..4 {
+            let session = service.session();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    session
+                        .submit(ServeOp::insert(
+                            &format!("sess{s}:b{i}"),
+                            "seq",
+                            &i.to_string(),
+                        ))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(service.snapshot().len(), 200);
+        let stats = service.stats();
+        assert_eq!(stats.acked, 200);
+        assert_eq!(stats.submitted, 200);
+        drop(service);
+        let (store, _, _) = TripleStore::open_logged(&vfs, Path::new(PATH)).unwrap();
+        assert_eq!(store.len(), 200);
+    }
+
+    #[test]
+    fn log_compacts_opportunistically_past_the_threshold() {
+        let (service, _, _) = open_mem(ServeConfig {
+            compact_threshold: 256,
+            ..ServeConfig::default()
+        });
+        let session = service.session();
+        for i in 0..64 {
+            session
+                .submit(ServeOp::insert(&format!("subject:{i}"), "prop", "value"))
+                .unwrap();
+        }
+        assert!(service.stats().compactions >= 1);
+        assert_eq!(service.snapshot().len(), 64);
+    }
+}

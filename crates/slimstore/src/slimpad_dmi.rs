@@ -727,7 +727,7 @@ impl SlimPadDmi {
     }
 
     /// [`save`](SlimPadDmi::save) through an explicit [`Vfs`] backend.
-    pub fn save_to(&self, vfs: &mut dyn Vfs, path: &Path) -> Result<(), DmiError> {
+    pub fn save_to(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), DmiError> {
         self.store.save_to(vfs, path)?;
         Ok(())
     }
@@ -770,7 +770,7 @@ impl SlimPadDmi {
     /// [`trim::TripleStore::open_logged`]). Returns the DMI, the pads
     /// found inside, the attached log, and the recovery report.
     pub fn open_logged(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         path: &Path,
     ) -> Result<(Self, Vec<PadHandle>, StoreLog, LogReport), DmiError> {
         let (store, log, report) = TripleStore::open_logged(vfs, path)?;
@@ -785,7 +785,7 @@ impl SlimPadDmi {
     /// wired to the embedded store afterwards.
     pub fn attach_log(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         snapshot_path: &Path,
     ) -> Result<(StoreLog, LogReport), DmiError> {
         Ok(StoreLog::attach(vfs, snapshot_path, &mut self.store)?)
@@ -796,7 +796,7 @@ impl SlimPadDmi {
     #[doc(hidden)]
     pub fn testonly_attach_log_skip_tail_crc(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         snapshot_path: &Path,
     ) -> Result<(StoreLog, LogReport), DmiError> {
         Ok(StoreLog::testonly_attach_skip_tail_crc(vfs, snapshot_path, &mut self.store)?)
@@ -808,7 +808,7 @@ impl SlimPadDmi {
     /// must [`compact_log_with`](SlimPadDmi::compact_log_with).
     pub fn commit_log(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         log: &mut StoreLog,
     ) -> Result<trim::CommitOutcome, DmiError> {
         Ok(log.commit(vfs, &mut self.store)?)
@@ -818,7 +818,7 @@ impl SlimPadDmi {
     /// (e.g. the pad's mark-store XML) riding in the same frame.
     pub fn commit_log_with_aux(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         log: &mut StoreLog,
         aux: &[(&str, &[u8])],
     ) -> Result<trim::CommitOutcome, DmiError> {
@@ -830,7 +830,7 @@ impl SlimPadDmi {
     /// when the snapshot file embeds the store in a larger document.
     pub fn compact_log(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         log: &mut StoreLog,
     ) -> Result<(), DmiError> {
         Ok(log.compact(vfs, &mut self.store)?)
@@ -839,7 +839,7 @@ impl SlimPadDmi {
     /// Fold the log into a caller-provided snapshot payload and reset it.
     pub fn compact_log_with(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         log: &mut StoreLog,
         payload: &str,
     ) -> Result<(), DmiError> {

@@ -58,6 +58,7 @@ pub mod journal;
 pub mod naive;
 pub mod persist;
 pub mod plan;
+pub mod snapshot;
 pub mod store;
 pub mod view;
 pub mod wal;
@@ -67,5 +68,6 @@ pub use error::TrimError;
 pub use journal::{Change, Journal, Revision};
 pub use naive::{NaiveStore, NaiveTriple};
 pub use plan::{Access, IndexKind, PatternShape, Plan};
+pub use snapshot::{PublishPath, SnapTriple, SnapValue, Snapshot, SnapshotPublisher};
 pub use store::{StoreStats, Triple, TriplePattern, TripleStore, Value};
 pub use wal::{CommitOutcome, LogReport, StoreLog};

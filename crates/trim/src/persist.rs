@@ -111,11 +111,11 @@ impl TripleStore {
     /// footer, installed atomically (write-temp → fsync → rename). A
     /// crash at any point leaves the previous file intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TrimError> {
-        self.save_to(&mut StdVfs, path.as_ref())
+        self.save_to(&StdVfs, path.as_ref())
     }
 
     /// [`save`](TripleStore::save) through an explicit [`Vfs`] backend.
-    pub fn save_to(&self, vfs: &mut dyn Vfs, path: &Path) -> Result<(), TrimError> {
+    pub fn save_to(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), TrimError> {
         slimio::save_atomic(vfs, path, &self.to_xml())?;
         Ok(())
     }
@@ -147,7 +147,7 @@ impl TripleStore {
     /// [`StoreLog::commit`]: crate::wal::StoreLog::commit
     /// [`StoreLog::compact`]: crate::wal::StoreLog::compact
     pub fn open_logged(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         path: &Path,
     ) -> Result<(TripleStore, crate::wal::StoreLog, crate::wal::LogReport), TrimError> {
         slimio::sweep_stale_temp(vfs, path);
@@ -480,9 +480,9 @@ mod tests {
 
     #[test]
     fn saved_files_are_sealed_and_roundtrip() {
-        let mut vfs = MemVfs::new();
+        let vfs = MemVfs::new();
         let s = sample();
-        s.save_to(&mut vfs, Path::new("store.xml")).unwrap();
+        s.save_to(&vfs, Path::new("store.xml")).unwrap();
         assert_eq!(vfs.file_count(), 1, "temp file must not linger");
         let raw = String::from_utf8(vfs.bytes("store.xml").unwrap().to_vec()).unwrap();
         assert!(raw.contains("<!--slimio v1 crc32="), "missing seal footer");
@@ -497,10 +497,10 @@ mod tests {
         new.insert_literal("bundle:3", "bundleName", "Recent Work");
         for op in [FaultOp::Write, FaultOp::Sync, FaultOp::Rename] {
             for mode in [FaultMode::Fail, FaultMode::Torn] {
-                let mut base = MemVfs::new();
-                old.save_to(&mut base, Path::new("store.xml")).unwrap();
-                let mut vfs = FaultVfs::new(base, FaultConfig::new(op, mode, 0, 11).halting());
-                assert!(new.save_to(&mut vfs, Path::new("store.xml")).is_err());
+                let base = MemVfs::new();
+                old.save_to(&base, Path::new("store.xml")).unwrap();
+                let vfs = FaultVfs::new(base, FaultConfig::new(op, mode, 0, 11).halting());
+                assert!(new.save_to(&vfs, Path::new("store.xml")).is_err());
                 let disk = vfs.into_inner();
                 let reread = TripleStore::load_from(&disk, Path::new("store.xml")).unwrap();
                 assert_eq!(reread.len(), old.len(), "{op:?}/{mode:?} damaged the previous file");
@@ -510,8 +510,8 @@ mod tests {
 
     #[test]
     fn corrupt_file_refused_strictly_but_salvageable() {
-        let mut vfs = MemVfs::new();
-        sample().save_to(&mut vfs, Path::new("store.xml")).unwrap();
+        let vfs = MemVfs::new();
+        sample().save_to(&vfs, Path::new("store.xml")).unwrap();
         let mut bytes = vfs.bytes("store.xml").unwrap().to_vec();
         // Flip a byte inside a literal so the XML stays well-formed but
         // the checksum no longer matches.
@@ -560,11 +560,11 @@ mod tests {
 
     #[test]
     fn every_truncation_of_a_saved_store_loads_salvages_or_errors() {
-        let mut vfs = MemVfs::new();
-        sample().save_to(&mut vfs, Path::new("store.xml")).unwrap();
+        let vfs = MemVfs::new();
+        sample().save_to(&vfs, Path::new("store.xml")).unwrap();
         let sealed = vfs.bytes("store.xml").unwrap().to_vec();
         for cut in 0..sealed.len() {
-            let mut damaged = MemVfs::new();
+            let damaged = MemVfs::new();
             damaged.write(Path::new("store.xml"), &sealed[..cut]).unwrap();
             // Strict load: full file verifies, any truncation is refused
             // or parses to a typed error — never a panic.

@@ -1,0 +1,481 @@
+//! Snapshot-isolated read views over a [`TripleStore`].
+//!
+//! A concurrent front-end (the `slimserve` crate) has one writer thread
+//! that owns the mutable [`TripleStore`] and many reader sessions that
+//! must see a *consistent* state without blocking the writer. Atoms are
+//! indexes into the writer's private interning table, so a reader view
+//! cannot share `Triple`s — instead a [`Snapshot`] holds triples
+//! **resolved to strings**, fully self-contained and `Send + Sync`.
+//!
+//! Publishing is copy-on-write: a [`SnapshotPublisher`] keeps a large
+//! immutable base (`Arc<Vec<SnapTriple>>`, SPO-sorted) shared by every
+//! outstanding snapshot, plus a small adds/dels delta rebuilt from the
+//! store's [`Journal`] after each commit. Readers holding old snapshots
+//! keep the base alive for free; the writer only pays O(delta) per
+//! publish until the delta grows past [`SnapshotPublisher::FOLD_LIMIT`],
+//! at which point it folds into a fresh base.
+//!
+//! The publisher trusts the journal suffix only while the journal can
+//! vouch for it: if history was truncated past the last published
+//! revision, or an undo rewound *below* it (detected through the
+//! journal's dedicated snapshot low-water channel — the same contract
+//! [`StoreLog::commit`] uses on its own channel), the delta is no longer
+//! the difference between the published base and the live store, and
+//! the publisher falls back to a full rebuild. A rebuild is always safe
+//! — only slower.
+//!
+//! [`StoreLog::commit`]: crate::wal::StoreLog::commit
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use crate::journal::{Change, Revision};
+use crate::store::{TripleStore, Value};
+
+/// A resolved triple object: literal text or a resource name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SnapValue {
+    /// A literal string value.
+    Literal(String),
+    /// A reference to another resource, by name.
+    Resource(String),
+}
+
+impl SnapValue {
+    /// The underlying text, literal or resource name alike.
+    pub fn text(&self) -> &str {
+        match self {
+            SnapValue::Literal(s) | SnapValue::Resource(s) => s,
+        }
+    }
+}
+
+/// One fully-resolved triple, self-contained (no atom table needed).
+/// Derived `Ord` is (subject, property, object) — SPO order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapTriple {
+    pub subject: String,
+    pub property: String,
+    pub object: SnapValue,
+}
+
+impl SnapTriple {
+    fn resolve(store: &TripleStore, t: crate::store::Triple) -> Self {
+        let object = match t.object {
+            Value::Literal(a) => SnapValue::Literal(store.resolve(a).to_string()),
+            Value::Resource(a) => SnapValue::Resource(store.resolve(a).to_string()),
+        };
+        SnapTriple {
+            subject: store.resolve(t.subject).to_string(),
+            property: store.resolve(t.property).to_string(),
+            object,
+        }
+    }
+}
+
+type Delta = std::collections::BTreeSet<SnapTriple>;
+
+/// An immutable, consistent view of a store at one revision.
+///
+/// Cheap to clone (three `Arc`s and a counter); safe to ship across
+/// threads; never blocks or observes the writer. Logically it is
+/// `base ∪ adds − dels` where `adds` and `dels` are disjoint from each
+/// other and small relative to `base`.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    base: Arc<Vec<SnapTriple>>,
+    adds: Arc<Delta>,
+    dels: Arc<Delta>,
+    revision: Revision,
+}
+
+impl Snapshot {
+    /// An empty snapshot at revision zero.
+    pub fn empty() -> Self {
+        Snapshot {
+            base: Arc::new(Vec::new()),
+            adds: Arc::new(Delta::new()),
+            dels: Arc::new(Delta::new()),
+            revision: Revision::start(),
+        }
+    }
+
+    /// The store revision this snapshot reflects.
+    pub fn revision(&self) -> Revision {
+        self.revision
+    }
+
+    /// Number of triples visible in this snapshot.
+    pub fn len(&self) -> usize {
+        self.base.len() + self.adds.len() - self.dels.len()
+    }
+
+    /// True if no triples are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn in_base(&self, t: &SnapTriple) -> bool {
+        self.base.binary_search(t).is_ok()
+    }
+
+    /// Membership probe: `O(log n)` against base and delta.
+    pub fn contains(&self, t: &SnapTriple) -> bool {
+        self.adds.contains(t) || (self.in_base(t) && !self.dels.contains(t))
+    }
+
+    /// Iterate every visible triple in (subject, property, object) order —
+    /// a sorted merge of the base (minus deletions) with the additions.
+    pub fn iter(&self) -> impl Iterator<Item = &SnapTriple> {
+        let mut base = self.base.iter().filter(|t| !self.dels.contains(*t)).peekable();
+        let mut adds = self.adds.iter().peekable();
+        std::iter::from_fn(move || match (base.peek(), adds.peek()) {
+            (Some(b), Some(a)) => {
+                if *b <= *a {
+                    base.next()
+                } else {
+                    adds.next()
+                }
+            }
+            (Some(_), None) => base.next(),
+            (None, _) => adds.next(),
+        })
+    }
+
+    /// All visible triples for one subject, in (property, object) order —
+    /// the subject-bound range scan readers use, without touching the
+    /// writer's indexes.
+    pub fn scan_subject<'a>(&'a self, subject: &'a str) -> impl Iterator<Item = &'a SnapTriple> {
+        let start = self.base.partition_point(|t| t.subject.as_str() < subject);
+        let base_range = self.base[start..]
+            .iter()
+            .take_while(move |t| t.subject == subject)
+            .filter(|t| !self.dels.contains(*t));
+        let lo = SnapTriple {
+            subject: subject.to_string(),
+            property: String::new(),
+            object: SnapValue::Literal(String::new()),
+        };
+        let adds_range = self
+            .adds
+            .range((Bound::Included(lo), Bound::Unbounded))
+            .take_while(move |t| t.subject == subject);
+        // Both halves are SPO-sorted and disjoint; a merge keeps order.
+        let mut base_range = base_range.peekable();
+        let mut adds_range = adds_range.peekable();
+        std::iter::from_fn(move || match (base_range.peek(), adds_range.peek()) {
+            (Some(b), Some(a)) => {
+                if *b <= *a {
+                    base_range.next()
+                } else {
+                    adds_range.next()
+                }
+            }
+            (Some(_), None) => base_range.next(),
+            (None, _) => adds_range.next(),
+        })
+    }
+
+    /// Order-insensitive-free digest of the visible triples: FNV-1a over
+    /// the canonical (SPO-sorted) iteration. Two snapshots with the same
+    /// visible triples digest identically regardless of base/delta split.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(PRIME);
+        };
+        for t in self.iter() {
+            eat(t.subject.as_bytes());
+            eat(t.property.as_bytes());
+            match &t.object {
+                SnapValue::Literal(s) => {
+                    eat(b"L");
+                    eat(s.as_bytes());
+                }
+                SnapValue::Resource(s) => {
+                    eat(b"R");
+                    eat(s.as_bytes());
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Why the last [`SnapshotPublisher::publish`] rebuilt (or didn't) —
+/// exposed so tests and the service can assert the fast path is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishPath {
+    /// Journal suffix replayed onto the existing base (the fast path).
+    Incremental,
+    /// Delta grew past the fold limit and was folded into a new base.
+    Folded,
+    /// Journal could not vouch for the suffix (truncated history or an
+    /// undo below the published revision); base rebuilt from the store.
+    Rebuilt,
+}
+
+/// The writer-side state that turns a live [`TripleStore`] into
+/// [`Snapshot`]s. One publisher per store; call
+/// [`SnapshotPublisher::publish`] after each durable commit.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    base: Arc<Vec<SnapTriple>>,
+    adds: Delta,
+    dels: Delta,
+    last_rev: Revision,
+    fold_limit: usize,
+}
+
+impl SnapshotPublisher {
+    /// Default delta size at which the base is refolded.
+    pub const FOLD_LIMIT: usize = 4096;
+
+    /// Build a publisher whose first snapshot is the store's current
+    /// state (full resolve).
+    pub fn new(store: &mut TripleStore) -> Self {
+        let mut p = SnapshotPublisher {
+            base: Arc::new(Vec::new()),
+            adds: Delta::new(),
+            dels: Delta::new(),
+            last_rev: Revision::start(),
+            fold_limit: Self::FOLD_LIMIT,
+        };
+        p.rebuild(store);
+        p
+    }
+
+    /// Override the fold threshold (tests use a tiny one).
+    pub fn with_fold_limit(mut self, limit: usize) -> Self {
+        self.fold_limit = limit.max(1);
+        self
+    }
+
+    fn rebuild(&mut self, store: &mut TripleStore) {
+        // `TripleStore::iter` yields SPO order and `SnapTriple`'s Ord
+        // mirrors it per-field, but atom order is interning order, not
+        // lexicographic — so resolved strings still need a sort.
+        let mut base: Vec<SnapTriple> =
+            store.iter().map(|t| SnapTriple::resolve(store, t)).collect();
+        base.sort_unstable();
+        self.base = Arc::new(base);
+        self.adds.clear();
+        self.dels.clear();
+        self.last_rev = store.revision();
+        store.journal_mut().reset_snapshot_low_water();
+    }
+
+    fn apply(&mut self, store: &TripleStore, change: &Change) {
+        let t = SnapTriple::resolve(store, change.triple());
+        match change {
+            Change::Insert(_) => {
+                if !self.dels.remove(&t) {
+                    self.adds.insert(t);
+                }
+            }
+            Change::Remove(_) => {
+                if !self.adds.remove(&t) {
+                    self.dels.insert(t);
+                }
+            }
+        }
+    }
+
+    /// Publish a snapshot of the store's current state, replaying the
+    /// journal suffix since the last publish when the journal can vouch
+    /// for it and rebuilding from scratch when it cannot. Returns the
+    /// snapshot and which path produced it.
+    pub fn publish(&mut self, store: &mut TripleStore) -> (Snapshot, PublishPath) {
+        let journal = store.journal();
+        let trustworthy = journal.earliest() <= self.last_rev
+            && journal.snapshot_low_water() >= self.last_rev
+            && store.revision() >= self.last_rev;
+        let path = if !trustworthy {
+            self.rebuild(store);
+            PublishPath::Rebuilt
+        } else {
+            let changes: Vec<Change> = journal.since(self.last_rev).to_vec();
+            for change in &changes {
+                self.apply(store, change);
+            }
+            self.last_rev = store.revision();
+            store.journal_mut().reset_snapshot_low_water();
+            if self.adds.len() + self.dels.len() > self.fold_limit {
+                self.rebuild(store);
+                PublishPath::Folded
+            } else {
+                PublishPath::Incremental
+            }
+        };
+        let snap = Snapshot {
+            base: Arc::clone(&self.base),
+            adds: Arc::new(self.adds.clone()),
+            dels: Arc::new(self.dels.clone()),
+            revision: self.last_rev,
+        };
+        (snap, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn snap_of(store: &mut TripleStore) -> Snapshot {
+        SnapshotPublisher::new(store).publish(store).0
+    }
+
+    fn store_triples(store: &TripleStore) -> Vec<SnapTriple> {
+        let mut v: Vec<SnapTriple> =
+            store.iter().map(|t| SnapTriple::resolve(store, t)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn assert_matches_store(snap: &Snapshot, store: &TripleStore) {
+        let want = store_triples(store);
+        let got: Vec<SnapTriple> = snap.iter().cloned().collect();
+        assert_eq!(got, want);
+        assert_eq!(snap.len(), store.len());
+        for t in &want {
+            assert!(snap.contains(t));
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_store_contents() {
+        let mut store = TripleStore::new();
+        store.insert_literal("b:1", "name", "John");
+        store.insert_resource("b:1", "member", "s:1");
+        store.insert_literal("s:1", "text", "lab result");
+        let snap = snap_of(&mut store);
+        assert_matches_store(&snap, &store);
+        assert_eq!(snap.scan_subject("b:1").count(), 2);
+        assert_eq!(snap.scan_subject("s:1").count(), 1);
+        assert_eq!(snap.scan_subject("zzz").count(), 0);
+    }
+
+    #[test]
+    fn old_snapshots_are_isolated_from_later_writes() {
+        let mut store = TripleStore::new();
+        store.insert_literal("b:1", "name", "John");
+        let mut publisher = SnapshotPublisher::new(&mut store);
+        let (before, _) = publisher.publish(&mut store);
+
+        let victim = store.insert_literal("b:1", "ward", "W3");
+        store.remove(victim);
+        store.insert_literal("b:2", "name", "Mary");
+        let (after, path) = publisher.publish(&mut store);
+
+        assert_eq!(path, PublishPath::Incremental);
+        assert_eq!(before.len(), 1, "old view must not see new writes");
+        assert_eq!(after.len(), 2);
+        assert_matches_store(&after, &store);
+        assert!(!after.contains(&SnapTriple {
+            subject: "b:1".into(),
+            property: "ward".into(),
+            object: SnapValue::Literal("W3".into()),
+        }));
+    }
+
+    #[test]
+    fn incremental_publish_matches_full_rebuild() {
+        let mut store = TripleStore::new();
+        let mut publisher = SnapshotPublisher::new(&mut store);
+        for i in 0..40 {
+            store.insert_literal(&format!("b:{}", i % 7), "seq", &i.to_string());
+            if i % 3 == 0 {
+                let pat = TripleStore::pattern()
+                    .with_subject(store.atom(&format!("b:{}", i % 7)));
+                let hits = store.select(&pat);
+                if let Some(&first) = hits.first() {
+                    store.remove(first);
+                }
+            }
+            let (snap, _) = publisher.publish(&mut store);
+            assert_matches_store(&snap, &store);
+            assert_eq!(snap.digest(), snap_of(&mut store).digest(), "digest split-invariant");
+        }
+    }
+
+    #[test]
+    fn delta_folds_into_base_past_the_limit() {
+        let mut store = TripleStore::new();
+        let mut publisher = SnapshotPublisher::new(&mut store).with_fold_limit(4);
+        for i in 0..4 {
+            store.insert_literal("b:1", "seq", &i.to_string());
+        }
+        let (_, path) = publisher.publish(&mut store);
+        assert_eq!(path, PublishPath::Incremental);
+        store.insert_literal("b:1", "seq", "last");
+        let (snap, path) = publisher.publish(&mut store);
+        assert_eq!(path, PublishPath::Folded);
+        assert_matches_store(&snap, &store);
+        assert!(publisher.adds.is_empty() && publisher.dels.is_empty());
+    }
+
+    #[test]
+    fn undo_below_published_revision_forces_rebuild() {
+        let mut store = TripleStore::new();
+        store.insert_literal("b:1", "name", "John");
+        let mark = store.revision();
+        store.insert_literal("b:1", "ward", "W3");
+        let mut publisher = SnapshotPublisher::new(&mut store);
+
+        store.undo_to(mark).unwrap();
+        store.insert_literal("b:1", "ward", "W4");
+        let (snap, path) = publisher.publish(&mut store);
+        assert_eq!(path, PublishPath::Rebuilt, "undo crossed the published revision");
+        assert_matches_store(&snap, &store);
+        // The rebuild re-arms the watermark: publishing resumes the
+        // fast path instead of rebuilding forever.
+        store.insert_literal("b:2", "name", "Mary");
+        let (snap, path) = publisher.publish(&mut store);
+        assert_eq!(path, PublishPath::Incremental);
+        assert_matches_store(&snap, &store);
+    }
+
+    #[test]
+    fn truncated_history_forces_rebuild() {
+        let mut store = TripleStore::new();
+        let mut publisher = SnapshotPublisher::new(&mut store);
+        store.insert_literal("b:1", "name", "John");
+        store.journal_mut().truncate();
+        store.insert_literal("b:2", "name", "Mary");
+        // last_rev (0) predates retained history: suffix unverifiable.
+        let (snap, path) = publisher.publish(&mut store);
+        assert_eq!(path, PublishPath::Rebuilt);
+        assert_matches_store(&snap, &store);
+    }
+
+    #[test]
+    fn snapshots_are_send_and_sync() {
+        fn takes_send_sync<T: Send + Sync + 'static>(_: T) {}
+        takes_send_sync(Snapshot::empty());
+        let snap = snap_of(&mut TripleStore::new());
+        let handle = std::thread::spawn(move || snap.len());
+        assert_eq!(handle.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn scan_subject_merges_base_and_delta_in_order() {
+        let mut store = TripleStore::new();
+        store.insert_literal("b:1", "alpha", "1");
+        store.insert_literal("b:1", "omega", "2");
+        let mut publisher = SnapshotPublisher::new(&mut store);
+        publisher.publish(&mut store);
+        store.insert_literal("b:1", "middle", "3");
+        let (snap, _) = publisher.publish(&mut store);
+        let props: Vec<&str> =
+            snap.scan_subject("b:1").map(|t| t.property.as_str()).collect();
+        assert_eq!(props, ["alpha", "middle", "omega"]);
+    }
+}

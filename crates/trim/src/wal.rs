@@ -146,7 +146,7 @@ impl StoreLog {
     /// journal is truncated (replay is not undoable), and subsequent
     /// [`StoreLog::commit`] calls persist exactly the journal suffix.
     pub fn attach(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         snapshot_path: &Path,
         store: &mut TripleStore,
     ) -> Result<(StoreLog, LogReport), TrimError> {
@@ -157,7 +157,7 @@ impl StoreLog {
     /// exists only for the slimcheck mutation harness.
     #[doc(hidden)]
     pub fn testonly_attach_skip_tail_crc(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         snapshot_path: &Path,
         store: &mut TripleStore,
     ) -> Result<(StoreLog, LogReport), TrimError> {
@@ -165,7 +165,7 @@ impl StoreLog {
     }
 
     fn attach_impl(
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         snapshot_path: &Path,
         store: &mut TripleStore,
         verify_crc: bool,
@@ -197,7 +197,7 @@ impl StoreLog {
     /// the batch holds. See [`CommitOutcome`] for the three results.
     pub fn commit(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         store: &mut TripleStore,
     ) -> Result<CommitOutcome, TrimError> {
         self.commit_with_aux(vfs, store, &[])
@@ -208,7 +208,7 @@ impl StoreLog {
     /// last-write-wins into [`LogReport::aux`] on recovery.
     pub fn commit_with_aux(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         store: &mut TripleStore,
         aux: &[(&str, &[u8])],
     ) -> Result<CommitOutcome, TrimError> {
@@ -247,7 +247,7 @@ impl StoreLog {
     /// next open; after the reset the pair is the new generation.
     pub fn compact(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         store: &mut TripleStore,
     ) -> Result<(), TrimError> {
         let xml = store.to_xml();
@@ -261,7 +261,7 @@ impl StoreLog {
     /// contents.
     pub fn compact_with(
         &mut self,
-        vfs: &mut dyn Vfs,
+        vfs: &dyn Vfs,
         store: &mut TripleStore,
         payload: &str,
     ) -> Result<(), TrimError> {
@@ -486,7 +486,7 @@ mod tests {
         assert!(report.wal.created);
         store.insert_literal("b:1", "bundleName", "John Smith");
         store.insert_resource("b:1", "nestedBundle", "b:2");
-        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        let outcome = log.commit(&vfs, &mut store).unwrap();
         assert!(matches!(outcome, CommitOutcome::Committed { seq: 0, ops: 2 }));
 
         let (recovered, log2, report) = reopen(&mut vfs);
@@ -501,9 +501,9 @@ mod tests {
         let mut vfs = MemVfs::new();
         let (mut store, mut log, _) = reopen(&mut vfs);
         store.insert_literal("s", "p", "v");
-        log.commit(&mut vfs, &mut store).unwrap();
+        log.commit(&vfs, &mut store).unwrap();
         let before = log.log_bytes();
-        assert_eq!(log.commit(&mut vfs, &mut store).unwrap(), CommitOutcome::Clean);
+        assert_eq!(log.commit(&vfs, &mut store).unwrap(), CommitOutcome::Clean);
         assert_eq!(log.log_bytes(), before);
     }
 
@@ -514,10 +514,10 @@ mod tests {
         for i in 0..100 {
             store.insert_literal(&format!("s:{i}"), "p", "v");
         }
-        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        let outcome = log.commit(&vfs, &mut store).unwrap();
         assert!(matches!(outcome, CommitOutcome::Committed { seq: 0, ops: 100 }));
         store.insert_literal("one", "more", "row");
-        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        let outcome = log.commit(&vfs, &mut store).unwrap();
         assert!(matches!(outcome, CommitOutcome::Committed { seq: 1, ops: 1 }));
     }
 
@@ -529,12 +529,12 @@ mod tests {
         let p = store.atom("bundleName");
         let v1 = store.literal_value("first");
         store.insert(s, p, v1);
-        log.commit(&mut vfs, &mut store).unwrap();
+        log.commit(&vfs, &mut store).unwrap();
         let v2 = store.literal_value("second");
         store.set_unique(s, p, v2);
         let t = store.insert_literal("x", "y", "z");
         store.remove(t);
-        log.commit(&mut vfs, &mut store).unwrap();
+        log.commit(&vfs, &mut store).unwrap();
 
         let (recovered, _, _) = reopen(&mut vfs);
         assert_eq!(contents(&recovered), contents(&store));
@@ -549,7 +549,7 @@ mod tests {
         let mark = store.revision();
         store.insert_literal("oops", "p", "v");
         store.undo_to(mark).unwrap();
-        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        let outcome = log.commit(&vfs, &mut store).unwrap();
         assert!(matches!(outcome, CommitOutcome::Committed { ops: 1, .. }), "{outcome:?}");
         let (recovered, _, _) = reopen(&mut vfs);
         assert_eq!(contents(&recovered), contents(&store));
@@ -562,23 +562,23 @@ mod tests {
         store.insert_literal("a", "p", "v");
         let mark = store.revision();
         store.insert_literal("b", "p", "v");
-        log.commit(&mut vfs, &mut store).unwrap();
+        log.commit(&vfs, &mut store).unwrap();
         // Rewind below the committed revision: the journal suffix no
         // longer describes the delta from the persisted state.
         store.undo_to(mark).unwrap();
         store.insert_literal("c", "p", "v");
-        let outcome = log.commit(&mut vfs, &mut store).unwrap();
+        let outcome = log.commit(&vfs, &mut store).unwrap();
         assert_eq!(outcome, CommitOutcome::NeedsFullSnapshot);
         // Nothing was persisted by that call; compaction re-establishes
         // durability and subsequent commits are incremental again.
-        log.compact(&mut vfs, &mut store).unwrap();
+        log.compact(&vfs, &mut store).unwrap();
         let (recovered, mut log2, report) = reopen(&mut vfs);
         assert_eq!(report.frames_replayed, 0);
         assert_eq!(contents(&recovered), contents(&store));
         let mut recovered = recovered;
         recovered.insert_literal("d", "p", "v");
         assert!(matches!(
-            log2.commit(&mut vfs, &mut recovered).unwrap(),
+            log2.commit(&vfs, &mut recovered).unwrap(),
             CommitOutcome::Committed { ops: 1, .. }
         ));
     }
@@ -589,10 +589,10 @@ mod tests {
         let (mut store, mut log, _) = reopen(&mut vfs);
         for i in 0..20 {
             store.insert_literal(&format!("s:{i}"), "p", "v");
-            log.commit(&mut vfs, &mut store).unwrap();
+            log.commit(&vfs, &mut store).unwrap();
         }
         let long_log = log.log_bytes();
-        log.compact(&mut vfs, &mut store).unwrap();
+        log.compact(&vfs, &mut store).unwrap();
         assert!(log.log_bytes() < long_log);
         let (recovered, _, report) = reopen(&mut vfs);
         assert_eq!(report.frames_replayed, 0, "compacted log must be empty");
@@ -606,9 +606,9 @@ mod tests {
         log.set_compact_threshold(64);
         assert!(!log.should_compact());
         store.insert_literal("some-subject", "some-property", "some-value");
-        log.commit(&mut vfs, &mut store).unwrap();
+        log.commit(&vfs, &mut store).unwrap();
         assert!(log.should_compact());
-        log.compact(&mut vfs, &mut store).unwrap();
+        log.compact(&vfs, &mut store).unwrap();
         assert!(!log.should_compact());
     }
 
@@ -617,9 +617,9 @@ mod tests {
         let mut vfs = MemVfs::new();
         let (mut store, mut log, _) = reopen(&mut vfs);
         store.insert_literal("s", "p", "v");
-        log.commit_with_aux(&mut vfs, &mut store, &[("marks", b"<marks v=1/>")]).unwrap();
+        log.commit_with_aux(&vfs, &mut store, &[("marks", b"<marks v=1/>")]).unwrap();
         store.insert_literal("s2", "p", "v");
-        log.commit_with_aux(&mut vfs, &mut store, &[("marks", b"<marks v=2/>")]).unwrap();
+        log.commit_with_aux(&vfs, &mut store, &[("marks", b"<marks v=2/>")]).unwrap();
 
         let (_, _, report) = reopen(&mut vfs);
         assert_eq!(report.aux.get("marks").map(Vec::as_slice), Some(&b"<marks v=2/>"[..]));
@@ -630,7 +630,7 @@ mod tests {
         let mut vfs = MemVfs::new();
         let (mut store, mut log, _) = reopen(&mut vfs);
         let outcome =
-            log.commit_with_aux(&mut vfs, &mut store, &[("marks", b"<m/>")]).unwrap();
+            log.commit_with_aux(&vfs, &mut store, &[("marks", b"<m/>")]).unwrap();
         assert!(matches!(outcome, CommitOutcome::Committed { ops: 0, .. }));
         let (_, _, report) = reopen(&mut vfs);
         assert_eq!(report.aux.get("marks").map(Vec::as_slice), Some(&b"<m/>"[..]));
@@ -641,13 +641,13 @@ mod tests {
         let mut vfs = MemVfs::new();
         let (mut store, mut log, _) = reopen(&mut vfs);
         store.insert_literal("logged", "p", "v");
-        log.commit(&mut vfs, &mut store).unwrap();
+        log.commit(&vfs, &mut store).unwrap();
         // Someone rewrites the snapshot through the classic full-save
         // path, without touching the log: the snapshot is now the newer
         // authority and the log frames are stale.
         let mut authoritative = TripleStore::new();
         authoritative.insert_literal("authoritative", "p", "v");
-        authoritative.save_to(&mut vfs, snap()).unwrap();
+        authoritative.save_to(&vfs, snap()).unwrap();
 
         let (recovered, _, report) = reopen(&mut vfs);
         assert_eq!(report.wal.discarded_frames, 1);
@@ -662,15 +662,15 @@ mod tests {
         let mut base = MemVfs::new();
         let (mut store, mut log, _) = reopen(&mut base);
         store.insert_literal("s1", "p", "v");
-        log.commit(&mut base, &mut store).unwrap();
+        log.commit(&base, &mut store).unwrap();
         store.insert_literal("s2", "p", "v");
-        log.commit(&mut base, &mut store).unwrap();
+        log.commit(&base, &mut store).unwrap();
 
         // The snapshot install is the first write+sync+rename+sync_dir
         // quartet; the log reset is the second write. Fail it.
         let config = FaultConfig::new(FaultOp::Write, FaultMode::Fail, 1, 0).halting();
-        let mut vfs = FaultVfs::new(base, config);
-        assert!(log.compact(&mut vfs, &mut store).is_err());
+        let vfs = FaultVfs::new(base, config);
+        assert!(log.compact(&vfs, &mut store).is_err());
         assert!(vfs.fault_fired());
 
         let mut disk = vfs.into_inner();
@@ -687,13 +687,13 @@ mod tests {
         let mut vfs = MemVfs::new();
         let (mut store, mut log, _) = reopen(&mut vfs);
         store.insert_literal("s", "p", "v");
-        log.compact(&mut vfs, &mut store).unwrap();
+        log.compact(&vfs, &mut store).unwrap();
         let mut bytes = vfs.bytes(SNAP).unwrap().to_vec();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
         vfs.write(snap(), &bytes).unwrap();
         assert!(matches!(
-            TripleStore::open_logged(&mut vfs, snap()),
+            TripleStore::open_logged(&vfs, snap()),
             Err(TrimError::Corrupt { .. })
         ));
     }
@@ -703,7 +703,7 @@ mod tests {
         let mut vfs = MemVfs::new();
         let (mut store, mut log, _) = reopen(&mut vfs);
         store.insert_literal("s", "p", "v");
-        log.compact(&mut vfs, &mut store).unwrap();
+        log.compact(&vfs, &mut store).unwrap();
         vfs.write(Path::new("store.xml.slimio-tmp"), b"crash leftover").unwrap();
         vfs.write(Path::new("store.xml.wal.slimio-tmp"), b"crash leftover").unwrap();
         let (_, _, report) = reopen(&mut vfs);

@@ -190,8 +190,8 @@ proptest! {
         for op in &ops {
             apply(&mut store, &mut model, op);
         }
-        let mut vfs = slimio::MemVfs::new();
-        store.save_to(&mut vfs, Path::new("pad.xml")).unwrap();
+        let vfs = slimio::MemVfs::new();
+        store.save_to(&vfs, Path::new("pad.xml")).unwrap();
         let mut reloaded = TripleStore::load_from(&vfs, Path::new("pad.xml")).unwrap();
         reloaded.check_invariants();
         let stringify = |st: &TripleStore, hits: Vec<trim::Triple>| -> BTreeSet<ModelTriple> {

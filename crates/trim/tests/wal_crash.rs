@@ -48,20 +48,20 @@ type State = Vec<(String, String, bool, String)>;
 /// A store with two acknowledged commits on disk; returns the disk, the
 /// live handles, and the state after each acknowledged commit.
 fn committed_world() -> (MemVfs, TripleStore, trim::StoreLog, Vec<State>) {
-    let mut vfs = MemVfs::new();
-    let (mut store, mut log, _) = TripleStore::open_logged(&mut vfs, snap()).unwrap();
+    let vfs = MemVfs::new();
+    let (mut store, mut log, _) = TripleStore::open_logged(&vfs, snap()).unwrap();
     let mut acked = vec![contents(&store)];
     store.insert_literal("b:1", "bundleName", "John Smith");
     store.insert_resource("b:1", "nestedBundle", "b:2");
     assert!(matches!(
-        log.commit(&mut vfs, &mut store).unwrap(),
+        log.commit(&vfs, &mut store).unwrap(),
         CommitOutcome::Committed { .. }
     ));
     acked.push(contents(&store));
     store.insert_literal("b:2", "bundleName", "Labs");
     store.insert_literal("b:2", "annotation", "check potassium");
     assert!(matches!(
-        log.commit(&mut vfs, &mut store).unwrap(),
+        log.commit(&vfs, &mut store).unwrap(),
         CommitOutcome::Committed { .. }
     ));
     acked.push(contents(&store));
@@ -80,13 +80,13 @@ fn faulted_commit_recovers_an_acknowledged_state() {
                 let attempted = contents(&store);
 
                 let config = FaultConfig::new(op, mode, 0, seed).halting();
-                let mut vfs = FaultVfs::new(base, config);
-                let result = log.commit(&mut vfs, &mut store);
+                let vfs = FaultVfs::new(base, config);
+                let result = log.commit(&vfs, &mut store);
                 assert!(vfs.fault_fired(), "{op:?}/{mode:?}/{seed}");
 
                 // Reboot: recover from whatever the crash left behind.
-                let mut disk = vfs.into_inner();
-                let (recovered, _, _) = TripleStore::open_logged(&mut disk, snap())
+                let disk = vfs.into_inner();
+                let (recovered, _, _) = TripleStore::open_logged(&disk, snap())
                     .unwrap_or_else(|e| panic!("{op:?}/{mode:?}/{seed}: reopen failed: {e}"));
                 recovered.check_invariants();
                 let got = contents(&recovered);
@@ -126,16 +126,16 @@ fn faulted_compaction_recovers_an_acknowledged_state() {
                     let last_acked = acked.last().unwrap().clone();
 
                     let config = FaultConfig::new(op, mode, index, seed).halting();
-                    let mut vfs = FaultVfs::new(base, config);
-                    let result = log.compact(&mut vfs, &mut store);
+                    let vfs = FaultVfs::new(base, config);
+                    let result = log.compact(&vfs, &mut store);
                     if !vfs.fault_fired() {
                         // This step count wasn't reached (e.g. the run
                         // errored before the second rename).
                         continue;
                     }
 
-                    let mut disk = vfs.into_inner();
-                    let (recovered, _, _) = TripleStore::open_logged(&mut disk, snap())
+                    let disk = vfs.into_inner();
+                    let (recovered, _, _) = TripleStore::open_logged(&disk, snap())
                         .unwrap_or_else(|e| {
                             panic!("{op:?}#{index}/{mode:?}/{seed}: reopen failed: {e}")
                         });
@@ -163,9 +163,9 @@ fn every_byte_truncation_of_the_log_recovers_a_commit_boundary() {
     let full = vfs.bytes(&wal_file).unwrap().to_vec();
 
     for cut in 0..=full.len() {
-        let mut disk = vfs.clone();
+        let disk = vfs.clone();
         disk.write(&wal_file, &full[..cut]).unwrap();
-        let (recovered, _, _) = TripleStore::open_logged(&mut disk, snap())
+        let (recovered, _, _) = TripleStore::open_logged(&disk, snap())
             .unwrap_or_else(|e| panic!("cut at byte {cut}: reopen failed: {e}"));
         recovered.check_invariants();
         let got = contents(&recovered);
@@ -182,10 +182,10 @@ fn every_byte_truncation_of_the_log_recovers_a_commit_boundary() {
 
 #[test]
 fn every_byte_truncation_after_compaction_recovers_the_snapshot() {
-    let (mut vfs, mut store, mut log, _) = committed_world();
-    log.compact(&mut vfs, &mut store).unwrap();
+    let (vfs, mut store, mut log, _) = committed_world();
+    log.compact(&vfs, &mut store).unwrap();
     store.insert_literal("post", "compact", "commit");
-    log.commit(&mut vfs, &mut store).unwrap();
+    log.commit(&vfs, &mut store).unwrap();
     let with_tail = contents(&store);
     let compacted: State = with_tail
         .iter()
@@ -196,9 +196,9 @@ fn every_byte_truncation_after_compaction_recovers_the_snapshot() {
     let wal_file = trim::StoreLog::wal_path(snap());
     let full = vfs.bytes(&wal_file).unwrap().to_vec();
     for cut in 0..=full.len() {
-        let mut disk = vfs.clone();
+        let disk = vfs.clone();
         disk.write(&wal_file, &full[..cut]).unwrap();
-        let (recovered, _, _) = TripleStore::open_logged(&mut disk, snap()).unwrap();
+        let (recovered, _, _) = TripleStore::open_logged(&disk, snap()).unwrap();
         let got = contents(&recovered);
         assert!(
             got == with_tail || got == compacted,

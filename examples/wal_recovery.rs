@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wal = StoreLog::wal_path(&path);
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&wal);
-    let mut vfs = StdVfs;
+    let vfs = StdVfs;
 
     // The base layer: a spreadsheet with the medication list.
     let mut wb = Workbook::new("medications.xls");
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pad = PadSession::new("Rounds")?;
     pad.marks_mut()
         .register_module(Box::new(AppModule::in_context("excel", Rc::clone(&excel))))?;
-    pad.enable_logging(&mut vfs, &path)?;
+    pad.enable_logging(&vfs, &path)?;
     let snapshot_size = std::fs::metadata(&path)?.len();
     println!("snapshot:  {} ({snapshot_size} bytes)", path.display());
 
@@ -55,11 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     excel.borrow_mut().select("medications.xls", "Sheet1", "A1")?;
     let john = pad.create_bundle("John Smith", (10, 10), 400, 300, None)?;
     pad.place_selection(DocKind::Spreadsheet, None, (20, 40), Some(john))?;
-    pad.commit(&mut vfs)?;
+    pad.commit(&vfs)?;
     println!("commit 1:  log is {} bytes", pad.log().unwrap().log_bytes());
 
     pad.create_bundle("Mary Jones", (60, 60), 400, 300, None)?;
-    pad.commit(&mut vfs)?;
+    pad.commit(&vfs)?;
     println!("commit 2:  log is {} bytes", pad.log().unwrap().log_bytes());
     assert_eq!(std::fs::metadata(&path)?.len(), snapshot_size, "snapshot untouched");
 
@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bytes = std::fs::read(&wal)?;
     std::fs::write(&wal, &bytes[..bytes.len() - 7])?;
     println!("\n-- tore the last 7 bytes off {} --", wal.display());
-    let (mut pad2, report) = PadSession::open_logged(&mut vfs, &path, manager(&excel))?;
+    let (mut pad2, report) = PadSession::open_logged(&vfs, &path, manager(&excel))?;
     println!("recovery:  {report}");
     let names: Vec<String> = pad2
         .dmi()
@@ -89,14 +89,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Compaction folds the log into a fresh snapshot and starts an
     // empty log generation bound to it.
     pad2.create_bundle("Mary Jones", (60, 60), 400, 300, None)?;
-    pad2.commit(&mut vfs)?;
-    pad2.compact(&mut vfs)?;
+    pad2.commit(&vfs)?;
+    pad2.compact(&vfs)?;
     println!(
         "\ncompacted: snapshot {} bytes, log {} bytes",
         std::fs::metadata(&path)?.len(),
         pad2.log().unwrap().log_bytes(),
     );
-    let (pad3, report) = PadSession::open_logged(&mut vfs, &path, manager(&excel))?;
+    let (pad3, report) = PadSession::open_logged(&vfs, &path, manager(&excel))?;
     println!("reopen:    {report}");
     println!("stats:     {}", pad3.stats());
 

@@ -203,16 +203,16 @@ fn crash_during_pad_save_never_corrupts_the_previous_save() {
         for mode in [FaultMode::Fail, FaultMode::Torn, FaultMode::SilentTorn] {
             for seed in [1u64, 7, 1999] {
                 let (mut sys, _) = saved_pad();
-                let mut base = MemVfs::new();
-                sys.pad.save_to(&mut base, path).unwrap();
+                let base = MemVfs::new();
+                sys.pad.save_to(&base, path).unwrap();
 
                 // Mutate the pad, then crash partway through re-saving it.
                 sys.pad.create_bundle("Transient", (500, 10), 100, 100, None).unwrap();
-                let mut vfs = FaultVfs::new(
+                let vfs = FaultVfs::new(
                     base,
                     FaultConfig { op, mode, index: 0, seed, halt_after_fault: true },
                 );
-                let _ = sys.pad.save_to(&mut vfs, path);
+                let _ = sys.pad.save_to(&vfs, path);
 
                 // The machine "rebooted": whatever the fault did, the
                 // previous save must load strictly and completely.
@@ -234,7 +234,7 @@ fn silently_torn_pad_write_is_caught_at_load_time() {
     // only line of defence.
     let path = Path::new("rounds.slimpad.xml");
     let (sys, _) = saved_pad();
-    let mut vfs = FaultVfs::new(
+    let vfs = FaultVfs::new(
         MemVfs::new(),
         FaultConfig {
             op: FaultOp::Write,
@@ -244,7 +244,7 @@ fn silently_torn_pad_write_is_caught_at_load_time() {
             halt_after_fault: false,
         },
     );
-    sys.pad.save_to(&mut vfs, path).expect("the lying disk reports success");
+    sys.pad.save_to(&vfs, path).expect("the lying disk reports success");
 
     let vfs = vfs.into_inner();
     // A tear that keeps (part of) the footer fails the checksum; a tear
