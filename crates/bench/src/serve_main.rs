@@ -10,7 +10,12 @@
 //!   a small queue; backpressure must engage (typed `Overloaded`
 //!   refusals, not silence) while the writer keeps acking;
 //! * **commit latency percentiles** — p50/p99 of a blocking submit
-//!   (enqueue → group commit → ack) from a single session.
+//!   (enqueue → group commit → ack) from a single session;
+//! * **pad-op mix throughput** — two sessions blocking-submit a fixed
+//!   rotation of application-level pad ops (bundles, marks,
+//!   annotations, resolutions, links, inspections) through a
+//!   `PadService`, reported both absolutely and as a ratio against
+//!   plain triple-insert submits measured in the same run.
 //!
 //! * `cargo run -p slim-bench --bin bench-serve --release` — full run,
 //!   writes `BENCH_serve.json` in the current directory.
@@ -30,11 +35,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use slimserve::{ServeConfig, ServeError, ServeOp, Service};
-use superimposed::marks::resilience::SystemClock;
+use slimserve::{
+    ward_doc, ward_factory, PadConfig, PadOp, PadService, ServeConfig, ServeError, ServeOp,
+    Service, WARD_PARAGRAPHS,
+};
+use superimposed::marks::resilience::{BreakerConfig, MockClock, SystemClock};
+use superimposed::marks::{FaultProfile, FlakyControl, RetryPolicy};
 use superimposed::slimio::MemVfs;
 
 const SNAP: &str = "bench/serve-store.xml";
+const PAD: &str = "bench/serve-pad.xml";
 /// Reader-session counts measured under the hot writer.
 const READER_SESSIONS: [usize; 3] = [1, 4, 16];
 /// Aggregate reader throughput at 16 sessions must stay above this
@@ -82,6 +92,15 @@ struct ReaderResult {
     reads_per_sec_per_reader: f64,
 }
 
+struct PadMixResult {
+    acked: u64,
+    engine_refusals: u64,
+    ops_per_sec: f64,
+    plain_insert_ops_per_sec: f64,
+    /// pad-op mix acks/s ÷ plain triple-insert acks/s, same run.
+    mix_ratio: f64,
+}
+
 struct Report {
     readers: Vec<ReaderResult>,
     /// aggregate reads/s at 16 sessions / aggregate at 1 session.
@@ -92,6 +111,7 @@ struct Report {
     shed_rate: f64,
     commit_p50_ns: f64,
     commit_p99_ns: f64,
+    pad_mix: PadMixResult,
 }
 
 fn serve_config() -> ServeConfig {
@@ -254,6 +274,139 @@ fn measure_commit_latency(service: &Service, rounds: usize) -> (f64, f64) {
     (pct(0.50), pct(0.99))
 }
 
+/// The `i`-th op of the pad-mix rotation for submitter `t`: one bundle,
+/// three marks (the paper's core gesture dominates), an annotation, a
+/// resolution, a link, and an inspection per cycle of eight.
+fn pad_mix_op(t: usize, i: u64) -> PadOp {
+    let pos = ((i % 200) as i64, ((i >> 3) % 160) as i64);
+    match i % 8 {
+        0 => PadOp::CreateBundle {
+            name: format!("mix{t} bundle {i}"),
+            pos,
+            width: 40,
+            height: 30,
+            parent: None,
+        },
+        1..=3 => PadOp::CreateMark {
+            doc: ward_doc(i),
+            paragraph: i % WARD_PARAGRAPHS as u64,
+            start: 0,
+            len: 4 + i % 8,
+            label: format!("mix{t} mark {i}"),
+            pos,
+            bundle: None,
+        },
+        4 => PadOp::Annotate { scrap: i, text: format!("mix{t} note {i}") },
+        5 => PadOp::Resolve { scrap: i },
+        6 => PadOp::Link { from: i, to: i + 1 },
+        _ => PadOp::Inspect,
+    }
+}
+
+/// Blocking-submit throughput of plain triple inserts, the in-run
+/// denominator for the pad-mix ratio.
+fn measure_plain_inserts(window: Duration) -> f64 {
+    let service = open_service(serve_config());
+    let stop = Arc::new(AtomicBool::new(false));
+    let acked = Arc::new(AtomicU64::new(0));
+    let submitters: Vec<_> = (0..2)
+        .map(|t| {
+            let session = service.session();
+            let stop = Arc::clone(&stop);
+            let acked = Arc::clone(&acked);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    session
+                        .submit(ServeOp::insert(&format!("mix{t}:{i}"), "seq", &i.to_string()))
+                        .expect("plain insert submit");
+                    local += 1;
+                }
+                acked.fetch_add(local, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for t in submitters {
+        t.join().expect("plain submitter thread");
+    }
+    acked.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
+}
+
+/// Pad-op mix throughput: two sessions blocking-submit the fixed
+/// rotation against a fresh `PadService` over healthy resolver parts.
+/// Engine refusals (e.g. a link landing on one scrap) are typed and
+/// counted, never fatal; the ledger must balance at shutdown.
+fn measure_pad_mix(window: Duration) -> PadMixResult {
+    let vfs: Arc<MemVfs> = Arc::new(MemVfs::new());
+    // Frozen MockClock: ward_factory needs one, and a never-advancing
+    // clock keeps the generous deadline from ever tripping. Wall time
+    // for the rate comes from the measurement window itself.
+    let clock = Arc::new(MockClock::new());
+    let factory = ward_factory(
+        (*clock).clone(),
+        FaultProfile::healthy(),
+        FlakyControl::new(0),
+        RetryPolicy::default(),
+        BreakerConfig::default(),
+        3,
+    );
+    let config = PadConfig {
+        queue_capacity: 1024,
+        max_batch: 64,
+        op_deadline_ms: 60_000,
+        // Roomy: early-cycle refusals (annotate before any scrap
+        // exists) must not quarantine a bench session.
+        breaker: BreakerConfig {
+            failure_threshold: 64,
+            cooldown_ms: 1_000,
+            probe_budget: 3,
+            probe_successes: 1,
+        },
+        ..PadConfig::default()
+    };
+    let service = PadService::open(vfs, Path::new(PAD), config, clock, factory)
+        .expect("fresh bench pad service opens");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitters: Vec<_> = (0..2)
+        .map(|t| {
+            let session = service.session();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match session.submit(pad_mix_op(t, i)) {
+                        Ok(_) | Err(ServeError::Engine { .. }) => {}
+                        Err(other) => panic!("unexpected pad refusal in mix: {other}"),
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for t in submitters {
+        t.join().expect("pad submitter thread");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.unaccounted(), 0, "pad mix dropped ops silently: {stats:?}");
+
+    let ops_per_sec = stats.acked as f64 / window.as_secs_f64();
+    let plain_insert_ops_per_sec = measure_plain_inserts(window);
+    PadMixResult {
+        acked: stats.acked,
+        engine_refusals: stats.engine_refusals,
+        ops_per_sec,
+        plain_insert_ops_per_sec,
+        mix_ratio: ops_per_sec / plain_insert_ops_per_sec.max(1.0),
+    }
+}
+
 fn measure(quick: bool) -> Report {
     let window = if quick { Duration::from_millis(100) } else { Duration::from_millis(400) };
 
@@ -272,6 +425,8 @@ fn measure(quick: bool) -> Report {
     let (saturation_attempts, saturation_acked, saturation_shed) = measure_saturation(window);
     let shed_rate = saturation_shed as f64 / saturation_attempts.max(1) as f64;
 
+    let pad_mix = measure_pad_mix(window);
+
     Report {
         readers,
         reader_scaling_16,
@@ -281,6 +436,7 @@ fn measure(quick: bool) -> Report {
         shed_rate,
         commit_p50_ns,
         commit_p99_ns,
+        pad_mix,
     }
 }
 
@@ -308,8 +464,17 @@ fn render_json(r: &Report, quick: bool) -> String {
         r.saturation_attempts, r.saturation_acked, r.saturation_shed, r.shed_rate
     ));
     out.push_str(&format!(
-        "  \"commit_latency_ns\": {{\"p50\": {:.1}, \"p99\": {:.1}}}\n",
+        "  \"commit_latency_ns\": {{\"p50\": {:.1}, \"p99\": {:.1}}},\n",
         r.commit_p50_ns, r.commit_p99_ns
+    ));
+    out.push_str(&format!(
+        "  \"pad_mix\": {{\"acked\": {}, \"engine_refusals\": {}, \"ops_per_sec\": {:.1}, \
+         \"plain_insert_ops_per_sec\": {:.1}, \"mix_ratio\": {:.4}}}\n",
+        r.pad_mix.acked,
+        r.pad_mix.engine_refusals,
+        r.pad_mix.ops_per_sec,
+        r.pad_mix.plain_insert_ops_per_sec,
+        r.pad_mix.mix_ratio
     ));
     out.push_str("}\n");
     out
@@ -321,6 +486,15 @@ fn baseline_scaling(baseline: &str) -> Option<f64> {
     let line = baseline.lines().find(|l| l.contains("\"reader_scaling_16\":"))?;
     let rest = line.split("\"reader_scaling_16\":").nth(1)?;
     rest.trim_start().trim_end_matches([',', ' ']).parse().ok()
+}
+
+/// Pull `"mix_ratio": X` out of a baseline report. `None` (and so no
+/// ratio gate) when the baseline predates the pad-mix column — old
+/// committed baselines must keep passing `--check`.
+fn baseline_pad_ratio(baseline: &str) -> Option<f64> {
+    let line = baseline.lines().find(|l| l.contains("\"mix_ratio\":"))?;
+    let rest = line.split("\"mix_ratio\":").nth(1)?;
+    rest.trim_start().trim_end_matches(['}', ',', ' ']).parse().ok()
 }
 
 fn check(r: &Report, baseline_path: &str) -> Result<(), String> {
@@ -348,6 +522,18 @@ fn check(r: &Report, baseline_path: &str) -> Result<(), String> {
     if r.saturation_acked == 0 {
         return Err("saturation acked nothing: the writer starved completely".to_string());
     }
+    if r.pad_mix.acked == 0 {
+        return Err("pad mix acked nothing: the pad writer starved completely".to_string());
+    }
+    if let Some(committed) = baseline_pad_ratio(&baseline) {
+        if r.pad_mix.mix_ratio < committed / REGRESSION_FACTOR {
+            return Err(format!(
+                "pad-op mix ratio {:.4} regressed more than {REGRESSION_FACTOR}x against the \
+                 committed baseline ({committed:.4})",
+                r.pad_mix.mix_ratio
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -374,6 +560,14 @@ fn main() {
     println!(
         "commit latency: p50 {:>10.1} ns, p99 {:>10.1} ns",
         report.commit_p50_ns, report.commit_p99_ns
+    );
+    println!(
+        "pad mix: {:>12.1} ops/s acked ({} engine refusals), {:.4}x plain inserts \
+         ({:.1} ops/s)",
+        report.pad_mix.ops_per_sec,
+        report.pad_mix.engine_refusals,
+        report.pad_mix.mix_ratio,
+        report.pad_mix.plain_insert_ops_per_sec
     );
     std::fs::write(&args.out, render_json(&report, args.quick))
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));

@@ -23,8 +23,8 @@ use crate::mark::MarkAddress;
 use crate::module::{MarkModule, Resolution};
 use crate::resilience::{mix64, MockClock};
 use basedocs::{DocError, DocKind};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,37 +109,51 @@ impl FaultProfile {
 /// is boxed away inside the [`crate::MarkManager`] at registration, so
 /// tests keep a control handle to arm faults *after* fixture setup (mark
 /// creation also calls the module) and to reseed mid-run.
+///
+/// Backed by atomics so a harness thread can arm/disarm/reseed a module
+/// that lives on a service writer thread (slimserve's pad service boxes
+/// the module inside the writer-owned `MarkManager`; the chaos harness
+/// keeps only this handle).
 #[derive(Clone)]
 pub struct FlakyControl {
-    seed: Rc<Cell<u64>>,
-    calls: Rc<Cell<u64>>,
-    armed: Rc<Cell<bool>>,
+    seed: Arc<AtomicU64>,
+    calls: Arc<AtomicU64>,
+    armed: Arc<AtomicBool>,
 }
 
 impl FlakyControl {
+    /// A fresh armed schedule starting at call zero.
+    pub fn new(seed: u64) -> Self {
+        FlakyControl {
+            seed: Arc::new(AtomicU64::new(seed)),
+            calls: Arc::new(AtomicU64::new(0)),
+            armed: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
     /// Start injecting faults (calls made while disarmed neither fault
     /// nor consume schedule positions).
     pub fn arm(&self) {
-        self.armed.set(true);
+        self.armed.store(true, Ordering::SeqCst);
     }
 
     pub fn disarm(&self) {
-        self.armed.set(false);
+        self.armed.store(false, Ordering::SeqCst);
     }
 
     /// Switch to a new schedule: new seed, call counter back to zero.
     pub fn reseed(&self, seed: u64) {
-        self.seed.set(seed);
-        self.calls.set(0);
+        self.seed.store(seed, Ordering::SeqCst);
+        self.calls.store(0, Ordering::SeqCst);
     }
 
     pub fn seed(&self) -> u64 {
-        self.seed.get()
+        self.seed.load(Ordering::SeqCst)
     }
 
     /// Faultable calls consumed so far (while armed).
     pub fn calls(&self) -> u64 {
-        self.calls.get()
+        self.calls.load(Ordering::SeqCst)
     }
 }
 
@@ -160,16 +174,21 @@ impl FlakyModule {
         profile: FaultProfile,
         clock: MockClock,
     ) -> Self {
-        FlakyModule {
-            inner,
-            profile,
-            clock,
-            control: FlakyControl {
-                seed: Rc::new(Cell::new(seed)),
-                calls: Rc::new(Cell::new(0)),
-                armed: Rc::new(Cell::new(true)),
-            },
-        }
+        Self::with_control(inner, profile, clock, FlakyControl::new(seed))
+    }
+
+    /// Wrap `inner` around a caller-provided control handle. This is the
+    /// service-injection path: the harness mints the [`FlakyControl`] up
+    /// front (outside the writer thread), hands a clone into the module
+    /// factory that runs on the writer thread, and keeps the original to
+    /// arm/disarm the storm mid-run.
+    pub fn with_control(
+        inner: Box<dyn MarkModule>,
+        profile: FaultProfile,
+        clock: MockClock,
+        control: FlakyControl,
+    ) -> Self {
+        FlakyModule { inner, profile, clock, control }
     }
 
     /// A handle for arming/reseeding after the module is boxed away.
@@ -180,12 +199,11 @@ impl FlakyModule {
     /// Consume the next schedule position and return its fault together
     /// with the call number (for error messages).
     fn next_fault(&self) -> (u64, Fault) {
-        if !self.control.armed.get() {
-            return (self.control.calls.get(), Fault::None);
+        if !self.control.armed.load(Ordering::SeqCst) {
+            return (self.control.calls.load(Ordering::SeqCst), Fault::None);
         }
-        let call = self.control.calls.get();
-        self.control.calls.set(call + 1);
-        (call, self.profile.fault(self.control.seed.get(), call))
+        let call = self.control.calls.fetch_add(1, Ordering::SeqCst);
+        (call, self.profile.fault(self.control.seed.load(Ordering::SeqCst), call))
     }
 }
 

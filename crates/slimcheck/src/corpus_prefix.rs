@@ -10,7 +10,9 @@
 //! replays the exact case), but it is not part of the shrink space —
 //! the shrinker only ever minimizes the random suffix.
 
-use crate::ops::{DmiOp, PadOp, StoreOp, WalOp, ANNOTATIONS, NAMES, OBJECTS, PROPS, SUBJECTS};
+use crate::ops::{
+    DmiOp, PadOp, PadServeOp, StoreOp, WalOp, ANNOTATIONS, NAMES, OBJECTS, PROPS, SUBJECTS,
+};
 use slimgen::seed_ops::{seed_ops, SeedOp};
 
 /// Reduce a slimgen selector to a pool/index-range value.
@@ -169,6 +171,42 @@ pub fn pad_prefix(seed: u64, n: usize) -> Vec<PadOp> {
         .collect()
 }
 
+/// Structure prefix for the pad-service layer: bundles and placed
+/// marks through the main session, with slimgen checkpoints doubling as
+/// explicit commits. `Link` becomes a *sibling-session* placement, so
+/// two-session suffix schedules (sibling undo, sibling crash commits)
+/// start from state both sessions helped build. Deterministic per seed,
+/// so `SLIMCHECK_SEED` replays hold.
+pub fn padserve_prefix(seed: u64, n: usize) -> Vec<PadServeOp> {
+    seed_ops(seed, n)
+        .into_iter()
+        .map(|op| match op {
+            SeedOp::CreateBundle { parent } => PadServeOp::Create {
+                name: sel(parent, NAMES.len()),
+                pos: ((parent % 200) as i64, ((parent >> 8) % 200) as i64),
+                parent: Some(idx(parent >> 16)),
+            },
+            SeedOp::CreateScrap { bundle, mark } => PadServeOp::Mark {
+                doc: sel(mark, 8),
+                paragraph: sel(mark >> 8, 8),
+                label: sel(bundle >> 8, NAMES.len()),
+                pos: ((bundle % 200) as i64, (mark % 200) as i64),
+                bundle: Some(idx(bundle)),
+            },
+            SeedOp::Annotate { scrap, note } => {
+                PadServeOp::Annotate { scrap: idx(scrap), text: sel(note, ANNOTATIONS.len()) }
+            }
+            SeedOp::Link { from, to } => PadServeOp::SiblingPadOp {
+                mark: from & 1 == 0,
+                name: sel(from, NAMES.len()),
+                pos: ((from % 200) as i64, (to % 200) as i64),
+                target: Some(idx(to)),
+            },
+            SeedOp::Checkpoint => PadServeOp::Commit,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +218,10 @@ mod tests {
             assert_eq!(format!("{:?}", pad_prefix(5, n)), format!("{:?}", pad_prefix(5, n)));
             assert_eq!(format!("{:?}", store_prefix(5, n)), format!("{:?}", store_prefix(5, n)));
             assert_eq!(format!("{:?}", wal_prefix(5, n)), format!("{:?}", wal_prefix(5, n)));
+            assert_eq!(
+                format!("{:?}", padserve_prefix(5, n)),
+                format!("{:?}", padserve_prefix(5, n))
+            );
         }
         assert_ne!(format!("{:?}", dmi_prefix(5, 32)), format!("{:?}", dmi_prefix(6, 32)));
     }
@@ -191,5 +233,14 @@ mod tests {
         assert!(ops.iter().any(|op| matches!(op, WalOp::Insert { .. })));
         assert!(ops.iter().any(|op| matches!(op, WalOp::SiblingInsert { .. })));
         assert!(ops.iter().any(|op| matches!(op, WalOp::SiblingCommit)));
+    }
+
+    #[test]
+    fn padserve_prefix_routes_links_to_the_sibling() {
+        let ops = padserve_prefix(9, 256);
+        assert!(ops.iter().any(|op| matches!(op, PadServeOp::Create { .. })));
+        assert!(ops.iter().any(|op| matches!(op, PadServeOp::Mark { .. })));
+        assert!(ops.iter().any(|op| matches!(op, PadServeOp::SiblingPadOp { .. })));
+        assert!(ops.iter().any(|op| matches!(op, PadServeOp::Commit)));
     }
 }

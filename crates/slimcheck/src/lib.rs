@@ -16,6 +16,10 @@
 //!   canonical persistence checks ([`dmi_diff`]).
 //! * **pad** — [`slimpad::PadSession`] begin-op/undo cycles vs a
 //!   snapshot stack of canonical XML ([`pad_diff`]).
+//! * **padserve** — the supervised [`slimserve::PadService`] vs a
+//!   mirror [`slimserve::PadMachine`] replay of its acknowledged ops,
+//!   over two-session schedules with one-shot crash commits
+//!   ([`padserve_diff`]).
 //! * **resolver** — [`marks::ResilientResolver`] retry/breaker/
 //!   quarantine behavior under seeded fault injection vs a reference
 //!   model of the state machine ([`resolver_diff`]).
@@ -29,6 +33,7 @@ pub mod corpus_prefix;
 pub mod dmi_diff;
 pub mod ops;
 pub mod pad_diff;
+pub mod padserve_diff;
 pub mod resolver_diff;
 pub mod store_diff;
 pub mod wal_diff;
@@ -111,13 +116,14 @@ pub enum Layer {
     Wal,
     Dmi,
     Pad,
+    PadServe,
     Resolver,
 }
 
 impl Layer {
     /// All layers, in stack order.
-    pub const ALL: [Layer; 5] =
-        [Layer::Store, Layer::Wal, Layer::Dmi, Layer::Pad, Layer::Resolver];
+    pub const ALL: [Layer; 6] =
+        [Layer::Store, Layer::Wal, Layer::Dmi, Layer::Pad, Layer::PadServe, Layer::Resolver];
 
     /// CLI / report name.
     pub fn name(self) -> &'static str {
@@ -126,6 +132,7 @@ impl Layer {
             Layer::Wal => "wal",
             Layer::Dmi => "dmi",
             Layer::Pad => "pad",
+            Layer::PadServe => "padserve",
             Layer::Resolver => "resolver",
         }
     }
@@ -137,6 +144,7 @@ impl Layer {
             "wal" => Some(Layer::Wal),
             "dmi" => Some(Layer::Dmi),
             "pad" => Some(Layer::Pad),
+            "padserve" => Some(Layer::PadServe),
             "resolver" => Some(Layer::Resolver),
             _ => None,
         }
@@ -150,6 +158,7 @@ impl Layer {
             Layer::Wal => 0x77616c,        // "wal"
             Layer::Dmi => 0x646d69,        // "dmi"
             Layer::Pad => 0x706164,        // "pad"
+            Layer::PadServe => 0x70737276, // "psrv"
             Layer::Resolver => 0x7265736f, // "reso"
         }
     }
@@ -373,6 +382,18 @@ fn replay_case(
                 mutation,
                 &strategy,
                 |ops| pad_diff::check(&with_prefix(&prefix, ops)),
+                seed,
+                case,
+            )
+        }
+        Layer::PadServe => {
+            let strategy = proptest::collection::vec(ops::padserve_op_strategy(), 1..max_ops + 1);
+            let prefix = corpus_prefix::padserve_prefix(seed, corpus);
+            run_case(
+                layer,
+                mutation,
+                &strategy,
+                |ops| padserve_diff::check(&with_prefix(&prefix, ops)),
                 seed,
                 case,
             )

@@ -158,6 +158,98 @@ pub fn pad_op_strategy() -> impl Strategy<Value = PadOp> {
     ]
 }
 
+/// One step against the supervised pad-session service
+/// ([`slimserve::PadService`]; see `padserve_diff`). Ops are submitted
+/// serially through the *main* session handle; the `Sibling*` ops route
+/// through a second registered session, so a shrunk counterexample
+/// spells out the two-session schedule directly. Selector fields are
+/// indices the service itself resolves modulo the live population in
+/// canonical creation order, so every generated op is executable.
+#[derive(Debug, Clone)]
+pub enum PadServeOp {
+    /// Create a bundle (`parent` selects an existing bundle; the
+    /// invisible root when `None` or while no bundles exist).
+    Create { name: usize, pos: (i64, i64), parent: Option<usize> },
+    /// Mint a mark over the ward text universe and place it on the pad
+    /// as a labelled scrap.
+    Mark { doc: usize, paragraph: usize, label: usize, pos: (i64, i64), bundle: Option<usize> },
+    /// Attach an annotation to the selected scrap.
+    Annotate { scrap: usize, text: usize },
+    /// Link two selected scraps.
+    Link { from: usize, to: usize },
+    /// Resolve the selected scrap's mark through the resilient resolver.
+    Resolve { scrap: usize },
+    /// Extract the selected scrap's marked content.
+    Extract { scrap: usize },
+    /// Undo the most recent undoable op (shared pad-level stack).
+    Undo,
+    /// Re-apply the most recently undone op.
+    Redo,
+    /// Explicit durable commit (each batch commits anyway; this drives
+    /// the clean-commit path).
+    Commit,
+    /// Fold the WAL into a fresh snapshot generation.
+    Compact,
+    /// Second session: a structural op (a placed mark when `mark`, a
+    /// bundle otherwise) — create/create interleavings across sessions.
+    SiblingPadOp { mark: bool, name: usize, pos: (i64, i64), target: Option<usize> },
+    /// Second session: undo the top of the shared undo stack — one
+    /// session rewinding work the other acknowledged.
+    SiblingUndo,
+    /// Second session: submit a structural op straight into a one-shot
+    /// append fault (`torn` tears the frame mid-write): the batch's
+    /// group commit fails, the op is io-refused, and the writer reopens
+    /// from disk — a crash-commit schedule in miniature. Acked history
+    /// must survive exactly.
+    SiblingCrashCommit { torn: bool, tear_seed: u64 },
+}
+
+pub fn padserve_op_strategy() -> impl Strategy<Value = PadServeOp> {
+    let pos = (0i64..200, 0i64..200);
+    let idx = 0usize..16;
+    prop_oneof![
+        // Creation twice: populated pads are what give the other verbs
+        // something to land on.
+        (0..NAMES.len(), pos.clone(), proptest::option::of(idx.clone()))
+            .prop_map(|(name, pos, parent)| PadServeOp::Create { name, pos, parent }),
+        (0usize..8, 0usize..8, 0..NAMES.len(), pos.clone(), proptest::option::of(idx.clone()))
+            .prop_map(|(doc, paragraph, label, pos, bundle)| PadServeOp::Mark {
+                doc,
+                paragraph,
+                label,
+                pos,
+                bundle
+            }),
+        (0usize..8, 0usize..8, 0..NAMES.len(), pos.clone(), proptest::option::of(idx.clone()))
+            .prop_map(|(doc, paragraph, label, pos, bundle)| PadServeOp::Mark {
+                doc,
+                paragraph,
+                label,
+                pos,
+                bundle
+            }),
+        (idx.clone(), 0..ANNOTATIONS.len())
+            .prop_map(|(scrap, text)| PadServeOp::Annotate { scrap, text }),
+        (idx.clone(), idx.clone()).prop_map(|(from, to)| PadServeOp::Link { from, to }),
+        idx.clone().prop_map(|scrap| PadServeOp::Resolve { scrap }),
+        idx.clone().prop_map(|scrap| PadServeOp::Extract { scrap }),
+        Just(PadServeOp::Undo),
+        Just(PadServeOp::Redo),
+        Just(PadServeOp::Commit),
+        Just(PadServeOp::Compact),
+        (any::<bool>(), 0..NAMES.len(), pos, proptest::option::of(idx))
+            .prop_map(|(mark, name, pos, target)| PadServeOp::SiblingPadOp {
+                mark,
+                name,
+                pos,
+                target
+            }),
+        Just(PadServeOp::SiblingUndo),
+        (any::<bool>(), any::<u64>())
+            .prop_map(|(torn, tear_seed)| PadServeOp::SiblingCrashCommit { torn, tear_seed }),
+    ]
+}
+
 /// One step against the logged-persistence stack ([`trim::StoreLog`]
 /// over [`slimio::Wal`]; see `wal_diff`). Mutating ops edit the live
 /// store; `Commit`/`Compact` move the durability boundary; the crash

@@ -495,6 +495,7 @@ fn drive(session: SessionHandle, script: Vec<Action>, tag: String) -> Outcome {
                     | Err(ServeError::Quarantined { .. })
                     | Err(ServeError::Panicked { .. })
                     | Err(ServeError::Io { .. })
+                    | Err(ServeError::Engine { .. })
                     | Err(ServeError::Closed) => {}
                 }
             }

@@ -21,6 +21,11 @@
 //!   sessions of trace traffic through `slimserve` with injected
 //!   panics, I/O faults, clock stalls, and a mid-run crash,
 //!   differentially checked against a serialized single-session model.
+//! * [`chaos_pad`] — the same discipline one layer up: pad-level
+//!   sessions (marks, excerpts, undo, repair) through
+//!   `slimserve::PadService` with a base-layer fault storm on top of
+//!   the full menu, verdict = live pad digest == serialized replay of
+//!   acked pad ops == post-crash on-disk state.
 //!
 //! Everything is a pure function of `(profile, seed)`: the same pair
 //! reproduces the same corpus XML byte for byte and the same trace
@@ -30,6 +35,7 @@
 //! 0x…`.
 
 pub mod chaos;
+pub mod chaos_pad;
 pub mod corpus;
 pub mod seed_ops;
 pub mod soak;

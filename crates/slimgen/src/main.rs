@@ -4,6 +4,7 @@
 //! slimgen --digest --profile quick --seed 0xC0FFEE   # corpus + trace digests
 //! slimgen --soak   --profile quick --seed 0xC0FFEE   # checkpointed soak + crash
 //! slimgen --chaos  --profile quick --seed 0xC0FFEE   # concurrent service chaos
+//! slimgen --chaos-pad --profile quick --seed 0xC0FFEE # pad-level service chaos
 //! ```
 //!
 //! `--soak` and `--chaos` exit non-zero on any oracle divergence — that
@@ -13,6 +14,7 @@
 use std::process::ExitCode;
 
 use slimgen::chaos::{self, ChaosConfig};
+use slimgen::chaos_pad::{self, ChaosPadConfig};
 use slimgen::soak::{self, SoakConfig};
 use slimgen::trace::{self, Mix};
 use slimgen::{corpus, Profile};
@@ -22,6 +24,7 @@ enum Mode {
     Digest,
     Soak,
     Chaos,
+    ChaosPad,
 }
 
 struct Args {
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
             "--digest" => args.mode = Mode::Digest,
             "--soak" => args.mode = Mode::Soak,
             "--chaos" => args.mode = Mode::Chaos,
+            "--chaos-pad" => args.mode = Mode::ChaosPad,
             "--no-crash" => args.no_crash = true,
             "--profile" => {
                 let v = it.next().ok_or("--profile needs a value")?;
@@ -82,6 +86,49 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.mode == Mode::ChaosPad {
+        let mut config = ChaosPadConfig::new(args.profile, args.seed);
+        config.mix = args.mix;
+        config.crash = !args.no_crash;
+        let report = chaos_pad::run(&config);
+        println!("slimgen chaos-pad  seed={:#x}  mix={}", args.seed, args.mix.name());
+        println!(
+            "  {} sessions x {} ops x 2 epochs, crash: {}",
+            report.sessions, report.ops_per_session, report.crash
+        );
+        let s = &report.stats;
+        println!(
+            "  {} attempts: {} acked, {} shed, {} timed out, {} panicked, {} engine-refused, \
+             {} quarantined, {} io-refused, {} closed",
+            report.attempts,
+            s.acked,
+            s.shed,
+            s.timed_out,
+            s.panicked,
+            s.engine_refusals,
+            s.quarantine_rejections,
+            s.io_refusals,
+            s.closed_refusals
+        );
+        println!(
+            "  {} commits, {} compactions, {} degraded resolutions, {} repairs",
+            s.commits, s.compactions, s.degraded_resolutions, s.repairs
+        );
+        println!(
+            "  digests: live {:#018x}  replay {:#018x}  disk {:#018x}",
+            report.live_digest, report.replay_digest, report.disk_digest
+        );
+        return if report.passed() {
+            println!("  PASS: zero divergences");
+            ExitCode::SUCCESS
+        } else {
+            for d in &report.divergences {
+                eprintln!("  DIVERGENCE: {d}");
+            }
+            ExitCode::FAILURE
+        };
+    }
 
     if args.mode == Mode::Chaos {
         let mut config = ChaosConfig::new(args.profile, args.seed);

@@ -40,4 +40,4 @@ pub use crc::crc32;
 pub use report::Recovered;
 pub use seal::{check_seal, seal, strip_seal, Integrity, SEAL_VERSION};
 pub use vfs::{FaultConfig, FaultMode, FaultOp, FaultVfs, MemVfs, StdVfs, Vfs};
-pub use wal::{Wal, WalFrame, WalReport};
+pub use wal::{scan_wal, Wal, WalFrame, WalReport, WalScan};

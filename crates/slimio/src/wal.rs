@@ -161,6 +161,61 @@ fn scan_frames(bytes: &[u8], base_seq: u64, verify_crc: bool) -> (Vec<WalFrame>,
     (frames, off, expected)
 }
 
+/// What [`scan_wal`] read out of raw log bytes, with nothing repaired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Header format version.
+    pub version: u32,
+    /// Sequence number of the first frame of this generation.
+    pub base_seq: u64,
+    /// Snapshot CRC the header claims this generation extends.
+    pub bind_crc: u32,
+    /// Frames that pass magic, length, CRC and contiguity checks.
+    pub frames: Vec<WalFrame>,
+    /// Byte length of the valid prefix (header + valid frames).
+    pub valid_len: usize,
+    /// Trailing bytes that fail validation (a torn tail, if non-zero).
+    pub torn_bytes: usize,
+    /// Sequence number the next frame would carry.
+    pub next_seq: u64,
+}
+
+/// Structurally scan raw log bytes without touching the file.
+///
+/// [`Wal::open`] *repairs* as it reads — truncating torn tails and
+/// installing fresh logs over stale generations — which is exactly wrong
+/// for offline inspection. `scan_wal` is the read-only twin used by the
+/// `wal-verify` fsck: it re-checks every magic, length, CRC and sequence
+/// and reports what it saw, mutating nothing. Returns `Err` with a
+/// description when the header itself is unreadable or from the future.
+pub fn scan_wal(bytes: &[u8]) -> Result<WalScan, String> {
+    if bytes.len() < HEADER_LEN {
+        return Err(format!(
+            "log shorter than its {HEADER_LEN}-byte header ({} byte(s))",
+            bytes.len()
+        ));
+    }
+    if &bytes[..4] != WAL_MAGIC {
+        return Err(format!("bad log magic {:02x?} (want {WAL_MAGIC:02x?})", &bytes[..4]));
+    }
+    let version = u32_at(bytes, 4);
+    if version > WAL_VERSION {
+        return Err(format!("log format version {version} is newer than supported {WAL_VERSION}"));
+    }
+    let base_seq = u64_at(bytes, 8);
+    let bind_crc = u32_at(bytes, 16);
+    let (frames, valid_end, next_seq) = scan_frames(bytes, base_seq, true);
+    Ok(WalScan {
+        version,
+        base_seq,
+        bind_crc,
+        torn_bytes: bytes.len() - valid_end,
+        valid_len: valid_end,
+        frames,
+        next_seq,
+    })
+}
+
 impl Wal {
     /// Open (or create) the log at `path`, salvaging a torn tail and
     /// returning the recovered frames in order.
@@ -623,6 +678,34 @@ mod tests {
         header[4..8].copy_from_slice(&(WAL_VERSION + 1).to_le_bytes());
         vfs.write(log_path(), &header).unwrap();
         assert!(Wal::open(&vfs, log_path(), BIND).is_err());
+    }
+
+    #[test]
+    fn scan_wal_reads_without_repairing() {
+        let (vfs, boundaries, payloads) = with_frames();
+        let mut bytes = vfs.bytes(LOG).unwrap().to_vec();
+        // Corrupt the last frame's payload: scan must report the torn
+        // tail, keep the prefix, and leave the bytes alone.
+        let tail_payload_start = boundaries[boundaries.len() - 2] as usize + 20;
+        bytes[tail_payload_start] ^= 0x01;
+        let scan = scan_wal(&bytes).unwrap();
+        assert_eq!(scan.version, WAL_VERSION);
+        assert_eq!(scan.base_seq, 0);
+        assert_eq!(scan.bind_crc, BIND);
+        assert_eq!(scan.frames.len(), payloads.len() - 1);
+        assert!(scan.torn_bytes > 0);
+        assert_eq!(scan.valid_len as u64, boundaries[boundaries.len() - 2]);
+        // Clean bytes scan clean.
+        let clean = scan_wal(&vfs.bytes(LOG).unwrap()).unwrap();
+        assert_eq!(clean.torn_bytes, 0);
+        assert_eq!(clean.frames.len(), payloads.len());
+        assert_eq!(clean.next_seq, payloads.len() as u64);
+        // Unreadable headers and future versions are typed refusals.
+        assert!(scan_wal(b"short").is_err());
+        assert!(scan_wal(b"not a wal header ..").is_err());
+        let mut future = header_bytes(0, BIND).to_vec();
+        future[4..8].copy_from_slice(&(WAL_VERSION + 1).to_le_bytes());
+        assert!(scan_wal(&future).is_err());
     }
 
     #[test]

@@ -134,40 +134,46 @@ impl fmt::Display for PadStats {
     }
 }
 
-/// A live SLIMPad: the pad object, its bundle tree, and its marks.
+/// The pad's state machine: the pad object, its bundle tree, and its
+/// marks — everything a pad *is*, with no opinion about who drives it.
 ///
 /// "Each visual entity the user sees on the screen corresponds to an
 /// object in the data model" (paper §3); every mutation below goes
 /// through the DMI, so the triple representation stays consistent.
-pub struct PadSession {
+///
+/// Split from [`PadSession`] so slimserve's pad service can own a bare
+/// engine on its writer thread while user sessions talk to it through
+/// typed ops; direct embedders keep using [`PadSession`], which derefs
+/// here.
+pub struct PadEngine {
     dmi: SlimPadDmi,
     pad: PadHandle,
     root: BundleHandle,
     marks: MarkManager,
     /// Failure handling for mark resolution: deadlines, retries,
-    /// breakers, quarantine ([`PadSession::activate_resilient`]).
+    /// breakers, quarantine ([`PadEngine::activate_resilient`]).
     resolver: ResilientResolver,
-    /// Checkpoints taken by [`PadSession::begin_op`], popped by
-    /// [`PadSession::undo`].
+    /// Checkpoints taken by [`PadEngine::begin_op`], popped by
+    /// [`PadEngine::undo`].
     undo_stack: Vec<trim::Revision>,
     /// The write-ahead log, when this session was opened through
-    /// [`PadSession::open_logged`] or upgraded via
-    /// [`PadSession::enable_logging`].
+    /// [`PadEngine::open_logged`] or upgraded via
+    /// [`PadEngine::enable_logging`].
     log: Option<trim::StoreLog>,
     /// CRC32 of the mark-store XML as of the last committed "marks"
-    /// sidecar record, so [`PadSession::commit`] only ships the marks
+    /// sidecar record, so [`PadEngine::commit`] only ships the marks
     /// when they actually changed.
     committed_marks_crc: u32,
 }
 
-impl PadSession {
+impl PadEngine {
     /// Open a new, empty pad. The pad's own surface is its (invisible)
     /// root bundle; bundles and scraps placed "on the pad" live there.
     pub fn new(pad_name: &str) -> Result<Self, PadError> {
         let mut dmi = SlimPadDmi::new();
         let root = dmi.create_bundle(pad_name, (0, 0), 1280, 960);
         let pad = dmi.create_slim_pad(pad_name, Some(root))?;
-        Ok(PadSession {
+        Ok(PadEngine {
             dmi,
             pad,
             root,
@@ -179,13 +185,13 @@ impl PadSession {
         })
     }
 
-    /// Mark the start of a user-visible operation; [`PadSession::undo`]
+    /// Mark the start of a user-visible operation; [`PadEngine::undo`]
     /// reverts to the most recent unmatched call.
     pub fn begin_op(&mut self) {
         self.undo_stack.push(self.dmi.checkpoint());
     }
 
-    /// Undo back to the last [`PadSession::begin_op`] checkpoint.
+    /// Undo back to the last [`PadEngine::begin_op`] checkpoint.
     /// Returns `false` when there is nothing to undo. Marks created
     /// since are *not* removed (the mark store is append-only); they
     /// simply become unreferenced, which the audit reports.
@@ -196,6 +202,24 @@ impl PadSession {
                 Ok(true)
             }
             None => Ok(false),
+        }
+    }
+
+    /// Number of open (unmatched) [`PadEngine::begin_op`] checkpoints.
+    /// A supervisor mirroring the undo stack externally (the pad
+    /// service keeps per-checkpoint op lists for replay) resynchronizes
+    /// its mirror against this depth after a contained fault.
+    pub fn undo_depth(&self) -> usize {
+        self.undo_stack.len()
+    }
+
+    /// Drop checkpoints *older* than the newest `keep`, keeping undo
+    /// bounded without disturbing the most recent history. No-op when
+    /// `keep >= undo_depth()`.
+    pub fn truncate_undo(&mut self, keep: usize) {
+        let len = self.undo_stack.len();
+        if keep < len {
+            self.undo_stack.drain(..len - keep);
         }
     }
 
@@ -377,7 +401,7 @@ impl PadSession {
         Ok(self.marks.extract_content(&mark_id)?)
     }
 
-    /// [`extract`](PadSession::extract) with a safety net: fall back to
+    /// [`extract`](PadEngine::extract) with a safety net: fall back to
     /// the mark's stored excerpt when the base layer cannot supply the
     /// content. The boolean is `true` when the fallback was used.
     pub fn extract_degraded(&self, scrap: ScrapHandle) -> Result<(String, bool), PadError> {
@@ -461,7 +485,7 @@ impl PadSession {
         self.save_to(&StdVfs, path.as_ref())
     }
 
-    /// [`save`](PadSession::save) through an explicit [`Vfs`] backend.
+    /// [`save`](PadEngine::save) through an explicit [`Vfs`] backend.
     pub fn save_to(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), PadError> {
         slimio::save_atomic(vfs, path, &self.save_xml())?;
         Ok(())
@@ -494,7 +518,7 @@ impl PadSession {
             .root_bundle
             .ok_or_else(|| PadError::File { message: "pad has no root bundle".into() })?;
         manager.load_xml(&marks_xml)?;
-        Ok(PadSession {
+        Ok(PadEngine {
             dmi,
             pad,
             root,
@@ -506,17 +530,17 @@ impl PadSession {
         })
     }
 
-    /// Load from a file written by [`PadSession::save`].
+    /// Load from a file written by [`PadEngine::save`].
     ///
     /// Strict: a file whose checksum footer does not match its contents
     /// is refused with [`PadError::Corrupt`] — use
-    /// [`PadSession::load_salvage`] to recover what remains. Legacy
+    /// [`PadEngine::load_salvage`] to recover what remains. Legacy
     /// files without a footer are trusted as-is.
     pub fn load(path: impl AsRef<Path>, manager: MarkManager) -> Result<Self, PadError> {
         Self::load_from(&StdVfs, path.as_ref(), manager)
     }
 
-    /// [`load`](PadSession::load) through an explicit [`Vfs`] backend.
+    /// [`load`](PadEngine::load) through an explicit [`Vfs`] backend.
     pub fn load_from(
         vfs: &dyn Vfs,
         path: &Path,
@@ -538,11 +562,11 @@ impl PadSession {
     /// store, and restore the mark store from the newest `"marks"`
     /// sidecar record if one was committed after the snapshot. The
     /// session comes back in the state of its last acknowledged
-    /// [`commit`](PadSession::commit), even after a crash.
+    /// [`commit`](PadEngine::commit), even after a crash.
     ///
     /// The file must exist; for a brand-new pad, build the session with
-    /// [`PadSession::new`] and call
-    /// [`enable_logging`](PadSession::enable_logging).
+    /// [`PadEngine::new`] and call
+    /// [`enable_logging`](PadEngine::enable_logging).
     pub fn open_logged(
         vfs: &dyn Vfs,
         path: &Path,
@@ -555,7 +579,7 @@ impl PadSession {
         Ok((session, report))
     }
 
-    /// [`open_logged`](PadSession::open_logged) with tail-frame CRC
+    /// [`open_logged`](PadEngine::open_logged) with tail-frame CRC
     /// checks disabled — only for the slimcheck mutation harness.
     #[doc(hidden)]
     pub fn testonly_open_logged_skip_tail_crc(
@@ -572,7 +596,7 @@ impl PadSession {
 
     /// Upgrade this session to logged persistence: write a full snapshot
     /// of the current state to `path`, then attach a (fresh) log to it.
-    /// After this, [`commit`](PadSession::commit) persists deltas.
+    /// After this, [`commit`](PadEngine::commit) persists deltas.
     ///
     /// Any stale log at the sibling `.wal` path belongs to an older
     /// snapshot generation and is discarded, not replayed.
@@ -639,7 +663,7 @@ impl PadSession {
     /// Fold the log into a fresh snapshot of the combined pad file
     /// (store *and* marks) and reset the log to an empty generation.
     /// Crash-consistent at every step; run when
-    /// [`should_compact`](PadSession::should_compact) reports true.
+    /// [`should_compact`](PadEngine::should_compact) reports true.
     pub fn compact(&mut self, vfs: &dyn Vfs) -> Result<(), PadError> {
         if self.log.is_none() {
             return Err(no_log_error());
@@ -649,6 +673,18 @@ impl PadSession {
         let log = self.log.as_mut().expect("checked above");
         self.dmi.compact_log_with(vfs, log, &payload)?;
         self.committed_marks_crc = marks_crc;
+        Ok(())
+    }
+
+    /// Truncate any unacknowledged log suffix a failed
+    /// [`commit`](PadEngine::commit) may have left on disk — a torn
+    /// append can land the doomed frame fully readable, and a cold
+    /// reopen would adopt the refused batch as real history. No-op on
+    /// unlogged sessions and on clean tails.
+    pub fn repair_log(&mut self, vfs: &dyn Vfs) -> Result<(), PadError> {
+        if let Some(log) = self.log.as_mut() {
+            self.dmi.repair_log(vfs, log)?;
+        }
         Ok(())
     }
 
@@ -664,7 +700,7 @@ impl PadSession {
     }
 
     /// Override the log-size threshold at which
-    /// [`should_compact`](PadSession::should_compact) (and the
+    /// [`should_compact`](PadEngine::should_compact) (and the
     /// `NeedsFullSnapshot` auto-compaction) trigger. No-op on unlogged
     /// sessions; soak harnesses lower it to exercise compaction cheaply.
     pub fn set_compact_threshold(&mut self, bytes: u64) {
@@ -687,7 +723,7 @@ impl PadSession {
         Self::load_salvage_from(&StdVfs, path.as_ref(), manager)
     }
 
-    /// [`load_salvage`](PadSession::load_salvage) through an explicit
+    /// [`load_salvage`](PadEngine::load_salvage) through an explicit
     /// [`Vfs`] backend.
     pub fn load_salvage_from(
         vfs: &dyn Vfs,
@@ -771,7 +807,7 @@ impl PadSession {
             None => recovered.note("marks section missing; continuing without marks"),
         }
 
-        let session = PadSession {
+        let session = PadEngine {
             dmi,
             pad,
             root: root_bundle,
@@ -799,6 +835,136 @@ impl PadSession {
             ));
         }
         Ok(recovered.map(|()| session))
+    }
+}
+
+/// A live SLIMPad: the user-facing handle over a [`PadEngine`].
+///
+/// Every method of the engine is available here through deref — to a
+/// direct embedder the split is invisible. The point of the handle is
+/// what it *doesn't* let concurrent code do: slimserve's pad service
+/// owns a bare [`PadEngine`] on its single writer thread, and hands
+/// user code typed ops instead of this struct, so "one engine, many
+/// sessions" is enforced by construction.
+pub struct PadSession {
+    engine: PadEngine,
+}
+
+impl std::ops::Deref for PadSession {
+    type Target = PadEngine;
+
+    fn deref(&self) -> &PadEngine {
+        &self.engine
+    }
+}
+
+impl std::ops::DerefMut for PadSession {
+    fn deref_mut(&mut self) -> &mut PadEngine {
+        &mut self.engine
+    }
+}
+
+impl From<PadEngine> for PadSession {
+    fn from(engine: PadEngine) -> Self {
+        PadSession { engine }
+    }
+}
+
+impl PadSession {
+    /// Open a new, empty pad — see [`PadEngine::new`].
+    pub fn new(pad_name: &str) -> Result<Self, PadError> {
+        PadEngine::new(pad_name).map(Self::from)
+    }
+
+    /// Wrap an engine back into a session handle.
+    pub fn from_engine(engine: PadEngine) -> Self {
+        PadSession { engine }
+    }
+
+    /// Surrender the handle, keeping the engine (the pad service's
+    /// adoption path).
+    pub fn into_engine(self) -> PadEngine {
+        self.engine
+    }
+
+    /// The underlying engine, explicitly.
+    pub fn engine(&self) -> &PadEngine {
+        &self.engine
+    }
+
+    /// The underlying engine, mutably and explicitly.
+    pub fn engine_mut(&mut self) -> &mut PadEngine {
+        &mut self.engine
+    }
+
+    /// Load a combined pad file from XML — see [`PadEngine::load_xml`].
+    pub fn load_xml(text: &str, manager: MarkManager) -> Result<Self, PadError> {
+        PadEngine::load_xml(text, manager).map(Self::from)
+    }
+
+    /// Load from a file — see [`PadEngine::load`].
+    pub fn load(path: impl AsRef<Path>, manager: MarkManager) -> Result<Self, PadError> {
+        PadEngine::load(path, manager).map(Self::from)
+    }
+
+    /// [`load`](PadSession::load) through an explicit [`Vfs`] backend.
+    pub fn load_from(
+        vfs: &dyn Vfs,
+        path: &Path,
+        manager: MarkManager,
+    ) -> Result<Self, PadError> {
+        PadEngine::load_from(vfs, path, manager).map(Self::from)
+    }
+
+    /// Open with the write-ahead log attached — see
+    /// [`PadEngine::open_logged`].
+    pub fn open_logged(
+        vfs: &dyn Vfs,
+        path: &Path,
+        manager: MarkManager,
+    ) -> Result<(Self, trim::LogReport), PadError> {
+        PadEngine::open_logged(vfs, path, manager)
+            .map(|(engine, report)| (Self::from(engine), report))
+    }
+
+    /// [`open_logged`](PadSession::open_logged) with tail-frame CRC
+    /// checks disabled — only for the slimcheck mutation harness.
+    #[doc(hidden)]
+    pub fn testonly_open_logged_skip_tail_crc(
+        vfs: &dyn Vfs,
+        path: &Path,
+        manager: MarkManager,
+    ) -> Result<(Self, trim::LogReport), PadError> {
+        PadEngine::testonly_open_logged_skip_tail_crc(vfs, path, manager)
+            .map(|(engine, report)| (Self::from(engine), report))
+    }
+
+    /// Salvage a pad from a damaged file — see
+    /// [`PadEngine::load_salvage`].
+    pub fn load_salvage(
+        path: impl AsRef<Path>,
+        manager: MarkManager,
+    ) -> Result<Recovered<Self>, PadError> {
+        PadEngine::load_salvage(path, manager).map(|r| r.map(Self::from))
+    }
+
+    /// [`load_salvage`](PadSession::load_salvage) through an explicit
+    /// [`Vfs`] backend.
+    pub fn load_salvage_from(
+        vfs: &dyn Vfs,
+        path: &Path,
+        manager: MarkManager,
+    ) -> Result<Recovered<Self>, PadError> {
+        PadEngine::load_salvage_from(vfs, path, manager).map(|r| r.map(Self::from))
+    }
+
+    /// Salvage from combined XML text — see
+    /// [`PadEngine::load_xml_salvage`].
+    pub fn load_xml_salvage(
+        text: &str,
+        manager: MarkManager,
+    ) -> Result<Recovered<Self>, PadError> {
+        PadEngine::load_xml_salvage(text, manager).map(|r| r.map(Self::from))
     }
 }
 

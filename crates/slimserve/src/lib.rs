@@ -38,8 +38,14 @@
 
 pub mod error;
 pub mod op;
+pub mod pad;
 pub mod service;
 
-pub use error::ServeError;
-pub use op::{Ack, Gate, ServeOp};
-pub use service::{Service, ServeConfig, ServeStats, SessionHandle, Ticket};
+pub use error::{suggested_backoff_ms, ServeError};
+pub use op::{Ack, Gate, ServeOp, Ticket};
+pub use pad::{
+    ward_doc, ward_factory, ward_mirror, ExcerptSearch, PadAck, PadConfig, PadMachine, PadOp,
+    PadOutcome, PadParts, PadPartsFactory, PadServeStats, PadService, PadSessionHandle, WARD_DOCS,
+    WARD_PARAGRAPHS,
+};
+pub use service::{Service, ServeConfig, ServeStats, SessionHandle};

@@ -9,6 +9,8 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use trim::{Revision, SnapValue, Triple, TripleStore, Value};
 
+use crate::error::ServeError;
+
 /// One mutation submitted to the writer. All payloads are resolved
 /// strings; the writer interns them on application.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,6 +149,53 @@ pub struct Ack {
     /// WAL frame that made the batch durable; `None` when the batch
     /// turned out to be a no-op (nothing needed writing).
     pub durable_seq: Option<u64>,
+}
+
+/// A write submission's verdict mailbox, generic over the ack type so
+/// the triple-level service ([`Ack`]) and the pad service share one
+/// mechanism.
+#[derive(Debug)]
+pub(crate) struct Slot<A> {
+    result: Mutex<Option<Result<A, ServeError>>>,
+    cv: Condvar,
+}
+
+impl<A> Default for Slot<A> {
+    fn default() -> Self {
+        Slot { result: Mutex::new(None), cv: Condvar::new() }
+    }
+}
+
+impl<A> Slot<A> {
+    pub(crate) fn resolve(&self, verdict: Result<A, ServeError>) {
+        let mut slot = lock(&self.result);
+        *slot = Some(verdict);
+        self.cv.notify_all();
+    }
+}
+
+/// A claim on a submitted op's eventual verdict. [`Ticket::wait`]
+/// blocks until the writer acknowledges or refuses the op.
+#[derive(Debug)]
+pub struct Ticket<A = Ack> {
+    slot: Arc<Slot<A>>,
+}
+
+impl<A> Ticket<A> {
+    pub(crate) fn new(slot: Arc<Slot<A>>) -> Self {
+        Ticket { slot }
+    }
+
+    /// Block until the op's verdict arrives.
+    pub fn wait(self) -> Result<A, ServeError> {
+        let mut slot = lock(&self.slot.result);
+        loop {
+            if let Some(verdict) = slot.take() {
+                return verdict;
+            }
+            slot = wait(&self.slot.cv, slot);
+        }
+    }
 }
 
 /// A rendezvous used by [`ServeOp::ChaosPark`]: the writer parks on it

@@ -32,8 +32,8 @@ use trim::{
     CommitOutcome, LogReport, PublishPath, Snapshot, SnapshotPublisher, StoreLog, TripleStore,
 };
 
-use crate::error::ServeError;
-use crate::op::{lock, wait, Ack, ServeOp};
+use crate::error::{suggested_backoff_ms, ServeError};
+use crate::op::{lock, wait, Ack, ServeOp, Slot, Ticket};
 
 /// Tuning for a [`Service`].
 #[derive(Debug, Clone)]
@@ -77,6 +77,9 @@ pub struct ServeStats {
     pub acked: u64,
     /// Ops shed at admission (queue full).
     pub shed: u64,
+    /// Total backoff (ms) suggested to shed submitters — the sum of the
+    /// [`ServeError::Overloaded`] retry hints handed out.
+    pub shed_backoff_ms: u64,
     /// Ops refused because their deadline passed in the queue.
     pub timed_out: u64,
     /// Ops that panicked and were rolled back.
@@ -104,6 +107,7 @@ impl std::ops::AddAssign for ServeStats {
         self.submitted += rhs.submitted;
         self.acked += rhs.acked;
         self.shed += rhs.shed;
+        self.shed_backoff_ms += rhs.shed_backoff_ms;
         self.timed_out += rhs.timed_out;
         self.panicked += rhs.panicked;
         self.quarantine_rejections += rhs.quarantine_rejections;
@@ -121,6 +125,7 @@ struct AtomicStats {
     submitted: AtomicU64,
     acked: AtomicU64,
     shed: AtomicU64,
+    shed_backoff_ms: AtomicU64,
     timed_out: AtomicU64,
     panicked: AtomicU64,
     quarantine_rejections: AtomicU64,
@@ -137,12 +142,17 @@ impl AtomicStats {
         field.fetch_add(1, Ordering::Relaxed);
     }
 
+    fn add(field: &AtomicU64, amount: u64) {
+        field.fetch_add(amount, Ordering::Relaxed);
+    }
+
     fn read(&self) -> ServeStats {
         let get = |f: &AtomicU64| f.load(Ordering::Relaxed);
         ServeStats {
             submitted: get(&self.submitted),
             acked: get(&self.acked),
             shed: get(&self.shed),
+            shed_backoff_ms: get(&self.shed_backoff_ms),
             timed_out: get(&self.timed_out),
             panicked: get(&self.panicked),
             quarantine_rejections: get(&self.quarantine_rejections),
@@ -161,41 +171,7 @@ struct Pending {
     session: u64,
     op: ServeOp,
     deadline_ms: u64,
-    slot: Arc<Slot>,
-}
-
-#[derive(Debug, Default)]
-struct Slot {
-    result: Mutex<Option<Result<Ack, ServeError>>>,
-    cv: Condvar,
-}
-
-impl Slot {
-    fn resolve(&self, verdict: Result<Ack, ServeError>) {
-        let mut slot = lock(&self.result);
-        *slot = Some(verdict);
-        self.cv.notify_all();
-    }
-}
-
-/// A claim on a submitted op's eventual verdict. [`Ticket::wait`]
-/// blocks until the writer acknowledges or refuses the op.
-#[derive(Debug)]
-pub struct Ticket {
-    slot: Arc<Slot>,
-}
-
-impl Ticket {
-    /// Block until the op's verdict arrives.
-    pub fn wait(self) -> Result<Ack, ServeError> {
-        let mut slot = lock(&self.slot.result);
-        loop {
-            if let Some(verdict) = slot.take() {
-                return verdict;
-            }
-            slot = wait(&self.slot.cv, slot);
-        }
-    }
+    slot: Arc<Slot<Ack>>,
 }
 
 struct Queue {
@@ -367,10 +343,17 @@ impl SessionHandle {
             return Err(ServeError::Closed);
         }
         if q.items.len() >= shared.config.queue_capacity {
+            let retry_after_ms = suggested_backoff_ms(
+                q.items.len(),
+                shared.config.queue_capacity,
+                shared.config.op_deadline_ms,
+            );
             AtomicStats::bump(&shared.stats.shed);
+            AtomicStats::add(&shared.stats.shed_backoff_ms, retry_after_ms);
             return Err(ServeError::Overloaded {
                 queue_len: q.items.len(),
                 capacity: shared.config.queue_capacity,
+                retry_after_ms,
             });
         }
         let slot = Arc::new(Slot::default());
@@ -382,7 +365,7 @@ impl SessionHandle {
         });
         AtomicStats::bump(&shared.stats.submitted);
         shared.not_empty.notify_one();
-        Ok(Ticket { slot })
+        Ok(Ticket::new(slot))
     }
 
     /// The most recently published read snapshot.
@@ -490,9 +473,9 @@ fn process_batch(
                 AtomicStats::bump(&shared.stats.compactions);
                 None
             }
-            Err(e) => return refuse_batch(shared, store, log, applied, &e),
+            Err(e) => return refuse_batch(shared, &**vfs, store, log, applied, &e),
         },
-        Err(e) => return refuse_batch(shared, store, log, applied, &e),
+        Err(e) => return refuse_batch(shared, &**vfs, store, log, applied, &e),
     };
 
     // Opportunistic compaction: acks above are already durable, so a
@@ -515,16 +498,21 @@ fn process_batch(
 }
 
 /// Commit failed: put the store back to its last durable state and
-/// refuse every op of the batch. The WAL handle self-repairs on the
-/// next append, so the writer keeps serving.
+/// refuse every op of the batch. The suspect log tail is truncated
+/// immediately — a torn append can leave the doomed frame fully
+/// readable, and a cold reopen would adopt the refused batch as real
+/// history. If the truncation itself fails, the poisoned WAL handle
+/// retries it before the next append, so the writer keeps serving.
 fn refuse_batch(
     shared: &Shared,
+    vfs: &dyn Vfs,
     store: &mut TripleStore,
-    log: &StoreLog,
+    log: &mut StoreLog,
     applied: Vec<Pending>,
     error: &trim::TrimError,
 ) {
     let _ = store.undo_to(log.committed_revision());
+    let _ = log.repair(vfs);
     let detail = error.to_string();
     for p in applied {
         AtomicStats::bump(&shared.stats.io_refusals);
@@ -578,7 +566,7 @@ fn install_quiet_hook() {
     });
 }
 
-fn quiet_catch_unwind<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+pub(crate) fn quiet_catch_unwind<R>(f: impl FnOnce() -> R) -> Result<R, String> {
     install_quiet_hook();
     QUIET.with(|q| q.set(true));
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(f));
@@ -693,7 +681,13 @@ mod tests {
             tickets.push(session.enqueue(ServeOp::insert("s", "p", &i.to_string())).unwrap());
         }
         let err = session.enqueue(ServeOp::insert("s", "p", "overflow")).unwrap_err();
-        assert_eq!(err, ServeError::Overloaded { queue_len: 4, capacity: 4 });
+        match err {
+            ServeError::Overloaded { queue_len: 4, capacity: 4, retry_after_ms } => {
+                // Full queue: the hint suggests waiting a whole deadline.
+                assert_eq!(retry_after_ms, 100);
+            }
+            other => panic!("expected overload, got {other:?}"),
+        }
         gate.open();
         park.wait().unwrap();
         for t in tickets {
@@ -702,7 +696,9 @@ mod tests {
         let snap = session.snapshot();
         assert_eq!(snap.len(), 4);
         assert!(!snap.iter().any(|t| t.object == SnapValue::Literal("overflow".into())));
-        assert_eq!(service.stats().shed, 1);
+        let stats = service.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.shed_backoff_ms, 100, "the hint is surfaced in the stats ledger");
     }
 
     #[test]

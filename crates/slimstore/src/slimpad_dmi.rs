@@ -825,6 +825,13 @@ impl SlimPadDmi {
         Ok(log.commit_with_aux(vfs, &mut self.store, aux)?)
     }
 
+    /// Truncate any unacknowledged log suffix a failed commit may have
+    /// left on disk (see [`StoreLog::repair`]) so a refused batch can
+    /// never be adopted by a later cold reopen.
+    pub fn repair_log(&self, vfs: &dyn Vfs, log: &mut StoreLog) -> Result<(), DmiError> {
+        Ok(log.repair(vfs)?)
+    }
+
     /// Fold the log into a fresh snapshot of the store's own XML and
     /// reset it. Use [`compact_log_with`](SlimPadDmi::compact_log_with)
     /// when the snapshot file embeds the store in a larger document.

@@ -70,4 +70,4 @@ pub use naive::{NaiveStore, NaiveTriple};
 pub use plan::{Access, IndexKind, PatternShape, Plan};
 pub use snapshot::{PublishPath, SnapTriple, SnapValue, Snapshot, SnapshotPublisher};
 pub use store::{StoreStats, Triple, TriplePattern, TripleStore, Value};
-pub use wal::{CommitOutcome, LogReport, StoreLog};
+pub use wal::{verify_frame_payload, CommitOutcome, FrameSummary, LogReport, StoreLog};

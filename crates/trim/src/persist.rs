@@ -104,6 +104,8 @@ impl TripleStore {
         // Loading is initial state, not edits: start with a clean journal
         // so undo cannot unwind the load itself.
         store.journal_mut().truncate();
+        // Never re-issue the name of an entity deleted before the save.
+        store.resync_fresh_counter();
         Ok(store)
     }
 
@@ -252,6 +254,7 @@ impl TripleStore {
             }
         }
         store.journal_mut().truncate();
+        store.resync_fresh_counter();
         Ok(recovered.map(|()| store))
     }
 

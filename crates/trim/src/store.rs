@@ -225,6 +225,27 @@ impl TripleStore {
         }
     }
 
+    /// Advance the fresh-resource counter past every numeric `name:N`
+    /// suffix the atom table holds. Load paths (snapshot parse, WAL
+    /// replay) call this because [`TripleStore::fresh_resource`] only
+    /// probes the *current* table for collisions: a reloaded table no
+    /// longer holds the atoms of entities deleted before the save, so
+    /// without the resync a post-reload mint could re-issue a dead
+    /// entity's name — and any ordering derived from resource names
+    /// (creation-order enumeration, differential digests) would permute
+    /// across the reload.
+    pub fn resync_fresh_counter(&mut self) {
+        let mut floor = self.fresh_counter;
+        for (_, name) in self.atoms.iter() {
+            if let Some((_, suffix)) = name.rsplit_once(':') {
+                if let Ok(n) = suffix.parse::<u64>() {
+                    floor = floor.max(n.saturating_add(1));
+                }
+            }
+        }
+        self.fresh_counter = floor;
+    }
+
     /// Access to the underlying atom table (read-only).
     pub fn atoms(&self) -> &AtomTable {
         &self.atoms

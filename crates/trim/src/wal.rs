@@ -183,6 +183,9 @@ impl StoreLog {
         // Replay restores committed state; it is not an edit the user can
         // undo, and the commit boundary starts here.
         store.journal_mut().truncate();
+        // Frames may have interned ids the snapshot did not hold; keep
+        // future mints past every name ever seen.
+        store.resync_fresh_counter();
         let log = StoreLog {
             snapshot_path: snapshot_path.to_path_buf(),
             wal,
@@ -235,6 +238,18 @@ impl StoreLog {
         self.committed = rev;
         store.journal_mut().reset_low_water();
         Ok(CommitOutcome::Committed { seq, ops })
+    }
+
+    /// Truncate any unacknowledged suffix a failed commit's append may
+    /// have left on disk, restoring the log to its last acknowledged
+    /// length. A torn append can land the doomed frame *fully readable*
+    /// — CRC-valid and sequence-contiguous — and a cold reopen cannot
+    /// tell it from real history, so a refused batch would silently
+    /// become durable at the next restart. Supervisors call this right
+    /// after a commit error to make the refusal durable; it is
+    /// idempotent and a no-op when the tail is already clean.
+    pub fn repair(&mut self, vfs: &dyn Vfs) -> Result<(), TrimError> {
+        Ok(self.wal.repair(vfs)?)
     }
 
     /// Compact: fold the log into a fresh snapshot of the store itself
@@ -397,6 +412,51 @@ impl<'a> Cursor<'a> {
     fn done(&self) -> bool {
         self.at >= self.bytes.len()
     }
+}
+
+/// What [`verify_frame_payload`] decoded out of one frame payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameSummary {
+    pub inserts: usize,
+    pub removes: usize,
+    /// Aux sidecar keys in record order (duplicates preserved).
+    pub aux_keys: Vec<String>,
+}
+
+/// Structurally decode one frame payload without a store behind it — the
+/// offline fsck path (`wal-verify`). Applies exactly the checks replay
+/// would: record tags, length prefixes, UTF-8 strings, object kinds.
+/// Returns the record counts, or the same typed corruption error a real
+/// recovery would refuse with.
+pub fn verify_frame_payload(seq: u64, payload: &[u8]) -> Result<FrameSummary, TrimError> {
+    let mut cur = Cursor { bytes: payload, at: 0, seq };
+    let mut out = FrameSummary::default();
+    while !cur.done() {
+        let tag = cur.u8()?;
+        match tag {
+            REC_INSERT | REC_REMOVE => {
+                cur.str()?;
+                cur.str()?;
+                let kind = cur.u8()?;
+                if kind != OBJ_LITERAL && kind != OBJ_RESOURCE {
+                    return Err(cur.corrupt(&format!("unknown object kind {kind}")));
+                }
+                cur.str()?;
+                if tag == REC_INSERT {
+                    out.inserts += 1;
+                } else {
+                    out.removes += 1;
+                }
+            }
+            REC_AUX => {
+                let key = cur.str()?.to_string();
+                cur.blob()?;
+                out.aux_keys.push(key);
+            }
+            other => return Err(cur.corrupt(&format!("unknown record tag {other}"))),
+        }
+    }
+    Ok(out)
 }
 
 /// Replay recovered frames onto the store, collecting aux records
@@ -634,6 +694,31 @@ mod tests {
         assert!(matches!(outcome, CommitOutcome::Committed { ops: 0, .. }));
         let (_, _, report) = reopen(&mut vfs);
         assert_eq!(report.aux.get("marks").map(Vec::as_slice), Some(&b"<m/>"[..]));
+    }
+
+    #[test]
+    fn verify_frame_payload_mirrors_replay_checks() {
+        let mut store = TripleStore::new();
+        let base = store.revision();
+        store.insert_literal("b:1", "bundleName", "Ward");
+        store.insert_resource("b:1", "nestedBundle", "b:2");
+        let t = store.insert_literal("x", "y", "z");
+        store.remove(t);
+        let changes = store.journal().since(base);
+        let payload = encode_records(&store, changes, &[("marks", b"<marks/>")]);
+        let summary = verify_frame_payload(0, &payload).unwrap();
+        assert_eq!(summary.inserts, 3);
+        assert_eq!(summary.removes, 1);
+        assert_eq!(summary.aux_keys, vec!["marks".to_string()]);
+        // Damage decodes as the same typed refusal replay would raise.
+        assert!(matches!(
+            verify_frame_payload(0, &payload[..payload.len() - 1]),
+            Err(TrimError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            verify_frame_payload(0, &[0xEE]),
+            Err(TrimError::Corrupt { .. })
+        ));
     }
 
     #[test]

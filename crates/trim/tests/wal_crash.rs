@@ -114,6 +114,44 @@ fn faulted_commit_recovers_an_acknowledged_state() {
 }
 
 #[test]
+fn repair_after_a_failed_commit_discards_the_suspect_tail() {
+    // A torn append can land every byte of the batch's frames and still
+    // report failure: the surviving frames are CRC-valid and
+    // seq-contiguous, so a plain reopen may adopt a batch the caller was
+    // told was refused. After repair the refusal is authoritative: only
+    // the last acknowledged state is recoverable.
+    for op in [FaultOp::Append, FaultOp::Sync] {
+        for mode in [FaultMode::Fail, FaultMode::Torn] {
+            for seed in 0..16u64 {
+                let (base, mut store, mut log, acked) = committed_world();
+                let last_acked = acked.last().unwrap().clone();
+                store.insert_literal("b:3", "bundleName", "Pharmacy");
+                store.insert_literal("b:3", "annotation", "refused batch");
+
+                let config = FaultConfig::new(op, mode, 0, seed);
+                let vfs = FaultVfs::new(base, config);
+                assert!(
+                    log.commit(&vfs, &mut store).is_err(),
+                    "{op:?}/{mode:?}/{seed}: commit should fail"
+                );
+                log.repair(&vfs)
+                    .unwrap_or_else(|e| panic!("{op:?}/{mode:?}/{seed}: repair failed: {e}"));
+
+                let disk = vfs.into_inner();
+                let (recovered, _, _) = TripleStore::open_logged(&disk, snap())
+                    .unwrap_or_else(|e| panic!("{op:?}/{mode:?}/{seed}: reopen failed: {e}"));
+                recovered.check_invariants();
+                assert_eq!(
+                    contents(&recovered),
+                    last_acked,
+                    "{op:?}/{mode:?}/{seed}: a refused batch survived repair"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn faulted_compaction_recovers_an_acknowledged_state() {
     // Compaction issues: write(tmp-snap), sync, rename, sync_dir for the
     // snapshot install, then the same quartet for the log reset. Fault
