@@ -124,6 +124,36 @@ pub fn shape_pattern(
     pattern
 }
 
+/// Nested-chain length inside [`join_store`] — the unselective
+/// worst-case join `(?a nested ?b) ⋈ (?b nested ?c)` walks it. Long
+/// enough that the naive evaluator's quadratic cross product dwarfs the
+/// engine's near-linear run intersections.
+pub const JOIN_CHAIN: usize = 4_000;
+
+/// A pad-shaped store for the conjunctive-join benches: `n` scraps
+/// spread over `n/64` bundles (membership, name, mark handle, mark id,
+/// and a mark-to-document link per scrap — five triples each), plus a
+/// [`JOIN_CHAIN`]-long `nested` chain for the unselective worst case.
+/// Returns the store; the join queries bind `bundle:0` and `doc:0`.
+pub fn join_store(n: usize) -> TripleStore {
+    let mut store = TripleStore::new();
+    let bundles = (n / 64).max(1);
+    for i in 0..n {
+        let b = format!("bundle:{}", i % bundles);
+        let s = format!("scrap:{i}");
+        let m = format!("markh:{i}");
+        store.insert_resource(&b, "bundleContent", &s);
+        store.insert_literal(&s, "scrapName", &format!("lab value {i}"));
+        store.insert_resource(&s, "scrapMark", &m);
+        store.insert_literal(&m, "markId", &format!("mark:{i}"));
+        store.insert_resource(&m, "markDoc", &format!("doc:{}", i % 8));
+    }
+    for i in 0..JOIN_CHAIN {
+        store.insert_resource(&format!("chain:{i}"), "nested", &format!("chain:{}", i + 1));
+    }
+    store
+}
+
 /// The naive-store copy of a triple store, for E9.
 pub fn naive_copy(store: &TripleStore) -> NaiveStore {
     let mut naive = NaiveStore::new();

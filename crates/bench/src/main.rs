@@ -1,6 +1,8 @@
 //! `BENCH_trim.json` reporter: measure every pattern shape against the
-//! 50k-triple workload, compare the indexed store to the naive linear
-//! scan, and write (or gate against) the committed baseline.
+//! 50k-triple workload (indexed store vs naive linear scan) and every
+//! conjunctive-join shape against a pad-shaped store of the same size
+//! (merge-join engine vs naive cross-product evaluator), then write (or
+//! gate against) the committed baseline.
 //!
 //! * `cargo run -p slim-bench --release` — full run, writes
 //!   `BENCH_trim.json` in the current directory.
@@ -11,10 +13,10 @@
 //!   unlike raw latencies).
 //! * `-- --out PATH` — write the report somewhere else.
 
-use slim_bench::{naive_copy, random_store, shape_pattern, BENCH_TRIPLES};
+use slim_bench::{join_store, naive_copy, random_store, shape_pattern, BENCH_TRIPLES};
 use std::hint::black_box;
 use std::time::Instant;
-use superimposed::trim::PatternShape;
+use superimposed::trim::{naive_join, ConjQuery, PatternShape, TripleStore};
 
 /// Shapes the ≥5× floor and the regression gate apply to: the tentpole's
 /// claim is about queries the pre-index store had to answer by scanning.
@@ -39,6 +41,55 @@ const ALLOWED_REGRESSIONS: [AllowedRegression; 1] = [AllowedRegression {
            (ROADMAP: dense sidecar for shape-unbound scans); gated against \
            the baseline so it cannot silently degrade further.",
 }];
+
+/// Conjunctive joins measured against [`naive_join`], the index-free
+/// cross-product evaluator. All three are gated at the same ≥5× floor:
+/// the engine's claim is that merge joins on sorted runs beat
+/// materialized nested loops even on the unselective worst case.
+struct JoinShape {
+    name: &'static str,
+    build: fn(&TripleStore) -> ConjQuery,
+}
+
+const JOIN_SHAPES: [JoinShape; 3] = [
+    JoinShape { name: "bundle_membership", build: bundle_membership },
+    JoinShape { name: "mark_target", build: mark_target },
+    JoinShape { name: "chain_unselective", build: chain_unselective },
+];
+
+/// 2-pattern membership join: `(bundle:0 bundleContent ?s) ⋈ (?s scrapName ?n)`.
+fn bundle_membership(store: &TripleStore) -> ConjQuery {
+    let b = store.find_atom("bundle:0").expect("join store bundle");
+    let content = store.find_atom("bundleContent").expect("property");
+    let name = store.find_atom("scrapName").expect("property");
+    let mut q = ConjQuery::new();
+    let (s, n) = (q.var("s"), q.var("n"));
+    q.pattern(b, content, s).pattern(s, name, n);
+    q
+}
+
+/// 3-pattern mark-target join:
+/// `(?s scrapMark ?m) ⋈ (?m markDoc doc:0) ⋈ (?s scrapName ?n)`.
+fn mark_target(store: &TripleStore) -> ConjQuery {
+    let mark = store.find_atom("scrapMark").expect("property");
+    let doc_p = store.find_atom("markDoc").expect("property");
+    let doc = store.find_atom("doc:0").expect("join store doc");
+    let name = store.find_atom("scrapName").expect("property");
+    let mut q = ConjQuery::new();
+    let (s, m, n) = (q.var("s"), q.var("m"), q.var("n"));
+    q.pattern(s, mark, m).pattern(m, doc_p, doc).pattern(s, name, n);
+    q
+}
+
+/// Unselective worst case: `(?a nested ?b) ⋈ (?b nested ?c)` over the
+/// 1000-bundle chain — no constant narrows either pattern.
+fn chain_unselective(store: &TripleStore) -> ConjQuery {
+    let nested = store.find_atom("nested").expect("property");
+    let mut q = ConjQuery::new();
+    let (a, b, c) = (q.var("a"), q.var("b"), q.var("c"));
+    q.pattern(a, nested, b).pattern(b, nested, c);
+    q
+}
 
 struct Args {
     quick: bool,
@@ -139,7 +190,58 @@ fn measure(quick: bool) -> Vec<ShapeResult> {
         .collect()
 }
 
-fn render_json(results: &[ShapeResult], quick: bool) -> String {
+struct JoinResult {
+    name: &'static str,
+    plan: String,
+    hits: usize,
+    indexed_ns: f64,
+    naive_ns: f64,
+}
+
+impl JoinResult {
+    fn speedup(&self) -> f64 {
+        self.naive_ns / self.indexed_ns.max(1.0)
+    }
+}
+
+fn measure_joins(quick: bool) -> Vec<JoinResult> {
+    let budget_ms = if quick { 20 } else { 200 };
+    // 5 triples per scrap: the join store lands at the same ~50k-triple
+    // point the pattern shapes are measured at.
+    let store = join_store(BENCH_TRIPLES / 5);
+    JOIN_SHAPES
+        .iter()
+        .map(|shape| {
+            let q = (shape.build)(&store);
+            let rows = q.solve(&store).expect("well-formed join query");
+            assert_eq!(
+                rows,
+                naive_join(&store, &q).expect("well-formed join query"),
+                "engine and naive evaluator disagree on join `{}` — refusing to \
+                 benchmark a wrong answer",
+                shape.name
+            );
+            let indexed_ns = time_ns(budget_ms, || {
+                black_box(q.solve(black_box(&store)).expect("solves"));
+            });
+            let naive_ns = time_ns(budget_ms, || {
+                black_box(naive_join(black_box(&store), &q).expect("solves"));
+            });
+            // First line of the join tree only: keeps the report's
+            // line-oriented JSON (and its string-scanning reader) happy.
+            let plan = store
+                .explain_join(&q)
+                .expect("plans")
+                .lines()
+                .next()
+                .unwrap_or_default()
+                .to_string();
+            JoinResult { name: shape.name, plan, hits: rows.len(), indexed_ns, naive_ns }
+        })
+        .collect()
+}
+
+fn render_json(results: &[ShapeResult], joins: &[JoinResult], quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"n_triples\": {BENCH_TRIPLES},\n"));
@@ -156,6 +258,21 @@ fn render_json(results: &[ShapeResult], quick: bool) -> String {
             r.naive_ns,
             r.speedup(),
             if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"joins\": [\n");
+    for (i, r) in joins.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"join\": \"{}\", \"plan\": \"{}\", \"hits\": {}, \
+             \"indexed_ns\": {:.1}, \"naive_ns\": {:.1}, \"speedup\": {:.1}}}{}\n",
+            r.name,
+            r.plan,
+            r.hits,
+            r.indexed_ns,
+            r.naive_ns,
+            r.speedup(),
+            if i + 1 == joins.len() { "" } else { "," },
         ));
     }
     out.push_str("  ],\n");
@@ -185,7 +302,17 @@ fn baseline_speedup(baseline: &str, shape: PatternShape) -> Option<f64> {
     rest.trim_start().trim_end_matches(['}', ',', ' ']).parse().ok()
 }
 
-fn check(results: &[ShapeResult], baseline_path: &str) -> Result<(), String> {
+/// Like [`baseline_speedup`], for a join row (`"join": "NAME"`).
+/// Baselines written before the joins section existed return `None`,
+/// which skips the regression half of the join gate — never the floor.
+fn baseline_join_speedup(baseline: &str, name: &str) -> Option<f64> {
+    let marker = format!("\"join\": \"{name}\"");
+    let line = baseline.lines().find(|l| l.contains(&marker))?;
+    let rest = line.split("\"speedup\":").nth(1)?;
+    rest.trim_start().trim_end_matches(['}', ',', ' ']).parse().ok()
+}
+
+fn check(results: &[ShapeResult], joins: &[JoinResult], baseline_path: &str) -> Result<(), String> {
     let baseline = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
     for shape in GATED_SHAPES {
@@ -206,6 +333,28 @@ fn check(results: &[ShapeResult], baseline_path: &str) -> Result<(), String> {
                     "shape `{}`: speedup {speedup:.1}x regressed more than {REGRESSION_FACTOR}x \
                      against the committed baseline ({committed:.1}x)",
                     shape.name()
+                ));
+            }
+        }
+    }
+    // Every join shape — including the unselective worst case — must
+    // beat the naive cross-product evaluator by the same floor, and must
+    // not regress against its committed ratio.
+    for r in joins {
+        let speedup = r.speedup();
+        if speedup < SPEEDUP_FLOOR {
+            return Err(format!(
+                "join `{}`: speedup {speedup:.1}x over the naive cross-product \
+                 evaluator is below the {SPEEDUP_FLOOR}x floor",
+                r.name
+            ));
+        }
+        if let Some(committed) = baseline_join_speedup(&baseline, r.name) {
+            if speedup < committed / REGRESSION_FACTOR {
+                return Err(format!(
+                    "join `{}`: speedup {speedup:.1}x regressed more than {REGRESSION_FACTOR}x \
+                     against the committed baseline ({committed:.1}x)",
+                    r.name
                 ));
             }
         }
@@ -235,10 +384,22 @@ fn check(results: &[ShapeResult], baseline_path: &str) -> Result<(), String> {
 fn main() {
     let args = parse_args();
     let results = measure(args.quick);
+    let joins = measure_joins(args.quick);
     for r in &results {
         println!(
             "shape {:>7}  {:<34}  hits {:>6}  indexed {:>12.1} ns  naive {:>12.1} ns  speedup {:>8.1}x",
             r.shape.name(),
+            r.plan,
+            r.hits,
+            r.indexed_ns,
+            r.naive_ns,
+            r.speedup(),
+        );
+    }
+    for r in &joins {
+        println!(
+            "join {:>18}  {:<40}  hits {:>6}  indexed {:>12.1} ns  naive {:>12.1} ns  speedup {:>8.1}x",
+            r.name,
             r.plan,
             r.hits,
             r.indexed_ns,
@@ -258,11 +419,11 @@ fn main() {
             allowed.note
         );
     }
-    std::fs::write(&args.out, render_json(&results, args.quick))
+    std::fs::write(&args.out, render_json(&results, &joins, args.quick))
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
     println!("wrote {}", args.out);
     if let Some(baseline) = &args.check {
-        match check(&results, baseline) {
+        match check(&results, &joins, baseline) {
             Ok(()) => println!("baseline check passed against {baseline}"),
             Err(msg) => {
                 eprintln!("baseline check FAILED: {msg}");

@@ -11,7 +11,7 @@
 //! the shrinker only ever minimizes the random suffix.
 
 use crate::ops::{
-    DmiOp, PadOp, PadServeOp, StoreOp, WalOp, ANNOTATIONS, NAMES, OBJECTS, PROPS, SUBJECTS,
+    ConjOp, DmiOp, PadOp, PadServeOp, StoreOp, WalOp, ANNOTATIONS, NAMES, OBJECTS, PROPS, SUBJECTS,
 };
 use slimgen::seed_ops::{seed_ops, SeedOp};
 
@@ -58,6 +58,43 @@ pub fn store_prefix(seed: u64, n: usize) -> Vec<StoreOp> {
                 res: to & 1 == 0,
             },
             SeedOp::Checkpoint => StoreOp::Checkpoint,
+        })
+        .collect()
+}
+
+/// Structure prefix for the conjunctive layer: growth-biased inserts
+/// over the shared pools, with slimgen checkpoints doubling as query
+/// probes so the suffix's joins run against corpus-built structure.
+/// Deterministic per seed, so `SLIMCHECK_SEED` replays hold.
+pub fn conj_prefix(seed: u64, n: usize) -> Vec<ConjOp> {
+    seed_ops(seed, n)
+        .into_iter()
+        .map(|op| match op {
+            SeedOp::CreateBundle { parent } => ConjOp::Insert {
+                s: sel(parent, SUBJECTS.len()),
+                p: sel(parent >> 8, PROPS.len()),
+                o: sel(parent >> 16, OBJECTS.len()),
+                res: parent & 1 == 0,
+            },
+            SeedOp::CreateScrap { bundle, mark } => ConjOp::Insert {
+                s: sel(bundle, SUBJECTS.len()),
+                p: sel(mark, PROPS.len()),
+                o: sel(mark >> 8, OBJECTS.len()),
+                res: mark & 1 == 0,
+            },
+            SeedOp::Annotate { scrap, note } => ConjOp::Insert {
+                s: sel(scrap, SUBJECTS.len()),
+                p: sel(note, PROPS.len()),
+                o: sel(note >> 8, OBJECTS.len()),
+                res: false,
+            },
+            SeedOp::Link { from, to } => ConjOp::Insert {
+                s: sel(from, SUBJECTS.len()),
+                p: sel(to, PROPS.len()),
+                o: sel(to >> 8, OBJECTS.len()),
+                res: to & 1 == 0,
+            },
+            SeedOp::Checkpoint => ConjOp::Query { shape: 0, p0: 0, p1: 1, c: 0 },
         })
         .collect()
 }
@@ -217,6 +254,7 @@ mod tests {
             assert_eq!(format!("{:?}", dmi_prefix(5, n)), format!("{:?}", dmi_prefix(5, n)));
             assert_eq!(format!("{:?}", pad_prefix(5, n)), format!("{:?}", pad_prefix(5, n)));
             assert_eq!(format!("{:?}", store_prefix(5, n)), format!("{:?}", store_prefix(5, n)));
+            assert_eq!(format!("{:?}", conj_prefix(5, n)), format!("{:?}", conj_prefix(5, n)));
             assert_eq!(format!("{:?}", wal_prefix(5, n)), format!("{:?}", wal_prefix(5, n)));
             assert_eq!(
                 format!("{:?}", padserve_prefix(5, n)),

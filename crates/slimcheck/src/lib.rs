@@ -8,6 +8,10 @@
 //!   `BTreeSet` oracle, journal undo vs a snapshot stack, and every save
 //!   (including fault-injected crash saves) round-tripped through
 //!   `slimio` ([`store_diff`]).
+//! * **conj** — the conjunctive query engine ([`trim::ConjQuery`]
+//!   planner + leapfrog executor) vs a string-level cross-product
+//!   evaluator over a `BTreeSet` model, with `trim::naive_join`
+//!   checked against the same oracle ([`conj_diff`]).
 //! * **wal** — the logged commit path ([`trim::StoreLog`] over
 //!   [`slimio::Wal`]) vs a model of acknowledged commits, with seeded
 //!   crash schedules, reboots, and log-byte corruption ([`wal_diff`]).
@@ -29,6 +33,7 @@
 //! the exact failure. Seeded mutations ([`Mutation`]) disable known
 //! pieces of the real implementation to prove the harness catches bugs.
 
+pub mod conj_diff;
 pub mod corpus_prefix;
 pub mod dmi_diff;
 pub mod ops;
@@ -60,16 +65,26 @@ pub enum Mutation {
     /// Log recovery skips the tail frame's CRC check: a corrupted tail
     /// replays garbage instead of being truncated at the damage.
     WalSkipTailCrc,
+    /// The join executor skips the ground re-check on repeated
+    /// variables: `(?x p ?x)` degenerates from the diagonal into "some
+    /// subject and some object under p".
+    ConjSkipRepeatedVarDedup,
+    /// The join executor serves the property-bound object run off the
+    /// wrong index (the property atom misread as an SPO subject),
+    /// losing every binding that run would have proposed.
+    ConjWrongPosRun,
 }
 
 impl Mutation {
     /// All seeded bugs (excludes `None`).
-    pub const ALL: [Mutation; 5] = [
+    pub const ALL: [Mutation; 7] = [
         Mutation::SkipSubjectIndex,
         Mutation::LossySetUnique,
         Mutation::UndoNoop,
         Mutation::SkipPosIndexOnRemove,
         Mutation::WalSkipTailCrc,
+        Mutation::ConjSkipRepeatedVarDedup,
+        Mutation::ConjWrongPosRun,
     ];
 
     /// CLI / report name.
@@ -81,6 +96,8 @@ impl Mutation {
             Mutation::UndoNoop => "undo-noop",
             Mutation::SkipPosIndexOnRemove => "skip-pos-on-remove",
             Mutation::WalSkipTailCrc => "wal-skip-tail-crc",
+            Mutation::ConjSkipRepeatedVarDedup => "conj-skip-repeated-var-dedup",
+            Mutation::ConjWrongPosRun => "conj-wrong-pos-run",
         }
     }
 
@@ -88,6 +105,7 @@ impl Mutation {
     pub fn layer(self) -> Layer {
         match self {
             Mutation::WalSkipTailCrc => Layer::Wal,
+            Mutation::ConjSkipRepeatedVarDedup | Mutation::ConjWrongPosRun => Layer::Conj,
             _ => Layer::Store,
         }
     }
@@ -104,6 +122,10 @@ impl Mutation {
             // shrinker sometimes keeps one extra op while minimizing the
             // flip offset.
             Mutation::WalSkipTailCrc => 5,
+            // Two inserts plant a non-diagonal subject/object pair (or
+            // one insert gives a shared-object join something to lose);
+            // one query observes the divergence.
+            Mutation::ConjSkipRepeatedVarDedup | Mutation::ConjWrongPosRun => 3,
             _ => 10,
         }
     }
@@ -113,6 +135,7 @@ impl Mutation {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Layer {
     Store,
+    Conj,
     Wal,
     Dmi,
     Pad,
@@ -122,13 +145,21 @@ pub enum Layer {
 
 impl Layer {
     /// All layers, in stack order.
-    pub const ALL: [Layer; 6] =
-        [Layer::Store, Layer::Wal, Layer::Dmi, Layer::Pad, Layer::PadServe, Layer::Resolver];
+    pub const ALL: [Layer; 7] = [
+        Layer::Store,
+        Layer::Conj,
+        Layer::Wal,
+        Layer::Dmi,
+        Layer::Pad,
+        Layer::PadServe,
+        Layer::Resolver,
+    ];
 
     /// CLI / report name.
     pub fn name(self) -> &'static str {
         match self {
             Layer::Store => "store",
+            Layer::Conj => "conj",
             Layer::Wal => "wal",
             Layer::Dmi => "dmi",
             Layer::Pad => "pad",
@@ -141,6 +172,7 @@ impl Layer {
     pub fn parse(s: &str) -> Option<Layer> {
         match s {
             "store" => Some(Layer::Store),
+            "conj" => Some(Layer::Conj),
             "wal" => Some(Layer::Wal),
             "dmi" => Some(Layer::Dmi),
             "pad" => Some(Layer::Pad),
@@ -155,6 +187,7 @@ impl Layer {
     fn tag(self) -> u64 {
         match self {
             Layer::Store => 0x73746f72,    // "stor"
+            Layer::Conj => 0x636f6e6a,     // "conj"
             Layer::Wal => 0x77616c,        // "wal"
             Layer::Dmi => 0x646d69,        // "dmi"
             Layer::Pad => 0x706164,        // "pad"
@@ -274,7 +307,8 @@ where
 }
 
 /// Run `cases` differential cases against one layer, stopping at the
-/// first divergence. `mutation` only affects the store layer.
+/// first divergence. `mutation` only affects the layer its seeded bug
+/// lives in (see [`Mutation::layer`]).
 pub fn run_layer(
     layer: Layer,
     base_seed: u64,
@@ -346,6 +380,18 @@ fn replay_case(
                 mutation,
                 &strategy,
                 |ops| store_diff::check(&with_prefix(&prefix, ops), mutation),
+                seed,
+                case,
+            )
+        }
+        Layer::Conj => {
+            let strategy = proptest::collection::vec(ops::conj_op_strategy(), 1..max_ops + 1);
+            let prefix = corpus_prefix::conj_prefix(seed, corpus);
+            run_case(
+                layer,
+                mutation,
+                &strategy,
+                |ops| conj_diff::check(&with_prefix(&prefix, ops), mutation),
                 seed,
                 case,
             )

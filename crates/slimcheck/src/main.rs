@@ -28,7 +28,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: slimcheck [--layer store|wal|dmi|pad|padserve|resolver|all] [--cases N] [--ops N]\n\
+        "usage: slimcheck [--layer store|conj|wal|dmi|pad|padserve|resolver|all] [--cases N] [--ops N]\n\
          \x20                [--corpus N] [--base-seed HEX] [--seed HEX] [--mutation NAME]\n\
          \x20                [--mutate]\n\
          \n\

@@ -1,5 +1,4 @@
-//! Operation alphabets for the three checked layers, plus their
-//! strategies. Every op addresses objects by *index* into small pools or
+//! Operation alphabets for the checked layers, plus their strategies. Every op addresses objects by *index* into small pools or
 //! into the set of live objects at execution time (resolved modulo the
 //! live count), so any randomly generated op is executable and every
 //! shrink candidate stays meaningful.
@@ -64,6 +63,37 @@ pub fn store_op_strategy() -> impl Strategy<Value = StoreOp> {
         Just(StoreOp::Save),
         (0usize..3, 0usize..3, any::<u64>())
             .prop_map(|(fault, mode, tear_seed)| StoreOp::CrashSave { fault, mode, tear_seed }),
+    ]
+}
+
+/// One step against the conjunctive query engine ([`trim::ConjQuery`];
+/// see `conj_diff`). Inserts and removes grow a store whose atoms are
+/// drawn from the shared pools (so query constants hit live atoms
+/// often), and `Query` runs one join template — 2 to 4 patterns with
+/// shared variables — through the planner and compares the binding
+/// sets against a string-level cross-product oracle. Having the
+/// template *in the op alphabet* means a shrunk counterexample names
+/// the failing join shape directly.
+#[derive(Debug, Clone)]
+pub enum ConjOp {
+    Insert { s: usize, p: usize, o: usize, res: bool },
+    Remove { s: usize, p: usize, o: usize, res: bool },
+    /// Run join template `shape` (modulo the template count) with
+    /// property constants `p0`/`p1` and subject constant `c`.
+    Query { shape: usize, p0: usize, p1: usize, c: usize },
+}
+
+pub fn conj_op_strategy() -> impl Strategy<Value = ConjOp> {
+    let field = (0..SUBJECTS.len(), 0..PROPS.len(), 0..OBJECTS.len(), any::<bool>());
+    let query = (0usize..16, 0..PROPS.len(), 0..PROPS.len(), 0..SUBJECTS.len());
+    prop_oneof![
+        // Insert twice: joins only produce rows over populated stores.
+        field.clone().prop_map(|(s, p, o, res)| ConjOp::Insert { s, p, o, res }),
+        field.clone().prop_map(|(s, p, o, res)| ConjOp::Insert { s, p, o, res }),
+        field.prop_map(|(s, p, o, res)| ConjOp::Remove { s, p, o, res }),
+        // Query twice: the sweep is about the join engine.
+        query.clone().prop_map(|(shape, p0, p1, c)| ConjOp::Query { shape, p0, p1, c }),
+        query.prop_map(|(shape, p0, p1, c)| ConjOp::Query { shape, p0, p1, c }),
     ]
 }
 

@@ -14,6 +14,7 @@ use crate::pad::PadSession;
 use slimstore::{ScrapHandle, SlimPadDmi};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use trim::{Atom, ConjQuery, Value};
 
 /// One reported change.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -66,14 +67,41 @@ struct ScrapFacts {
     annotations: Vec<String>,
 }
 
+/// Typed handles for the scrap resources a join binds: the conjunctive
+/// engine answers in store resources, the DMI accessors want handles.
+fn scraps_by_atom(dmi: &SlimPadDmi) -> BTreeMap<Atom, ScrapHandle> {
+    dmi.all_scraps().into_iter().map(|h| (h.resource(), h)).collect()
+}
+
 fn scrap_facts(dmi: &SlimPadDmi) -> BTreeMap<String, ScrapFacts> {
+    // The identity walk is a two-pattern conjunctive join,
+    // `(?s scrapMark ?m) ⋈ (?m markId ?id)`, so only marked scraps are
+    // visited. Rows come back sorted `(s, m, id)`: the first row per
+    // scrap carries its first mark — the identity key.
+    let store = dmi.store();
+    let by_atom = scraps_by_atom(dmi);
+    let (Some(mark_p), Some(id_p)) = (store.find_atom("scrapMark"), store.find_atom("markId"))
+    else {
+        return BTreeMap::new();
+    };
+    let mut q = ConjQuery::new();
+    let (s, m, id) = (q.var("s"), q.var("m"), q.var("id"));
+    q.pattern(s, mark_p, m).pattern(m, id_p, id);
+    let Ok(rows) = q.solve(store) else {
+        return BTreeMap::new();
+    };
     let mut out = BTreeMap::new();
-    for scrap in dmi.all_scraps() {
+    let mut seen = BTreeSet::new();
+    for row in rows {
+        let Value::Resource(s_atom) = row[0] else { continue };
+        if !seen.insert(s_atom) {
+            continue;
+        }
+        let Some(&scrap) = by_atom.get(&s_atom) else { continue };
+        let Some(mark_id) = store.value_str(row[2]) else { continue };
         let Ok(data) = dmi.scrap(scrap) else { continue };
-        let Some(first) = data.marks.first() else { continue };
-        let Ok(handle) = dmi.mark_handle(*first) else { continue };
         out.insert(
-            handle.mark_id,
+            mark_id.to_string(),
             ScrapFacts {
                 label: data.name,
                 pos: data.pos,
@@ -165,20 +193,43 @@ pub fn diff_pads(old: &PadSession, new: &PadSession) -> Vec<PadChange> {
 
 /// Scraps in `pad` whose first mark id equals `mark_id` — the reverse
 /// lookup a diff viewer needs to jump from a change to the scrap.
+/// Candidates come off the join `(?s scrapMark ?m) ⋈ (?m markId "id")`
+/// — one OSP probe on the literal, not a scan of every scrap — then
+/// the first-mark identity rule filters them.
 pub fn scraps_with_mark(pad: &PadSession, mark_id: &str) -> Vec<ScrapHandle> {
-    pad.dmi()
-        .all_scraps()
+    let dmi = pad.dmi();
+    let store = dmi.store();
+    let by_atom = scraps_by_atom(dmi);
+    let (Some(mark_p), Some(id_p), Some(id_lit)) = (
+        store.find_atom("scrapMark"),
+        store.find_atom("markId"),
+        store.find_atom(mark_id),
+    ) else {
+        return Vec::new();
+    };
+    let mut q = ConjQuery::new();
+    let (s, m) = (q.var("s"), q.var("m"));
+    q.pattern(s, mark_p, m).pattern(m, id_p, Value::Literal(id_lit));
+    let Ok(rows) = q.solve(store) else {
+        return Vec::new();
+    };
+    let mut out: Vec<ScrapHandle> = rows
         .into_iter()
+        .filter_map(|row| match row[0] {
+            Value::Resource(a) => by_atom.get(&a).copied(),
+            _ => None,
+        })
         .filter(|s| {
-            pad.dmi()
-                .scrap(*s)
+            dmi.scrap(*s)
                 .ok()
                 .and_then(|d| d.marks.first().copied())
-                .and_then(|h| pad.dmi().mark_handle(h).ok())
+                .and_then(|h| dmi.mark_handle(h).ok())
                 .map(|m| m.mark_id == mark_id)
                 .unwrap_or(false)
         })
-        .collect()
+        .collect();
+    out.dedup();
+    out
 }
 
 #[cfg(test)]

@@ -544,12 +544,19 @@ impl PadMachine {
                 self.redo_ops.pop();
                 Ok(PadOutcome::Stepped(true))
             }
-            PadOp::Inspect => Ok(PadOutcome::Inspected {
-                digest: self.digest(),
-                bundles: self.bundles().len().saturating_sub(1),
-                scraps: self.scraps().len(),
-                marks: self.engine.marks().len(),
-            }),
+            // Population counts come from the conjunctive join engine
+            // (the planner/merge-join path readers use), not a linear
+            // instance scan; the invisible root bundle is excluded as
+            // before.
+            PadOp::Inspect => {
+                let (bundles, scraps) = self.engine.dmi().population_by_join();
+                Ok(PadOutcome::Inspected {
+                    digest: self.digest(),
+                    bundles: bundles.saturating_sub(1),
+                    scraps,
+                    marks: self.engine.marks().len(),
+                })
+            }
             // Durability hints: the live writer commits every batch and
             // compacts after the batch's commit; in apply (and so in a
             // replay mirror) they change nothing.

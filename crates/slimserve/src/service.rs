@@ -670,6 +670,43 @@ mod tests {
     }
 
     #[test]
+    fn readers_join_published_snapshots_while_the_writer_streams() {
+        use trim::{SnapPattern, SnapTerm};
+        let (service, _, _) = open_mem(ServeConfig::default());
+        let session = service.session();
+        session.submit(ServeOp::link("b:1", "member", "s:1")).unwrap();
+        session.submit(ServeOp::link("b:1", "member", "s:2")).unwrap();
+        session.submit(ServeOp::insert("s:1", "name", "John")).unwrap();
+        session.submit(ServeOp::insert("s:2", "name", "Mary")).unwrap();
+
+        // Bundle-membership join, entirely on the reader's snapshot:
+        // (b:1 member ?s) ⋈ (?s name ?n).
+        let snap = session.snapshot();
+        let query = [
+            SnapPattern::new(SnapTerm::res("b:1"), SnapTerm::res("member"), SnapTerm::var("s")),
+            SnapPattern::new(SnapTerm::var("s"), SnapTerm::res("name"), SnapTerm::var("n")),
+        ];
+        let rows = snap.join(&query);
+        let has = |rows: &[trim::SnapBinding], s: &str, n: &str| {
+            rows.iter().any(|b| {
+                b["s"] == SnapValue::Resource(s.into()) && b["n"] == SnapValue::Literal(n.into())
+            })
+        };
+        assert_eq!(rows.len(), 2);
+        assert!(has(&rows, "s:1", "John") && has(&rows, "s:2", "Mary"));
+
+        // The writer keeps committing underneath; the held snapshot's
+        // join answer is frozen while a fresh snapshot sees the member
+        // that arrived after it was published.
+        session.submit(ServeOp::link("b:1", "member", "s:3")).unwrap();
+        session.submit(ServeOp::insert("s:3", "name", "Omar")).unwrap();
+        assert_eq!(snap.join(&query).len(), 2, "published snapshots are immutable");
+        let fresh = session.snapshot().join(&query);
+        assert_eq!(fresh.len(), 3);
+        assert!(has(&fresh, "s:3", "Omar"));
+    }
+
+    #[test]
     fn overload_is_a_typed_refusal_and_drains_after() {
         let (service, _, _) = open_mem(small_config());
         let session = service.session();

@@ -17,7 +17,7 @@ use crate::error::DmiError;
 use metamodel::encode::encode_model;
 use metamodel::vocab;
 use metamodel::{Cardinality, ConformanceReport, ConstructKind, ModelDef};
-use trim::{Atom, TriplePattern, TripleStore, Value};
+use trim::{Atom, ConjQuery, TriplePattern, TripleStore, Value};
 
 /// An instance handle minted by a [`GenericDmi`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -318,6 +318,39 @@ impl GenericDmi {
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// Instances of `construct` carrying exactly `text` on `connector`
+    /// — the term-lookup every concordance-style index needs. Answered
+    /// by a two-pattern conjunctive join on the triple engine,
+    /// `(?i conformsTo C) ⋈ (?i connector "text")`, instead of scanning
+    /// every instance of the construct.
+    pub fn instances_with_text(
+        &self,
+        construct: &str,
+        connector: &str,
+        text: &str,
+    ) -> Vec<Instance> {
+        let (Some(conf_p), Some(c), Some(p), Some(lit)) = (
+            self.store.find_atom(vocab::CONFORMS_TO),
+            self.store.find_atom(&vocab::construct_res(&self.model.name, construct)),
+            self.store.find_atom(connector),
+            self.store.find_atom(text),
+        ) else {
+            return Vec::new();
+        };
+        let mut q = ConjQuery::new();
+        let i = q.var("i");
+        q.pattern(i, conf_p, c).pattern(i, p, Value::Literal(lit));
+        let Ok(rows) = q.solve(&self.store) else {
+            return Vec::new();
+        };
+        rows.into_iter()
+            .filter_map(|row| match row[0] {
+                Value::Resource(a) => Some(Instance(a)),
+                _ => None,
+            })
+            .collect()
     }
 
     // ---- persistence and checking ---------------------------------------------

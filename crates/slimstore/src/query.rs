@@ -11,6 +11,8 @@
 
 use crate::generic::{GenericDmi, Instance};
 use crate::slimpad_dmi::{BundleHandle, ScrapHandle, SlimPadDmi};
+use metamodel::vocab;
+use trim::{ConjQuery, Value};
 
 /// A predicate over one connector's values.
 #[derive(Debug, Clone)]
@@ -131,11 +133,67 @@ impl SlimPadDmi {
         self.scraps_by_literal("scrapAnnotation", needle)
     }
 
-    /// The bundle that directly contains a scrap, if any.
+    /// The bundle that directly contains a scrap, if any. A two-pattern
+    /// conjunctive join — `(?b conformsTo Bundle) ⋈ (?b bundleContent
+    /// scrap)` — so the answer comes off the OSP run for the scrap, not
+    /// a scan over every bundle's contents.
     pub fn containing_bundle(&self, scrap: ScrapHandle) -> Option<BundleHandle> {
-        self.bundles()
+        let store = self.store();
+        let conf = store.find_atom(vocab::CONFORMS_TO)?;
+        let bundle_c = store.find_atom(&vocab::construct_res("bundle-scrap", "Bundle"))?;
+        let content = store.find_atom("bundleContent")?;
+        let mut q = ConjQuery::new();
+        let b = q.var("b");
+        q.pattern(b, conf, bundle_c).pattern(b, content, Value::Resource(scrap.resource()));
+        let rows = q.solve(store).ok()?;
+        rows.first().and_then(|row| match row[0] {
+            Value::Resource(a) => Some(BundleHandle::from_resource(a)),
+            _ => None,
+        })
+    }
+
+    /// Scraps directly contained in `bundle`, with their labels, via
+    /// the membership join `(bundle bundleContent ?s) ⋈ (?s scrapName
+    /// ?n)` — rows come back sorted by scrap handle.
+    fn scrap_rows_in_bundle(&self, bundle: BundleHandle) -> Vec<(ScrapHandle, String)> {
+        let store = self.store();
+        let (Some(content), Some(name_p)) =
+            (store.find_atom("bundleContent"), store.find_atom("scrapName"))
+        else {
+            return Vec::new();
+        };
+        let mut q = ConjQuery::new();
+        let (s, n) = (q.var("s"), q.var("n"));
+        q.pattern(bundle.resource(), content, s).pattern(s, name_p, n);
+        let Ok(rows) = q.solve(store) else {
+            return Vec::new();
+        };
+        rows.into_iter()
+            .filter_map(|row| match row[0] {
+                Value::Resource(a) => store
+                    .value_str(row[1])
+                    .map(|t| (ScrapHandle::from_resource(a), t.to_string())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Scraps directly contained in `bundle`, in handle order.
+    pub fn scraps_in_bundle(&self, bundle: BundleHandle) -> Vec<ScrapHandle> {
+        self.scrap_rows_in_bundle(bundle).into_iter().map(|(s, _)| s).collect()
+    }
+
+    /// [`SlimPadDmi::find_scraps`] restricted to one bundle: scraps in
+    /// `bundle` whose label contains `needle` (case-insensitive). The
+    /// membership join narrows to the bundle's scraps first; only those
+    /// labels are examined.
+    pub fn find_scraps_in_bundle(&self, bundle: BundleHandle, needle: &str) -> Vec<ScrapHandle> {
+        let needle = needle.to_lowercase();
+        self.scrap_rows_in_bundle(bundle)
             .into_iter()
-            .find(|b| self.bundle(*b).map(|d| d.scraps.contains(&scrap)).unwrap_or(false))
+            .filter(|(_, name)| name.to_lowercase().contains(&needle))
+            .map(|(s, _)| s)
+            .collect()
     }
 
     /// The chain of bundles from the outermost ancestor down to the one
@@ -269,6 +327,30 @@ mod tests {
         let names: Vec<String> =
             path.iter().map(|b| dmi.bundle(*b).unwrap().name).collect();
         assert_eq!(names, vec!["Ward 5", "Bed 4: John Smith"]);
+    }
+
+    #[test]
+    fn scraps_in_bundle_joins_membership_and_names() {
+        let dmi = pad_with_scraps();
+        let inner = dmi.find_bundles("Bed 4").remove(0);
+        let scraps = dmi.scraps_in_bundle(inner);
+        assert_eq!(scraps.len(), 2);
+        assert_eq!(scraps, dmi.bundle(inner).unwrap().scraps);
+        let outer = dmi.find_bundles("Ward").remove(0);
+        assert!(dmi.scraps_in_bundle(outer).is_empty());
+    }
+
+    #[test]
+    fn find_scraps_in_bundle_scopes_the_search() {
+        let mut dmi = pad_with_scraps();
+        // A same-label scrap *outside* the bundle must not appear.
+        let free = dmi.create_scrap("Lasix 20", (0, 0), "mark:9").unwrap();
+        let inner = dmi.find_bundles("Bed 4").remove(0);
+        let hits = dmi.find_scraps_in_bundle(inner, "lasix");
+        assert_eq!(hits.len(), 1);
+        assert!(!hits.contains(&free));
+        assert_eq!(dmi.scrap(hits[0]).unwrap().name, "Lasix 40");
+        assert!(dmi.find_scraps_in_bundle(inner, "zzz").is_empty());
     }
 
     #[test]

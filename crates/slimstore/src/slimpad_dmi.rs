@@ -28,7 +28,7 @@ use metamodel::vocab;
 use metamodel::ConformanceReport;
 use slimio::{Recovered, Vfs};
 use std::path::Path;
-use trim::{Atom, LogReport, StoreLog, TriplePattern, TripleStore, Value};
+use trim::{Atom, ConjQuery, LogReport, StoreLog, TriplePattern, TripleStore, Value};
 
 /// Handle to a SlimPad object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,6 +63,21 @@ impl_resource_accessor!(PadHandle);
 impl_resource_accessor!(BundleHandle);
 impl_resource_accessor!(ScrapHandle);
 impl_resource_accessor!(MarkHandleHandle);
+
+macro_rules! impl_resource_constructor {
+    ($ty:ty) => {
+        impl $ty {
+            /// Rewrap a store resource returned by a triple-level query
+            /// (e.g. a conjunctive-join binding) as a typed handle.
+            pub(crate) fn from_resource(atom: Atom) -> Self {
+                Self(atom)
+            }
+        }
+    };
+}
+
+impl_resource_constructor!(BundleHandle);
+impl_resource_constructor!(ScrapHandle);
 
 /// Read-only snapshot of a pad.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -682,6 +697,33 @@ impl SlimPadDmi {
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// Population counts `(bundles, scraps)` answered by the
+    /// conjunctive engine. A bundle is exactly an instance that
+    /// conforms to `Bundle` and carries a `bundleName` (creation sets
+    /// one, updates replace it), and likewise for scraps, so the
+    /// 2-pattern joins count the same sets as [`Self::bundles`] and
+    /// [`Self::all_scraps`] — but through the planner/merge-join path,
+    /// keeping service-level inspection an end-to-end probe of that
+    /// engine.
+    pub fn population_by_join(&self) -> (usize, usize) {
+        (self.count_named("Bundle", "bundleName"), self.count_named("Scrap", "scrapName"))
+    }
+
+    fn count_named(&self, construct: &str, name_prop: &str) -> usize {
+        let (Some(conf_p), Some(c), Some(p)) = (
+            self.store.find_atom(vocab::CONFORMS_TO),
+            self.store.find_atom(&vocab::construct_res("bundle-scrap", construct)),
+            self.store.find_atom(name_prop),
+        ) else {
+            return 0;
+        };
+        let mut q = ConjQuery::new();
+        let x = q.var("x");
+        let n = q.var("n");
+        q.pattern(x, conf_p, c).pattern(x, p, n);
+        q.solve(&self.store).map(|rows| rows.len()).unwrap_or(0)
     }
 
     /// Subjects whose `property` literal contains `needle`

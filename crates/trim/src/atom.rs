@@ -30,6 +30,13 @@ impl Atom {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The next atom in index order, or `None` at capacity. Used by the
+    /// conjunctive engine's leapfrog cursors to seek strictly past a
+    /// just-emitted value.
+    pub(crate) fn succ(self) -> Option<Atom> {
+        self.0.checked_add(1).map(Atom)
+    }
 }
 
 impl fmt::Display for Atom {

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod atom;
+pub mod conj;
 pub mod error;
 pub mod journal;
 pub mod naive;
@@ -64,10 +65,14 @@ pub mod view;
 pub mod wal;
 
 pub use atom::{Atom, AtomTable};
+pub use conj::{naive_join, AtomTerm, ConjError, ConjPattern, ConjPlan, ConjQuery, ValueTerm, Var};
 pub use error::TrimError;
 pub use journal::{Change, Journal, Revision};
 pub use naive::{NaiveStore, NaiveTriple};
 pub use plan::{Access, IndexKind, PatternShape, Plan};
-pub use snapshot::{PublishPath, SnapTriple, SnapValue, Snapshot, SnapshotPublisher};
+pub use snapshot::{
+    PublishPath, SnapBinding, SnapPattern, SnapTerm, SnapTriple, SnapValue, Snapshot,
+    SnapshotPublisher,
+};
 pub use store::{StoreStats, Triple, TriplePattern, TripleStore, Value};
 pub use wal::{verify_frame_payload, CommitOutcome, FrameSummary, LogReport, StoreLog};

@@ -26,6 +26,7 @@
 //!
 //! [`StoreLog::commit`]: crate::wal::StoreLog::commit
 
+use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::Arc;
 
@@ -176,6 +177,79 @@ impl Snapshot {
         })
     }
 
+    /// Solve a conjunctive query against this snapshot without touching
+    /// the writer: each pattern's candidates come from the subject-bound
+    /// scan (or the sorted merge iterator), and candidate sets are then
+    /// combined smallest-first by sort-merge joins on their shared
+    /// variables — the snapshot-level counterpart of
+    /// [`crate::conj::ConjQuery::solve`], working on resolved strings
+    /// instead of atoms. Results are sorted and deduplicated.
+    pub fn join(&self, patterns: &[SnapPattern]) -> Vec<SnapBinding> {
+        if patterns.is_empty() {
+            return Vec::new();
+        }
+        // Per-pattern candidate bindings plus the variable set each binds.
+        let mut parts: Vec<(Vec<String>, Vec<SnapBinding>)> =
+            patterns.iter().map(|p| (p.var_names(), self.pattern_bindings(p))).collect();
+        // Fold smallest-first, preferring patterns that share a variable
+        // with what is already joined, so cross products only happen for
+        // genuinely disconnected queries.
+        let start = parts
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, (_, b))| (b.len(), *i))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let (mut vars, mut acc) = parts.remove(start);
+        while !parts.is_empty() {
+            let next = parts
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (pv, b))| {
+                    let disconnected = !pv.iter().any(|v| vars.contains(v));
+                    (disconnected, b.len(), *i)
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let (pv, cand) = parts.remove(next);
+            let shared: Vec<String> =
+                pv.iter().filter(|v| vars.contains(*v)).cloned().collect();
+            acc = merge_join(acc, cand, &shared);
+            for v in pv {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        acc.sort_unstable();
+        acc.dedup();
+        acc
+    }
+
+    /// All bindings one pattern admits, subject-bound scans when possible.
+    fn pattern_bindings(&self, p: &SnapPattern) -> Vec<SnapBinding> {
+        let mut out = Vec::new();
+        let mut try_bind = |t: &SnapTriple| {
+            if let Some(b) = p.bind(t) {
+                out.push(b);
+            }
+        };
+        match &p.subject {
+            SnapTerm::Const(SnapValue::Resource(s)) => {
+                for t in self.scan_subject(s) {
+                    try_bind(t);
+                }
+            }
+            SnapTerm::Const(SnapValue::Literal(_)) => {} // never a subject
+            SnapTerm::Var(_) => {
+                for t in self.iter() {
+                    try_bind(t);
+                }
+            }
+        }
+        out
+    }
+
     /// Order-insensitive-free digest of the visible triples: FNV-1a over
     /// the canonical (SPO-sorted) iteration. Two snapshots with the same
     /// visible triples digest identically regardless of base/delta split.
@@ -207,6 +281,138 @@ impl Snapshot {
         }
         h
     }
+}
+
+/// One variable assignment of a snapshot join: variable name → value.
+pub type SnapBinding = BTreeMap<String, SnapValue>;
+
+/// One position of a [`SnapPattern`]: a constant or a named variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapTerm {
+    /// A fixed value. In subject/property position only
+    /// `SnapValue::Resource` can match.
+    Const(SnapValue),
+    /// A shared variable, joined by name across patterns.
+    Var(String),
+}
+
+impl SnapTerm {
+    /// A resource-name constant.
+    pub fn res(name: &str) -> Self {
+        SnapTerm::Const(SnapValue::Resource(name.to_string()))
+    }
+
+    /// A literal constant.
+    pub fn lit(text: &str) -> Self {
+        SnapTerm::Const(SnapValue::Literal(text.to_string()))
+    }
+
+    /// A variable.
+    pub fn var(name: &str) -> Self {
+        SnapTerm::Var(name.to_string())
+    }
+}
+
+/// One triple pattern of a snapshot-level conjunctive query. Variables in
+/// subject/property position bind `SnapValue::Resource` names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapPattern {
+    pub subject: SnapTerm,
+    pub property: SnapTerm,
+    pub object: SnapTerm,
+}
+
+impl SnapPattern {
+    /// Shorthand constructor.
+    pub fn new(subject: SnapTerm, property: SnapTerm, object: SnapTerm) -> Self {
+        SnapPattern { subject, property, object }
+    }
+
+    /// The distinct variable names this pattern binds, in S/P/O order.
+    fn var_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for term in [&self.subject, &self.property, &self.object] {
+            if let SnapTerm::Var(n) = term {
+                if !names.contains(n) {
+                    names.push(n.clone());
+                }
+            }
+        }
+        names
+    }
+
+    /// Bind this pattern against one triple; `None` on any mismatch,
+    /// including a repeated variable taking two different values.
+    fn bind(&self, t: &SnapTriple) -> Option<SnapBinding> {
+        let mut b = SnapBinding::new();
+        let mut take = |term: &SnapTerm, actual: SnapValue| -> bool {
+            match term {
+                SnapTerm::Const(want) => *want == actual,
+                SnapTerm::Var(name) => match b.get(name) {
+                    Some(existing) => *existing == actual,
+                    None => {
+                        b.insert(name.clone(), actual);
+                        true
+                    }
+                },
+            }
+        };
+        if !take(&self.subject, SnapValue::Resource(t.subject.clone())) {
+            return None;
+        }
+        if !take(&self.property, SnapValue::Resource(t.property.clone())) {
+            return None;
+        }
+        if !take(&self.object, t.object.clone()) {
+            return None;
+        }
+        Some(b)
+    }
+}
+
+/// Sort-merge join of two binding sets on `shared` variable names. With
+/// no shared names this degenerates to the cross product (disconnected
+/// query), which callers avoid by joining connected patterns first.
+fn merge_join(left: Vec<SnapBinding>, right: Vec<SnapBinding>, shared: &[String]) -> Vec<SnapBinding> {
+    let key = |b: &SnapBinding| -> Vec<SnapValue> {
+        shared.iter().map(|k| b.get(k).cloned().expect("shared key bound")).collect()
+    };
+    let mut left: Vec<(Vec<SnapValue>, SnapBinding)> =
+        left.into_iter().map(|b| (key(&b), b)).collect();
+    let mut right: Vec<(Vec<SnapValue>, SnapBinding)> =
+        right.into_iter().map(|b| (key(&b), b)).collect();
+    left.sort_unstable();
+    right.sort_unstable();
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        match left[i].0.cmp(&right[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the full group product for this key.
+                let k = left[i].0.clone();
+                let li = i;
+                while i < left.len() && left[i].0 == k {
+                    i += 1;
+                }
+                let rj = j;
+                while j < right.len() && right[j].0 == k {
+                    j += 1;
+                }
+                for (_, lb) in &left[li..i] {
+                    for (_, rb) in &right[rj..j] {
+                        let mut merged = lb.clone();
+                        for (name, v) in rb {
+                            merged.insert(name.clone(), v.clone());
+                        }
+                        out.push(merged);
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Why the last [`SnapshotPublisher::publish`] rebuilt (or didn't) —
@@ -463,6 +669,74 @@ mod tests {
         let snap = snap_of(&mut TripleStore::new());
         let handle = std::thread::spawn(move || snap.len());
         assert_eq!(handle.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn snapshot_join_runs_conjunctive_queries() {
+        let mut store = TripleStore::new();
+        store.insert_resource("b:1", "member", "s:1");
+        store.insert_resource("b:1", "member", "s:2");
+        store.insert_resource("b:2", "member", "s:3");
+        store.insert_literal("s:1", "name", "alpha");
+        store.insert_literal("s:2", "name", "beta");
+        store.insert_literal("s:3", "name", "alpha");
+        let snap = snap_of(&mut store);
+
+        // Scraps in bundle b:1 with their names — 2-pattern join.
+        let rows = snap.join(&[
+            SnapPattern::new(SnapTerm::res("b:1"), SnapTerm::res("member"), SnapTerm::var("s")),
+            SnapPattern::new(SnapTerm::var("s"), SnapTerm::res("name"), SnapTerm::var("n")),
+        ]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["s"], SnapValue::Resource("s:1".into()));
+        assert_eq!(rows[0]["n"], SnapValue::Literal("alpha".into()));
+        assert_eq!(rows[1]["s"], SnapValue::Resource("s:2".into()));
+
+        // Join on a literal: subjects sharing the same name.
+        let rows = snap.join(&[
+            SnapPattern::new(SnapTerm::var("a"), SnapTerm::res("name"), SnapTerm::var("n")),
+            SnapPattern::new(SnapTerm::var("b"), SnapTerm::res("name"), SnapTerm::var("n")),
+        ]);
+        // (s1,s1) (s1,s3) (s2,s2) (s3,s1) (s3,s3)
+        assert_eq!(rows.len(), 5);
+
+        // The old snapshot keeps answering the same join after new writes.
+        let mut publisher = SnapshotPublisher::new(&mut store);
+        let (before, _) = publisher.publish(&mut store);
+        store.insert_resource("b:1", "member", "s:9");
+        store.insert_literal("s:9", "name", "gamma");
+        let (after, _) = publisher.publish(&mut store);
+        let q = [
+            SnapPattern::new(SnapTerm::res("b:1"), SnapTerm::res("member"), SnapTerm::var("s")),
+            SnapPattern::new(SnapTerm::var("s"), SnapTerm::res("name"), SnapTerm::var("n")),
+        ];
+        assert_eq!(before.join(&q).len(), 2);
+        assert_eq!(after.join(&q).len(), 3);
+    }
+
+    #[test]
+    fn snapshot_join_handles_edge_shapes() {
+        let mut store = TripleStore::new();
+        store.insert_resource("a", "p", "a");
+        store.insert_resource("a", "p", "b");
+        let snap = snap_of(&mut store);
+        // Repeated variable within one pattern: diagonal only.
+        let rows = snap.join(&[SnapPattern::new(
+            SnapTerm::var("x"),
+            SnapTerm::res("p"),
+            SnapTerm::var("x"),
+        )]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["x"], SnapValue::Resource("a".into()));
+        // Empty pattern list and unmatched constants yield nothing.
+        assert!(snap.join(&[]).is_empty());
+        assert!(snap
+            .join(&[SnapPattern::new(
+                SnapTerm::lit("oops"),
+                SnapTerm::res("p"),
+                SnapTerm::var("x"),
+            )])
+            .is_empty());
     }
 
     #[test]

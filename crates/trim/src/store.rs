@@ -27,9 +27,10 @@ pub enum Value {
 }
 
 /// Inclusive lower bound over all [`Value`]s, for range-scan sentinels.
-const VALUE_MIN: Value = Value::Resource(Atom::MIN);
+/// `pub(crate)` so the conjunctive engine can seed its leapfrog cursors.
+pub(crate) const VALUE_MIN: Value = Value::Resource(Atom::MIN);
 /// Inclusive upper bound over all [`Value`]s, for range-scan sentinels.
-const VALUE_MAX: Value = Value::Literal(Atom::MAX);
+pub(crate) const VALUE_MAX: Value = Value::Literal(Atom::MAX);
 
 impl Value {
     /// The underlying atom regardless of kind.
@@ -529,6 +530,139 @@ impl TripleStore {
                 consume(&mut iter)
             }
         }
+    }
+
+    // ---- sorted-run seeks for the conjunctive engine ---------------------
+    //
+    // Each probe returns the first value >= `lo` in the named distinct-value
+    // run, answered by one O(log n) range lookup. The leapfrog cursors in
+    // [`crate::conj`] call these with strictly increasing `lo`, so a k-way
+    // run intersection streams without materializing any run.
+
+    /// First subject >= `lo` in the SPO index (distinct-subject run).
+    pub(crate) fn run_subject_geq(&self, lo: Atom) -> Option<Atom> {
+        self.spo.range((lo, Atom::MIN, VALUE_MIN)..).next().map(|&(s, _, _)| s)
+    }
+
+    /// First property >= `lo` among triples with subject `s` (SPO run).
+    pub(crate) fn run_property_of_s_geq(&self, s: Atom, lo: Atom) -> Option<Atom> {
+        self.spo
+            .range((s, lo, VALUE_MIN)..=(s, Atom::MAX, VALUE_MAX))
+            .next()
+            .map(|&(_, p, _)| p)
+    }
+
+    /// First object >= `lo` among triples with subject `s` and property
+    /// `p` (SPO run).
+    pub(crate) fn run_object_of_sp_geq(&self, s: Atom, p: Atom, lo: Value) -> Option<Value> {
+        self.spo.range((s, p, lo)..=(s, p, VALUE_MAX)).next().map(|&(_, _, o)| o)
+    }
+
+    /// First property >= `lo` in the POS index (distinct-property run).
+    pub(crate) fn run_property_geq(&self, lo: Atom) -> Option<Atom> {
+        self.pos.range((lo, VALUE_MIN, Atom::MIN)..).next().map(|&(p, _, _)| p)
+    }
+
+    /// First object >= `lo` among triples with property `p` (POS run).
+    pub(crate) fn run_object_of_p_geq(&self, p: Atom, lo: Value) -> Option<Value> {
+        self.pos
+            .range((p, lo, Atom::MIN)..=(p, VALUE_MAX, Atom::MAX))
+            .next()
+            .map(|&(_, o, _)| o)
+    }
+
+    /// First subject >= `lo` among triples with property `p` and object
+    /// `o` (POS run).
+    pub(crate) fn run_subject_of_po_geq(&self, p: Atom, o: Value, lo: Atom) -> Option<Atom> {
+        self.pos.range((p, o, lo)..=(p, o, Atom::MAX)).next().map(|&(_, _, s)| s)
+    }
+
+    /// First object >= `lo` in the OSP index (distinct-object run).
+    pub(crate) fn run_object_geq(&self, lo: Value) -> Option<Value> {
+        self.osp.range((lo, Atom::MIN, Atom::MIN)..).next().map(|&(o, _, _)| o)
+    }
+
+    /// First subject >= `lo` among triples with object `o` (OSP run).
+    pub(crate) fn run_subject_of_o_geq(&self, o: Value, lo: Atom) -> Option<Atom> {
+        self.osp
+            .range((o, lo, Atom::MIN)..=(o, Atom::MAX, Atom::MAX))
+            .next()
+            .map(|&(_, s, _)| s)
+    }
+
+    /// First property >= `lo` among triples with object `o` and subject
+    /// `s` (OSP run).
+    pub(crate) fn run_property_of_os_geq(&self, o: Value, s: Atom, lo: Atom) -> Option<Atom> {
+        self.osp.range((o, s, lo)..=(o, s, Atom::MAX)).next().map(|&(_, _, p)| p)
+    }
+
+    // Three (bound → proposed) combinations have no permutation whose sort
+    // order is (bound, proposed, rest): P→S, O→P, S→O. Those runs are
+    // served by *skip-scans* over the index that leads with the proposed
+    // position: alternating range probes that seek the probe value's
+    // (value, bound) block and, when it is absent, jump to the next value
+    // the index itself proposes. Each probe is one O(log n) lookup and
+    // the probe count is bounded by the values *between* matches, so even
+    // these fallback runs stream — nothing is materialized.
+
+    /// First subject >= `lo` with at least one `(subject, p, _)` triple —
+    /// the P→S skip-scan over SPO.
+    pub(crate) fn run_subject_with_p_geq(&self, p: Atom, lo: Atom) -> Option<Atom> {
+        let mut s = lo;
+        loop {
+            let &(ts, tp, _) = self.spo.range((s, p, VALUE_MIN)..).next()?;
+            if tp == p {
+                // Subjects strictly between `s` and `ts` have no triples
+                // at all, so `ts` is the first subject carrying `p`.
+                return Some(ts);
+            }
+            // `ts`'s smallest property past the probe point is below `p`:
+            // probe its own (ts, p) block next. Otherwise `ts` (or `s`
+            // itself, when ts == s) has no `p`; advance past it.
+            s = if ts > s && tp < p { ts } else { ts.succ()? };
+        }
+    }
+
+    /// First property >= `lo` with at least one `(_, property, o)` triple —
+    /// the O→P skip-scan over POS.
+    pub(crate) fn run_property_with_o_geq(&self, o: Value, lo: Atom) -> Option<Atom> {
+        let mut p = lo;
+        loop {
+            let &(tp, to, _) = self.pos.range((p, o, Atom::MIN)..).next()?;
+            if to == o {
+                return Some(tp);
+            }
+            p = if tp > p && to < o { tp } else { tp.succ()? };
+        }
+    }
+
+    /// First object >= `lo` with at least one `(s, _, object)` triple —
+    /// the S→O skip-scan over OSP.
+    pub(crate) fn run_object_with_s_geq(&self, s: Atom, lo: Value) -> Option<Value> {
+        let mut o = lo;
+        loop {
+            let &(to, ts, _) = self.osp.range((o, s, Atom::MIN)..).next()?;
+            if ts == s {
+                return Some(to);
+            }
+            o = if to > o && ts < s {
+                to
+            } else {
+                crate::conj::value_succ(to)?
+            };
+        }
+    }
+
+    /// Distinct objects of subject `s`, sorted. Kept for the seeded
+    /// `wrong_pos_run` mutation (slimcheck `--mutate`), which deliberately
+    /// reads an object run off the wrong index.
+    pub(crate) fn collect_objects_of_s(&self, s: Atom) -> Vec<Value> {
+        let set: BTreeSet<Value> = self
+            .spo
+            .range((s, Atom::MIN, VALUE_MIN)..=(s, Atom::MAX, VALUE_MAX))
+            .map(|&(_, _, o)| o)
+            .collect();
+        set.into_iter().collect()
     }
 
     /// The single triple matching `(subject, property, _)`, if exactly one

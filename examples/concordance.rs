@@ -126,11 +126,31 @@ fn main() {
         TERMS.len(), total_occurrences, concordance.store().len());
 
     // ---- use it: look up a term, resolve occurrences back into context --------
+    // Term lookup is a conjunctive join — (?t conformsTo Topic) ⋈
+    // (?t topicName <term>) — answered by the store's merge-join planner
+    // instead of a linear scan over every topic. Show the plan once:
+    {
+        use superimposed::metamodel::vocab;
+        use superimposed::trim::{ConjQuery, Value};
+        let store = concordance.store();
+        if let (Some(conf), Some(topic_c), Some(name_p), Some(lit)) = (
+            store.find_atom(vocab::CONFORMS_TO),
+            store.find_atom(&vocab::construct_res("topic-map", "Topic")),
+            store.find_atom("topicName"),
+            store.find_atom("death"),
+        ) {
+            let mut q = ConjQuery::new();
+            let t = q.var("topic");
+            q.pattern(t, conf, topic_c).pattern(t, name_p, Value::Literal(lit));
+            println!("join plan for the \"death\" lookup:");
+            println!("{}", store.explain_join(&q).unwrap());
+        }
+    }
     for term in ["death", "Caesar"] {
         let topic = concordance
-            .instances("Topic")
+            .instances_with_text("Topic", "topicName", term)
             .into_iter()
-            .find(|t| concordance.text(*t, "topicName").as_deref() == Some(term))
+            .next()
             .expect("term indexed");
         let occurrences = concordance.texts(topic, "occurrence");
         println!("═ \"{}\" occurs {} time(s) ═", term, occurrences.len());
